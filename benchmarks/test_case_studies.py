@@ -1,0 +1,26 @@
+"""Section 6.2.1 case studies: anecdotal group contrasts.
+
+Regenerates the two case-study analyses (who disagrees about one genre
+of movies; where do similar user groups disagree) and records the
+narrative contrasts between the returned groups.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.casestudy import render_case_study
+from repro.experiments.figures import case_studies
+
+
+def test_case_studies(benchmark, config, environment, write_artifact):
+    studies = benchmark.pedantic(case_studies, args=(config,), rounds=1, iterations=1)
+    assert len(studies) == 2
+
+    rendered = []
+    for study in studies:
+        assert study.report.scoped_tuples > 0
+        assert study.report.result.k >= 1
+        rendered.append(render_case_study(study))
+        # A useful case study contrasts at least two groups; require it for
+        # at least one of the two queries.
+    assert any(study.has_findings for study in studies)
+    write_artifact("case_studies", "\n\n".join(rendered))

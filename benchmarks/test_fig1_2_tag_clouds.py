@@ -1,0 +1,38 @@
+"""Figures 1-2: group tag signatures rendered as tag clouds.
+
+The paper shows the tag cloud of Woody Allen movies for all users
+(Figure 1) and for California users only (Figure 2) and reads off the
+overlap and the dropped tags.  The benchmark regenerates both clouds for
+the most-tagged director of the synthetic corpus and records the
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_1_2_tag_clouds
+
+
+def test_fig1_2_tag_clouds(benchmark, config, environment, write_artifact):
+    figure = benchmark.pedantic(
+        figure_1_2_tag_clouds, args=(config,), rounds=1, iterations=1
+    )
+
+    cloud_all = figure.extra["cloud_all"]
+    cloud_location = figure.extra["cloud_location"]
+    assert cloud_all.entries, "the all-users cloud must not be empty"
+    assert cloud_location.entries, "the location-scoped cloud must not be empty"
+    # The two clouds overlap (same movies) but are not identical (different
+    # user populations) -- the comparison the paper draws between the figures.
+    assert cloud_all.overlap(cloud_location)
+    assert cloud_all.tags() != cloud_location.tags()
+
+    write_artifact(
+        "fig1_2_tag_clouds",
+        "\n\n".join(
+            [
+                figure.render(columns=["figure", "tag", "count", "size"]),
+                figure.extra["rendered_all"],
+                figure.extra["rendered_location"],
+            ]
+        ),
+    )

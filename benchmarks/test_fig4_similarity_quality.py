@@ -1,0 +1,34 @@
+"""Figure 4: result quality of Problems 1-3 (tag similarity maximisation).
+
+Quality is the paper's metric: the average pairwise cosine similarity
+between the tag signature vectors of the k returned groups.  The
+expected shape is that the LSH variants stay close to Exact's optimum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    figure_4_similarity_quality,
+    run_similarity_experiment,
+)
+
+
+def test_fig4_similarity_quality(benchmark, config, environment, write_artifact):
+    runs = benchmark.pedantic(
+        run_similarity_experiment, args=(config,), rounds=1, iterations=1
+    )
+    figure = figure_4_similarity_quality(config, runs=runs)
+    write_artifact("fig4_similarity_quality", figure.render())
+
+    by_problem = {}
+    for run in runs:
+        by_problem.setdefault(run.problem_id, {})[run.algorithm] = run
+
+    for problem_id, algorithms in by_problem.items():
+        exact = algorithms["exact"]
+        assert exact.feasible, f"Exact must find a feasible set for problem {problem_id}"
+        folded = algorithms["sm-lsh-fo"]
+        if folded.quality is not None and exact.quality is not None:
+            # Within 30% of the optimum, and never better than Exact.
+            assert folded.quality >= 0.7 * exact.quality
+            assert folded.objective <= exact.objective + 1e-9

@@ -1,0 +1,48 @@
+"""Figure 5: execution time of Problems 4-6 (tag diversity maximisation).
+
+Exact versus DV-FDP-Fi and DV-FDP-Fo; the expected shape is that both
+dispersion-based variants beat Exact by a large factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import render_figure
+from repro.experiments.runner import build_problem, run_algorithm
+
+PROBLEMS = (4, 5, 6)
+ALGORITHMS = ("exact", "dv-fdp-fi", "dv-fdp-fo")
+
+_collected_rows = []
+
+
+@pytest.mark.parametrize("problem_id", PROBLEMS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_diversity_time(benchmark, config, environment, problem_id, algorithm):
+    dataset, session = environment
+    problem = build_problem(problem_id, dataset, config)
+
+    def run():
+        return run_algorithm(session, problem, algorithm, config, problem_id=problem_id)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _collected_rows.append(result.as_row())
+    if algorithm != "exact":
+        assert result.evaluations < session.n_groups ** 2
+
+
+def test_fig5_report(benchmark, write_artifact):
+    rows = benchmark.pedantic(lambda: list(_collected_rows), rounds=1, iterations=1)
+    assert len(rows) == len(PROBLEMS) * len(ALGORITHMS)
+    write_artifact(
+        "fig5_diversity_time",
+        render_figure(
+            "Figure 5: execution time, Problems 4-6",
+            rows,
+            columns=["problem", "algorithm", "time_s", "evaluations", "feasible"],
+        ),
+    )
+    exact_times = [row["time_s"] for row in rows if row["algorithm"] == "exact"]
+    heuristic_times = [row["time_s"] for row in rows if row["algorithm"] != "exact"]
+    assert max(heuristic_times) < max(exact_times)

@@ -1,0 +1,37 @@
+"""Figure 6: result quality of Problems 4-6 (tag diversity maximisation).
+
+Quality is again the average pairwise cosine similarity of the returned
+signatures; for diversity problems *lower* similarity is better, and the
+expected shape is that the FDP selections stay close to Exact's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    figure_6_diversity_quality,
+    run_diversity_experiment,
+)
+
+
+def test_fig6_diversity_quality(benchmark, config, environment, write_artifact):
+    runs = benchmark.pedantic(
+        run_diversity_experiment, args=(config,), rounds=1, iterations=1
+    )
+    figure = figure_6_diversity_quality(config, runs=runs)
+    write_artifact("fig6_diversity_quality", figure.render())
+
+    by_problem = {}
+    for run in runs:
+        by_problem.setdefault(run.problem_id, {})[run.algorithm] = run
+
+    for problem_id, algorithms in by_problem.items():
+        exact = algorithms["exact"]
+        folded = algorithms["dv-fdp-fo"]
+        assert exact.feasible, f"Exact must find a feasible set for problem {problem_id}"
+        if not folded.null_result:
+            assert folded.feasible
+            # Objective here is mean pairwise tag diversity; the greedy must
+            # reach a substantial fraction of the optimum (Theorem 4 gives a
+            # worst-case factor 4; in practice it is much closer).
+            assert folded.objective >= 0.5 * exact.objective
+            assert folded.objective <= exact.objective + 1e-9

@@ -1,0 +1,76 @@
+"""Figure 7: execution time while varying the number of tagging tuples.
+
+The paper samples the corpus into bins (5K/10K/20K/30K tuples) and
+compares Exact against SM-LSH-Fo on Problem 1 and against DV-FDP-Fo on
+Problem 6 per bin.  Each (bin, problem, algorithm) triple is one
+benchmark entry; the expected shape is that the Exact-vs-heuristic gap
+widens as the bins grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import render_figure
+from repro.experiments.runner import build_problem, build_session, run_algorithm
+
+PAIRS = ((1, "exact"), (1, "sm-lsh-fo"), (6, "exact"), (6, "dv-fdp-fo"))
+
+_sessions = {}
+_collected_rows = []
+
+
+def _bin_session(config, dataset, fraction):
+    key = round(fraction, 4)
+    if key not in _sessions:
+        bin_size = max(1, int(round(fraction * dataset.n_actions)))
+        bin_dataset = dataset.sample(bin_size, seed=config.seed, name=f"bin-{bin_size}")
+        _sessions[key] = (bin_dataset, build_session(bin_dataset, config))
+    return _sessions[key]
+
+
+def _bin_ids(config):
+    return [f"bin{int(round(fraction * 100))}pct" for fraction in config.scaling_bins]
+
+
+@pytest.mark.parametrize("fraction_index", range(3))
+@pytest.mark.parametrize("pair", PAIRS, ids=[f"p{p}-{a}" for p, a in PAIRS])
+def test_fig7_scaling_time(benchmark, config, environment, fraction_index, pair):
+    if fraction_index >= len(config.scaling_bins):
+        pytest.skip("configuration defines fewer bins")
+    fraction = config.scaling_bins[fraction_index]
+    problem_id, algorithm = pair
+    dataset, _ = environment
+    bin_dataset, session = _bin_session(config, dataset, fraction)
+    problem = build_problem(problem_id, bin_dataset, config)
+
+    def run():
+        return run_algorithm(session, problem, algorithm, config, problem_id=problem_id)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = result.as_row()
+    row["tuples"] = bin_dataset.n_actions
+    row["groups"] = session.n_groups
+    _collected_rows.append(row)
+
+
+def test_fig7_report(benchmark, config, write_artifact):
+    rows = benchmark.pedantic(lambda: list(_collected_rows), rounds=1, iterations=1)
+    assert len(rows) == len(PAIRS) * len(config.scaling_bins)
+    rows.sort(key=lambda row: (row["problem"], row["algorithm"], row["tuples"]))
+    write_artifact(
+        "fig7_scaling_time",
+        render_figure(
+            "Figure 7: execution time vs number of tagging tuples",
+            rows,
+            columns=["tuples", "groups", "problem", "algorithm", "time_s", "evaluations"],
+        ),
+    )
+    # Exact's enumeration cost must not shrink as the bins grow.
+    for problem in ("problem-1", "problem-6"):
+        exact_rows = sorted(
+            (row for row in rows if row["algorithm"] == "exact" and row["problem"] == problem),
+            key=lambda row: row["tuples"],
+        )
+        evaluations = [row["evaluations"] for row in exact_rows]
+        assert evaluations == sorted(evaluations)

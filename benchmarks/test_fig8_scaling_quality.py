@@ -1,0 +1,38 @@
+"""Figure 8: result quality while varying the number of tagging tuples.
+
+Runs the same bins as Figure 7 and records the quality metric per bin;
+the expected shape is that the heuristics' quality stays comparable to
+Exact across every bin (the paper's Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_8_scaling_quality, run_scaling_experiment
+
+
+def test_fig8_scaling_quality(benchmark, config, environment, write_artifact):
+    rows = benchmark.pedantic(
+        run_scaling_experiment, args=(config,), rounds=1, iterations=1
+    )
+    figure = figure_8_scaling_quality(config, rows=rows)
+    write_artifact("fig8_scaling_quality", figure.render())
+
+    assert len(rows) == 4 * len(config.scaling_bins)
+    # Per bin and problem, compare heuristic quality against Exact.
+    by_key = {}
+    for row in rows:
+        by_key.setdefault((row["tuples"], row["problem"]), {})[row["algorithm"]] = row
+    comparable = 0
+    for (tuples, problem), algorithms in by_key.items():
+        exact = algorithms.get("exact")
+        heuristic = algorithms.get("sm-lsh-fo") or algorithms.get("dv-fdp-fo")
+        assert exact is not None and heuristic is not None
+        if exact["quality"] is not None and heuristic["quality"] is not None:
+            comparable += 1
+            if problem == "problem-1":
+                # Similarity goal: heuristic quality close to Exact's optimum.
+                assert heuristic["quality"] >= 0.6 * exact["quality"]
+            else:
+                # Diversity goal: heuristic similarity not wildly above Exact's.
+                assert heuristic["quality"] <= exact["quality"] + 0.3
+    assert comparable >= len(config.scaling_bins)

@@ -1,0 +1,100 @@
+"""Extension benchmark: incremental inserts vs. full re-preparation.
+
+The paper's future work announces support for updates and insertions of
+new users, items and tags.  This benchmark measures the cost of
+absorbing a burst of new tagging actions with
+:class:`repro.core.incremental.IncrementalTagDM` against re-running the
+full enumeration + summarisation pipeline, and checks that the
+incrementally maintained groups match a from-scratch enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.core.incremental import IncrementalTagDM
+from repro.dataset.synthetic import generate_movielens_style
+from repro.experiments.reporting import render_figure
+
+BURST_SIZE = 50
+
+_rows = []
+
+
+def _base_dataset():
+    return generate_movielens_style(n_users=100, n_items=200, n_actions=2500, seed=13)
+
+
+def _burst(dataset):
+    return [
+        {
+            "user_id": dataset.user_of(row),
+            "item_id": dataset.item_of(row),
+            "tags": ["burst-tag", f"extra-{row % 7}"],
+        }
+        for row in range(BURST_SIZE)
+    ]
+
+
+def test_incremental_insert_burst(benchmark):
+    session = IncrementalTagDM(
+        _base_dataset(),
+        enumeration=GroupEnumerationConfig(min_support=5),
+        signature_backend="frequency",
+    ).prepare()
+    burst = _burst(session.dataset)
+
+    report = benchmark.pedantic(session.add_actions, args=(burst,), rounds=1, iterations=1)
+    assert report.actions_added == BURST_SIZE
+    assert session.consistency_errors() == []
+    _rows.append(
+        {
+            "strategy": "incremental",
+            "actions": BURST_SIZE,
+            "groups_after": session.n_groups,
+            "groups_updated": report.groups_updated,
+            "groups_created": report.groups_created,
+        }
+    )
+
+
+def test_full_reprepare_baseline(benchmark):
+    dataset = _base_dataset()
+    # Apply the same burst directly to the dataset, then re-prepare from scratch.
+    for action in _burst(dataset):
+        dataset.add_action(action["user_id"], action["item_id"], action["tags"])
+
+    def reprepare():
+        return TagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=5),
+            signature_backend="frequency",
+        ).prepare()
+
+    session = benchmark.pedantic(reprepare, rounds=1, iterations=1)
+    _rows.append(
+        {
+            "strategy": "full re-prepare",
+            "actions": BURST_SIZE,
+            "groups_after": session.n_groups,
+            "groups_updated": None,
+            "groups_created": None,
+        }
+    )
+
+
+def test_incremental_report(benchmark, write_artifact):
+    rows = benchmark.pedantic(lambda: list(_rows), rounds=1, iterations=1)
+    assert len(rows) == 2
+    by_strategy = {row["strategy"]: row for row in rows}
+    # Both maintenance strategies must end with the same number of groups.
+    assert (
+        by_strategy["incremental"]["groups_after"]
+        == by_strategy["full re-prepare"]["groups_after"]
+    )
+    write_artifact(
+        "incremental_updates",
+        render_figure("Extension: incremental inserts vs full re-preparation", rows),
+    )

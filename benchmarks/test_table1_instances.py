@@ -1,0 +1,32 @@
+"""Table 1: the six concrete TagDM problem instantiations."""
+
+from __future__ import annotations
+
+from repro.core.problem import TABLE1_PROBLEMS, enumerate_problem_instances
+from repro.experiments.figures import table_1_problem_instances
+
+
+def test_table1_problem_instances(benchmark, write_artifact):
+    figure = benchmark.pedantic(table_1_problem_instances, rounds=1, iterations=1)
+    assert len(figure.rows) == 6
+    # All six constrain users and items and optimise tags, as in the paper.
+    assert all(row["C"] == "U,I" and row["O"] == "T" for row in figure.rows)
+    # Rows 1-3 optimise tag similarity, rows 4-6 tag diversity.
+    assert [row["tag"] for row in figure.rows] == [
+        "similarity",
+        "similarity",
+        "similarity",
+        "diversity",
+        "diversity",
+        "diversity",
+    ]
+    write_artifact("table1_instances", figure.render())
+
+
+def test_framework_instance_enumeration(benchmark, write_artifact):
+    """The wider framework: enumerate every concrete problem instance."""
+    problems = benchmark.pedantic(enumerate_problem_instances, rounds=1, iterations=1)
+    assert len(problems) == 98
+    assert len(TABLE1_PROBLEMS) == 6
+    lines = [problem.name for problem in problems]
+    write_artifact("framework_instances", "\n".join(lines))

@@ -1,0 +1,18 @@
+"""Table 2: summary of TagDM problem solutions (algorithm capabilities)."""
+
+from __future__ import annotations
+
+from repro.algorithms.capabilities import recommend_algorithm
+from repro.core.problem import table1_problem
+from repro.experiments.figures import table_2_capabilities
+
+
+def test_table2_capabilities(benchmark, write_artifact):
+    figure = benchmark.pedantic(table_2_capabilities, rounds=1, iterations=1)
+    assert len(figure.rows) == 6
+    assert {row["algorithm"] for row in figure.rows} == {"LSH based", "FDP based"}
+    # Cross-check the matrix against the recommendation rule used by
+    # TagDM's algorithm="auto" mode.
+    assert recommend_algorithm(table1_problem(1)).startswith("sm-lsh")
+    assert recommend_algorithm(table1_problem(6)).startswith("dv-fdp")
+    write_artifact("table2_capabilities", figure.render())

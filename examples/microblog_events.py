@@ -1,0 +1,85 @@
+"""Event characterisation on a microblog corpus (the paper's future work).
+
+The paper's conclusion proposes applying TagDM to topic-centric
+exploration of tweets and news.  This example runs that scenario on a
+synthetic microblog corpus: which kinds of accounts hashtag the same news
+events differently, and how does the session absorb a stream of new
+tweets without re-preparing from scratch (incremental maintenance).
+
+Run with:  python examples/microblog_events.py
+"""
+
+from repro import Constraint, Criterion, Dimension, Objective, TagDMProblem
+from repro.core import IncrementalTagDM
+from repro.dataset import MicroblogStyleConfig, generate_microblog_style
+from repro.text import build_tag_cloud, render_tag_cloud
+
+
+def main() -> None:
+    dataset = generate_microblog_style(
+        MicroblogStyleConfig(n_accounts=150, n_events=300, n_tweets=2500, seed=9)
+    )
+    print(f"dataset: {dataset}")
+
+    # Incremental session: prepared once, then fed a stream of new tweets.
+    session = IncrementalTagDM(dataset, signature_backend="frequency").prepare()
+    print(f"candidate groups after preparation: {session.n_groups}")
+
+    # Who tags the same events differently?  Diverse account groups, similar
+    # events, maximise hashtag diversity.
+    problem = TagDMProblem(
+        name="event-disagreement",
+        constraints=(
+            Constraint(Dimension.USERS, Criterion.DIVERSITY, 0.3),
+            Constraint(Dimension.ITEMS, Criterion.SIMILARITY, 0.5),
+        ),
+        objectives=(Objective(Dimension.TAGS, Criterion.DIVERSITY),),
+        k_lo=3,
+        k_hi=3,
+        min_support=session.default_support(),
+    )
+    before = session.solve(problem, algorithm="dv-fdp-fo")
+    print()
+    print(before.summary())
+
+    # A burst of new tweets about one event arrives (including a brand-new
+    # account); the session absorbs them in place.
+    burst = [
+        {
+            "user_id": "acct_new_desk",
+            "item_id": "event00001",
+            "tags": ["breaking", "developing", "ht_00010"],
+            "user_attributes": {"account_type": "journalist", "region": "europe"},
+        }
+    ] + [
+        {
+            "user_id": f"acct{index:05d}",
+            "item_id": "event00001",
+            "tags": ["ht_00010", "ht_00011", "breaking"],
+        }
+        for index in range(20)
+    ]
+    report = session.add_actions(burst)
+    print()
+    print(f"incremental update: {report.summary()}")
+    print(f"candidate groups after the burst: {session.n_groups}")
+
+    after = session.solve(problem.with_support(session.default_support()), algorithm="dv-fdp-fo")
+    print()
+    print(after.summary())
+
+    # Show the hashtag cloud of the most tweeted event after the burst.
+    counts = session.dataset.value_counts("item.category")
+    top_category = max(counts, key=counts.get)
+    scoped = session.dataset.filter({"item.category": top_category})
+    cloud = build_tag_cloud(
+        scoped.tags_for_indices(range(scoped.n_actions)),
+        title=f"hashtags for category={top_category}",
+        max_tags=15,
+    )
+    print()
+    print(render_tag_cloud(cloud))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro -- reproduction of "Who Tags What? An Analysis Framework".
+
+This library reproduces the TagDM (Tagging Behavior Dual Mining)
+framework of Das, Thirumuruganathan, Amer-Yahia, Das and Yu
+(PVLDB 5(11), 2012): a constrained-optimisation framework for analysing
+which groups of users tag which groups of items with similar or diverse
+tags, together with the paper's LSH-based and facility-dispersion-based
+mining algorithms and the substrates they run on (tagging data store,
+tag summarisation via LDA / tf*idf, cosine LSH, dispersion heuristics,
+synthetic MovieLens-style workloads).
+
+Quickstart
+----------
+>>> from repro import TagDM, generate_movielens_style, table1_problem
+>>> dataset = generate_movielens_style(n_actions=2000)
+>>> session = TagDM(dataset).prepare()
+>>> problem = table1_problem(1, k=3, min_support=session.default_support())
+>>> result = session.solve(problem, algorithm="sm-lsh-fo")
+>>> print(result.summary())  # doctest: +SKIP
+"""
+
+from repro.core import (
+    Constraint,
+    Criterion,
+    Dimension,
+    GroupDescription,
+    GroupEnumerationConfig,
+    GroupSignatureBuilder,
+    MiningResult,
+    Objective,
+    TABLE1_PROBLEMS,
+    TagDM,
+    TagDMProblem,
+    TaggingActionGroup,
+    enumerate_groups,
+    enumerate_problem_instances,
+    group_support,
+    table1_problem,
+)
+from repro.dataset import (
+    TaggingDataset,
+    generate_delicious_style,
+    generate_flickr_style,
+    generate_movielens_style,
+    load_csv,
+    save_csv,
+)
+from repro.algorithms import available_algorithms, build_algorithm, recommend_algorithm
+from repro.text import build_tag_cloud, render_tag_cloud
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "TagDM",
+    "TagDMProblem",
+    "Constraint",
+    "Objective",
+    "Criterion",
+    "Dimension",
+    "TaggingActionGroup",
+    "GroupDescription",
+    "GroupEnumerationConfig",
+    "GroupSignatureBuilder",
+    "MiningResult",
+    "TABLE1_PROBLEMS",
+    "table1_problem",
+    "enumerate_problem_instances",
+    "enumerate_groups",
+    "group_support",
+    # dataset
+    "TaggingDataset",
+    "generate_movielens_style",
+    "generate_delicious_style",
+    "generate_flickr_style",
+    "load_csv",
+    "save_csv",
+    # algorithms
+    "available_algorithms",
+    "build_algorithm",
+    "recommend_algorithm",
+    # text
+    "build_tag_cloud",
+    "render_tag_cloud",
+]

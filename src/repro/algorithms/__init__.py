@@ -1,0 +1,62 @@
+"""TagDM mining algorithms.
+
+Two heuristic families plus the brute-force baseline, mirroring
+Sections 3.1, 4 and 5 of the paper:
+
+* :class:`~repro.algorithms.exact.ExactAlgorithm` -- exhaustive
+  enumeration of candidate group sets;
+* the SM-LSH family (:mod:`repro.algorithms.sm_lsh`) for tag-similarity
+  maximisation, with filtering and folding constraint handling;
+* the DV-FDP family (:mod:`repro.algorithms.dv_fdp`) for tag-diversity
+  maximisation, with filtering and folding constraint handling.
+
+Algorithms are obtained by name through :func:`build_algorithm`.
+"""
+
+from repro.algorithms.base import (
+    MiningAlgorithm,
+    available_algorithms,
+    build_algorithm,
+    register_algorithm,
+)
+from repro.algorithms.scoring import (
+    GroupSetEvaluation,
+    PairwiseMatrixCache,
+    ProblemEvaluator,
+)
+from repro.algorithms.exact import ExactAlgorithm
+from repro.algorithms.sm_lsh import (
+    SmLshAlgorithm,
+    SmLshFilterAlgorithm,
+    SmLshFoldAlgorithm,
+)
+from repro.algorithms.dv_fdp import (
+    DvFdpAlgorithm,
+    DvFdpFilterAlgorithm,
+    DvFdpFoldAlgorithm,
+)
+from repro.algorithms.capabilities import (
+    CapabilityRow,
+    capability_matrix,
+    recommend_algorithm,
+)
+
+__all__ = [
+    "MiningAlgorithm",
+    "available_algorithms",
+    "build_algorithm",
+    "register_algorithm",
+    "GroupSetEvaluation",
+    "PairwiseMatrixCache",
+    "ProblemEvaluator",
+    "ExactAlgorithm",
+    "SmLshAlgorithm",
+    "SmLshFilterAlgorithm",
+    "SmLshFoldAlgorithm",
+    "DvFdpAlgorithm",
+    "DvFdpFilterAlgorithm",
+    "DvFdpFoldAlgorithm",
+    "CapabilityRow",
+    "capability_matrix",
+    "recommend_algorithm",
+]

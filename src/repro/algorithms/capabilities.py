@@ -1,0 +1,88 @@
+"""Algorithm capability matrix (Table 2 of the paper).
+
+Table 2 summarises which algorithm family handles which combination of
+optimisation criterion and constraint criteria, and with which
+additional technique (folding / filtering).  :func:`capability_matrix`
+reproduces that table as data, and :func:`recommend_algorithm` maps a
+concrete problem specification to the paper's recommended solver -- the
+rule the ``algorithm="auto"`` mode of :class:`repro.core.framework.TagDM`
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import TagDMProblem
+
+__all__ = ["CapabilityRow", "capability_matrix", "recommend_algorithm"]
+
+
+@dataclass(frozen=True)
+class CapabilityRow:
+    """One row of Table 2."""
+
+    optimization: str
+    algorithm_family: str
+    constraints: str
+    technique: str
+
+
+def capability_matrix() -> List[CapabilityRow]:
+    """The rows of Table 2 (optimisation / family / constraints / technique)."""
+    return [
+        CapabilityRow(
+            optimization="similarity",
+            algorithm_family="LSH based",
+            constraints="similarity",
+            technique="fold constraints",
+        ),
+        CapabilityRow(
+            optimization="similarity",
+            algorithm_family="LSH based",
+            constraints="diversity",
+            technique="filter constraints",
+        ),
+        CapabilityRow(
+            optimization="similarity",
+            algorithm_family="LSH based",
+            constraints="similarity, diversity",
+            technique="fold similarity constraints, filter diversity constraints",
+        ),
+        CapabilityRow(
+            optimization="diversity",
+            algorithm_family="FDP based",
+            constraints="similarity",
+            technique="fold constraints",
+        ),
+        CapabilityRow(
+            optimization="diversity",
+            algorithm_family="FDP based",
+            constraints="diversity",
+            technique="fold constraints",
+        ),
+        CapabilityRow(
+            optimization="diversity",
+            algorithm_family="FDP based",
+            constraints="similarity, diversity",
+            technique="fold constraints",
+        ),
+    ]
+
+
+def recommend_algorithm(problem: TagDMProblem) -> str:
+    """Return the paper's recommended solver name for ``problem``.
+
+    Tag-similarity goals go to the LSH family, tag-diversity goals (and
+    any goal that mixes diversity terms) to the FDP family.  When the
+    problem carries hard constraints the folding variant is preferred;
+    without constraints the plain variant suffices.
+    """
+    family_is_fdp = problem.maximises_tag_diversity or any(
+        objective.criterion is Criterion.DIVERSITY for objective in problem.objectives
+    )
+    if family_is_fdp:
+        return "dv-fdp-fo" if problem.constraints else "dv-fdp"
+    return "sm-lsh-fo" if problem.constraints else "sm-lsh"

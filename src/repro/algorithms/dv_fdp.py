@@ -1,0 +1,244 @@
+"""DV-FDP, DV-FDP-Fi and DV-FDP-Fo (Section 5).
+
+The facility-dispersion family solves TagDM instances whose optimisation
+goal is tag *diversity* (Problems 4-6 of Table 1), and -- as the paper
+notes -- the same greedy construction extends to similarity goals by
+maximising pairwise similarity instead of distance.
+
+The shared machinery: build the ``n x n`` pairwise objective-score
+matrix over the candidate groups' tag signatures, seed with the heaviest
+pair and greedily add the group with the largest total score against the
+already-selected set (Algorithm 2), which inherits the factor-4
+approximation guarantee of the MAX-AVG dispersion heuristic (Theorem 4)
+when no hard constraints are present.
+
+Variants:
+
+* ``DV-FDP`` (:class:`DvFdpAlgorithm`) -- the pure optimisation of
+  Section 5.1: hard constraints are ignored;
+* ``DV-FDP-Fi`` -- run the greedy, then post-filter the selected set
+  for hard-constraint satisfaction, falling back to the best feasible
+  subset of the selection (Section 5.2);
+* ``DV-FDP-Fo`` -- fold the hard constraints into the greedy add step:
+  only pairwise-feasible groups may join the result (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import MiningAlgorithm, register_algorithm
+from repro.algorithms.scoring import PairwiseMatrixCache, ProblemEvaluator
+from repro.core.groups import TaggingActionGroup
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+from repro.geometry.dispersion import (
+    constrained_greedy_dispersion,
+    greedy_max_avg_dispersion,
+)
+
+__all__ = ["DvFdpAlgorithm", "DvFdpFilterAlgorithm", "DvFdpFoldAlgorithm"]
+
+
+class _BaseDvFdp(MiningAlgorithm):
+    """Shared implementation of the DV-FDP family."""
+
+    #: How hard constraints participate: "none", "filter" or "fold".
+    constraint_mode = "none"
+
+    def __init__(self, seed: int = 0, filter_pool_multiplier: int = 3) -> None:
+        # The greedy construction is deterministic; ``seed`` is accepted so
+        # the common option set of ``build_algorithm`` applies uniformly.
+        if filter_pool_multiplier < 1:
+            raise ValueError("filter_pool_multiplier must be at least 1")
+        self.seed = seed
+        self.filter_pool_multiplier = filter_pool_multiplier
+
+    # ------------------------------------------------------------------
+    def _select_indices(
+        self,
+        problem: TagDMProblem,
+        cache: PairwiseMatrixCache,
+    ) -> Tuple[Optional[List[int]], int]:
+        """Run the greedy selection; returns (indices or None, evaluations)."""
+        objective_matrix = cache.objective_matrix(problem)
+        n = objective_matrix.shape[0]
+        k = min(problem.k_hi, n)
+        evaluations = 0
+
+        if self.constraint_mode == "filter":
+            # Select a slightly larger pool greedily; the post-filter then
+            # searches that pool for the best feasible k-subset, which keeps
+            # the filtering variant from returning null on every run while
+            # staying a pure post-processing step.
+            pool_size = min(n, max(k, k * self.filter_pool_multiplier))
+            result = greedy_max_avg_dispersion(objective_matrix, pool_size)
+            evaluations += n * pool_size
+            return list(result.indices), evaluations
+
+        if self.constraint_mode == "fold":
+            constraint_matrices = cache.constraint_matrices(problem)
+            feasible = np.ones((n, n), dtype=bool)
+            for matrix, threshold, _key in constraint_matrices:
+                feasible &= matrix >= threshold
+
+            result = constrained_greedy_dispersion(
+                objective_matrix, k, feasible_matrix=feasible
+            )
+            evaluations += n * k  # greedy scans candidates each round
+            if result is not None and len(result.indices) >= min(k, problem.k_lo):
+                return list(result.indices), evaluations
+
+            # The strict per-pair folding stalled.  The actual constraint is
+            # on the *mean* pairwise score of the set, so retry with a greedy
+            # whose add step checks the aggregated constraint instead.
+            indices = self._mean_feasible_greedy(
+                objective_matrix, constraint_matrices, feasible, k
+            )
+            evaluations += n * k
+            if indices is None and result is not None:
+                return list(result.indices), evaluations
+            return indices, evaluations
+
+        result = greedy_max_avg_dispersion(objective_matrix, k)
+        evaluations += n * k
+        return list(result.indices), evaluations
+
+    @staticmethod
+    def _mean_feasible_greedy(
+        objective_matrix: np.ndarray,
+        constraint_matrices: Sequence[Tuple[np.ndarray, float, str]],
+        pair_feasible: np.ndarray,
+        k: int,
+    ) -> Optional[List[int]]:
+        """Greedy add step checking the *aggregated* constraints.
+
+        Seeds with the heaviest pair that satisfies every constraint
+        pairwise (for a pair, mean and pairwise coincide), then adds the
+        candidate with the best objective gain among those that keep the
+        mean pairwise score of every constraint at or above its threshold.
+        """
+        n = objective_matrix.shape[0]
+        seed_mask = pair_feasible.copy()
+        np.fill_diagonal(seed_mask, False)
+        if not seed_mask.any():
+            return None
+        masked = np.where(seed_mask, objective_matrix, -np.inf)
+        seed_a, seed_b = np.unravel_index(np.argmax(masked), masked.shape)
+        selected = [int(seed_a), int(seed_b)]
+        constraint_pair_sums = [
+            float(matrix[seed_a, seed_b]) for matrix, _, _ in constraint_matrices
+        ]
+
+        remaining = np.ones(n, dtype=bool)
+        remaining[selected] = False
+        while len(selected) < k and remaining.any():
+            # Pairs within the would-be set of size len(selected)+1.
+            total_pairs = (len(selected) + 1) * len(selected) // 2
+            admissible = remaining.copy()
+            for (matrix, threshold, _key), pair_sum in zip(
+                constraint_matrices, constraint_pair_sums
+            ):
+                candidate_sums = matrix[:, selected].sum(axis=1)
+                means = (pair_sum + candidate_sums) / total_pairs
+                admissible &= means >= threshold
+            if not admissible.any():
+                break
+            gains = objective_matrix[:, selected].sum(axis=1)
+            gains[~admissible] = -np.inf
+            best = int(np.argmax(gains))
+            for position, (matrix, _, _) in enumerate(constraint_matrices):
+                constraint_pair_sums[position] += float(matrix[best, selected].sum())
+            selected.append(best)
+            remaining[best] = False
+        if len(selected) < k:
+            return None
+        return selected
+
+    def _post_filter(
+        self,
+        indices: List[int],
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+    ) -> Tuple[Optional[List[int]], int]:
+        """DV-FDP-Fi post-processing: best feasible subset of the selection."""
+        evaluations = 0
+        best: Optional[List[int]] = None
+        best_objective = float("-inf")
+        for size in range(min(problem.k_hi, len(indices)), problem.k_lo - 1, -1):
+            for subset in combinations(indices, size):
+                evaluations += 1
+                evaluation = evaluator.evaluate([groups[i] for i in subset])
+                if evaluation.feasible and evaluation.objective_value > best_objective:
+                    best_objective = evaluation.objective_value
+                    best = list(subset)
+            if best is not None:
+                break
+        return best, evaluations
+
+    def _solve(
+        self,
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+    ) -> MiningResult:
+        cache = self._matrix_cache(groups, evaluator.functions)
+        indices, evaluations = self._select_indices(problem, cache)
+        metadata: Dict[str, object] = {
+            "constraint_mode": self.constraint_mode,
+            "candidate_groups": len(groups),
+        }
+
+        if indices is None:
+            metadata["failure"] = "no feasible seed pair"
+            return self._result_from_groups(problem, (), evaluator, evaluations, metadata)
+
+        if self.constraint_mode == "fold" and len(indices) < problem.k_lo:
+            # The folded greedy could not grow a feasible set of admissible
+            # size; report a null result rather than an undersized one.
+            metadata["failure"] = (
+                f"constrained greedy stalled at {len(indices)} groups "
+                f"(k_lo={problem.k_lo})"
+            )
+            return self._result_from_groups(problem, (), evaluator, evaluations, metadata)
+
+        if self.constraint_mode == "filter":
+            filtered, extra = self._post_filter(indices, problem, groups, evaluator)
+            evaluations += extra
+            if filtered is None:
+                metadata["failure"] = "post-filtering removed every subset"
+                return self._result_from_groups(
+                    problem, (), evaluator, evaluations, metadata
+                )
+            indices = filtered
+
+        chosen = [groups[i] for i in indices]
+        return self._result_from_groups(problem, chosen, evaluator, evaluations, metadata)
+
+
+@register_algorithm
+class DvFdpAlgorithm(_BaseDvFdp):
+    """DV-FDP: greedy dispersion on the objective, constraints ignored."""
+
+    name = "dv-fdp"
+    constraint_mode = "none"
+
+
+@register_algorithm
+class DvFdpFilterAlgorithm(_BaseDvFdp):
+    """DV-FDP-Fi: greedy dispersion followed by constraint post-filtering."""
+
+    name = "dv-fdp-fi"
+    constraint_mode = "filter"
+
+
+@register_algorithm
+class DvFdpFoldAlgorithm(_BaseDvFdp):
+    """DV-FDP-Fo: constraints folded into every greedy add step."""
+
+    name = "dv-fdp-fo"
+    constraint_mode = "fold"

@@ -1,0 +1,126 @@
+"""The Exact brute-force baseline (Section 3.1).
+
+Exact enumerates every candidate set of tagging-action groups whose size
+lies within the problem's ``[k_lo, k_hi]`` bounds, checks the hard
+constraints on each, and returns the feasible set with the maximum
+optimisation score.  The number of candidate sets is
+``sum_k C(n, k)`` and grows combinatorially with the number of candidate
+groups ``n``, which is exactly why the paper develops the LSH and FDP
+heuristics; the class guards against accidental blow-ups with an
+explicit ``max_candidates`` cap.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import MiningAlgorithm, register_algorithm
+from repro.algorithms.scoring import PairwiseMatrixCache, ProblemEvaluator
+from repro.core.groups import TaggingActionGroup
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+
+__all__ = ["ExactAlgorithm"]
+
+
+@register_algorithm
+class ExactAlgorithm(MiningAlgorithm):
+    """Exhaustive enumeration of candidate group sets.
+
+    Parameters
+    ----------
+    max_candidates:
+        Upper bound on the number of candidate sets that will be
+        enumerated; exceeding it raises ``ValueError`` instead of
+        silently running for hours.
+    """
+
+    name = "exact"
+
+    def __init__(self, max_candidates: int = 2_000_000) -> None:
+        if max_candidates <= 0:
+            raise ValueError("max_candidates must be positive")
+        self.max_candidates = max_candidates
+
+    def _candidate_count(self, n_groups: int, problem: TagDMProblem) -> int:
+        k_hi = min(problem.k_hi, n_groups)
+        return sum(comb(n_groups, k) for k in range(problem.k_lo, k_hi + 1))
+
+    def _solve(
+        self,
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+    ) -> MiningResult:
+        n = len(groups)
+        total_candidates = self._candidate_count(n, problem)
+        if total_candidates > self.max_candidates:
+            raise ValueError(
+                f"Exact would enumerate {total_candidates} candidate sets over "
+                f"{n} groups, exceeding max_candidates={self.max_candidates}; "
+                "reduce the candidate group count or use a heuristic algorithm"
+            )
+
+        cache = self._matrix_cache(groups, evaluator.functions)
+        objective_matrix = cache.objective_matrix(problem)
+        constraint_matrices = cache.constraint_matrices(problem)
+
+        best_indices: Optional[Tuple[int, ...]] = None
+        best_objective = float("-inf")
+        evaluations = 0
+
+        k_hi = min(problem.k_hi, n)
+        for k in range(problem.k_lo, k_hi + 1):
+            for subset in combinations(range(n), k):
+                evaluations += 1
+                if cache.subset_support(subset) < problem.min_support:
+                    continue
+                if not self._constraints_hold(subset, constraint_matrices, problem):
+                    continue
+                objective = self._subset_objective(subset, objective_matrix, problem)
+                if objective > best_objective:
+                    best_objective = objective
+                    best_indices = subset
+
+        metadata: Dict[str, object] = {
+            "candidates_enumerated": evaluations,
+            "candidate_groups": n,
+        }
+        if best_indices is None:
+            return self._result_from_groups(problem, (), evaluator, evaluations, metadata)
+        chosen = [groups[i] for i in best_indices]
+        return self._result_from_groups(problem, chosen, evaluator, evaluations, metadata)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _subset_objective(
+        subset: Sequence[int], objective_matrix, problem: TagDMProblem
+    ) -> float:
+        """Mean pairwise objective score of a subset (singleton handling
+        mirrors :class:`PairwiseAggregationFunction`)."""
+        if len(subset) < 2:
+            # The diagonal of each objective matrix already encodes the
+            # singleton convention (1 for similarity, 0 for diversity),
+            # weighted and summed across objectives.
+            index = subset[0]
+            return float(objective_matrix[index, index])
+        values = [objective_matrix[a, b] for a, b in combinations(subset, 2)]
+        return float(sum(values) / len(values))
+
+    @staticmethod
+    def _constraints_hold(
+        subset: Sequence[int],
+        constraint_matrices: List[Tuple],
+        problem: TagDMProblem,
+    ) -> bool:
+        for matrix, threshold, _key in constraint_matrices:
+            if len(subset) < 2:
+                score = float(matrix[subset[0], subset[0]])
+            else:
+                values = [matrix[a, b] for a, b in combinations(subset, 2)]
+                score = float(sum(values) / len(values))
+            if score < threshold:
+                return False
+        return True

@@ -1,0 +1,223 @@
+"""Evaluating TagDM problems over candidate group sets.
+
+Every algorithm needs the same three judgements about a candidate set of
+tagging-action groups: the optimisation score (weighted sum of the
+objective dual-mining functions), the per-constraint scores, and overall
+feasibility (constraints + group support + group-count bounds).
+:class:`ProblemEvaluator` centralises those judgements, and
+:class:`PairwiseMatrixCache` precomputes the pairwise comparison matrices
+the Exact baseline and the FDP algorithms iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.functions import FunctionSuite
+from repro.core.groups import TaggingActionGroup, group_support
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import TagDMProblem
+
+__all__ = ["GroupSetEvaluation", "ProblemEvaluator", "PairwiseMatrixCache"]
+
+
+@dataclass(frozen=True)
+class GroupSetEvaluation:
+    """Full evaluation of one candidate group set."""
+
+    objective_value: float
+    constraint_scores: Dict[str, float]
+    support: int
+    size_ok: bool
+    support_ok: bool
+    constraints_ok: bool
+
+    @property
+    def feasible(self) -> bool:
+        """All hard requirements hold simultaneously."""
+        return self.size_ok and self.support_ok and self.constraints_ok
+
+
+class ProblemEvaluator:
+    """Score candidate group sets against one problem specification."""
+
+    def __init__(self, problem: TagDMProblem, functions: FunctionSuite) -> None:
+        self.problem = problem
+        self.functions = functions
+
+    # ------------------------------------------------------------------
+    def objective_value(self, groups: Sequence[TaggingActionGroup]) -> float:
+        """Weighted sum of objective scores (the quantity to maximise)."""
+        total = 0.0
+        for objective in self.problem.objectives:
+            total += objective.weight * self.functions.score(
+                groups, objective.dimension, objective.criterion
+            )
+        return total
+
+    def constraint_scores(self, groups: Sequence[TaggingActionGroup]) -> Dict[str, float]:
+        """Achieved score of every constraint, keyed ``dimension.criterion``."""
+        scores: Dict[str, float] = {}
+        for constraint in self.problem.constraints:
+            key = f"{constraint.dimension.value}.{constraint.criterion.value}"
+            scores[key] = self.functions.score(
+                groups, constraint.dimension, constraint.criterion
+            )
+        return scores
+
+    def evaluate(self, groups: Sequence[TaggingActionGroup]) -> GroupSetEvaluation:
+        """Evaluate objective, constraints, support and size bounds."""
+        groups = list(groups)
+        size_ok = self.problem.k_lo <= len(groups) <= self.problem.k_hi
+        support = group_support(groups)
+        support_ok = support >= self.problem.min_support
+        scores = self.constraint_scores(groups)
+        constraints_ok = all(
+            scores[f"{c.dimension.value}.{c.criterion.value}"] >= c.threshold
+            for c in self.problem.constraints
+        )
+        return GroupSetEvaluation(
+            objective_value=self.objective_value(groups),
+            constraint_scores=scores,
+            support=support,
+            size_ok=size_ok,
+            support_ok=support_ok,
+            constraints_ok=constraints_ok,
+        )
+
+    def is_feasible(self, groups: Sequence[TaggingActionGroup]) -> bool:
+        """Shorthand for ``evaluate(groups).feasible``."""
+        return self.evaluate(groups).feasible
+
+
+class PairwiseMatrixCache:
+    """Precomputed pairwise comparison matrices over a fixed group list.
+
+    For ``n`` candidate groups the cache materialises, on demand, the
+    ``(n, n)`` matrix of pairwise scores for a (dimension, criterion)
+    pair.  Subset scores under mean aggregation then reduce to averaging
+    matrix entries, which is what makes the Exact baseline and the FDP
+    greedy loops tractable.
+    """
+
+    def __init__(
+        self, groups: Sequence[TaggingActionGroup], functions: FunctionSuite
+    ) -> None:
+        self.groups = list(groups)
+        self.functions = functions
+        self._matrices: Dict[Tuple[Dimension, Criterion], np.ndarray] = {}
+        self._sizes = np.array([group.support for group in self.groups], dtype=np.int64)
+        self._disjoint: Optional[bool] = None
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    # ------------------------------------------------------------------
+    def matrix(self, dimension: Dimension, criterion: Criterion) -> np.ndarray:
+        """Return (building if needed) the pairwise score matrix."""
+        key = (dimension, criterion)
+        cached = self._matrices.get(key)
+        if cached is not None:
+            return cached
+        builder = self.functions.matrix_builder_for(dimension)
+        opposite = self._matrices.get((dimension, criterion.opposite))
+        if builder is not None and opposite is not None:
+            # The vectorised builders define diversity as 1 - similarity, so
+            # the opposite criterion's matrix can be derived for free.
+            matrix = 1.0 - opposite
+        elif builder is not None:
+            matrix = np.asarray(builder(self.groups, dimension, criterion), dtype=float)
+        elif dimension is Dimension.TAGS and self._all_groups_have_signatures():
+            matrix = self._tag_matrix(criterion)
+        else:
+            matrix = self._generic_matrix(dimension, criterion)
+        # The diagonal is never used by mean-over-distinct-pairs scoring,
+        # but a self-comparison is maximally similar by definition.
+        fill = 1.0 if criterion is Criterion.SIMILARITY else 0.0
+        np.fill_diagonal(matrix, fill)
+        self._matrices[key] = matrix
+        return matrix
+
+    def _all_groups_have_signatures(self) -> bool:
+        return all(group.has_signature() for group in self.groups)
+
+    def _tag_matrix(self, criterion: Criterion) -> np.ndarray:
+        """Vectorised tag pairwise matrix (cosine over stacked signatures).
+
+        Matches :func:`repro.core.functions.tag_signature_pairwise`:
+        similarity is clipped at zero, diversity is its complement.
+        """
+        from repro.geometry.distance import pairwise_cosine_similarity
+
+        signatures = np.vstack([group.require_signature() for group in self.groups])
+        similarity = np.clip(pairwise_cosine_similarity(signatures), 0.0, 1.0)
+        if criterion is Criterion.SIMILARITY:
+            return similarity
+        return 1.0 - similarity
+
+    def _generic_matrix(self, dimension: Dimension, criterion: Criterion) -> np.ndarray:
+        n = len(self.groups)
+        matrix = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                score = self.functions.pairwise(
+                    self.groups[i], self.groups[j], dimension, criterion
+                )
+                matrix[i, j] = score
+                matrix[j, i] = score
+        return matrix
+
+    def subset_mean(
+        self, indices: Sequence[int], dimension: Dimension, criterion: Criterion
+    ) -> float:
+        """Mean pairwise score of the subset (1.0/0.0 for singletons)."""
+        if len(indices) < 2:
+            return 1.0 if criterion is Criterion.SIMILARITY else 0.0
+        matrix = self.matrix(dimension, criterion)
+        values = [matrix[a, b] for a, b in combinations(indices, 2)]
+        return float(np.mean(values))
+
+    # ------------------------------------------------------------------
+    @property
+    def groups_are_disjoint(self) -> bool:
+        """Whether the candidate groups have pairwise disjoint tuple sets.
+
+        Full-conjunction enumeration yields disjoint groups, in which
+        case subset support is simply the sum of group sizes.
+        """
+        if self._disjoint is None:
+            union_size = len(
+                set().union(*(group.tuple_indices for group in self.groups))
+            ) if self.groups else 0
+            self._disjoint = union_size == int(self._sizes.sum())
+        return self._disjoint
+
+    def subset_support(self, indices: Sequence[int]) -> int:
+        """Group support (Definition 1) of the subset."""
+        if self.groups_are_disjoint:
+            return int(self._sizes[list(indices)].sum())
+        return group_support([self.groups[i] for i in indices])
+
+    def objective_matrix(self, problem: TagDMProblem) -> np.ndarray:
+        """Weighted sum of objective matrices (pairwise objective scores)."""
+        n = len(self.groups)
+        total = np.zeros((n, n), dtype=float)
+        for objective in problem.objectives:
+            total += objective.weight * self.matrix(objective.dimension, objective.criterion)
+        return total
+
+    def constraint_matrices(
+        self, problem: TagDMProblem
+    ) -> List[Tuple[np.ndarray, float, str]]:
+        """Pairwise matrix, threshold and key for every constraint."""
+        out: List[Tuple[np.ndarray, float, str]] = []
+        for constraint in problem.constraints:
+            key = f"{constraint.dimension.value}.{constraint.criterion.value}"
+            out.append(
+                (self.matrix(constraint.dimension, constraint.criterion), constraint.threshold, key)
+            )
+        return out

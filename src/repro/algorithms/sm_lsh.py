@@ -1,0 +1,341 @@
+"""SM-LSH, SM-LSH-Fi and SM-LSH-Fo (Section 4).
+
+The LSH family solves TagDM instances whose optimisation goal is tag
+*similarity* (Problems 1-3 of Table 1).  The shared machinery:
+
+1. every candidate group is represented by its tag signature vector
+   (optionally concatenated with a one-hot encoding of its user/item
+   description -- the *folding* of Section 4.3);
+2. the vectors are hashed into ``l`` tables of ``d'``-bit buckets using
+   the random-hyperplane scheme of Theorem 2;
+3. instead of nearest-neighbour lookups, whole buckets are treated as
+   candidate result sets, ranked by the optimisation score, and the best
+   feasible bucket wins;
+4. if no bucket yields a feasible set, the bit width ``d'`` is relaxed
+   (halved) and the search repeats -- coarser buckets hold more groups.
+
+Variants:
+
+* ``SM-LSH`` (:class:`SmLshAlgorithm` with ``constraint_mode="none"``)
+  ignores the hard user/item constraints (the pure optimisation of
+  Section 4.1);
+* ``SM-LSH-Fi`` filters buckets for full constraint satisfaction after
+  hashing (Section 4.2);
+* ``SM-LSH-Fo`` folds the similarity constraints into the hashed vectors
+  and filters only the remaining constraints (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import MiningAlgorithm, register_algorithm
+from repro.algorithms.scoring import ProblemEvaluator
+from repro.core.groups import TaggingActionGroup  # noqa: F401 (used in annotations)
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+from repro.core.signatures import signature_matrix
+from repro.index.lsh import CosineLshIndex
+
+__all__ = ["SmLshAlgorithm", "SmLshFilterAlgorithm", "SmLshFoldAlgorithm"]
+
+
+def _one_hot_descriptions(
+    groups: Sequence[TaggingActionGroup], dimensions: Sequence[Dimension]
+) -> np.ndarray:
+    """One-hot encode the group descriptions over the folded dimensions.
+
+    The slots are learned from the descriptions themselves (every
+    ``(column, value)`` pair present in any candidate group), which keeps
+    the encoder independent of the originating dataset.
+    """
+    prefixes = []
+    if Dimension.USERS in dimensions:
+        prefixes.append("user.")
+    if Dimension.ITEMS in dimensions:
+        prefixes.append("item.")
+    slots: Dict[Tuple[str, str], int] = {}
+    for group in groups:
+        for column, value in group.description.predicates:
+            if any(column.startswith(prefix) for prefix in prefixes):
+                slots.setdefault((column, value), len(slots))
+    matrix = np.zeros((len(groups), max(1, len(slots))), dtype=float)
+    if not slots:
+        return matrix
+    for row, group in enumerate(groups):
+        for column, value in group.description.predicates:
+            slot = slots.get((column, value))
+            if slot is not None:
+                matrix[row, slot] = 1.0
+    return matrix
+
+
+class _BaseSmLsh(MiningAlgorithm):
+    """Shared implementation of the SM-LSH family."""
+
+    #: How hard constraints participate: "none", "filter" or "fold".
+    constraint_mode = "none"
+
+    def __init__(
+        self,
+        n_bits: int = 10,
+        n_tables: int = 1,
+        seed: int = 0,
+        max_relaxations: int = 8,
+        max_subsets_per_bucket: int = 256,
+    ) -> None:
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        if n_tables <= 0:
+            raise ValueError("n_tables must be positive")
+        if max_relaxations < 1:
+            raise ValueError("max_relaxations must be at least 1")
+        if max_subsets_per_bucket < 1:
+            raise ValueError("max_subsets_per_bucket must be at least 1")
+        self.n_bits = n_bits
+        self.n_tables = n_tables
+        self.seed = seed
+        self.max_relaxations = max_relaxations
+        self.max_subsets_per_bucket = max_subsets_per_bucket
+
+    # ------------------------------------------------------------------
+    def _vectors(
+        self, problem: TagDMProblem, groups: Sequence[TaggingActionGroup]
+    ) -> np.ndarray:
+        """The vectors to hash: signatures, plus folded constraints if any."""
+        signatures = signature_matrix(groups)
+        if self.constraint_mode != "fold":
+            return signatures
+        folded_dimensions = [
+            constraint.dimension
+            for constraint in problem.constraints
+            if constraint.criterion is Criterion.SIMILARITY
+            and constraint.dimension in (Dimension.USERS, Dimension.ITEMS)
+        ]
+        if not folded_dimensions:
+            return signatures
+        one_hot = _one_hot_descriptions(groups, folded_dimensions)
+        return np.hstack([one_hot, signatures])
+
+    def _candidate_sets_from_bucket(
+        self,
+        members: List[int],
+        vectors: np.ndarray,
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+        pair_cache: Dict[Tuple[int, int], bool],
+    ) -> List[List[int]]:
+        """Turn one bucket into candidate result sets of admissible size.
+
+        Buckets no larger than ``k_hi`` are candidates as-is.  Larger
+        buckets are post-processed (Sections 4.1-4.2 "check each bucket,
+        then rank"): the members closest to the bucket centroid are kept
+        and up to ``max_subsets_per_bucket`` of their ``k_hi``-subsets are
+        emitted; in the constraint-aware modes a pairwise-feasible greedy
+        over the bucket adds further candidates, so hard-constraint
+        filtering has several chances per bucket instead of exactly one.
+        """
+        from itertools import combinations, islice
+        from math import comb
+
+        k_lo, k_hi = problem.k_lo, problem.k_hi
+        if len(members) < k_lo:
+            return []
+        if len(members) <= k_hi:
+            return [list(members)]
+
+        bucket_vectors = vectors[members]
+        centroid = bucket_vectors.mean(axis=0)
+        norms = np.linalg.norm(bucket_vectors, axis=1) * (np.linalg.norm(centroid) or 1.0)
+        norms[norms == 0] = 1.0
+        similarity_to_centroid = bucket_vectors @ centroid / norms
+        order = np.argsort(similarity_to_centroid)[::-1]
+        ordered_members = [members[i] for i in order]
+
+        # Keep only enough top members that the subset budget is respected.
+        pool_size = k_hi
+        while pool_size < len(members):
+            if comb(pool_size + 1, k_hi) > self.max_subsets_per_bucket:
+                break
+            pool_size += 1
+        pool = ordered_members[:pool_size]
+        candidates = [
+            list(subset)
+            for subset in islice(combinations(pool, k_hi), self.max_subsets_per_bucket)
+        ]
+
+        if self.constraint_mode != "none":
+            candidates.extend(
+                self._greedy_feasible_candidates(
+                    ordered_members, problem, groups, evaluator, pair_cache
+                )
+            )
+        return candidates
+
+    def _greedy_feasible_candidates(
+        self,
+        ordered_members: List[int],
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+        pair_cache: Dict[Tuple[int, int], bool],
+        max_seeds: int = 16,
+    ) -> List[List[int]]:
+        """Grow pairwise-constraint-feasible sets inside one bucket.
+
+        Starting from each of the first ``max_seeds`` members (in
+        centroid order), greedily add further bucket members that keep
+        every hard constraint satisfied pairwise.  This is the
+        bucket-level analogue of the DV-FDP-Fo folding step and is what
+        lets the filtering/folding LSH variants find feasible sets inside
+        large, heterogeneous buckets.
+        """
+        constraints = problem.constraints
+        if not constraints:
+            return []
+
+        def pair_ok(a: int, b: int) -> bool:
+            key = (a, b) if a < b else (b, a)
+            cached = pair_cache.get(key)
+            if cached is not None:
+                return cached
+            ok = all(
+                evaluator.functions.pairwise(
+                    groups[a], groups[b], constraint.dimension, constraint.criterion
+                )
+                >= constraint.threshold
+                for constraint in constraints
+            )
+            pair_cache[key] = ok
+            return ok
+
+        k_lo, k_hi = problem.k_lo, problem.k_hi
+        candidates: List[List[int]] = []
+        for seed in ordered_members[:max_seeds]:
+            selected = [seed]
+            for member in ordered_members:
+                if member in selected:
+                    continue
+                if all(pair_ok(member, chosen) for chosen in selected):
+                    selected.append(member)
+                    if len(selected) == k_hi:
+                        break
+            if len(selected) >= k_lo and selected not in candidates:
+                candidates.append(selected)
+        return candidates
+
+    def _bucket_feasible(
+        self,
+        candidate: List[int],
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+    ) -> Tuple[bool, float]:
+        """Check the candidate set and return (feasible, objective)."""
+        chosen = [groups[i] for i in candidate]
+        evaluation = evaluator.evaluate(chosen)
+        if self.constraint_mode == "none":
+            feasible = evaluation.size_ok
+        else:
+            feasible = evaluation.feasible
+        return feasible, evaluation.objective_value
+
+    def _solve(
+        self,
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+    ) -> MiningResult:
+        vectors = self._vectors(problem, groups)
+        n_dimensions = vectors.shape[1]
+        evaluations = 0
+        relaxations = 0
+        bits = min(self.n_bits, max(1, n_dimensions))
+
+        best_candidate: Optional[List[int]] = None
+        best_objective = float("-inf")
+        bits_used = bits
+        pair_cache: Dict[Tuple[int, int], bool] = {}
+
+        while relaxations < self.max_relaxations:
+            index = CosineLshIndex(
+                n_dimensions=n_dimensions,
+                n_bits=bits,
+                n_tables=self.n_tables,
+                seed=self.seed,
+            ).build(vectors)
+
+            for bucket in index.buckets():
+                for candidate in self._candidate_sets_from_bucket(
+                    list(bucket.members), vectors, problem, groups, evaluator, pair_cache
+                ):
+                    evaluations += 1
+                    feasible, objective = self._bucket_feasible(
+                        candidate, groups, evaluator
+                    )
+                    if feasible and objective > best_objective:
+                        best_objective = objective
+                        best_candidate = candidate
+                        bits_used = bits
+
+            if best_candidate is not None:
+                break
+            # Iterative relaxation: halve the signature width so more
+            # groups collide, then retry (Section 4.1).
+            if bits == 1:
+                break
+            bits = max(1, bits // 2)
+            relaxations += 1
+
+        if best_candidate is None:
+            # Terminal relaxation: with zero hash bits every group falls in
+            # one bucket, so post-process the whole candidate set once.
+            for candidate in self._candidate_sets_from_bucket(
+                list(range(len(groups))), vectors, problem, groups, evaluator, pair_cache
+            ):
+                evaluations += 1
+                feasible, objective = self._bucket_feasible(candidate, groups, evaluator)
+                if feasible and objective > best_objective:
+                    best_objective = objective
+                    best_candidate = candidate
+                    bits_used = 0
+
+        metadata: Dict[str, object] = {
+            "n_bits_initial": self.n_bits,
+            "n_bits_used": bits_used if best_candidate is not None else bits,
+            "n_tables": self.n_tables,
+            "relaxations": relaxations,
+            "vector_dimensions": n_dimensions,
+            "constraint_mode": self.constraint_mode,
+        }
+        if best_candidate is None:
+            return self._result_from_groups(problem, (), evaluator, evaluations, metadata)
+        chosen = [groups[i] for i in best_candidate]
+        return self._result_from_groups(problem, chosen, evaluator, evaluations, metadata)
+
+
+@register_algorithm
+class SmLshAlgorithm(_BaseSmLsh):
+    """SM-LSH: maximise tag similarity, ignore hard user/item constraints."""
+
+    name = "sm-lsh"
+    constraint_mode = "none"
+
+
+@register_algorithm
+class SmLshFilterAlgorithm(_BaseSmLsh):
+    """SM-LSH-Fi: filter buckets for hard-constraint satisfaction."""
+
+    name = "sm-lsh-fi"
+    constraint_mode = "filter"
+
+
+@register_algorithm
+class SmLshFoldAlgorithm(_BaseSmLsh):
+    """SM-LSH-Fo: fold similarity constraints into the hashed vectors."""
+
+    name = "sm-lsh-fo"
+    constraint_mode = "fold"

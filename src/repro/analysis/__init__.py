@@ -1,0 +1,37 @@
+"""High-level analysis tasks on top of the TagDM framework.
+
+Section 6.2 of the paper evaluates TagDM qualitatively: query-scoped
+analyses ("analyse user tagging behaviour for Spielberg war movies"),
+anecdotal case studies contrasting the tag usage of the returned groups,
+and an Amazon Mechanical Turk user study comparing the six Table 1
+problem instantiations.  This package provides those layers:
+
+* :mod:`repro.analysis.queries` -- scope a dataset with a conjunctive
+  query, run a TagDM problem on it and report the groups with their tag
+  clouds;
+* :mod:`repro.analysis.casestudy` -- narrative contrasts between the
+  returned groups (shared tags, distinguishing tags);
+* :mod:`repro.analysis.userstudy` -- a simulated user study that stands
+  in for the paper's AMT experiment (Figure 9).
+"""
+
+from repro.analysis.queries import AnalysisQuery, GroupReport, AnalysisReport, analyze
+from repro.analysis.casestudy import CaseStudy, build_case_study, render_case_study
+from repro.analysis.userstudy import (
+    JudgeProfile,
+    SimulatedUserStudy,
+    UserStudyOutcome,
+)
+
+__all__ = [
+    "AnalysisQuery",
+    "GroupReport",
+    "AnalysisReport",
+    "analyze",
+    "CaseStudy",
+    "build_case_study",
+    "render_case_study",
+    "JudgeProfile",
+    "SimulatedUserStudy",
+    "UserStudyOutcome",
+]

@@ -1,0 +1,91 @@
+"""Case-study narratives contrasting the returned groups.
+
+Section 6.2.1 of the paper presents anecdotal results of the form
+"old male and young female users use diverse sets of tags for Spielberg
+war movies": the interesting content is *how* the returned groups'
+tag usage overlaps and differs.  :func:`build_case_study` turns an
+:class:`~repro.analysis.queries.AnalysisReport` into that narrative:
+per-pair shared tags, per-group distinguishing tags and a compact
+rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from repro.analysis.queries import AnalysisReport
+
+__all__ = ["GroupContrast", "CaseStudy", "build_case_study", "render_case_study"]
+
+
+@dataclass
+class GroupContrast:
+    """Contrast between one pair of returned groups."""
+
+    group_a: str
+    group_b: str
+    shared_tags: List[str]
+    only_a: List[str]
+    only_b: List[str]
+
+    def describe(self, max_tags: int = 5) -> str:
+        """One-paragraph description of the contrast."""
+        shared = ", ".join(self.shared_tags[:max_tags]) or "(none)"
+        a_only = ", ".join(self.only_a[:max_tags]) or "(none)"
+        b_only = ", ".join(self.only_b[:max_tags]) or "(none)"
+        return (
+            f"{self.group_a} vs {self.group_b}: shared tags [{shared}]; "
+            f"distinctive for the former [{a_only}]; "
+            f"distinctive for the latter [{b_only}]"
+        )
+
+
+@dataclass
+class CaseStudy:
+    """A full case study: the analysis plus pairwise group contrasts."""
+
+    title: str
+    report: AnalysisReport
+    contrasts: List[GroupContrast] = field(default_factory=list)
+
+    @property
+    def has_findings(self) -> bool:
+        """Whether the underlying analysis returned at least two groups."""
+        return len(self.report.groups) >= 2
+
+
+def build_case_study(report: AnalysisReport, top_n: int = 15) -> CaseStudy:
+    """Derive pairwise tag-usage contrasts from an analysis report.
+
+    ``top_n`` controls how many of each group's most frequent tags
+    participate in the comparison (mirroring how the paper reasons over
+    the prominent part of a tag cloud rather than its long tail).
+    """
+    contrasts: List[GroupContrast] = []
+    for report_a, report_b in combinations(report.groups, 2):
+        top_a = [tag for tag, _ in report_a.top_tags[:top_n]]
+        top_b = [tag for tag, _ in report_b.top_tags[:top_n]]
+        set_a, set_b = set(top_a), set(top_b)
+        contrasts.append(
+            GroupContrast(
+                group_a=report_a.description,
+                group_b=report_b.description,
+                shared_tags=[tag for tag in top_a if tag in set_b],
+                only_a=[tag for tag in top_a if tag not in set_b],
+                only_b=[tag for tag in top_b if tag not in set_a],
+            )
+        )
+    return CaseStudy(title=report.query.title, report=report, contrasts=contrasts)
+
+
+def render_case_study(case_study: CaseStudy, max_tags: int = 5) -> str:
+    """Readable multi-line rendering of a case study."""
+    lines = [f"# Case study: {case_study.title}"]
+    lines.append(case_study.report.render(max_tags=max_tags))
+    if not case_study.contrasts:
+        lines.append("(fewer than two groups returned; no contrast to report)")
+    for contrast in case_study.contrasts:
+        lines.append("* " + contrast.describe(max_tags=max_tags))
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Query-scoped tagging behaviour analysis.
+
+Section 6.1 of the paper points out that the number of input tagging
+tuples depends on the query under consideration ("all movies tagged by
+{gender=male}", "all users who tagged {genre=drama} movies", ...), and
+Section 6.2 builds its qualitative evaluation around such queries.
+:class:`AnalysisQuery` captures one query; :func:`analyze` scopes the
+dataset, prepares a TagDM session over the scoped tuples, solves the
+requested problem and returns an :class:`AnalysisReport` whose per-group
+entries carry tag clouds ready for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.core.problem import TagDMProblem, table1_problem
+from repro.core.result import MiningResult
+from repro.dataset.store import TaggingDataset
+from repro.text.tagcloud import TagCloud, build_tag_cloud
+
+__all__ = ["AnalysisQuery", "GroupReport", "AnalysisReport", "analyze"]
+
+
+@dataclass(frozen=True)
+class AnalysisQuery:
+    """One analysis query: a scope plus a problem selection.
+
+    Attributes
+    ----------
+    predicates:
+        Conjunctive predicate over prefixed columns scoping the input
+        tuples (e.g. ``{"item.genre": "war"}``); empty means the whole
+        dataset.
+    problem:
+        Either a Table 1 problem id (1-6) or a full
+        :class:`TagDMProblem`.
+    title:
+        Human-readable description used in reports.
+    """
+
+    predicates: Tuple[Tuple[str, str], ...]
+    problem: Union[int, TagDMProblem]
+    title: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        predicates: Mapping[str, str],
+        problem: Union[int, TagDMProblem],
+        title: str = "",
+    ) -> "AnalysisQuery":
+        """Build a query from a predicate mapping."""
+        items = tuple(sorted((str(k), str(v)) for k, v in predicates.items()))
+        if not title:
+            scope = ", ".join(f"{k}={v}" for k, v in items) or "all tagging actions"
+            title = f"analysis of {scope}"
+        return cls(predicates=items, problem=problem, title=title)
+
+    def predicate_dict(self) -> Dict[str, str]:
+        """The scope predicates as a dictionary."""
+        return dict(self.predicates)
+
+
+@dataclass
+class GroupReport:
+    """One returned group with its tag cloud and description."""
+
+    description: str
+    support: int
+    top_tags: List[Tuple[str, int]]
+    cloud: TagCloud
+
+    def headline(self, n_tags: int = 5) -> str:
+        """A one-line summary: description plus its most frequent tags."""
+        tags = ", ".join(tag for tag, _ in self.top_tags[:n_tags])
+        return f"{self.description}: ({tags})"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one query-scoped analysis."""
+
+    query: AnalysisQuery
+    result: MiningResult
+    scoped_tuples: int
+    groups: List[GroupReport] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the underlying mining result satisfied all constraints."""
+        return self.result.feasible
+
+    def render(self, max_tags: int = 8) -> str:
+        """Readable multi-line rendering of the analysis."""
+        lines = [f"## {self.query.title}"]
+        lines.append(
+            f"scoped tuples: {self.scoped_tuples}; problem: {self.result.problem.name}; "
+            f"algorithm: {self.result.algorithm}; objective: {self.result.objective_value:.3f}"
+        )
+        if not self.groups:
+            lines.append("(no feasible group set found)")
+        for report in self.groups:
+            tags = ", ".join(f"{tag}({count})" for tag, count in report.top_tags[:max_tags])
+            lines.append(f"- {report.description} [n={report.support}]: {tags}")
+        return "\n".join(lines)
+
+
+def analyze(
+    dataset: TaggingDataset,
+    query: AnalysisQuery,
+    algorithm: str = "auto",
+    k: int = 3,
+    min_support: Optional[int] = None,
+    support_fraction: float = 0.01,
+    enumeration: Optional[GroupEnumerationConfig] = None,
+    signature_backend: str = "frequency",
+    signature_dimensions: int = 25,
+    seed: int = 0,
+    session: Optional[TagDM] = None,
+) -> AnalysisReport:
+    """Run one query-scoped TagDM analysis.
+
+    The dataset is filtered by the query predicates, a session is
+    prepared over the scoped tuples (unless a pre-built ``session`` is
+    supplied), the problem is solved with ``algorithm`` and the returned
+    groups are summarised as frequency tag clouds.
+    """
+    predicates = query.predicate_dict()
+    scoped = dataset.filter(predicates) if predicates else dataset
+    if scoped.n_actions == 0:
+        raise ValueError(f"query {query.title!r} matches no tagging actions")
+
+    if session is None:
+        config = enumeration
+        if config is None:
+            min_sup_groups = max(2, min(5, scoped.n_actions // 50 or 2))
+            config = GroupEnumerationConfig(min_support=min_sup_groups)
+        session = TagDM(
+            scoped,
+            enumeration=config,
+            signature_backend=signature_backend,
+            signature_dimensions=signature_dimensions,
+            seed=seed,
+        ).prepare()
+
+    if isinstance(query.problem, TagDMProblem):
+        problem = query.problem
+    else:
+        support = (
+            min_support
+            if min_support is not None
+            else max(1, int(round(support_fraction * scoped.n_actions)))
+        )
+        problem = table1_problem(int(query.problem), k=k, min_support=support)
+
+    result = session.solve(problem, algorithm=algorithm)
+
+    groups: List[GroupReport] = []
+    for group in result.groups:
+        cloud = build_tag_cloud(group.tags, title=str(group.description))
+        groups.append(
+            GroupReport(
+                description=str(group.description),
+                support=group.support,
+                top_tags=[(entry.tag, entry.count) for entry in cloud.entries],
+                cloud=cloud,
+            )
+        )
+    return AnalysisReport(
+        query=query,
+        result=result,
+        scoped_tuples=scoped.n_actions,
+        groups=groups,
+    )

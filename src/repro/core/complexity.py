@@ -1,0 +1,203 @@
+"""NP-completeness machinery: the CBS -> TagDM reduction of Section 3.
+
+Theorem 1 of the paper proves the decision version of TagDM NP-Complete
+by reduction from the Complete Bipartite Subgraph problem (CBS): given a
+bipartite graph ``G' = (V1, V2, E)`` and sizes ``n1 <= |V1|``,
+``n2 <= |V2|``, do there exist subsets of sizes ``n1`` and ``n2`` whose
+induced subgraph is complete bipartite?
+
+The construction: one user per ``V1`` vertex, one user attribute per
+``V2`` vertex; attribute ``a_j`` of user ``u_i`` is ``1`` when the edge
+``{v_i, v_j}`` exists and a globally unique filler value otherwise.  A
+single item and a single tag make the item/tag dimensions trivial.  CBS
+has a solution iff there are ``n1`` users sharing identical values on at
+least ``n2`` attributes, i.e. iff the constructed TagDM instance has a
+feasible set with user-similarity (shared-attribute count) at least
+``n2 * C(n1, 2)``.
+
+This module implements the construction plus brute-force deciders for
+both sides, so tests can verify the "if and only if" on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.dataset.store import TaggingDataset
+
+__all__ = [
+    "CbsInstance",
+    "TagDMReduction",
+    "reduce_cbs_to_tagdm",
+    "has_complete_bipartite_subgraph",
+    "decide_reduced_tagdm",
+    "pairwise_shared_attribute_count",
+    "random_bipartite_instance",
+]
+
+
+@dataclass(frozen=True)
+class CbsInstance:
+    """A Complete Bipartite Subgraph decision instance."""
+
+    graph: nx.Graph
+    left: Tuple[str, ...]
+    right: Tuple[str, ...]
+    n1: int
+    n2: int
+
+    def __post_init__(self) -> None:
+        if self.n1 < 1 or self.n1 > len(self.left):
+            raise ValueError("n1 must satisfy 1 <= n1 <= |V1|")
+        if self.n2 < 1 or self.n2 > len(self.right):
+            raise ValueError("n2 must satisfy 1 <= n2 <= |V2|")
+
+
+@dataclass
+class TagDMReduction:
+    """The TagDM instance produced by the reduction, plus its parameters.
+
+    ``similarity_threshold`` is the value ``n2 * C(n1, 2)`` that the
+    (un-normalised, shared-attribute-count) user similarity of the
+    returned group set must reach.
+    """
+
+    dataset: TaggingDataset
+    user_ids: Tuple[str, ...]
+    attribute_names: Tuple[str, ...]
+    k: int
+    min_support: int
+    similarity_threshold: int
+    source: CbsInstance
+
+
+def has_complete_bipartite_subgraph(instance: CbsInstance) -> bool:
+    """Brute-force CBS decision (exponential; only for small instances)."""
+    graph = instance.graph
+    for left_subset in combinations(instance.left, instance.n1):
+        # Candidate right vertices: adjacent to every chosen left vertex.
+        candidates = [
+            right
+            for right in instance.right
+            if all(graph.has_edge(left, right) for left in left_subset)
+        ]
+        if len(candidates) >= instance.n2:
+            return True
+    return False
+
+
+def reduce_cbs_to_tagdm(instance: CbsInstance) -> TagDMReduction:
+    """Construct the TagDM instance of Theorem 1 from a CBS instance."""
+    attribute_names = tuple(f"a_{right}" for right in instance.right)
+    dataset = TaggingDataset(
+        user_schema=attribute_names, item_schema=("kind",), name="cbs-reduction"
+    )
+    dataset.register_item("item-0", {"kind": "only"})
+
+    # Filler values must be globally unique so two users can only agree on
+    # an attribute when both sides carry the edge-indicator value "1".
+    next_filler = 2
+    user_ids: List[str] = []
+    for left in instance.left:
+        attributes: Dict[str, str] = {}
+        for right, attribute in zip(instance.right, attribute_names):
+            if instance.graph.has_edge(left, right):
+                attributes[attribute] = "1"
+            else:
+                attributes[attribute] = str(next_filler)
+                next_filler += 1
+        user_id = f"user-{left}"
+        dataset.register_user(user_id, attributes)
+        dataset.add_action(user_id, "item-0", ["t"])
+        user_ids.append(user_id)
+
+    pair_count = instance.n1 * (instance.n1 - 1) // 2
+    return TagDMReduction(
+        dataset=dataset,
+        user_ids=tuple(user_ids),
+        attribute_names=attribute_names,
+        k=instance.n1,
+        min_support=instance.n1,
+        similarity_threshold=instance.n2 * pair_count,
+        source=instance,
+    )
+
+
+def pairwise_shared_attribute_count(
+    attrs_a: Dict[str, str], attrs_b: Dict[str, str]
+) -> int:
+    """Number of attributes on which two users carry identical values.
+
+    This is the pairwise comparison function the paper's proof sketch
+    aggregates (summing to the ``n2 * C(n1, 2)`` threshold recorded in
+    :attr:`TagDMReduction.similarity_threshold`).
+    """
+    return sum(1 for attribute, value in attrs_a.items() if attrs_b.get(attribute) == value)
+
+
+def decide_reduced_tagdm(reduction: TagDMReduction) -> bool:
+    """Decide the reduced TagDM instance by brute force.
+
+    Each user contributes exactly one tagging action, so a candidate
+    group set corresponds to a subset of ``n1`` users (taking each user's
+    singleton group).  Feasibility is judged with the *set-level* user
+    similarity function "number of attributes on which every selected
+    user carries identical values" (a general dual mining function in the
+    sense of Definition 2): the set is feasible iff that count reaches
+    ``n2``.  Because filler values are globally unique, agreement across
+    users can only happen on the edge-indicator value ``1``, so this is
+    exactly the Complete Bipartite Subgraph question and the equivalence
+    of Theorem 1 is exact.  (The paper's proof sketch states the
+    threshold as the pairwise sum ``n2 * C(n1, 2)``; the pairwise-sum
+    form is a necessary condition but can over-count when different
+    pairs agree on different attributes, which is why the set-level
+    function is used here.)
+    """
+    dataset = reduction.dataset
+    users = reduction.user_ids
+    n1 = reduction.source.n1
+    n2 = reduction.source.n2
+
+    # Attributes carrying the edge indicator per user; agreement between
+    # distinct users is only possible on these.
+    ones = {
+        user: {
+            attribute
+            for attribute, value in dataset.user_attributes(user).items()
+            if value == "1"
+        }
+        for user in users
+    }
+    for subset in combinations(users, n1):
+        common = set.intersection(*(ones[user] for user in subset))
+        if len(common) >= n2:
+            return True
+    return False
+
+
+def random_bipartite_instance(
+    n_left: int,
+    n_right: int,
+    edge_probability: float,
+    n1: int,
+    n2: int,
+    seed: int = 0,
+) -> CbsInstance:
+    """Generate a random CBS instance (used by property tests)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    left = tuple(f"l{i}" for i in range(n_left))
+    right = tuple(f"r{j}" for j in range(n_right))
+    graph.add_nodes_from(left, bipartite=0)
+    graph.add_nodes_from(right, bipartite=1)
+    for l_node in left:
+        for r_node in right:
+            if rng.random() < edge_probability:
+                graph.add_edge(l_node, r_node)
+    return CbsInstance(graph=graph, left=left, right=right, n1=n1, n2=n2)

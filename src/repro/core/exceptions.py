@@ -1,0 +1,32 @@
+"""Exception hierarchy of the TagDM reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "InvalidProblemError",
+    "NullResultError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NotFittedError(ReproError):
+    """A component that requires fitting was used before being fitted."""
+
+
+class InvalidProblemError(ReproError):
+    """A TagDM problem specification is malformed or internally inconsistent."""
+
+
+class NullResultError(ReproError):
+    """An algorithm could not produce any feasible result set.
+
+    The paper discusses this outcome explicitly for the filtering
+    variants (SM-LSH-Fi / DV-FDP-Fi): post-processing buckets or greedy
+    results for hard-constraint satisfiability may leave nothing.  The
+    folding variants exist to make this less likely.
+    """

@@ -1,0 +1,178 @@
+"""Describable tagging-action groups and group support.
+
+Section 2 of the paper adopts the view (from the authors' earlier MRI
+work) that groups of tagging actions which are *structurally describable*
+-- i.e. definable by conjunctive predicates over user and/or item
+attributes such as ``{gender=male, state=new york}`` -- are the
+meaningful unit of analysis.  This module provides:
+
+* :class:`GroupDescription` -- an immutable conjunctive predicate over
+  prefixed attribute columns, split into its user part and item part;
+* :class:`TaggingActionGroup` -- a description plus the tuple rows it
+  matches, the users/items it covers, its aggregated tag multiset and
+  (once computed) its tag signature vector;
+* :func:`group_support` -- Definition 1: the number of input tuples
+  belonging to at least one group of a set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.dataset.store import ITEM_PREFIX, USER_PREFIX, TaggingDataset
+
+__all__ = ["GroupDescription", "TaggingActionGroup", "group_support", "build_group"]
+
+
+@dataclass(frozen=True)
+class GroupDescription:
+    """An immutable conjunctive predicate over prefixed attribute columns.
+
+    ``predicates`` maps prefixed columns (``user.gender``,
+    ``item.genre``, ...) to required values.  The description is hashable
+    so groups can be deduplicated and used as dictionary keys.
+    """
+
+    predicates: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def from_mapping(cls, predicates: Mapping[str, str]) -> "GroupDescription":
+        """Build a description from a ``column -> value`` mapping."""
+        items = tuple(sorted((str(k), str(v)) for k, v in predicates.items()))
+        for column, _ in items:
+            if not column.startswith(USER_PREFIX) and not column.startswith(ITEM_PREFIX):
+                raise ValueError(
+                    f"predicate column {column!r} must start with 'user.' or 'item.'"
+                )
+        return cls(predicates=items)
+
+    def as_dict(self) -> Dict[str, str]:
+        """Return the predicates as a plain dictionary."""
+        return dict(self.predicates)
+
+    @property
+    def user_predicates(self) -> Dict[str, str]:
+        """Predicates over user attributes, with the ``user.`` prefix stripped."""
+        return {
+            column[len(USER_PREFIX):]: value
+            for column, value in self.predicates
+            if column.startswith(USER_PREFIX)
+        }
+
+    @property
+    def item_predicates(self) -> Dict[str, str]:
+        """Predicates over item attributes, with the ``item.`` prefix stripped."""
+        return {
+            column[len(ITEM_PREFIX):]: value
+            for column, value in self.predicates
+            if column.startswith(ITEM_PREFIX)
+        }
+
+    @property
+    def is_user_describable(self) -> bool:
+        """True when at least one predicate constrains a user attribute."""
+        return bool(self.user_predicates)
+
+    @property
+    def is_item_describable(self) -> bool:
+        """True when at least one predicate constrains an item attribute."""
+        return bool(self.item_predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __str__(self) -> str:
+        if not self.predicates:
+            return "{*}"
+        inner = ", ".join(f"{column}={value}" for column, value in self.predicates)
+        return "{" + inner + "}"
+
+
+@dataclass
+class TaggingActionGroup:
+    """One describable tagging-action group and its derived aggregates.
+
+    Attributes
+    ----------
+    description:
+        The conjunctive predicate describing the group.
+    tuple_indices:
+        Row ids of the matching expanded tuples in the source dataset.
+    user_ids / item_ids:
+        The distinct users / items covered by those tuples.
+    tags:
+        The concatenated (multiset) tag list of the group -- the input to
+        tag-signature generation.
+    signature:
+        The group tag signature vector ``T_rep(g)``; ``None`` until a
+        signature builder fills it in.
+    """
+
+    description: GroupDescription
+    tuple_indices: Tuple[int, ...]
+    user_ids: frozenset = frozenset()
+    item_ids: frozenset = frozenset()
+    tags: Tuple[str, ...] = ()
+    signature: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def support(self) -> int:
+        """Number of tuples the group contains (its own support)."""
+        return len(self.tuple_indices)
+
+    @property
+    def tuple_set(self) -> Set[int]:
+        """The tuple rows as a set (cached per call; rows are immutable)."""
+        return set(self.tuple_indices)
+
+    def has_signature(self) -> bool:
+        """Whether the tag signature vector has been computed."""
+        return self.signature is not None
+
+    def require_signature(self) -> np.ndarray:
+        """Return the signature, raising if it has not been computed."""
+        if self.signature is None:
+            raise RuntimeError(
+                f"group {self.description} has no tag signature; run a "
+                "GroupSignatureBuilder first"
+            )
+        return self.signature
+
+    def label(self) -> str:
+        """A compact human-readable label for reports."""
+        return f"{self.description} (n={self.support})"
+
+    def __hash__(self) -> int:
+        return hash(self.description)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaggingActionGroup):
+            return NotImplemented
+        return self.description == other.description
+
+
+def build_group(
+    dataset: TaggingDataset, predicates: Mapping[str, str]
+) -> TaggingActionGroup:
+    """Materialise the group described by ``predicates`` over ``dataset``."""
+    description = GroupDescription.from_mapping(predicates)
+    indices = dataset.matching_indices(description.as_dict())
+    index_tuple = tuple(int(i) for i in indices)
+    return TaggingActionGroup(
+        description=description,
+        tuple_indices=index_tuple,
+        user_ids=frozenset(dataset.users_for_indices(index_tuple)),
+        item_ids=frozenset(dataset.items_for_indices(index_tuple)),
+        tags=tuple(dataset.tags_for_indices(index_tuple)),
+    )
+
+
+def group_support(groups: Iterable[TaggingActionGroup]) -> int:
+    """Definition 1: tuples belonging to at least one group of the set."""
+    covered: Set[int] = set()
+    for group in groups:
+        covered.update(group.tuple_indices)
+    return len(covered)

@@ -1,0 +1,345 @@
+"""Incremental maintenance of a TagDM session under new tagging actions.
+
+The paper's future-work section announces support for "updates and
+insertions of new users, items and tags".  This module implements that
+extension: :class:`IncrementalTagDM` wraps a prepared
+:class:`~repro.core.framework.TagDM` session and keeps its candidate
+groups, tag signatures and support counts consistent as tagging actions
+arrive, without re-running the full enumeration + summarisation pipeline:
+
+* a new action is appended to the underlying dataset (registering the
+  user/item on first sight);
+* only the describable groups whose conjunctive description matches the
+  new tuple are touched -- their member lists, tag multisets and
+  signatures are refreshed, and brand-new groups are created the moment
+  a description crosses the minimum-support threshold;
+* the topic model fitted during the initial :meth:`prepare` is kept and
+  only re-vectorises the affected groups, so an insert costs a handful
+  of signature inferences instead of a full refit (the model can be
+  refitted explicitly with :meth:`refresh_topic_model` when drift
+  accumulates);
+* the shared pairwise-matrix cache is invalidated because a changed
+  signature perturbs one row/column of every matrix.
+
+The wrapper exposes the same ``solve`` API as the session it maintains.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.core.groups import GroupDescription, TaggingActionGroup
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+from repro.dataset.store import ITEM_PREFIX, USER_PREFIX, TaggingDataset
+
+__all__ = ["IncrementalTagDM", "IncrementalUpdateReport"]
+
+
+class IncrementalUpdateReport:
+    """What one insert (or batch of inserts) changed in the session."""
+
+    def __init__(self) -> None:
+        self.actions_added = 0
+        self.new_users: List[str] = []
+        self.new_items: List[str] = []
+        self.groups_updated = 0
+        self.groups_created = 0
+        self.pending_descriptions = 0
+
+    def merge(self, other: "IncrementalUpdateReport") -> "IncrementalUpdateReport":
+        """Accumulate another report into this one (for batch inserts)."""
+        self.actions_added += other.actions_added
+        self.new_users.extend(other.new_users)
+        self.new_items.extend(other.new_items)
+        self.groups_updated += other.groups_updated
+        self.groups_created += other.groups_created
+        self.pending_descriptions = other.pending_descriptions
+        return self
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.actions_added} action(s) added; "
+            f"{len(self.new_users)} new user(s), {len(self.new_items)} new item(s); "
+            f"{self.groups_updated} group(s) updated, {self.groups_created} created; "
+            f"{self.pending_descriptions} description(s) below min support"
+        )
+
+
+class IncrementalTagDM:
+    """A TagDM session that absorbs new tagging actions in place.
+
+    Parameters
+    ----------
+    dataset:
+        The initial tagging dataset (it will be mutated by inserts).
+    enumeration, signature_backend, signature_dimensions, seed:
+        Forwarded to the wrapped :class:`TagDM` session.  ``"full"``
+        enumeration mode is supported; ``"partial"`` (default) and
+        ``"cross"`` match the description-generation rules used when
+        routing new tuples to groups.
+    """
+
+    def __init__(
+        self,
+        dataset: TaggingDataset,
+        enumeration: Optional[GroupEnumerationConfig] = None,
+        signature_backend: str = "frequency",
+        signature_dimensions: int = 25,
+        seed: int = 0,
+    ) -> None:
+        self.session = TagDM(
+            dataset,
+            enumeration=enumeration,
+            signature_backend=signature_backend,
+            signature_dimensions=signature_dimensions,
+            seed=seed,
+        )
+        # Tuples that match a description which has not reached minimum
+        # support yet, keyed by that description.
+        self._pending: Dict[GroupDescription, List[int]] = {}
+        self._group_index: Dict[GroupDescription, int] = {}
+
+    # ------------------------------------------------------------------
+    # Preparation and delegation
+    # ------------------------------------------------------------------
+    def prepare(self) -> "IncrementalTagDM":
+        """Prepare the wrapped session and index its groups."""
+        self.session.prepare()
+        self._group_index = {
+            group.description: position
+            for position, group in enumerate(self.session.groups)
+        }
+        self._pending = {}
+        self._seed_pending_from_dataset()
+        return self
+
+    def _seed_pending_from_dataset(self) -> None:
+        """Track sub-threshold descriptions already present in the data.
+
+        Without this, a description with (min_support - 1) existing tuples
+        would need min_support *new* tuples before becoming a group.
+        """
+        for row in range(self.dataset.n_actions):
+            for description in self._descriptions_for_row(row):
+                if description in self._group_index:
+                    continue
+                self._pending.setdefault(description, []).append(row)
+
+    @property
+    def dataset(self) -> TaggingDataset:
+        """The underlying (mutated in place) dataset."""
+        return self.session.dataset
+
+    @property
+    def groups(self) -> List[TaggingActionGroup]:
+        """The maintained candidate groups."""
+        return self.session.groups
+
+    @property
+    def n_groups(self) -> int:
+        """Number of maintained candidate groups."""
+        return self.session.n_groups
+
+    def default_support(self, fraction: float = 0.01) -> int:
+        """Support threshold relative to the *current* dataset size."""
+        return self.session.default_support(fraction)
+
+    def solve(self, problem: TagDMProblem, algorithm="auto", **options) -> MiningResult:
+        """Solve a problem over the maintained groups."""
+        return self.session.solve(problem, algorithm=algorithm, **options)
+
+    # ------------------------------------------------------------------
+    # Description generation (mirrors repro.core.enumeration modes)
+    # ------------------------------------------------------------------
+    def _row_predicates(self, row: int) -> List[Tuple[str, str]]:
+        config = self.session.enumeration
+        columns = (
+            tuple(config.columns) if config.columns is not None else self.dataset.columns
+        )
+        return [
+            (column, self.dataset.column_values(column)[row]) for column in columns
+        ]
+
+    def _descriptions_for_row(self, row: int) -> List[GroupDescription]:
+        """Every candidate description the tuple at ``row`` belongs to."""
+        config = self.session.enumeration
+        predicates = self._row_predicates(row)
+        descriptions: List[GroupDescription] = []
+        if config.mode == "full":
+            descriptions.append(GroupDescription(predicates=tuple(sorted(predicates))))
+        elif config.mode == "cross":
+            user_predicates = [p for p in predicates if p[0].startswith(USER_PREFIX)]
+            item_predicates = [p for p in predicates if p[0].startswith(ITEM_PREFIX)]
+            for user_predicate in user_predicates:
+                for item_predicate in item_predicates:
+                    descriptions.append(
+                        GroupDescription(
+                            predicates=tuple(sorted((user_predicate, item_predicate)))
+                        )
+                    )
+        else:  # partial
+            max_predicates = min(config.max_predicates, len(predicates))
+            for size in range(1, max_predicates + 1):
+                for subset in combinations(predicates, size):
+                    descriptions.append(GroupDescription(predicates=tuple(sorted(subset))))
+        return descriptions
+
+    # ------------------------------------------------------------------
+    # Group maintenance
+    # ------------------------------------------------------------------
+    def _rebuild_group(self, description: GroupDescription, rows: Sequence[int]) -> TaggingActionGroup:
+        rows = tuple(sorted(int(r) for r in rows))
+        group = TaggingActionGroup(
+            description=description,
+            tuple_indices=rows,
+            user_ids=frozenset(self.dataset.users_for_indices(rows)),
+            item_ids=frozenset(self.dataset.items_for_indices(rows)),
+            tags=tuple(self.dataset.tags_for_indices(rows)),
+        )
+        group.signature = self.session.signature_builder.signature(group)
+        return group
+
+    def _touch_group(self, description: GroupDescription, row: int, report: IncrementalUpdateReport) -> None:
+        position = self._group_index.get(description)
+        if position is not None:
+            existing = self.session.groups[position]
+            rows = existing.tuple_indices + (row,)
+            self.session.groups[position] = self._rebuild_group(description, rows)
+            report.groups_updated += 1
+            return
+
+        pending_rows = self._pending.setdefault(description, [])
+        pending_rows.append(row)
+        config = self.session.enumeration
+        if len(pending_rows) >= config.min_support:
+            if config.max_groups is not None and len(self.session.groups) >= config.max_groups:
+                return  # respect the configured cap; keep accumulating as pending
+            group = self._rebuild_group(description, pending_rows)
+            self.session.groups.append(group)
+            self._group_index[description] = len(self.session.groups) - 1
+            del self._pending[description]
+            report.groups_created += 1
+
+    # ------------------------------------------------------------------
+    # Public insert API
+    # ------------------------------------------------------------------
+    def add_action(
+        self,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+        user_attributes: Optional[Mapping[str, str]] = None,
+        item_attributes: Optional[Mapping[str, str]] = None,
+    ) -> IncrementalUpdateReport:
+        """Insert one tagging action and update the affected groups.
+
+        Unknown users/items must bring their attributes along on first
+        sight (subsequent actions may omit them).
+        """
+        if not self.session.is_prepared:
+            raise RuntimeError("call prepare() before inserting tagging actions")
+        report = IncrementalUpdateReport()
+
+        user_id, item_id = str(user_id), str(item_id)
+        if not self.dataset.has_user(user_id):
+            if user_attributes is None:
+                raise KeyError(
+                    f"user {user_id!r} is new; provide user_attributes on first insert"
+                )
+            self.dataset.register_user(user_id, user_attributes)
+            report.new_users.append(user_id)
+        if not self.dataset.has_item(item_id):
+            if item_attributes is None:
+                raise KeyError(
+                    f"item {item_id!r} is new; provide item_attributes on first insert"
+                )
+            self.dataset.register_item(item_id, item_attributes)
+            report.new_items.append(item_id)
+
+        row = self.dataset.add_action(user_id, item_id, tags, rating)
+        report.actions_added = 1
+
+        for description in self._descriptions_for_row(row):
+            self._touch_group(description, row, report)
+
+        # Signatures changed, so any cached pairwise matrices are stale.
+        self.session._matrix_cache = None
+        self.session._signatures = None
+        report.pending_descriptions = len(self._pending)
+        return report
+
+    def add_actions(self, actions: Iterable[Mapping[str, object]]) -> IncrementalUpdateReport:
+        """Insert a batch of action dicts (same keys as :meth:`add_action`)."""
+        total = IncrementalUpdateReport()
+        for action in actions:
+            report = self.add_action(
+                user_id=action["user_id"],
+                item_id=action["item_id"],
+                tags=action.get("tags", ()),
+                rating=action.get("rating"),
+                user_attributes=action.get("user_attributes"),
+                item_attributes=action.get("item_attributes"),
+            )
+            total.merge(report)
+        return total
+
+    # ------------------------------------------------------------------
+    # Consistency helpers
+    # ------------------------------------------------------------------
+    def refresh_topic_model(self) -> None:
+        """Refit the topic model and recompute every group signature.
+
+        Incremental inserts keep using the initially fitted topic model;
+        after substantial drift (many new tags) call this to refit on the
+        current groups, exactly what a periodic offline rebuild would do.
+        """
+        from repro.core.signatures import GroupSignatureBuilder
+
+        builder = GroupSignatureBuilder(
+            topic_model=None,
+            backend=getattr(self.session.signature_builder.topic_model, "name", "frequency"),
+            n_dimensions=self.session.signature_builder.n_dimensions,
+            seed=self.session.seed,
+        )
+        builder.build(self.session.groups)
+        self.session.signature_builder = builder
+        self.session._matrix_cache = None
+        self.session._signatures = None
+
+    def consistency_errors(self) -> List[str]:
+        """Compare maintained groups against a from-scratch enumeration.
+
+        Returns human-readable discrepancies (empty list when consistent).
+        Used by tests and available to callers as a safety net after large
+        batches of inserts.
+        """
+        import dataclasses
+
+        from repro.core.enumeration import enumerate_groups
+
+        config = self.session.enumeration
+        uncapped = dataclasses.replace(config, max_groups=None)
+        expected = {
+            group.description: set(group.tuple_indices)
+            for group in enumerate_groups(self.dataset, uncapped)
+        }
+        actual = {
+            group.description: set(group.tuple_indices) for group in self.session.groups
+        }
+        errors: List[str] = []
+        if config.max_groups is None:
+            for description in expected:
+                if description not in actual:
+                    errors.append(f"missing group {description}")
+        for description, rows in actual.items():
+            if description not in expected:
+                errors.append(f"unexpected group {description}")
+            elif expected[description] != rows:
+                errors.append(f"member mismatch for {description}")
+        return errors

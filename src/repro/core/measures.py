@@ -1,0 +1,156 @@
+"""Dual-mining dimensions, criteria and function interfaces.
+
+These types encode Definitions 2 and 3 of the paper:
+
+* a *tagging behaviour dimension* ``b`` is one of users / items / tags
+  (:class:`Dimension`);
+* a *dual mining criterion* ``m`` is similarity or diversity
+  (:class:`Criterion`);
+* a *dual mining function* ``F(G, b, m)`` scores a set of tagging-action
+  groups on one dimension under one criterion
+  (:class:`DualMiningFunction`);
+* a *pair-wise aggregation dual mining function* computes that score by
+  aggregating a pairwise comparison ``Fp(g_i, g_j, b, m)`` over all
+  distinct group pairs (:class:`PairwiseAggregationFunction`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from itertools import combinations
+from typing import Callable, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Dimension",
+    "Criterion",
+    "DualMiningFunction",
+    "PairwiseAggregationFunction",
+    "Aggregator",
+    "MEAN_AGGREGATOR",
+    "MIN_AGGREGATOR",
+    "SUM_AGGREGATOR",
+]
+
+
+class Dimension(str, Enum):
+    """The three tagging-action components (``b`` in Definition 2)."""
+
+    USERS = "users"
+    ITEMS = "items"
+    TAGS = "tags"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Criterion(str, Enum):
+    """The two opposing mining measures (``m`` in Definition 2)."""
+
+    SIMILARITY = "similarity"
+    DIVERSITY = "diversity"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def opposite(self) -> "Criterion":
+        """Return the opposing criterion."""
+        if self is Criterion.SIMILARITY:
+            return Criterion.DIVERSITY
+        return Criterion.SIMILARITY
+
+
+#: An aggregator ``Fa`` folds the list of pairwise scores into one float.
+Aggregator = Callable[[Sequence[float]], float]
+
+
+def _mean(scores: Sequence[float]) -> float:
+    return float(np.mean(scores)) if len(scores) else 0.0
+
+
+def _minimum(scores: Sequence[float]) -> float:
+    return float(np.min(scores)) if len(scores) else 0.0
+
+
+def _total(scores: Sequence[float]) -> float:
+    return float(np.sum(scores)) if len(scores) else 0.0
+
+
+MEAN_AGGREGATOR: Aggregator = _mean
+MIN_AGGREGATOR: Aggregator = _minimum
+SUM_AGGREGATOR: Aggregator = _total
+
+
+class DualMiningFunction(ABC):
+    """Abstract dual mining function ``F : (G, b, m) -> float``.
+
+    Concrete functions are bound to a dimension at construction time
+    (structural functions only make sense for users/items, signature
+    functions only for tags) and receive the criterion per call so the
+    same function object serves both similarity and diversity queries.
+    """
+
+    #: Short identifier used in problem specifications and reports.
+    name: str = "dual-mining-function"
+
+    @abstractmethod
+    def score(self, groups: Sequence, dimension: Dimension, criterion: Criterion) -> float:
+        """Score the group set on ``dimension`` under ``criterion``."""
+
+    def __call__(
+        self, groups: Sequence, dimension: Dimension, criterion: Criterion
+    ) -> float:
+        return self.score(groups, dimension, criterion)
+
+
+class PairwiseAggregationFunction(DualMiningFunction):
+    """Definition 3: aggregate a pairwise comparison over distinct pairs.
+
+    Parameters
+    ----------
+    pairwise:
+        ``Fp(g_i, g_j, dimension, criterion) -> float``.
+    aggregator:
+        ``Fa`` folding the pairwise scores; defaults to the mean, which
+        matches the paper's "average pairwise distance/similarity"
+        quality metric.
+    name:
+        Identifier for reports.
+    """
+
+    def __init__(
+        self,
+        pairwise: Callable[[object, object, Dimension, Criterion], float],
+        aggregator: Aggregator = MEAN_AGGREGATOR,
+        name: str = "pairwise-aggregation",
+    ) -> None:
+        self._pairwise = pairwise
+        self._aggregator = aggregator
+        self.name = name
+
+    def pairwise(
+        self, group_a, group_b, dimension: Dimension, criterion: Criterion
+    ) -> float:
+        """Evaluate the pairwise comparison function ``Fp`` on one pair."""
+        return float(self._pairwise(group_a, group_b, dimension, criterion))
+
+    def pairwise_scores(
+        self, groups: Sequence, dimension: Dimension, criterion: Criterion
+    ) -> List[float]:
+        """Evaluate ``Fp`` over every unordered pair of distinct groups."""
+        return [
+            self.pairwise(group_a, group_b, dimension, criterion)
+            for group_a, group_b in combinations(groups, 2)
+        ]
+
+    def score(self, groups: Sequence, dimension: Dimension, criterion: Criterion) -> float:
+        groups = list(groups)
+        if len(groups) < 2:
+            # A singleton group set trivially coheres with itself: maximal
+            # similarity, zero diversity.  This keeps k_lo = 1 problems
+            # well-defined.
+            return 1.0 if criterion is Criterion.SIMILARITY else 0.0
+        return self._aggregator(self.pairwise_scores(groups, dimension, criterion))

@@ -1,0 +1,312 @@
+"""TagDM problem specifications.
+
+Definition 4 of the paper frames Tagging Behavior Dual Mining as a
+constrained optimisation problem over a triple ``<G, C, O>``: find a set
+of describable tagging-action groups whose size lies in
+``[k_lo, k_hi]``, whose group support is at least ``p``, which satisfies
+every dual-mining constraint in ``C``, and which maximises the weighted
+sum of the dual-mining objectives in ``O``.
+
+This module provides:
+
+* :class:`Constraint` and :class:`Objective` -- one dual-mining term
+  each, binding a dimension to a criterion (plus threshold / weight);
+* :class:`TagDMProblem` -- a full problem specification with validation;
+* :data:`TABLE1_PROBLEMS` and :func:`table1_problem` -- the six concrete
+  instantiations studied in the paper (Table 1), all with constraints on
+  users and items and the optimisation goal on tags;
+* :func:`enumerate_problem_instances` -- systematic enumeration of the
+  framework's concrete instances (the paper quotes 112 combinations; see
+  the function docstring for how our enumeration counts them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidProblemError
+from repro.core.measures import Criterion, Dimension
+
+__all__ = [
+    "Constraint",
+    "Objective",
+    "TagDMProblem",
+    "TABLE1_SPECS",
+    "TABLE1_PROBLEMS",
+    "table1_problem",
+    "enumerate_problem_instances",
+]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One hard dual-mining constraint ``c_i.F(G, b, m) >= threshold``."""
+
+    dimension: Dimension
+    criterion: Criterion
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise InvalidProblemError(
+                f"constraint threshold {self.threshold} must lie in [0, 1] "
+                "(dual mining scores are normalised)"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``users similarity >= 0.5``."""
+        return f"{self.dimension.value} {self.criterion.value} >= {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation term ``o_j.Wt * o_j.F(G, b, m)`` to maximise."""
+
+    dimension: Dimension
+    criterion: Criterion
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise InvalidProblemError("objective weight must be positive")
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``maximise tags similarity``."""
+        prefix = f"{self.weight:g} * " if self.weight != 1.0 else ""
+        return f"maximise {prefix}{self.dimension.value} {self.criterion.value}"
+
+
+@dataclass(frozen=True)
+class TagDMProblem:
+    """A complete TagDM problem instance (Definition 4).
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports ("problem-1" ... for Table 1).
+    constraints:
+        The hard dual-mining constraints ``C``.
+    objectives:
+        The optimisation terms ``O`` (at least one required).
+    k_lo / k_hi:
+        Bounds on the number of returned groups.
+    min_support:
+        The group-support threshold ``p`` (absolute tuple count).
+    """
+
+    name: str
+    constraints: Tuple[Constraint, ...]
+    objectives: Tuple[Objective, ...]
+    k_lo: int = 1
+    k_hi: int = 3
+    min_support: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise InvalidProblemError("a TagDM problem needs at least one objective")
+        if self.k_lo < 1:
+            raise InvalidProblemError("k_lo must be at least 1")
+        if self.k_hi < self.k_lo:
+            raise InvalidProblemError("k_hi must be >= k_lo")
+        if self.min_support < 0:
+            raise InvalidProblemError("min_support must be non-negative")
+        constrained = [c.dimension for c in self.constraints]
+        optimised = [o.dimension for o in self.objectives]
+        if len(set(constrained)) != len(constrained):
+            raise InvalidProblemError("each dimension may appear in at most one constraint")
+        if len(set(optimised)) != len(optimised):
+            raise InvalidProblemError("each dimension may appear in at most one objective")
+        overlap = set(constrained) & set(optimised)
+        if overlap:
+            raise InvalidProblemError(
+                "a dimension cannot be both constrained and optimised: "
+                + ", ".join(sorted(d.value for d in overlap))
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def constrained_dimensions(self) -> Tuple[Dimension, ...]:
+        """Dimensions appearing in the constraint set ``C``."""
+        return tuple(c.dimension for c in self.constraints)
+
+    @property
+    def optimised_dimensions(self) -> Tuple[Dimension, ...]:
+        """Dimensions appearing in the optimisation goal ``O``."""
+        return tuple(o.dimension for o in self.objectives)
+
+    def criterion_for(self, dimension: Dimension) -> Optional[Criterion]:
+        """The criterion applied to ``dimension`` (constraint or objective)."""
+        for constraint in self.constraints:
+            if constraint.dimension is dimension:
+                return constraint.criterion
+        for objective in self.objectives:
+            if objective.dimension is dimension:
+                return objective.criterion
+        return None
+
+    def constraint_for(self, dimension: Dimension) -> Optional[Constraint]:
+        """The constraint on ``dimension`` if any."""
+        for constraint in self.constraints:
+            if constraint.dimension is dimension:
+                return constraint
+        return None
+
+    @property
+    def maximises_tag_similarity(self) -> bool:
+        """True when tags are optimised under the similarity criterion."""
+        return any(
+            o.dimension is Dimension.TAGS and o.criterion is Criterion.SIMILARITY
+            for o in self.objectives
+        )
+
+    @property
+    def maximises_tag_diversity(self) -> bool:
+        """True when tags are optimised under the diversity criterion."""
+        return any(
+            o.dimension is Dimension.TAGS and o.criterion is Criterion.DIVERSITY
+            for o in self.objectives
+        )
+
+    def with_support(self, min_support: int) -> "TagDMProblem":
+        """Return a copy with a different support threshold ``p``."""
+        return replace(self, min_support=min_support)
+
+    def with_k(self, k_lo: int, k_hi: int) -> "TagDMProblem":
+        """Return a copy with different group-count bounds."""
+        return replace(self, k_lo=k_lo, k_hi=k_hi)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the specification."""
+        lines = [f"TagDM problem {self.name}"]
+        lines.append(f"  groups: {self.k_lo} <= |G| <= {self.k_hi}")
+        lines.append(f"  support: >= {self.min_support}")
+        for constraint in self.constraints:
+            lines.append(f"  constraint: {constraint.describe()}")
+        for objective in self.objectives:
+            lines.append(f"  objective: {objective.describe()}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table 1: the six instantiations studied in detail by the paper.
+# Column layout: (user criterion, item criterion, tag criterion); all six
+# constrain users and items and optimise tags.
+# ----------------------------------------------------------------------
+TABLE1_SPECS: Dict[int, Tuple[Criterion, Criterion, Criterion]] = {
+    1: (Criterion.SIMILARITY, Criterion.SIMILARITY, Criterion.SIMILARITY),
+    2: (Criterion.SIMILARITY, Criterion.DIVERSITY, Criterion.SIMILARITY),
+    3: (Criterion.DIVERSITY, Criterion.SIMILARITY, Criterion.SIMILARITY),
+    4: (Criterion.DIVERSITY, Criterion.SIMILARITY, Criterion.DIVERSITY),
+    5: (Criterion.SIMILARITY, Criterion.DIVERSITY, Criterion.DIVERSITY),
+    6: (Criterion.SIMILARITY, Criterion.SIMILARITY, Criterion.DIVERSITY),
+}
+
+
+def table1_problem(
+    problem_id: int,
+    k: int = 3,
+    min_support: int = 0,
+    user_threshold: float = 0.5,
+    item_threshold: float = 0.5,
+    k_lo: Optional[int] = None,
+) -> TagDMProblem:
+    """Build one of the six Table 1 problems with concrete parameters.
+
+    The defaults mirror Section 6.1: ``k = 3``, user and item constraint
+    thresholds ``q = r = 0.5``; ``min_support`` corresponds to the
+    paper's ``p`` (350 tuples on the full dataset, i.e. 1%) and should be
+    set relative to the dataset in use.  By default ``k_lo = k`` because
+    the evaluation returns exactly ``k`` groups and scores their average
+    pairwise similarity; pass ``k_lo=1`` for the looser Definition 4 form
+    ``1 <= |G_opt| <= k``.
+    """
+    if problem_id not in TABLE1_SPECS:
+        raise InvalidProblemError(
+            f"problem_id must be one of {sorted(TABLE1_SPECS)}, got {problem_id}"
+        )
+    user_criterion, item_criterion, tag_criterion = TABLE1_SPECS[problem_id]
+    return TagDMProblem(
+        name=f"problem-{problem_id}",
+        constraints=(
+            Constraint(Dimension.USERS, user_criterion, user_threshold),
+            Constraint(Dimension.ITEMS, item_criterion, item_threshold),
+        ),
+        objectives=(Objective(Dimension.TAGS, tag_criterion),),
+        k_lo=k if k_lo is None else k_lo,
+        k_hi=k,
+        min_support=min_support,
+    )
+
+
+#: The six Table 1 problems with default parameters, keyed by id.
+TABLE1_PROBLEMS: Dict[int, TagDMProblem] = {
+    problem_id: table1_problem(problem_id) for problem_id in TABLE1_SPECS
+}
+
+_ROLE_NONE = "none"
+_ROLE_CONSTRAINT = "constraint"
+_ROLE_OBJECTIVE = "objective"
+
+
+def enumerate_problem_instances(
+    k: int = 3,
+    min_support: int = 0,
+    threshold: float = 0.5,
+) -> List[TagDMProblem]:
+    """Enumerate the framework's concrete problem instances.
+
+    Each of the three dimensions independently takes a role (constraint,
+    optimisation goal, or neither) and -- when it participates -- a
+    criterion (similarity or diversity); instances with no optimisation
+    goal are dropped because there is nothing to maximise.  This yields
+    98 distinct instances.  The paper quotes "112 concrete problem
+    instances" from multiplying the 8 criterion combinations with the 26
+    role combinations without adjusting for unused criteria; the
+    enumeration here counts distinct *well-formed* specifications, and
+    the six Table 1 problems are all included.
+    """
+    dimensions = (Dimension.USERS, Dimension.ITEMS, Dimension.TAGS)
+    roles = (_ROLE_NONE, _ROLE_CONSTRAINT, _ROLE_OBJECTIVE)
+    criteria = (Criterion.SIMILARITY, Criterion.DIVERSITY)
+
+    problems: List[TagDMProblem] = []
+    for role_assignment in product(roles, repeat=3):
+        if _ROLE_OBJECTIVE not in role_assignment:
+            continue
+        participating = [i for i, role in enumerate(role_assignment) if role != _ROLE_NONE]
+        for criteria_assignment in product(criteria, repeat=len(participating)):
+            constraints: List[Constraint] = []
+            objectives: List[Objective] = []
+            criterion_by_index = dict(zip(participating, criteria_assignment))
+            for index, role in enumerate(role_assignment):
+                if role == _ROLE_NONE:
+                    continue
+                dimension = dimensions[index]
+                criterion = criterion_by_index[index]
+                if role == _ROLE_CONSTRAINT:
+                    constraints.append(Constraint(dimension, criterion, threshold))
+                else:
+                    objectives.append(Objective(dimension, criterion))
+            name_parts = []
+            for index, role in enumerate(role_assignment):
+                if role == _ROLE_NONE:
+                    name_parts.append(f"{dimensions[index].value[0]}:-")
+                else:
+                    criterion = criterion_by_index[index]
+                    marker = "C" if role == _ROLE_CONSTRAINT else "O"
+                    name_parts.append(
+                        f"{dimensions[index].value[0]}:{criterion.value[:3]}/{marker}"
+                    )
+            problems.append(
+                TagDMProblem(
+                    name="tagdm[" + ",".join(name_parts) + "]",
+                    constraints=tuple(constraints),
+                    objectives=tuple(objectives),
+                    k_lo=1,
+                    k_hi=k,
+                    min_support=min_support,
+                )
+            )
+    return problems

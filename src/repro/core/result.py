@@ -1,0 +1,105 @@
+"""Mining results returned by the TagDM algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.groups import TaggingActionGroup, group_support
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import TagDMProblem
+
+__all__ = ["MiningResult"]
+
+
+@dataclass
+class MiningResult:
+    """Outcome of solving one TagDM problem with one algorithm.
+
+    Attributes
+    ----------
+    problem:
+        The problem specification that was solved.
+    algorithm:
+        Name of the algorithm that produced the result (``"exact"``,
+        ``"sm-lsh-fo"``, ...).
+    groups:
+        The returned set of tagging-action groups ``G_opt`` (or
+        ``G_app`` for the approximate algorithms); empty when the
+        algorithm could not find a feasible set.
+    objective_value:
+        The achieved optimisation score (weighted sum over objectives).
+    constraint_scores:
+        Achieved score per constraint, keyed by ``dimension.criterion``.
+    support:
+        Group support of the returned set (Definition 1).
+    feasible:
+        Whether every hard constraint (including support and group-count
+        bounds) is satisfied.
+    elapsed_seconds:
+        Wall-clock time of the solve call.
+    evaluations:
+        Number of candidate group sets the algorithm scored (a
+        machine-independent cost proxy reported alongside wall-clock
+        time).
+    metadata:
+        Algorithm-specific extras (LSH bit width used, relaxation
+        iterations, ...).
+    """
+
+    problem: TagDMProblem
+    algorithm: str
+    groups: Tuple[TaggingActionGroup, ...]
+    objective_value: float
+    constraint_scores: Dict[str, float] = field(default_factory=dict)
+    support: int = 0
+    feasible: bool = False
+    elapsed_seconds: float = 0.0
+    evaluations: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no group set was returned (a null result)."""
+        return not self.groups
+
+    @property
+    def k(self) -> int:
+        """Number of returned groups."""
+        return len(self.groups)
+
+    def descriptions(self) -> List[str]:
+        """The group descriptions as strings, in result order."""
+        return [str(group.description) for group in self.groups]
+
+    def recompute_support(self) -> int:
+        """Recompute (and return) the support of the returned group set."""
+        return group_support(self.groups)
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary used by examples and reports."""
+        lines = [
+            f"{self.problem.name} via {self.algorithm}: "
+            f"objective={self.objective_value:.4f} "
+            f"({'feasible' if self.feasible else 'infeasible'}, "
+            f"support={self.support}, k={self.k}, "
+            f"time={self.elapsed_seconds * 1000.0:.1f} ms)"
+        ]
+        for key, value in sorted(self.constraint_scores.items()):
+            lines.append(f"  constraint {key}: {value:.4f}")
+        for group in self.groups:
+            lines.append(f"  group {group.label()}")
+        return "\n".join(lines)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten the result into a dict for tabular reporting."""
+        return {
+            "problem": self.problem.name,
+            "algorithm": self.algorithm,
+            "objective": self.objective_value,
+            "feasible": self.feasible,
+            "support": self.support,
+            "k": self.k,
+            "elapsed_seconds": self.elapsed_seconds,
+            "evaluations": self.evaluations,
+        }

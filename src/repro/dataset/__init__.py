@@ -1,0 +1,53 @@
+"""Tagging data substrate.
+
+This package provides the data layer the TagDM framework (``repro.core``)
+operates on:
+
+* :class:`~repro.dataset.store.TaggingDataset` -- an in-memory columnar
+  store of expanded tagging-action tuples with attribute indices and
+  predicate filtering (the paper's set ``G`` of tuples ``r``).
+* Loaders for simple CSV / record formats
+  (:mod:`repro.dataset.loaders`).
+* Synthetic generators that stand in for the paper's MovieLens + IMDB
+  merge and for Delicious / Flickr style corpora
+  (:mod:`repro.dataset.synthetic`, :mod:`repro.dataset.delicious`,
+  :mod:`repro.dataset.flickr`).
+* A Zipf-distributed tag vocabulary model (:mod:`repro.dataset.vocab`).
+"""
+
+from repro.dataset.store import TaggingDataset, DatasetStats
+from repro.dataset.loaders import (
+    dataset_from_records,
+    dataset_to_records,
+    load_csv,
+    save_csv,
+)
+from repro.dataset.vocab import TagVocabulary, ZipfTagModel
+from repro.dataset.synthetic import (
+    MovieLensStyleConfig,
+    MovieLensStyleGenerator,
+    generate_movielens_style,
+)
+from repro.dataset.delicious import DeliciousStyleConfig, generate_delicious_style
+from repro.dataset.flickr import FlickrStyleConfig, generate_flickr_style
+from repro.dataset.microblog import MicroblogStyleConfig, generate_microblog_style
+
+__all__ = [
+    "TaggingDataset",
+    "DatasetStats",
+    "dataset_from_records",
+    "dataset_to_records",
+    "load_csv",
+    "save_csv",
+    "TagVocabulary",
+    "ZipfTagModel",
+    "MovieLensStyleConfig",
+    "MovieLensStyleGenerator",
+    "generate_movielens_style",
+    "DeliciousStyleConfig",
+    "generate_delicious_style",
+    "FlickrStyleConfig",
+    "generate_flickr_style",
+    "MicroblogStyleConfig",
+    "generate_microblog_style",
+]

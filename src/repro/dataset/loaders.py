@@ -1,0 +1,181 @@
+"""Loading and saving tagging datasets.
+
+The paper ingests the MovieLens 1M/10M dumps merged with IMDB attributes.
+Offline we cannot ship those dumps, but downstream users of this library
+will have their own tagging logs, so this module provides a simple,
+dependency-free record format plus CSV round-tripping:
+
+* record dicts -- ``{"user_id", "item_id", "tags", "rating", "user.<a>",
+  "item.<a>"}`` -- convertible to and from :class:`TaggingDataset`;
+* a CSV layout with one row per tagging action, tags joined by ``|``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.dataset.store import ITEM_PREFIX, USER_PREFIX, TaggingDataset
+
+__all__ = [
+    "dataset_from_records",
+    "dataset_to_records",
+    "load_csv",
+    "save_csv",
+]
+
+TAG_SEPARATOR = "|"
+
+
+def _split_record(
+    record: Mapping[str, object],
+    user_schema: Sequence[str],
+    item_schema: Sequence[str],
+) -> Dict[str, object]:
+    """Normalise one raw record into ids, attribute dicts, tags, rating."""
+    user_attrs = {
+        attr: str(record.get(USER_PREFIX + attr, "unknown")) for attr in user_schema
+    }
+    item_attrs = {
+        attr: str(record.get(ITEM_PREFIX + attr, "unknown")) for attr in item_schema
+    }
+    raw_tags = record.get("tags", ())
+    if isinstance(raw_tags, str):
+        tags = [t for t in raw_tags.split(TAG_SEPARATOR) if t]
+    else:
+        tags = [str(t) for t in raw_tags]
+    raw_rating = record.get("rating")
+    rating: Optional[float]
+    if raw_rating in (None, ""):
+        rating = None
+    else:
+        rating = float(raw_rating)  # type: ignore[arg-type]
+    return {
+        "user_id": str(record["user_id"]),
+        "item_id": str(record["item_id"]),
+        "user_attrs": user_attrs,
+        "item_attrs": item_attrs,
+        "tags": tags,
+        "rating": rating,
+    }
+
+
+def _infer_schemas(records: Sequence[Mapping[str, object]]) -> tuple:
+    """Infer user/item schemas from prefixed keys present in the records."""
+    user_attrs: List[str] = []
+    item_attrs: List[str] = []
+    seen_user = set()
+    seen_item = set()
+    for record in records:
+        for key in record:
+            if key.startswith(USER_PREFIX):
+                attr = key[len(USER_PREFIX):]
+                if attr not in seen_user:
+                    seen_user.add(attr)
+                    user_attrs.append(attr)
+            elif key.startswith(ITEM_PREFIX):
+                attr = key[len(ITEM_PREFIX):]
+                if attr not in seen_item:
+                    seen_item.add(attr)
+                    item_attrs.append(attr)
+    return tuple(user_attrs), tuple(item_attrs)
+
+
+def dataset_from_records(
+    records: Iterable[Mapping[str, object]],
+    user_schema: Optional[Sequence[str]] = None,
+    item_schema: Optional[Sequence[str]] = None,
+    name: str = "records",
+) -> TaggingDataset:
+    """Build a :class:`TaggingDataset` from an iterable of record dicts.
+
+    Each record must carry ``user_id``, ``item_id`` and ``tags`` (list or
+    ``|``-joined string); user/item attributes use the prefixed keys
+    ``user.<attr>`` / ``item.<attr>``.  Schemas are inferred from the
+    records when not given explicitly.
+    """
+    materialised = list(records)
+    if not materialised:
+        raise ValueError("cannot build a dataset from zero records")
+    if user_schema is None or item_schema is None:
+        inferred_user, inferred_item = _infer_schemas(materialised)
+        user_schema = user_schema if user_schema is not None else inferred_user
+        item_schema = item_schema if item_schema is not None else inferred_item
+
+    dataset = TaggingDataset(user_schema, item_schema, name=name)
+    for record in materialised:
+        parts = _split_record(record, user_schema, item_schema)
+        user_id = parts["user_id"]
+        item_id = parts["item_id"]
+        if not dataset.has_user(user_id):
+            dataset.register_user(user_id, parts["user_attrs"])
+        if not dataset.has_item(item_id):
+            dataset.register_item(item_id, parts["item_attrs"])
+        dataset.add_action(user_id, item_id, parts["tags"], parts["rating"])
+    return dataset
+
+
+def dataset_to_records(dataset: TaggingDataset) -> List[Dict[str, object]]:
+    """Serialise a dataset back into a list of flat record dicts."""
+    records: List[Dict[str, object]] = []
+    for action in dataset.actions():
+        record: Dict[str, object] = {
+            "user_id": action.user_id,
+            "item_id": action.item_id,
+            "tags": list(action.tags),
+            "rating": action.rating,
+        }
+        for attr, value in action.user_attributes.items():
+            record[USER_PREFIX + attr] = value
+        for attr, value in action.item_attributes.items():
+            record[ITEM_PREFIX + attr] = value
+        records.append(record)
+    return records
+
+
+def save_csv(dataset: TaggingDataset, path: Union[str, Path]) -> Path:
+    """Write the dataset to ``path`` as CSV (one row per tagging action)."""
+    path = Path(path)
+    fieldnames = (
+        ["user_id", "item_id", "tags", "rating"]
+        + [USER_PREFIX + attr for attr in dataset.user_schema]
+        + [ITEM_PREFIX + attr for attr in dataset.item_schema]
+    )
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for action in dataset.actions():
+            row: Dict[str, object] = {
+                "user_id": action.user_id,
+                "item_id": action.item_id,
+                "tags": TAG_SEPARATOR.join(action.tags),
+                "rating": "" if action.rating is None else action.rating,
+            }
+            for attr, value in action.user_attributes.items():
+                row[USER_PREFIX + attr] = value
+            for attr, value in action.item_attributes.items():
+                row[ITEM_PREFIX + attr] = value
+            writer.writerow(row)
+    return path
+
+
+def load_csv(
+    path: Union[str, Path],
+    user_schema: Optional[Sequence[str]] = None,
+    item_schema: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> TaggingDataset:
+    """Load a dataset previously written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        records = list(reader)
+    if not records:
+        raise ValueError(f"{path} contains no tagging actions")
+    return dataset_from_records(
+        records,
+        user_schema=user_schema,
+        item_schema=item_schema,
+        name=name or path.stem,
+    )

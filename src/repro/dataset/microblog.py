@@ -1,0 +1,166 @@
+"""Synthetic microblog (tweets-about-events) tagging corpus.
+
+The paper's conclusion names topic-centric exploration of tweets and news
+as the intended next application domain ("mining and characterizing
+events in tweets and news").  This generator produces that shape of data
+so the framework extension can be exercised offline: items are news
+events described by ``category`` and ``outlet``, users are accounts
+described by ``account_type`` and ``region``, and a tagging action is a
+tweet whose hashtags form the tag set -- a blend of event-specific
+hashtags (driven by the event's category topic) and account-type habits
+(journalists reuse editorial hashtags, organisations campaign hashtags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataset.store import TaggingDataset
+from repro.dataset.vocab import ZipfTagModel
+
+__all__ = ["MicroblogStyleConfig", "generate_microblog_style"]
+
+ACCOUNT_TYPES: Tuple[str, ...] = ("citizen", "journalist", "organization", "bot")
+REGIONS: Tuple[str, ...] = (
+    "north-america",
+    "europe",
+    "asia",
+    "africa",
+    "south-america",
+    "oceania",
+)
+CATEGORIES: Tuple[str, ...] = (
+    "politics",
+    "sports",
+    "technology",
+    "business",
+    "entertainment",
+    "science",
+    "weather",
+    "health",
+)
+OUTLETS: Tuple[str, ...] = (
+    "wire-service",
+    "national-daily",
+    "local-paper",
+    "tv-network",
+    "online-only",
+)
+
+EDITORIAL_TAGS: Tuple[str, ...] = (
+    "breaking",
+    "exclusive",
+    "developing",
+    "analysis",
+    "opinion",
+    "factcheck",
+)
+CAMPAIGN_TAGS: Tuple[str, ...] = (
+    "press-release",
+    "announcement",
+    "event",
+    "launch",
+    "statement",
+)
+
+USER_SCHEMA: Tuple[str, ...] = ("account_type", "region")
+ITEM_SCHEMA: Tuple[str, ...] = ("category", "outlet")
+
+
+@dataclass
+class MicroblogStyleConfig:
+    """Scale knobs for the microblog-style generator."""
+
+    n_accounts: int = 180
+    n_events: int = 400
+    n_tweets: int = 3000
+    vocabulary_size: int = 1500
+    n_topics: int = len(CATEGORIES)
+    hashtags_per_tweet_mean: float = 3.0
+    hashtags_per_tweet_max: int = 8
+    habit_tag_probability: float = 0.3
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        if min(self.n_accounts, self.n_events, self.n_tweets) <= 0:
+            raise ValueError("corpus dimensions must be positive")
+        if not 0.0 <= self.habit_tag_probability <= 1.0:
+            raise ValueError("habit_tag_probability must lie in [0, 1]")
+
+
+def generate_microblog_style(
+    config: Optional[MicroblogStyleConfig] = None,
+    name: str = "microblog-style",
+) -> TaggingDataset:
+    """Generate a microblog-style (tweets about news events) dataset."""
+    config = config or MicroblogStyleConfig()
+    rng = np.random.default_rng(config.seed)
+    tag_model = ZipfTagModel(
+        vocabulary_size=config.vocabulary_size,
+        n_topics=config.n_topics,
+        seed=config.seed + 1,
+        token_prefix="ht",
+    )
+
+    dataset = TaggingDataset(USER_SCHEMA, ITEM_SCHEMA, name=name)
+
+    account_types: List[str] = []
+    for index in range(config.n_accounts):
+        account_type = str(rng.choice(ACCOUNT_TYPES, p=(0.6, 0.2, 0.15, 0.05)))
+        region = str(rng.choice(REGIONS))
+        account_types.append(account_type)
+        dataset.register_user(
+            f"acct{index:05d}", {"account_type": account_type, "region": region}
+        )
+
+    category_to_topic: Dict[str, int] = {
+        category: position % config.n_topics
+        for position, category in enumerate(CATEGORIES)
+    }
+    event_categories: List[str] = []
+    # Event popularity follows a heavy tail: a few events dominate the feed.
+    popularity = rng.pareto(1.1, size=config.n_events) + 1.0
+    popularity /= popularity.sum()
+    for index in range(config.n_events):
+        category = str(rng.choice(CATEGORIES))
+        outlet = str(rng.choice(OUTLETS))
+        event_categories.append(category)
+        dataset.register_item(
+            f"event{index:05d}", {"category": category, "outlet": outlet}
+        )
+
+    account_draws = rng.integers(0, config.n_accounts, size=config.n_tweets)
+    event_draws = rng.choice(config.n_events, size=config.n_tweets, p=popularity)
+    tag_counts = np.clip(
+        rng.poisson(config.hashtags_per_tweet_mean, size=config.n_tweets),
+        1,
+        config.hashtags_per_tweet_max,
+    )
+
+    habit_pools = {
+        "citizen": (),
+        "bot": (),
+        "journalist": EDITORIAL_TAGS,
+        "organization": CAMPAIGN_TAGS,
+    }
+    for row in range(config.n_tweets):
+        account_index = int(account_draws[row])
+        event_index = int(event_draws[row])
+        category = event_categories[event_index]
+        mixture = np.full(config.n_topics, 0.02)
+        mixture[category_to_topic[category]] += 1.0
+        hashtags = tag_model.sample_tags(mixture, int(tag_counts[row]), rng=rng)
+        pool = habit_pools[account_types[account_index]]
+        if pool:
+            tagged: List[str] = []
+            for hashtag in hashtags:
+                if rng.random() < config.habit_tag_probability:
+                    tagged.append(str(rng.choice(pool)))
+                else:
+                    tagged.append(hashtag)
+            hashtags = tagged
+        dataset.add_action(f"acct{account_index:05d}", f"event{event_index:05d}", hashtags)
+    return dataset

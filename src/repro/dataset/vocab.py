@@ -1,0 +1,243 @@
+"""Tag vocabulary models.
+
+The paper stresses (Section 2.1.2) that tags are drawn from a much larger
+vocabulary than user or item attributes and exhibit a *long tail*
+characteristic.  The synthetic generators therefore need a vocabulary
+model that produces realistically skewed tag usage.  This module supplies:
+
+* :class:`TagVocabulary` -- a plain, ordered vocabulary with id <-> token
+  mapping and usage counting.
+* :class:`ZipfTagModel` -- a topic-aware Zipf sampler.  Each topic owns a
+  preferred slice of the vocabulary; drawing tags for an (item, user)
+  pair mixes the topic-specific distribution with a global long-tail
+  distribution, so that groups of tagging actions about the same topics
+  share tags (giving LDA something real to recover) while the overall
+  frequency histogram stays heavy-tailed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TagVocabulary", "ZipfTagModel"]
+
+
+class TagVocabulary:
+    """A bidirectional mapping between tag tokens and integer ids.
+
+    The vocabulary also keeps a usage counter so that callers (for
+    example the tag-cloud renderer) can ask for the most frequent tags
+    without rescanning the dataset.
+    """
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        self._counts: List[int] = []
+        if tokens is not None:
+            for token in tokens:
+                self.add(token)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self):
+        return iter(self._id_to_token)
+
+    def add(self, token: str, count: int = 0) -> int:
+        """Add ``token`` if missing and return its id."""
+        token_id = self._token_to_id.get(token)
+        if token_id is None:
+            token_id = len(self._id_to_token)
+            self._token_to_id[token] = token_id
+            self._id_to_token.append(token)
+            self._counts.append(0)
+        if count:
+            self._counts[token_id] += count
+        return token_id
+
+    def record_usage(self, token: str, count: int = 1) -> None:
+        """Increment the usage counter of ``token`` (adding it if new)."""
+        token_id = self.add(token)
+        self._counts[token_id] += count
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``; raise ``KeyError`` if unknown."""
+        return self._token_to_id[token]
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token with id ``token_id``."""
+        return self._id_to_token[token_id]
+
+    def count_of(self, token: str) -> int:
+        """Return how many usages of ``token`` were recorded."""
+        token_id = self._token_to_id.get(token)
+        if token_id is None:
+            return 0
+        return self._counts[token_id]
+
+    def tokens(self) -> List[str]:
+        """Return all tokens in insertion order."""
+        return list(self._id_to_token)
+
+    def most_common(self, n: Optional[int] = None) -> List[tuple]:
+        """Return ``(token, count)`` pairs sorted by descending count."""
+        order = sorted(
+            range(len(self._id_to_token)),
+            key=lambda i: (-self._counts[i], self._id_to_token[i]),
+        )
+        if n is not None:
+            order = order[:n]
+        return [(self._id_to_token[i], self._counts[i]) for i in order]
+
+    def merge(self, other: "TagVocabulary") -> "TagVocabulary":
+        """Return a new vocabulary containing tokens and counts of both."""
+        merged = TagVocabulary()
+        for vocab in (self, other):
+            for token in vocab:
+                merged.add(token, vocab.count_of(token))
+        return merged
+
+
+@dataclass
+class ZipfTagModel:
+    """Topic-aware Zipf sampler over a synthetic tag vocabulary.
+
+    Parameters
+    ----------
+    vocabulary_size:
+        Number of distinct tag tokens.
+    n_topics:
+        Number of latent topics; each topic prefers a contiguous block of
+        the vocabulary.
+    zipf_exponent:
+        Skew of the global frequency distribution (1.0 is classic Zipf).
+    topic_concentration:
+        Probability mass a draw spends inside its topic block (the rest
+        goes to the global long-tail distribution).
+    seed:
+        Seed for the internal random generator; generation is fully
+        deterministic given the seed.
+    """
+
+    vocabulary_size: int = 2000
+    n_topics: int = 25
+    zipf_exponent: float = 1.05
+    topic_concentration: float = 0.7
+    seed: int = 7
+    token_prefix: str = "tag"
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _global_probs: np.ndarray = field(init=False, repr=False)
+    _topic_probs: np.ndarray = field(init=False, repr=False)
+    vocabulary: TagVocabulary = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocabulary_size <= 0:
+            raise ValueError("vocabulary_size must be positive")
+        if self.n_topics <= 0:
+            raise ValueError("n_topics must be positive")
+        if not 0.0 <= self.topic_concentration <= 1.0:
+            raise ValueError("topic_concentration must lie in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+        self.vocabulary = TagVocabulary(
+            f"{self.token_prefix}_{i:05d}" for i in range(self.vocabulary_size)
+        )
+        ranks = np.arange(1, self.vocabulary_size + 1, dtype=float)
+        weights = ranks ** (-self.zipf_exponent)
+        self._global_probs = weights / weights.sum()
+        self._topic_probs = self._build_topic_distributions()
+
+    def _build_topic_distributions(self) -> np.ndarray:
+        """Give each topic a preferred block of the vocabulary.
+
+        Topic t concentrates its mass on the block of tokens
+        ``[t * block, (t + 1) * block)`` but keeps a small uniform floor
+        elsewhere so every token remains reachable from every topic.
+        """
+        block = max(1, self.vocabulary_size // self.n_topics)
+        probs = np.full(
+            (self.n_topics, self.vocabulary_size),
+            1.0 / (10.0 * self.vocabulary_size),
+        )
+        for topic in range(self.n_topics):
+            start = (topic * block) % self.vocabulary_size
+            stop = min(start + block, self.vocabulary_size)
+            in_block = np.arange(start, stop)
+            local_ranks = np.arange(1, len(in_block) + 1, dtype=float)
+            probs[topic, in_block] += local_ranks ** (-self.zipf_exponent)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+    @property
+    def topics(self) -> int:
+        """Number of latent topics the model mixes over."""
+        return self.n_topics
+
+    def token(self, token_id: int) -> str:
+        """Return the token string for ``token_id``."""
+        return self.vocabulary.token_of(token_id)
+
+    def sample_topic_mixture(self, concentration: float = 0.3) -> np.ndarray:
+        """Draw a Dirichlet topic mixture (used for users and items)."""
+        return self._rng.dirichlet(np.full(self.n_topics, concentration))
+
+    def sample_tags(
+        self,
+        topic_mixture: Sequence[float],
+        n_tags: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[str]:
+        """Sample ``n_tags`` distinct tag tokens for a tagging action.
+
+        Each tag first picks a topic from ``topic_mixture``; with
+        probability ``topic_concentration`` the token comes from the
+        topic's own distribution, otherwise from the global Zipf tail.
+        """
+        if n_tags <= 0:
+            return []
+        generator = rng if rng is not None else self._rng
+        mixture = np.asarray(topic_mixture, dtype=float)
+        if mixture.shape != (self.n_topics,):
+            raise ValueError(
+                f"topic mixture must have length {self.n_topics}, "
+                f"got {mixture.shape}"
+            )
+        total = mixture.sum()
+        if total <= 0:
+            mixture = np.full(self.n_topics, 1.0 / self.n_topics)
+        else:
+            mixture = mixture / total
+
+        chosen: List[str] = []
+        seen = set()
+        # Allow a few retries so that requested tag counts close to the
+        # vocabulary size still terminate.
+        max_attempts = max(20, 10 * n_tags)
+        attempts = 0
+        while len(chosen) < n_tags and attempts < max_attempts:
+            attempts += 1
+            topic = int(generator.choice(self.n_topics, p=mixture))
+            if generator.random() < self.topic_concentration:
+                probs = self._topic_probs[topic]
+            else:
+                probs = self._global_probs
+            token_id = int(generator.choice(self.vocabulary_size, p=probs))
+            token = self.vocabulary.token_of(token_id)
+            if token not in seen:
+                seen.add(token)
+                chosen.append(token)
+        return chosen
+
+    def expected_frequencies(self) -> np.ndarray:
+        """Return the marginal token distribution under a uniform mixture."""
+        mix = self._topic_probs.mean(axis=0)
+        return (
+            self.topic_concentration * mix
+            + (1.0 - self.topic_concentration) * self._global_probs
+        )

@@ -1,0 +1,60 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+Each public function regenerates the rows/series behind one table or
+figure of the paper; the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets.  See DESIGN.md for the experiment index and
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    AlgorithmRun,
+    build_dataset,
+    build_session,
+    run_algorithm,
+    run_problem_suite,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    figure_1_2_tag_clouds,
+    table_1_problem_instances,
+    table_2_capabilities,
+    figure_3_similarity_time,
+    figure_4_similarity_quality,
+    figure_5_diversity_time,
+    figure_6_diversity_quality,
+    figure_7_scaling_time,
+    figure_8_scaling_quality,
+    figure_9_user_study,
+    run_similarity_experiment,
+    run_diversity_experiment,
+    run_scaling_experiment,
+    case_studies,
+)
+from repro.experiments.reporting import format_rows, render_figure
+
+__all__ = [
+    "ExperimentConfig",
+    "AlgorithmRun",
+    "build_dataset",
+    "build_session",
+    "run_algorithm",
+    "run_problem_suite",
+    "FigureResult",
+    "figure_1_2_tag_clouds",
+    "table_1_problem_instances",
+    "table_2_capabilities",
+    "figure_3_similarity_time",
+    "figure_4_similarity_quality",
+    "figure_5_diversity_time",
+    "figure_6_diversity_quality",
+    "figure_7_scaling_time",
+    "figure_8_scaling_quality",
+    "figure_9_user_study",
+    "run_similarity_experiment",
+    "run_diversity_experiment",
+    "run_scaling_experiment",
+    "case_studies",
+    "format_rows",
+    "render_figure",
+]

@@ -1,0 +1,471 @@
+"""Per-figure and per-table experiment drivers.
+
+One function per artefact of the paper's evaluation section; each
+returns a :class:`FigureResult` whose rows are the series the paper
+plots.  The heavyweight pieces (dataset generation, session preparation)
+are cached per configuration so a benchmark session that regenerates
+every figure pays for them once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.casestudy import CaseStudy, build_case_study, render_case_study
+from repro.analysis.queries import AnalysisQuery, analyze
+from repro.analysis.userstudy import SimulatedUserStudy
+from repro.algorithms.capabilities import capability_matrix
+from repro.core.framework import TagDM
+from repro.core.problem import TABLE1_SPECS
+from repro.dataset.store import TaggingDataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import render_figure
+from repro.experiments.runner import (
+    AlgorithmRun,
+    build_dataset,
+    build_session,
+    run_problem_suite,
+)
+from repro.text.tagcloud import TagCloud, build_tag_cloud, render_tag_cloud
+
+__all__ = [
+    "FigureResult",
+    "experiment_environment",
+    "clear_environment_cache",
+    "figure_1_2_tag_clouds",
+    "table_1_problem_instances",
+    "table_2_capabilities",
+    "run_similarity_experiment",
+    "run_diversity_experiment",
+    "run_scaling_experiment",
+    "figure_3_similarity_time",
+    "figure_4_similarity_quality",
+    "figure_5_diversity_time",
+    "figure_6_diversity_quality",
+    "figure_7_scaling_time",
+    "figure_8_scaling_quality",
+    "figure_9_user_study",
+    "case_studies",
+]
+
+SIMILARITY_PROBLEMS: Tuple[int, ...] = (1, 2, 3)
+DIVERSITY_PROBLEMS: Tuple[int, ...] = (4, 5, 6)
+SIMILARITY_ALGORITHMS: Tuple[str, ...] = ("exact", "sm-lsh-fi", "sm-lsh-fo")
+DIVERSITY_ALGORITHMS: Tuple[str, ...] = ("exact", "dv-fdp-fi", "dv-fdp-fo")
+
+
+@dataclass
+class FigureResult:
+    """The reproduced content of one paper figure or table."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def render(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Readable text rendering of the figure."""
+        return render_figure(
+            f"{self.name}: {self.description}", self.rows, columns=columns, notes=self.notes
+        )
+
+
+# ----------------------------------------------------------------------
+# Cached experiment environment (dataset + prepared session).
+# ----------------------------------------------------------------------
+_ENVIRONMENT_CACHE: Dict[Tuple, Tuple[TaggingDataset, TagDM]] = {}
+
+
+def _config_key(config: ExperimentConfig) -> Tuple:
+    return (
+        config.n_users,
+        config.n_items,
+        config.n_actions,
+        config.seed,
+        config.group_min_support,
+        config.max_groups,
+        config.signature_backend,
+        config.signature_dimensions,
+    )
+
+
+def experiment_environment(config: ExperimentConfig) -> Tuple[TaggingDataset, TagDM]:
+    """Return (dataset, prepared session) for ``config``, cached."""
+    key = _config_key(config)
+    if key not in _ENVIRONMENT_CACHE:
+        dataset = build_dataset(config)
+        session = build_session(dataset, config)
+        _ENVIRONMENT_CACHE[key] = (dataset, session)
+    return _ENVIRONMENT_CACHE[key]
+
+
+def clear_environment_cache() -> None:
+    """Drop every cached experiment environment (used by tests)."""
+    _ENVIRONMENT_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Figures 1 and 2: tag signatures as tag clouds.
+# ----------------------------------------------------------------------
+def figure_1_2_tag_clouds(
+    config: Optional[ExperimentConfig] = None,
+    location: str = "CA",
+    max_tags: int = 20,
+) -> FigureResult:
+    """Reproduce Figures 1-2: tag clouds for one director, all vs CA users.
+
+    The paper renders the tag signature of Woody Allen movies for all
+    users (Figure 1) and for California users only (Figure 2).  The
+    synthetic corpus has no Woody Allen, so the most-tagged director is
+    used; the comparison semantics (full population versus one location's
+    sub-population, overlap and dropped tags) are identical.
+    """
+    config = config or ExperimentConfig()
+    dataset, _session = experiment_environment(config)
+
+    director_counts = dataset.value_counts("item.director")
+    director = max(director_counts, key=director_counts.get)
+    scoped = dataset.filter({"item.director": director})
+
+    all_tags = scoped.tags_for_indices(range(scoped.n_actions))
+    cloud_all = build_tag_cloud(
+        all_tags, title=f"director={director}, all users", max_tags=max_tags
+    )
+
+    location_counts = scoped.value_counts("user.location")
+    if location not in location_counts:
+        location = max(location_counts, key=location_counts.get)
+    scoped_location = scoped.filter({"user.location": location})
+    location_tags = scoped_location.tags_for_indices(range(scoped_location.n_actions))
+    cloud_location = build_tag_cloud(
+        location_tags, title=f"director={director}, location={location}", max_tags=max_tags
+    )
+
+    rows: List[Dict[str, object]] = []
+    for cloud, which in ((cloud_all, "figure-1 (all users)"), (cloud_location, f"figure-2 ({location})")):
+        for entry in cloud.entries:
+            rows.append(
+                {"figure": which, "tag": entry.tag, "count": entry.count, "size": round(entry.size, 3)}
+            )
+    dropped = cloud_all.difference(cloud_location)
+    notes = (
+        f"director with most tagging actions: {director}; "
+        f"tags prominent overall but absent for {location} users: "
+        + (", ".join(dropped[:5]) if dropped else "(none)")
+    )
+    return FigureResult(
+        name="Figures 1-2",
+        description="group tag signatures rendered as frequency tag clouds",
+        rows=rows,
+        notes=notes,
+        extra={
+            "cloud_all": cloud_all,
+            "cloud_location": cloud_location,
+            "rendered_all": render_tag_cloud(cloud_all),
+            "rendered_location": render_tag_cloud(cloud_location),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 1 and 2.
+# ----------------------------------------------------------------------
+def table_1_problem_instances() -> FigureResult:
+    """Reproduce Table 1: the six studied problem instantiations."""
+    rows = [
+        {
+            "id": problem_id,
+            "user": spec[0].value,
+            "item": spec[1].value,
+            "tag": spec[2].value,
+            "C": "U,I",
+            "O": "T",
+        }
+        for problem_id, spec in sorted(TABLE1_SPECS.items())
+    ]
+    return FigureResult(
+        name="Table 1",
+        description="concrete TagDM problem instantiations",
+        rows=rows,
+    )
+
+
+def table_2_capabilities() -> FigureResult:
+    """Reproduce Table 2: summary of TagDM problem solutions."""
+    rows = [
+        {
+            "optimization": row.optimization,
+            "algorithm": row.algorithm_family,
+            "constraints": row.constraints,
+            "technique": row.technique,
+        }
+        for row in capability_matrix()
+    ]
+    return FigureResult(
+        name="Table 2",
+        description="summary of TagDM problem solutions",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 3-6: execution time and quality on the full candidate set.
+# ----------------------------------------------------------------------
+def run_similarity_experiment(
+    config: Optional[ExperimentConfig] = None,
+) -> List[AlgorithmRun]:
+    """Problems 1-3 with Exact, SM-LSH-Fi and SM-LSH-Fo (Figures 3-4)."""
+    config = config or ExperimentConfig()
+    dataset, session = experiment_environment(config)
+    return run_problem_suite(
+        session, dataset, config, SIMILARITY_PROBLEMS, SIMILARITY_ALGORITHMS
+    )
+
+
+def run_diversity_experiment(
+    config: Optional[ExperimentConfig] = None,
+) -> List[AlgorithmRun]:
+    """Problems 4-6 with Exact, DV-FDP-Fi and DV-FDP-Fo (Figures 5-6)."""
+    config = config or ExperimentConfig()
+    dataset, session = experiment_environment(config)
+    return run_problem_suite(
+        session, dataset, config, DIVERSITY_PROBLEMS, DIVERSITY_ALGORITHMS
+    )
+
+
+def _time_rows(runs: Sequence[AlgorithmRun]) -> List[Dict[str, object]]:
+    return [
+        {
+            "problem": run.problem_name,
+            "algorithm": run.algorithm,
+            "time_s": round(run.elapsed_seconds, 4),
+            "evaluations": run.evaluations,
+            "feasible": run.feasible,
+        }
+        for run in runs
+    ]
+
+
+def _quality_rows(runs: Sequence[AlgorithmRun]) -> List[Dict[str, object]]:
+    return [
+        {
+            "problem": run.problem_name,
+            "algorithm": run.algorithm,
+            "quality": None if run.quality is None else round(run.quality, 4),
+            "objective": round(run.objective, 4),
+            "k": run.k_returned,
+            "null_result": run.null_result,
+        }
+        for run in runs
+    ]
+
+
+def figure_3_similarity_time(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[Sequence[AlgorithmRun]] = None,
+) -> FigureResult:
+    """Figure 3: execution time of Problems 1-3 (tag similarity)."""
+    runs = runs if runs is not None else run_similarity_experiment(config)
+    return FigureResult(
+        name="Figure 3",
+        description="execution time, Problems 1-3 (Exact vs SM-LSH-Fi vs SM-LSH-Fo)",
+        rows=_time_rows(runs),
+        notes="expected shape: both LSH variants run far faster than Exact",
+    )
+
+
+def figure_4_similarity_quality(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[Sequence[AlgorithmRun]] = None,
+) -> FigureResult:
+    """Figure 4: result quality of Problems 1-3 (avg pairwise cosine)."""
+    runs = runs if runs is not None else run_similarity_experiment(config)
+    return FigureResult(
+        name="Figure 4",
+        description="result quality, Problems 1-3 (average pairwise cosine similarity)",
+        rows=_quality_rows(runs),
+        notes="expected shape: LSH quality close to the Exact optimum",
+    )
+
+
+def figure_5_diversity_time(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[Sequence[AlgorithmRun]] = None,
+) -> FigureResult:
+    """Figure 5: execution time of Problems 4-6 (tag diversity)."""
+    runs = runs if runs is not None else run_diversity_experiment(config)
+    return FigureResult(
+        name="Figure 5",
+        description="execution time, Problems 4-6 (Exact vs DV-FDP-Fi vs DV-FDP-Fo)",
+        rows=_time_rows(runs),
+        notes="expected shape: both FDP variants run far faster than Exact",
+    )
+
+
+def figure_6_diversity_quality(
+    config: Optional[ExperimentConfig] = None,
+    runs: Optional[Sequence[AlgorithmRun]] = None,
+) -> FigureResult:
+    """Figure 6: result quality of Problems 4-6 (avg pairwise cosine)."""
+    runs = runs if runs is not None else run_diversity_experiment(config)
+    return FigureResult(
+        name="Figure 6",
+        description="result quality, Problems 4-6 (average pairwise cosine similarity)",
+        rows=_quality_rows(runs),
+        notes=(
+            "expected shape: FDP selections nearly as dispersed as Exact "
+            "(lower cosine similarity = more diverse tagging behaviour)"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7-8: varying the number of tagging tuples.
+# ----------------------------------------------------------------------
+def run_scaling_experiment(
+    config: Optional[ExperimentConfig] = None,
+) -> List[Dict[str, object]]:
+    """Problem 1 (SM-LSH-Fo) and Problem 6 (DV-FDP-Fo) vs Exact per bin.
+
+    The full corpus is sampled into bins of increasing tuple counts (the
+    paper uses 5K/10K/20K/30K); each bin gets its own prepared session.
+    """
+    config = config or ExperimentConfig()
+    dataset, _ = experiment_environment(config)
+    rows: List[Dict[str, object]] = []
+    for fraction in config.scaling_bins:
+        bin_size = max(1, int(round(fraction * dataset.n_actions)))
+        bin_dataset = dataset.sample(bin_size, seed=config.seed, name=f"bin-{bin_size}")
+        session = build_session(bin_dataset, config)
+        pairs = (
+            (1, "exact"),
+            (1, "sm-lsh-fo"),
+            (6, "exact"),
+            (6, "dv-fdp-fo"),
+        )
+        runs = []
+        for problem_id, algorithm in pairs:
+            runs.extend(
+                run_problem_suite(session, bin_dataset, config, [problem_id], [algorithm])
+            )
+        for run in runs:
+            row = run.as_row()
+            row["tuples"] = bin_dataset.n_actions
+            row["groups"] = session.n_groups
+            rows.append(row)
+    return rows
+
+
+def figure_7_scaling_time(
+    config: Optional[ExperimentConfig] = None,
+    rows: Optional[List[Dict[str, object]]] = None,
+) -> FigureResult:
+    """Figure 7: execution time while varying the number of tagging tuples."""
+    rows = rows if rows is not None else run_scaling_experiment(config)
+    selected = [
+        {
+            "tuples": row["tuples"],
+            "problem": row["problem"],
+            "algorithm": row["algorithm"],
+            "time_s": row["time_s"],
+        }
+        for row in rows
+    ]
+    return FigureResult(
+        name="Figure 7",
+        description="execution time vs number of tagging tuples (Problem 1 and Problem 6)",
+        rows=selected,
+        notes="expected shape: the Exact-vs-heuristic gap widens with more tuples",
+    )
+
+
+def figure_8_scaling_quality(
+    config: Optional[ExperimentConfig] = None,
+    rows: Optional[List[Dict[str, object]]] = None,
+) -> FigureResult:
+    """Figure 8: result quality while varying the number of tagging tuples."""
+    rows = rows if rows is not None else run_scaling_experiment(config)
+    selected = [
+        {
+            "tuples": row["tuples"],
+            "problem": row["problem"],
+            "algorithm": row["algorithm"],
+            "quality": row["quality"],
+            "feasible": row["feasible"],
+        }
+        for row in rows
+    ]
+    return FigureResult(
+        name="Figure 8",
+        description="result quality vs number of tagging tuples (Problem 1 and Problem 6)",
+        rows=selected,
+        notes="expected shape: heuristic quality stays comparable to Exact across bins",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: the (simulated) user study.
+# ----------------------------------------------------------------------
+def figure_9_user_study(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Figure 9: preference percentages over the six problem instances."""
+    config = config or ExperimentConfig()
+    study = SimulatedUserStudy(n_judges=config.user_study_judges, seed=config.seed)
+    outcome = study.run()
+    return FigureResult(
+        name="Figure 9",
+        description="user study: preference percentage per problem instance (simulated)",
+        rows=outcome.as_rows(),
+        notes=(
+            "simulated stand-in for the paper's AMT study; calibrated so the "
+            "single-diversity-component instances (2, 3, 6) are preferred"
+        ),
+        extra={"outcome": outcome},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 6.2.1 case studies.
+# ----------------------------------------------------------------------
+def case_studies(config: Optional[ExperimentConfig] = None) -> List[CaseStudy]:
+    """Reproduce the two Section 6.2.1 case-study queries.
+
+    Query 1 scopes one genre of movies and asks for diverse user groups
+    that disagree in their tagging (Problem 4); query 2 scopes one user
+    sub-population and asks for similar user groups that disagree on
+    similar items (Problem 6).
+    """
+    config = config or ExperimentConfig()
+    dataset, _ = experiment_environment(config)
+
+    genre_counts = dataset.value_counts("item.genre")
+    genre = max(genre_counts, key=genre_counts.get)
+    query_1 = AnalysisQuery.build(
+        {"item.genre": genre},
+        problem=4,
+        title=f"user tagging behaviour for {{genre={genre}}} movies",
+    )
+
+    gender_counts = dataset.value_counts("user.gender")
+    gender = max(gender_counts, key=gender_counts.get)
+    query_2 = AnalysisQuery.build(
+        {"user.gender": gender},
+        problem=6,
+        title=f"tagging behaviour of {{gender={gender}}} users for movies",
+    )
+
+    studies: List[CaseStudy] = []
+    for query in (query_1, query_2):
+        report = analyze(
+            dataset,
+            query,
+            algorithm="auto",
+            k=config.k,
+            support_fraction=config.support_fraction,
+            signature_backend=config.signature_backend,
+            signature_dimensions=config.signature_dimensions,
+            seed=config.seed,
+        )
+        studies.append(build_case_study(report))
+    return studies

@@ -1,0 +1,64 @@
+"""Plain-text reporting of experiment results.
+
+The harness prints the same rows/series the paper plots, as aligned
+text tables, so every figure can be regenerated and eyeballed from a
+terminal or a benchmark log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_rows", "render_figure"]
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Format dict rows as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first
+    row are used.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(row[i]) for row in table))
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(str(column).ljust(width) for column, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(
+    title: str,
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    notes: Optional[str] = None,
+) -> str:
+    """Render one figure/table reproduction as titled text."""
+    lines = [f"=== {title} ==="]
+    if notes:
+        lines.append(notes)
+    lines.append(format_rows(rows, columns))
+    return "\n".join(lines)

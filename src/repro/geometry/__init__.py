@@ -1,0 +1,46 @@
+"""Computational-geometry substrate: distances and facility dispersion.
+
+Section 5 of the paper maps tag-diversity maximisation onto the Facility
+Dispersion Problem (FDP): treat each group tag signature as a point in a
+unit hypercube and pick ``k`` points maximising the average (or minimum)
+pairwise distance.  This package provides:
+
+* :mod:`repro.geometry.distance` -- cosine similarity / distance and
+  pairwise matrices;
+* :mod:`repro.geometry.dispersion` -- the greedy MAX-AVG heuristic of
+  Ravi, Rosenkrantz & Tayi (factor-4 approximation), a MAX-MIN variant,
+  an exact enumerator for small instances, and a constraint-aware greedy
+  used by DV-FDP-Fo.
+"""
+
+from repro.geometry.distance import (
+    cosine_similarity,
+    cosine_distance,
+    pairwise_cosine_similarity,
+    pairwise_cosine_distance,
+    average_pairwise_distance,
+    average_pairwise_similarity,
+    minimum_pairwise_distance,
+)
+from repro.geometry.dispersion import (
+    DispersionResult,
+    greedy_max_avg_dispersion,
+    greedy_max_min_dispersion,
+    exact_max_dispersion,
+    constrained_greedy_dispersion,
+)
+
+__all__ = [
+    "cosine_similarity",
+    "cosine_distance",
+    "pairwise_cosine_similarity",
+    "pairwise_cosine_distance",
+    "average_pairwise_distance",
+    "average_pairwise_similarity",
+    "minimum_pairwise_distance",
+    "DispersionResult",
+    "greedy_max_avg_dispersion",
+    "greedy_max_min_dispersion",
+    "exact_max_dispersion",
+    "constrained_greedy_dispersion",
+]

@@ -1,0 +1,300 @@
+"""Facility dispersion heuristics.
+
+Section 5 of the paper adapts the facility dispersion problem (FDP) to
+TagDM: given ``n`` tag signature vectors, choose ``k`` of them maximising
+the average pairwise distance (MAX-AVG) or the minimum pairwise distance
+(MAX-MIN).  Both objectives are NP-hard; the paper's DV-FDP uses the
+greedy heuristic of Ravi, Rosenkrantz & Tayi, which carries a factor-4
+approximation guarantee for MAX-AVG under the triangle inequality
+(Theorem 4).
+
+This module implements the heuristics over an explicit distance matrix so
+they are reusable for any metric, plus an exact enumerator for small
+instances (used by the Exact baseline and by tests validating the
+approximation bound) and a constraint-aware greedy (used by DV-FDP-Fo to
+fold user/item constraints into the add step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DispersionResult",
+    "greedy_max_avg_dispersion",
+    "greedy_max_min_dispersion",
+    "exact_max_dispersion",
+    "constrained_greedy_dispersion",
+]
+
+
+@dataclass(frozen=True)
+class DispersionResult:
+    """Outcome of a dispersion run: chosen indices and objective value."""
+
+    indices: Tuple[int, ...]
+    objective: float
+    objective_kind: str
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _validate_matrix(distance_matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(distance_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if matrix.shape[0] == 0:
+        raise ValueError("distance matrix must be non-empty")
+    return matrix
+
+
+def _average_pairwise(matrix: np.ndarray, indices: Sequence[int]) -> float:
+    if len(indices) < 2:
+        return 0.0
+    pairs = [(a, b) for a, b in combinations(indices, 2)]
+    return float(np.mean([matrix[a, b] for a, b in pairs]))
+
+
+def _minimum_pairwise(matrix: np.ndarray, indices: Sequence[int]) -> float:
+    if len(indices) < 2:
+        return 0.0
+    return float(min(matrix[a, b] for a, b in combinations(indices, 2)))
+
+
+def greedy_max_avg_dispersion(distance_matrix: np.ndarray, k: int) -> DispersionResult:
+    """Greedy MAX-AVG dispersion (Ravi et al., factor-4 for metrics).
+
+    Seeds with the farthest pair, then repeatedly adds the point whose
+    total distance to the already-selected set is maximal -- exactly the
+    add step of Algorithm 2 (DV-FDP) in the paper.
+    """
+    matrix = _validate_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, n)
+    if k == 1:
+        return DispersionResult(indices=(0,), objective=0.0, objective_kind="max-avg")
+
+    # Seed: the pair joined by the edge of maximum weight.
+    upper = np.triu(matrix, k=1)
+    seed_a, seed_b = np.unravel_index(np.argmax(upper), upper.shape)
+    selected = [int(seed_a), int(seed_b)]
+
+    remaining = set(range(n)) - set(selected)
+    while len(selected) < k and remaining:
+        best_candidate = None
+        best_gain = -np.inf
+        for candidate in remaining:
+            gain = float(sum(matrix[candidate, chosen] for chosen in selected))
+            if gain > best_gain:
+                best_gain = gain
+                best_candidate = candidate
+        assert best_candidate is not None
+        selected.append(best_candidate)
+        remaining.remove(best_candidate)
+
+    return DispersionResult(
+        indices=tuple(selected),
+        objective=_average_pairwise(matrix, selected),
+        objective_kind="max-avg",
+    )
+
+
+def greedy_max_min_dispersion(distance_matrix: np.ndarray, k: int) -> DispersionResult:
+    """Greedy MAX-MIN dispersion (farthest-point / Gonzalez-style).
+
+    Seeds with the farthest pair, then adds the point maximising its
+    minimum distance to the selected set.  Provided as the alternative
+    optimality criterion discussed in Section 5; exposed for the
+    dispersion ablation bench.
+    """
+    matrix = _validate_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, n)
+    if k == 1:
+        return DispersionResult(indices=(0,), objective=0.0, objective_kind="max-min")
+
+    upper = np.triu(matrix, k=1)
+    seed_a, seed_b = np.unravel_index(np.argmax(upper), upper.shape)
+    selected = [int(seed_a), int(seed_b)]
+    remaining = set(range(n)) - set(selected)
+
+    while len(selected) < k and remaining:
+        best_candidate = None
+        best_score = -np.inf
+        for candidate in remaining:
+            score = float(min(matrix[candidate, chosen] for chosen in selected))
+            if score > best_score:
+                best_score = score
+                best_candidate = candidate
+        assert best_candidate is not None
+        selected.append(best_candidate)
+        remaining.remove(best_candidate)
+
+    return DispersionResult(
+        indices=tuple(selected),
+        objective=_minimum_pairwise(matrix, selected),
+        objective_kind="max-min",
+    )
+
+
+def exact_max_dispersion(
+    distance_matrix: np.ndarray,
+    k: int,
+    objective: str = "max-avg",
+    max_candidates: int = 5000000,
+) -> DispersionResult:
+    """Exhaustively find the ``k``-subset maximising the dispersion objective.
+
+    Only feasible for small ``n`` / ``k``; ``max_candidates`` guards
+    against accidental combinatorial explosions (the number of candidate
+    subsets is ``C(n, k)``).
+    """
+    matrix = _validate_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, n)
+    if objective not in ("max-avg", "max-min"):
+        raise ValueError("objective must be 'max-avg' or 'max-min'")
+
+    from math import comb
+
+    if comb(n, k) > max_candidates:
+        raise ValueError(
+            f"exact dispersion over C({n}, {k}) subsets exceeds the "
+            f"max_candidates={max_candidates} guard"
+        )
+
+    score = _average_pairwise if objective == "max-avg" else _minimum_pairwise
+    best_subset: Optional[Tuple[int, ...]] = None
+    best_value = -np.inf
+    for subset in combinations(range(n), k):
+        value = score(matrix, subset)
+        if value > best_value:
+            best_value = value
+            best_subset = subset
+    assert best_subset is not None
+    return DispersionResult(
+        indices=best_subset, objective=float(best_value), objective_kind=objective
+    )
+
+
+def _greedy_grow_from_seed(
+    matrix: np.ndarray,
+    feasible: np.ndarray,
+    seed_a: int,
+    seed_b: int,
+    k: int,
+) -> List[int]:
+    """Grow a pairwise-feasible set from one seed pair (greedy add step)."""
+    n = matrix.shape[0]
+    selected: List[int] = [int(seed_a), int(seed_b)]
+    remaining_mask = np.ones(n, dtype=bool)
+    remaining_mask[selected] = False
+    while len(selected) < k and remaining_mask.any():
+        # A candidate must be pairwise feasible with every selected member.
+        candidate_feasible = remaining_mask & feasible[:, selected].all(axis=1)
+        if not candidate_feasible.any():
+            break  # no feasible extension; return what we have
+        gains = matrix[:, selected].sum(axis=1)
+        gains[~candidate_feasible] = -np.inf
+        best_candidate = int(np.argmax(gains))
+        selected.append(best_candidate)
+        remaining_mask[best_candidate] = False
+    return selected
+
+
+def constrained_greedy_dispersion(
+    distance_matrix: np.ndarray,
+    k: int,
+    pair_feasible: Optional[Callable[[int, int], bool]] = None,
+    feasible_matrix: Optional[np.ndarray] = None,
+    seed_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    restarts: int = 8,
+) -> Optional[DispersionResult]:
+    """Greedy MAX-AVG dispersion with per-pair feasibility folding.
+
+    This is the engine of DV-FDP-Fo (Section 5.3): at every add step only
+    candidates that are pairwise feasible against every already-selected
+    member are considered, so hard user/item constraints steer the
+    construction instead of being checked only at the end.  Feasibility
+    is supplied either as a callable ``pair_feasible(i, j)`` or as a
+    precomputed boolean ``feasible_matrix`` (much faster for large
+    candidate sets).  If the construction stalls before reaching ``k``
+    members, up to ``restarts`` alternative seed pairs (next-heaviest
+    feasible edges) are tried and the largest set found wins (ties broken
+    by average pairwise weight).  Returns ``None`` when no feasible seed
+    pair exists.
+    """
+    matrix = _validate_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if pair_feasible is None and feasible_matrix is None:
+        raise ValueError("provide pair_feasible or feasible_matrix")
+    if restarts < 1:
+        raise ValueError("restarts must be at least 1")
+    k = min(k, n)
+
+    if feasible_matrix is None:
+        feasible = np.zeros((n, n), dtype=bool)
+        for a in range(n):
+            for b in range(a + 1, n):
+                ok = bool(pair_feasible(a, b))
+                feasible[a, b] = ok
+                feasible[b, a] = ok
+    else:
+        feasible = np.asarray(feasible_matrix, dtype=bool)
+        if feasible.shape != matrix.shape:
+            raise ValueError("feasible_matrix must have the same shape as the distance matrix")
+
+    if seed_pairs is not None:
+        allowed = np.zeros((n, n), dtype=bool)
+        for a, b in seed_pairs:
+            if a != b:
+                allowed[a, b] = True
+                allowed[b, a] = True
+        seed_mask = feasible & allowed
+    else:
+        seed_mask = feasible.copy()
+    np.fill_diagonal(seed_mask, False)
+
+    if not seed_mask.any():
+        if k == 1 and n >= 1:
+            return DispersionResult(indices=(0,), objective=0.0, objective_kind="max-avg")
+        return None
+
+    masked_weights = np.where(seed_mask, matrix, -np.inf)
+    best_selected: Optional[List[int]] = None
+    best_key: Tuple[int, float] = (-1, -np.inf)
+
+    for _attempt in range(restarts):
+        if not np.isfinite(masked_weights).any() or masked_weights.max() == -np.inf:
+            break
+        seed_a, seed_b = np.unravel_index(np.argmax(masked_weights), masked_weights.shape)
+        selected = _greedy_grow_from_seed(matrix, feasible, int(seed_a), int(seed_b), k)
+        key = (len(selected), _average_pairwise(matrix, selected))
+        if key > best_key:
+            best_key = key
+            best_selected = selected
+        if len(selected) >= k:
+            break
+        # Exclude this seed edge and retry from the next-heaviest one.
+        masked_weights[seed_a, seed_b] = -np.inf
+        masked_weights[seed_b, seed_a] = -np.inf
+
+    assert best_selected is not None
+    return DispersionResult(
+        indices=tuple(best_selected),
+        objective=_average_pairwise(matrix, best_selected),
+        objective_kind="max-avg",
+    )

@@ -1,0 +1,93 @@
+"""Cosine similarity / distance utilities for signature vectors.
+
+All TagDM tag-dimension comparisons in the paper use the cosine of the
+angle between two group tag signature vectors (Section 2.1.2); diversity
+is its complement.  Signature vectors produced by the topic models are
+non-negative, so cosine similarity lies in ``[0, 1]`` and
+``1 - similarity`` is a well-behaved distance for the dispersion
+heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "cosine_distance",
+    "pairwise_cosine_similarity",
+    "pairwise_cosine_distance",
+    "average_pairwise_distance",
+    "average_pairwise_similarity",
+    "minimum_pairwise_distance",
+]
+
+
+def cosine_similarity(vector_a: Sequence[float], vector_b: Sequence[float]) -> float:
+    """Cosine similarity of two vectors; zero vectors give 0.0."""
+    a = np.asarray(vector_a, dtype=float)
+    b = np.asarray(vector_b, dtype=float)
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.clip(np.dot(a, b) / (norm_a * norm_b), -1.0, 1.0))
+
+
+def cosine_distance(vector_a: Sequence[float], vector_b: Sequence[float]) -> float:
+    """Cosine distance ``1 - cosine_similarity``."""
+    return 1.0 - cosine_similarity(vector_a, vector_b)
+
+
+def pairwise_cosine_similarity(vectors: Sequence[Sequence[float]]) -> np.ndarray:
+    """Full ``(n, n)`` cosine-similarity matrix.
+
+    Rows with zero norm get similarity 0 against everything (including
+    themselves), mirroring :func:`cosine_similarity`.
+    """
+    array = np.atleast_2d(np.asarray(vectors, dtype=float))
+    norms = np.linalg.norm(array, axis=1)
+    safe = np.where(norms > 0, norms, 1.0)
+    unit = array / safe[:, None]
+    matrix = np.clip(unit @ unit.T, -1.0, 1.0)
+    zero_mask = norms == 0
+    if zero_mask.any():
+        matrix[zero_mask, :] = 0.0
+        matrix[:, zero_mask] = 0.0
+    return matrix
+
+
+def pairwise_cosine_distance(vectors: Sequence[Sequence[float]]) -> np.ndarray:
+    """Full ``(n, n)`` cosine-distance matrix with zero diagonal."""
+    matrix = 1.0 - pairwise_cosine_similarity(vectors)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def _pair_values(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    if n < 2:
+        return np.empty(0)
+    upper = np.triu_indices(n, k=1)
+    return matrix[upper]
+
+
+def average_pairwise_distance(vectors: Sequence[Sequence[float]]) -> float:
+    """Average pairwise cosine distance (the MAX-AVG dispersion objective)."""
+    values = _pair_values(pairwise_cosine_distance(vectors))
+    return float(values.mean()) if values.size else 0.0
+
+
+def average_pairwise_similarity(vectors: Sequence[Sequence[float]]) -> float:
+    """Average pairwise cosine similarity (the paper's quality metric)."""
+    values = _pair_values(pairwise_cosine_similarity(vectors))
+    return float(values.mean()) if values.size else 1.0
+
+
+def minimum_pairwise_distance(vectors: Sequence[Sequence[float]]) -> float:
+    """Minimum pairwise cosine distance (the MAX-MIN dispersion objective)."""
+    values = _pair_values(pairwise_cosine_distance(vectors))
+    return float(values.min()) if values.size else 0.0

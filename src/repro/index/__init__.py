@@ -1,0 +1,26 @@
+"""Locality Sensitive Hashing substrate.
+
+Section 4 of the paper builds its similarity-maximisation algorithms on
+Charikar's sign-random-projection (cosine) LSH scheme: every tag
+signature vector is reduced to a ``d'``-bit signature by taking the signs
+of dot products with random hyperplanes; vectors whose angle is small
+collide with high probability (Theorem 2).  This package implements that
+scheme as a reusable index:
+
+* :class:`~repro.index.hyperplane.RandomHyperplaneHasher` -- one family
+  of ``d'`` random hyperplanes producing bit signatures;
+* :class:`~repro.index.lsh.CosineLshIndex` -- ``l`` independent hash
+  tables with bucket inspection, collision-probability estimates and the
+  bucket-ranking access pattern SM-LSH relies on.
+"""
+
+from repro.index.hyperplane import RandomHyperplaneHasher, signature_to_key
+from repro.index.lsh import Bucket, CosineLshIndex, collision_probability
+
+__all__ = [
+    "RandomHyperplaneHasher",
+    "signature_to_key",
+    "Bucket",
+    "CosineLshIndex",
+    "collision_probability",
+]

@@ -1,0 +1,106 @@
+"""Random hyperplane (sign random projection) hash family.
+
+Implements the LSH family of Theorem 2 in the paper (after Charikar
+2002): draw ``n_bits`` random vectors ``r`` with i.i.d. standard normal
+entries; the hash of a vector ``v`` is the bit string
+``[sign(r_1 . v), ..., sign(r_bits . v)]``.  For two vectors at angle
+``theta`` the per-bit collision probability is ``1 - theta / pi``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RandomHyperplaneHasher", "signature_to_key"]
+
+
+def signature_to_key(bits: np.ndarray) -> int:
+    """Pack a boolean signature into an integer bucket key."""
+    key = 0
+    for bit in np.asarray(bits, dtype=bool):
+        key = (key << 1) | int(bit)
+    return key
+
+
+class RandomHyperplaneHasher:
+    """One family of ``n_bits`` random hyperplanes in ``n_dimensions``.
+
+    Parameters
+    ----------
+    n_dimensions:
+        Dimensionality of the input vectors (the tag-signature length
+        ``d``; with folded constraints this grows to ``d`` plus the
+        one-hot widths of the folded attributes).
+    n_bits:
+        Number of hyperplanes, i.e. the reduced dimensionality ``d'``.
+    seed:
+        Seed for the hyperplane draws; two hashers with the same seed and
+        shape are identical.
+    """
+
+    def __init__(self, n_dimensions: int, n_bits: int, seed: int = 0) -> None:
+        if n_dimensions <= 0:
+            raise ValueError("n_dimensions must be positive")
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        self.n_dimensions = n_dimensions
+        self.n_bits = n_bits
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # Rows are hyperplane normals r_1 ... r_{n_bits}.
+        self._hyperplanes = rng.standard_normal((n_bits, n_dimensions))
+
+    @property
+    def hyperplanes(self) -> np.ndarray:
+        """The ``(n_bits, n_dimensions)`` matrix of hyperplane normals."""
+        return self._hyperplanes
+
+    def _validate(self, vectors: np.ndarray) -> np.ndarray:
+        array = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if array.shape[1] != self.n_dimensions:
+            raise ValueError(
+                f"expected vectors of dimension {self.n_dimensions}, "
+                f"got {array.shape[1]}"
+            )
+        return array
+
+    def hash_bits(self, vectors: np.ndarray) -> np.ndarray:
+        """Return the boolean signature matrix ``(n_vectors, n_bits)``.
+
+        A dot product of exactly zero hashes to bit 1, matching the
+        ``r . v >= 0`` convention of the paper's hash function.
+        """
+        array = self._validate(vectors)
+        projections = array @ self._hyperplanes.T
+        return projections >= 0.0
+
+    def hash_keys(self, vectors: np.ndarray) -> np.ndarray:
+        """Return integer bucket keys, one per input vector."""
+        bits = self.hash_bits(vectors)
+        keys = np.zeros(bits.shape[0], dtype=np.int64)
+        for column in range(self.n_bits):
+            keys = (keys << 1) | bits[:, column].astype(np.int64)
+        return keys
+
+    def hash_one(self, vector: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Hash a single vector; returns ``(key, bit signature)``."""
+        bits = self.hash_bits(np.asarray(vector, dtype=float).reshape(1, -1))[0]
+        return signature_to_key(bits), bits
+
+    def narrowed(self, n_bits: int, seed: Optional[int] = None) -> "RandomHyperplaneHasher":
+        """Return a hasher with fewer bits (used by iterative relaxation).
+
+        SM-LSH halves ``d'`` when no bucket yields a feasible result;
+        using the same seed keeps the retained hyperplanes a prefix of the
+        original family so behaviour stays comparable across iterations.
+        """
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        n_bits = min(n_bits, self.n_bits)
+        clone = RandomHyperplaneHasher(
+            self.n_dimensions, n_bits, seed=self.seed if seed is None else seed
+        )
+        clone._hyperplanes = self._hyperplanes[:n_bits].copy()
+        return clone

@@ -1,0 +1,199 @@
+"""Multi-table cosine LSH index.
+
+The SM-LSH family of algorithms (Section 4) hashes the ``n`` group tag
+signature vectors into ``l`` hash tables of ``d'``-bit buckets, then --
+unlike classic nearest-neighbour usage -- inspects and *ranks whole
+buckets* to find the result set of tagging-action groups.  The index
+below supports exactly that access pattern: build once, iterate buckets
+per table, and re-hash cheaply with a narrower bit width during the
+iterative relaxation loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.index.hyperplane import RandomHyperplaneHasher
+
+__all__ = ["Bucket", "CosineLshIndex", "collision_probability"]
+
+
+def collision_probability(vector_a: np.ndarray, vector_b: np.ndarray, n_bits: int) -> float:
+    """Probability that two vectors share a full ``n_bits`` signature.
+
+    From Theorem 2: per-bit collision probability is ``1 - theta / pi``
+    where ``theta`` is the angle between the vectors; independent bits
+    multiply.
+    """
+    a = np.asarray(vector_a, dtype=float)
+    b = np.asarray(vector_b, dtype=float)
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0 or norm_b == 0:
+        # A zero vector hashes to the all-ones signature deterministically;
+        # treat the angle as pi/2 against any non-zero vector.
+        theta = math.pi / 2 if (norm_a > 0 or norm_b > 0) else 0.0
+    else:
+        cosine = float(np.clip(np.dot(a, b) / (norm_a * norm_b), -1.0, 1.0))
+        theta = math.acos(cosine)
+    per_bit = 1.0 - theta / math.pi
+    return per_bit ** n_bits
+
+
+@dataclass
+class Bucket:
+    """One LSH bucket: table index, integer key, member row ids."""
+
+    table: int
+    key: int
+    members: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class CosineLshIndex:
+    """``l`` independent random-hyperplane hash tables over a vector set.
+
+    Parameters
+    ----------
+    n_dimensions:
+        Input vector dimensionality.
+    n_bits:
+        Signature width ``d'`` per table.
+    n_tables:
+        Number of independent tables ``l``.
+    seed:
+        Base seed; table ``t`` uses ``seed + t`` for its hyperplanes.
+    """
+
+    def __init__(
+        self,
+        n_dimensions: int,
+        n_bits: int = 10,
+        n_tables: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if n_tables <= 0:
+            raise ValueError("n_tables must be positive")
+        self.n_dimensions = n_dimensions
+        self.n_bits = n_bits
+        self.n_tables = n_tables
+        self.seed = seed
+        self._hashers = [
+            RandomHyperplaneHasher(n_dimensions, n_bits, seed=seed + table)
+            for table in range(n_tables)
+        ]
+        self._tables: List[Dict[int, List[int]]] = [{} for _ in range(n_tables)]
+        self._vectors: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed vectors (raises if :meth:`build` was not called)."""
+        if self._vectors is None:
+            raise RuntimeError("index has not been built yet")
+        return self._vectors
+
+    @property
+    def n_indexed(self) -> int:
+        """Number of indexed vectors (0 before :meth:`build`)."""
+        return 0 if self._vectors is None else self._vectors.shape[0]
+
+    def build(self, vectors: Sequence[Sequence[float]]) -> "CosineLshIndex":
+        """Hash all ``vectors`` into every table.  Returns ``self``."""
+        array = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if array.size == 0:
+            raise ValueError("cannot build an LSH index over zero vectors")
+        if array.shape[1] != self.n_dimensions:
+            raise ValueError(
+                f"expected vectors of dimension {self.n_dimensions}, "
+                f"got {array.shape[1]}"
+            )
+        self._vectors = array
+        self._tables = [{} for _ in range(self.n_tables)]
+        for table, hasher in enumerate(self._hashers):
+            keys = hasher.hash_keys(array)
+            buckets = self._tables[table]
+            for row, key in enumerate(keys):
+                buckets.setdefault(int(key), []).append(row)
+        return self
+
+    def rebuild_with_bits(self, n_bits: int) -> "CosineLshIndex":
+        """Return a new index over the same vectors with ``n_bits`` bits.
+
+        Used by SM-LSH's iterative relaxation: fewer bits means coarser
+        buckets, so more groups collide and a feasible bucket is more
+        likely to appear.
+        """
+        clone = CosineLshIndex(
+            self.n_dimensions, n_bits=n_bits, n_tables=self.n_tables, seed=self.seed
+        )
+        if self._vectors is not None:
+            clone.build(self._vectors)
+        return clone
+
+    # ------------------------------------------------------------------
+    def buckets(self, table: Optional[int] = None) -> Iterator[Bucket]:
+        """Iterate buckets, over one table or all tables."""
+        tables = range(self.n_tables) if table is None else [table]
+        for table_index in tables:
+            for key, members in self._tables[table_index].items():
+                yield Bucket(table=table_index, key=key, members=list(members))
+
+    def bucket_of(self, vector: Sequence[float], table: int = 0) -> Bucket:
+        """Return the bucket the query ``vector`` falls into (may be empty)."""
+        if table < 0 or table >= self.n_tables:
+            raise IndexError(f"table {table} out of range")
+        key, _ = self._hashers[table].hash_one(np.asarray(vector, dtype=float))
+        members = self._tables[table].get(key, [])
+        return Bucket(table=table, key=key, members=list(members))
+
+    def candidates(self, vector: Sequence[float]) -> List[int]:
+        """Union of bucket members of ``vector`` across all tables.
+
+        This is the classic approximate-nearest-neighbour access path; it
+        is exposed for completeness and used by tests to validate the
+        collision-probability behaviour.
+        """
+        seen: List[int] = []
+        seen_set = set()
+        for table in range(self.n_tables):
+            for member in self.bucket_of(vector, table).members:
+                if member not in seen_set:
+                    seen_set.add(member)
+                    seen.append(member)
+        return seen
+
+    def bucket_count(self, table: Optional[int] = None) -> int:
+        """Number of non-empty buckets in one table or across all tables."""
+        if table is not None:
+            return len(self._tables[table])
+        return sum(len(buckets) for buckets in self._tables)
+
+    def largest_bucket(self) -> Bucket:
+        """Return the bucket with the most members across all tables."""
+        best: Optional[Bucket] = None
+        for bucket in self.buckets():
+            if best is None or len(bucket) > len(best):
+                best = bucket
+        if best is None:
+            raise RuntimeError("index has no buckets; call build() first")
+        return best
+
+    def stats(self) -> Dict[str, float]:
+        """Bucket-occupancy statistics (useful for tuning ``d'`` and ``l``)."""
+        sizes = [len(members) for table in self._tables for members in table.values()]
+        if not sizes:
+            return {"buckets": 0, "mean_size": 0.0, "max_size": 0, "singletons": 0}
+        sizes_array = np.asarray(sizes)
+        return {
+            "buckets": int(len(sizes)),
+            "mean_size": float(sizes_array.mean()),
+            "max_size": int(sizes_array.max()),
+            "singletons": int((sizes_array == 1).sum()),
+        }

@@ -1,0 +1,49 @@
+"""Tag summarisation substrate.
+
+Section 2.1.2 of the paper proposes a two-step treatment of the tag
+dimension: first summarise a group's tags into a *group tag signature*
+(a weighted vector over topic categories), then compare signatures with
+a vector distance.  The paper names three summarisation options --
+plain frequency, tf*idf and Latent Dirichlet Allocation -- and evaluates
+with LDA over ``d = 25`` topics.  This package implements all three from
+scratch on numpy:
+
+* :mod:`repro.text.tokenize` -- tag normalisation utilities.
+* :mod:`repro.text.tfidf` -- a tf*idf vectoriser over tag multisets.
+* :mod:`repro.text.lda` -- collapsed-Gibbs Latent Dirichlet Allocation.
+* :mod:`repro.text.topics` -- the :class:`TopicModel` interface used by
+  the core signature builder, with frequency / tf*idf / LDA backends and
+  a small synonym folding table (the paper's WordNet enhancement).
+* :mod:`repro.text.tagcloud` -- frequency tag clouds (Figures 1 and 2).
+"""
+
+from repro.text.tokenize import normalize_tag, normalize_tags, tag_counts
+from repro.text.tfidf import TfIdfVectorizer
+from repro.text.lda import LatentDirichletAllocation, LdaResult
+from repro.text.topics import (
+    TopicModel,
+    FrequencyTopicModel,
+    TfIdfTopicModel,
+    LdaTopicModel,
+    SynonymFolder,
+    build_topic_model,
+)
+from repro.text.tagcloud import TagCloud, build_tag_cloud, render_tag_cloud
+
+__all__ = [
+    "normalize_tag",
+    "normalize_tags",
+    "tag_counts",
+    "TfIdfVectorizer",
+    "LatentDirichletAllocation",
+    "LdaResult",
+    "TopicModel",
+    "FrequencyTopicModel",
+    "TfIdfTopicModel",
+    "LdaTopicModel",
+    "SynonymFolder",
+    "build_topic_model",
+    "TagCloud",
+    "build_tag_cloud",
+    "render_tag_cloud",
+]

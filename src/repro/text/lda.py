@@ -1,0 +1,353 @@
+"""Latent Dirichlet Allocation with collapsed Gibbs sampling.
+
+The paper uses LDA (Blei, Ng & Jordan 2003) to summarise a tagging-action
+group's long-tailed tag multiset into a ``d = 25`` dimensional topic
+distribution, which then becomes the group's tag signature vector
+(Sections 2.1.2 and 6).  This module implements LDA from scratch on
+numpy:
+
+* :class:`LatentDirichletAllocation` -- train with collapsed Gibbs
+  sampling over integer token streams, expose the topic-word matrix
+  ``phi`` and document-topic matrix ``theta``;
+* fold-in inference (:meth:`LatentDirichletAllocation.infer`) for new
+  documents, which is what the TagDM pipeline uses to produce a topic
+  distribution per tagging-action group after fitting the model on the
+  full corpus.
+
+The implementation keeps the vocabulary external: callers pass documents
+as lists of string tokens; the model builds a token <-> id mapping during
+``fit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LatentDirichletAllocation", "LdaResult"]
+
+
+@dataclass
+class LdaResult:
+    """Training summary returned by :meth:`LatentDirichletAllocation.fit`."""
+
+    n_documents: int
+    n_tokens: int
+    vocabulary_size: int
+    n_topics: int
+    iterations_run: int
+    log_likelihood_trace: List[float]
+
+    @property
+    def final_log_likelihood(self) -> float:
+        """The last recorded joint log likelihood (higher is better)."""
+        if not self.log_likelihood_trace:
+            return float("nan")
+        return self.log_likelihood_trace[-1]
+
+
+class LatentDirichletAllocation:
+    """Collapsed Gibbs sampling LDA over tag documents.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of latent topics ``d`` (the paper uses 25).
+    alpha:
+        Symmetric Dirichlet prior on document-topic distributions.
+        Defaults to ``50 / n_topics`` which is the common heuristic.
+    beta:
+        Symmetric Dirichlet prior on topic-word distributions.
+    n_iterations:
+        Gibbs sweeps over the corpus during :meth:`fit`.
+    burn_in:
+        Sweeps ignored before averaging ``theta`` / ``phi`` estimates.
+    seed:
+        Seed of the internal random generator (training is deterministic
+        given the seed and the input order).
+    """
+
+    def __init__(
+        self,
+        n_topics: int = 25,
+        alpha: Optional[float] = None,
+        beta: float = 0.01,
+        n_iterations: int = 200,
+        burn_in: int = 50,
+        seed: int = 0,
+    ) -> None:
+        if n_topics <= 1:
+            raise ValueError("n_topics must be at least 2")
+        if n_iterations <= 0:
+            raise ValueError("n_iterations must be positive")
+        if burn_in < 0 or burn_in >= n_iterations:
+            raise ValueError("burn_in must satisfy 0 <= burn_in < n_iterations")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.n_topics = n_topics
+        self.alpha = alpha if alpha is not None else 50.0 / n_topics
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.beta = beta
+        self.n_iterations = n_iterations
+        self.burn_in = burn_in
+        self.seed = seed
+
+        self.vocabulary_: Dict[str, int] = {}
+        self.topic_word_: Optional[np.ndarray] = None  # phi, (n_topics, V)
+        self.doc_topic_: Optional[np.ndarray] = None  # theta, (D, n_topics)
+        self.result_: Optional[LdaResult] = None
+        self._topic_word_counts: Optional[np.ndarray] = None
+        self._topic_counts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Vocabulary handling
+    # ------------------------------------------------------------------
+    def _encode_corpus(
+        self, documents: Sequence[Iterable[str]], extend_vocabulary: bool
+    ) -> List[np.ndarray]:
+        encoded: List[np.ndarray] = []
+        for document in documents:
+            token_ids: List[int] = []
+            for token in document:
+                token = str(token)
+                token_id = self.vocabulary_.get(token)
+                if token_id is None:
+                    if not extend_vocabulary:
+                        continue  # unseen tokens are skipped at inference time
+                    token_id = len(self.vocabulary_)
+                    self.vocabulary_[token] = token_id
+                token_ids.append(token_id)
+            encoded.append(np.asarray(token_ids, dtype=np.int64))
+        return encoded
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens seen during :meth:`fit`."""
+        return len(self.vocabulary_)
+
+    def feature_names(self) -> List[str]:
+        """Return tokens ordered by their internal ids."""
+        ordered = sorted(self.vocabulary_.items(), key=lambda pair: pair[1])
+        return [token for token, _ in ordered]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, documents: Sequence[Iterable[str]]) -> LdaResult:
+        """Run collapsed Gibbs sampling over ``documents``.
+
+        Returns an :class:`LdaResult` summary; the fitted ``phi`` /
+        ``theta`` matrices are available as :attr:`topic_word_` and
+        :attr:`doc_topic_` afterwards.
+        """
+        corpus = self._encode_corpus(documents, extend_vocabulary=True)
+        if not corpus:
+            raise ValueError("cannot fit LDA on zero documents")
+        vocab_size = self.vocabulary_size
+        if vocab_size == 0:
+            raise ValueError("cannot fit LDA on documents with no tokens")
+
+        rng = np.random.default_rng(self.seed)
+        n_docs = len(corpus)
+        K = self.n_topics
+
+        doc_topic_counts = np.zeros((n_docs, K), dtype=np.int64)
+        topic_word_counts = np.zeros((K, vocab_size), dtype=np.int64)
+        topic_counts = np.zeros(K, dtype=np.int64)
+        assignments: List[np.ndarray] = []
+
+        # Random initialisation of topic assignments.
+        for doc_index, tokens in enumerate(corpus):
+            topics = rng.integers(0, K, size=len(tokens))
+            assignments.append(topics)
+            for token_id, topic in zip(tokens, topics):
+                doc_topic_counts[doc_index, topic] += 1
+                topic_word_counts[topic, token_id] += 1
+                topic_counts[topic] += 1
+
+        alpha, beta = self.alpha, self.beta
+        beta_sum = beta * vocab_size
+        theta_accumulator = np.zeros((n_docs, K), dtype=float)
+        phi_accumulator = np.zeros((K, vocab_size), dtype=float)
+        samples_kept = 0
+        log_likelihoods: List[float] = []
+
+        for iteration in range(self.n_iterations):
+            for doc_index, tokens in enumerate(corpus):
+                topics = assignments[doc_index]
+                doc_counts = doc_topic_counts[doc_index]
+                for position in range(len(tokens)):
+                    token_id = tokens[position]
+                    old_topic = topics[position]
+
+                    doc_counts[old_topic] -= 1
+                    topic_word_counts[old_topic, token_id] -= 1
+                    topic_counts[old_topic] -= 1
+
+                    weights = (
+                        (doc_counts + alpha)
+                        * (topic_word_counts[:, token_id] + beta)
+                        / (topic_counts + beta_sum)
+                    )
+                    total = weights.sum()
+                    new_topic = int(
+                        np.searchsorted(np.cumsum(weights), rng.random() * total)
+                    )
+                    if new_topic >= K:  # numerical guard
+                        new_topic = K - 1
+
+                    topics[position] = new_topic
+                    doc_counts[new_topic] += 1
+                    topic_word_counts[new_topic, token_id] += 1
+                    topic_counts[new_topic] += 1
+
+            if iteration >= self.burn_in:
+                theta_accumulator += doc_topic_counts + alpha
+                phi_accumulator += topic_word_counts + beta
+                samples_kept += 1
+
+            if iteration % 10 == 0 or iteration == self.n_iterations - 1:
+                log_likelihoods.append(
+                    self._joint_log_likelihood(
+                        doc_topic_counts, topic_word_counts, topic_counts
+                    )
+                )
+
+        theta = theta_accumulator / samples_kept
+        theta /= theta.sum(axis=1, keepdims=True)
+        phi = phi_accumulator / samples_kept
+        phi /= phi.sum(axis=1, keepdims=True)
+
+        self.doc_topic_ = theta
+        self.topic_word_ = phi
+        self._topic_word_counts = topic_word_counts
+        self._topic_counts = topic_counts
+        self.result_ = LdaResult(
+            n_documents=n_docs,
+            n_tokens=int(sum(len(tokens) for tokens in corpus)),
+            vocabulary_size=vocab_size,
+            n_topics=K,
+            iterations_run=self.n_iterations,
+            log_likelihood_trace=log_likelihoods,
+        )
+        return self.result_
+
+    def _joint_log_likelihood(
+        self,
+        doc_topic_counts: np.ndarray,
+        topic_word_counts: np.ndarray,
+        topic_counts: np.ndarray,
+    ) -> float:
+        """Compute an (unnormalised) joint log likelihood for monitoring."""
+        from scipy.special import gammaln
+
+        vocab_size = topic_word_counts.shape[1]
+        alpha, beta = self.alpha, self.beta
+        # p(w | z)
+        likelihood = float(
+            np.sum(gammaln(topic_word_counts + beta))
+            - np.sum(gammaln(topic_counts + beta * vocab_size))
+        )
+        likelihood += self.n_topics * float(
+            gammaln(beta * vocab_size) - vocab_size * gammaln(beta)
+        )
+        # p(z)
+        doc_totals = doc_topic_counts.sum(axis=1)
+        likelihood += float(
+            np.sum(gammaln(doc_topic_counts + alpha))
+            - np.sum(gammaln(doc_totals + alpha * self.n_topics))
+        )
+        likelihood += doc_topic_counts.shape[0] * float(
+            gammaln(alpha * self.n_topics) - self.n_topics * gammaln(alpha)
+        )
+        return likelihood
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def infer(
+        self,
+        document: Iterable[str],
+        n_iterations: int = 50,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        """Fold a new document in and return its topic distribution.
+
+        Unseen tokens are ignored.  A document with no known tokens maps
+        to the uniform distribution, which keeps downstream cosine
+        comparisons well-defined.
+        """
+        if self.topic_word_ is None or self._topic_word_counts is None:
+            raise RuntimeError("LDA model must be fitted before inference")
+        tokens = [
+            self.vocabulary_[token]
+            for token in (str(t) for t in document)
+            if token in self.vocabulary_
+        ]
+        K = self.n_topics
+        if not tokens:
+            return np.full(K, 1.0 / K)
+
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        token_array = np.asarray(tokens, dtype=np.int64)
+        topics = rng.integers(0, K, size=len(token_array))
+        doc_counts = np.bincount(topics, minlength=K).astype(np.int64)
+
+        alpha, beta = self.alpha, self.beta
+        vocab_size = self.vocabulary_size
+        beta_sum = beta * vocab_size
+        word_counts = self._topic_word_counts
+        topic_counts = self._topic_counts
+        assert topic_counts is not None
+
+        accumulator = np.zeros(K, dtype=float)
+        burn_in = max(1, n_iterations // 2)
+        for iteration in range(n_iterations):
+            for position in range(len(token_array)):
+                token_id = token_array[position]
+                old_topic = topics[position]
+                doc_counts[old_topic] -= 1
+                weights = (
+                    (doc_counts + alpha)
+                    * (word_counts[:, token_id] + beta)
+                    / (topic_counts + beta_sum)
+                )
+                total = weights.sum()
+                new_topic = int(
+                    np.searchsorted(np.cumsum(weights), rng.random() * total)
+                )
+                if new_topic >= K:
+                    new_topic = K - 1
+                topics[position] = new_topic
+                doc_counts[new_topic] += 1
+            if iteration >= burn_in:
+                accumulator += doc_counts + alpha
+
+        distribution = accumulator / accumulator.sum()
+        return distribution
+
+    def transform(
+        self,
+        documents: Sequence[Iterable[str]],
+        n_iterations: int = 50,
+    ) -> np.ndarray:
+        """Infer topic distributions for a batch of documents."""
+        rows = [
+            self.infer(document, n_iterations=n_iterations, seed=self.seed + index)
+            for index, document in enumerate(documents)
+        ]
+        return np.vstack(rows) if rows else np.zeros((0, self.n_topics))
+
+    def top_words(self, topic: int, n: int = 10) -> List[Tuple[str, float]]:
+        """Return the ``n`` most probable tokens of ``topic`` with weights."""
+        if self.topic_word_ is None:
+            raise RuntimeError("LDA model must be fitted before inspecting topics")
+        if topic < 0 or topic >= self.n_topics:
+            raise IndexError(f"topic {topic} out of range")
+        names = self.feature_names()
+        weights = self.topic_word_[topic]
+        order = np.argsort(weights)[::-1][:n]
+        return [(names[i], float(weights[i])) for i in order]

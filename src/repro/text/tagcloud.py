@@ -1,0 +1,127 @@
+"""Frequency tag clouds (Figures 1 and 2 of the paper).
+
+Figures 1 and 2 render the tag signature of Woody Allen movies -- once
+for all users and once for California users only -- as frequency-scaled
+tag clouds.  This module builds the same artefact from any collection of
+tags: a ranked list of ``(tag, count, relative size)`` entries plus a
+plain-text rendering where font size is emulated by repeating the tag's
+display weight, so the clouds can be compared in a terminal, a test or a
+benchmark report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.text.tokenize import normalize_tags
+
+__all__ = ["TagCloudEntry", "TagCloud", "build_tag_cloud", "render_tag_cloud"]
+
+
+@dataclass(frozen=True)
+class TagCloudEntry:
+    """One tag in a cloud: token, raw count and relative size in [0, 1]."""
+
+    tag: str
+    count: int
+    size: float
+
+
+@dataclass
+class TagCloud:
+    """A ranked frequency tag cloud."""
+
+    title: str
+    entries: List[TagCloudEntry]
+
+    def tags(self) -> List[str]:
+        """Return the tags in rank order."""
+        return [entry.tag for entry in self.entries]
+
+    def counts(self) -> Dict[str, int]:
+        """Return ``tag -> count`` for every entry."""
+        return {entry.tag: entry.count for entry in self.entries}
+
+    def top(self, n: int) -> List[TagCloudEntry]:
+        """Return the ``n`` largest entries."""
+        return self.entries[:n]
+
+    def overlap(self, other: "TagCloud", n: Optional[int] = None) -> List[str]:
+        """Tags present in both clouds (optionally restricted to top-n)."""
+        mine = self.tags() if n is None else self.tags()[:n]
+        theirs = set(other.tags() if n is None else other.tags()[:n])
+        return [tag for tag in mine if tag in theirs]
+
+    def difference(self, other: "TagCloud", n: Optional[int] = None) -> List[str]:
+        """Tags prominent here but absent from the other cloud.
+
+        This is the comparison the paper draws between Figures 1 and 2
+        (e.g. *Noiva Nervosa* is prominent for all users yet absent for
+        California users).
+        """
+        mine = self.tags() if n is None else self.tags()[:n]
+        theirs = set(other.tags() if n is None else other.tags()[:n])
+        return [tag for tag in mine if tag not in theirs]
+
+
+def build_tag_cloud(
+    tags: Iterable[str],
+    title: str = "tag cloud",
+    max_tags: int = 30,
+    normalize: bool = True,
+) -> TagCloud:
+    """Build a frequency tag cloud from an iterable of tag tokens."""
+    if max_tags <= 0:
+        raise ValueError("max_tags must be positive")
+    tokens = normalize_tags(tags) if normalize else [str(tag) for tag in tags]
+    counts = Counter(tokens)
+    ranked = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))[:max_tags]
+    if not ranked:
+        return TagCloud(title=title, entries=[])
+    max_count = ranked[0][1]
+    entries = [
+        TagCloudEntry(tag=tag, count=count, size=count / max_count)
+        for tag, count in ranked
+    ]
+    return TagCloud(title=title, entries=entries)
+
+
+_SIZE_BANDS: Sequence[Tuple[float, str]] = (
+    (0.8, "####"),
+    (0.6, "###"),
+    (0.4, "##"),
+    (0.2, "#"),
+    (0.0, ""),
+)
+
+
+def _band(size: float) -> str:
+    for threshold, marker in _SIZE_BANDS:
+        if size >= threshold:
+            return marker
+    return ""
+
+
+def render_tag_cloud(cloud: TagCloud, columns: int = 4) -> str:
+    """Render a tag cloud as plain text.
+
+    Each tag is annotated with a ``#`` band that emulates font size
+    (``####`` = largest).  Tags are laid out row-major in ``columns``
+    columns.
+    """
+    if columns <= 0:
+        raise ValueError("columns must be positive")
+    lines = [f"== {cloud.title} =="]
+    if not cloud.entries:
+        lines.append("(no tags)")
+        return "\n".join(lines)
+    cells = [
+        f"{entry.tag}({entry.count}){_band(entry.size)}" for entry in cloud.entries
+    ]
+    width = max(len(cell) for cell in cells) + 2
+    for start in range(0, len(cells), columns):
+        row = cells[start:start + columns]
+        lines.append("".join(cell.ljust(width) for cell in row).rstrip())
+    return "\n".join(lines)

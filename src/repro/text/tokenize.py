@@ -1,0 +1,44 @@
+"""Tag normalisation utilities.
+
+Collaborative tagging sites let users type free-form tags, so the same
+concept shows up as ``Sci-Fi``, ``sci fi`` or ``SCIFI``.  The TagDM
+pipeline normalises tags before counting them; the rules are deliberately
+conservative (lower-casing, whitespace/punctuation folding) so that
+distinct concepts are never merged.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List
+
+__all__ = ["normalize_tag", "normalize_tags", "tag_counts"]
+
+_WHITESPACE = re.compile(r"\s+")
+_DISALLOWED = re.compile(r"[^a-z0-9\- ]+")
+
+
+def normalize_tag(tag: str) -> str:
+    """Normalise a single tag token.
+
+    Lower-cases, strips characters outside ``[a-z0-9- ]`` and folds runs
+    of whitespace into single hyphens, so ``"Sci  Fi!"`` becomes
+    ``"sci-fi"``.  Returns the empty string if nothing survives.
+    """
+    lowered = str(tag).strip().lower()
+    cleaned = _DISALLOWED.sub("", lowered)
+    collapsed = _WHITESPACE.sub(" ", cleaned).strip()
+    return collapsed.replace(" ", "-")
+
+
+def normalize_tags(tags: Iterable[str]) -> List[str]:
+    """Normalise a tag list, dropping tags that normalise to nothing."""
+    normalised = (normalize_tag(tag) for tag in tags)
+    return [tag for tag in normalised if tag]
+
+
+def tag_counts(tags: Iterable[str], normalize: bool = True) -> Dict[str, int]:
+    """Count tag occurrences, optionally normalising first."""
+    tokens = normalize_tags(tags) if normalize else [str(t) for t in tags]
+    return dict(Counter(tokens))

@@ -1,0 +1,62 @@
+"""Tests for the Table 2 capability matrix and algorithm recommendation."""
+
+from __future__ import annotations
+
+from repro.algorithms.capabilities import capability_matrix, recommend_algorithm
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import Objective, TagDMProblem, table1_problem
+
+
+class TestCapabilityMatrix:
+    def test_six_rows_like_the_paper(self):
+        rows = capability_matrix()
+        assert len(rows) == 6
+
+    def test_families_split_by_optimisation(self):
+        rows = capability_matrix()
+        lsh_rows = [row for row in rows if row.algorithm_family == "LSH based"]
+        fdp_rows = [row for row in rows if row.algorithm_family == "FDP based"]
+        assert all(row.optimization == "similarity" for row in lsh_rows)
+        assert all(row.optimization == "diversity" for row in fdp_rows)
+        assert len(lsh_rows) == len(fdp_rows) == 3
+
+    def test_constraint_mixes_covered(self):
+        rows = capability_matrix()
+        for family in ("LSH based", "FDP based"):
+            mixes = {row.constraints for row in rows if row.algorithm_family == family}
+            assert mixes == {"similarity", "diversity", "similarity, diversity"}
+
+
+class TestRecommendation:
+    def test_table1_similarity_problems_use_lsh(self):
+        for problem_id in (1, 2, 3):
+            assert recommend_algorithm(table1_problem(problem_id)) == "sm-lsh-fo"
+
+    def test_table1_diversity_problems_use_fdp(self):
+        for problem_id in (4, 5, 6):
+            assert recommend_algorithm(table1_problem(problem_id)) == "dv-fdp-fo"
+
+    def test_unconstrained_problems_use_plain_variants(self):
+        similarity = TagDMProblem(
+            name="sim",
+            constraints=(),
+            objectives=(Objective(Dimension.TAGS, Criterion.SIMILARITY),),
+        )
+        diversity = TagDMProblem(
+            name="div",
+            constraints=(),
+            objectives=(Objective(Dimension.TAGS, Criterion.DIVERSITY),),
+        )
+        assert recommend_algorithm(similarity) == "sm-lsh"
+        assert recommend_algorithm(diversity) == "dv-fdp"
+
+    def test_mixed_objectives_prefer_fdp(self):
+        problem = TagDMProblem(
+            name="mixed",
+            constraints=(),
+            objectives=(
+                Objective(Dimension.TAGS, Criterion.SIMILARITY),
+                Objective(Dimension.USERS, Criterion.DIVERSITY),
+            ),
+        )
+        assert recommend_algorithm(problem) == "dv-fdp"

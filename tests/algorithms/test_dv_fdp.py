@@ -1,0 +1,133 @@
+"""Tests for the DV-FDP algorithm family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    DvFdpAlgorithm,
+    DvFdpFilterAlgorithm,
+    DvFdpFoldAlgorithm,
+    ExactAlgorithm,
+)
+from repro.core.problem import table1_problem
+
+
+@pytest.fixture(scope="module")
+def diversity_problem(prepared_session):
+    return table1_problem(6, k=3, min_support=prepared_session.default_support())
+
+
+class TestConstruction:
+    def test_invalid_pool_multiplier(self):
+        with pytest.raises(ValueError):
+            DvFdpFilterAlgorithm(filter_pool_multiplier=0)
+
+    def test_constraint_modes(self):
+        assert DvFdpAlgorithm.constraint_mode == "none"
+        assert DvFdpFilterAlgorithm.constraint_mode == "filter"
+        assert DvFdpFoldAlgorithm.constraint_mode == "fold"
+
+
+class TestPlainDvFdp:
+    def test_returns_k_groups(self, prepared_session, diversity_problem):
+        result = DvFdpAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.k == diversity_problem.k_hi
+        assert 0.0 <= result.objective_value <= 1.0
+
+    def test_greedy_is_deterministic(self, prepared_session, diversity_problem):
+        result_a = DvFdpAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        result_b = DvFdpAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result_a.descriptions() == result_b.descriptions()
+
+    def test_factor_4_guarantee_without_constraints(self, prepared_session):
+        """Theorem 4: unconstrained DV-FDP is within factor 4 of Exact."""
+        problem = table1_problem(6, k=3, min_support=0, user_threshold=0.0, item_threshold=0.0)
+        groups = prepared_session.groups[:20]
+        exact = ExactAlgorithm().solve(problem, groups, prepared_session.functions)
+        greedy = DvFdpAlgorithm().solve(problem, groups, prepared_session.functions)
+        assert exact.objective_value <= 4.0 * greedy.objective_value + 1e-9
+
+
+class TestConstraintHandling:
+    def test_fold_result_is_feasible(self, prepared_session, diversity_problem):
+        result = DvFdpFoldAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert not result.is_empty
+        assert result.feasible
+        for constraint in diversity_problem.constraints:
+            key = f"{constraint.dimension.value}.{constraint.criterion.value}"
+            assert result.constraint_scores[key] >= constraint.threshold - 1e-9
+
+    def test_filter_result_feasible_or_null(self, prepared_session, diversity_problem):
+        result = DvFdpFilterAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.is_empty or result.feasible
+
+    def test_fold_handles_all_diversity_problems(self, prepared_session):
+        for problem_id in (4, 5, 6):
+            problem = table1_problem(
+                problem_id, k=3, min_support=prepared_session.default_support()
+            )
+            result = DvFdpFoldAlgorithm().solve(
+                problem, prepared_session.groups, prepared_session.functions
+            )
+            assert result.is_empty or result.feasible
+
+    def test_quality_close_to_exact(self, prepared_session, diversity_problem):
+        exact = ExactAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        folded = DvFdpFoldAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        if not exact.is_empty and not folded.is_empty:
+            assert folded.objective_value >= 0.6 * exact.objective_value
+
+    def test_far_fewer_evaluations_than_exact(self, prepared_session, diversity_problem):
+        exact = ExactAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        folded = DvFdpFoldAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert folded.evaluations < exact.evaluations / 5
+
+    def test_impossible_constraints_yield_null(self, prepared_session):
+        problem = table1_problem(
+            6,
+            k=3,
+            min_support=prepared_session.default_support(),
+            user_threshold=1.0,
+            item_threshold=1.0,
+        )
+        result = DvFdpFoldAlgorithm().solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        # Either nothing is pairwise-feasible (null) or a fully identical
+        # description set was found (feasible); both are acceptable, but an
+        # infeasible non-null result is not.
+        assert result.is_empty or result.feasible
+
+    def test_metadata_mentions_mode(self, prepared_session, diversity_problem):
+        result = DvFdpFoldAlgorithm().solve(
+            diversity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.metadata["constraint_mode"] == "fold"
+        assert result.metadata["candidate_groups"] == len(prepared_session.groups)
+
+    def test_extends_to_similarity_goals(self, prepared_session):
+        """Section 5: the FDP approach also handles similarity maximisation."""
+        problem = table1_problem(1, k=3, min_support=prepared_session.default_support())
+        result = DvFdpFoldAlgorithm().solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.is_empty or result.feasible

@@ -1,0 +1,90 @@
+"""Tests for the Exact brute-force baseline."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.algorithms import ExactAlgorithm
+from repro.algorithms.scoring import ProblemEvaluator
+from repro.core.functions import default_function_suite
+from repro.core.problem import table1_problem
+
+
+@pytest.fixture(scope="module")
+def small_instance(prepared_session):
+    """A candidate set small enough for independent re-verification."""
+    groups = prepared_session.groups[:12]
+    functions = prepared_session.functions
+    return groups, functions
+
+
+class TestGuards:
+    def test_invalid_max_candidates(self):
+        with pytest.raises(ValueError):
+            ExactAlgorithm(max_candidates=0)
+
+    def test_candidate_explosion_guard(self, prepared_session):
+        algorithm = ExactAlgorithm(max_candidates=10)
+        problem = table1_problem(1, k=3, min_support=1)
+        with pytest.raises(ValueError, match="max_candidates"):
+            algorithm.solve(problem, prepared_session.groups, prepared_session.functions)
+
+
+class TestOptimality:
+    def test_exact_finds_the_true_optimum(self, small_instance):
+        """Cross-check Exact against a naive re-evaluation of every k-subset."""
+        groups, functions = small_instance
+        problem = table1_problem(6, k=3, min_support=5)
+        result = ExactAlgorithm().solve(problem, groups, functions)
+
+        evaluator = ProblemEvaluator(problem, functions)
+        best = None
+        for subset in combinations(range(len(groups)), 3):
+            evaluation = evaluator.evaluate([groups[i] for i in subset])
+            if evaluation.feasible and (best is None or evaluation.objective_value > best):
+                best = evaluation.objective_value
+
+        if best is None:
+            assert result.is_empty
+        else:
+            assert result.feasible
+            assert result.objective_value == pytest.approx(best, abs=1e-9)
+
+    def test_exact_result_satisfies_all_constraints(self, small_instance):
+        groups, functions = small_instance
+        problem = table1_problem(4, k=3, min_support=5)
+        result = ExactAlgorithm().solve(problem, groups, functions)
+        if not result.is_empty:
+            assert result.feasible
+            assert result.support >= problem.min_support
+            assert problem.k_lo <= result.k <= problem.k_hi
+            for constraint in problem.constraints:
+                key = f"{constraint.dimension.value}.{constraint.criterion.value}"
+                assert result.constraint_scores[key] >= constraint.threshold - 1e-9
+
+    def test_evaluations_counted(self, small_instance):
+        groups, functions = small_instance
+        problem = table1_problem(1, k=3, min_support=5)
+        result = ExactAlgorithm().solve(problem, groups, functions)
+        from math import comb
+
+        assert result.evaluations == comb(len(groups), 3)
+
+    def test_infeasible_support_returns_null(self, small_instance):
+        groups, functions = small_instance
+        problem = table1_problem(1, k=3, min_support=10**6)
+        result = ExactAlgorithm().solve(problem, groups, functions)
+        assert result.is_empty
+        assert not result.feasible
+
+    def test_k_range_enumeration(self, small_instance):
+        """With k_lo=1 a feasible singleton can win on similarity problems."""
+        groups, functions = small_instance
+        problem = table1_problem(1, k=3, min_support=5, k_lo=1)
+        result = ExactAlgorithm().solve(problem, groups, functions)
+        assert not result.is_empty
+        # A singleton trivially maximises similarity (score 1.0).
+        assert result.objective_value == pytest.approx(1.0)
+        assert result.k == 1

@@ -1,0 +1,126 @@
+"""Tests for the SM-LSH algorithm family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    ExactAlgorithm,
+    SmLshAlgorithm,
+    SmLshFilterAlgorithm,
+    SmLshFoldAlgorithm,
+)
+from repro.core.problem import table1_problem
+
+
+@pytest.fixture(scope="module")
+def similarity_problem(prepared_session):
+    return table1_problem(1, k=3, min_support=prepared_session.default_support())
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SmLshAlgorithm(n_bits=0)
+        with pytest.raises(ValueError):
+            SmLshAlgorithm(n_tables=0)
+        with pytest.raises(ValueError):
+            SmLshAlgorithm(max_relaxations=0)
+        with pytest.raises(ValueError):
+            SmLshAlgorithm(max_subsets_per_bucket=0)
+
+    def test_constraint_modes(self):
+        assert SmLshAlgorithm.constraint_mode == "none"
+        assert SmLshFilterAlgorithm.constraint_mode == "filter"
+        assert SmLshFoldAlgorithm.constraint_mode == "fold"
+
+
+class TestPlainSmLsh:
+    def test_returns_group_set_within_bounds(self, prepared_session, similarity_problem):
+        result = SmLshAlgorithm(seed=1).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert not result.is_empty
+        assert similarity_problem.k_lo <= result.k <= similarity_problem.k_hi
+        # Plain SM-LSH ignores hard constraints, so feasibility is reported
+        # but not guaranteed; the objective must still be meaningful.
+        assert 0.0 <= result.objective_value <= 1.0
+
+    def test_metadata_records_lsh_parameters(self, prepared_session, similarity_problem):
+        result = SmLshAlgorithm(n_bits=8, n_tables=2, seed=1).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.metadata["n_bits_initial"] == 8
+        assert result.metadata["n_tables"] == 2
+        assert result.metadata["constraint_mode"] == "none"
+
+    def test_deterministic_given_seed(self, prepared_session, similarity_problem):
+        result_a = SmLshAlgorithm(seed=5).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        result_b = SmLshAlgorithm(seed=5).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result_a.descriptions() == result_b.descriptions()
+
+
+class TestConstraintHandling:
+    def test_fold_result_is_feasible(self, prepared_session, similarity_problem):
+        result = SmLshFoldAlgorithm(seed=1).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert not result.is_empty
+        assert result.feasible
+        for constraint in similarity_problem.constraints:
+            key = f"{constraint.dimension.value}.{constraint.criterion.value}"
+            assert result.constraint_scores[key] >= constraint.threshold - 1e-9
+
+    def test_filter_result_feasible_or_null(self, prepared_session, similarity_problem):
+        result = SmLshFilterAlgorithm(seed=1).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.is_empty or result.feasible
+
+    def test_fold_handles_diversity_constraint_problems(self, prepared_session):
+        # Problem 2: item constraint is diversity, which is filtered rather
+        # than folded; the algorithm must still return a feasible set here.
+        problem = table1_problem(2, k=3, min_support=prepared_session.default_support())
+        result = SmLshFoldAlgorithm(seed=1).solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.is_empty or result.feasible
+
+    def test_quality_close_to_exact(self, prepared_session, similarity_problem):
+        """The paper's headline: near-Exact quality at a fraction of the cost."""
+        exact = ExactAlgorithm().solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        folded = SmLshFoldAlgorithm(seed=1).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert not exact.is_empty and not folded.is_empty
+        assert folded.objective_value >= 0.7 * exact.objective_value
+
+    def test_far_fewer_evaluations_than_exact(self, prepared_session, similarity_problem):
+        exact = ExactAlgorithm().solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        folded = SmLshFoldAlgorithm(seed=1).solve(
+            similarity_problem, prepared_session.groups, prepared_session.functions
+        )
+        assert folded.evaluations < exact.evaluations / 5
+
+    def test_impossible_support_yields_null(self, prepared_session):
+        problem = table1_problem(1, k=3, min_support=10**6)
+        result = SmLshFoldAlgorithm(seed=1).solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.is_empty
+        assert not result.feasible
+
+    def test_relaxation_metadata(self, prepared_session):
+        problem = table1_problem(1, k=3, min_support=10**6)
+        result = SmLshFoldAlgorithm(seed=1, n_bits=8, max_relaxations=3).solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        assert result.metadata["relaxations"] >= 1

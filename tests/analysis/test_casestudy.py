@@ -1,0 +1,85 @@
+"""Tests for case-study contrast building."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.casestudy import GroupContrast, build_case_study, render_case_study
+from repro.analysis.queries import AnalysisQuery, GroupReport, AnalysisReport
+from repro.core.problem import table1_problem
+from repro.core.result import MiningResult
+from repro.text.tagcloud import build_tag_cloud
+
+
+def make_report(group_tag_lists):
+    """Build an AnalysisReport from raw per-group tag lists."""
+    groups = []
+    for position, tags in enumerate(group_tag_lists):
+        cloud = build_tag_cloud(tags, title=f"group-{position}")
+        groups.append(
+            GroupReport(
+                description=f"group-{position}",
+                support=len(tags),
+                top_tags=[(entry.tag, entry.count) for entry in cloud.entries],
+                cloud=cloud,
+            )
+        )
+    query = AnalysisQuery.build({}, problem=6, title="test query")
+    result = MiningResult(
+        problem=table1_problem(6, k=max(1, len(group_tag_lists)), min_support=0),
+        algorithm="dv-fdp-fo",
+        groups=(),
+        objective_value=0.5,
+        feasible=True,
+    )
+    return AnalysisReport(query=query, result=result, scoped_tuples=10, groups=groups)
+
+
+class TestBuildCaseStudy:
+    def test_contrast_counts_pairs(self):
+        report = make_report([["a", "b"], ["b", "c"], ["d"]])
+        study = build_case_study(report)
+        assert len(study.contrasts) == 3
+        assert study.has_findings
+
+    def test_shared_and_distinct_tags(self):
+        report = make_report([["gun", "explosion", "war"], ["war", "romance"]])
+        study = build_case_study(report)
+        contrast = study.contrasts[0]
+        assert contrast.shared_tags == ["war"]
+        assert set(contrast.only_a) == {"gun", "explosion"}
+        assert contrast.only_b == ["romance"]
+
+    def test_top_n_limits_comparison(self):
+        report = make_report([["a"] * 5 + ["rare"], ["rare"] * 2 + ["b"]])
+        full = build_case_study(report, top_n=10).contrasts[0]
+        limited = build_case_study(report, top_n=1).contrasts[0]
+        assert "rare" in full.shared_tags
+        assert "rare" not in limited.shared_tags
+
+    def test_single_group_has_no_contrasts(self):
+        study = build_case_study(make_report([["a", "b"]]))
+        assert study.contrasts == []
+        assert not study.has_findings
+
+
+class TestRendering:
+    def test_contrast_describe(self):
+        contrast = GroupContrast(
+            group_a="A", group_b="B", shared_tags=["x"], only_a=["y"], only_b=[]
+        )
+        text = contrast.describe()
+        assert "A vs B" in text
+        assert "[x]" in text
+        assert "(none)" in text
+
+    def test_render_case_study_full(self):
+        report = make_report([["a", "b"], ["b", "c"]])
+        study = build_case_study(report)
+        text = render_case_study(study)
+        assert "# Case study: test query" in text
+        assert "group-0 vs group-1" in text
+
+    def test_render_without_contrasts_mentions_it(self):
+        study = build_case_study(make_report([["a"]]))
+        assert "no contrast to report" in render_case_study(study)

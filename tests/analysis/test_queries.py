@@ -1,0 +1,70 @@
+"""Tests for query-scoped analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queries import AnalysisQuery, analyze
+from repro.core.problem import table1_problem
+
+
+class TestAnalysisQuery:
+    def test_build_generates_title(self):
+        query = AnalysisQuery.build({"item.genre": "war"}, problem=4)
+        assert query.title == "analysis of item.genre=war"
+        assert query.predicate_dict() == {"item.genre": "war"}
+
+    def test_empty_scope_title(self):
+        query = AnalysisQuery.build({}, problem=1)
+        assert "all tagging actions" in query.title
+
+    def test_explicit_title_kept(self):
+        query = AnalysisQuery.build({"item.genre": "war"}, problem=4, title="custom")
+        assert query.title == "custom"
+
+
+class TestAnalyze:
+    def test_unmatched_query_raises(self, movielens_dataset):
+        query = AnalysisQuery.build({"item.genre": "telenovela"}, problem=1)
+        with pytest.raises(ValueError):
+            analyze(movielens_dataset, query)
+
+    def test_report_structure(self, movielens_dataset):
+        genre = max(
+            movielens_dataset.value_counts("item.genre"),
+            key=movielens_dataset.value_counts("item.genre").get,
+        )
+        query = AnalysisQuery.build({"item.genre": genre}, problem=6)
+        report = analyze(movielens_dataset, query, algorithm="dv-fdp-fo", k=3)
+        assert report.scoped_tuples == movielens_dataset.support({"item.genre": genre})
+        assert report.result.problem.name == "problem-6"
+        assert len(report.groups) == report.result.k
+        for group_report in report.groups:
+            assert group_report.support > 0
+            assert group_report.top_tags
+            assert group_report.cloud.entries
+        rendered = report.render()
+        assert query.title in rendered
+
+    def test_whole_dataset_scope_with_existing_session(self, movielens_dataset, prepared_session):
+        query = AnalysisQuery.build({}, problem=6)
+        report = analyze(
+            movielens_dataset, query, algorithm="dv-fdp-fo", session=prepared_session
+        )
+        assert report.scoped_tuples == movielens_dataset.n_actions
+        assert report.result.algorithm == "dv-fdp-fo"
+
+    def test_custom_problem_object(self, movielens_dataset, prepared_session):
+        problem = table1_problem(4, k=2, min_support=5)
+        query = AnalysisQuery.build({}, problem=problem, title="custom problem")
+        report = analyze(movielens_dataset, query, session=prepared_session)
+        assert report.result.problem is problem
+
+    def test_headline_format(self, movielens_dataset, prepared_session):
+        query = AnalysisQuery.build({}, problem=6)
+        report = analyze(
+            movielens_dataset, query, algorithm="dv-fdp-fo", session=prepared_session
+        )
+        if report.groups:
+            headline = report.groups[0].headline(n_tags=2)
+            assert ":" in headline and "(" in headline

@@ -1,0 +1,83 @@
+"""Tests for the simulated user study (Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.userstudy import (
+    DEFAULT_PREFERENCE_WEIGHTS,
+    SimulatedUserStudy,
+    UserStudyOutcome,
+)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedUserStudy(n_judges=0)
+        with pytest.raises(ValueError):
+            SimulatedUserStudy(queries=())
+        with pytest.raises(ValueError):
+            SimulatedUserStudy(preference_weights={})
+
+    def test_default_weights_prefer_single_diversity_instances(self):
+        for preferred in (2, 3, 6):
+            for other in (1, 4, 5):
+                assert DEFAULT_PREFERENCE_WEIGHTS[preferred] > DEFAULT_PREFERENCE_WEIGHTS[other]
+
+
+class TestJudges:
+    def test_recruitment_size_and_bounds(self):
+        judges = SimulatedUserStudy(n_judges=25, seed=1).recruit_judges()
+        assert len(judges) == 25
+        assert all(0.0 <= judge.familiarity <= 1.0 for judge in judges)
+        assert all(len(judge.weights) == 6 for judge in judges)
+
+    def test_recruitment_deterministic_per_seed(self):
+        a = SimulatedUserStudy(seed=5).recruit_judges()
+        b = SimulatedUserStudy(seed=5).recruit_judges()
+        assert [j.weights for j in a] == [j.weights for j in b]
+
+
+class TestRun:
+    def test_total_votes_is_judges_times_queries(self):
+        study = SimulatedUserStudy(n_judges=30, seed=0)
+        outcome = study.run()
+        assert sum(outcome.votes.values()) == 30 * 3
+        assert outcome.n_judges == 30
+        assert outcome.n_queries == 3
+
+    def test_percentages_sum_to_100(self):
+        outcome = SimulatedUserStudy(n_judges=30, seed=0).run()
+        assert sum(outcome.preference_percentages.values()) == pytest.approx(100.0)
+
+    def test_run_is_deterministic(self):
+        outcome_a = SimulatedUserStudy(n_judges=30, seed=3).run()
+        outcome_b = SimulatedUserStudy(n_judges=30, seed=3).run()
+        assert outcome_a.votes == outcome_b.votes
+
+    def test_paper_shape_problems_2_3_6_on_top(self):
+        """Figure 9's finding: diversity-on-one-component instances win."""
+        outcome = SimulatedUserStudy(n_judges=60, seed=1).run()
+        assert set(outcome.top_problems(3)) == {2, 3, 6}
+
+    def test_as_rows(self):
+        outcome = SimulatedUserStudy(n_judges=10, seed=2).run()
+        rows = outcome.as_rows()
+        assert len(rows) == 6
+        assert {row["problem"] for row in rows} == {1, 2, 3, 4, 5, 6}
+        assert all("preference_pct" in row for row in rows)
+
+    def test_custom_weights_change_the_ranking(self):
+        outcome = SimulatedUserStudy(
+            n_judges=40,
+            seed=1,
+            preference_weights={1: 1.0, 2: 0.2, 3: 0.2, 4: 0.2, 5: 0.2, 6: 0.2},
+        ).run()
+        assert outcome.ranked_problems()[0] == 1
+
+    def test_outcome_ranking_consistent_with_votes(self):
+        outcome = SimulatedUserStudy(n_judges=30, seed=7).run()
+        ranked = outcome.ranked_problems()
+        votes = [outcome.votes[p] for p in ranked]
+        assert votes == sorted(votes, reverse=True)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (synthetic corpus, prepared TagDM session) are
+session-scoped: they are generated once and shared read-only by every
+test that needs a realistic workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.dataset.store import TaggingDataset
+from repro.dataset.synthetic import MovieLensStyleConfig, MovieLensStyleGenerator
+
+
+@pytest.fixture(scope="session")
+def movielens_dataset() -> TaggingDataset:
+    """A small but realistic MovieLens-style corpus (deterministic)."""
+    config = MovieLensStyleConfig(
+        n_users=80,
+        n_items=160,
+        n_actions=2000,
+        n_actors=40,
+        n_directors=20,
+        seed=99,
+    )
+    return MovieLensStyleGenerator(config).generate(name="test-corpus")
+
+
+@pytest.fixture(scope="session")
+def prepared_session(movielens_dataset: TaggingDataset) -> TagDM:
+    """A prepared TagDM session over the shared corpus (capped groups)."""
+    session = TagDM(
+        movielens_dataset,
+        enumeration=GroupEnumerationConfig(min_support=5, max_groups=80),
+        signature_backend="frequency",
+        signature_dimensions=25,
+        seed=7,
+    )
+    return session.prepare()
+
+
+@pytest.fixture(scope="session")
+def candidate_groups(prepared_session: TagDM):
+    """The candidate groups of the shared session (signatures computed)."""
+    return prepared_session.groups
+
+
+@pytest.fixture()
+def tiny_dataset() -> TaggingDataset:
+    """A hand-built four-action dataset for precise assertions."""
+    dataset = TaggingDataset(
+        user_schema=("gender", "age"),
+        item_schema=("genre",),
+        name="tiny",
+    )
+    dataset.register_user("u1", {"gender": "male", "age": "teen"})
+    dataset.register_user("u2", {"gender": "female", "age": "teen"})
+    dataset.register_user("u3", {"gender": "male", "age": "adult"})
+    dataset.register_item("i1", {"genre": "action"})
+    dataset.register_item("i2", {"genre": "comedy"})
+    dataset.add_action("u1", "i1", ["gun", "explosion"], rating=4.0)
+    dataset.add_action("u2", "i1", ["violence", "gory"], rating=2.0)
+    dataset.add_action("u3", "i2", ["funny", "witty"], rating=5.0)
+    dataset.add_action("u1", "i2", ["funny", "gun"], rating=3.5)
+    return dataset

@@ -1,0 +1,130 @@
+"""Tests for the CBS -> TagDM NP-completeness reduction (Theorem 1)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.complexity import (
+    CbsInstance,
+    decide_reduced_tagdm,
+    has_complete_bipartite_subgraph,
+    random_bipartite_instance,
+    reduce_cbs_to_tagdm,
+)
+
+
+def build_instance(edges, n_left, n_right, n1, n2) -> CbsInstance:
+    graph = nx.Graph()
+    left = tuple(f"l{i}" for i in range(n_left))
+    right = tuple(f"r{j}" for j in range(n_right))
+    graph.add_nodes_from(left)
+    graph.add_nodes_from(right)
+    for i, j in edges:
+        graph.add_edge(f"l{i}", f"r{j}")
+    return CbsInstance(graph=graph, left=left, right=right, n1=n1, n2=n2)
+
+
+class TestCbsInstanceValidation:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            build_instance([], 2, 2, 3, 1)
+        with pytest.raises(ValueError):
+            build_instance([], 2, 2, 1, 0)
+
+
+class TestCbsDecision:
+    def test_complete_bipartite_graph_is_yes(self):
+        edges = [(i, j) for i in range(3) for j in range(3)]
+        instance = build_instance(edges, 3, 3, 2, 2)
+        assert has_complete_bipartite_subgraph(instance)
+
+    def test_empty_graph_is_no(self):
+        instance = build_instance([], 3, 3, 2, 2)
+        assert not has_complete_bipartite_subgraph(instance)
+
+    def test_partial_graph(self):
+        # l0 and l1 both connect to r0 and r1; l2 connects only to r2.
+        edges = [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]
+        instance_yes = build_instance(edges, 3, 3, 2, 2)
+        assert has_complete_bipartite_subgraph(instance_yes)
+        instance_no = build_instance(edges, 3, 3, 3, 2)
+        assert not has_complete_bipartite_subgraph(instance_no)
+
+
+class TestReductionConstruction:
+    def test_dataset_shape(self):
+        edges = [(0, 0), (1, 1)]
+        instance = build_instance(edges, 2, 3, 1, 1)
+        reduction = reduce_cbs_to_tagdm(instance)
+        dataset = reduction.dataset
+        assert dataset.n_users == 2
+        assert dataset.n_items == 1
+        assert dataset.n_actions == 2
+        assert len(reduction.attribute_names) == 3
+        assert reduction.k == 1
+        assert reduction.min_support == 1
+
+    def test_edge_indicator_values(self):
+        edges = [(0, 0), (0, 1)]
+        instance = build_instance(edges, 2, 2, 1, 1)
+        reduction = reduce_cbs_to_tagdm(instance)
+        attrs_l0 = reduction.dataset.user_attributes("user-l0")
+        attrs_l1 = reduction.dataset.user_attributes("user-l1")
+        assert attrs_l0 == {"a_r0": "1", "a_r1": "1"}
+        # Non-edges get unique filler values, never "1" and never shared.
+        assert "1" not in attrs_l1.values()
+        assert len(set(attrs_l1.values())) == 2
+
+    def test_filler_values_globally_unique(self):
+        instance = build_instance([], 3, 3, 2, 1)
+        reduction = reduce_cbs_to_tagdm(instance)
+        all_values = [
+            value
+            for user in reduction.user_ids
+            for value in reduction.dataset.user_attributes(user).values()
+        ]
+        assert len(all_values) == len(set(all_values))
+
+    def test_similarity_threshold_formula(self):
+        instance = build_instance([], 4, 5, 3, 2)
+        reduction = reduce_cbs_to_tagdm(instance)
+        assert reduction.similarity_threshold == 2 * 3  # n2 * C(3, 2)
+
+
+class TestReductionEquivalence:
+    def test_yes_instance_maps_to_yes(self):
+        edges = [(i, j) for i in range(3) for j in range(2)]
+        instance = build_instance(edges, 3, 3, 2, 2)
+        reduction = reduce_cbs_to_tagdm(instance)
+        assert has_complete_bipartite_subgraph(instance)
+        assert decide_reduced_tagdm(reduction)
+
+    def test_no_instance_maps_to_no(self):
+        edges = [(0, 0), (1, 1), (2, 2)]
+        instance = build_instance(edges, 3, 3, 2, 2)
+        reduction = reduce_cbs_to_tagdm(instance)
+        assert not has_complete_bipartite_subgraph(instance)
+        assert not decide_reduced_tagdm(reduction)
+
+    def test_n1_equal_one_special_case(self):
+        edges = [(0, 0), (0, 1), (1, 0)]
+        instance = build_instance(edges, 2, 2, 1, 2)
+        reduction = reduce_cbs_to_tagdm(instance)
+        assert has_complete_bipartite_subgraph(instance) == decide_reduced_tagdm(reduction)
+
+    @given(
+        seed=st.integers(0, 200),
+        edge_probability=st.floats(0.1, 0.9),
+        n1=st.integers(1, 3),
+        n2=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_preserves_the_answer(self, seed, edge_probability, n1, n2):
+        """CBS has a solution iff the reduced TagDM instance does (Theorem 1)."""
+        instance = random_bipartite_instance(
+            n_left=4, n_right=4, edge_probability=edge_probability, n1=n1, n2=n2, seed=seed
+        )
+        reduction = reduce_cbs_to_tagdm(instance)
+        assert has_complete_bipartite_subgraph(instance) == decide_reduced_tagdm(reduction)

@@ -1,0 +1,144 @@
+"""Tests for candidate-group enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import (
+    GroupEnumerationConfig,
+    enumerate_cross_groups,
+    enumerate_full_conjunction_groups,
+    enumerate_groups,
+    enumerate_partial_conjunction_groups,
+)
+from repro.core.groups import group_support
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        config = GroupEnumerationConfig()
+        assert config.min_support == 5
+        assert config.mode == "partial"
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            GroupEnumerationConfig(min_support=0)
+        with pytest.raises(ValueError):
+            GroupEnumerationConfig(mode="everything")
+        with pytest.raises(ValueError):
+            GroupEnumerationConfig(max_predicates=0)
+        with pytest.raises(ValueError):
+            GroupEnumerationConfig(max_groups=0)
+
+
+class TestFullConjunctions:
+    def test_groups_are_disjoint_and_cover_counted_tuples(self, tiny_dataset):
+        groups = enumerate_full_conjunction_groups(tiny_dataset, min_support=1)
+        # Every tuple belongs to exactly one full-conjunction group.
+        assert group_support(groups) == tiny_dataset.n_actions
+        assert sum(group.support for group in groups) == tiny_dataset.n_actions
+
+    def test_min_support_prunes(self, tiny_dataset):
+        all_groups = enumerate_full_conjunction_groups(tiny_dataset, min_support=1)
+        pruned = enumerate_full_conjunction_groups(tiny_dataset, min_support=2)
+        assert len(pruned) < len(all_groups)
+
+    def test_descriptions_use_all_columns(self, tiny_dataset):
+        groups = enumerate_full_conjunction_groups(tiny_dataset, min_support=1)
+        assert all(len(group.description) == 3 for group in groups)
+
+    def test_column_restriction(self, tiny_dataset):
+        groups = enumerate_full_conjunction_groups(
+            tiny_dataset, min_support=1, columns=["user.gender"]
+        )
+        descriptions = {str(group.description) for group in groups}
+        assert descriptions == {"{user.gender=male}", "{user.gender=female}"}
+
+    def test_requires_columns(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            enumerate_full_conjunction_groups(tiny_dataset, columns=[])
+
+    def test_sorted_by_support_descending(self, movielens_dataset):
+        groups = enumerate_full_conjunction_groups(movielens_dataset, min_support=1)
+        supports = [group.support for group in groups]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestPartialConjunctions:
+    def test_includes_single_and_pair_predicates(self, tiny_dataset):
+        groups = enumerate_partial_conjunction_groups(
+            tiny_dataset, min_support=1, max_predicates=2
+        )
+        sizes = {len(group.description) for group in groups}
+        assert sizes == {1, 2}
+
+    def test_single_attribute_group_support_matches_dataset(self, tiny_dataset):
+        groups = enumerate_partial_conjunction_groups(
+            tiny_dataset, min_support=1, max_predicates=1
+        )
+        by_description = {str(group.description): group for group in groups}
+        assert by_description["{user.gender=male}"].support == 3
+        assert by_description["{item.genre=comedy}"].support == 2
+
+    def test_max_predicates_larger_than_columns_is_clamped(self, tiny_dataset):
+        groups = enumerate_partial_conjunction_groups(
+            tiny_dataset, min_support=1, max_predicates=10
+        )
+        assert max(len(group.description) for group in groups) == 3
+
+    def test_min_support_pruning(self, movielens_dataset):
+        loose = enumerate_partial_conjunction_groups(movielens_dataset, min_support=5)
+        strict = enumerate_partial_conjunction_groups(movielens_dataset, min_support=25)
+        assert len(strict) < len(loose)
+        assert all(group.support >= 25 for group in strict)
+
+
+class TestCrossGroups:
+    def test_every_group_has_one_user_and_one_item_predicate(self, tiny_dataset):
+        groups = enumerate_cross_groups(tiny_dataset, min_support=1)
+        for group in groups:
+            assert len(group.description.user_predicates) == 1
+            assert len(group.description.item_predicates) == 1
+
+    def test_requires_both_sides(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            enumerate_cross_groups(tiny_dataset, columns=["user.gender"])
+
+    def test_counts_match_manual_filtering(self, tiny_dataset):
+        groups = enumerate_cross_groups(tiny_dataset, min_support=1)
+        by_description = {str(group.description): group for group in groups}
+        male_action = by_description["{item.genre=action, user.gender=male}"]
+        assert male_action.support == tiny_dataset.support(
+            {"user.gender": "male", "item.genre": "action"}
+        )
+
+
+class TestEnumerateGroups:
+    def test_dispatches_by_mode(self, tiny_dataset):
+        full = enumerate_groups(tiny_dataset, GroupEnumerationConfig(mode="full", min_support=1))
+        partial = enumerate_groups(
+            tiny_dataset, GroupEnumerationConfig(mode="partial", min_support=1)
+        )
+        cross = enumerate_groups(
+            tiny_dataset, GroupEnumerationConfig(mode="cross", min_support=1)
+        )
+        assert {len(g.description) for g in full} == {3}
+        assert {len(g.description) for g in partial} <= {1, 2}
+        assert {len(g.description) for g in cross} == {2}
+
+    def test_max_groups_caps_output(self, movielens_dataset):
+        config = GroupEnumerationConfig(min_support=5, max_groups=10)
+        groups = enumerate_groups(movielens_dataset, config)
+        assert len(groups) == 10
+
+    def test_default_config_used_when_none(self, movielens_dataset):
+        groups = enumerate_groups(movielens_dataset, None)
+        assert groups
+        assert all(group.support >= 5 for group in groups)
+
+    def test_groups_carry_aggregated_tags(self, movielens_dataset):
+        groups = enumerate_groups(
+            movielens_dataset, GroupEnumerationConfig(min_support=5, max_groups=5)
+        )
+        for group in groups:
+            assert len(group.tags) >= group.support  # at least one tag per tuple

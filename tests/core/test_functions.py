@@ -1,0 +1,212 @@
+"""Tests for the concrete dual-mining comparison functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.functions import (
+    default_function_suite,
+    jaccard_items_similarity,
+    structural_pairwise,
+    structural_pairwise_matrix,
+    structural_similarity,
+    tag_signature_pairwise,
+    tag_signature_pairwise_matrix,
+    value_similarity,
+)
+from repro.core.groups import GroupDescription, TaggingActionGroup
+from repro.core.measures import Criterion, Dimension
+
+
+def make_group(predicates, users=(), items=(), signature=None, rows=()):
+    group = TaggingActionGroup(
+        description=GroupDescription.from_mapping(predicates),
+        tuple_indices=tuple(rows),
+        user_ids=frozenset(users),
+        item_ids=frozenset(items),
+        tags=(),
+    )
+    if signature is not None:
+        group.signature = np.asarray(signature, dtype=float)
+    return group
+
+
+class TestValueSimilarity:
+    def test_equal_values(self):
+        assert value_similarity("action", "action") == 1.0
+
+    def test_empty_values(self):
+        assert value_similarity("", "abc") == 0.0
+
+    def test_close_strings_score_higher_than_distant(self):
+        assert value_similarity("new york", "new jersey") > value_similarity(
+            "new york", "dallas"
+        )
+
+    def test_symmetric(self):
+        assert value_similarity("comedy", "drama") == value_similarity("drama", "comedy")
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, a, b):
+        score = value_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        if a == b:
+            assert score == 1.0
+
+
+class TestStructuralSimilarity:
+    def test_identical_descriptions(self):
+        a = make_group({"user.gender": "male", "user.age": "teen"})
+        b = make_group({"user.gender": "male", "user.age": "teen"})
+        assert structural_similarity(a, b, Dimension.USERS) == pytest.approx(1.0)
+
+    def test_half_matching_descriptions(self):
+        a = make_group({"user.gender": "male", "user.age": "teen"})
+        b = make_group({"user.gender": "male", "user.age": "56+"})
+        score = structural_similarity(a, b, Dimension.USERS)
+        assert 0.5 <= score < 1.0
+
+    def test_no_shared_attributes_scores_zero(self):
+        a = make_group({"user.gender": "male"})
+        b = make_group({"user.age": "teen"})
+        assert structural_similarity(a, b, Dimension.USERS) == 0.0
+
+    def test_item_dimension_uses_item_predicates(self):
+        a = make_group({"item.genre": "war", "user.gender": "male"})
+        b = make_group({"item.genre": "war", "user.gender": "female"})
+        assert structural_similarity(a, b, Dimension.ITEMS) == pytest.approx(1.0)
+
+    def test_tags_dimension_rejected(self):
+        a = make_group({"user.gender": "male"})
+        with pytest.raises(ValueError):
+            structural_similarity(a, a, Dimension.TAGS)
+
+    def test_pairwise_diversity_is_complement(self):
+        a = make_group({"user.gender": "male"})
+        b = make_group({"user.gender": "female"})
+        similarity = structural_pairwise(a, b, Dimension.USERS, Criterion.SIMILARITY)
+        diversity = structural_pairwise(a, b, Dimension.USERS, Criterion.DIVERSITY)
+        assert similarity + diversity == pytest.approx(1.0)
+
+
+class TestSetOverlap:
+    def test_jaccard_on_items(self):
+        a = make_group({"user.gender": "male"}, items={"i1", "i2"})
+        b = make_group({"user.gender": "female"}, items={"i2", "i3"})
+        assert jaccard_items_similarity(a, b, Dimension.ITEMS) == pytest.approx(1 / 3)
+
+    def test_jaccard_on_users(self):
+        a = make_group({"item.genre": "war"}, users={"u1"})
+        b = make_group({"item.genre": "drama"}, users={"u1", "u2"})
+        assert jaccard_items_similarity(a, b, Dimension.USERS) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        a = make_group({"user.gender": "male"})
+        b = make_group({"user.gender": "female"})
+        assert jaccard_items_similarity(a, b, Dimension.ITEMS) == 0.0
+
+    def test_tags_dimension_rejected(self):
+        a = make_group({"user.gender": "male"})
+        with pytest.raises(ValueError):
+            jaccard_items_similarity(a, a, Dimension.TAGS)
+
+
+class TestTagSignaturePairwise:
+    def test_identical_signatures(self):
+        a = make_group({"user.gender": "male"}, signature=[1, 0, 1])
+        b = make_group({"user.gender": "female"}, signature=[2, 0, 2])
+        assert tag_signature_pairwise(a, b, Dimension.TAGS, Criterion.SIMILARITY) == pytest.approx(1.0)
+        assert tag_signature_pairwise(a, b, Dimension.TAGS, Criterion.DIVERSITY) == pytest.approx(0.0)
+
+    def test_orthogonal_signatures(self):
+        a = make_group({"user.gender": "male"}, signature=[1, 0])
+        b = make_group({"user.gender": "female"}, signature=[0, 1])
+        assert tag_signature_pairwise(a, b, Dimension.TAGS, Criterion.SIMILARITY) == pytest.approx(0.0)
+        assert tag_signature_pairwise(a, b, Dimension.TAGS, Criterion.DIVERSITY) == pytest.approx(1.0)
+
+    def test_missing_signature_raises(self):
+        a = make_group({"user.gender": "male"})
+        b = make_group({"user.gender": "female"}, signature=[1, 0])
+        with pytest.raises(RuntimeError):
+            tag_signature_pairwise(a, b, Dimension.TAGS, Criterion.SIMILARITY)
+
+    def test_wrong_dimension_rejected(self):
+        a = make_group({"user.gender": "male"}, signature=[1, 0])
+        with pytest.raises(ValueError):
+            tag_signature_pairwise(a, a, Dimension.USERS, Criterion.SIMILARITY)
+
+
+class TestVectorisedMatrices:
+    def _groups(self):
+        return [
+            make_group({"user.gender": "male", "user.age": "teen"}, signature=[1, 0, 0]),
+            make_group({"user.gender": "male", "user.age": "56+"}, signature=[0, 1, 0]),
+            make_group({"user.gender": "female"}, signature=[1, 0, 0]),
+            make_group({"item.genre": "war"}, signature=[0, 0, 1]),
+        ]
+
+    def test_structural_matrix_matches_pairwise_function(self):
+        groups = self._groups()
+        matrix = structural_pairwise_matrix(groups, Dimension.USERS, Criterion.SIMILARITY)
+        for i in range(len(groups)):
+            for j in range(len(groups)):
+                if i == j:
+                    continue
+                expected = structural_pairwise(
+                    groups[i], groups[j], Dimension.USERS, Criterion.SIMILARITY
+                )
+                assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_structural_matrix_diversity_complement(self):
+        groups = self._groups()
+        similarity = structural_pairwise_matrix(groups, Dimension.USERS, Criterion.SIMILARITY)
+        diversity = structural_pairwise_matrix(groups, Dimension.USERS, Criterion.DIVERSITY)
+        assert np.allclose(similarity + diversity, 1.0)
+
+    def test_tag_matrix_matches_pairwise_function(self):
+        groups = self._groups()
+        matrix = tag_signature_pairwise_matrix(groups, Dimension.TAGS, Criterion.SIMILARITY)
+        for i in range(len(groups)):
+            for j in range(len(groups)):
+                if i == j:
+                    continue
+                expected = tag_signature_pairwise(
+                    groups[i], groups[j], Dimension.TAGS, Criterion.SIMILARITY
+                )
+                assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_tag_matrix_rejects_other_dimensions(self):
+        with pytest.raises(ValueError):
+            tag_signature_pairwise_matrix(self._groups(), Dimension.USERS, Criterion.SIMILARITY)
+
+
+class TestFunctionSuite:
+    def test_default_suite_wires_dimensions(self):
+        suite = default_function_suite()
+        assert suite.function_for(Dimension.TAGS).name == "tags-signature-cosine"
+        assert suite.function_for(Dimension.USERS).name == "users-structural"
+        assert suite.matrix_builder_for(Dimension.USERS) is not None
+        assert suite.matrix_builder_for(Dimension.TAGS) is not None
+
+    def test_set_overlap_variant(self):
+        suite = default_function_suite(user_comparison="set-overlap")
+        assert suite.function_for(Dimension.USERS).name == "users-set-overlap"
+        assert suite.matrix_builder_for(Dimension.USERS) is None
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            default_function_suite(user_comparison="semantic")
+        with pytest.raises(ValueError):
+            default_function_suite(item_comparison="semantic")
+
+    def test_suite_score_and_pairwise(self):
+        suite = default_function_suite()
+        a = make_group({"user.gender": "male"}, signature=[1, 0])
+        b = make_group({"user.gender": "male"}, signature=[1, 0])
+        c = make_group({"user.gender": "female"}, signature=[0, 1])
+        assert suite.pairwise(a, b, Dimension.USERS, Criterion.SIMILARITY) == pytest.approx(1.0)
+        score = suite.score([a, b, c], Dimension.TAGS, Criterion.SIMILARITY)
+        assert 0.0 <= score <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for group descriptions, tagging-action groups and group support."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.groups import (
+    GroupDescription,
+    TaggingActionGroup,
+    build_group,
+    group_support,
+)
+
+
+class TestGroupDescription:
+    def test_from_mapping_sorts_predicates(self):
+        description = GroupDescription.from_mapping(
+            {"user.gender": "male", "item.genre": "action"}
+        )
+        assert description.predicates == (
+            ("item.genre", "action"),
+            ("user.gender", "male"),
+        )
+
+    def test_rejects_unprefixed_columns(self):
+        with pytest.raises(ValueError):
+            GroupDescription.from_mapping({"gender": "male"})
+
+    def test_user_and_item_parts(self):
+        description = GroupDescription.from_mapping(
+            {"user.gender": "male", "user.age": "teen", "item.genre": "war"}
+        )
+        assert description.user_predicates == {"gender": "male", "age": "teen"}
+        assert description.item_predicates == {"genre": "war"}
+        assert description.is_user_describable
+        assert description.is_item_describable
+
+    def test_item_only_description(self):
+        description = GroupDescription.from_mapping({"item.genre": "war"})
+        assert not description.is_user_describable
+        assert description.is_item_describable
+
+    def test_str_rendering(self):
+        description = GroupDescription.from_mapping({"user.gender": "male"})
+        assert str(description) == "{user.gender=male}"
+        assert str(GroupDescription(predicates=())) == "{*}"
+
+    def test_hashable_and_equal(self):
+        a = GroupDescription.from_mapping({"user.gender": "male"})
+        b = GroupDescription.from_mapping({"user.gender": "male"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_len_counts_predicates(self):
+        description = GroupDescription.from_mapping(
+            {"user.gender": "male", "item.genre": "war"}
+        )
+        assert len(description) == 2
+
+
+class TestBuildGroup:
+    def test_build_group_materialises_members(self, tiny_dataset):
+        group = build_group(tiny_dataset, {"item.genre": "comedy"})
+        assert group.support == 2
+        assert group.tuple_indices == (2, 3)
+        assert group.user_ids == frozenset({"u1", "u3"})
+        assert group.item_ids == frozenset({"i2"})
+        assert sorted(group.tags) == ["funny", "funny", "gun", "witty"]
+
+    def test_build_group_empty_match(self, tiny_dataset):
+        group = build_group(tiny_dataset, {"item.genre": "horror"})
+        assert group.support == 0
+        assert group.tags == ()
+
+    def test_group_label_and_identity(self, tiny_dataset):
+        group = build_group(tiny_dataset, {"user.gender": "male"})
+        assert "user.gender=male" in group.label()
+        same = build_group(tiny_dataset, {"user.gender": "male"})
+        assert group == same
+        assert hash(group) == hash(same)
+        assert group != "not a group"
+
+
+class TestSignatureHandling:
+    def test_require_signature_raises_before_assignment(self, tiny_dataset):
+        group = build_group(tiny_dataset, {"user.gender": "male"})
+        assert not group.has_signature()
+        with pytest.raises(RuntimeError):
+            group.require_signature()
+
+    def test_signature_round_trip(self, tiny_dataset):
+        group = build_group(tiny_dataset, {"user.gender": "male"})
+        group.signature = np.array([0.5, 0.5])
+        assert group.has_signature()
+        assert np.allclose(group.require_signature(), [0.5, 0.5])
+
+
+class TestGroupSupport:
+    def test_disjoint_groups_add_up(self, tiny_dataset):
+        action = build_group(tiny_dataset, {"item.genre": "action"})
+        comedy = build_group(tiny_dataset, {"item.genre": "comedy"})
+        assert group_support([action, comedy]) == 4
+
+    def test_overlapping_groups_counted_once(self, tiny_dataset):
+        males = build_group(tiny_dataset, {"user.gender": "male"})
+        comedy = build_group(tiny_dataset, {"item.genre": "comedy"})
+        # Male tuples: {0, 2, 3}; comedy tuples: {2, 3}.
+        assert group_support([males, comedy]) == 3
+
+    def test_empty_set_has_zero_support(self):
+        assert group_support([]) == 0
+
+    @given(
+        memberships=st.lists(
+            st.lists(st.integers(0, 30), max_size=15), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_support_equals_union_size(self, memberships):
+        groups = [
+            TaggingActionGroup(
+                description=GroupDescription(
+                    predicates=(("user.g", str(position)),)
+                ),
+                tuple_indices=tuple(rows),
+            )
+            for position, rows in enumerate(memberships)
+        ]
+        expected = len(set().union(*(set(rows) for rows in memberships)))
+        assert group_support(groups) == expected

@@ -1,0 +1,180 @@
+"""Tests for incremental session maintenance (the paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.incremental import IncrementalTagDM
+from repro.core.problem import table1_problem
+from repro.dataset.store import TaggingDataset
+from repro.dataset.synthetic import generate_movielens_style
+
+
+def small_dataset() -> TaggingDataset:
+    return generate_movielens_style(n_users=40, n_items=80, n_actions=600, seed=17)
+
+
+@pytest.fixture()
+def incremental():
+    return IncrementalTagDM(
+        small_dataset(),
+        enumeration=GroupEnumerationConfig(min_support=5),
+        signature_backend="frequency",
+    ).prepare()
+
+
+def action_for(dataset: TaggingDataset, row: int = 0, tags=("new-tag",)):
+    """An insert payload reusing an existing user/item pair."""
+    return {
+        "user_id": dataset.user_of(row),
+        "item_id": dataset.item_of(row),
+        "tags": list(tags),
+    }
+
+
+class TestPreparationAndGuards:
+    def test_insert_before_prepare_raises(self):
+        session = IncrementalTagDM(small_dataset())
+        with pytest.raises(RuntimeError):
+            session.add_action("u", "i", ["t"])
+
+    def test_new_user_requires_attributes(self, incremental):
+        with pytest.raises(KeyError, match="user_attributes"):
+            incremental.add_action(
+                "brand-new-user", incremental.dataset.item_of(0), ["t"]
+            )
+
+    def test_new_item_requires_attributes(self, incremental):
+        with pytest.raises(KeyError, match="item_attributes"):
+            incremental.add_action(
+                incremental.dataset.user_of(0), "brand-new-item", ["t"]
+            )
+
+
+class TestSingleInsert:
+    def test_dataset_grows_and_groups_update(self, incremental):
+        before_actions = incremental.dataset.n_actions
+        before_groups = incremental.n_groups
+        report = incremental.add_action(**action_for(incremental.dataset))
+        assert incremental.dataset.n_actions == before_actions + 1
+        assert report.actions_added == 1
+        assert report.groups_updated >= 1
+        assert incremental.n_groups >= before_groups
+
+    def test_existing_group_membership_updated(self, incremental):
+        dataset = incremental.dataset
+        row_user = dataset.user_of(0)
+        gender = dataset.user_attributes(row_user)["gender"]
+        target = next(
+            group
+            for group in incremental.groups
+            if dict(group.description.predicates) == {"user.gender": gender}
+        )
+        before_support = target.support
+        incremental.add_action(**action_for(dataset))
+        updated = next(
+            group
+            for group in incremental.groups
+            if dict(group.description.predicates) == {"user.gender": gender}
+        )
+        assert updated.support == before_support + 1
+        assert updated.has_signature()
+
+    def test_new_user_and_item_registered(self, incremental):
+        report = incremental.add_action(
+            "fresh-user",
+            "fresh-item",
+            ["alpha", "beta"],
+            user_attributes={
+                "gender": "female",
+                "age": "18-24",
+                "occupation": "artist",
+                "location": "NY",
+            },
+            item_attributes={
+                "genre": "drama",
+                "actor": "actor_9999",
+                "director": "director_9999",
+            },
+        )
+        assert report.new_users == ["fresh-user"]
+        assert report.new_items == ["fresh-item"]
+        assert incremental.dataset.has_user("fresh-user")
+        assert incremental.dataset.has_item("fresh-item")
+
+    def test_matrix_cache_invalidated(self, incremental):
+        cache_before = incremental.session.matrix_cache()
+        incremental.add_action(**action_for(incremental.dataset))
+        assert incremental.session.matrix_cache() is not cache_before
+
+
+class TestGroupCreation:
+    def test_repeated_inserts_create_a_new_group(self, incremental):
+        """A previously unseen attribute combination becomes a group once it
+        crosses the minimum support threshold."""
+        config_min_support = incremental.session.enumeration.min_support
+        attributes = {
+            "gender": "female",
+            "age": "45-49",
+            "occupation": "astronaut-candidate",
+            "location": "WY",
+        }
+        item_attributes = {
+            "genre": "western",
+            "actor": "actor_unique",
+            "director": "director_unique",
+        }
+        description = {"user.occupation": "astronaut-candidate"}
+        assert not any(
+            dict(group.description.predicates) == description
+            for group in incremental.groups
+        )
+        created_total = 0
+        for position in range(config_min_support):
+            report = incremental.add_action(
+                f"new-user-{position}",
+                "new-item-western",
+                ["frontier", "horse"],
+                user_attributes=attributes,
+                item_attributes=item_attributes,
+            )
+            created_total += report.groups_created
+        assert any(
+            dict(group.description.predicates) == description
+            for group in incremental.groups
+        )
+        assert created_total >= 1
+
+    def test_consistency_with_full_reenumeration(self):
+        session = IncrementalTagDM(
+            generate_movielens_style(n_users=20, n_items=40, n_actions=300, seed=4),
+            enumeration=GroupEnumerationConfig(min_support=3),
+            signature_backend="frequency",
+        ).prepare()
+        dataset = session.dataset
+        for row in range(5):
+            session.add_action(
+                dataset.user_of(row), dataset.item_of(row), ["extra", f"t{row}"]
+            )
+        assert session.consistency_errors() == []
+
+
+class TestBatchAndSolve:
+    def test_add_actions_batch(self, incremental):
+        dataset = incremental.dataset
+        batch = [action_for(dataset, row) for row in range(4)]
+        report = incremental.add_actions(batch)
+        assert report.actions_added == 4
+
+    def test_solve_after_inserts(self, incremental):
+        dataset = incremental.dataset
+        incremental.add_actions([action_for(dataset, row) for row in range(5)])
+        problem = table1_problem(6, k=3, min_support=incremental.default_support())
+        result = incremental.solve(problem, algorithm="dv-fdp-fo")
+        assert result.is_empty or result.feasible
+
+    def test_refresh_topic_model(self, incremental):
+        incremental.add_action(**action_for(incremental.dataset, tags=("zz-drift",) * 1))
+        incremental.refresh_topic_model()
+        assert all(group.has_signature() for group in incremental.groups)

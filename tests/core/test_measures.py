@@ -1,0 +1,92 @@
+"""Tests for dimensions, criteria and pairwise aggregation functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.measures import (
+    Criterion,
+    Dimension,
+    MEAN_AGGREGATOR,
+    MIN_AGGREGATOR,
+    PairwiseAggregationFunction,
+    SUM_AGGREGATOR,
+)
+
+
+class TestEnums:
+    def test_dimension_values(self):
+        assert Dimension.USERS.value == "users"
+        assert Dimension.ITEMS.value == "items"
+        assert Dimension.TAGS.value == "tags"
+
+    def test_criterion_opposites(self):
+        assert Criterion.SIMILARITY.opposite is Criterion.DIVERSITY
+        assert Criterion.DIVERSITY.opposite is Criterion.SIMILARITY
+
+    def test_enums_are_strings(self):
+        assert Dimension.USERS == "users"
+        assert Criterion.SIMILARITY == "similarity"
+
+
+class TestAggregators:
+    def test_mean(self):
+        assert MEAN_AGGREGATOR([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert MEAN_AGGREGATOR([]) == 0.0
+
+    def test_min(self):
+        assert MIN_AGGREGATOR([0.4, 0.2, 0.9]) == pytest.approx(0.2)
+        assert MIN_AGGREGATOR([]) == 0.0
+
+    def test_sum(self):
+        assert SUM_AGGREGATOR([1.0, 2.0]) == pytest.approx(3.0)
+        assert SUM_AGGREGATOR([]) == 0.0
+
+
+class _FakeGroup:
+    """Minimal stand-in carrying just an integer payload."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+
+def _difference_pairwise(a, b, dimension, criterion):
+    score = abs(a.value - b.value)
+    if criterion is Criterion.SIMILARITY:
+        return 1.0 - score
+    return score
+
+
+class TestPairwiseAggregationFunction:
+    def test_pairwise_scores_over_distinct_pairs(self):
+        function = PairwiseAggregationFunction(_difference_pairwise)
+        groups = [_FakeGroup(0.0), _FakeGroup(0.5), _FakeGroup(1.0)]
+        scores = function.pairwise_scores(groups, Dimension.TAGS, Criterion.DIVERSITY)
+        assert sorted(scores) == pytest.approx([0.5, 0.5, 1.0])
+
+    def test_score_uses_mean_by_default(self):
+        function = PairwiseAggregationFunction(_difference_pairwise)
+        groups = [_FakeGroup(0.0), _FakeGroup(1.0)]
+        assert function.score(groups, Dimension.TAGS, Criterion.DIVERSITY) == pytest.approx(1.0)
+        assert function.score(groups, Dimension.TAGS, Criterion.SIMILARITY) == pytest.approx(0.0)
+
+    def test_alternate_aggregator(self):
+        function = PairwiseAggregationFunction(_difference_pairwise, aggregator=MIN_AGGREGATOR)
+        groups = [_FakeGroup(0.0), _FakeGroup(0.4), _FakeGroup(1.0)]
+        assert function.score(groups, Dimension.TAGS, Criterion.DIVERSITY) == pytest.approx(0.4)
+
+    def test_singleton_conventions(self):
+        function = PairwiseAggregationFunction(_difference_pairwise)
+        singleton = [_FakeGroup(0.3)]
+        assert function.score(singleton, Dimension.TAGS, Criterion.SIMILARITY) == 1.0
+        assert function.score(singleton, Dimension.TAGS, Criterion.DIVERSITY) == 0.0
+
+    def test_empty_group_set_uses_singleton_convention(self):
+        function = PairwiseAggregationFunction(_difference_pairwise)
+        assert function.score([], Dimension.TAGS, Criterion.SIMILARITY) == 1.0
+
+    def test_callable_protocol(self):
+        function = PairwiseAggregationFunction(_difference_pairwise, name="diff")
+        groups = [_FakeGroup(0.0), _FakeGroup(1.0)]
+        assert function(groups, Dimension.TAGS, Criterion.DIVERSITY) == pytest.approx(1.0)
+        assert function.name == "diff"

@@ -1,0 +1,197 @@
+"""Tests for TagDM problem specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import InvalidProblemError
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import (
+    Constraint,
+    Objective,
+    TABLE1_PROBLEMS,
+    TABLE1_SPECS,
+    TagDMProblem,
+    enumerate_problem_instances,
+    table1_problem,
+)
+
+
+class TestConstraintAndObjective:
+    def test_constraint_threshold_bounds(self):
+        Constraint(Dimension.USERS, Criterion.SIMILARITY, 0.0)
+        Constraint(Dimension.USERS, Criterion.SIMILARITY, 1.0)
+        with pytest.raises(InvalidProblemError):
+            Constraint(Dimension.USERS, Criterion.SIMILARITY, 1.5)
+
+    def test_objective_weight_positive(self):
+        with pytest.raises(InvalidProblemError):
+            Objective(Dimension.TAGS, Criterion.SIMILARITY, weight=0.0)
+
+    def test_describe_strings(self):
+        constraint = Constraint(Dimension.ITEMS, Criterion.DIVERSITY, 0.5)
+        assert constraint.describe() == "items diversity >= 0.5"
+        objective = Objective(Dimension.TAGS, Criterion.SIMILARITY, weight=2.0)
+        assert "2 *" in objective.describe()
+
+
+class TestTagDMProblemValidation:
+    def _objective(self):
+        return (Objective(Dimension.TAGS, Criterion.SIMILARITY),)
+
+    def test_needs_an_objective(self):
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem(name="p", constraints=(), objectives=())
+
+    def test_k_bounds(self):
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem(name="p", constraints=(), objectives=self._objective(), k_lo=0)
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem(
+                name="p", constraints=(), objectives=self._objective(), k_lo=3, k_hi=2
+            )
+
+    def test_negative_support_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem(
+                name="p", constraints=(), objectives=self._objective(), min_support=-1
+            )
+
+    def test_duplicate_constraint_dimension_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem(
+                name="p",
+                constraints=(
+                    Constraint(Dimension.USERS, Criterion.SIMILARITY, 0.5),
+                    Constraint(Dimension.USERS, Criterion.DIVERSITY, 0.5),
+                ),
+                objectives=self._objective(),
+            )
+
+    def test_dimension_cannot_be_constrained_and_optimised(self):
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem(
+                name="p",
+                constraints=(Constraint(Dimension.TAGS, Criterion.SIMILARITY, 0.5),),
+                objectives=self._objective(),
+            )
+
+    def test_accessors(self):
+        problem = table1_problem(4)
+        assert problem.constrained_dimensions == (Dimension.USERS, Dimension.ITEMS)
+        assert problem.optimised_dimensions == (Dimension.TAGS,)
+        assert problem.criterion_for(Dimension.USERS) is Criterion.DIVERSITY
+        assert problem.criterion_for(Dimension.TAGS) is Criterion.DIVERSITY
+        assert problem.constraint_for(Dimension.ITEMS).threshold == 0.5
+        assert problem.constraint_for(Dimension.TAGS) is None
+
+    def test_with_support_and_with_k(self):
+        problem = table1_problem(1)
+        updated = problem.with_support(100).with_k(2, 4)
+        assert updated.min_support == 100
+        assert (updated.k_lo, updated.k_hi) == (2, 4)
+        # Original is unchanged (frozen dataclass copies).
+        assert problem.min_support == 0
+
+    def test_describe_mentions_all_parts(self):
+        text = table1_problem(1, k=3, min_support=50).describe()
+        assert "problem-1" in text
+        assert "support: >= 50" in text
+        assert "users similarity" in text
+        assert "maximise tags similarity" in text
+
+
+class TestTable1:
+    def test_six_problems_defined(self):
+        assert sorted(TABLE1_SPECS) == [1, 2, 3, 4, 5, 6]
+        assert sorted(TABLE1_PROBLEMS) == [1, 2, 3, 4, 5, 6]
+
+    def test_specs_match_the_paper(self):
+        # Table 1 rows: (user, item, tag) criteria.
+        assert TABLE1_SPECS[1] == (
+            Criterion.SIMILARITY,
+            Criterion.SIMILARITY,
+            Criterion.SIMILARITY,
+        )
+        assert TABLE1_SPECS[4] == (
+            Criterion.DIVERSITY,
+            Criterion.SIMILARITY,
+            Criterion.DIVERSITY,
+        )
+        assert TABLE1_SPECS[6] == (
+            Criterion.SIMILARITY,
+            Criterion.SIMILARITY,
+            Criterion.DIVERSITY,
+        )
+
+    def test_all_table1_problems_constrain_users_items_and_optimise_tags(self):
+        for problem in TABLE1_PROBLEMS.values():
+            assert set(problem.constrained_dimensions) == {Dimension.USERS, Dimension.ITEMS}
+            assert problem.optimised_dimensions == (Dimension.TAGS,)
+
+    def test_problem_id_validation(self):
+        with pytest.raises(InvalidProblemError):
+            table1_problem(7)
+
+    def test_parameters_are_applied(self):
+        problem = table1_problem(2, k=5, min_support=42, user_threshold=0.3, item_threshold=0.7)
+        assert problem.k_hi == 5
+        assert problem.k_lo == 5
+        assert problem.min_support == 42
+        assert problem.constraint_for(Dimension.USERS).threshold == 0.3
+        assert problem.constraint_for(Dimension.ITEMS).threshold == 0.7
+
+    def test_k_lo_override(self):
+        problem = table1_problem(2, k=4, k_lo=1)
+        assert problem.k_lo == 1
+        assert problem.k_hi == 4
+
+    def test_similarity_and_diversity_flags(self):
+        assert TABLE1_PROBLEMS[1].maximises_tag_similarity
+        assert not TABLE1_PROBLEMS[1].maximises_tag_diversity
+        assert TABLE1_PROBLEMS[6].maximises_tag_diversity
+
+
+class TestEnumeration:
+    def test_instance_count(self):
+        problems = enumerate_problem_instances()
+        assert len(problems) == 98
+        assert len({p.name for p in problems}) == 98
+
+    def test_every_instance_is_valid_and_has_an_objective(self):
+        for problem in enumerate_problem_instances():
+            assert problem.objectives
+            assert problem.k_lo <= problem.k_hi
+
+    def test_table1_configurations_are_covered(self):
+        """Each Table 1 (criteria, roles) combination appears in the enumeration."""
+        problems = enumerate_problem_instances()
+        signatures = {
+            (
+                tuple(sorted((c.dimension.value, c.criterion.value) for c in p.constraints)),
+                tuple(sorted((o.dimension.value, o.criterion.value) for o in p.objectives)),
+            )
+            for p in problems
+        }
+        for table_problem in TABLE1_PROBLEMS.values():
+            signature = (
+                tuple(
+                    sorted(
+                        (c.dimension.value, c.criterion.value)
+                        for c in table_problem.constraints
+                    )
+                ),
+                tuple(
+                    sorted(
+                        (o.dimension.value, o.criterion.value)
+                        for o in table_problem.objectives
+                    )
+                ),
+            )
+            assert signature in signatures
+
+    def test_threshold_and_k_propagate(self):
+        problems = enumerate_problem_instances(k=2, min_support=10, threshold=0.4)
+        assert all(p.k_hi == 2 for p in problems)
+        assert all(p.min_support == 10 for p in problems)
+        assert all(c.threshold == 0.4 for p in problems for c in p.constraints)

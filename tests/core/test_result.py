@@ -1,0 +1,67 @@
+"""Tests for the MiningResult container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.groups import build_group
+from repro.core.problem import table1_problem
+from repro.core.result import MiningResult
+
+
+@pytest.fixture()
+def sample_result(tiny_dataset):
+    groups = (
+        build_group(tiny_dataset, {"item.genre": "action"}),
+        build_group(tiny_dataset, {"item.genre": "comedy"}),
+    )
+    return MiningResult(
+        problem=table1_problem(1, k=2, min_support=1),
+        algorithm="exact",
+        groups=groups,
+        objective_value=0.75,
+        constraint_scores={"users.similarity": 0.8, "items.similarity": 0.6},
+        support=4,
+        feasible=True,
+        elapsed_seconds=0.125,
+        evaluations=42,
+    )
+
+
+class TestMiningResult:
+    def test_basic_properties(self, sample_result):
+        assert not sample_result.is_empty
+        assert sample_result.k == 2
+        assert sample_result.recompute_support() == 4
+
+    def test_descriptions(self, sample_result):
+        descriptions = sample_result.descriptions()
+        assert "{item.genre=action}" in descriptions
+        assert "{item.genre=comedy}" in descriptions
+
+    def test_summary_mentions_key_facts(self, sample_result):
+        text = sample_result.summary()
+        assert "problem-1 via exact" in text
+        assert "objective=0.7500" in text
+        assert "feasible" in text
+        assert "constraint items.similarity: 0.6000" in text
+        assert "group {item.genre=action}" in text
+
+    def test_as_row(self, sample_result):
+        row = sample_result.as_row()
+        assert row["problem"] == "problem-1"
+        assert row["algorithm"] == "exact"
+        assert row["k"] == 2
+        assert row["evaluations"] == 42
+
+    def test_empty_result(self):
+        result = MiningResult(
+            problem=table1_problem(1),
+            algorithm="sm-lsh-fi",
+            groups=(),
+            objective_value=0.0,
+        )
+        assert result.is_empty
+        assert result.k == 0
+        assert result.recompute_support() == 0
+        assert "infeasible" in result.summary()

@@ -1,0 +1,124 @@
+"""Tests for group tag signature generation and attribute vectorisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.enumeration import GroupEnumerationConfig, enumerate_groups
+from repro.core.groups import build_group
+from repro.core.measures import Dimension
+from repro.core.signatures import (
+    AttributeVectorizer,
+    GroupSignatureBuilder,
+    signature_matrix,
+)
+
+
+@pytest.fixture()
+def tiny_groups(tiny_dataset):
+    return [
+        build_group(tiny_dataset, {"item.genre": "action"}),
+        build_group(tiny_dataset, {"item.genre": "comedy"}),
+        build_group(tiny_dataset, {"user.gender": "male"}),
+    ]
+
+
+class TestGroupSignatureBuilder:
+    def test_fit_on_empty_groups_raises(self):
+        with pytest.raises(ValueError):
+            GroupSignatureBuilder(backend="frequency").fit([])
+
+    def test_signature_before_fit_raises(self, tiny_groups):
+        builder = GroupSignatureBuilder(backend="frequency")
+        with pytest.raises(RuntimeError):
+            builder.signature(tiny_groups[0])
+
+    def test_build_attaches_signatures(self, tiny_groups):
+        builder = GroupSignatureBuilder(backend="frequency", n_dimensions=6)
+        matrix = builder.build(tiny_groups)
+        assert matrix.shape == (3, 6)
+        assert all(group.has_signature() for group in tiny_groups)
+        assert np.allclose(signature_matrix(tiny_groups), matrix)
+
+    def test_action_and_comedy_groups_differ(self, tiny_groups):
+        builder = GroupSignatureBuilder(backend="frequency", n_dimensions=6)
+        builder.build(tiny_groups)
+        action, comedy, _ = tiny_groups
+        assert not np.allclose(action.signature, comedy.signature)
+
+    def test_dimension_labels_length(self, tiny_groups):
+        builder = GroupSignatureBuilder(backend="frequency", n_dimensions=6)
+        builder.build(tiny_groups)
+        assert len(builder.dimension_labels()) == 6
+
+    @pytest.mark.parametrize("backend", ["frequency", "tfidf", "lda"])
+    def test_all_backends_produce_finite_vectors(self, tiny_groups, backend):
+        builder = GroupSignatureBuilder(
+            backend=backend, n_dimensions=4, seed=1, lda_iterations=15
+        )
+        matrix = builder.build(tiny_groups)
+        assert matrix.shape == (3, 4)
+        assert np.all(np.isfinite(matrix))
+        assert np.all(matrix >= 0)
+
+    def test_external_topic_model_is_used(self, tiny_groups):
+        from repro.text.topics import FrequencyTopicModel
+
+        model = FrequencyTopicModel(n_dimensions=3)
+        builder = GroupSignatureBuilder(topic_model=model)
+        builder.build(tiny_groups)
+        assert builder.topic_model is model
+        assert builder.n_dimensions == 3
+
+    def test_signature_matrix_empty(self):
+        assert signature_matrix([]).shape == (0, 0)
+
+    def test_signatures_on_real_corpus(self, candidate_groups):
+        matrix = signature_matrix(candidate_groups)
+        assert matrix.shape == (len(candidate_groups), 25)
+        # Signatures are L1-normalised frequencies: rows sum to ~1 or are 0.
+        sums = matrix.sum(axis=1)
+        assert np.all((np.isclose(sums, 1.0)) | (sums == 0.0))
+
+
+class TestAttributeVectorizer:
+    def test_width_counts_attribute_values(self, tiny_dataset):
+        vectorizer = AttributeVectorizer(tiny_dataset, dimensions=(Dimension.USERS,))
+        # gender has 2 observed values, age has 2 -> 4 slots.
+        assert vectorizer.n_dimensions == 4
+
+    def test_vectorize_marks_description_slots(self, tiny_dataset, tiny_groups):
+        vectorizer = AttributeVectorizer(tiny_dataset)
+        male_group = tiny_groups[2]
+        vector = vectorizer.vectorize(male_group)
+        assert vector.sum() == pytest.approx(1.0)  # one predicate -> one slot
+
+    def test_vectorize_many_shape(self, tiny_dataset, tiny_groups):
+        vectorizer = AttributeVectorizer(tiny_dataset)
+        matrix = vectorizer.vectorize_many(tiny_groups)
+        assert matrix.shape == (3, vectorizer.n_dimensions)
+        assert vectorizer.vectorize_many([]).shape == (0, vectorizer.n_dimensions)
+
+    def test_scale_parameter(self, tiny_dataset, tiny_groups):
+        vectorizer = AttributeVectorizer(tiny_dataset, scale=2.5)
+        vector = vectorizer.vectorize(tiny_groups[2])
+        assert vector.max() == pytest.approx(2.5)
+
+    def test_fold_with_signatures_concatenates(self, tiny_dataset, tiny_groups):
+        GroupSignatureBuilder(backend="frequency", n_dimensions=5).build(tiny_groups)
+        vectorizer = AttributeVectorizer(tiny_dataset)
+        folded = vectorizer.fold_with_signatures(tiny_groups)
+        assert folded.shape == (3, vectorizer.n_dimensions + 5)
+
+    def test_fold_without_signatures_raises(self, tiny_dataset):
+        fresh_groups = [build_group(tiny_dataset, {"item.genre": "action"})]
+        vectorizer = AttributeVectorizer(tiny_dataset)
+        with pytest.raises(RuntimeError):
+            vectorizer.fold_with_signatures(fresh_groups)
+
+    def test_item_only_dimensions(self, tiny_dataset, tiny_groups):
+        vectorizer = AttributeVectorizer(tiny_dataset, dimensions=(Dimension.ITEMS,))
+        assert vectorizer.n_dimensions == 2  # genre: action, comedy
+        male_vector = vectorizer.vectorize(tiny_groups[2])
+        assert male_vector.sum() == 0.0  # user-only description has no item slots

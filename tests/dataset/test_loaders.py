@@ -1,0 +1,108 @@
+"""Tests for record / CSV round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.loaders import (
+    dataset_from_records,
+    dataset_to_records,
+    load_csv,
+    save_csv,
+)
+
+
+RECORDS = [
+    {
+        "user_id": "u1",
+        "item_id": "i1",
+        "tags": ["alpha", "beta"],
+        "rating": 4.5,
+        "user.gender": "male",
+        "user.age": "teen",
+        "item.genre": "action",
+    },
+    {
+        "user_id": "u2",
+        "item_id": "i1",
+        "tags": "gamma|delta",
+        "rating": None,
+        "user.gender": "female",
+        "user.age": "adult",
+        "item.genre": "action",
+    },
+    {
+        "user_id": "u1",
+        "item_id": "i2",
+        "tags": ["alpha"],
+        "user.gender": "male",
+        "user.age": "teen",
+        "item.genre": "comedy",
+    },
+]
+
+
+class TestRecords:
+    def test_dataset_from_records_infers_schema(self):
+        dataset = dataset_from_records(RECORDS)
+        assert dataset.user_schema == ("gender", "age")
+        assert dataset.item_schema == ("genre",)
+        assert dataset.n_actions == 3
+        assert dataset.n_users == 2
+        assert dataset.n_items == 2
+
+    def test_string_tags_are_split_on_pipe(self):
+        dataset = dataset_from_records(RECORDS)
+        assert dataset.tags_of(1) == ("gamma", "delta")
+
+    def test_missing_rating_becomes_none(self):
+        dataset = dataset_from_records(RECORDS)
+        assert dataset.rating_of(0) == 4.5
+        assert dataset.rating_of(1) is None
+        assert dataset.rating_of(2) is None
+
+    def test_explicit_schema_overrides_inference(self):
+        dataset = dataset_from_records(
+            RECORDS, user_schema=("gender",), item_schema=("genre",)
+        )
+        assert dataset.user_schema == ("gender",)
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            dataset_from_records([])
+
+    def test_round_trip_through_records(self):
+        dataset = dataset_from_records(RECORDS)
+        back = dataset_from_records(dataset_to_records(dataset))
+        assert back.n_actions == dataset.n_actions
+        assert back.tags_of(0) == dataset.tags_of(0)
+        assert back.user_attributes("u2") == dataset.user_attributes("u2")
+
+
+class TestCsv:
+    def test_round_trip_through_csv(self, tmp_path):
+        dataset = dataset_from_records(RECORDS)
+        path = save_csv(dataset, tmp_path / "corpus.csv")
+        assert path.exists()
+        loaded = load_csv(path)
+        assert loaded.n_actions == dataset.n_actions
+        assert loaded.tags_of(1) == ("gamma", "delta")
+        assert loaded.rating_of(0) == 4.5
+        assert loaded.rating_of(1) is None
+        assert loaded.item_attributes("i2") == {"genre": "comedy"}
+
+    def test_load_csv_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("user_id,item_id,tags,rating\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_round_trip_preserves_synthetic_corpus(self, tmp_path, movielens_dataset):
+        sample = movielens_dataset.sample(40, seed=0)
+        path = save_csv(sample, tmp_path / "sample.csv")
+        loaded = load_csv(path)
+        assert loaded.n_actions == sample.n_actions
+        assert set(loaded.columns) == set(sample.columns)
+        original_tags = sorted(sample.tag_vocabulary.tokens())
+        loaded_tags = sorted(loaded.tag_vocabulary.tokens())
+        assert original_tags == loaded_tags

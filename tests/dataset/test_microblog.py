@@ -1,0 +1,88 @@
+"""Tests for the microblog-style (tweets about events) generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.microblog import (
+    CAMPAIGN_TAGS,
+    EDITORIAL_TAGS,
+    MicroblogStyleConfig,
+    generate_microblog_style,
+)
+
+
+class TestMicroblogGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MicroblogStyleConfig(n_tweets=0)
+        with pytest.raises(ValueError):
+            MicroblogStyleConfig(habit_tag_probability=1.5)
+
+    def test_shape_and_schemas(self):
+        dataset = generate_microblog_style(
+            MicroblogStyleConfig(n_accounts=30, n_events=60, n_tweets=400, seed=1)
+        )
+        assert dataset.n_actions == 400
+        assert dataset.user_schema == ("account_type", "region")
+        assert dataset.item_schema == ("category", "outlet")
+        assert all(len(dataset.tags_of(i)) >= 1 for i in range(dataset.n_actions))
+
+    def test_determinism(self):
+        config = MicroblogStyleConfig(n_accounts=25, n_events=50, n_tweets=300, seed=7)
+        a = generate_microblog_style(config)
+        b = generate_microblog_style(config)
+        assert [a.tags_of(i) for i in range(100)] == [b.tags_of(i) for i in range(100)]
+
+    def test_event_popularity_is_heavy_tailed(self):
+        dataset = generate_microblog_style(
+            MicroblogStyleConfig(n_accounts=40, n_events=100, n_tweets=1500, seed=2)
+        )
+        counts = sorted(
+            (len(dataset.matching_indices({"item.category": value}))
+             for value in dataset.distinct_values("item.category")),
+            reverse=True,
+        )
+        # Event draws concentrate on a few events, so the most tweeted
+        # category holds a disproportionate share.
+        assert counts[0] > sum(counts) / len(counts)
+
+    def test_journalists_use_editorial_hashtags_more_than_citizens(self):
+        dataset = generate_microblog_style(
+            MicroblogStyleConfig(n_accounts=80, n_events=120, n_tweets=2500, seed=3)
+        )
+        editorial = set(EDITORIAL_TAGS)
+
+        def editorial_share(account_type: str) -> float:
+            scoped = dataset.filter({"user.account_type": account_type})
+            tags = scoped.tags_for_indices(range(scoped.n_actions))
+            if not tags:
+                return 0.0
+            return sum(1 for tag in tags if tag in editorial) / len(tags)
+
+        assert editorial_share("journalist") > editorial_share("citizen")
+
+    def test_organizations_use_campaign_hashtags(self):
+        dataset = generate_microblog_style(
+            MicroblogStyleConfig(n_accounts=80, n_events=120, n_tweets=2500, seed=3)
+        )
+        scoped = dataset.filter({"user.account_type": "organization"})
+        tags = scoped.tags_for_indices(range(scoped.n_actions))
+        assert any(tag in set(CAMPAIGN_TAGS) for tag in tags)
+
+    def test_framework_runs_on_microblog_corpus(self):
+        from repro import TagDM, table1_problem
+        from repro.core import GroupEnumerationConfig
+
+        dataset = generate_microblog_style(
+            MicroblogStyleConfig(n_accounts=60, n_events=100, n_tweets=1500, seed=5)
+        )
+        session = TagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=5, max_groups=50),
+        ).prepare()
+        result = session.solve(
+            table1_problem(4, k=3, min_support=session.default_support()),
+            algorithm="dv-fdp-fo",
+        )
+        assert result.is_empty or result.feasible

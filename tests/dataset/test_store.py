@@ -1,0 +1,207 @@
+"""Unit tests for the columnar tagging store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.store import TaggingDataset
+
+
+class TestSchemaAndRegistration:
+    def test_requires_some_schema(self):
+        with pytest.raises(ValueError):
+            TaggingDataset(user_schema=(), item_schema=())
+
+    def test_columns_are_prefixed(self, tiny_dataset):
+        assert tiny_dataset.columns == (
+            "user.gender",
+            "user.age",
+            "item.genre",
+        )
+
+    def test_register_user_rejects_unknown_attribute(self, tiny_dataset):
+        with pytest.raises(ValueError, match="unknown user attributes"):
+            tiny_dataset.register_user("u9", {"height": "tall"})
+
+    def test_register_item_rejects_unknown_attribute(self, tiny_dataset):
+        with pytest.raises(ValueError, match="unknown item attributes"):
+            tiny_dataset.register_item("i9", {"studio": "acme"})
+
+    def test_missing_attribute_defaults_to_unknown(self, tiny_dataset):
+        tiny_dataset.register_user("u9", {"gender": "male"})
+        assert tiny_dataset.user_attributes("u9")["age"] == "unknown"
+
+    def test_has_user_and_item(self, tiny_dataset):
+        assert tiny_dataset.has_user("u1")
+        assert not tiny_dataset.has_user("nope")
+        assert tiny_dataset.has_item("i2")
+        assert not tiny_dataset.has_item("nope")
+
+
+class TestIngestion:
+    def test_add_action_requires_registered_user(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.add_action("ghost", "i1", ["tag"])
+
+    def test_add_action_requires_registered_item(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.add_action("u1", "ghost", ["tag"])
+
+    def test_add_action_returns_sequential_indices(self, tiny_dataset):
+        index = tiny_dataset.add_action("u1", "i1", ["new-tag"])
+        assert index == 4
+
+    def test_duplicate_tags_are_deduplicated(self, tiny_dataset):
+        index = tiny_dataset.add_action("u1", "i1", ["same", "same", "other"])
+        assert tiny_dataset.tags_of(index) == ("same", "other")
+
+    def test_rating_stored_and_optional(self, tiny_dataset):
+        assert tiny_dataset.rating_of(0) == 4.0
+        index = tiny_dataset.add_action("u2", "i2", ["x"])
+        assert tiny_dataset.rating_of(index) is None
+
+    def test_tag_vocabulary_counts_usage(self, tiny_dataset):
+        assert tiny_dataset.tag_vocabulary.count_of("funny") == 2
+        assert tiny_dataset.tag_vocabulary.count_of("gun") == 2
+        assert tiny_dataset.tag_vocabulary.count_of("missing") == 0
+
+
+class TestAccessors:
+    def test_len_and_counts(self, tiny_dataset):
+        assert len(tiny_dataset) == 4
+        assert tiny_dataset.n_actions == 4
+        assert tiny_dataset.n_users == 3
+        assert tiny_dataset.n_items == 2
+
+    def test_action_materialises_expanded_tuple(self, tiny_dataset):
+        action = tiny_dataset.action(1)
+        assert action.user_id == "u2"
+        assert action.item_id == "i1"
+        assert action.user_attributes == {"gender": "female", "age": "teen"}
+        assert action.item_attributes == {"genre": "action"}
+        assert action.tags == ("violence", "gory")
+
+    def test_action_attribute_lookup_by_prefixed_column(self, tiny_dataset):
+        action = tiny_dataset.action(0)
+        assert action.attribute("user.gender") == "male"
+        assert action.attribute("item.genre") == "action"
+        with pytest.raises(KeyError):
+            action.attribute("genre")
+
+    def test_action_index_out_of_range(self, tiny_dataset):
+        with pytest.raises(IndexError):
+            tiny_dataset.action(99)
+
+    def test_actions_iterates_selected_indices(self, tiny_dataset):
+        actions = list(tiny_dataset.actions([0, 2]))
+        assert [a.user_id for a in actions] == ["u1", "u3"]
+
+    def test_distinct_values_and_counts(self, tiny_dataset):
+        assert tiny_dataset.distinct_values("item.genre") == ["action", "comedy"]
+        assert tiny_dataset.value_counts("user.gender") == {"male": 3, "female": 1}
+
+    def test_unknown_column_raises(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.column_values("user.height")
+        with pytest.raises(KeyError):
+            tiny_dataset.distinct_values("item.studio")
+
+
+class TestFiltering:
+    def test_empty_predicate_matches_everything(self, tiny_dataset):
+        assert list(tiny_dataset.matching_indices({})) == [0, 1, 2, 3]
+
+    def test_single_predicate(self, tiny_dataset):
+        assert list(tiny_dataset.matching_indices({"item.genre": "comedy"})) == [2, 3]
+
+    def test_conjunctive_predicate(self, tiny_dataset):
+        rows = tiny_dataset.matching_indices(
+            {"user.gender": "male", "item.genre": "action"}
+        )
+        assert list(rows) == [0]
+
+    def test_predicate_with_unmatched_value_is_empty(self, tiny_dataset):
+        assert len(tiny_dataset.matching_indices({"item.genre": "horror"})) == 0
+
+    def test_predicate_with_unknown_column_raises(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.matching_indices({"item.studio": "acme"})
+
+    def test_support_counts_matching_tuples(self, tiny_dataset):
+        assert tiny_dataset.support({"user.gender": "male"}) == 3
+
+    def test_filter_returns_independent_subset(self, tiny_dataset):
+        subset = tiny_dataset.filter({"item.genre": "comedy"})
+        assert subset.n_actions == 2
+        assert subset.n_users == 2
+        # The subset is decoupled from the parent.
+        subset.add_action("u3", "i2", ["more"])
+        assert tiny_dataset.n_actions == 4
+
+    def test_sample_smaller_than_dataset(self, tiny_dataset):
+        sample = tiny_dataset.sample(2, seed=1)
+        assert sample.n_actions == 2
+
+    def test_sample_larger_than_dataset_is_clamped(self, tiny_dataset):
+        sample = tiny_dataset.sample(100, seed=1)
+        assert sample.n_actions == tiny_dataset.n_actions
+
+    def test_sample_negative_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.sample(-1)
+
+    def test_sample_is_deterministic(self, movielens_dataset):
+        a = movielens_dataset.sample(50, seed=3)
+        b = movielens_dataset.sample(50, seed=3)
+        assert [x.user_id for x in a.actions()] == [x.user_id for x in b.actions()]
+
+
+class TestAggregates:
+    def test_tags_for_indices_concatenates(self, tiny_dataset):
+        tags = tiny_dataset.tags_for_indices([0, 3])
+        assert tags == ["gun", "explosion", "funny", "gun"]
+
+    def test_users_and_items_for_indices(self, tiny_dataset):
+        assert tiny_dataset.users_for_indices([0, 1]) == {"u1", "u2"}
+        assert tiny_dataset.items_for_indices([2, 3]) == {"i2"}
+
+    def test_stats(self, tiny_dataset):
+        stats = tiny_dataset.stats()
+        assert stats.n_actions == 4
+        assert stats.n_users == 3
+        assert stats.n_items == 2
+        assert stats.n_distinct_tags == 6
+        assert stats.n_tag_assignments == 8
+        assert stats.mean_tags_per_action == pytest.approx(2.0)
+        assert stats.as_dict()["n_actions"] == 4
+
+
+class TestPropertyBased:
+    @given(
+        genders=st.lists(st.sampled_from(["male", "female"]), min_size=1, max_size=30)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_posting_lists_partition_rows(self, genders):
+        """Every row matches exactly one value of an attribute it carries."""
+        dataset = TaggingDataset(user_schema=("gender",), item_schema=("kind",))
+        dataset.register_item("i", {"kind": "only"})
+        for position, gender in enumerate(genders):
+            user_id = f"u{position}"
+            dataset.register_user(user_id, {"gender": gender})
+            dataset.add_action(user_id, "i", ["t"])
+        male_rows = set(dataset.matching_indices({"user.gender": "male"}).tolist())
+        female_rows = set(dataset.matching_indices({"user.gender": "female"}).tolist())
+        assert male_rows | female_rows == set(range(len(genders)))
+        assert male_rows & female_rows == set()
+
+    @given(n=st.integers(min_value=0, max_value=40), seed=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_sample_size_respected(self, n, seed):
+        dataset = TaggingDataset(user_schema=("gender",), item_schema=("kind",))
+        dataset.register_user("u", {"gender": "male"})
+        dataset.register_item("i", {"kind": "only"})
+        for _ in range(25):
+            dataset.add_action("u", "i", ["t"])
+        sample = dataset.sample(n, seed=seed)
+        assert sample.n_actions == min(n, 25)

@@ -1,0 +1,147 @@
+"""Tests for the synthetic corpus generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.delicious import DeliciousStyleConfig, generate_delicious_style
+from repro.dataset.flickr import FlickrStyleConfig, generate_flickr_style
+from repro.dataset.synthetic import (
+    AGE_RANGES,
+    GENRES,
+    LOCATIONS,
+    MovieLensStyleConfig,
+    MovieLensStyleGenerator,
+    OCCUPATIONS,
+    generate_movielens_style,
+)
+
+
+class TestAttributePools:
+    def test_pool_cardinalities_match_the_paper(self):
+        """Section 6: gender 2, age 8, occupations 21, locations 52, genres 19."""
+        assert len(AGE_RANGES) == 8
+        assert len(OCCUPATIONS) == 21
+        assert len(LOCATIONS) == 52
+        assert len(GENRES) == 19
+
+
+class TestMovieLensStyleGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MovieLensStyleConfig(n_users=0)
+        with pytest.raises(ValueError):
+            MovieLensStyleConfig(n_topics=1)
+        with pytest.raises(ValueError):
+            MovieLensStyleConfig(demographic_topic_shift=2.0)
+
+    def test_generated_shape(self):
+        dataset = generate_movielens_style(
+            n_users=30, n_items=60, n_actions=300, seed=1
+        )
+        assert dataset.n_actions == 300
+        assert dataset.n_users <= 30
+        assert dataset.n_items <= 60
+        assert dataset.user_schema == ("gender", "age", "occupation", "location")
+        assert dataset.item_schema == ("genre", "actor", "director")
+
+    def test_every_action_has_at_least_one_tag(self):
+        dataset = generate_movielens_style(n_users=20, n_items=40, n_actions=200, seed=2)
+        assert all(len(dataset.tags_of(i)) >= 1 for i in range(dataset.n_actions))
+
+    def test_ratings_are_in_valid_levels(self):
+        config = MovieLensStyleConfig(n_users=20, n_items=40, n_actions=150, seed=3)
+        dataset = MovieLensStyleGenerator(config).generate()
+        levels = set(config.rating_levels)
+        assert all(dataset.rating_of(i) in levels for i in range(dataset.n_actions))
+
+    def test_generation_is_deterministic(self):
+        a = generate_movielens_style(n_users=25, n_items=50, n_actions=200, seed=7)
+        b = generate_movielens_style(n_users=25, n_items=50, n_actions=200, seed=7)
+        assert [a.tags_of(i) for i in range(a.n_actions)] == [
+            b.tags_of(i) for i in range(b.n_actions)
+        ]
+        assert [a.user_of(i) for i in range(a.n_actions)] == [
+            b.user_of(i) for i in range(b.n_actions)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_movielens_style(n_users=25, n_items=50, n_actions=200, seed=1)
+        b = generate_movielens_style(n_users=25, n_items=50, n_actions=200, seed=2)
+        assert [a.tags_of(i) for i in range(a.n_actions)] != [
+            b.tags_of(i) for i in range(b.n_actions)
+        ]
+
+    def test_attribute_values_come_from_pools(self, movielens_dataset):
+        assert set(movielens_dataset.distinct_values("item.genre")) <= set(GENRES)
+        assert set(movielens_dataset.distinct_values("user.age")) <= set(AGE_RANGES)
+        assert set(movielens_dataset.distinct_values("user.location")) <= set(LOCATIONS)
+
+    def test_tag_vocabulary_is_long_tailed(self, movielens_dataset):
+        counts = sorted(
+            (count for _, count in movielens_dataset.tag_vocabulary.most_common()),
+            reverse=True,
+        )
+        top_decile = sum(counts[: max(1, len(counts) // 10)])
+        assert top_decile / sum(counts) > 0.3
+
+    def test_genre_groups_have_distinct_tag_profiles(self, movielens_dataset):
+        """Two different genres should not share their most frequent tags entirely."""
+        genres = movielens_dataset.distinct_values("item.genre")[:2]
+        profiles = []
+        for genre in genres:
+            scoped = movielens_dataset.filter({"item.genre": genre})
+            tags = scoped.tags_for_indices(range(scoped.n_actions))
+            from collections import Counter
+
+            profiles.append({t for t, _ in Counter(tags).most_common(10)})
+        assert profiles[0] != profiles[1]
+
+
+class TestOtherGenerators:
+    def test_delicious_shape_and_determinism(self):
+        config = DeliciousStyleConfig(n_users=30, n_bookmarks=60, n_actions=300, seed=4)
+        a = generate_delicious_style(config)
+        b = generate_delicious_style(config)
+        assert a.n_actions == 300
+        assert a.user_schema == ("expertise", "region")
+        assert a.item_schema == ("domain", "page_type")
+        assert [a.tags_of(i) for i in range(50)] == [b.tags_of(i) for i in range(50)]
+
+    def test_delicious_config_validation(self):
+        with pytest.raises(ValueError):
+            DeliciousStyleConfig(n_users=0)
+        with pytest.raises(ValueError):
+            DeliciousStyleConfig(functional_tag_probability=2.0)
+
+    def test_flickr_shape_and_determinism(self):
+        config = FlickrStyleConfig(n_users=25, n_photos=50, n_actions=250, seed=6)
+        a = generate_flickr_style(config)
+        b = generate_flickr_style(config)
+        assert a.n_actions == 250
+        assert a.user_schema == ("camera", "country")
+        assert a.item_schema == ("scene", "season")
+        assert [a.tags_of(i) for i in range(50)] == [b.tags_of(i) for i in range(50)]
+
+    def test_flickr_config_validation(self):
+        with pytest.raises(ValueError):
+            FlickrStyleConfig(n_actions=0)
+        with pytest.raises(ValueError):
+            FlickrStyleConfig(technique_tag_probability=-0.1)
+
+    def test_flickr_dslr_users_use_more_technique_tags(self):
+        from repro.dataset.flickr import TECHNIQUE_TAGS
+
+        dataset = generate_flickr_style(
+            FlickrStyleConfig(n_users=60, n_photos=100, n_actions=1500, seed=8)
+        )
+        technique = set(TECHNIQUE_TAGS)
+
+        def technique_share(camera: str) -> float:
+            scoped = dataset.filter({"user.camera": camera})
+            tags = scoped.tags_for_indices(range(scoped.n_actions))
+            if not tags:
+                return 0.0
+            return sum(1 for tag in tags if tag in technique) / len(tags)
+
+        assert technique_share("dslr") > technique_share("phone")

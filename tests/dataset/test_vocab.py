@@ -1,0 +1,140 @@
+"""Unit and property tests for the tag vocabulary models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.vocab import TagVocabulary, ZipfTagModel
+
+
+class TestTagVocabulary:
+    def test_add_and_lookup(self):
+        vocab = TagVocabulary(["a", "b"])
+        assert len(vocab) == 2
+        assert vocab.id_of("a") == 0
+        assert vocab.token_of(1) == "b"
+        assert "a" in vocab and "z" not in vocab
+
+    def test_add_is_idempotent(self):
+        vocab = TagVocabulary()
+        first = vocab.add("x")
+        second = vocab.add("x")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_record_usage_and_counts(self):
+        vocab = TagVocabulary()
+        vocab.record_usage("a")
+        vocab.record_usage("a", count=2)
+        vocab.record_usage("b")
+        assert vocab.count_of("a") == 3
+        assert vocab.count_of("b") == 1
+        assert vocab.count_of("missing") == 0
+
+    def test_most_common_orders_by_count_then_token(self):
+        vocab = TagVocabulary()
+        for token, count in (("x", 2), ("y", 5), ("z", 2)):
+            vocab.record_usage(token, count)
+        assert vocab.most_common() == [("y", 5), ("x", 2), ("z", 2)]
+        assert vocab.most_common(1) == [("y", 5)]
+
+    def test_merge_combines_counts(self):
+        left = TagVocabulary()
+        left.record_usage("a", 2)
+        right = TagVocabulary()
+        right.record_usage("a", 1)
+        right.record_usage("b", 4)
+        merged = left.merge(right)
+        assert merged.count_of("a") == 3
+        assert merged.count_of("b") == 4
+
+    def test_unknown_token_id_raises(self):
+        vocab = TagVocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.id_of("missing")
+        with pytest.raises(IndexError):
+            vocab.token_of(5)
+
+    @given(tokens=st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_ids_are_dense_and_stable(self, tokens):
+        vocab = TagVocabulary()
+        for token in tokens:
+            vocab.add(token)
+        distinct = list(dict.fromkeys(tokens))
+        assert len(vocab) == len(distinct)
+        for position, token in enumerate(distinct):
+            assert vocab.id_of(token) == position
+            assert vocab.token_of(position) == token
+
+
+class TestZipfTagModel:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ZipfTagModel(vocabulary_size=0)
+        with pytest.raises(ValueError):
+            ZipfTagModel(n_topics=0)
+        with pytest.raises(ValueError):
+            ZipfTagModel(topic_concentration=1.5)
+
+    def test_vocabulary_size_and_tokens(self):
+        model = ZipfTagModel(vocabulary_size=50, n_topics=5, seed=1)
+        assert len(model.vocabulary) == 50
+        assert model.token(0) == "tag_00000"
+
+    def test_sample_tags_returns_distinct_tokens(self):
+        model = ZipfTagModel(vocabulary_size=100, n_topics=5, seed=1)
+        mixture = np.full(5, 0.2)
+        tags = model.sample_tags(mixture, 8)
+        assert len(tags) == len(set(tags)) == 8
+        assert all(tag.startswith("tag_") for tag in tags)
+
+    def test_sample_tags_zero_request(self):
+        model = ZipfTagModel(vocabulary_size=20, n_topics=3, seed=1)
+        assert model.sample_tags(np.full(3, 1 / 3), 0) == []
+
+    def test_sample_tags_rejects_bad_mixture_length(self):
+        model = ZipfTagModel(vocabulary_size=20, n_topics=3, seed=1)
+        with pytest.raises(ValueError):
+            model.sample_tags([0.5, 0.5], 2)
+
+    def test_zero_mixture_falls_back_to_uniform(self):
+        model = ZipfTagModel(vocabulary_size=20, n_topics=4, seed=1)
+        tags = model.sample_tags(np.zeros(4), 3)
+        assert len(tags) == 3
+
+    def test_generation_is_deterministic_per_seed(self):
+        mixture = np.array([0.7, 0.1, 0.1, 0.1])
+        tags_a = ZipfTagModel(vocabulary_size=60, n_topics=4, seed=5).sample_tags(mixture, 5)
+        tags_b = ZipfTagModel(vocabulary_size=60, n_topics=4, seed=5).sample_tags(mixture, 5)
+        assert tags_a == tags_b
+
+    def test_topic_concentration_biases_towards_topic_block(self):
+        """A pure topic-0 mixture should draw mostly from topic 0's block."""
+        model = ZipfTagModel(
+            vocabulary_size=100, n_topics=5, seed=2, topic_concentration=0.95
+        )
+        mixture = np.zeros(5)
+        mixture[0] = 1.0
+        draws = []
+        for _ in range(40):
+            draws.extend(model.sample_tags(mixture, 3))
+        block = {model.token(i) for i in range(0, 20)}  # topic 0 owns tokens 0..19
+        in_block = sum(1 for tag in draws if tag in block)
+        assert in_block / len(draws) > 0.5
+
+    def test_expected_frequencies_is_distribution(self):
+        model = ZipfTagModel(vocabulary_size=40, n_topics=4, seed=3)
+        frequencies = model.expected_frequencies()
+        assert frequencies.shape == (40,)
+        assert frequencies.min() >= 0
+        assert frequencies.sum() == pytest.approx(1.0)
+
+    def test_global_distribution_is_long_tailed(self):
+        """Top-10% of tokens should carry a disproportionate share of mass."""
+        model = ZipfTagModel(vocabulary_size=200, n_topics=5, seed=4)
+        probs = np.sort(model.expected_frequencies())[::-1]
+        top_share = probs[:20].sum()
+        assert top_share > 0.25

@@ -1,0 +1,41 @@
+"""Tests for the experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_parameters(self):
+        config = ExperimentConfig()
+        assert config.k == 3
+        assert config.support_fraction == pytest.approx(0.01)
+        assert config.user_threshold == 0.5
+        assert config.item_threshold == 0.5
+        assert config.signature_dimensions == 25
+        assert config.lsh_bits == 10
+        assert config.lsh_tables == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(k=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(support_fraction=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(max_groups=2)
+        with pytest.raises(ValueError):
+            ExperimentConfig(scaling_bins=(0.5, 1.5))
+
+    def test_quick_profile_is_smaller(self):
+        quick = ExperimentConfig.quick()
+        default = ExperimentConfig()
+        assert quick.n_actions < default.n_actions
+        assert quick.max_groups < default.max_groups
+
+    def test_paper_scale_profile(self):
+        paper = ExperimentConfig.paper_scale()
+        assert paper.n_actions == 33000
+        assert paper.max_groups is None
+        assert paper.signature_backend == "lda"

@@ -1,0 +1,80 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    build_dataset,
+    build_problem,
+    build_session,
+    run_algorithm,
+    run_problem_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        n_users=60, n_items=120, n_actions=1200, max_groups=40, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def environment(config):
+    dataset = build_dataset(config)
+    session = build_session(dataset, config)
+    return dataset, session
+
+
+class TestBuilders:
+    def test_build_dataset_respects_scale(self, config, environment):
+        dataset, _ = environment
+        assert dataset.n_actions == config.n_actions
+        assert dataset.user_schema == ("gender", "age", "occupation", "location")
+
+    def test_build_session_caps_groups(self, config, environment):
+        _, session = environment
+        assert session.is_prepared
+        assert session.n_groups <= config.max_groups
+
+    def test_build_problem_support_threshold(self, config, environment):
+        dataset, _ = environment
+        problem = build_problem(1, dataset, config)
+        assert problem.min_support == round(config.support_fraction * dataset.n_actions)
+        assert problem.k_hi == config.k
+
+
+class TestRunAlgorithm:
+    def test_run_records_metrics(self, config, environment):
+        dataset, session = environment
+        problem = build_problem(6, dataset, config)
+        run = run_algorithm(session, problem, "dv-fdp-fo", config, problem_id=6)
+        assert run.algorithm == "dv-fdp-fo"
+        assert run.elapsed_seconds > 0
+        assert run.k_returned in (0, config.k)
+        if run.k_returned >= 2:
+            assert run.quality is not None
+            assert 0.0 <= run.quality <= 1.0
+        row = run.as_row()
+        assert row["problem"] == "problem-6"
+        assert "time_s" in row and "quality" in row
+
+    def test_lsh_options_forwarded(self, config, environment):
+        dataset, session = environment
+        problem = build_problem(1, dataset, config)
+        run = run_algorithm(session, problem, "sm-lsh-fo", config, problem_id=1)
+        assert run.algorithm == "sm-lsh-fo"
+
+    def test_run_problem_suite_covers_all_combinations(self, config, environment):
+        dataset, session = environment
+        runs = run_problem_suite(session, dataset, config, [1, 6], ["dv-fdp-fo", "sm-lsh-fo"])
+        assert len(runs) == 4
+        combos = {(run.problem_id, run.algorithm) for run in runs}
+        assert combos == {
+            (1, "dv-fdp-fo"),
+            (1, "sm-lsh-fo"),
+            (6, "dv-fdp-fo"),
+            (6, "sm-lsh-fo"),
+        }

@@ -1,0 +1,208 @@
+"""Tests for the facility dispersion heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.dispersion import (
+    constrained_greedy_dispersion,
+    exact_max_dispersion,
+    greedy_max_avg_dispersion,
+    greedy_max_min_dispersion,
+)
+from repro.geometry.distance import pairwise_cosine_distance
+
+
+def random_distance_matrix(n: int, seed: int = 0) -> np.ndarray:
+    """A symmetric matrix of cosine distances between random points."""
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 4))
+    return pairwise_cosine_distance(points)
+
+
+class TestValidation:
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_max_avg_dispersion(np.zeros((2, 3)), 2)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_max_avg_dispersion(np.zeros((0, 0)), 1)
+
+    def test_k_must_be_positive(self):
+        matrix = random_distance_matrix(4)
+        with pytest.raises(ValueError):
+            greedy_max_avg_dispersion(matrix, 0)
+        with pytest.raises(ValueError):
+            greedy_max_min_dispersion(matrix, 0)
+        with pytest.raises(ValueError):
+            exact_max_dispersion(matrix, 0)
+
+    def test_exact_objective_name_validated(self):
+        with pytest.raises(ValueError):
+            exact_max_dispersion(random_distance_matrix(4), 2, objective="max-sum")
+
+    def test_exact_candidate_guard(self):
+        matrix = random_distance_matrix(30)
+        with pytest.raises(ValueError):
+            exact_max_dispersion(matrix, 10, max_candidates=100)
+
+    def test_constrained_requires_feasibility_source(self):
+        with pytest.raises(ValueError):
+            constrained_greedy_dispersion(random_distance_matrix(4), 2)
+
+    def test_constrained_feasible_matrix_shape_checked(self):
+        with pytest.raises(ValueError):
+            constrained_greedy_dispersion(
+                random_distance_matrix(4), 2, feasible_matrix=np.ones((3, 3), dtype=bool)
+            )
+
+
+class TestGreedyMaxAvg:
+    def test_selects_k_distinct_indices(self):
+        matrix = random_distance_matrix(12)
+        result = greedy_max_avg_dispersion(matrix, 4)
+        assert len(result.indices) == 4
+        assert len(set(result.indices)) == 4
+        assert result.objective_kind == "max-avg"
+
+    def test_k_one_returns_single_point(self):
+        result = greedy_max_avg_dispersion(random_distance_matrix(5), 1)
+        assert len(result.indices) == 1
+        assert result.objective == 0.0
+
+    def test_k_larger_than_n_is_clamped(self):
+        result = greedy_max_avg_dispersion(random_distance_matrix(3), 10)
+        assert len(result.indices) == 3
+
+    def test_seeds_with_farthest_pair(self):
+        matrix = random_distance_matrix(10, seed=3)
+        result = greedy_max_avg_dispersion(matrix, 2)
+        upper = np.triu(matrix, k=1)
+        best = np.unravel_index(np.argmax(upper), upper.shape)
+        assert set(result.indices) == set(int(x) for x in best)
+
+    def test_factor_4_bound_against_exact(self):
+        """Theorem 4: greedy objective is within factor 4 of the optimum."""
+        for seed in range(6):
+            matrix = random_distance_matrix(10, seed=seed)
+            exact = exact_max_dispersion(matrix, 3, objective="max-avg")
+            greedy = greedy_max_avg_dispersion(matrix, 3)
+            assert exact.objective <= 4.0 * greedy.objective + 1e-12
+            assert greedy.objective <= exact.objective + 1e-12
+
+
+class TestGreedyMaxMin:
+    def test_objective_kind(self):
+        result = greedy_max_min_dispersion(random_distance_matrix(8), 3)
+        assert result.objective_kind == "max-min"
+        assert len(result.indices) == 3
+
+    def test_two_point_solution_is_optimal(self):
+        matrix = random_distance_matrix(9, seed=5)
+        greedy = greedy_max_min_dispersion(matrix, 2)
+        exact = exact_max_dispersion(matrix, 2, objective="max-min")
+        assert greedy.objective == pytest.approx(exact.objective)
+
+    def test_max_min_factor_2_bound(self):
+        """The farthest-point greedy is a 2-approximation for MAX-MIN."""
+        for seed in range(6):
+            matrix = random_distance_matrix(9, seed=seed)
+            exact = exact_max_dispersion(matrix, 3, objective="max-min")
+            greedy = greedy_max_min_dispersion(matrix, 3)
+            assert exact.objective <= 2.0 * greedy.objective + 1e-9
+
+
+class TestExact:
+    def test_exact_beats_or_matches_greedy(self):
+        matrix = random_distance_matrix(9, seed=2)
+        exact = exact_max_dispersion(matrix, 3)
+        greedy = greedy_max_avg_dispersion(matrix, 3)
+        assert exact.objective >= greedy.objective - 1e-12
+
+    def test_exact_on_trivial_instance(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = exact_max_dispersion(matrix, 2)
+        assert set(result.indices) == {0, 1}
+        assert result.objective == pytest.approx(1.0)
+
+
+class TestConstrainedGreedy:
+    def test_all_pairs_feasible_matches_unconstrained(self):
+        matrix = random_distance_matrix(10, seed=4)
+        feasible = np.ones((10, 10), dtype=bool)
+        constrained = constrained_greedy_dispersion(matrix, 3, feasible_matrix=feasible)
+        unconstrained = greedy_max_avg_dispersion(matrix, 3)
+        assert constrained is not None
+        assert set(constrained.indices) == set(unconstrained.indices)
+
+    def test_callable_feasibility_equivalent_to_matrix(self):
+        matrix = random_distance_matrix(8, seed=6)
+        feasible = matrix > 0.05
+        via_matrix = constrained_greedy_dispersion(matrix, 3, feasible_matrix=feasible)
+        via_callable = constrained_greedy_dispersion(
+            matrix, 3, pair_feasible=lambda a, b: bool(feasible[a, b])
+        )
+        assert via_matrix is not None and via_callable is not None
+        assert set(via_matrix.indices) == set(via_callable.indices)
+
+    def test_infeasible_everywhere_returns_none(self):
+        matrix = random_distance_matrix(6)
+        feasible = np.zeros((6, 6), dtype=bool)
+        assert constrained_greedy_dispersion(matrix, 3, feasible_matrix=feasible) is None
+
+    def test_infeasible_with_k_one_returns_single(self):
+        matrix = random_distance_matrix(6)
+        feasible = np.zeros((6, 6), dtype=bool)
+        result = constrained_greedy_dispersion(matrix, 1, feasible_matrix=feasible)
+        assert result is not None
+        assert len(result.indices) == 1
+
+    def test_selected_pairs_respect_feasibility(self):
+        matrix = random_distance_matrix(12, seed=9)
+        feasible = matrix > np.median(matrix)
+        np.fill_diagonal(feasible, False)
+        result = constrained_greedy_dispersion(matrix, 4, feasible_matrix=feasible)
+        assert result is not None
+        for a in result.indices:
+            for b in result.indices:
+                if a != b:
+                    assert feasible[a, b]
+
+    def test_partial_result_when_no_feasible_extension(self):
+        """If only one feasible pair exists, the result stops at that pair."""
+        matrix = random_distance_matrix(5, seed=10)
+        feasible = np.zeros((5, 5), dtype=bool)
+        feasible[0, 1] = feasible[1, 0] = True
+        result = constrained_greedy_dispersion(matrix, 4, feasible_matrix=feasible)
+        assert result is not None
+        assert set(result.indices) == {0, 1}
+
+    def test_seed_pairs_restrict_the_seed(self):
+        matrix = random_distance_matrix(6, seed=11)
+        feasible = np.ones((6, 6), dtype=bool)
+        result = constrained_greedy_dispersion(
+            matrix, 2, feasible_matrix=feasible, seed_pairs=[(2, 3)]
+        )
+        assert result is not None
+        assert set(result.indices) == {2, 3}
+
+
+class TestProperties:
+    @given(n=st.integers(3, 12), k=st.integers(2, 5), seed=st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_objectives_bounded_by_matrix_range(self, n, k, seed):
+        matrix = random_distance_matrix(n, seed=seed)
+        result = greedy_max_avg_dispersion(matrix, k)
+        assert 0.0 <= result.objective <= matrix.max() + 1e-12
+        assert len(result.indices) == min(k, n)
+
+    @given(n=st.integers(4, 9), seed=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_max_avg_dominates_greedy(self, n, seed):
+        matrix = random_distance_matrix(n, seed=seed)
+        exact = exact_max_dispersion(matrix, 3)
+        greedy = greedy_max_avg_dispersion(matrix, 3)
+        assert exact.objective >= greedy.objective - 1e-12

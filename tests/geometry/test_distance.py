@@ -1,0 +1,120 @@
+"""Tests for cosine similarity / distance utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.distance import (
+    average_pairwise_distance,
+    average_pairwise_similarity,
+    cosine_distance,
+    cosine_similarity,
+    minimum_pairwise_distance,
+    pairwise_cosine_distance,
+    pairwise_cosine_similarity,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+        assert cosine_distance([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_opposite_vectors(self):
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_zero_vector_gives_zero_similarity(self):
+        assert cosine_similarity([0, 0], [1, 2]) == 0.0
+        assert cosine_similarity([0, 0], [0, 0]) == 0.0
+
+    def test_scale_invariance(self):
+        assert cosine_similarity([1, 2], [2, 4]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 2], [10, 20]) == pytest.approx(
+            cosine_similarity([1, 2], [2, 4])
+        )
+
+
+class TestPairwiseMatrices:
+    def test_similarity_matrix_diagonal_and_symmetry(self):
+        vectors = np.random.default_rng(0).random((5, 4))
+        matrix = pairwise_cosine_similarity(vectors)
+        assert matrix.shape == (5, 5)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_distance_matrix_zero_diagonal(self):
+        vectors = np.random.default_rng(1).random((4, 3))
+        matrix = pairwise_cosine_distance(vectors)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.all(matrix >= -1e-12)
+
+    def test_zero_rows_handled(self):
+        vectors = np.array([[0.0, 0.0], [1.0, 0.0]])
+        matrix = pairwise_cosine_similarity(vectors)
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 0] == 0.0
+
+    def test_matrix_matches_scalar_function(self):
+        vectors = np.random.default_rng(2).random((6, 5))
+        matrix = pairwise_cosine_similarity(vectors)
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert matrix[i, j] == pytest.approx(
+                        cosine_similarity(vectors[i], vectors[j]), abs=1e-9
+                    )
+
+
+class TestAggregates:
+    def test_average_similarity_of_identical_vectors(self):
+        vectors = [[1, 1, 0]] * 3
+        assert average_pairwise_similarity(vectors) == pytest.approx(1.0)
+        assert average_pairwise_distance(vectors) == pytest.approx(0.0)
+
+    def test_single_vector_conventions(self):
+        assert average_pairwise_similarity([[1, 0]]) == 1.0
+        assert average_pairwise_distance([[1, 0]]) == 0.0
+        assert minimum_pairwise_distance([[1, 0]]) == 0.0
+
+    def test_minimum_pairwise_distance(self):
+        vectors = [[1, 0], [1, 0.01], [0, 1]]
+        assert minimum_pairwise_distance(vectors) == pytest.approx(
+            cosine_distance([1, 0], [1, 0.01]), abs=1e-9
+        )
+
+    def test_average_is_between_min_and_max_pair(self):
+        vectors = np.random.default_rng(3).random((5, 4))
+        distances = pairwise_cosine_distance(vectors)
+        upper = distances[np.triu_indices(5, k=1)]
+        average = average_pairwise_distance(vectors)
+        assert upper.min() <= average <= upper.max()
+
+
+class TestProperties:
+    nonneg_vectors = arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(2, 6), st.integers(2, 5)),
+        elements=st.floats(0, 10, allow_nan=False, allow_infinity=False),
+    )
+
+    @given(vectors=nonneg_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_vectors_have_similarity_in_unit_interval(self, vectors):
+        matrix = pairwise_cosine_similarity(vectors)
+        assert np.all(matrix >= -1e-12)
+        assert np.all(matrix <= 1.0 + 1e-12)
+
+    @given(vectors=nonneg_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_similarity_plus_distance_is_one_off_diagonal(self, vectors):
+        similarity = pairwise_cosine_similarity(vectors)
+        distance = pairwise_cosine_distance(vectors)
+        n = similarity.shape[0]
+        off_diagonal = ~np.eye(n, dtype=bool)
+        assert np.allclose((similarity + distance)[off_diagonal], 1.0)

@@ -1,0 +1,116 @@
+"""Tests for the random-hyperplane hash family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.hyperplane import RandomHyperplaneHasher, signature_to_key
+
+
+class TestSignatureToKey:
+    def test_packs_bits_msb_first(self):
+        assert signature_to_key(np.array([True, False, True])) == 0b101
+        assert signature_to_key(np.array([False, False])) == 0
+        assert signature_to_key(np.array([True])) == 1
+
+
+class TestHasher:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomHyperplaneHasher(0, 4)
+        with pytest.raises(ValueError):
+            RandomHyperplaneHasher(4, 0)
+
+    def test_hash_bits_shape(self):
+        hasher = RandomHyperplaneHasher(n_dimensions=8, n_bits=6, seed=1)
+        vectors = np.random.default_rng(0).normal(size=(10, 8))
+        bits = hasher.hash_bits(vectors)
+        assert bits.shape == (10, 6)
+        assert bits.dtype == bool
+
+    def test_dimension_mismatch_raises(self):
+        hasher = RandomHyperplaneHasher(n_dimensions=8, n_bits=4)
+        with pytest.raises(ValueError):
+            hasher.hash_bits(np.zeros((3, 5)))
+
+    def test_same_seed_same_hashes(self):
+        vectors = np.random.default_rng(1).normal(size=(5, 6))
+        keys_a = RandomHyperplaneHasher(6, 8, seed=3).hash_keys(vectors)
+        keys_b = RandomHyperplaneHasher(6, 8, seed=3).hash_keys(vectors)
+        assert np.array_equal(keys_a, keys_b)
+
+    def test_different_seeds_usually_differ(self):
+        vectors = np.random.default_rng(1).normal(size=(20, 6))
+        keys_a = RandomHyperplaneHasher(6, 8, seed=3).hash_keys(vectors)
+        keys_b = RandomHyperplaneHasher(6, 8, seed=4).hash_keys(vectors)
+        assert not np.array_equal(keys_a, keys_b)
+
+    def test_identical_vectors_collide(self):
+        hasher = RandomHyperplaneHasher(5, 10, seed=0)
+        vector = np.random.default_rng(2).normal(size=5)
+        key_a, _ = hasher.hash_one(vector)
+        key_b, _ = hasher.hash_one(vector.copy())
+        assert key_a == key_b
+
+    def test_scaling_does_not_change_hash(self):
+        """Sign random projections only see the direction of a vector."""
+        hasher = RandomHyperplaneHasher(5, 10, seed=0)
+        vector = np.random.default_rng(3).normal(size=5)
+        key_a, _ = hasher.hash_one(vector)
+        key_b, _ = hasher.hash_one(vector * 7.5)
+        assert key_a == key_b
+
+    def test_opposite_vectors_get_complementary_bits(self):
+        hasher = RandomHyperplaneHasher(5, 10, seed=0)
+        vector = np.random.default_rng(4).normal(size=5)
+        # Perturb to avoid exact-zero projections where the >= 0 convention
+        # breaks complementarity.
+        _, bits_pos = hasher.hash_one(vector)
+        _, bits_neg = hasher.hash_one(-vector)
+        assert np.array_equal(bits_pos, ~bits_neg)
+
+    def test_narrowed_keeps_prefix_hyperplanes(self):
+        hasher = RandomHyperplaneHasher(6, 10, seed=5)
+        narrow = hasher.narrowed(4)
+        assert narrow.n_bits == 4
+        assert np.allclose(narrow.hyperplanes, hasher.hyperplanes[:4])
+
+    def test_narrowed_invalid_bits(self):
+        hasher = RandomHyperplaneHasher(6, 10, seed=5)
+        with pytest.raises(ValueError):
+            hasher.narrowed(0)
+
+    @given(
+        seed=st.integers(0, 50),
+        n_bits=st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_keys_fit_in_bit_width(self, seed, n_bits):
+        hasher = RandomHyperplaneHasher(4, n_bits, seed=seed)
+        vectors = np.random.default_rng(seed).normal(size=(8, 4))
+        keys = hasher.hash_keys(vectors)
+        assert np.all(keys >= 0)
+        assert np.all(keys < 2 ** n_bits)
+
+
+class TestCollisionGeometry:
+    def test_nearby_vectors_collide_more_than_distant_ones(self):
+        """Empirical check of Theorem 2's monotonicity in the angle."""
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=16)
+        close = base + 0.05 * rng.normal(size=16)
+        far = rng.normal(size=16)
+
+        def collision_rate(other: np.ndarray) -> float:
+            collisions = 0
+            trials = 200
+            for seed in range(trials):
+                hasher = RandomHyperplaneHasher(16, 1, seed=seed)
+                collisions += int(
+                    hasher.hash_one(base)[0] == hasher.hash_one(other)[0]
+                )
+            return collisions / trials
+
+        assert collision_rate(close) > collision_rate(far)

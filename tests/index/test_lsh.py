@@ -1,0 +1,148 @@
+"""Tests for the multi-table cosine LSH index."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.lsh import CosineLshIndex, collision_probability
+
+
+@pytest.fixture()
+def clustered_vectors():
+    """Two tight clusters of vectors plus their labels."""
+    rng = np.random.default_rng(11)
+    centre_a = rng.normal(size=12)
+    centre_b = rng.normal(size=12)
+    cluster_a = centre_a + 0.05 * rng.normal(size=(10, 12))
+    cluster_b = centre_b + 0.05 * rng.normal(size=(10, 12))
+    vectors = np.vstack([cluster_a, cluster_b])
+    labels = [0] * 10 + [1] * 10
+    return vectors, labels
+
+
+class TestCollisionProbability:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert collision_probability(v, v, n_bits=8) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert collision_probability(a, b, n_bits=1) == pytest.approx(0.5)
+
+    def test_opposite_vectors(self):
+        a = np.array([1.0, 0.0])
+        assert collision_probability(a, -a, n_bits=1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_probability_decreases_with_bits(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        p_small = collision_probability(a, b, n_bits=2)
+        p_large = collision_probability(a, b, n_bits=10)
+        assert p_large <= p_small
+
+    def test_zero_vector_treated_as_right_angle(self):
+        a = np.zeros(3)
+        b = np.array([1.0, 0.0, 0.0])
+        assert collision_probability(a, b, n_bits=1) == pytest.approx(0.5)
+
+
+class TestIndexConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CosineLshIndex(4, n_bits=8, n_tables=0)
+
+    def test_build_requires_vectors(self):
+        with pytest.raises(ValueError):
+            CosineLshIndex(4).build(np.zeros((0, 4)))
+
+    def test_build_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            CosineLshIndex(4).build(np.zeros((3, 5)))
+
+    def test_vectors_property_requires_build(self):
+        index = CosineLshIndex(4)
+        with pytest.raises(RuntimeError):
+            _ = index.vectors
+        assert index.n_indexed == 0
+
+    def test_buckets_partition_rows(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=6, n_tables=2, seed=0).build(vectors)
+        for table in range(2):
+            members = [m for bucket in index.buckets(table) for m in bucket.members]
+            assert sorted(members) == list(range(len(vectors)))
+
+    def test_bucket_count_consistency(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=6, n_tables=3, seed=0).build(vectors)
+        total = sum(index.bucket_count(t) for t in range(3))
+        assert index.bucket_count() == total
+
+    def test_stats_fields(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=4, seed=0).build(vectors)
+        stats = index.stats()
+        assert stats["buckets"] >= 1
+        assert stats["max_size"] <= len(vectors)
+        assert stats["mean_size"] > 0
+
+
+class TestIndexBehaviour:
+    def test_clustered_vectors_mostly_share_buckets(self, clustered_vectors):
+        """Vectors from the same tight cluster should usually collide."""
+        vectors, labels = clustered_vectors
+        index = CosineLshIndex(12, n_bits=8, n_tables=1, seed=3).build(vectors)
+        same_cluster_pairs = 0
+        colliding_pairs = 0
+        keys = {}
+        for bucket in index.buckets(0):
+            for member in bucket.members:
+                keys[member] = bucket.key
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                if labels[i] == labels[j]:
+                    same_cluster_pairs += 1
+                    if keys[i] == keys[j]:
+                        colliding_pairs += 1
+        assert colliding_pairs / same_cluster_pairs > 0.5
+
+    def test_bucket_of_returns_members_of_query_bucket(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=6, seed=1).build(vectors)
+        bucket = index.bucket_of(vectors[0], table=0)
+        assert 0 in bucket.members
+
+    def test_bucket_of_invalid_table(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=6, seed=1).build(vectors)
+        with pytest.raises(IndexError):
+            index.bucket_of(vectors[0], table=5)
+
+    def test_candidates_union_over_tables(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=6, n_tables=3, seed=1).build(vectors)
+        candidates = index.candidates(vectors[0])
+        assert 0 in candidates
+        single_table = set(index.bucket_of(vectors[0], table=0).members)
+        assert single_table <= set(candidates)
+
+    def test_rebuild_with_fewer_bits_coarsens_buckets(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        fine = CosineLshIndex(12, n_bits=10, seed=2).build(vectors)
+        coarse = fine.rebuild_with_bits(2)
+        assert coarse.bucket_count() <= fine.bucket_count()
+        assert coarse.n_indexed == fine.n_indexed
+
+    def test_largest_bucket(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = CosineLshIndex(12, n_bits=2, seed=2).build(vectors)
+        largest = index.largest_bucket()
+        assert len(largest) == max(len(b) for b in index.buckets())
+
+    def test_largest_bucket_requires_build(self):
+        with pytest.raises(RuntimeError):
+            CosineLshIndex(4).largest_bucket()

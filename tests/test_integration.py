@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the whole library.
+
+These follow the full pipeline the paper's evaluation uses: generate a
+corpus, prepare a session, solve all six Table 1 problems with their
+recommended algorithms and with Exact, and check the cross-cutting
+invariants (feasibility, quality relative to Exact, run-time ordering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    TagDM,
+    TaggingDataset,
+    available_algorithms,
+    generate_delicious_style,
+    generate_movielens_style,
+    recommend_algorithm,
+    table1_problem,
+)
+from repro.core import GroupEnumerationConfig
+from repro.algorithms import ExactAlgorithm, build_algorithm
+
+
+@pytest.fixture(scope="module")
+def session():
+    dataset = generate_movielens_style(n_users=80, n_items=160, n_actions=2000, seed=21)
+    return TagDM(
+        dataset,
+        enumeration=GroupEnumerationConfig(min_support=5, max_groups=60),
+        signature_backend="frequency",
+    ).prepare()
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert "exact" in available_algorithms()
+        assert callable(generate_movielens_style)
+        assert isinstance(
+            generate_movielens_style(n_users=10, n_items=10, n_actions=20, seed=0),
+            TaggingDataset,
+        )
+
+
+class TestAllTable1ProblemsEndToEnd:
+    @pytest.mark.parametrize("problem_id", [1, 2, 3, 4, 5, 6])
+    def test_recommended_algorithm_solves_each_problem(self, session, problem_id):
+        problem = table1_problem(problem_id, k=3, min_support=session.default_support())
+        algorithm = recommend_algorithm(problem)
+        result = session.solve(problem, algorithm=algorithm)
+        # The folding algorithms should find a feasible set on this corpus;
+        # a null result is a regression for the recommended solver.
+        assert not result.is_empty
+        assert result.feasible
+        assert result.k == 3
+        assert result.support >= problem.min_support
+
+    @pytest.mark.parametrize("problem_id", [1, 6])
+    def test_heuristics_track_exact_quality(self, session, problem_id):
+        problem = table1_problem(problem_id, k=3, min_support=session.default_support())
+        exact = session.solve(problem, algorithm="exact")
+        heuristic = session.solve(problem, algorithm=recommend_algorithm(problem))
+        assert not exact.is_empty
+        if not heuristic.is_empty:
+            assert heuristic.objective_value >= 0.6 * exact.objective_value
+            assert heuristic.objective_value <= exact.objective_value + 1e-9
+
+    def test_exact_is_slowest_in_evaluations(self, session):
+        problem = table1_problem(6, k=3, min_support=session.default_support())
+        exact = session.solve(problem, algorithm="exact")
+        for name in ("dv-fdp-fi", "dv-fdp-fo"):
+            heuristic = session.solve(problem, algorithm=name)
+            assert heuristic.evaluations < exact.evaluations
+
+    def test_every_registered_algorithm_runs(self, session):
+        problem_by_family = {
+            "sm-lsh": 1,
+            "sm-lsh-fi": 1,
+            "sm-lsh-fo": 1,
+            "dv-fdp": 6,
+            "dv-fdp-fi": 6,
+            "dv-fdp-fo": 6,
+            "exact": 1,
+        }
+        for name in available_algorithms():
+            problem = table1_problem(
+                problem_by_family[name], k=3, min_support=session.default_support()
+            )
+            result = session.solve(problem, algorithm=name)
+            assert result.algorithm == name
+            assert result.elapsed_seconds >= 0.0
+
+
+class TestCrossDomain:
+    def test_delicious_corpus_end_to_end(self):
+        dataset = generate_delicious_style()
+        session = TagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=5, max_groups=50),
+            signature_backend="tfidf",
+        ).prepare()
+        # Problem 4: diverse user groups, similar items, maximise tag
+        # diversity -- the natural question for a bookmark corpus where
+        # novices and experts tag the same domains differently.
+        problem = table1_problem(4, k=3, min_support=session.default_support())
+        result = session.solve(problem, algorithm="dv-fdp-fo")
+        assert not result.is_empty
+        assert result.feasible
+        # The tighter problem 6 may be infeasible for the greedy on this
+        # corpus; whatever comes back must never violate its constraints.
+        tight = session.solve(
+            table1_problem(6, k=3, min_support=session.default_support()),
+            algorithm="dv-fdp-fo",
+        )
+        assert tight.is_empty or tight.feasible
+
+    def test_signature_backends_agree_on_pipeline(self):
+        dataset = generate_movielens_style(n_users=40, n_items=80, n_actions=800, seed=3)
+        for backend in ("frequency", "tfidf"):
+            session = TagDM(
+                dataset,
+                enumeration=GroupEnumerationConfig(min_support=5, max_groups=40),
+                signature_backend=backend,
+            ).prepare()
+            problem = table1_problem(4, k=3, min_support=session.default_support())
+            result = session.solve(problem, algorithm="dv-fdp-fo")
+            assert result.k in (0, 3)
+
+
+class TestDirectAlgorithmUse:
+    def test_algorithms_usable_without_session(self, session):
+        problem = table1_problem(1, k=3, min_support=10)
+        algorithm = build_algorithm("sm-lsh-fo", n_bits=6)
+        result = algorithm.solve(problem, session.groups, session.functions)
+        assert result.algorithm == "sm-lsh-fo"
+
+    def test_exact_usable_directly(self, session):
+        problem = table1_problem(6, k=2, min_support=10)
+        result = ExactAlgorithm().solve(problem, session.groups[:25], session.functions)
+        assert result.k in (0, 2)

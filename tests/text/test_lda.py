@@ -1,0 +1,152 @@
+"""Tests for the collapsed-Gibbs LDA implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.lda import LatentDirichletAllocation
+
+
+def synthetic_two_topic_corpus(n_docs_per_topic: int = 20, seed: int = 0):
+    """Documents drawn from two clearly separated vocabularies."""
+    rng = np.random.default_rng(seed)
+    topic_a = [f"a{i}" for i in range(10)]
+    topic_b = [f"b{i}" for i in range(10)]
+    documents = []
+    for _ in range(n_docs_per_topic):
+        documents.append(list(rng.choice(topic_a, size=8)))
+    for _ in range(n_docs_per_topic):
+        documents.append(list(rng.choice(topic_b, size=8)))
+    return documents, topic_a, topic_b
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(n_topics=1)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(n_iterations=0)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(burn_in=100, n_iterations=50)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(beta=0.0)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(alpha=-1.0)
+
+    def test_fit_on_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(n_topics=2, n_iterations=5, burn_in=1).fit([])
+
+    def test_infer_before_fit_raises(self):
+        model = LatentDirichletAllocation(n_topics=2, n_iterations=5, burn_in=1)
+        with pytest.raises(RuntimeError):
+            model.infer(["a"])
+
+    def test_top_words_before_fit_raises(self):
+        model = LatentDirichletAllocation(n_topics=2, n_iterations=5, burn_in=1)
+        with pytest.raises(RuntimeError):
+            model.top_words(0)
+
+
+class TestFitting:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        documents, topic_a, topic_b = synthetic_two_topic_corpus()
+        model = LatentDirichletAllocation(
+            n_topics=2, n_iterations=60, burn_in=20, seed=3, alpha=0.5
+        )
+        result = model.fit(documents)
+        return model, result, documents, topic_a, topic_b
+
+    def test_result_summary(self, fitted):
+        model, result, documents, _, _ = fitted
+        assert result.n_documents == len(documents)
+        assert result.vocabulary_size == 20
+        assert result.n_topics == 2
+        assert result.iterations_run == 60
+        assert np.isfinite(result.final_log_likelihood)
+
+    def test_distributions_are_normalised(self, fitted):
+        model, _, documents, _, _ = fitted
+        assert model.doc_topic_.shape == (len(documents), 2)
+        assert model.topic_word_.shape == (2, 20)
+        assert np.allclose(model.doc_topic_.sum(axis=1), 1.0)
+        assert np.allclose(model.topic_word_.sum(axis=1), 1.0)
+
+    def test_topics_recover_the_two_vocabularies(self, fitted):
+        """Each latent topic should concentrate on one of the two word sets."""
+        model, _, _, topic_a, topic_b = fitted
+        top_0 = {token for token, _ in model.top_words(0, n=10)}
+        top_1 = {token for token, _ in model.top_words(1, n=10)}
+        a_set, b_set = set(topic_a), set(topic_b)
+        score_aligned = len(top_0 & a_set) + len(top_1 & b_set)
+        score_crossed = len(top_0 & b_set) + len(top_1 & a_set)
+        assert max(score_aligned, score_crossed) >= 16
+
+    def test_documents_assigned_to_their_topic(self, fitted):
+        model, _, documents, _, _ = fitted
+        theta = model.doc_topic_
+        first_half = theta[:20].argmax(axis=1)
+        second_half = theta[20:].argmax(axis=1)
+        # All documents of one half share a dominant topic, and the two
+        # halves use different topics.
+        assert len(set(first_half)) == 1
+        assert len(set(second_half)) == 1
+        assert first_half[0] != second_half[0]
+
+    def test_log_likelihood_improves_over_training(self, fitted):
+        _, result, _, _, _ = fitted
+        trace = result.log_likelihood_trace
+        assert trace[-1] > trace[0]
+
+    def test_fit_is_deterministic_given_seed(self):
+        documents, _, _ = synthetic_two_topic_corpus()
+        model_a = LatentDirichletAllocation(n_topics=2, n_iterations=20, burn_in=5, seed=9)
+        model_b = LatentDirichletAllocation(n_topics=2, n_iterations=20, burn_in=5, seed=9)
+        model_a.fit(documents)
+        model_b.fit(documents)
+        assert np.allclose(model_a.doc_topic_, model_b.doc_topic_)
+        assert np.allclose(model_a.topic_word_, model_b.topic_word_)
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        documents, topic_a, topic_b = synthetic_two_topic_corpus()
+        model = LatentDirichletAllocation(
+            n_topics=2, n_iterations=60, burn_in=20, seed=3, alpha=0.5
+        )
+        model.fit(documents)
+        return model, topic_a, topic_b
+
+    def test_infer_returns_distribution(self, fitted):
+        model, topic_a, _ = fitted
+        distribution = model.infer(topic_a[:5], n_iterations=30)
+        assert distribution.shape == (2,)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution >= 0)
+
+    def test_infer_unknown_tokens_gives_uniform(self, fitted):
+        model, _, _ = fitted
+        distribution = model.infer(["zzz", "qqq"])
+        assert np.allclose(distribution, 0.5)
+
+    def test_infer_separates_the_topics(self, fitted):
+        model, topic_a, topic_b = fitted
+        dist_a = model.infer(topic_a[:6], n_iterations=40, seed=1)
+        dist_b = model.infer(topic_b[:6], n_iterations=40, seed=1)
+        assert dist_a.argmax() != dist_b.argmax()
+        assert dist_a.max() > 0.7
+        assert dist_b.max() > 0.7
+
+    def test_transform_stacks_documents(self, fitted):
+        model, topic_a, topic_b = fitted
+        matrix = model.transform([topic_a[:4], topic_b[:4]])
+        assert matrix.shape == (2, 2)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_top_words_bounds(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(IndexError):
+            model.top_words(5)

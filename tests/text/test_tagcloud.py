@@ -1,0 +1,88 @@
+"""Tests for the tag-cloud construction and rendering (Figures 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.tagcloud import build_tag_cloud, render_tag_cloud
+
+
+TAGS = ["drama"] * 5 + ["war"] * 3 + ["classic"] * 2 + ["psychiatry"]
+
+
+class TestBuildTagCloud:
+    def test_entries_sorted_by_count(self):
+        cloud = build_tag_cloud(TAGS, title="movies")
+        assert cloud.tags()[:2] == ["drama", "war"]
+        assert cloud.counts()["drama"] == 5
+
+    def test_sizes_relative_to_max(self):
+        cloud = build_tag_cloud(TAGS)
+        entries = {entry.tag: entry for entry in cloud.entries}
+        assert entries["drama"].size == pytest.approx(1.0)
+        assert entries["war"].size == pytest.approx(3 / 5)
+
+    def test_max_tags_truncates(self):
+        cloud = build_tag_cloud(TAGS, max_tags=2)
+        assert len(cloud.entries) == 2
+
+    def test_invalid_max_tags(self):
+        with pytest.raises(ValueError):
+            build_tag_cloud(TAGS, max_tags=0)
+
+    def test_normalisation_merges_variants(self):
+        cloud = build_tag_cloud(["Drama", "drama!", "War"])
+        assert cloud.counts() == {"drama": 2, "war": 1}
+
+    def test_empty_input(self):
+        cloud = build_tag_cloud([])
+        assert cloud.entries == []
+        assert "(no tags)" in render_tag_cloud(cloud)
+
+    def test_top_returns_largest(self):
+        cloud = build_tag_cloud(TAGS)
+        assert [entry.tag for entry in cloud.top(2)] == ["drama", "war"]
+
+
+class TestComparisons:
+    def test_overlap_and_difference(self):
+        all_users = build_tag_cloud(["woody", "allen", "drama", "noiva-nervosa"])
+        ca_users = build_tag_cloud(["woody", "allen", "classic", "psychiatry"])
+        assert set(all_users.overlap(ca_users)) == {"woody", "allen"}
+        assert all_users.difference(ca_users) == ["drama", "noiva-nervosa"]
+        assert ca_users.difference(all_users) == ["classic", "psychiatry"]
+
+    def test_overlap_with_top_n_restriction(self):
+        a = build_tag_cloud(["x"] * 5 + ["shared"] * 4 + ["rare"])
+        b = build_tag_cloud(["shared"] * 2 + ["rare"])
+        assert "rare" in a.overlap(b)
+        assert "rare" not in a.overlap(b, n=2)
+
+
+class TestRendering:
+    def test_render_contains_title_counts_and_bands(self):
+        cloud = build_tag_cloud(TAGS, title="woody allen movies")
+        text = render_tag_cloud(cloud)
+        assert "== woody allen movies ==" in text
+        assert "drama(5)####" in text
+        assert "psychiatry(1)" in text
+
+    def test_render_respects_columns(self):
+        cloud = build_tag_cloud(TAGS)
+        two_columns = render_tag_cloud(cloud, columns=2)
+        assert len(two_columns.splitlines()) >= 3
+
+    def test_render_invalid_columns(self):
+        with pytest.raises(ValueError):
+            render_tag_cloud(build_tag_cloud(TAGS), columns=0)
+
+    @given(
+        tags=st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=60),
+        max_tags=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_always_in_unit_interval(self, tags, max_tags):
+        cloud = build_tag_cloud(tags, max_tags=max_tags)
+        assert all(0.0 < entry.size <= 1.0 for entry in cloud.entries)
+        assert len(cloud.entries) <= max_tags

@@ -1,0 +1,113 @@
+"""Tests for the tf*idf vectoriser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.tfidf import TfIdfVectorizer
+
+DOCUMENTS = [
+    ["drama", "war", "history"],
+    ["drama", "romance"],
+    ["comedy", "romance", "romance"],
+    ["war", "documentary"],
+]
+
+
+class TestFitTransform:
+    def test_requires_fit_before_transform(self):
+        with pytest.raises(RuntimeError):
+            TfIdfVectorizer().transform([["a"]])
+
+    def test_fit_on_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TfIdfVectorizer().fit([])
+
+    def test_vocabulary_built_from_corpus(self):
+        vectorizer = TfIdfVectorizer().fit(DOCUMENTS)
+        assert set(vectorizer.feature_names()) == {
+            "drama",
+            "war",
+            "history",
+            "romance",
+            "comedy",
+            "documentary",
+        }
+        assert vectorizer.n_features == 6
+
+    def test_max_features_keeps_most_frequent(self):
+        vectorizer = TfIdfVectorizer(max_features=2).fit(DOCUMENTS)
+        names = vectorizer.feature_names()
+        assert len(names) == 2
+        # drama, war and romance all appear in two documents; ties break
+        # alphabetically so the selected pair is deterministic.
+        assert set(names) <= {"drama", "war", "romance"}
+
+    def test_invalid_max_features(self):
+        with pytest.raises(ValueError):
+            TfIdfVectorizer(max_features=0)
+
+    def test_transform_shape(self):
+        matrix = TfIdfVectorizer().fit_transform(DOCUMENTS)
+        assert matrix.shape == (4, 6)
+
+    def test_l2_normalisation(self):
+        matrix = TfIdfVectorizer(normalize=True).fit_transform(DOCUMENTS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_unnormalised_output(self):
+        matrix = TfIdfVectorizer(normalize=False).fit_transform(DOCUMENTS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert not np.allclose(norms, 1.0)
+
+    def test_rare_terms_outweigh_common_terms(self):
+        vectorizer = TfIdfVectorizer(normalize=False, sublinear_tf=False).fit(DOCUMENTS)
+        matrix = vectorizer.transform([["history", "drama"]])
+        names = vectorizer.feature_names()
+        history_weight = matrix[0, names.index("history")]
+        drama_weight = matrix[0, names.index("drama")]
+        assert history_weight > drama_weight
+
+    def test_unknown_tokens_are_ignored(self):
+        vectorizer = TfIdfVectorizer().fit(DOCUMENTS)
+        matrix = vectorizer.transform([["unseen-token"]])
+        assert np.allclose(matrix, 0.0)
+
+    def test_tag_normalisation_applied(self):
+        vectorizer = TfIdfVectorizer().fit([["Drama!"], ["drama"]])
+        assert vectorizer.feature_names() == ["drama"]
+
+    def test_lowercase_false_keeps_tokens_verbatim(self):
+        vectorizer = TfIdfVectorizer(lowercase=False).fit([["Drama"], ["drama"]])
+        assert set(vectorizer.feature_names()) == {"Drama", "drama"}
+
+
+class TestProperties:
+    @given(
+        documents=st.lists(
+            st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=6),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectors_are_finite_and_nonnegative(self, documents):
+        matrix = TfIdfVectorizer().fit_transform(documents)
+        assert np.all(np.isfinite(matrix))
+        assert np.all(matrix >= 0.0)
+
+    @given(
+        documents=st.lists(
+            st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=5),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_documents_get_identical_vectors(self, documents):
+        vectorizer = TfIdfVectorizer().fit(documents)
+        matrix = vectorizer.transform([documents[0], documents[0]])
+        assert np.allclose(matrix[0], matrix[1])

@@ -1,0 +1,58 @@
+"""Tests for tag normalisation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.text.tokenize import normalize_tag, normalize_tags, tag_counts
+
+
+class TestNormalizeTag:
+    def test_lowercases(self):
+        assert normalize_tag("Drama") == "drama"
+
+    def test_strips_punctuation(self):
+        assert normalize_tag("Sci  Fi!") == "sci-fi"
+
+    def test_preserves_hyphens(self):
+        assert normalize_tag("black-and-white") == "black-and-white"
+
+    def test_collapses_whitespace_to_hyphen(self):
+        assert normalize_tag("  new   york  ") == "new-york"
+
+    def test_empty_after_cleaning(self):
+        assert normalize_tag("!!!") == ""
+        assert normalize_tag("") == ""
+
+    def test_numbers_survive(self):
+        assert normalize_tag("Top 100") == "top-100"
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, raw):
+        once = normalize_tag(raw)
+        assert normalize_tag(once) == once
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_output_alphabet(self, raw):
+        result = normalize_tag(raw)
+        assert all(ch.islower() or ch.isdigit() or ch == "-" for ch in result)
+
+
+class TestNormalizeTags:
+    def test_drops_empty_results(self):
+        assert normalize_tags(["Drama", "!!!", "War"]) == ["drama", "war"]
+
+    def test_preserves_order_and_duplicates(self):
+        assert normalize_tags(["b", "a", "B"]) == ["b", "a", "b"]
+
+
+class TestTagCounts:
+    def test_counts_normalised(self):
+        counts = tag_counts(["Drama", "drama", "War"])
+        assert counts == {"drama": 2, "war": 1}
+
+    def test_counts_raw_when_normalize_false(self):
+        counts = tag_counts(["Drama", "drama"], normalize=False)
+        assert counts == {"Drama": 1, "drama": 1}

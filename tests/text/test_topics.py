@@ -1,0 +1,148 @@
+"""Tests for the topic-model backends and synonym folding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.topics import (
+    FrequencyTopicModel,
+    LdaTopicModel,
+    SynonymFolder,
+    TfIdfTopicModel,
+    build_topic_model,
+)
+
+CORPUS = [
+    ["drama", "war", "history", "oscar"],
+    ["drama", "romance", "tear-jerker"],
+    ["comedy", "romance", "funny", "funny"],
+    ["war", "documentary", "history"],
+    ["comedy", "slapstick", "funny"],
+]
+
+
+class TestSynonymFolder:
+    def test_default_table(self):
+        folder = SynonymFolder()
+        assert folder.canonical("scifi") == "science-fiction"
+        assert folder.canonical("unknown-tag") == "unknown-tag"
+
+    def test_custom_entries_extend_table(self):
+        folder = SynonymFolder({"flick": "movie"})
+        assert folder.canonical("flick") == "movie"
+        assert folder.canonical("scifi") == "science-fiction"
+
+    def test_add(self):
+        folder = SynonymFolder()
+        folder.add("teardrop", "sad")
+        assert folder.fold(["teardrop", "x"]) == ["sad", "x"]
+
+
+class TestFrequencyTopicModel:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FrequencyTopicModel(n_dimensions=5).vectorize(["a"])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            FrequencyTopicModel(n_dimensions=0)
+
+    def test_vector_shape_and_normalisation(self):
+        model = FrequencyTopicModel(n_dimensions=4).fit(CORPUS)
+        vector = model.vectorize(["drama", "war", "war"])
+        assert vector.shape == (4,)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_unknown_tags_yield_zero_vector(self):
+        model = FrequencyTopicModel(n_dimensions=4).fit(CORPUS)
+        assert np.allclose(model.vectorize(["zzz"]), 0.0)
+
+    def test_dimension_labels_are_top_tags(self):
+        model = FrequencyTopicModel(n_dimensions=3).fit(CORPUS)
+        labels = model.dimension_labels()
+        assert len(labels) == 3
+        assert "funny" in labels  # the most frequent tag overall
+
+    def test_labels_padded_when_vocabulary_small(self):
+        model = FrequencyTopicModel(n_dimensions=10).fit([["a"], ["b"]])
+        labels = model.dimension_labels()
+        assert len(labels) == 10
+        assert labels[0] in ("a", "b")
+        assert labels[-1].startswith("<unused")
+
+    def test_synonyms_are_folded_before_counting(self):
+        model = FrequencyTopicModel(
+            n_dimensions=3, synonym_folder=SynonymFolder()
+        ).fit([["funny", "hilarious"], ["comedy"]])
+        labels = model.dimension_labels()
+        assert "comedy" in labels
+        assert "hilarious" not in labels
+
+    def test_vectorize_many(self):
+        model = FrequencyTopicModel(n_dimensions=4).fit(CORPUS)
+        matrix = model.vectorize_many(CORPUS[:3])
+        assert matrix.shape == (3, 4)
+        assert model.vectorize_many([]).shape == (0, 4)
+
+
+class TestTfIdfTopicModel:
+    def test_vector_shape(self):
+        model = TfIdfTopicModel(n_dimensions=5).fit(CORPUS)
+        assert model.vectorize(["drama", "war"]).shape == (5,)
+        assert model.n_dimensions == 5
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TfIdfTopicModel(n_dimensions=-1)
+
+    def test_similar_documents_closer_than_different(self):
+        model = TfIdfTopicModel(n_dimensions=8).fit(CORPUS)
+        war_a = model.vectorize(["war", "history"])
+        war_b = model.vectorize(["war", "documentary", "history"])
+        comedy = model.vectorize(["comedy", "funny", "slapstick"])
+
+        def cosine(u, v):
+            return float(np.dot(u, v) / (np.linalg.norm(u) * np.linalg.norm(v) + 1e-12))
+
+        assert cosine(war_a, war_b) > cosine(war_a, comedy)
+
+
+class TestLdaTopicModel:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LdaTopicModel(n_topics=2, n_iterations=5).vectorize(["a"])
+
+    def test_fit_on_empty_documents_raises(self):
+        with pytest.raises(ValueError):
+            LdaTopicModel(n_topics=2, n_iterations=5).fit([[], []])
+
+    def test_vector_is_topic_distribution(self):
+        model = LdaTopicModel(n_topics=3, n_iterations=20, seed=1).fit(CORPUS)
+        vector = model.vectorize(["drama", "war"])
+        assert vector.shape == (3,)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_dimension_labels_mention_topics(self):
+        model = LdaTopicModel(n_topics=2, n_iterations=15, seed=1).fit(CORPUS)
+        labels = model.dimension_labels()
+        assert len(labels) == 2
+        assert all(label.startswith("topic:") for label in labels)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("backend", ["frequency", "tfidf", "lda"])
+    def test_build_known_backends(self, backend):
+        model = build_topic_model(backend=backend, n_dimensions=6, lda_iterations=10)
+        assert model.n_dimensions == 6
+        assert model.name == backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            build_topic_model(backend="word2vec")
+
+    def test_factory_passes_synonyms(self):
+        model = build_topic_model(backend="frequency", n_dimensions=3, synonyms={"x": "y"})
+        model.fit([["x", "y"], ["z"]])
+        labels = model.dimension_labels()
+        assert "x" not in labels
