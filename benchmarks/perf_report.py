@@ -1,0 +1,294 @@
+"""Performance report for the vectorized hot-path engine (PR 1).
+
+Times the vectorized kernels against the retained naive seed
+implementations (:mod:`repro.geometry.reference`) and measures the
+end-to-end build/solve phases at the Figure 7 scaling bins, then writes
+a JSON report so future PRs have a perf trajectory to beat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
+    PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
+
+Report schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "pr": "PR1",
+      "mode": "full" | "quick",
+      "kernels": {
+        "<kernel>": {"naive_seconds": float, "vectorized_seconds": float,
+                      "speedup": float, "parity": bool, ...parameters}
+      },
+      "scaling": [
+        {"bin": str, "tuples": int, "groups": int, "build_seconds": float,
+         "solve": {"<problem-algorithm>": float, ...}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.algorithms.scoring import batch_subset_means  # noqa: E402
+from repro.geometry.dispersion import (  # noqa: E402
+    greedy_max_avg_dispersion,
+    greedy_max_min_dispersion,
+)
+from repro.geometry.distance import pairwise_cosine_distance  # noqa: E402
+from repro.geometry.reference import (  # noqa: E402
+    naive_greedy_max_avg_dispersion,
+    naive_greedy_max_min_dispersion,
+    naive_lsh_tables,
+    naive_subset_mean,
+)
+from repro.index.lsh import CosineLshIndex  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def best_of(repeats: int, fn: Callable[[], object]) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _speedup_entry(naive_seconds: float, fast_seconds: float, parity: bool, **params):
+    entry = dict(params)
+    entry.update(
+        {
+            "naive_seconds": naive_seconds,
+            "vectorized_seconds": fast_seconds,
+            "speedup": naive_seconds / fast_seconds if fast_seconds > 0 else float("inf"),
+            "parity": parity,
+        }
+    )
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Kernel benchmarks
+# ----------------------------------------------------------------------
+def bench_greedy_dispersion(n: int, k: int, repeats: int) -> Dict[str, Dict]:
+    rng = np.random.default_rng(0)
+    matrix = pairwise_cosine_distance(rng.random((n, 8)))
+
+    fast_avg = greedy_max_avg_dispersion(matrix, k)
+    slow_avg = naive_greedy_max_avg_dispersion(matrix, k)
+    avg = _speedup_entry(
+        best_of(repeats, lambda: naive_greedy_max_avg_dispersion(matrix, k)),
+        best_of(repeats, lambda: greedy_max_avg_dispersion(matrix, k)),
+        parity=fast_avg.indices == slow_avg.indices,
+        n=n,
+        k=k,
+    )
+
+    fast_min = greedy_max_min_dispersion(matrix, k)
+    slow_min = naive_greedy_max_min_dispersion(matrix, k)
+    mn = _speedup_entry(
+        best_of(repeats, lambda: naive_greedy_max_min_dispersion(matrix, k)),
+        best_of(repeats, lambda: greedy_max_min_dispersion(matrix, k)),
+        parity=fast_min.indices == slow_min.indices,
+        n=n,
+        k=k,
+    )
+    return {"greedy_max_avg_dispersion": avg, "greedy_max_min_dispersion": mn}
+
+
+def bench_lsh_rebuild(n: int, n_dimensions: int, bits_from: int, bits_to: int, n_tables: int, repeats: int) -> Dict:
+    rng = np.random.default_rng(1)
+    vectors = rng.normal(size=(n, n_dimensions))
+    index = CosineLshIndex(n_dimensions, n_bits=bits_from, n_tables=n_tables, seed=3).build(vectors)
+
+    rebuilt = index.rebuild_with_bits(bits_to)
+    naive_tables = naive_lsh_tables(vectors, n_bits=bits_to, n_tables=n_tables, seed=3)
+    parity = all(
+        {bucket.key: tuple(bucket.members) for bucket in rebuilt.buckets(table)} == naive_tables[table]
+        for table in range(n_tables)
+    )
+    return _speedup_entry(
+        best_of(repeats, lambda: naive_lsh_tables(vectors, n_bits=bits_to, n_tables=n_tables, seed=3)),
+        best_of(repeats, lambda: index.rebuild_with_bits(bits_to)),
+        parity=parity,
+        n=n,
+        n_dimensions=n_dimensions,
+        n_tables=n_tables,
+        bits_from=bits_from,
+        bits_to=bits_to,
+    )
+
+
+def bench_subset_scoring(n: int, n_subsets: int, subset_size: int, repeats: int) -> Dict:
+    rng = np.random.default_rng(2)
+    matrix = pairwise_cosine_distance(rng.random((n, 8)))
+    subsets = np.asarray(
+        [rng.choice(n, size=subset_size, replace=False) for _ in range(n_subsets)]
+    )
+
+    fast = batch_subset_means(matrix, subsets)
+    slow = [naive_subset_mean(matrix, subset.tolist(), 0.0) for subset in subsets]
+    parity = bool(np.allclose(fast, slow, atol=1e-12))
+    return _speedup_entry(
+        best_of(
+            repeats,
+            lambda: [naive_subset_mean(matrix, subset.tolist(), 0.0) for subset in subsets],
+        ),
+        best_of(repeats, lambda: batch_subset_means(matrix, subsets)),
+        parity=parity,
+        n=n,
+        n_subsets=n_subsets,
+        subset_size=subset_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# End-to-end scaling sweep (Figure 7 bins)
+# ----------------------------------------------------------------------
+def bench_scaling(quick: bool) -> List[Dict]:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import build_dataset, build_problem, build_session, run_algorithm
+
+    if quick:
+        config = ExperimentConfig(
+            n_users=60,
+            n_items=120,
+            n_actions=800,
+            seed=42,
+            max_groups=40,
+            scaling_bins=(0.5, 1.0),
+        )
+    else:
+        config = ExperimentConfig(
+            n_users=150,
+            n_items=300,
+            n_actions=4000,
+            seed=42,
+            max_groups=90,
+            scaling_bins=(0.25, 0.5, 1.0),
+        )
+
+    dataset = build_dataset(config)
+    pairs = ((1, "sm-lsh-fo"), (6, "dv-fdp-fo"))
+    rows: List[Dict] = []
+    for fraction in config.scaling_bins:
+        bin_size = max(1, int(round(fraction * dataset.n_actions)))
+        bin_dataset = dataset.sample(bin_size, seed=config.seed, name=f"bin-{bin_size}")
+        started = time.perf_counter()
+        session = build_session(bin_dataset, config)
+        build_seconds = time.perf_counter() - started
+
+        solve: Dict[str, float] = {}
+        for problem_id, algorithm in pairs:
+            problem = build_problem(problem_id, bin_dataset, config)
+            started = time.perf_counter()
+            run_algorithm(session, problem, algorithm, config, problem_id=problem_id)
+            solve[f"p{problem_id}-{algorithm}"] = time.perf_counter() - started
+
+        rows.append(
+            {
+                "bin": f"bin{int(round(fraction * 100))}pct",
+                "tuples": bin_dataset.n_actions,
+                "groups": session.n_groups,
+                "build_seconds": build_seconds,
+                "solve": solve,
+            }
+        )
+    return rows
+
+
+def generate_report(quick: bool) -> Dict:
+    if quick:
+        kernels = bench_greedy_dispersion(n=300, k=8, repeats=1)
+        kernels["lsh_rebuild_with_bits"] = bench_lsh_rebuild(
+            n=2000, n_dimensions=16, bits_from=10, bits_to=5, n_tables=1, repeats=1
+        )
+        kernels["batch_subset_scoring"] = bench_subset_scoring(
+            n=300, n_subsets=500, subset_size=4, repeats=1
+        )
+    else:
+        kernels = bench_greedy_dispersion(n=2000, k=20, repeats=3)
+        kernels["lsh_rebuild_with_bits"] = bench_lsh_rebuild(
+            n=20000, n_dimensions=32, bits_from=16, bits_to=8, n_tables=2, repeats=3
+        )
+        kernels["batch_subset_scoring"] = bench_subset_scoring(
+            n=2000, n_subsets=5000, subset_size=5, repeats=3
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "pr": "PR1",
+        "mode": "quick" if quick else "full",
+        "kernels": kernels,
+        "scaling": bench_scaling(quick),
+    }
+
+
+def validate_report(report: Dict) -> None:
+    """Assert the report matches the documented schema (used by tests)."""
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["mode"] in ("full", "quick")
+    assert isinstance(report["kernels"], dict) and report["kernels"]
+    for name, entry in report["kernels"].items():
+        for field in ("naive_seconds", "vectorized_seconds", "speedup", "parity"):
+            assert field in entry, f"kernel {name} missing {field}"
+        assert entry["naive_seconds"] >= 0 and entry["vectorized_seconds"] >= 0
+        assert entry["parity"] is True, f"kernel {name} lost parity"
+    assert isinstance(report["scaling"], list) and report["scaling"]
+    for row in report["scaling"]:
+        for field in ("bin", "tuples", "groups", "build_seconds", "solve"):
+            assert field in row, f"scaling row missing {field}"
+        assert isinstance(row["solve"], dict) and row["solve"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke mode: tiny sizes, one repeat"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR1.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR1.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = generate_report(quick=args.quick)
+    validate_report(report)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for name, entry in report["kernels"].items():
+        print(
+            f"{name}: {entry['naive_seconds'] * 1e3:.1f} ms -> "
+            f"{entry['vectorized_seconds'] * 1e3:.1f} ms "
+            f"({entry['speedup']:.1f}x, parity={entry['parity']})"
+        )
+    for row in report["scaling"]:
+        solve = ", ".join(f"{key}={value:.3f}s" for key, value in row["solve"].items())
+        print(
+            f"{row['bin']}: tuples={row['tuples']} groups={row['groups']} "
+            f"build={row['build_seconds']:.3f}s {solve}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

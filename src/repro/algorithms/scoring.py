@@ -12,7 +12,6 @@ the Exact baseline and the FDP algorithms iterate over.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,7 +21,27 @@ from repro.core.groups import TaggingActionGroup, group_support
 from repro.core.measures import Criterion, Dimension
 from repro.core.problem import TagDMProblem
 
-__all__ = ["GroupSetEvaluation", "ProblemEvaluator", "PairwiseMatrixCache"]
+__all__ = [
+    "GroupSetEvaluation",
+    "ProblemEvaluator",
+    "PairwiseMatrixCache",
+    "BatchCandidateScorer",
+    "batch_subset_means",
+]
+
+
+def batch_subset_means(matrix: np.ndarray, subsets: np.ndarray) -> np.ndarray:
+    """Mean pairwise score of many equal-size subsets in one gather.
+
+    ``subsets`` is an ``(m, s)`` integer array of row/column indices with
+    ``s >= 2`` into the symmetric ``matrix``; the off-diagonal submatrix
+    sum counts every distinct pair exactly twice.
+    """
+    idx = np.asarray(subsets, dtype=np.intp)
+    size = idx.shape[1]
+    gathered = matrix[idx[:, :, None], idx[:, None, :]]
+    trace = np.einsum("mii->m", gathered)
+    return (gathered.sum(axis=(1, 2)) - trace) / (size * (size - 1))
 
 
 @dataclass(frozen=True)
@@ -174,12 +193,19 @@ class PairwiseMatrixCache:
     def subset_mean(
         self, indices: Sequence[int], dimension: Dimension, criterion: Criterion
     ) -> float:
-        """Mean pairwise score of the subset (1.0/0.0 for singletons)."""
-        if len(indices) < 2:
+        """Mean pairwise score of the subset (1.0/0.0 for singletons).
+
+        Computed via an ``np.ix_`` submatrix gather; the matrices are
+        symmetric, so the off-diagonal submatrix sum counts every
+        distinct pair exactly twice.
+        """
+        size = len(indices)
+        if size < 2:
             return 1.0 if criterion is Criterion.SIMILARITY else 0.0
         matrix = self.matrix(dimension, criterion)
-        values = [matrix[a, b] for a, b in combinations(indices, 2)]
-        return float(np.mean(values))
+        idx = np.asarray(indices, dtype=np.intp)
+        submatrix = matrix[np.ix_(idx, idx)]
+        return float((submatrix.sum() - np.trace(submatrix)) / (size * (size - 1)))
 
     # ------------------------------------------------------------------
     @property
@@ -202,6 +228,20 @@ class PairwiseMatrixCache:
             return int(self._sizes[list(indices)].sum())
         return group_support([self.groups[i] for i in indices])
 
+    def batch_subset_means(
+        self,
+        subsets: np.ndarray,
+        dimension: Dimension,
+        criterion: Criterion,
+    ) -> np.ndarray:
+        """Mean pairwise score of many equal-size subsets in one gather.
+
+        ``subsets`` is an ``(m, s)`` integer array of group indices with
+        ``s >= 2``.  Returns the ``m`` subset means that ``subset_mean``
+        would produce one by one.
+        """
+        return batch_subset_means(self.matrix(dimension, criterion), subsets)
+
     def objective_matrix(self, problem: TagDMProblem) -> np.ndarray:
         """Weighted sum of objective matrices (pairwise objective scores)."""
         n = len(self.groups)
@@ -221,3 +261,119 @@ class PairwiseMatrixCache:
                 (self.matrix(constraint.dimension, constraint.criterion), constraint.threshold, key)
             )
         return out
+
+
+class BatchCandidateScorer:
+    """Score many candidate index sets against one problem in batch.
+
+    The SM-LSH bucket post-processing emits up to ``max_subsets_per_bucket``
+    candidate subsets per bucket; evaluating each through
+    :meth:`ProblemEvaluator.evaluate` costs one Python pairwise loop per
+    subset.  When every objective and constraint uses mean-of-pairs
+    aggregation (the paper's default), the same judgements reduce to
+    submatrix sums over the cached pairwise matrices, so a whole bucket's
+    candidates are ranked with a handful of numpy gathers.
+
+    ``score`` mirrors the (feasible, objective) contract of the per-set
+    evaluator: size bounds always apply; support and constraint
+    thresholds apply only when ``require_constraints`` is set (SM-LSH's
+    ``constraint_mode="none"`` ranks by size alone, matching
+    ``GroupSetEvaluation.size_ok``).
+    """
+
+    def __init__(self, cache: PairwiseMatrixCache, problem: TagDMProblem) -> None:
+        self.cache = cache
+        self.problem = problem
+
+    @staticmethod
+    def supports(problem: TagDMProblem, functions: FunctionSuite) -> bool:
+        """Whether batch scoring reproduces the evaluator's judgements cheaply.
+
+        Requires mean-of-pairs aggregation (correctness) *and* a
+        vectorised pairwise-matrix path (cost): without a registered
+        matrix builder the cache would fall back to an ``O(n^2)`` Python
+        pairwise loop over all candidate groups, which can dwarf the
+        per-candidate evaluation it replaces.  The tags dimension is
+        exempt because the cache has a dedicated vectorised path over
+        the stacked group signatures.
+        """
+        dimensions = {objective.dimension for objective in problem.objectives}
+        dimensions |= {constraint.dimension for constraint in problem.constraints}
+        for dimension in dimensions:
+            if not functions.is_mean_pairwise(dimension):
+                return False
+            if (
+                functions.matrix_builder_for(dimension) is None
+                and dimension is not Dimension.TAGS
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _singleton_score(criterion: Criterion) -> float:
+        # Mirrors PairwiseAggregationFunction.score for < 2 groups.
+        return 1.0 if criterion is Criterion.SIMILARITY else 0.0
+
+    def score(
+        self,
+        candidates: Sequence[Sequence[int]],
+        require_constraints: bool,
+    ) -> List[Tuple[bool, float]]:
+        """Return ``(feasible, objective_value)`` per candidate set."""
+        problem = self.problem
+        results: List[Optional[Tuple[bool, float]]] = [None] * len(candidates)
+        by_size: Dict[int, List[int]] = {}
+        for position, candidate in enumerate(candidates):
+            by_size.setdefault(len(candidate), []).append(position)
+
+        for size, positions in by_size.items():
+            count = len(positions)
+            size_ok = problem.k_lo <= size <= problem.k_hi
+            if size < 2:
+                objective_values = np.full(
+                    count,
+                    sum(
+                        objective.weight * self._singleton_score(objective.criterion)
+                        for objective in problem.objectives
+                    ),
+                )
+                constraints_ok = np.full(
+                    count,
+                    all(
+                        self._singleton_score(constraint.criterion) >= constraint.threshold
+                        for constraint in problem.constraints
+                    ),
+                )
+            else:
+                subsets = np.asarray([candidates[p] for p in positions], dtype=np.intp)
+                objective_values = np.zeros(count)
+                for objective in problem.objectives:
+                    objective_values += objective.weight * self.cache.batch_subset_means(
+                        subsets, objective.dimension, objective.criterion
+                    )
+                constraints_ok = np.ones(count, dtype=bool)
+                for constraint in problem.constraints:
+                    means = self.cache.batch_subset_means(
+                        subsets, constraint.dimension, constraint.criterion
+                    )
+                    constraints_ok &= means >= constraint.threshold
+
+            if require_constraints:
+                if problem.min_support > 0:
+                    support_ok = np.fromiter(
+                        (
+                            self.cache.subset_support(candidates[p]) >= problem.min_support
+                            for p in positions
+                        ),
+                        dtype=bool,
+                        count=count,
+                    )
+                else:
+                    support_ok = np.ones(count, dtype=bool)
+                feasible = size_ok & support_ok & constraints_ok
+            else:
+                feasible = np.full(count, size_ok)
+
+            for offset, position in enumerate(positions):
+                results[position] = (bool(feasible[offset]), float(objective_values[offset]))
+        return results  # type: ignore[return-value]

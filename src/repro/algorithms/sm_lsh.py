@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms.base import MiningAlgorithm, register_algorithm
-from repro.algorithms.scoring import ProblemEvaluator
+from repro.algorithms.scoring import BatchCandidateScorer, ProblemEvaluator
 from repro.core.groups import TaggingActionGroup  # noqa: F401 (used in annotations)
 from repro.core.measures import Criterion, Dimension
 from repro.core.problem import TagDMProblem
@@ -243,6 +243,29 @@ class _BaseSmLsh(MiningAlgorithm):
             feasible = evaluation.feasible
         return feasible, evaluation.objective_value
 
+    def _score_candidates(
+        self,
+        candidates: List[List[int]],
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+        scorer: Optional[BatchCandidateScorer],
+    ) -> List[Tuple[bool, float]]:
+        """(feasible, objective) for every candidate, batched when possible.
+
+        With mean-of-pairs functions (the default suite) all of a
+        bucket's candidate subsets are scored through submatrix gathers
+        on the shared pairwise-matrix cache; otherwise each candidate
+        falls back to one :meth:`ProblemEvaluator.evaluate` call.
+        """
+        if scorer is not None:
+            return scorer.score(
+                candidates, require_constraints=self.constraint_mode != "none"
+            )
+        return [
+            self._bucket_feasible(candidate, groups, evaluator)
+            for candidate in candidates
+        ]
+
     def _solve(
         self,
         problem: TagDMProblem,
@@ -260,22 +283,37 @@ class _BaseSmLsh(MiningAlgorithm):
         bits_used = bits
         pair_cache: Dict[Tuple[int, int], bool] = {}
 
+        scorer: Optional[BatchCandidateScorer] = None
+        if BatchCandidateScorer.supports(problem, evaluator.functions):
+            scorer = BatchCandidateScorer(
+                self._matrix_cache(groups, evaluator.functions), problem
+            )
+
+        index: Optional[CosineLshIndex] = None
         while relaxations < self.max_relaxations:
-            index = CosineLshIndex(
-                n_dimensions=n_dimensions,
-                n_bits=bits,
-                n_tables=self.n_tables,
-                seed=self.seed,
-            ).build(vectors)
+            if index is None:
+                index = CosineLshIndex(
+                    n_dimensions=n_dimensions,
+                    n_bits=bits,
+                    n_tables=self.n_tables,
+                    seed=self.seed,
+                ).build(vectors)
+            elif index.n_bits != bits:
+                # Relaxation re-hash: prefix truncation of the cached
+                # sign bits, no re-projection (see CosineLshIndex).
+                index = index.rebuild_with_bits(bits)
 
             for bucket in index.buckets():
-                for candidate in self._candidate_sets_from_bucket(
+                candidates = self._candidate_sets_from_bucket(
                     list(bucket.members), vectors, problem, groups, evaluator, pair_cache
+                )
+                if not candidates:
+                    continue
+                evaluations += len(candidates)
+                for candidate, (feasible, objective) in zip(
+                    candidates,
+                    self._score_candidates(candidates, groups, evaluator, scorer),
                 ):
-                    evaluations += 1
-                    feasible, objective = self._bucket_feasible(
-                        candidate, groups, evaluator
-                    )
                     if feasible and objective > best_objective:
                         best_objective = objective
                         best_candidate = candidate
@@ -293,11 +331,14 @@ class _BaseSmLsh(MiningAlgorithm):
         if best_candidate is None:
             # Terminal relaxation: with zero hash bits every group falls in
             # one bucket, so post-process the whole candidate set once.
-            for candidate in self._candidate_sets_from_bucket(
+            candidates = self._candidate_sets_from_bucket(
                 list(range(len(groups))), vectors, problem, groups, evaluator, pair_cache
+            )
+            evaluations += len(candidates)
+            for candidate, (feasible, objective) in zip(
+                candidates,
+                self._score_candidates(candidates, groups, evaluator, scorer),
             ):
-                evaluations += 1
-                feasible, objective = self._bucket_feasible(candidate, groups, evaluator)
                 if feasible and objective > best_objective:
                     best_objective = objective
                     best_candidate = candidate

@@ -267,6 +267,18 @@ class FunctionSuite:
         """Return the vectorised matrix builder for ``dimension``, if any."""
         return self._matrix_builders.get(dimension)
 
+    def is_mean_pairwise(self, dimension: Dimension) -> bool:
+        """Whether ``dimension``'s function is a mean-of-pairs aggregation.
+
+        Batch subset scorers rely on this: only mean aggregation lets a
+        subset score be recovered from pairwise-matrix submatrix sums.
+        """
+        function = self._functions[dimension]
+        return (
+            isinstance(function, PairwiseAggregationFunction)
+            and function.uses_mean_aggregation
+        )
+
     def pairwise(
         self,
         group_a: TaggingActionGroup,

@@ -131,6 +131,17 @@ class PairwiseAggregationFunction(DualMiningFunction):
         self._aggregator = aggregator
         self.name = name
 
+    @property
+    def uses_mean_aggregation(self) -> bool:
+        """Whether ``Fa`` is the mean over distinct pairs.
+
+        Mean aggregation makes subset scores linear in the pairwise
+        matrix entries, which is what lets the batch scorers evaluate
+        many candidate subsets with submatrix gathers instead of one
+        aggregation call per subset.
+        """
+        return self._aggregator is MEAN_AGGREGATOR
+
     def pairwise(
         self, group_a, group_b, dimension: Dimension, criterion: Criterion
     ) -> float:

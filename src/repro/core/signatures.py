@@ -100,12 +100,20 @@ class GroupSignatureBuilder:
         """Compute signatures for all ``groups`` (fitting first if needed).
 
         Returns the stacked ``(n_groups, d)`` signature matrix; each
-        group's ``signature`` attribute is also filled in.
+        group's ``signature`` attribute is also filled in.  The matrix is
+        produced with one ``vectorize_many`` call so batch-capable
+        backends (frequency, tf*idf) vectorise the whole corpus in one
+        shot instead of once per group.
         """
         if not self._fitted:
             self.fit(groups)
-        rows = [self.signature(group) for group in groups]
-        return np.vstack(rows) if rows else np.zeros((0, self.n_dimensions))
+        if not groups:
+            return np.zeros((0, self.n_dimensions))
+        documents = [list(group.tags) for group in groups]
+        matrix = np.asarray(self._model.vectorize_many(documents), dtype=float)
+        for row, group in enumerate(groups):
+            group.signature = matrix[row].copy()
+        return matrix
 
     def dimension_labels(self) -> List[str]:
         """Human-readable labels of the signature dimensions."""
@@ -164,10 +172,25 @@ class AttributeVectorizer:
         return vector
 
     def vectorize_many(self, groups: Sequence[TaggingActionGroup]) -> np.ndarray:
-        """Encode a batch of groups into an ``(n, width)`` matrix."""
+        """Encode a batch of groups into an ``(n, width)`` matrix.
+
+        All slot hits are collected first and written with a single
+        fancy-indexed assignment instead of one row vector per group.
+        """
         if not groups:
             return np.zeros((0, self.n_dimensions))
-        return np.vstack([self.vectorize(group) for group in groups])
+        rows: list = []
+        columns: list = []
+        for row, group in enumerate(groups):
+            for column, value in group.description.predicates:
+                slot = self._slots.get((column, value))
+                if slot is not None:
+                    rows.append(row)
+                    columns.append(slot)
+        matrix = np.zeros((len(groups), self.n_dimensions), dtype=float)
+        if rows:
+            matrix[rows, columns] = self.scale
+        return matrix
 
     def fold_with_signatures(
         self, groups: Sequence[TaggingActionGroup]

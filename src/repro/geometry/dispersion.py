@@ -13,6 +13,21 @@ they are reusable for any metric, plus an exact enumerator for small
 instances (used by the Exact baseline and by tests validating the
 approximation bound) and a constraint-aware greedy (used by DV-FDP-Fo to
 fold user/item constraints into the add step).
+
+The greedy loops are *incremental*: instead of re-summing (or re-taking
+the minimum over) the selected set for every candidate at every round --
+``O(n * k)`` work per add step, ``O(n * k^2)`` total, all in Python --
+each selection maintains a per-candidate gain (MAX-AVG) or min-distance
+(MAX-MIN) array that one vectorised update per add step keeps current,
+for ``O(n)`` numpy work per step and ``O(n * k)`` total.
+
+Tie-break rule: every add step picks candidates via ``np.argmax``, so
+among equally good candidates the **lowest index wins**, and the whole
+construction is deterministic.  (The pre-vectorised implementation
+iterated a Python ``set``, making tie-breaks order-dependent across
+runs.)  The matrices are assumed symmetric, as every distance matrix is;
+:mod:`repro.geometry.reference` retains the naive loops for parity tests
+and benchmarking.
 """
 
 from __future__ import annotations
@@ -54,16 +69,23 @@ def _validate_matrix(distance_matrix: np.ndarray) -> np.ndarray:
 
 
 def _average_pairwise(matrix: np.ndarray, indices: Sequence[int]) -> float:
-    if len(indices) < 2:
+    size = len(indices)
+    if size < 2:
         return 0.0
-    pairs = [(a, b) for a, b in combinations(indices, 2)]
-    return float(np.mean([matrix[a, b] for a, b in pairs]))
+    idx = np.asarray(indices, dtype=np.intp)
+    submatrix = matrix[np.ix_(idx, idx)]
+    # Symmetric matrix: the off-diagonal sum counts every pair twice.
+    return float((submatrix.sum() - np.trace(submatrix)) / (size * (size - 1)))
 
 
 def _minimum_pairwise(matrix: np.ndarray, indices: Sequence[int]) -> float:
-    if len(indices) < 2:
+    size = len(indices)
+    if size < 2:
         return 0.0
-    return float(min(matrix[a, b] for a, b in combinations(indices, 2)))
+    idx = np.asarray(indices, dtype=np.intp)
+    submatrix = matrix[np.ix_(idx, idx)]
+    rows, cols = np.triu_indices(size, k=1)
+    return float(submatrix[rows, cols].min())
 
 
 def greedy_max_avg_dispersion(distance_matrix: np.ndarray, k: int) -> DispersionResult:
@@ -86,18 +108,17 @@ def greedy_max_avg_dispersion(distance_matrix: np.ndarray, k: int) -> Dispersion
     seed_a, seed_b = np.unravel_index(np.argmax(upper), upper.shape)
     selected = [int(seed_a), int(seed_b)]
 
-    remaining = set(range(n)) - set(selected)
-    while len(selected) < k and remaining:
-        best_candidate = None
-        best_gain = -np.inf
-        for candidate in remaining:
-            gain = float(sum(matrix[candidate, chosen] for chosen in selected))
-            if gain > best_gain:
-                best_gain = gain
-                best_candidate = candidate
-        assert best_candidate is not None
+    # Incremental gain array: gains[c] = sum of matrix[c, chosen] over the
+    # selected set, refreshed with one O(n) update per add step.
+    gains = matrix[:, seed_a] + matrix[:, seed_b]
+    available = np.ones(n, dtype=bool)
+    available[selected] = False
+    while len(selected) < k and available.any():
+        masked = np.where(available, gains, -np.inf)
+        best_candidate = int(np.argmax(masked))
         selected.append(best_candidate)
-        remaining.remove(best_candidate)
+        available[best_candidate] = False
+        gains = gains + matrix[:, best_candidate]
 
     return DispersionResult(
         indices=tuple(selected),
@@ -125,19 +146,18 @@ def greedy_max_min_dispersion(distance_matrix: np.ndarray, k: int) -> Dispersion
     upper = np.triu(matrix, k=1)
     seed_a, seed_b = np.unravel_index(np.argmax(upper), upper.shape)
     selected = [int(seed_a), int(seed_b)]
-    remaining = set(range(n)) - set(selected)
 
-    while len(selected) < k and remaining:
-        best_candidate = None
-        best_score = -np.inf
-        for candidate in remaining:
-            score = float(min(matrix[candidate, chosen] for chosen in selected))
-            if score > best_score:
-                best_score = score
-                best_candidate = candidate
-        assert best_candidate is not None
+    # Incremental min-distance array: min_distance[c] = min over the
+    # selected set of matrix[c, chosen], one O(n) update per add step.
+    min_distance = np.minimum(matrix[:, seed_a], matrix[:, seed_b])
+    available = np.ones(n, dtype=bool)
+    available[selected] = False
+    while len(selected) < k and available.any():
+        masked = np.where(available, min_distance, -np.inf)
+        best_candidate = int(np.argmax(masked))
         selected.append(best_candidate)
-        remaining.remove(best_candidate)
+        available[best_candidate] = False
+        min_distance = np.minimum(min_distance, matrix[:, best_candidate])
 
     return DispersionResult(
         indices=tuple(selected),
@@ -195,21 +215,29 @@ def _greedy_grow_from_seed(
     seed_b: int,
     k: int,
 ) -> List[int]:
-    """Grow a pairwise-feasible set from one seed pair (greedy add step)."""
+    """Grow a pairwise-feasible set from one seed pair (greedy add step).
+
+    Both the objective gain and the feasible-with-all-selected mask are
+    maintained incrementally (one O(n) update per added member) instead
+    of being recomputed against the whole selected set each round.
+    """
     n = matrix.shape[0]
     selected: List[int] = [int(seed_a), int(seed_b)]
     remaining_mask = np.ones(n, dtype=bool)
     remaining_mask[selected] = False
+    gains = matrix[:, seed_a] + matrix[:, seed_b]
+    feasible_with_all = feasible[:, seed_a] & feasible[:, seed_b]
     while len(selected) < k and remaining_mask.any():
         # A candidate must be pairwise feasible with every selected member.
-        candidate_feasible = remaining_mask & feasible[:, selected].all(axis=1)
+        candidate_feasible = remaining_mask & feasible_with_all
         if not candidate_feasible.any():
             break  # no feasible extension; return what we have
-        gains = matrix[:, selected].sum(axis=1)
-        gains[~candidate_feasible] = -np.inf
-        best_candidate = int(np.argmax(gains))
+        masked = np.where(candidate_feasible, gains, -np.inf)
+        best_candidate = int(np.argmax(masked))
         selected.append(best_candidate)
         remaining_mask[best_candidate] = False
+        gains = gains + matrix[:, best_candidate]
+        feasible_with_all &= feasible[:, best_candidate]
     return selected
 
 

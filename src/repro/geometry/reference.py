@@ -1,0 +1,150 @@
+"""Naive reference implementations of the vectorised hot paths.
+
+These are the pre-vectorisation (seed) implementations of the greedy
+dispersion heuristics, subset scoring and LSH bucket assembly, kept
+**only** for parity tests and for ``benchmarks/perf_report.py`` to
+measure the speedup of the vectorised engine against.  Production code
+must import from :mod:`repro.geometry.dispersion`, :mod:`repro.index`
+and :mod:`repro.algorithms.scoring` instead.
+
+The one intentional difference from the seed: the greedy loops here
+iterate candidates in ascending index order (the seed iterated a Python
+``set``, whose order is unspecified), so tie-breaks match the vectorised
+``np.argmax`` rule -- lowest index wins -- and parity is exact.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.dispersion import DispersionResult, _validate_matrix
+from repro.index.hyperplane import RandomHyperplaneHasher
+
+__all__ = [
+    "naive_average_pairwise",
+    "naive_minimum_pairwise",
+    "naive_greedy_max_avg_dispersion",
+    "naive_greedy_max_min_dispersion",
+    "naive_subset_mean",
+    "naive_lsh_tables",
+]
+
+
+def naive_average_pairwise(matrix: np.ndarray, indices: Sequence[int]) -> float:
+    """Seed ``_average_pairwise``: a Python loop over index pairs."""
+    if len(indices) < 2:
+        return 0.0
+    pairs = [(a, b) for a, b in combinations(indices, 2)]
+    return float(np.mean([matrix[a, b] for a, b in pairs]))
+
+
+def naive_minimum_pairwise(matrix: np.ndarray, indices: Sequence[int]) -> float:
+    """Seed ``_minimum_pairwise``: a Python min over index pairs."""
+    if len(indices) < 2:
+        return 0.0
+    return float(min(matrix[a, b] for a, b in combinations(indices, 2)))
+
+
+def naive_subset_mean(matrix: np.ndarray, indices: Sequence[int], singleton: float) -> float:
+    """Seed ``PairwiseMatrixCache.subset_mean`` over one prebuilt matrix."""
+    if len(indices) < 2:
+        return singleton
+    values = [matrix[a, b] for a, b in combinations(indices, 2)]
+    return float(np.mean(values))
+
+
+def naive_greedy_max_avg_dispersion(distance_matrix: np.ndarray, k: int) -> DispersionResult:
+    """Seed MAX-AVG greedy: per-candidate Python re-summation each round."""
+    matrix = _validate_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, n)
+    if k == 1:
+        return DispersionResult(indices=(0,), objective=0.0, objective_kind="max-avg")
+
+    upper = np.triu(matrix, k=1)
+    seed_a, seed_b = np.unravel_index(np.argmax(upper), upper.shape)
+    selected = [int(seed_a), int(seed_b)]
+    remaining = sorted(set(range(n)) - set(selected))
+    while len(selected) < k and remaining:
+        best_candidate = None
+        best_gain = -np.inf
+        for candidate in remaining:
+            gain = float(sum(matrix[candidate, chosen] for chosen in selected))
+            if gain > best_gain:
+                best_gain = gain
+                best_candidate = candidate
+        assert best_candidate is not None
+        selected.append(best_candidate)
+        remaining.remove(best_candidate)
+
+    return DispersionResult(
+        indices=tuple(selected),
+        objective=naive_average_pairwise(matrix, selected),
+        objective_kind="max-avg",
+    )
+
+
+def naive_greedy_max_min_dispersion(distance_matrix: np.ndarray, k: int) -> DispersionResult:
+    """Seed MAX-MIN greedy: per-candidate Python min each round."""
+    matrix = _validate_matrix(distance_matrix)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, n)
+    if k == 1:
+        return DispersionResult(indices=(0,), objective=0.0, objective_kind="max-min")
+
+    upper = np.triu(matrix, k=1)
+    seed_a, seed_b = np.unravel_index(np.argmax(upper), upper.shape)
+    selected = [int(seed_a), int(seed_b)]
+    remaining = sorted(set(range(n)) - set(selected))
+    while len(selected) < k and remaining:
+        best_candidate = None
+        best_score = -np.inf
+        for candidate in remaining:
+            score = float(min(matrix[candidate, chosen] for chosen in selected))
+            if score > best_score:
+                best_score = score
+                best_candidate = candidate
+        assert best_candidate is not None
+        selected.append(best_candidate)
+        remaining.remove(best_candidate)
+
+    return DispersionResult(
+        indices=tuple(selected),
+        objective=naive_minimum_pairwise(matrix, selected),
+        objective_kind="max-min",
+    )
+
+
+def naive_lsh_tables(
+    vectors: np.ndarray,
+    n_bits: int,
+    n_tables: int,
+    seed: int,
+) -> List[Dict[int, Tuple[int, ...]]]:
+    """Seed LSH bucket assembly: fresh projection + per-row ``setdefault``.
+
+    Replicates what ``CosineLshIndex.build`` (and therefore the seed
+    ``rebuild_with_bits``) did before projection caching: re-hash every
+    vector with a per-column key-packing loop, then grow bucket lists one
+    row at a time.
+    """
+    array = np.atleast_2d(np.asarray(vectors, dtype=float))
+    tables: List[Dict[int, Tuple[int, ...]]] = []
+    for table in range(n_tables):
+        hasher = RandomHyperplaneHasher(array.shape[1], n_bits, seed=seed + table)
+        bits = hasher.hash_bits(array)
+        keys = np.zeros(bits.shape[0], dtype=np.int64)
+        for column in range(n_bits):
+            keys = (keys << 1) | bits[:, column].astype(np.int64)
+        buckets: Dict[int, List[int]] = {}
+        for row, key in enumerate(keys):
+            buckets.setdefault(int(key), []).append(row)
+        tables.append({key: tuple(members) for key, members in buckets.items()})
+    return tables

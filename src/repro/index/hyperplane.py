@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RandomHyperplaneHasher", "signature_to_key"]
+__all__ = ["RandomHyperplaneHasher", "signature_to_key", "pack_bits"]
 
 
 def signature_to_key(bits: np.ndarray) -> int:
@@ -22,6 +22,23 @@ def signature_to_key(bits: np.ndarray) -> int:
     for bit in np.asarray(bits, dtype=bool):
         key = (key << 1) | int(bit)
     return key
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, n_bits)`` boolean matrix into ``n`` integer keys.
+
+    Vectorised equivalent of calling :func:`signature_to_key` per row:
+    the first column is the most significant bit.  Signatures wider than
+    63 bits fall back to the per-row Python path to avoid int64 overflow.
+    """
+    matrix = np.atleast_2d(np.asarray(bits, dtype=bool))
+    n_bits = matrix.shape[1]
+    if n_bits == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    if n_bits > 63:
+        return np.array([signature_to_key(row) for row in matrix], dtype=object)
+    weights = np.int64(1) << np.arange(n_bits - 1, -1, -1, dtype=np.int64)
+    return matrix.astype(np.int64) @ weights
 
 
 class RandomHyperplaneHasher:
@@ -66,23 +83,28 @@ class RandomHyperplaneHasher:
             )
         return array
 
+    def project(self, vectors: np.ndarray) -> np.ndarray:
+        """Return the raw projection matrix ``(n_vectors, n_bits)``.
+
+        One matmul against the hyperplane normals; the sign of each entry
+        is the corresponding hash bit.  Exposed so callers (the LSH index)
+        can cache projections once and derive narrower signatures by
+        column truncation without re-projecting.
+        """
+        array = self._validate(vectors)
+        return array @ self._hyperplanes.T
+
     def hash_bits(self, vectors: np.ndarray) -> np.ndarray:
         """Return the boolean signature matrix ``(n_vectors, n_bits)``.
 
         A dot product of exactly zero hashes to bit 1, matching the
         ``r . v >= 0`` convention of the paper's hash function.
         """
-        array = self._validate(vectors)
-        projections = array @ self._hyperplanes.T
-        return projections >= 0.0
+        return self.project(vectors) >= 0.0
 
     def hash_keys(self, vectors: np.ndarray) -> np.ndarray:
         """Return integer bucket keys, one per input vector."""
-        bits = self.hash_bits(vectors)
-        keys = np.zeros(bits.shape[0], dtype=np.int64)
-        for column in range(self.n_bits):
-            keys = (keys << 1) | bits[:, column].astype(np.int64)
-        return keys
+        return pack_bits(self.hash_bits(vectors))
 
     def hash_one(self, vector: np.ndarray) -> Tuple[int, np.ndarray]:
         """Hash a single vector; returns ``(key, bit signature)``."""

@@ -7,17 +7,27 @@ buckets* to find the result set of tagging-action groups.  The index
 below supports exactly that access pattern: build once, iterate buckets
 per table, and re-hash cheaply with a narrower bit width during the
 iterative relaxation loop.
+
+Hot-path design: :meth:`CosineLshIndex.build` runs one matmul per table
+and caches the resulting sign-bit matrices.  Because the hyperplane rows
+drawn for ``d'`` bits are a prefix of those drawn for any wider width
+(same seeded RNG stream), :meth:`CosineLshIndex.rebuild_with_bits` with a
+narrower width needs *zero re-projection*: it truncates the cached bit
+columns and regroups the packed keys.  Bucket assembly itself is a
+stable argsort-based grouping rather than a per-row ``dict.setdefault``
+loop, and member lists are stored as immutable tuples that
+:meth:`buckets` / :meth:`bucket_of` expose without copying.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.index.hyperplane import RandomHyperplaneHasher
+from repro.index.hyperplane import RandomHyperplaneHasher, pack_bits
 
 __all__ = ["Bucket", "CosineLshIndex", "collision_probability"]
 
@@ -46,14 +56,48 @@ def collision_probability(vector_a: np.ndarray, vector_b: np.ndarray, n_bits: in
 
 @dataclass
 class Bucket:
-    """One LSH bucket: table index, integer key, member row ids."""
+    """One LSH bucket: table index, integer key, member row ids.
+
+    ``members`` is an immutable tuple shared with the index's internal
+    table -- do not rely on mutating it.
+    """
 
     table: int
     key: int
-    members: List[int] = field(default_factory=list)
+    members: Tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.members)
+
+
+def _group_rows_by_key(keys: np.ndarray) -> Dict[int, Tuple[int, ...]]:
+    """Group row ids by hash key without a per-row Python dict loop.
+
+    A stable argsort keeps member row ids ascending inside every bucket,
+    and the resulting dict lists buckets in order of first appearance --
+    exactly the insertion order a row-by-row ``setdefault`` build would
+    produce, so downstream tie-breaks are unchanged.
+    """
+    sort_keys = keys
+    if keys.dtype == np.int64 and keys.size and 0 <= keys[0] < 65536:
+        # Narrow signatures (d' <= 16) fit uint16, where numpy's stable
+        # argsort switches to a radix sort -- an order of magnitude
+        # faster and the common case in the relaxation loop.
+        if int(keys.max()) < 65536 and int(keys.min()) >= 0:
+            sort_keys = keys.astype(np.uint16)
+    order = np.argsort(sort_keys, kind="stable")
+    sorted_keys = keys[order]
+    n = len(keys)
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+    member_rows = order.tolist()
+    groups = [
+        (int(sorted_keys[start]), tuple(member_rows[start:end]))
+        for start, end in zip(starts, ends)
+    ]
+    groups.sort(key=lambda item: item[1][0])
+    return dict(groups)
 
 
 class CosineLshIndex:
@@ -88,8 +132,10 @@ class CosineLshIndex:
             RandomHyperplaneHasher(n_dimensions, n_bits, seed=seed + table)
             for table in range(n_tables)
         ]
-        self._tables: List[Dict[int, List[int]]] = [{} for _ in range(n_tables)]
+        self._tables: List[Dict[int, Tuple[int, ...]]] = [{} for _ in range(n_tables)]
         self._vectors: Optional[np.ndarray] = None
+        #: Per-table cached sign-bit matrices ``(n, n_bits)`` (set by build).
+        self._bit_cache: List[np.ndarray] = []
 
     # ------------------------------------------------------------------
     @property
@@ -115,12 +161,10 @@ class CosineLshIndex:
                 f"got {array.shape[1]}"
             )
         self._vectors = array
-        self._tables = [{} for _ in range(self.n_tables)]
-        for table, hasher in enumerate(self._hashers):
-            keys = hasher.hash_keys(array)
-            buckets = self._tables[table]
-            for row, key in enumerate(keys):
-                buckets.setdefault(int(key), []).append(row)
+        self._bit_cache = [hasher.hash_bits(array) for hasher in self._hashers]
+        self._tables = [
+            _group_rows_by_key(pack_bits(bits)) for bits in self._bit_cache
+        ]
         return self
 
     def rebuild_with_bits(self, n_bits: int) -> "CosineLshIndex":
@@ -128,8 +172,24 @@ class CosineLshIndex:
 
         Used by SM-LSH's iterative relaxation: fewer bits means coarser
         buckets, so more groups collide and a feasible bucket is more
-        likely to appear.
+        likely to appear.  Narrowing a built index re-uses the cached
+        sign bits (the ``n_bits``-wide signature is a column prefix of the
+        cached one, because the hyperplane RNG stream is prefix-stable),
+        so no projection work is repeated -- only key packing/grouping.
         """
+        if self._vectors is not None and 0 < n_bits <= self.n_bits:
+            clone = CosineLshIndex.__new__(CosineLshIndex)
+            clone.n_dimensions = self.n_dimensions
+            clone.n_bits = n_bits
+            clone.n_tables = self.n_tables
+            clone.seed = self.seed
+            clone._hashers = [hasher.narrowed(n_bits) for hasher in self._hashers]
+            clone._vectors = self._vectors
+            clone._bit_cache = [bits[:, :n_bits] for bits in self._bit_cache]
+            clone._tables = [
+                _group_rows_by_key(pack_bits(bits)) for bits in clone._bit_cache
+            ]
+            return clone
         clone = CosineLshIndex(
             self.n_dimensions, n_bits=n_bits, n_tables=self.n_tables, seed=self.seed
         )
@@ -139,19 +199,22 @@ class CosineLshIndex:
 
     # ------------------------------------------------------------------
     def buckets(self, table: Optional[int] = None) -> Iterator[Bucket]:
-        """Iterate buckets, over one table or all tables."""
+        """Iterate buckets, over one table or all tables.
+
+        Member tuples are shared (not copied) with the index internals.
+        """
         tables = range(self.n_tables) if table is None else [table]
         for table_index in tables:
             for key, members in self._tables[table_index].items():
-                yield Bucket(table=table_index, key=key, members=list(members))
+                yield Bucket(table=table_index, key=key, members=members)
 
     def bucket_of(self, vector: Sequence[float], table: int = 0) -> Bucket:
         """Return the bucket the query ``vector`` falls into (may be empty)."""
         if table < 0 or table >= self.n_tables:
             raise IndexError(f"table {table} out of range")
         key, _ = self._hashers[table].hash_one(np.asarray(vector, dtype=float))
-        members = self._tables[table].get(key, [])
-        return Bucket(table=table, key=key, members=list(members))
+        members = self._tables[table].get(key, ())
+        return Bucket(table=table, key=key, members=members)
 
     def candidates(self, vector: Sequence[float]) -> List[int]:
         """Union of bucket members of ``vector`` across all tables.

@@ -116,7 +116,13 @@ class TopicModel(ABC):
         """Human-readable label of each vector dimension."""
 
     def vectorize_many(self, documents: Sequence[Iterable[str]]) -> np.ndarray:
-        """Vectorise a batch of tag multisets into an ``(n, d)`` matrix."""
+        """Vectorise a batch of tag multisets into an ``(n, d)`` matrix.
+
+        The base implementation loops over :meth:`vectorize`; backends
+        with a cheaper batch path (frequency counting, tf*idf transform)
+        override this to build the whole matrix in one shot.  Results are
+        identical to the per-document path either way.
+        """
         if not documents:
             return np.zeros((0, self.n_dimensions))
         return np.vstack([self.vectorize(document) for document in documents])
@@ -169,6 +175,27 @@ class FrequencyTopicModel(TopicModel):
             vector /= total
         return vector
 
+    def vectorize_many(self, documents: Sequence[Iterable[str]]) -> np.ndarray:
+        """Batch counting: one scatter-add and one normalisation pass."""
+        if not self._vocabulary:
+            raise RuntimeError("FrequencyTopicModel must be fitted before use")
+        if not documents:
+            return np.zeros((0, self._n_dimensions))
+        rows: List[int] = []
+        columns: List[int] = []
+        for row, document in enumerate(documents):
+            for token in self._prepare(document):
+                index = self._vocabulary.get(token)
+                if index is not None:
+                    rows.append(row)
+                    columns.append(index)
+        matrix = np.zeros((len(documents), self._n_dimensions), dtype=float)
+        if rows:
+            np.add.at(matrix, (rows, columns), 1.0)
+        totals = matrix.sum(axis=1, keepdims=True)
+        np.divide(matrix, totals, out=matrix, where=totals > 0)
+        return matrix
+
     def dimension_labels(self) -> List[str]:
         ordered = sorted(self._vocabulary.items(), key=lambda pair: pair[1])
         labels = [token for token, _ in ordered]
@@ -208,6 +235,23 @@ class TfIdfTopicModel(TopicModel):
         if vector.shape[0] < self._n_dimensions:
             vector = np.pad(vector, (0, self._n_dimensions - vector.shape[0]))
         return vector
+
+    def vectorize_many(self, documents: Sequence[Iterable[str]]) -> np.ndarray:
+        """Batch tf*idf: one transform call over all documents.
+
+        ``transform`` weighs and normalises rows independently, so this
+        matches the per-document :meth:`vectorize` output exactly.
+        """
+        if not documents:
+            return np.zeros((0, self._n_dimensions))
+        matrix = self._vectorizer.transform(
+            [self._prepare(document) for document in documents]
+        )
+        if matrix.shape[1] < self._n_dimensions:
+            matrix = np.pad(
+                matrix, ((0, 0), (0, self._n_dimensions - matrix.shape[1]))
+            )
+        return matrix
 
     def dimension_labels(self) -> List[str]:
         labels = self._vectorizer.feature_names()

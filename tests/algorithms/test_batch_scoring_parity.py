@@ -1,0 +1,96 @@
+"""Parity: batched subset scoring vs. the per-set problem evaluator.
+
+``BatchCandidateScorer`` must reproduce, for every candidate subset, the
+(feasible, objective) judgement that ``ProblemEvaluator.evaluate`` plus
+the SM-LSH ``_bucket_feasible`` wrapper produce one set at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.scoring import (
+    BatchCandidateScorer,
+    PairwiseMatrixCache,
+    ProblemEvaluator,
+)
+from repro.core.measures import Criterion, Dimension, MIN_AGGREGATOR, PairwiseAggregationFunction
+from repro.core.problem import table1_problem
+
+
+@pytest.fixture(scope="module")
+def scoring_setup(prepared_session):
+    problem = table1_problem(1, k=3, min_support=prepared_session.default_support())
+    groups = prepared_session.groups
+    functions = prepared_session.functions
+    cache = PairwiseMatrixCache(groups, functions)
+    evaluator = ProblemEvaluator(problem, functions)
+    return problem, groups, functions, cache, evaluator
+
+
+def random_subsets(n_groups: int, seed: int):
+    rng = np.random.default_rng(seed)
+    subsets = []
+    for size in (1, 2, 3, 4):
+        for _ in range(12):
+            subsets.append(rng.choice(n_groups, size=size, replace=False).tolist())
+    return subsets
+
+
+class TestBatchScoringParity:
+    def test_supports_default_suite(self, scoring_setup):
+        problem, _groups, functions, _cache, _evaluator = scoring_setup
+        assert BatchCandidateScorer.supports(problem, functions)
+
+    def test_rejects_non_mean_aggregation(self, scoring_setup, prepared_session):
+        problem = scoring_setup[0]
+        from repro.core.functions import FunctionSuite
+
+        min_tags = PairwiseAggregationFunction(
+            lambda a, b, d, c: 0.5, aggregator=MIN_AGGREGATOR, name="min-tags"
+        )
+        suite = FunctionSuite(users=min_tags, items=min_tags, tags=min_tags)
+        assert not BatchCandidateScorer.supports(problem, suite)
+
+    def test_rejects_suites_without_matrix_builders(self, scoring_setup):
+        # Mean aggregation alone is not enough: set-overlap comparisons
+        # register no vectorised matrix builder, so batch scoring would
+        # trigger an O(n^2) Python matrix build worse than per-candidate
+        # evaluation.  Table 1 problems constrain users and items.
+        problem = scoring_setup[0]
+        from repro.core.functions import default_function_suite
+
+        suite = default_function_suite(
+            user_comparison="set-overlap", item_comparison="set-overlap"
+        )
+        assert not BatchCandidateScorer.supports(problem, suite)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("require_constraints", [False, True])
+    def test_matches_per_set_evaluator(self, scoring_setup, seed, require_constraints):
+        problem, groups, _functions, cache, evaluator = scoring_setup
+        scorer = BatchCandidateScorer(cache, problem)
+        candidates = random_subsets(len(groups), seed)
+        batched = scorer.score(candidates, require_constraints=require_constraints)
+        assert len(batched) == len(candidates)
+        for candidate, (feasible, objective) in zip(candidates, batched):
+            evaluation = evaluator.evaluate([groups[i] for i in candidate])
+            expected_feasible = (
+                evaluation.feasible if require_constraints else evaluation.size_ok
+            )
+            assert feasible == expected_feasible, candidate
+            assert objective == pytest.approx(evaluation.objective_value, abs=1e-12)
+
+    def test_batch_subset_means_match_subset_mean(self, scoring_setup):
+        _problem, groups, _functions, cache, _evaluator = scoring_setup
+        rng = np.random.default_rng(3)
+        subsets = np.asarray(
+            [rng.choice(len(groups), size=3, replace=False) for _ in range(20)]
+        )
+        means = cache.batch_subset_means(subsets, Dimension.TAGS, Criterion.SIMILARITY)
+        for subset, mean in zip(subsets, means):
+            assert mean == pytest.approx(
+                cache.subset_mean(subset.tolist(), Dimension.TAGS, Criterion.SIMILARITY),
+                abs=1e-12,
+            )

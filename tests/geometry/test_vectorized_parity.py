@@ -1,0 +1,80 @@
+"""Parity: vectorized dispersion kernels vs. the naive seed references.
+
+The vectorized greedy loops (incremental gain / min-distance arrays) and
+the ``np.ix_`` subset scorers must reproduce the naive per-element
+implementations retained in :mod:`repro.geometry.reference` -- same
+selected indices, same objectives -- on randomized instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.dispersion import (
+    _average_pairwise,
+    _minimum_pairwise,
+    greedy_max_avg_dispersion,
+    greedy_max_min_dispersion,
+)
+from repro.geometry.distance import pairwise_cosine_distance
+from repro.geometry.reference import (
+    naive_average_pairwise,
+    naive_greedy_max_avg_dispersion,
+    naive_greedy_max_min_dispersion,
+    naive_minimum_pairwise,
+)
+
+
+def random_matrix(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return pairwise_cosine_distance(rng.random((n, 5)))
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("n,k", [(12, 4), (30, 7), (50, 12)])
+class TestGreedyParity:
+    def test_max_avg_matches_naive(self, n, k, seed):
+        matrix = random_matrix(n, seed)
+        fast = greedy_max_avg_dispersion(matrix, k)
+        slow = naive_greedy_max_avg_dispersion(matrix, k)
+        assert fast.indices == slow.indices
+        assert fast.objective == pytest.approx(slow.objective, rel=1e-12)
+
+    def test_max_min_matches_naive(self, n, k, seed):
+        matrix = random_matrix(n, seed)
+        fast = greedy_max_min_dispersion(matrix, k)
+        slow = naive_greedy_max_min_dispersion(matrix, k)
+        assert fast.indices == slow.indices
+        assert fast.objective == pytest.approx(slow.objective, rel=1e-12)
+
+
+class TestSubsetScoringParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_average_and_minimum_pairwise(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        matrix = random_matrix(20, seed)
+        for size in (2, 3, 5, 9):
+            indices = rng.choice(20, size=size, replace=False).tolist()
+            assert _average_pairwise(matrix, indices) == pytest.approx(
+                naive_average_pairwise(matrix, indices), rel=1e-12
+            )
+            assert _minimum_pairwise(matrix, indices) == pytest.approx(
+                naive_minimum_pairwise(matrix, indices), rel=1e-12
+            )
+
+    def test_singletons(self):
+        matrix = random_matrix(5, 0)
+        assert _average_pairwise(matrix, [2]) == 0.0
+        assert _minimum_pairwise(matrix, [2]) == 0.0
+
+
+class TestTieBreakDeterminism:
+    def test_lowest_index_wins_on_ties(self):
+        # Four equidistant points: every candidate gain ties, so the
+        # documented rule (np.argmax -> lowest index) must apply.
+        matrix = np.ones((4, 4)) - np.eye(4)
+        result = greedy_max_avg_dispersion(matrix, 3)
+        assert result.indices == (0, 1, 2)
+        result_min = greedy_max_min_dispersion(matrix, 3)
+        assert result_min.indices == (0, 1, 2)

@@ -1,0 +1,59 @@
+"""Parity: cached-projection LSH rebuild vs. from-scratch hashing.
+
+``rebuild_with_bits`` on a built index must produce exactly the buckets
+(keys, members, iteration order) that a fresh seed-style build at the
+narrower width produces, because the hyperplane RNG stream is
+prefix-stable and bucket grouping preserves first-appearance order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.reference import naive_lsh_tables
+from repro.index.lsh import CosineLshIndex
+
+
+@pytest.fixture(scope="module")
+def vectors() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(300, 16))
+
+
+def bucket_list(index: CosineLshIndex):
+    return [(bucket.table, bucket.key, tuple(bucket.members)) for bucket in index.buckets()]
+
+
+class TestRebuildParity:
+    @pytest.mark.parametrize("narrow", [10, 7, 5, 2, 1])
+    def test_truncation_matches_fresh_build(self, vectors, narrow):
+        fine = CosineLshIndex(16, n_bits=10, n_tables=3, seed=5).build(vectors)
+        fast = fine.rebuild_with_bits(narrow)
+        slow = CosineLshIndex(16, n_bits=narrow, n_tables=3, seed=5).build(vectors)
+        assert bucket_list(fast) == bucket_list(slow)
+
+    @pytest.mark.parametrize("n_bits", [8, 4, 2])
+    def test_build_matches_naive_setdefault_assembly(self, vectors, n_bits):
+        index = CosineLshIndex(16, n_bits=n_bits, n_tables=2, seed=9).build(vectors)
+        naive = naive_lsh_tables(vectors, n_bits=n_bits, n_tables=2, seed=9)
+        for table in range(2):
+            got = {
+                bucket.key: tuple(bucket.members) for bucket in index.buckets(table)
+            }
+            assert got == naive[table]
+            # Iteration order must match the seed dict-insertion order too.
+            assert list(got) == list(naive[table])
+
+    def test_widening_falls_back_to_full_build(self, vectors):
+        coarse = CosineLshIndex(16, n_bits=4, n_tables=2, seed=5).build(vectors)
+        wide = coarse.rebuild_with_bits(9)
+        slow = CosineLshIndex(16, n_bits=9, n_tables=2, seed=5).build(vectors)
+        assert bucket_list(wide) == bucket_list(slow)
+
+    def test_members_are_shared_tuples(self, vectors):
+        index = CosineLshIndex(16, n_bits=4, seed=1).build(vectors)
+        first = next(index.buckets())
+        again = next(index.buckets())
+        assert isinstance(first.members, tuple)
+        assert first.members is again.members  # no per-access copying

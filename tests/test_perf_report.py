@@ -1,0 +1,78 @@
+"""Tier-1 smoke test for the perf-report harness.
+
+Runs ``benchmarks/perf_report.py --quick`` end to end (seconds, not
+minutes) and validates the emitted JSON against the documented schema,
+so the harness future PRs rely on for their perf trajectory cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO_ROOT / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import perf_report
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+    output = tmp_path_factory.mktemp("perf") / "bench.json"
+    assert perf_report.main(["--quick", "--output", str(output)]) == 0
+    return perf_report, json.loads(output.read_text(encoding="utf-8"))
+
+
+class TestPerfReportQuick:
+    def test_schema(self, quick_report):
+        perf_report, report = quick_report
+        perf_report.validate_report(report)
+        assert report["mode"] == "quick"
+
+    def test_expected_kernels_present(self, quick_report):
+        _perf_report, report = quick_report
+        assert set(report["kernels"]) >= {
+            "greedy_max_avg_dispersion",
+            "greedy_max_min_dispersion",
+            "lsh_rebuild_with_bits",
+            "batch_subset_scoring",
+        }
+
+    def test_kernels_keep_parity(self, quick_report):
+        _perf_report, report = quick_report
+        for name, entry in report["kernels"].items():
+            assert entry["parity"] is True, name
+            assert entry["speedup"] > 0
+
+    def test_scaling_rows_cover_bins(self, quick_report):
+        _perf_report, report = quick_report
+        assert len(report["scaling"]) == 2
+        tuples = [row["tuples"] for row in report["scaling"]]
+        assert tuples == sorted(tuples)
+        for row in report["scaling"]:
+            assert row["build_seconds"] > 0
+            assert set(row["solve"]) == {"p1-sm-lsh-fo", "p6-dv-fdp-fo"}
+
+
+def test_committed_bench_report_is_valid():
+    """The committed BENCH_PR1.json must match the schema and its claims."""
+    path = REPO_ROOT / "BENCH_PR1.json"
+    assert path.exists(), "BENCH_PR1.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import perf_report
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    greedy = report["kernels"]["greedy_max_avg_dispersion"]
+    assert greedy["n"] == 2000 and greedy["k"] == 20
+    assert greedy["speedup"] >= 5.0
+    assert report["kernels"]["lsh_rebuild_with_bits"]["speedup"] >= 3.0
