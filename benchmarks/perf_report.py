@@ -1,21 +1,24 @@
-"""Performance report for the vectorized hot-path engine (PR 1).
+"""Performance report: vectorized kernels (PR 1) + persistence (PR 2).
 
 Times the vectorized kernels against the retained naive seed
-implementations (:mod:`repro.geometry.reference`) and measures the
-end-to-end build/solve phases at the Figure 7 scaling bins, then writes
-a JSON report so future PRs have a perf trajectory to beat.
+implementations (:mod:`repro.geometry.reference`), measures the
+end-to-end build/solve phases at the Figure 7 scaling bins, and times
+the persistence subsystem (SQLite ingest/load, cold session prepare vs
+warm snapshot load), then writes a JSON report so future PRs have a
+perf trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR2.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 1)::
+Report schema (``schema_version`` 2; v1 reports, which lack the
+``persistence`` section, still validate)::
 
     {
-      "schema_version": 1,
-      "pr": "PR1",
+      "schema_version": 2,
+      "pr": "PR2",
       "mode": "full" | "quick",
       "kernels": {
         "<kernel>": {"naive_seconds": float, "vectorized_seconds": float,
@@ -24,7 +27,13 @@ Report schema (``schema_version`` 1)::
       "scaling": [
         {"bin": str, "tuples": int, "groups": int, "build_seconds": float,
          "solve": {"<problem-algorithm>": float, ...}}
-      ]
+      ],
+      "persistence": {
+        "tuples": int, "groups": int,
+        "sqlite_ingest_seconds": float, "sqlite_load_seconds": float,
+        "cold_prepare_seconds": float, "warm_load_seconds": float,
+        "warm_speedup": float, "parity": bool
+      }
     }
 """
 
@@ -58,7 +67,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -160,6 +169,77 @@ def bench_subset_scoring(n: int, n_subsets: int, subset_size: int, repeats: int)
 
 
 # ----------------------------------------------------------------------
+# Persistence: SQLite round-trip + cold prepare vs warm snapshot load
+# ----------------------------------------------------------------------
+def bench_persistence(quick: bool) -> Dict:
+    import tempfile
+
+    from repro.core.persistence import load_session, save_session
+    from repro.dataset.sqlite_store import SqliteTaggingStore
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import build_dataset, build_problem, build_session
+
+    if quick:
+        config = ExperimentConfig(
+            n_users=60, n_items=120, n_actions=800, seed=42, max_groups=40
+        )
+    else:
+        config = ExperimentConfig(
+            n_users=150, n_items=300, n_actions=4000, seed=42, max_groups=90
+        )
+    dataset = build_dataset(config)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "corpus.sqlite"
+        snapshot_path = Path(tmp) / "session.snapshot"
+
+        started = time.perf_counter()
+        store = SqliteTaggingStore.from_dataset(dataset, db_path)
+        sqlite_ingest = time.perf_counter() - started
+
+        started = time.perf_counter()
+        session = build_session(dataset, config)
+        cold_prepare = time.perf_counter() - started
+        # Warm the LSH cache so its sign-bit matrices ride in the snapshot.
+        session.signature_lsh(n_bits=config.lsh_bits, n_tables=config.lsh_tables)
+        save_session(session, snapshot_path)
+
+        started = time.perf_counter()
+        reloaded = store.to_dataset()
+        sqlite_load = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = load_session(snapshot_path, reloaded)
+        warm_load = time.perf_counter() - started
+        store.close()
+
+        parity = bool(
+            np.array_equal(session.signatures, warm.signatures)
+            and [str(g.description) for g in session.groups]
+            == [str(g.description) for g in warm.groups]
+        )
+        for problem_id, algorithm in ((1, "sm-lsh-fo"), (6, "dv-fdp-fo")):
+            problem = build_problem(problem_id, dataset, config)
+            cold_result = session.solve(problem, algorithm=algorithm)
+            warm_result = warm.solve(problem, algorithm=algorithm)
+            parity = parity and (
+                cold_result.objective_value == warm_result.objective_value
+                and cold_result.descriptions() == warm_result.descriptions()
+            )
+
+    return {
+        "tuples": dataset.n_actions,
+        "groups": session.n_groups,
+        "sqlite_ingest_seconds": sqlite_ingest,
+        "sqlite_load_seconds": sqlite_load,
+        "cold_prepare_seconds": cold_prepare,
+        "warm_load_seconds": warm_load,
+        "warm_speedup": cold_prepare / warm_load if warm_load > 0 else float("inf"),
+        "parity": parity,
+    }
+
+
+# ----------------------------------------------------------------------
 # End-to-end scaling sweep (Figure 7 bins)
 # ----------------------------------------------------------------------
 def bench_scaling(quick: bool) -> List[Dict]:
@@ -233,16 +313,21 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR1",
+        "pr": "PR2",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
+        "persistence": bench_persistence(quick),
     }
 
 
 def validate_report(report: Dict) -> None:
-    """Assert the report matches the documented schema (used by tests)."""
-    assert report["schema_version"] == SCHEMA_VERSION
+    """Assert the report matches the documented schema (used by tests).
+
+    Accepts both v1 reports (no ``persistence`` section; the committed
+    ``BENCH_PR1.json``) and current v2 reports.
+    """
+    assert report["schema_version"] in (1, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -255,6 +340,21 @@ def validate_report(report: Dict) -> None:
         for field in ("bin", "tuples", "groups", "build_seconds", "solve"):
             assert field in row, f"scaling row missing {field}"
         assert isinstance(row["solve"], dict) and row["solve"]
+    if report["schema_version"] >= 2:
+        persistence = report["persistence"]
+        for field in (
+            "tuples",
+            "groups",
+            "sqlite_ingest_seconds",
+            "sqlite_load_seconds",
+            "cold_prepare_seconds",
+            "warm_load_seconds",
+            "warm_speedup",
+            "parity",
+        ):
+            assert field in persistence, f"persistence missing {field}"
+        assert persistence["parity"] is True, "persistence round-trip lost parity"
+        assert persistence["warm_speedup"] > 0
 
 
 def main(argv=None) -> int:
@@ -265,8 +365,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR1.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR1.json)",
+        default=REPO_ROOT / "BENCH_PR2.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR2.json)",
     )
     args = parser.parse_args(argv)
 
@@ -286,6 +386,14 @@ def main(argv=None) -> int:
             f"{row['bin']}: tuples={row['tuples']} groups={row['groups']} "
             f"build={row['build_seconds']:.3f}s {solve}"
         )
+    persistence = report["persistence"]
+    print(
+        f"persistence: cold_prepare={persistence['cold_prepare_seconds'] * 1e3:.1f} ms "
+        f"warm_load={persistence['warm_load_seconds'] * 1e3:.1f} ms "
+        f"({persistence['warm_speedup']:.1f}x, parity={persistence['parity']}); "
+        f"sqlite ingest={persistence['sqlite_ingest_seconds'] * 1e3:.1f} ms "
+        f"load={persistence['sqlite_load_seconds'] * 1e3:.1f} ms"
+    )
     print(f"wrote {args.output}")
     return 0
 

@@ -37,13 +37,17 @@ from repro.core import (
     group_support,
     table1_problem,
 )
+from repro.core import load_session, save_session
 from repro.dataset import (
+    SqliteTaggingStore,
     TaggingDataset,
     generate_delicious_style,
     generate_flickr_style,
     generate_movielens_style,
     load_csv,
+    load_sqlite,
     save_csv,
+    save_sqlite,
 )
 from repro.algorithms import available_algorithms, build_algorithm, recommend_algorithm
 from repro.text import build_tag_cloud, render_tag_cloud
@@ -71,11 +75,17 @@ __all__ = [
     "group_support",
     # dataset
     "TaggingDataset",
+    "SqliteTaggingStore",
     "generate_movielens_style",
     "generate_delicious_style",
     "generate_flickr_style",
     "load_csv",
     "save_csv",
+    "load_sqlite",
+    "save_sqlite",
+    # persistence
+    "save_session",
+    "load_session",
     # algorithms
     "available_algorithms",
     "build_algorithm",

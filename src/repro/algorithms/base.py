@@ -43,18 +43,23 @@ class MiningAlgorithm(ABC):
         groups: Sequence[TaggingActionGroup],
         functions: FunctionSuite,
         cache: Optional[PairwiseMatrixCache] = None,
+        lsh_provider: Optional[Callable] = None,
     ) -> MiningResult:
         """Solve ``problem`` over ``groups`` and time the call.
 
         ``cache`` optionally supplies a pre-built pairwise matrix cache
         over the same group list (the :class:`~repro.core.framework.TagDM`
         session shares one across solve calls so repeated runs do not pay
-        for the matrices again).
+        for the matrices again).  ``lsh_provider`` optionally supplies
+        pre-built LSH indexes over the raw signature matrix -- a callable
+        ``(n_bits, n_tables, seed) -> CosineLshIndex | None`` that the
+        SM-LSH family consults before projecting vectors itself.
         """
         if not groups:
             raise ValueError("cannot solve a TagDM problem over zero candidate groups")
         evaluator = ProblemEvaluator(problem, functions)
         self._shared_cache = cache
+        self._lsh_provider = lsh_provider
         started = time.perf_counter()
         result = self._solve(problem, list(groups), evaluator)
         result.elapsed_seconds = time.perf_counter() - started

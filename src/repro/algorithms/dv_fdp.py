@@ -26,12 +26,17 @@ Variants:
 from __future__ import annotations
 
 from itertools import combinations
+from math import comb
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.base import MiningAlgorithm, register_algorithm
-from repro.algorithms.scoring import PairwiseMatrixCache, ProblemEvaluator
+from repro.algorithms.scoring import (
+    BatchCandidateScorer,
+    PairwiseMatrixCache,
+    ProblemEvaluator,
+)
 from repro.core.groups import TaggingActionGroup
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
@@ -42,6 +47,14 @@ from repro.geometry.dispersion import (
 
 __all__ = ["DvFdpAlgorithm", "DvFdpFilterAlgorithm", "DvFdpFoldAlgorithm"]
 
+#: Ceiling on ``C(pool, size)`` below which the DV-FDP-Fi post-filter
+#: enumerates subsets exhaustively (the exact Section 5.2 semantics).
+#: Above the cap -- e.g. the default pool of ``3k`` groups already gives
+#: ``C(60, 20) ~ 4e15`` at ``k = 20`` -- enumeration is replaced by the
+#: greedy feasible-subset construction, which evaluates ``O(pool)``
+#: candidates per admissible size instead.
+EXACT_POST_FILTER_CAP = 2000
+
 
 class _BaseDvFdp(MiningAlgorithm):
     """Shared implementation of the DV-FDP family."""
@@ -49,13 +62,21 @@ class _BaseDvFdp(MiningAlgorithm):
     #: How hard constraints participate: "none", "filter" or "fold".
     constraint_mode = "none"
 
-    def __init__(self, seed: int = 0, filter_pool_multiplier: int = 3) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        filter_pool_multiplier: int = 3,
+        post_filter_cap: int = EXACT_POST_FILTER_CAP,
+    ) -> None:
         # The greedy construction is deterministic; ``seed`` is accepted so
         # the common option set of ``build_algorithm`` applies uniformly.
         if filter_pool_multiplier < 1:
             raise ValueError("filter_pool_multiplier must be at least 1")
+        if post_filter_cap < 1:
+            raise ValueError("post_filter_cap must be at least 1")
         self.seed = seed
         self.filter_pool_multiplier = filter_pool_multiplier
+        self.post_filter_cap = post_filter_cap
 
     # ------------------------------------------------------------------
     def _select_indices(
@@ -164,21 +185,154 @@ class _BaseDvFdp(MiningAlgorithm):
         problem: TagDMProblem,
         groups: Sequence[TaggingActionGroup],
         evaluator: ProblemEvaluator,
+        cache: PairwiseMatrixCache,
     ) -> Tuple[Optional[List[int]], int]:
-        """DV-FDP-Fi post-processing: best feasible subset of the selection."""
+        """DV-FDP-Fi post-processing: best feasible subset of the selection.
+
+        For each admissible size (largest first), candidate subsets of the
+        greedy pool are enumerated exhaustively only while
+        ``C(pool, size)`` stays at or below ``post_filter_cap``
+        (:data:`EXACT_POST_FILTER_CAP`); beyond the cap, where exhaustive
+        enumeration explodes combinatorially (``C(60, 20) ~ 4e15`` at the
+        defaults with ``k = 20``), a greedy feasible-subset construction
+        emits ``O(pool)`` candidates per size instead.  Every candidate is
+        judged with the exact problem semantics, so a returned subset is
+        always genuinely feasible; the greedy path merely searches fewer
+        subsets.
+        """
         evaluations = 0
         best: Optional[List[int]] = None
         best_objective = float("-inf")
         for size in range(min(problem.k_hi, len(indices)), problem.k_lo - 1, -1):
-            for subset in combinations(indices, size):
-                evaluations += 1
-                evaluation = evaluator.evaluate([groups[i] for i in subset])
-                if evaluation.feasible and evaluation.objective_value > best_objective:
-                    best_objective = evaluation.objective_value
+            if comb(len(indices), size) <= self.post_filter_cap:
+                candidates: List[List[int]] = [
+                    list(subset) for subset in combinations(indices, size)
+                ]
+            else:
+                candidates = self._greedy_feasible_subsets(
+                    indices, size, problem, cache
+                )
+            evaluations += len(candidates)
+            for subset, (feasible, objective) in zip(
+                candidates,
+                self._judge_candidates(candidates, problem, groups, evaluator, cache),
+            ):
+                if feasible and objective > best_objective:
+                    best_objective = objective
                     best = list(subset)
             if best is not None:
                 break
         return best, evaluations
+
+    @staticmethod
+    def _judge_candidates(
+        candidates: List[List[int]],
+        problem: TagDMProblem,
+        groups: Sequence[TaggingActionGroup],
+        evaluator: ProblemEvaluator,
+        cache: PairwiseMatrixCache,
+    ) -> List[Tuple[bool, float]]:
+        """Exact ``(feasible, objective)`` per candidate, batched when possible."""
+        if candidates and BatchCandidateScorer.supports(problem, evaluator.functions):
+            scorer = BatchCandidateScorer(cache, problem)
+            return scorer.score(candidates, require_constraints=True)
+        results: List[Tuple[bool, float]] = []
+        for subset in candidates:
+            evaluation = evaluator.evaluate([groups[i] for i in subset])
+            results.append((evaluation.feasible, evaluation.objective_value))
+        return results
+
+    def _greedy_feasible_subsets(
+        self,
+        pool: List[int],
+        size: int,
+        problem: TagDMProblem,
+        cache: PairwiseMatrixCache,
+    ) -> List[List[int]]:
+        """Bounded search for feasible ``size``-subsets of the greedy pool.
+
+        Every pool member seeds two greedy constructions over the cached
+        pairwise matrices: one adds the member with the best *objective*
+        gain among those keeping every constraint's mean pairwise score at
+        or above its threshold, the other maximises the worst *constraint
+        margin* (feasibility-first, for problems whose thresholds bind
+        tightly).  Candidates are deduplicated; final feasibility is
+        decided by the exact evaluation in :meth:`_post_filter`.
+        """
+        pool = list(pool)
+        n = len(pool)
+        if size > n:
+            return []
+        objective = cache.objective_matrix(problem)[np.ix_(pool, pool)]
+        constraint_entries = [
+            (matrix[np.ix_(pool, pool)], threshold)
+            for matrix, threshold, _key in cache.constraint_matrices(problem)
+        ]
+
+        candidates: List[List[int]] = []
+        seen: set = set()
+        for seed_position in range(n):
+            for feasibility_first in (False, True):
+                local = self._grow_subset(
+                    seed_position, size, objective, constraint_entries, feasibility_first
+                )
+                if local is None:
+                    continue
+                key = frozenset(local)
+                if key in seen:
+                    continue
+                seen.add(key)
+                candidates.append(sorted(pool[position] for position in local))
+        return candidates
+
+    @staticmethod
+    def _grow_subset(
+        seed: int,
+        size: int,
+        objective: np.ndarray,
+        constraint_entries: Sequence[Tuple[np.ndarray, float]],
+        feasibility_first: bool,
+    ) -> Optional[List[int]]:
+        """Grow one ``size``-subset from ``seed`` over local pool indices.
+
+        Maintains the pairwise-sum of every constraint matrix so the mean
+        score of the would-be set is evaluated in O(pool) per step.  When
+        no admissible candidate remains the growth continues with the
+        least-violating one -- the exact evaluation downstream rejects
+        infeasible outcomes, but an optimistic completion beats returning
+        nothing when a later addition restores the mean.
+        """
+        n = objective.shape[0]
+        selected = [seed]
+        remaining = np.ones(n, dtype=bool)
+        remaining[seed] = False
+        objective_gains = objective[:, seed].copy()
+        constraint_sums = [matrix[:, seed].copy() for matrix, _ in constraint_entries]
+        pair_sums = [0.0 for _ in constraint_entries]
+
+        while len(selected) < size:
+            total_pairs = (len(selected) + 1) * len(selected) // 2
+            margins = np.full(n, np.inf)
+            admissible = remaining.copy()
+            for position, (_, threshold) in enumerate(constraint_entries):
+                means = (pair_sums[position] + constraint_sums[position]) / total_pairs
+                margins = np.minimum(margins, means - threshold)
+                admissible &= means >= threshold
+            pick_from = admissible if admissible.any() else remaining
+            if not pick_from.any():
+                return None
+            if feasibility_first and constraint_entries:
+                scores = np.where(pick_from, margins, -np.inf)
+            else:
+                scores = np.where(pick_from, objective_gains, -np.inf)
+            best = int(np.argmax(scores))
+            for position, (matrix, _) in enumerate(constraint_entries):
+                pair_sums[position] += float(constraint_sums[position][best])
+                constraint_sums[position] += matrix[:, best]
+            objective_gains += objective[:, best]
+            selected.append(best)
+            remaining[best] = False
+        return selected
 
     def _solve(
         self,
@@ -207,7 +361,7 @@ class _BaseDvFdp(MiningAlgorithm):
             return self._result_from_groups(problem, (), evaluator, evaluations, metadata)
 
         if self.constraint_mode == "filter":
-            filtered, extra = self._post_filter(indices, problem, groups, evaluator)
+            filtered, extra = self._post_filter(indices, problem, groups, evaluator, cache)
             evaluations += extra
             if filtered is None:
                 metadata["failure"] = "post-filtering removed every subset"

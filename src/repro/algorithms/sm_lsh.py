@@ -104,11 +104,16 @@ class _BaseSmLsh(MiningAlgorithm):
     # ------------------------------------------------------------------
     def _vectors(
         self, problem: TagDMProblem, groups: Sequence[TaggingActionGroup]
-    ) -> np.ndarray:
-        """The vectors to hash: signatures, plus folded constraints if any."""
+    ) -> Tuple[np.ndarray, bool]:
+        """The vectors to hash and whether they are the raw signatures.
+
+        Returns ``(vectors, pure)`` where ``pure`` is True when nothing
+        was folded in -- exactly the case a session-cached LSH index over
+        the signature matrix can serve.
+        """
         signatures = signature_matrix(groups)
         if self.constraint_mode != "fold":
-            return signatures
+            return signatures, True
         folded_dimensions = [
             constraint.dimension
             for constraint in problem.constraints
@@ -116,9 +121,21 @@ class _BaseSmLsh(MiningAlgorithm):
             and constraint.dimension in (Dimension.USERS, Dimension.ITEMS)
         ]
         if not folded_dimensions:
-            return signatures
+            return signatures, True
         one_hot = _one_hot_descriptions(groups, folded_dimensions)
-        return np.hstack([one_hot, signatures])
+        return np.hstack([one_hot, signatures]), False
+
+    def _provided_index(
+        self, bits: int, n_groups: int
+    ) -> Optional[CosineLshIndex]:
+        """Ask the session's LSH cache for an index (None when unusable)."""
+        provider = getattr(self, "_lsh_provider", None)
+        if provider is None:
+            return None
+        index = provider(bits, self.n_tables, self.seed)
+        if index is None or index.n_indexed != n_groups:
+            return None
+        return index
 
     def _candidate_sets_from_bucket(
         self,
@@ -272,7 +289,7 @@ class _BaseSmLsh(MiningAlgorithm):
         groups: Sequence[TaggingActionGroup],
         evaluator: ProblemEvaluator,
     ) -> MiningResult:
-        vectors = self._vectors(problem, groups)
+        vectors, pure_signatures = self._vectors(problem, groups)
         n_dimensions = vectors.shape[1]
         evaluations = 0
         relaxations = 0
@@ -292,12 +309,17 @@ class _BaseSmLsh(MiningAlgorithm):
         index: Optional[CosineLshIndex] = None
         while relaxations < self.max_relaxations:
             if index is None:
-                index = CosineLshIndex(
-                    n_dimensions=n_dimensions,
-                    n_bits=bits,
-                    n_tables=self.n_tables,
-                    seed=self.seed,
-                ).build(vectors)
+                if pure_signatures:
+                    # Session-cached sign-bit matrices (warm-started
+                    # snapshots restore these without any projection).
+                    index = self._provided_index(bits, len(groups))
+                if index is None:
+                    index = CosineLshIndex(
+                        n_dimensions=n_dimensions,
+                        n_bits=bits,
+                        n_tables=self.n_tables,
+                        seed=self.seed,
+                    ).build(vectors)
             elif index.n_bits != bits:
                 # Relaxation re-hash: prefix truncation of the cached
                 # sign bits, no re-projection (see CosineLshIndex).

@@ -61,6 +61,7 @@ from repro.core.complexity import (
 )
 from repro.core.framework import TagDM
 from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
+from repro.core.persistence import load_session, save_session
 
 __all__ = [
     "IncrementalTagDM",
@@ -105,4 +106,6 @@ __all__ = [
     "decide_reduced_tagdm",
     "random_bipartite_instance",
     "TagDM",
+    "save_session",
+    "load_session",
 ]

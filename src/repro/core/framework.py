@@ -79,16 +79,29 @@ class TagDM:
     ) -> None:
         self.dataset = dataset
         self.enumeration = enumeration or GroupEnumerationConfig()
-        self.signature_builder = signature_builder or GroupSignatureBuilder(
-            backend=signature_backend,
-            n_dimensions=signature_dimensions,
-            seed=seed,
-        )
+        if signature_builder is not None:
+            self.signature_builder = signature_builder
+            # Best effort for externally built builders; sessions built from
+            # the ``signature_backend`` string record it exactly (below),
+            # which is what refresh/refit paths must use.
+            backend = getattr(signature_builder.topic_model, "name", "frequency")
+            self.signature_backend = backend
+        else:
+            self.signature_builder = GroupSignatureBuilder(
+                backend=signature_backend,
+                n_dimensions=signature_dimensions,
+                seed=seed,
+            )
+            self.signature_backend = signature_backend
         self.functions = function_suite or default_function_suite()
         self.seed = seed
         self._groups: Optional[List[TaggingActionGroup]] = None
         self._signatures: Optional[np.ndarray] = None
         self._matrix_cache = None
+        # Cached CosineLshIndex over the session signature matrix, keyed by
+        # table count; each entry keeps the widest bit matrices built so
+        # far (narrower widths derive from them by prefix truncation).
+        self._lsh_cache: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Preparation
@@ -104,8 +117,17 @@ class TagDM:
         signatures = self.signature_builder.build(groups)
         self._groups = groups
         self._signatures = signatures
-        self._matrix_cache = None
+        self.invalidate_caches()
         return self
+
+    def invalidate_caches(self) -> None:
+        """Drop derived caches (pairwise matrices, LSH indexes).
+
+        Called after anything that perturbs the signature matrix: a fresh
+        :meth:`prepare`, incremental inserts, or a topic-model refresh.
+        """
+        self._matrix_cache = None
+        self._lsh_cache = {}
 
     @property
     def is_prepared(self) -> bool:
@@ -125,9 +147,17 @@ class TagDM:
 
     @property
     def signatures(self) -> np.ndarray:
-        """The ``(n_groups, d)`` signature matrix (after :meth:`prepare`)."""
+        """The ``(n_groups, d)`` signature matrix (after :meth:`prepare`).
+
+        Rebuilt lazily from the per-group signature vectors when stale
+        (incremental inserts update groups in place and null the cached
+        matrix).
+        """
         self._require_prepared()
-        assert self._signatures is not None
+        if self._signatures is None:
+            from repro.core.signatures import signature_matrix  # lazy import
+
+            self._signatures = signature_matrix(self._groups or [])
         return self._signatures
 
     @property
@@ -152,6 +182,44 @@ class TagDM:
 
             self._matrix_cache = PairwiseMatrixCache(self.groups, self.functions)
         return self._matrix_cache
+
+    def signature_lsh(self, n_bits: int = 10, n_tables: int = 1):
+        """A cached cosine-LSH index over the session signature matrix.
+
+        The SM-LSH family hashes the group signatures with seed
+        ``self.seed``; keeping the built index (and its sign-bit matrices)
+        on the session means repeated solves -- and warm-started server
+        processes restoring a snapshot -- skip the projection matmuls
+        entirely.  One index per table count is kept at the widest bit
+        width requested so far; narrower widths derive from it by prefix
+        truncation (:meth:`~repro.index.lsh.CosineLshIndex.rebuild_with_bits`),
+        which costs no re-projection.
+        """
+        self._require_prepared()
+        from repro.index.lsh import CosineLshIndex  # lazy import
+
+        cached = self._lsh_cache.get(n_tables)
+        if cached is None or cached.n_bits < n_bits:
+            cached = CosineLshIndex(
+                n_dimensions=self.signatures.shape[1],
+                n_bits=n_bits,
+                n_tables=n_tables,
+                seed=self.seed,
+            ).build(self.signatures)
+            self._lsh_cache[n_tables] = cached
+        if cached.n_bits == n_bits:
+            return cached
+        return cached.rebuild_with_bits(n_bits)
+
+    def _signature_lsh_provider(self, n_bits: int, n_tables: int, seed: int):
+        """Serve a cached LSH index to solvers hashing the raw signatures.
+
+        Returns ``None`` when the solver's seed differs from the session's
+        (the hyperplane draws would not match).
+        """
+        if seed != self.seed:
+            return None
+        return self.signature_lsh(n_bits=n_bits, n_tables=n_tables)
 
     # ------------------------------------------------------------------
     # Solving
@@ -182,7 +250,13 @@ class TagDM:
             solver = build_algorithm(name, seed=self.seed, **algorithm_options)
         else:
             solver = algorithm
-        return solver.solve(problem, self.groups, self.functions, cache=self.matrix_cache())
+        return solver.solve(
+            problem,
+            self.groups,
+            self.functions,
+            cache=self.matrix_cache(),
+            lsh_provider=self._signature_lsh_provider,
+        )
 
     def solve_all(
         self,
@@ -195,3 +269,30 @@ class TagDM:
             problem.name: self.solve(problem, algorithm=algorithm, **algorithm_options)
             for problem in problems
         }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> "TagDM":
+        """Snapshot the prepared session to ``path``.
+
+        Convenience wrapper over
+        :func:`repro.core.persistence.save_session`; see that module for
+        the snapshot format.  Returns ``self`` for chaining.
+        """
+        from repro.core.persistence import save_session  # lazy: avoids a cycle
+
+        save_session(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path, dataset: TaggingDataset) -> "TagDM":
+        """Warm-start a session from a snapshot written by :meth:`save`.
+
+        ``dataset`` must be the corpus the snapshot was prepared over
+        (typically reloaded from the SQLite store); a fingerprint check
+        rejects mismatches.
+        """
+        from repro.core.persistence import load_session  # lazy: avoids a cycle
+
+        return load_session(path, dataset)

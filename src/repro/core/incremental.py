@@ -18,10 +18,16 @@ arrive, without re-running the full enumeration + summarisation pipeline:
   of signature inferences instead of a full refit (the model can be
   refitted explicitly with :meth:`refresh_topic_model` when drift
   accumulates);
-* the shared pairwise-matrix cache is invalidated because a changed
-  signature perturbs one row/column of every matrix.
+* the shared pairwise-matrix cache (and the session's cached LSH
+  indexes) are invalidated because a changed signature perturbs one
+  row/column of every matrix.
 
 The wrapper exposes the same ``solve`` API as the session it maintains.
+When constructed with a durable :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`,
+every insert is mirrored into the store in the same call, so the
+database, the in-memory dataset and the maintained groups stay
+consistent -- and :meth:`IncrementalTagDM.snapshot` can persist the
+session for a warm restart at any point.
 """
 
 from __future__ import annotations
@@ -82,6 +88,10 @@ class IncrementalTagDM:
         enumeration mode is supported; ``"partial"`` (default) and
         ``"cross"`` match the description-generation rules used when
         routing new tuples to groups.
+    store:
+        Optional durable :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`;
+        when given, every registered user/item and inserted action is
+        mirrored into it so the database tracks the in-memory dataset.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class IncrementalTagDM:
         signature_backend: str = "frequency",
         signature_dimensions: int = 25,
         seed: int = 0,
+        store=None,
     ) -> None:
         self.session = TagDM(
             dataset,
@@ -99,6 +110,7 @@ class IncrementalTagDM:
             signature_dimensions=signature_dimensions,
             seed=seed,
         )
+        self.store = store
         # Tuples that match a description which has not reached minimum
         # support yet, keyed by that description.
         self._pending: Dict[GroupDescription, List[int]] = {}
@@ -262,14 +274,42 @@ class IncrementalTagDM:
             self.dataset.register_item(item_id, item_attributes)
             report.new_items.append(item_id)
 
+        tags = tuple(tags)  # the iterable is consumed by both sinks below
+        if self.store is not None:
+            # Mirror into the durable store *before* mutating the in-memory
+            # tuple columns: if the store write fails (lock timeout, disk
+            # full) the session state is untouched apart from the in-memory
+            # user/item registrations above, which carry no tuples and
+            # leave groups and consistency checks intact.  Registrations
+            # and the action row land in one commit; the attributes are
+            # read back from the dataset so defaulted ("unknown") values
+            # land in the store identically.
+            self.store.append_action(
+                user_id,
+                item_id,
+                tags,
+                rating,
+                user_attributes=(
+                    None
+                    if self.store.has_user(user_id)
+                    else self.dataset.user_attributes(user_id)
+                ),
+                item_attributes=(
+                    None
+                    if self.store.has_item(item_id)
+                    else self.dataset.item_attributes(item_id)
+                ),
+            )
+
         row = self.dataset.add_action(user_id, item_id, tags, rating)
         report.actions_added = 1
 
         for description in self._descriptions_for_row(row):
             self._touch_group(description, row, report)
 
-        # Signatures changed, so any cached pairwise matrices are stale.
-        self.session._matrix_cache = None
+        # Signatures changed, so cached pairwise matrices / LSH indexes
+        # (and the stacked signature matrix) are stale.
+        self.session.invalidate_caches()
         self.session._signatures = None
         report.pending_descriptions = len(self._pending)
         return report
@@ -298,19 +338,36 @@ class IncrementalTagDM:
         Incremental inserts keep using the initially fitted topic model;
         after substantial drift (many new tags) call this to refit on the
         current groups, exactly what a periodic offline rebuild would do.
+
+        The backend to refit is taken from the session's recorded
+        ``signature_backend`` string -- not inferred from the live model
+        object, whose ``name`` attribute may carry the base-class default
+        (``"topic-model"``) and would silently swap the backend.
         """
         from repro.core.signatures import GroupSignatureBuilder
 
         builder = GroupSignatureBuilder(
             topic_model=None,
-            backend=getattr(self.session.signature_builder.topic_model, "name", "frequency"),
+            backend=self.session.signature_backend,
             n_dimensions=self.session.signature_builder.n_dimensions,
             seed=self.session.seed,
         )
         builder.build(self.session.groups)
         self.session.signature_builder = builder
-        self.session._matrix_cache = None
+        self.session.invalidate_caches()
         self.session._signatures = None
+
+    def snapshot(self, path) -> "IncrementalTagDM":
+        """Persist the maintained session to ``path`` for a warm restart.
+
+        Because inserts update groups and the durable store in the same
+        call, a snapshot taken at any point is consistent with the store's
+        contents at that point.  Returns ``self`` for chaining.
+        """
+        from repro.core.persistence import save_session
+
+        save_session(self.session, path)
+        return self
 
     def consistency_errors(self) -> List[str]:
         """Compare maintained groups against a from-scratch enumeration.

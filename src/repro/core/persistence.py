@@ -1,0 +1,195 @@
+"""Warm-start snapshots of prepared TagDM sessions.
+
+Preparing a :class:`~repro.core.framework.TagDM` session is the
+expensive half of every run: candidate-group enumeration walks the whole
+dataset, the topic model is fitted on every group's tag document, and
+the signature matrix is vectorised from scratch.  A server process that
+restarts -- or a benchmark that re-runs -- pays that cost again even
+though nothing changed.
+
+This module persists everything :meth:`TagDM.prepare` produced so a new
+process warm-starts in milliseconds:
+
+* the candidate-group descriptions and tuple-index lists (member sets,
+  user/item coverage and tag multisets are rebuilt from the dataset --
+  cheap and guaranteed consistent with it);
+* the signature matrix, bit-for-bit;
+* the fitted topic-model state (vocabulary / idf table / Gibbs counts,
+  depending on the backend);
+* the cached LSH sign-bit matrices of :meth:`TagDM.signature_lsh`, so
+  warm-started SM-LSH solves skip even the projection matmuls.
+
+Snapshot format (documented in ``PERSISTENCE.md``): a single pickle file
+holding one versioned dict with the fields above plus a dataset
+fingerprint; :func:`load_session` refuses a snapshot whose fingerprint
+does not match the dataset it is given.  Pickle is trusted input -- load
+only snapshots your own deployment wrote, exactly as you would treat a
+database file.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.core.groups import GroupDescription, TaggingActionGroup
+from repro.core.signatures import GroupSignatureBuilder
+from repro.dataset.store import TaggingDataset
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "dataset_fingerprint",
+    "save_session",
+    "load_session",
+]
+
+#: Bump when the snapshot dict layout changes; checked on load.
+SNAPSHOT_VERSION = 1
+
+
+def dataset_fingerprint(dataset: TaggingDataset) -> Dict[str, object]:
+    """A cheap identity check tying a snapshot to its corpus.
+
+    Deliberately not a content hash: fingerprinting must stay O(1)-ish so
+    warm loads do not re-read the whole dataset.  Collisions require a
+    same-name, same-shape corpus, at which point the caller is already
+    holding the wrong database file.
+    """
+    return {
+        "name": dataset.name,
+        "n_actions": dataset.n_actions,
+        "n_users": dataset.n_users,
+        "n_items": dataset.n_items,
+        "user_schema": list(dataset.user_schema),
+        "item_schema": list(dataset.item_schema),
+    }
+
+
+def _group_payload(groups: List[TaggingActionGroup]) -> List[Tuple[Tuple, Tuple[int, ...]]]:
+    """Serialise groups as (predicates, tuple_indices) pairs."""
+    return [(group.description.predicates, group.tuple_indices) for group in groups]
+
+
+def _rebuild_groups(
+    payload: List[Tuple[Tuple, Tuple[int, ...]]],
+    dataset: TaggingDataset,
+    signatures: np.ndarray,
+) -> List[TaggingActionGroup]:
+    """Materialise groups from the snapshot payload against ``dataset``.
+
+    User/item coverage and tag multisets are recomputed from the tuple
+    indices (identical to what enumeration produced, since the dataset is
+    the same corpus the fingerprint check admitted), and each group gets
+    its signature row restored bit-for-bit.
+    """
+    groups: List[TaggingActionGroup] = []
+    for position, (predicates, tuple_indices) in enumerate(payload):
+        indices = tuple(int(i) for i in tuple_indices)
+        group = TaggingActionGroup(
+            description=GroupDescription(
+                predicates=tuple((str(c), str(v)) for c, v in predicates)
+            ),
+            tuple_indices=indices,
+            user_ids=frozenset(dataset.users_for_indices(indices)),
+            item_ids=frozenset(dataset.items_for_indices(indices)),
+            tags=tuple(dataset.tags_for_indices(indices)),
+        )
+        group.signature = signatures[position].copy()
+        groups.append(group)
+    return groups
+
+
+def save_session(session: TagDM, path: Union[str, Path]) -> Path:
+    """Snapshot a prepared session to ``path``.
+
+    Raises ``NotFittedError`` (via the session) when :meth:`TagDM.prepare`
+    has not run -- there is nothing worth snapshotting before that.
+    """
+    groups = session.groups  # raises NotFittedError when unprepared
+    lsh_payload = [
+        {
+            "n_tables": n_tables,
+            "n_bits": index.n_bits,
+            "seed": index.seed,
+            "bit_cache": [np.asarray(bits, dtype=bool) for bits in index.bit_cache],
+        }
+        for n_tables, index in sorted(session._lsh_cache.items())
+    ]
+    snapshot = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "dataset_fingerprint": dataset_fingerprint(session.dataset),
+        "enumeration": asdict(session.enumeration),
+        "signature_backend": session.signature_backend,
+        "signature_dimensions": session.signature_builder.n_dimensions,
+        "seed": session.seed,
+        "groups": _group_payload(groups),
+        "signatures": np.asarray(session.signatures, dtype=float),
+        "topic_model": session.signature_builder.topic_model,
+        "lsh": lsh_payload,
+    }
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_session(
+    path: Union[str, Path],
+    dataset: TaggingDataset,
+    function_suite=None,
+) -> TagDM:
+    """Warm-start a :class:`TagDM` session from a snapshot.
+
+    ``dataset`` must be the corpus the snapshot was prepared over --
+    typically just reloaded from the SQLite store
+    (:meth:`~repro.dataset.sqlite_store.SqliteTaggingStore.to_dataset`).
+    The returned session is prepared: groups, signatures, topic model and
+    LSH caches are restored without enumeration, fitting or projection,
+    so ``solve`` results are identical to the session that was saved.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        snapshot = pickle.load(handle)
+
+    version = snapshot.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"{path} is a v{version} snapshot; this library reads v{SNAPSHOT_VERSION}"
+        )
+    expected = snapshot["dataset_fingerprint"]
+    actual = dataset_fingerprint(dataset)
+    if expected != actual:
+        mismatched = sorted(
+            key for key in expected if expected[key] != actual.get(key)
+        )
+        raise ValueError(
+            f"snapshot {path} was prepared over a different dataset "
+            f"(mismatched: {', '.join(mismatched)})"
+        )
+
+    session = TagDM(
+        dataset,
+        enumeration=GroupEnumerationConfig(**snapshot["enumeration"]),
+        signature_builder=GroupSignatureBuilder.from_fitted(snapshot["topic_model"]),
+        function_suite=function_suite,
+        seed=snapshot["seed"],
+    )
+    session.signature_backend = snapshot["signature_backend"]
+    signatures = np.asarray(snapshot["signatures"], dtype=float)
+    session._groups = _rebuild_groups(snapshot["groups"], dataset, signatures)
+    session._signatures = signatures
+    session._matrix_cache = None
+
+    from repro.index.lsh import CosineLshIndex  # lazy: keep import cost off cold paths
+
+    for entry in snapshot["lsh"]:
+        session._lsh_cache[entry["n_tables"]] = CosineLshIndex.from_cached_bits(
+            signatures, entry["bit_cache"], seed=entry["seed"]
+        )
+    return session

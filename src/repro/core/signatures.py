@@ -79,6 +79,23 @@ class GroupSignatureBuilder:
         """Signature vector length ``d``."""
         return self._model.n_dimensions
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the topic model has been fitted (by :meth:`fit` or build)."""
+        return self._fitted
+
+    @classmethod
+    def from_fitted(cls, topic_model: TopicModel) -> "GroupSignatureBuilder":
+        """Wrap an already-fitted topic model (session snapshot warm loads).
+
+        The returned builder vectorises immediately without refitting, so
+        signatures computed through it are bit-identical to the ones the
+        model produced before it was persisted.
+        """
+        builder = cls(topic_model=topic_model)
+        builder._fitted = True
+        return builder
+
     def fit(self, groups: Sequence[TaggingActionGroup]) -> "GroupSignatureBuilder":
         """Fit the topic model on the groups' tag documents."""
         if not groups:

@@ -20,8 +20,11 @@ from repro.dataset.loaders import (
     dataset_from_records,
     dataset_to_records,
     load_csv,
+    load_sqlite,
     save_csv,
+    save_sqlite,
 )
+from repro.dataset.sqlite_store import SqliteTaggingStore
 from repro.dataset.vocab import TagVocabulary, ZipfTagModel
 from repro.dataset.synthetic import (
     MovieLensStyleConfig,
@@ -39,6 +42,9 @@ __all__ = [
     "dataset_to_records",
     "load_csv",
     "save_csv",
+    "load_sqlite",
+    "save_sqlite",
+    "SqliteTaggingStore",
     "TagVocabulary",
     "ZipfTagModel",
     "MovieLensStyleConfig",

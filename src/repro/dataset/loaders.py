@@ -7,7 +7,9 @@ dependency-free record format plus CSV round-tripping:
 
 * record dicts -- ``{"user_id", "item_id", "tags", "rating", "user.<a>",
   "item.<a>"}`` -- convertible to and from :class:`TaggingDataset`;
-* a CSV layout with one row per tagging action, tags joined by ``|``.
+* a CSV layout with one row per tagging action, tags joined by ``|``;
+* a durable SQLite layout (:func:`save_sqlite` / :func:`load_sqlite`,
+  thin wrappers over :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`).
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ __all__ = [
     "dataset_to_records",
     "load_csv",
     "save_csv",
+    "load_sqlite",
+    "save_sqlite",
 ]
 
 TAG_SEPARATOR = "|"
@@ -179,3 +183,24 @@ def load_csv(
         item_schema=item_schema,
         name=name or path.stem,
     )
+
+
+def save_sqlite(dataset: TaggingDataset, path: Union[str, Path]) -> Path:
+    """Persist the dataset into an SQLite store at ``path``.
+
+    One-shot convenience over
+    :meth:`~repro.dataset.sqlite_store.SqliteTaggingStore.from_dataset`;
+    keep the store object instead when you intend to append actions.
+    """
+    from repro.dataset.sqlite_store import SqliteTaggingStore
+
+    SqliteTaggingStore.from_dataset(dataset, path).close()
+    return Path(path)
+
+
+def load_sqlite(path: Union[str, Path], name: Optional[str] = None) -> TaggingDataset:
+    """Load a dataset previously written by :func:`save_sqlite`."""
+    from repro.dataset.sqlite_store import SqliteTaggingStore
+
+    with SqliteTaggingStore(path) as store:
+        return store.to_dataset(name=name)

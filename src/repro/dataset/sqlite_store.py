@@ -1,0 +1,487 @@
+"""SQLite-backed durable store for tagging datasets.
+
+:class:`TaggingDataset` keeps the expanded tagging-action tuples in
+memory, which means every process regenerates its corpus from scratch.
+:class:`SqliteTaggingStore` gives the same ``<U, I, T>`` model a durable
+home: a single SQLite database holding the user/item registries, the
+tagging actions and a normalised tag table, with batch ingestion,
+streaming iteration and a lossless round-trip to and from the in-memory
+dataset.  It is the substrate the warm-start session snapshots
+(:mod:`repro.core.persistence`) and the incremental session
+(:class:`~repro.core.incremental.IncrementalTagDM`) build on.
+
+Connection configuration follows the WAL recipe for mixed
+insert/analytics workloads: write-ahead logging so readers never block
+the ingest path, ``foreign_keys=ON`` so dangling actions/tags are
+impossible, ``synchronous=NORMAL`` to amortise fsyncs, and a generous
+busy timeout for concurrent openers.  The full schema is documented in
+``PERSISTENCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.dataset.store import TaggingDataset
+
+__all__ = ["SqliteTaggingStore"]
+
+#: Bump when the table layout changes; checked on open.
+SCHEMA_VERSION = 1
+
+_PRAGMAS = (
+    ("journal_mode", "WAL"),
+    ("foreign_keys", "ON"),
+    ("synchronous", "NORMAL"),
+    ("busy_timeout", "30000"),
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS users (
+    user_id    TEXT PRIMARY KEY,
+    attributes TEXT NOT NULL            -- JSON object over the user schema
+);
+CREATE TABLE IF NOT EXISTS items (
+    item_id    TEXT PRIMARY KEY,
+    attributes TEXT NOT NULL            -- JSON object over the item schema
+);
+CREATE TABLE IF NOT EXISTS actions (
+    action_id INTEGER PRIMARY KEY,      -- insertion order == dataset row order
+    user_id   TEXT NOT NULL REFERENCES users(user_id),
+    item_id   TEXT NOT NULL REFERENCES items(item_id),
+    rating    REAL                      -- NULL when the action has no rating
+);
+CREATE TABLE IF NOT EXISTS tags (
+    tag_id INTEGER PRIMARY KEY,
+    tag    TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS action_tags (
+    action_id INTEGER NOT NULL REFERENCES actions(action_id) ON DELETE CASCADE,
+    position  INTEGER NOT NULL,         -- preserves per-action tag order
+    tag_id    INTEGER NOT NULL REFERENCES tags(tag_id),
+    PRIMARY KEY (action_id, position)
+);
+CREATE INDEX IF NOT EXISTS idx_actions_user ON actions(user_id);
+CREATE INDEX IF NOT EXISTS idx_actions_item ON actions(item_id);
+CREATE INDEX IF NOT EXISTS idx_action_tags_tag ON action_tags(tag_id);
+"""
+
+
+class SqliteTaggingStore:
+    """A durable SQLite store of one tagging dataset.
+
+    Open an existing database with ``SqliteTaggingStore(path)``, create a
+    fresh one with :meth:`create`, or persist a whole in-memory dataset in
+    one call with :meth:`from_dataset`.  The store is usable as a context
+    manager; :meth:`close` is idempotent.
+
+    Parameters
+    ----------
+    path:
+        Database file path (``":memory:"`` is accepted for tests; WAL is
+        silently unavailable there and SQLite falls back to ``memory``
+        journaling).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(self.path)
+        self._connection.row_factory = sqlite3.Row
+        for pragma, value in _PRAGMAS:
+            self._connection.execute(f"PRAGMA {pragma}={value}")
+        self._connection.executescript(_SCHEMA)
+        stored = self._meta("schema_version")
+        if stored is None:
+            self._set_meta("schema_version", str(SCHEMA_VERSION))
+        elif int(stored) != SCHEMA_VERSION:
+            raise ValueError(
+                f"{self.path} uses store schema v{stored}, "
+                f"this library expects v{SCHEMA_VERSION}"
+            )
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, Path],
+        user_schema: Sequence[str],
+        item_schema: Sequence[str],
+        name: str = "tagging-dataset",
+    ) -> "SqliteTaggingStore":
+        """Create (or open) a store and pin its dataset schema."""
+        store = cls(path)
+        store._ensure_schemas(tuple(user_schema), tuple(item_schema), name)
+        return store
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: TaggingDataset, path: Union[str, Path]
+    ) -> "SqliteTaggingStore":
+        """Persist an in-memory dataset into a new store at ``path``."""
+        store = cls.create(path, dataset.user_schema, dataset.item_schema, dataset.name)
+        store.ingest(dataset)
+        return store
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live SQLite connection (raises after :meth:`close`)."""
+        if self._connection is None:
+            raise RuntimeError(f"store {self.path} has been closed")
+        return self._connection
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "SqliteTaggingStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def _meta(self, key: str) -> Optional[str]:
+        row = self.connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row["value"]
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+        )
+
+    def _ensure_schemas(
+        self,
+        user_schema: Tuple[str, ...],
+        item_schema: Tuple[str, ...],
+        name: str,
+    ) -> None:
+        existing_user = self._meta("user_schema")
+        if existing_user is None:
+            self._set_meta("user_schema", json.dumps(list(user_schema)))
+            self._set_meta("item_schema", json.dumps(list(item_schema)))
+            self._set_meta("name", name)
+            self.connection.commit()
+            return
+        if (
+            tuple(json.loads(existing_user)) != user_schema
+            or tuple(json.loads(self._meta("item_schema") or "[]")) != item_schema
+        ):
+            raise ValueError(
+                f"store {self.path} was created with a different user/item schema"
+            )
+
+    @property
+    def name(self) -> str:
+        """The dataset name recorded at creation time."""
+        return self._meta("name") or "tagging-dataset"
+
+    @property
+    def user_schema(self) -> Tuple[str, ...]:
+        """The user attribute schema ``S_U``."""
+        return tuple(json.loads(self._meta("user_schema") or "[]"))
+
+    @property
+    def item_schema(self) -> Tuple[str, ...]:
+        """The item attribute schema ``S_I``."""
+        return tuple(json.loads(self._meta("item_schema") or "[]"))
+
+    def pragma(self, name: str) -> object:
+        """Return the current value of a connection pragma (for tests)."""
+        return self.connection.execute(f"PRAGMA {name}").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def register_user(self, user_id: str, attributes: Mapping[str, str]) -> None:
+        """Insert or update a user registry row."""
+        self.connection.execute(
+            "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
+            (str(user_id), json.dumps(dict(attributes), sort_keys=True)),
+        )
+        self.connection.commit()
+
+    def register_item(self, item_id: str, attributes: Mapping[str, str]) -> None:
+        """Insert or update an item registry row."""
+        self.connection.execute(
+            "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
+            (str(item_id), json.dumps(dict(attributes), sort_keys=True)),
+        )
+        self.connection.commit()
+
+    def has_user(self, user_id: str) -> bool:
+        """Whether ``user_id`` exists in the user registry."""
+        row = self.connection.execute(
+            "SELECT 1 FROM users WHERE user_id = ?", (str(user_id),)
+        ).fetchone()
+        return row is not None
+
+    def has_item(self, item_id: str) -> bool:
+        """Whether ``item_id`` exists in the item registry."""
+        row = self.connection.execute(
+            "SELECT 1 FROM items WHERE item_id = ?", (str(item_id),)
+        ).fetchone()
+        return row is not None
+
+    def _tag_id(self, cursor: sqlite3.Cursor, tag: str) -> int:
+        cursor.execute("INSERT OR IGNORE INTO tags (tag) VALUES (?)", (tag,))
+        cursor.execute("SELECT tag_id FROM tags WHERE tag = ?", (tag,))
+        return int(cursor.fetchone()[0])
+
+    def _insert_action(
+        self,
+        cursor: sqlite3.Cursor,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float],
+    ) -> int:
+        cursor.execute(
+            "INSERT INTO actions (user_id, item_id, rating) VALUES (?, ?, ?)",
+            (str(user_id), str(item_id), None if rating is None else float(rating)),
+        )
+        action_id = int(cursor.lastrowid)
+        tag_tuple = tuple(dict.fromkeys(str(t) for t in tags))
+        cursor.executemany(
+            "INSERT INTO action_tags (action_id, position, tag_id) VALUES (?, ?, ?)",
+            [
+                (action_id, position, self._tag_id(cursor, tag))
+                for position, tag in enumerate(tag_tuple)
+            ],
+        )
+        return action_id
+
+    def add_action(
+        self,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+    ) -> int:
+        """Append one tagging action; returns its ``action_id``.
+
+        The user and item must already be registered (``foreign_keys=ON``
+        enforces it at the database level as well).
+        """
+        cursor = self.connection.cursor()
+        action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
+        self.connection.commit()
+        return action_id
+
+    def append_action(
+        self,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+        user_attributes: Optional[Mapping[str, str]] = None,
+        item_attributes: Optional[Mapping[str, str]] = None,
+    ) -> int:
+        """Register (when attributes are given) and insert in one commit.
+
+        The serving-path variant of :meth:`add_action`: a new user/item
+        registration and the action row land atomically, so a crash can
+        never leave a registered-but-actionless ghost, and the hot insert
+        path pays one WAL commit instead of up to three.
+        """
+        connection = self.connection
+        cursor = connection.cursor()
+        try:
+            if user_attributes is not None:
+                cursor.execute(
+                    "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
+                    (str(user_id), json.dumps(dict(user_attributes), sort_keys=True)),
+                )
+            if item_attributes is not None:
+                cursor.execute(
+                    "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
+                    (str(item_id), json.dumps(dict(item_attributes), sort_keys=True)),
+                )
+            action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        return action_id
+
+    def ingest(self, dataset: TaggingDataset) -> int:
+        """Batch-load an in-memory dataset in a single transaction.
+
+        Returns the number of actions written.  The store's schemas must
+        match the dataset's (checked by :meth:`create`).  Refuses a store
+        that already holds actions: re-running an ingest script against
+        the same file would otherwise silently duplicate every action
+        (append individual rows with :meth:`add_action` instead).
+        """
+        connection = self.connection
+        existing = int(
+            connection.execute("SELECT COUNT(*) FROM actions").fetchone()[0]
+        )
+        if existing:
+            raise ValueError(
+                f"store {self.path} already holds {existing} actions; "
+                "ingest() only loads into an empty store"
+            )
+        cursor = connection.cursor()
+        # sqlite3 auto-begins a transaction at the first INSERT; everything
+        # below commits atomically (or rolls back as one unit on error).
+        try:
+            cursor.executemany(
+                "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
+                [
+                    (user_id, json.dumps(attributes, sort_keys=True))
+                    for user_id, attributes in dataset.registered_users()
+                ],
+            )
+            cursor.executemany(
+                "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
+                [
+                    (item_id, json.dumps(attributes, sort_keys=True))
+                    for item_id, attributes in dataset.registered_items()
+                ],
+            )
+
+            # One pass for the tag vocabulary, then bulk action/tag rows.
+            distinct_tags = sorted(
+                {tag for row in range(dataset.n_actions) for tag in dataset.tags_of(row)}
+            )
+            cursor.executemany(
+                "INSERT OR IGNORE INTO tags (tag) VALUES (?)",
+                [(tag,) for tag in distinct_tags],
+            )
+            tag_ids: Dict[str, int] = {
+                row["tag"]: row["tag_id"]
+                for row in cursor.execute("SELECT tag_id, tag FROM tags")
+            }
+
+            action_rows: List[Tuple[str, str, Optional[float]]] = []
+            tag_rows: List[Tuple[int, int, int]] = []
+            next_id = int(
+                cursor.execute(
+                    "SELECT COALESCE(MAX(action_id), 0) FROM actions"
+                ).fetchone()[0]
+            ) + 1
+            for row in range(dataset.n_actions):
+                action_rows.append(
+                    (dataset.user_of(row), dataset.item_of(row), dataset.rating_of(row))
+                )
+                for position, tag in enumerate(dataset.tags_of(row)):
+                    tag_rows.append((next_id + row, position, tag_ids[tag]))
+            cursor.executemany(
+                "INSERT INTO actions (user_id, item_id, rating) VALUES (?, ?, ?)",
+                action_rows,
+            )
+            cursor.executemany(
+                "INSERT INTO action_tags (action_id, position, tag_id) VALUES (?, ?, ?)",
+                tag_rows,
+            )
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        return dataset.n_actions
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Row counts per entity (``actions``, ``users``, ``items``, ``tags``)."""
+        out: Dict[str, int] = {}
+        for table in ("actions", "users", "items", "tags"):
+            out[table] = int(
+                self.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            )
+        return out
+
+    def iter_users(self) -> Iterator[Tuple[str, Dict[str, str]]]:
+        """Stream ``(user_id, attributes)`` in primary-key order."""
+        for row in self.connection.execute(
+            "SELECT user_id, attributes FROM users ORDER BY rowid"
+        ):
+            yield row["user_id"], json.loads(row["attributes"])
+
+    def iter_items(self) -> Iterator[Tuple[str, Dict[str, str]]]:
+        """Stream ``(item_id, attributes)`` in primary-key order."""
+        for row in self.connection.execute(
+            "SELECT item_id, attributes FROM items ORDER BY rowid"
+        ):
+            yield row["item_id"], json.loads(row["attributes"])
+
+    def iter_actions(self) -> Iterator[Dict[str, object]]:
+        """Stream action dicts in insertion order.
+
+        Each dict carries ``action_id``, ``user_id``, ``item_id``,
+        ``tags`` (ordered tuple) and ``rating``.  Tags are fetched with a
+        single ordered join and grouped on the fly, so the whole table is
+        never materialised in memory.
+        """
+        tag_cursor = self.connection.execute(
+            "SELECT at.action_id AS action_id, t.tag AS tag "
+            "FROM action_tags AS at JOIN tags AS t ON t.tag_id = at.tag_id "
+            "ORDER BY at.action_id, at.position"
+        )
+        pending: Optional[sqlite3.Row] = None
+
+        def tags_for(action_id: int) -> Tuple[str, ...]:
+            nonlocal pending
+            tags: List[str] = []
+            while True:
+                row = pending if pending is not None else tag_cursor.fetchone()
+                pending = None
+                if row is None:
+                    break
+                if row["action_id"] != action_id:
+                    pending = row
+                    break
+                tags.append(row["tag"])
+            return tuple(tags)
+
+        for row in self.connection.execute(
+            "SELECT action_id, user_id, item_id, rating FROM actions ORDER BY action_id"
+        ):
+            yield {
+                "action_id": int(row["action_id"]),
+                "user_id": row["user_id"],
+                "item_id": row["item_id"],
+                "tags": tags_for(int(row["action_id"])),
+                "rating": None if row["rating"] is None else float(row["rating"]),
+            }
+
+    def to_dataset(self, name: Optional[str] = None) -> TaggingDataset:
+        """Materialise the store into an in-memory :class:`TaggingDataset`.
+
+        The round-trip ``from_dataset(d, p).to_dataset()`` is lossless:
+        same schemas, registries (including users/items with no actions),
+        action order, tag order and ratings.
+        """
+        dataset = TaggingDataset(
+            self.user_schema, self.item_schema, name=name or self.name
+        )
+        for user_id, attributes in self.iter_users():
+            dataset.register_user(user_id, attributes)
+        for item_id, attributes in self.iter_items():
+            dataset.register_item(item_id, attributes)
+        for action in self.iter_actions():
+            dataset.add_action(
+                action["user_id"], action["item_id"], action["tags"], action["rating"]
+            )
+        return dataset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._connection is None else "open"
+        return f"SqliteTaggingStore(path={self.path!r}, {state})"

@@ -183,6 +183,20 @@ class TaggingDataset:
         """Return a copy of the registered attributes of ``item_id``."""
         return dict(self._items[str(item_id)])
 
+    def registered_users(self) -> Iterator[Tuple[str, Dict[str, str]]]:
+        """Iterate ``(user_id, attributes)`` in registration order.
+
+        Includes users registered but never referenced by an action, so
+        durable stores can persist the full registry losslessly.
+        """
+        for user_id, attributes in self._users.items():
+            yield user_id, dict(attributes)
+
+    def registered_items(self) -> Iterator[Tuple[str, Dict[str, str]]]:
+        """Iterate ``(item_id, attributes)`` in registration order."""
+        for item_id, attributes in self._items.items():
+            yield item_id, dict(attributes)
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------

@@ -394,6 +394,7 @@ def figure_8_scaling_quality(
             "algorithm": row["algorithm"],
             "quality": row["quality"],
             "feasible": row["feasible"],
+            "null_result": row["null_result"],
         }
         for row in rows
     ]

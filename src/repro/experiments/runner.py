@@ -50,7 +50,12 @@ class AlgorithmRun:
     null_result: bool
 
     def as_row(self) -> Dict[str, object]:
-        """Flatten into a dict for tabular reporting."""
+        """Flatten into a dict for tabular reporting.
+
+        ``null_result`` is emitted so figure tables can distinguish an
+        algorithm returning nothing from one returning a feasible-but-
+        small set (both can show ``k`` below the requested bound).
+        """
         return {
             "problem": self.problem_name,
             "algorithm": self.algorithm,
@@ -61,6 +66,7 @@ class AlgorithmRun:
             "k": self.k_returned,
             "support": self.support,
             "evaluations": self.evaluations,
+            "null_result": self.null_result,
         }
 
 

@@ -150,6 +150,15 @@ class CosineLshIndex:
         """Number of indexed vectors (0 before :meth:`build`)."""
         return 0 if self._vectors is None else self._vectors.shape[0]
 
+    @property
+    def bit_cache(self) -> List[np.ndarray]:
+        """Per-table cached sign-bit matrices (empty before :meth:`build`).
+
+        Session snapshots persist these so :meth:`from_cached_bits` can
+        restore the index without re-projecting.
+        """
+        return list(self._bit_cache)
+
     def build(self, vectors: Sequence[Sequence[float]]) -> "CosineLshIndex":
         """Hash all ``vectors`` into every table.  Returns ``self``."""
         array = np.atleast_2d(np.asarray(vectors, dtype=float))
@@ -166,6 +175,41 @@ class CosineLshIndex:
             _group_rows_by_key(pack_bits(bits)) for bits in self._bit_cache
         ]
         return self
+
+    @classmethod
+    def from_cached_bits(
+        cls,
+        vectors: Sequence[Sequence[float]],
+        bit_cache: Sequence[np.ndarray],
+        seed: int = 0,
+    ) -> "CosineLshIndex":
+        """Rebuild an index from persisted sign-bit matrices.
+
+        ``bit_cache`` is one ``(n, n_bits)`` boolean matrix per table, as
+        cached by :meth:`build` (and saved by session snapshots).  Only
+        key packing and bucket grouping run -- no projection -- so a
+        warm-started process recovers the index in milliseconds.  The
+        hyperplane hashers are re-drawn from ``seed`` (deterministic), so
+        :meth:`bucket_of` / :meth:`candidates` behave identically to the
+        original index.
+        """
+        if not bit_cache:
+            raise ValueError("bit_cache must contain at least one table")
+        array = np.atleast_2d(np.asarray(vectors, dtype=float))
+        bits_list = [np.atleast_2d(np.asarray(bits, dtype=bool)) for bits in bit_cache]
+        n_bits = bits_list[0].shape[1]
+        if any(bits.shape != (array.shape[0], n_bits) for bits in bits_list):
+            raise ValueError("bit matrices must all be (n_vectors, n_bits)")
+        index = cls(
+            n_dimensions=array.shape[1],
+            n_bits=n_bits,
+            n_tables=len(bits_list),
+            seed=seed,
+        )
+        index._vectors = array
+        index._bit_cache = bits_list
+        index._tables = [_group_rows_by_key(pack_bits(bits)) for bits in bits_list]
+        return index
 
     def rebuild_with_bits(self, n_bits: int) -> "CosineLshIndex":
         """Return a new index over the same vectors with ``n_bits`` bits.

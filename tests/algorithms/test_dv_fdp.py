@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import time
+from math import comb
+
 import pytest
 
 from repro.algorithms import (
@@ -10,6 +13,7 @@ from repro.algorithms import (
     DvFdpFoldAlgorithm,
     ExactAlgorithm,
 )
+from repro.algorithms.dv_fdp import EXACT_POST_FILTER_CAP
 from repro.core.problem import table1_problem
 
 
@@ -22,6 +26,10 @@ class TestConstruction:
     def test_invalid_pool_multiplier(self):
         with pytest.raises(ValueError):
             DvFdpFilterAlgorithm(filter_pool_multiplier=0)
+
+    def test_invalid_post_filter_cap(self):
+        with pytest.raises(ValueError):
+            DvFdpFilterAlgorithm(post_filter_cap=0)
 
     def test_constraint_modes(self):
         assert DvFdpAlgorithm.constraint_mode == "none"
@@ -131,3 +139,67 @@ class TestConstraintHandling:
             problem, prepared_session.groups, prepared_session.functions
         )
         assert result.is_empty or result.feasible
+
+
+class TestBoundedPostFilter:
+    """Regression: the Fi post-filter must not enumerate C(pool, k) subsets."""
+
+    def test_large_k_completes_in_seconds(self, prepared_session):
+        """k=15 over the default pool of 45 used to mean C(45, 15) ~ 3e11
+        evaluations; the bounded search must finish in under two seconds."""
+        problem = table1_problem(
+            6, k=15, min_support=prepared_session.default_support()
+        )
+        algorithm = DvFdpFilterAlgorithm(filter_pool_multiplier=3)
+        started = time.perf_counter()
+        result = algorithm.solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0
+        assert result.is_empty or result.feasible
+        assert result.evaluations < comb(45, 15) // 10**6
+
+    def test_small_pools_keep_exhaustive_semantics(self, prepared_session):
+        """Below the cap the post-filter still enumerates every subset, so
+        results are unchanged from the pre-fix behaviour."""
+        assert comb(9, 3) <= EXACT_POST_FILTER_CAP  # default pool at k=3
+        problem = table1_problem(4, k=3, min_support=prepared_session.default_support())
+        bounded = DvFdpFilterAlgorithm().solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        exhaustive = DvFdpFilterAlgorithm(post_filter_cap=10**9).solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        assert bounded.objective_value == exhaustive.objective_value
+        assert bounded.descriptions() == exhaustive.descriptions()
+
+    def test_greedy_path_feasibility_no_worse(self, prepared_session):
+        """Forcing the greedy path (cap=1) must stay feasible wherever the
+        exhaustive search found a feasible subset, on every seed problem."""
+        for problem_id in (4, 5, 6):
+            problem = table1_problem(
+                problem_id, k=3, min_support=prepared_session.default_support()
+            )
+            exhaustive = DvFdpFilterAlgorithm().solve(
+                problem, prepared_session.groups, prepared_session.functions
+            )
+            greedy = DvFdpFilterAlgorithm(post_filter_cap=1).solve(
+                problem, prepared_session.groups, prepared_session.functions
+            )
+            if exhaustive.feasible:
+                assert greedy.feasible, f"problem {problem_id} lost feasibility"
+
+    def test_greedy_candidates_judged_exactly(self, prepared_session):
+        """A greedy-path result always satisfies the full problem semantics."""
+        problem = table1_problem(
+            5, k=4, min_support=prepared_session.default_support()
+        )
+        result = DvFdpFilterAlgorithm(post_filter_cap=1).solve(
+            problem, prepared_session.groups, prepared_session.functions
+        )
+        if not result.is_empty:
+            assert result.feasible
+            for constraint in problem.constraints:
+                key = f"{constraint.dimension.value}.{constraint.criterion.value}"
+                assert result.constraint_scores[key] >= constraint.threshold - 1e-9

@@ -178,3 +178,144 @@ class TestBatchAndSolve:
         incremental.add_action(**action_for(incremental.dataset, tags=("zz-drift",) * 1))
         incremental.refresh_topic_model()
         assert all(group.has_signature() for group in incremental.groups)
+
+
+class TestRefreshBackendSelection:
+    def test_refresh_keeps_configured_backend(self):
+        session = IncrementalTagDM(
+            small_dataset(),
+            enumeration=GroupEnumerationConfig(min_support=5),
+            signature_backend="tfidf",
+        ).prepare()
+        session.refresh_topic_model()
+        assert session.session.signature_backend == "tfidf"
+        assert session.session.signature_builder.topic_model.name == "tfidf"
+
+    def test_refresh_ignores_misleading_model_name(self):
+        """Regression: the backend is taken from the recorded configuration,
+        not inferred from the live model object -- a model reporting the
+        base-class default name must not swap (or crash) the refit."""
+        session = IncrementalTagDM(
+            small_dataset(),
+            enumeration=GroupEnumerationConfig(min_support=5),
+            signature_backend="tfidf",
+        ).prepare()
+        # Shadow the class attribute with the base-class default name.
+        session.session.signature_builder.topic_model.name = "topic-model"
+        session.refresh_topic_model()
+        assert session.session.signature_builder.topic_model.name == "tfidf"
+
+
+class TestMaxGroupsCap:
+    def make_capped(self):
+        dataset = generate_movielens_style(n_users=20, n_items=40, n_actions=300, seed=4)
+        session = IncrementalTagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=3, max_groups=10),
+            signature_backend="frequency",
+        ).prepare()
+        assert session.n_groups == 10
+        return session
+
+    def test_cap_keeps_pending_and_consistency_clean(self):
+        session = self.make_capped()
+        attributes = {
+            "gender": "female",
+            "age": "45-49",
+            "occupation": "astronaut-candidate",
+            "location": "WY",
+        }
+        item_attributes = {
+            "genre": "western",
+            "actor": "actor_unique",
+            "director": "director_unique",
+        }
+        pending_before = dict(session._pending)
+        for position in range(4):
+            report = session.add_action(
+                f"capped-user-{position}",
+                "capped-item",
+                ["frontier"],
+                user_attributes=attributes,
+                item_attributes=item_attributes,
+            )
+            assert report.groups_created == 0  # the cap blocks creation
+        assert session.n_groups == 10
+        # The blocked descriptions keep accumulating rows as pending...
+        new_pending = {
+            description: rows
+            for description, rows in session._pending.items()
+            if description not in pending_before
+        }
+        assert any(len(rows) >= 3 for rows in new_pending.values())
+        # ...and the maintained state still matches a from-scratch
+        # enumeration (consistency_errors tolerates the cap).
+        assert session.consistency_errors() == []
+
+
+class TestStoreMirroring:
+    def test_inserts_reach_the_store(self, tmp_path):
+        from repro.dataset.loaders import dataset_to_records
+        from repro.dataset.sqlite_store import SqliteTaggingStore
+
+        dataset = small_dataset()
+        store = SqliteTaggingStore.from_dataset(dataset, tmp_path / "mirror.sqlite")
+        session = IncrementalTagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=5),
+            signature_backend="frequency",
+            store=store,
+        ).prepare()
+        before = store.counts()["actions"]
+        session.add_action(**action_for(dataset))
+        session.add_action(
+            "mirror-user",
+            "mirror-item",
+            ["durable"],
+            user_attributes={"gender": "female"},
+            item_attributes={"genre": "drama"},
+        )
+        assert store.counts()["actions"] == before + 2
+        assert store.has_user("mirror-user")
+        assert store.has_item("mirror-item")
+        # The store tracks the in-memory dataset exactly (including the
+        # "unknown" defaults filled in for missing attributes).
+        assert dataset_to_records(store.to_dataset()) == dataset_to_records(dataset)
+        store.close()
+
+    def test_store_failure_leaves_session_consistent(self, tmp_path):
+        """A failing store write must not leave the in-memory dataset with
+        a row that reached no group (mirroring runs before the append)."""
+        from repro.dataset.sqlite_store import SqliteTaggingStore
+
+        dataset = small_dataset()
+        store = SqliteTaggingStore.from_dataset(dataset, tmp_path / "fail.sqlite")
+        session = IncrementalTagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=5),
+            signature_backend="frequency",
+            store=store,
+        ).prepare()
+        actions_before = dataset.n_actions
+        store.close()  # simulate the store becoming unavailable
+        with pytest.raises(RuntimeError):
+            session.add_action(**action_for(dataset))
+        assert dataset.n_actions == actions_before
+        assert session.consistency_errors() == []
+
+    def test_snapshot_after_inserts_round_trips(self, tmp_path):
+        from repro.core.persistence import load_session
+
+        dataset = small_dataset()
+        session = IncrementalTagDM(
+            dataset,
+            enumeration=GroupEnumerationConfig(min_support=5),
+            signature_backend="frequency",
+        ).prepare()
+        session.add_action(**action_for(dataset))
+        session.snapshot(tmp_path / "inc.snapshot")
+        warm = load_session(tmp_path / "inc.snapshot", dataset)
+        assert warm.n_groups == session.n_groups
+        import numpy as np
+
+        assert np.array_equal(warm.signatures, session.session.signatures)

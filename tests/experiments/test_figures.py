@@ -175,7 +175,14 @@ class TestScalingFigures:
         fig8 = figure_8_scaling_quality(config, rows=scaling_rows)
         assert len(fig7.rows) == len(scaling_rows)
         assert {"tuples", "time_s"} <= set(fig7.rows[0])
-        assert {"tuples", "quality"} <= set(fig8.rows[0])
+        assert {"tuples", "quality", "null_result"} <= set(fig8.rows[0])
+
+    def test_scaling_rows_carry_null_result(self, scaling_rows):
+        """as_row emits null_result so quality tables can tell a null
+        result apart from a feasible-but-small one."""
+        for row in scaling_rows:
+            assert "null_result" in row
+            assert row["null_result"] == (row["k"] == 0)
 
     def test_exact_time_grows_with_tuples(self, scaling_rows):
         exact_problem1 = sorted(

@@ -61,6 +61,17 @@ class TestRunAlgorithm:
         assert row["problem"] == "problem-6"
         assert "time_s" in row and "quality" in row
 
+    def test_as_row_emits_null_result(self, config, environment):
+        """Figure tables must distinguish null results from small-but-
+        feasible ones; as_row used to drop the flag."""
+        dataset, session = environment
+        problem = build_problem(6, dataset, config)
+        run = run_algorithm(session, problem, "dv-fdp-fo", config, problem_id=6)
+        row = run.as_row()
+        assert "null_result" in row
+        assert row["null_result"] == run.null_result
+        assert row["null_result"] == (run.k_returned == 0)
+
     def test_lsh_options_forwarded(self, config, environment):
         dataset, session = environment
         problem = build_problem(1, dataset, config)

@@ -59,20 +59,48 @@ class TestPerfReportQuick:
             assert row["build_seconds"] > 0
             assert set(row["solve"]) == {"p1-sm-lsh-fo", "p6-dv-fdp-fo"}
 
+    def test_persistence_section(self, quick_report):
+        """Snapshot warm loads must be faster than cold prepares with exact
+        parity -- even in smoke mode, where the corpus is tiny."""
+        _perf_report, report = quick_report
+        persistence = report["persistence"]
+        assert persistence["parity"] is True
+        assert persistence["warm_load_seconds"] > 0
+        assert persistence["warm_speedup"] > 1.0
+
+
+def _import_perf_report():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import perf_report
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+    return perf_report
+
 
 def test_committed_bench_report_is_valid():
     """The committed BENCH_PR1.json must match the schema and its claims."""
     path = REPO_ROOT / "BENCH_PR1.json"
     assert path.exists(), "BENCH_PR1.json missing; run benchmarks/perf_report.py"
     report = json.loads(path.read_text(encoding="utf-8"))
-    sys.path.insert(0, str(BENCHMARKS))
-    try:
-        import perf_report
-    finally:
-        sys.path.remove(str(BENCHMARKS))
+    perf_report = _import_perf_report()
     perf_report.validate_report(report)
     assert report["mode"] == "full"
     greedy = report["kernels"]["greedy_max_avg_dispersion"]
     assert greedy["n"] == 2000 and greedy["k"] == 20
     assert greedy["speedup"] >= 5.0
     assert report["kernels"]["lsh_rebuild_with_bits"]["speedup"] >= 3.0
+
+
+def test_committed_pr2_bench_report_is_valid():
+    """The committed BENCH_PR2.json must back the persistence claims:
+    warm-load at least 5x faster than cold prepare, with exact parity."""
+    path = REPO_ROOT / "BENCH_PR2.json"
+    assert path.exists(), "BENCH_PR2.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    persistence = report["persistence"]
+    assert persistence["parity"] is True
+    assert persistence["warm_speedup"] >= 5.0
