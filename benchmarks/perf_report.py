@@ -1,24 +1,26 @@
-"""Performance report: vectorized kernels (PR 1) + persistence (PR 2).
+"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3).
 
 Times the vectorized kernels against the retained naive seed
 implementations (:mod:`repro.geometry.reference`), measures the
-end-to-end build/solve phases at the Figure 7 scaling bins, and times
-the persistence subsystem (SQLite ingest/load, cold session prepare vs
-warm snapshot load), then writes a JSON report so future PRs have a
-perf trajectory to beat.
+end-to-end build/solve phases at the Figure 7 scaling bins, times the
+persistence subsystem (SQLite ingest/load, cold session prepare vs
+warm snapshot load), and measures sustained interleaved insert+query
+throughput on a warm serving shard, then writes a JSON report so future
+PRs have a perf trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR3.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 2; v1 reports, which lack the
-``persistence`` section, still validate)::
+Report schema (``schema_version`` 3; v1 reports lack the ``persistence``
+and ``serving`` sections, v2 reports lack ``serving`` -- both still
+validate)::
 
     {
-      "schema_version": 2,
-      "pr": "PR2",
+      "schema_version": 3,
+      "pr": "PR3",
       "mode": "full" | "quick",
       "kernels": {
         "<kernel>": {"naive_seconds": float, "vectorized_seconds": float,
@@ -33,6 +35,12 @@ Report schema (``schema_version`` 2; v1 reports, which lack the
         "sqlite_ingest_seconds": float, "sqlite_load_seconds": float,
         "cold_prepare_seconds": float, "warm_load_seconds": float,
         "warm_speedup": float, "parity": bool
+      },
+      "serving": {
+        "tuples": int, "groups": int, "inserts": int, "solves": int,
+        "client_threads": int, "wall_seconds": float,
+        "inserts_per_second": float, "solves_per_second": float,
+        "snapshot_rotations": int, "parity": bool
       }
     }
 """
@@ -67,7 +75,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -240,6 +248,127 @@ def bench_persistence(quick: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Serving: sustained interleaved insert+query throughput on a warm shard
+# ----------------------------------------------------------------------
+def bench_serving(quick: bool) -> Dict:
+    import tempfile
+    import threading
+    import time as time_module
+    from pathlib import Path as PathType
+
+    from repro.core.enumeration import GroupEnumerationConfig
+    from repro.core.incremental import IncrementalTagDM
+    from repro.core.problem import table1_problem
+    from repro.dataset.synthetic import generate_movielens_style
+    from repro.serving import SnapshotRotationPolicy, TagDMServer
+
+    if quick:
+        n_actions, n_inserts, n_solves = 600, 80, 8
+    else:
+        n_actions, n_inserts, n_solves = 2000, 500, 50
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+    dataset = generate_movielens_style(
+        n_users=60, n_items=120, n_actions=n_actions, seed=42
+    )
+    initial_actions = dataset.n_actions
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = TagDMServer(
+            PathType(tmp),
+            policy=SnapshotRotationPolicy(every_inserts=max(25, n_inserts // 8)),
+            enumeration=enumeration,
+            seed=42,
+        )
+        shard = server.add_corpus("bench", dataset)
+        problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+
+        n_writers = 2
+        per_writer = n_inserts // n_writers
+        errors: List[BaseException] = []
+        barrier = threading.Barrier(n_writers + 2)
+
+        def inserter(label: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_writer):
+                    row = (label * per_writer + i) % initial_actions
+                    server.insert(
+                        "bench",
+                        dataset.user_of(row),
+                        dataset.item_of(row),
+                        [f"bench-{label}-{i}"],
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def solver() -> None:
+            try:
+                barrier.wait()
+                for _ in range(n_solves // 2):
+                    server.solve("bench", problem, algorithm="sm-lsh-fo")
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=inserter, args=(label,))
+            for label in range(n_writers)
+        ]
+        threads.extend(threading.Thread(target=solver) for _ in range(2))
+        started = time_module.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shard.flush()
+        wall = time_module.perf_counter() - started
+        if errors:
+            raise RuntimeError(f"serving bench raised: {errors[0]!r}")
+        # Capture the counters before the parity check below adds an
+        # out-of-band solve that was not part of the timed window.
+        stats = server.stats()["bench"]
+
+        # Parity: replay the committed insert order into a cold
+        # single-threaded session over a regenerated initial corpus.
+        cold = IncrementalTagDM(
+            generate_movielens_style(
+                n_users=60, n_items=120, n_actions=n_actions, seed=42
+            ),
+            enumeration=enumeration,
+            seed=42,
+        ).prepare()
+        served = shard.session.dataset
+        for row in range(initial_actions, served.n_actions):
+            cold.add_action(
+                served.user_of(row),
+                served.item_of(row),
+                served.tags_of(row),
+                served.rating_of(row),
+            )
+        warm_result = server.solve("bench", problem, algorithm="sm-lsh-fo")
+        cold_result = cold.solve(problem, algorithm="sm-lsh-fo")
+        parity = bool(
+            served.n_actions == initial_actions + n_inserts
+            and warm_result.objective_value == cold_result.objective_value
+            and warm_result.descriptions() == cold_result.descriptions()
+        )
+        server.close()
+
+    solves_done = stats["solves_served"]
+    return {
+        "tuples": initial_actions,
+        "groups": stats["groups"],
+        "inserts": n_inserts,
+        "solves": solves_done,
+        "client_threads": n_writers + 2,
+        "wall_seconds": wall,
+        "inserts_per_second": n_inserts / wall if wall > 0 else float("inf"),
+        "solves_per_second": solves_done / wall if wall > 0 else float("inf"),
+        "snapshot_rotations": stats["snapshot_rotations"],
+        "parity": parity,
+    }
+
+
+# ----------------------------------------------------------------------
 # End-to-end scaling sweep (Figure 7 bins)
 # ----------------------------------------------------------------------
 def bench_scaling(quick: bool) -> List[Dict]:
@@ -313,21 +442,23 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR2",
+        "pr": "PR3",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
         "persistence": bench_persistence(quick),
+        "serving": bench_serving(quick),
     }
 
 
 def validate_report(report: Dict) -> None:
     """Assert the report matches the documented schema (used by tests).
 
-    Accepts both v1 reports (no ``persistence`` section; the committed
-    ``BENCH_PR1.json``) and current v2 reports.
+    Accepts v1 reports (no ``persistence``/``serving`` section; the
+    committed ``BENCH_PR1.json``), v2 reports (no ``serving``; the
+    committed ``BENCH_PR2.json``) and current v3 reports.
     """
-    assert report["schema_version"] in (1, SCHEMA_VERSION)
+    assert report["schema_version"] in (1, 2, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -355,6 +486,24 @@ def validate_report(report: Dict) -> None:
             assert field in persistence, f"persistence missing {field}"
         assert persistence["parity"] is True, "persistence round-trip lost parity"
         assert persistence["warm_speedup"] > 0
+    if report["schema_version"] >= 3:
+        serving = report["serving"]
+        for field in (
+            "tuples",
+            "groups",
+            "inserts",
+            "solves",
+            "client_threads",
+            "wall_seconds",
+            "inserts_per_second",
+            "solves_per_second",
+            "snapshot_rotations",
+            "parity",
+        ):
+            assert field in serving, f"serving missing {field}"
+        assert serving["parity"] is True, "serving lost parity with cold replay"
+        assert serving["inserts_per_second"] > 0
+        assert serving["client_threads"] >= 2
 
 
 def main(argv=None) -> int:
@@ -365,8 +514,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR2.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR2.json)",
+        default=REPO_ROOT / "BENCH_PR3.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR3.json)",
     )
     args = parser.parse_args(argv)
 
@@ -393,6 +542,15 @@ def main(argv=None) -> int:
         f"({persistence['warm_speedup']:.1f}x, parity={persistence['parity']}); "
         f"sqlite ingest={persistence['sqlite_ingest_seconds'] * 1e3:.1f} ms "
         f"load={persistence['sqlite_load_seconds'] * 1e3:.1f} ms"
+    )
+    serving = report["serving"]
+    print(
+        f"serving: {serving['inserts']} inserts + {serving['solves']} solves "
+        f"from {serving['client_threads']} client threads in "
+        f"{serving['wall_seconds']:.2f}s "
+        f"({serving['inserts_per_second']:.0f} ins/s, "
+        f"{serving['solves_per_second']:.1f} sol/s, "
+        f"{serving['snapshot_rotations']} rotations, parity={serving['parity']})"
     )
     print(f"wrote {args.output}")
     return 0

@@ -1,0 +1,151 @@
+"""Run a long-lived TagDM serving shard under mixed insert/query traffic.
+
+Starts a :class:`~repro.serving.server.TagDMServer` over a scratch
+directory, registers one corpus shard, and drives it the way a
+production deployment would: insert clients and query clients on
+separate threads, snapshot rotation in the background, then a clean
+shutdown followed by a warm restart that proves the final snapshot is
+immediately servable.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_corpus.py            # demo traffic
+    PYTHONPATH=src python examples/serve_corpus.py --smoke    # CI smoke: 100 inserts + 10 solves
+
+The smoke mode is the CI gate: it must finish in seconds, raise nothing
+across threads, and exit 0 only when every insert landed in both the
+session and the SQLite store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import (  # noqa: E402
+    SnapshotRotationPolicy,
+    TagDMServer,
+    generate_movielens_style,
+    table1_problem,
+)
+
+
+def drive(server: TagDMServer, corpus: str, n_inserts: int, n_solves: int) -> list:
+    """Interleave inserts and solves from separate client threads."""
+    dataset = server.shard(corpus).session.dataset
+    # Index only into the pre-existing rows: the writer thread appends to
+    # this dataset concurrently, so n_actions is a moving target.
+    initial_actions = dataset.n_actions
+    problem = table1_problem(
+        1, k=3, min_support=server.shard(corpus).session.default_support()
+    )
+    errors: list = []
+    n_writers = 2
+    per_writer = n_inserts // n_writers
+    barrier = threading.Barrier(n_writers + 1)
+
+    def inserter(label: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(per_writer):
+                row = (label * per_writer + i) % initial_actions
+                server.insert(
+                    corpus,
+                    dataset.user_of(row),
+                    dataset.item_of(row),
+                    [f"served-{label}-{i}"],
+                )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def solver() -> None:
+        try:
+            barrier.wait()
+            for _ in range(n_solves):
+                server.solve(corpus, problem, algorithm="sm-lsh-fo")
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=inserter, args=(label,)) for label in range(n_writers)]
+    threads.append(threading.Thread(target=solver))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    server.shard(corpus).flush()
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: 100 inserts + 10 solves, strict exit code",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, help="server root (default: temp dir)"
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root or Path(tempfile.mkdtemp(prefix="tagdm-serve-"))
+    n_inserts, n_solves = (100, 10) if args.smoke else (400, 40)
+    dataset = generate_movielens_style(n_users=60, n_items=120, n_actions=800, seed=7)
+    initial_actions = dataset.n_actions
+
+    server = TagDMServer(
+        root, policy=SnapshotRotationPolicy(every_inserts=25, keep_last=3), seed=7
+    )
+    shard = server.add_corpus("movies", dataset)
+    print(f"serving 'movies' from {root} ({shard.session.n_groups} groups warm)")
+
+    started = time.perf_counter()
+    errors = drive(server, "movies", n_inserts, n_solves)
+    elapsed = time.perf_counter() - started
+
+    stats = server.stats()["movies"]
+    store_actions = server._stores["movies"].counts()["actions"]
+    print(
+        f"{stats['inserts_served']} inserts + {stats['solves_served']} solves "
+        f"in {elapsed:.2f}s ({stats['snapshot_rotations']} snapshot rotations)"
+    )
+    print(f"session actions: {stats['actions']}, store actions: {store_actions}")
+    server.close()
+
+    ok = (
+        not errors
+        and stats["inserts_served"] == n_inserts
+        and stats["actions"] == initial_actions + n_inserts
+        and store_actions == initial_actions + n_inserts
+    )
+    if errors:
+        for error in errors:
+            print(f"ERROR: {type(error).__name__}: {error}")
+
+    # Warm restart: the final snapshot must be immediately servable.
+    resumed = TagDMServer(root, seed=7)
+    warm = resumed.open_corpus("movies")
+    problem = table1_problem(1, k=3, min_support=warm.session.default_support())
+    result = resumed.solve("movies", problem, algorithm="sm-lsh-fo")
+    print(
+        f"warm restart: {warm.session.dataset.n_actions} actions, "
+        f"{warm.session.n_groups} groups, solve objective {result.objective_value:.4f}"
+    )
+    ok = ok and warm.session.dataset.n_actions == initial_actions + n_inserts
+    resumed.close()
+
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

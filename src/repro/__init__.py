@@ -50,6 +50,7 @@ from repro.dataset import (
     save_sqlite,
 )
 from repro.algorithms import available_algorithms, build_algorithm, recommend_algorithm
+from repro.serving import SnapshotRotationPolicy, TagDMServer
 from repro.text import build_tag_cloud, render_tag_cloud
 
 __version__ = "1.0.0"
@@ -86,6 +87,9 @@ __all__ = [
     # persistence
     "save_session",
     "load_session",
+    # serving
+    "TagDMServer",
+    "SnapshotRotationPolicy",
     # algorithms
     "available_algorithms",
     "build_algorithm",

@@ -33,7 +33,7 @@ session for a warm restart at any point.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.enumeration import GroupEnumerationConfig
 from repro.core.framework import TagDM
@@ -92,36 +92,93 @@ class IncrementalTagDM:
         Optional durable :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`;
         when given, every registered user/item and inserted action is
         mirrored into it so the database tracks the in-memory dataset.
+    session:
+        An existing :class:`TagDM` session to wrap instead of building
+        one (the :meth:`from_session` path for warm starts).  Mutually
+        exclusive with ``dataset`` and the session-configuration
+        parameters above -- a wrapped session carries its own.
     """
 
     def __init__(
         self,
-        dataset: TaggingDataset,
+        dataset: Optional[TaggingDataset] = None,
         enumeration: Optional[GroupEnumerationConfig] = None,
-        signature_backend: str = "frequency",
-        signature_dimensions: int = 25,
-        seed: int = 0,
+        signature_backend: Optional[str] = None,
+        signature_dimensions: Optional[int] = None,
+        seed: Optional[int] = None,
         store=None,
+        session: Optional[TagDM] = None,
     ) -> None:
-        self.session = TagDM(
-            dataset,
-            enumeration=enumeration,
-            signature_backend=signature_backend,
-            signature_dimensions=signature_dimensions,
-            seed=seed,
-        )
+        if session is not None:
+            if dataset is not None and dataset is not session.dataset:
+                raise ValueError(
+                    "pass either a dataset or an existing session, not both"
+                )
+            conflicting = [
+                name
+                for name, value in (
+                    ("enumeration", enumeration),
+                    ("signature_backend", signature_backend),
+                    ("signature_dimensions", signature_dimensions),
+                    ("seed", seed),
+                )
+                if value is not None
+            ]
+            if conflicting:
+                raise ValueError(
+                    "an existing session carries its own configuration; "
+                    f"drop {', '.join(conflicting)}"
+                )
+            self.session = session
+        else:
+            if dataset is None:
+                raise ValueError("a dataset (or an existing session) is required")
+            self.session = TagDM(
+                dataset,
+                enumeration=enumeration,
+                signature_backend=(
+                    "frequency" if signature_backend is None else signature_backend
+                ),
+                signature_dimensions=(
+                    25 if signature_dimensions is None else signature_dimensions
+                ),
+                seed=0 if seed is None else seed,
+            )
         self.store = store
         # Tuples that match a description which has not reached minimum
         # support yet, keyed by that description.
         self._pending: Dict[GroupDescription, List[int]] = {}
         self._group_index: Dict[GroupDescription, int] = {}
+        # Called with the merged IncrementalUpdateReport after every
+        # committed insert call (single or batch).  The serving layer uses
+        # this to drive its snapshot-rotation policy without wrapping the
+        # insert API.
+        self._mutation_listeners: List[Callable[[IncrementalUpdateReport], None]] = []
+
+    @classmethod
+    def from_session(cls, session: TagDM, store=None) -> "IncrementalTagDM":
+        """Wrap an existing (typically warm-started) :class:`TagDM` session.
+
+        The serving layer restores a session with
+        :func:`repro.core.persistence.load_session` and keeps absorbing
+        inserts through the wrapper; call :meth:`prepare` afterwards --
+        an already-prepared session is not re-enumerated, only indexed.
+        """
+        return cls(session=session, store=store)
 
     # ------------------------------------------------------------------
     # Preparation and delegation
     # ------------------------------------------------------------------
     def prepare(self) -> "IncrementalTagDM":
-        """Prepare the wrapped session and index its groups."""
-        self.session.prepare()
+        """Prepare the wrapped session (if needed) and index its groups.
+
+        A session that is already prepared -- warm-started from a
+        snapshot, or wrapped via :meth:`from_session` -- keeps its groups
+        as-is; only the group index and the sub-threshold pending map are
+        (re)built.
+        """
+        if not self.session.is_prepared:
+            self.session.prepare()
         self._group_index = {
             group.description: position
             for position, group in enumerate(self.session.groups)
@@ -240,19 +297,47 @@ class IncrementalTagDM:
     # ------------------------------------------------------------------
     # Public insert API
     # ------------------------------------------------------------------
-    def add_action(
+    def add_mutation_listener(
+        self, listener: Callable[[IncrementalUpdateReport], None]
+    ) -> None:
+        """Register a callback fired after every committed insert call.
+
+        The listener receives the merged :class:`IncrementalUpdateReport`
+        of the call (one action for :meth:`add_action`, the whole batch
+        for :meth:`add_actions`).  Listeners run on the inserting thread,
+        after caches have been invalidated.
+        """
+        self._mutation_listeners.append(listener)
+
+    def _notify_mutation(self, report: IncrementalUpdateReport) -> None:
+        if report.actions_added:
+            for listener in self._mutation_listeners:
+                listener(report)
+
+    def _invalidate_derived_state(self) -> None:
+        """Drop every cache a changed signature poisons.
+
+        Signatures changed, so cached pairwise matrices / LSH indexes
+        (and the stacked signature matrix) are stale.  Called once per
+        public insert call -- a 1k-action batch must not rebuild the
+        caches 1k times.
+        """
+        self.session.invalidate_caches()
+        self.session._signatures = None
+
+    def _insert_one(
         self,
         user_id: str,
         item_id: str,
         tags: Iterable[str],
-        rating: Optional[float] = None,
-        user_attributes: Optional[Mapping[str, str]] = None,
-        item_attributes: Optional[Mapping[str, str]] = None,
+        rating: Optional[float],
+        user_attributes: Optional[Mapping[str, str]],
+        item_attributes: Optional[Mapping[str, str]],
     ) -> IncrementalUpdateReport:
-        """Insert one tagging action and update the affected groups.
+        """Apply one insert to the store, dataset and groups.
 
-        Unknown users/items must bring their attributes along on first
-        sight (subsequent actions may omit them).
+        Does *not* invalidate session caches -- the public wrappers do
+        that exactly once per call.
         """
         if not self.session.is_prepared:
             raise RuntimeError("call prepare() before inserting tagging actions")
@@ -307,26 +392,58 @@ class IncrementalTagDM:
         for description in self._descriptions_for_row(row):
             self._touch_group(description, row, report)
 
-        # Signatures changed, so cached pairwise matrices / LSH indexes
-        # (and the stacked signature matrix) are stale.
-        self.session.invalidate_caches()
-        self.session._signatures = None
         report.pending_descriptions = len(self._pending)
         return report
 
+    def add_action(
+        self,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+        user_attributes: Optional[Mapping[str, str]] = None,
+        item_attributes: Optional[Mapping[str, str]] = None,
+    ) -> IncrementalUpdateReport:
+        """Insert one tagging action and update the affected groups.
+
+        Unknown users/items must bring their attributes along on first
+        sight (subsequent actions may omit them).
+        """
+        report = self._insert_one(
+            user_id, item_id, tags, rating, user_attributes, item_attributes
+        )
+        self._invalidate_derived_state()
+        self._notify_mutation(report)
+        return report
+
     def add_actions(self, actions: Iterable[Mapping[str, object]]) -> IncrementalUpdateReport:
-        """Insert a batch of action dicts (same keys as :meth:`add_action`)."""
+        """Insert a batch of action dicts (same keys as :meth:`add_action`).
+
+        The whole batch shares a single cache invalidation: groups are
+        maintained per action, but the pairwise-matrix / LSH / stacked
+        signature caches are dropped once at the end instead of once per
+        action (which made a 1k-action batch rebuild them 1k times).  If
+        an action in the middle of the batch raises, the actions already
+        applied stay applied and the caches are still invalidated before
+        the exception propagates, so the session never serves stale
+        results.
+        """
         total = IncrementalUpdateReport()
-        for action in actions:
-            report = self.add_action(
-                user_id=action["user_id"],
-                item_id=action["item_id"],
-                tags=action.get("tags", ()),
-                rating=action.get("rating"),
-                user_attributes=action.get("user_attributes"),
-                item_attributes=action.get("item_attributes"),
-            )
-            total.merge(report)
+        try:
+            for action in actions:
+                report = self._insert_one(
+                    action["user_id"],
+                    action["item_id"],
+                    action.get("tags", ()),
+                    action.get("rating"),
+                    action.get("user_attributes"),
+                    action.get("item_attributes"),
+                )
+                total.merge(report)
+        finally:
+            if total.actions_added:
+                self._invalidate_derived_state()
+                self._notify_mutation(total)
         return total
 
     # ------------------------------------------------------------------
@@ -354,8 +471,7 @@ class IncrementalTagDM:
         )
         builder.build(self.session.groups)
         self.session.signature_builder = builder
-        self.session.invalidate_caches()
-        self.session._signatures = None
+        self._invalidate_derived_state()
 
     def snapshot(self, path) -> "IncrementalTagDM":
         """Persist the maintained session to ``path`` for a warm restart.

@@ -29,7 +29,9 @@ database file.
 
 from __future__ import annotations
 
+import os
 import pickle
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -44,22 +46,58 @@ from repro.dataset.store import TaggingDataset
 
 __all__ = [
     "SNAPSHOT_VERSION",
+    "CHECKSUM_SAMPLE_SIZE",
     "dataset_fingerprint",
     "save_session",
     "load_session",
 ]
 
 #: Bump when the snapshot dict layout changes; checked on load.
-SNAPSHOT_VERSION = 1
+#: v2 added ``action_checksum`` to the dataset fingerprint.
+SNAPSHOT_VERSION = 2
+
+#: Upper bound on the number of action rows the fingerprint checksum
+#: touches, keeping :func:`dataset_fingerprint` O(1)-ish at any corpus
+#: size.
+CHECKSUM_SAMPLE_SIZE = 64
+
+
+def _action_checksum(dataset: TaggingDataset) -> int:
+    """Order-insensitive CRC over a bounded sample of action keys.
+
+    Samples up to :data:`CHECKSUM_SAMPLE_SIZE` rows spread evenly across
+    the corpus (always including the first and last row) and XOR-combines
+    the CRC32 of each row's ``user\\x1fitem\\x1ftags`` key.  XOR makes the
+    digest independent of the order the sampled keys are visited in, and
+    CRC32 (unlike builtin ``hash``) is stable across processes, so a
+    snapshot written by one process checks out in another.
+    """
+    n = dataset.n_actions
+    if n == 0:
+        return 0
+    if n <= CHECKSUM_SAMPLE_SIZE:
+        rows: List[int] = list(range(n))
+    else:
+        step = n / CHECKSUM_SAMPLE_SIZE
+        rows = sorted({int(i * step) for i in range(CHECKSUM_SAMPLE_SIZE)} | {n - 1})
+    digest = 0
+    for row in rows:
+        key = "\x1f".join(
+            (dataset.user_of(row), dataset.item_of(row), ",".join(dataset.tags_of(row)))
+        )
+        digest ^= zlib.crc32(key.encode("utf-8"))
+    return digest
 
 
 def dataset_fingerprint(dataset: TaggingDataset) -> Dict[str, object]:
     """A cheap identity check tying a snapshot to its corpus.
 
-    Deliberately not a content hash: fingerprinting must stay O(1)-ish so
-    warm loads do not re-read the whole dataset.  Collisions require a
-    same-name, same-shape corpus, at which point the caller is already
-    holding the wrong database file.
+    Deliberately not a full content hash: fingerprinting must stay
+    O(1)-ish so warm loads do not re-read the whole dataset.  On top of
+    the name/shape/schema identity, ``action_checksum`` folds in a
+    bounded sample of actual action content, so a *different* corpus
+    that happens to have identical user/item/action counts (the false
+    accept the count-only fingerprint allowed) is rejected too.
     """
     return {
         "name": dataset.name,
@@ -68,6 +106,7 @@ def dataset_fingerprint(dataset: TaggingDataset) -> Dict[str, object]:
         "n_items": dataset.n_items,
         "user_schema": list(dataset.user_schema),
         "item_schema": list(dataset.item_schema),
+        "action_checksum": _action_checksum(dataset),
     }
 
 
@@ -106,7 +145,13 @@ def _rebuild_groups(
 
 
 def save_session(session: TagDM, path: Union[str, Path]) -> Path:
-    """Snapshot a prepared session to ``path``.
+    """Snapshot a prepared session to ``path`` (atomically).
+
+    The snapshot is written to a sibling temporary file and renamed into
+    place with :func:`os.replace`, so a crash mid-write leaves either the
+    previous snapshot or the new one at ``path`` -- never a torn file.
+    The snapshot-rotation policy of the serving layer
+    (:mod:`repro.serving.policy`) relies on this.
 
     Raises ``NotFittedError`` (via the session) when :meth:`TagDM.prepare`
     has not run -- there is nothing worth snapshotting before that.
@@ -134,8 +179,16 @@ def save_session(session: TagDM, path: Union[str, Path]) -> Path:
         "lsh": lsh_payload,
     }
     path = Path(path)
-    with path.open("wb") as handle:
-        pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    staging = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with staging.open("wb") as handle:
+            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+    except BaseException:
+        staging.unlink(missing_ok=True)
+        raise
     return path
 
 

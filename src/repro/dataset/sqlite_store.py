@@ -16,12 +16,24 @@ the ingest path, ``foreign_keys=ON`` so dangling actions/tags are
 impossible, ``synchronous=NORMAL`` to amortise fsyncs, and a generous
 busy timeout for concurrent openers.  The full schema is documented in
 ``PERSISTENCE.md``.
+
+Thread model: the store is safe to share across threads.  The connection
+is opened with ``check_same_thread=False`` (the underlying SQLite build
+runs in serialized mode) and every multi-statement transaction plus
+every point read runs under an internal reentrant lock, so a serving
+process can insert from worker threads while other threads read --
+without tripping sqlite3's same-thread guard and without interleaving
+partial transactions.  Streaming iterators (:meth:`iter_actions` and
+friends) hold the lock for their whole walk: they see a stable snapshot
+and concurrent writers simply wait, which is the behaviour the serving
+layer's single-writer queue expects.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -92,20 +104,28 @@ class SqliteTaggingStore:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = str(path)
-        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(self.path)
+        # One lock serialises all transactions; check_same_thread=False
+        # lets the serving layer's worker threads share the connection
+        # (sqlite3 would otherwise raise ProgrammingError the moment a
+        # thread other than the opener touches it).
+        self._lock = threading.RLock()
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+            self.path, check_same_thread=False
+        )
         self._connection.row_factory = sqlite3.Row
-        for pragma, value in _PRAGMAS:
-            self._connection.execute(f"PRAGMA {pragma}={value}")
-        self._connection.executescript(_SCHEMA)
-        stored = self._meta("schema_version")
-        if stored is None:
-            self._set_meta("schema_version", str(SCHEMA_VERSION))
-        elif int(stored) != SCHEMA_VERSION:
-            raise ValueError(
-                f"{self.path} uses store schema v{stored}, "
-                f"this library expects v{SCHEMA_VERSION}"
-            )
-        self._connection.commit()
+        with self._lock:
+            for pragma, value in _PRAGMAS:
+                self._connection.execute(f"PRAGMA {pragma}={value}")
+            self._connection.executescript(_SCHEMA)
+            stored = self._meta("schema_version")
+            if stored is None:
+                self._set_meta("schema_version", str(SCHEMA_VERSION))
+            elif int(stored) != SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path} uses store schema v{stored}, "
+                    f"this library expects v{SCHEMA_VERSION}"
+                )
+            self._connection.commit()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -141,9 +161,10 @@ class SqliteTaggingStore:
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     def __enter__(self) -> "SqliteTaggingStore":
         return self
@@ -155,15 +176,17 @@ class SqliteTaggingStore:
     # Metadata
     # ------------------------------------------------------------------
     def _meta(self, key: str) -> Optional[str]:
-        row = self.connection.execute(
-            "SELECT value FROM meta WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
         return None if row is None else row["value"]
 
     def _set_meta(self, key: str, value: str) -> None:
-        self.connection.execute(
-            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
-        )
+        with self._lock:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+            )
 
     def _ensure_schemas(
         self,
@@ -203,39 +226,44 @@ class SqliteTaggingStore:
 
     def pragma(self, name: str) -> object:
         """Return the current value of a connection pragma (for tests)."""
-        return self.connection.execute(f"PRAGMA {name}").fetchone()[0]
+        with self._lock:
+            return self.connection.execute(f"PRAGMA {name}").fetchone()[0]
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def register_user(self, user_id: str, attributes: Mapping[str, str]) -> None:
         """Insert or update a user registry row."""
-        self.connection.execute(
-            "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
-            (str(user_id), json.dumps(dict(attributes), sort_keys=True)),
-        )
-        self.connection.commit()
+        with self._lock:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
+                (str(user_id), json.dumps(dict(attributes), sort_keys=True)),
+            )
+            self.connection.commit()
 
     def register_item(self, item_id: str, attributes: Mapping[str, str]) -> None:
         """Insert or update an item registry row."""
-        self.connection.execute(
-            "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
-            (str(item_id), json.dumps(dict(attributes), sort_keys=True)),
-        )
-        self.connection.commit()
+        with self._lock:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
+                (str(item_id), json.dumps(dict(attributes), sort_keys=True)),
+            )
+            self.connection.commit()
 
     def has_user(self, user_id: str) -> bool:
         """Whether ``user_id`` exists in the user registry."""
-        row = self.connection.execute(
-            "SELECT 1 FROM users WHERE user_id = ?", (str(user_id),)
-        ).fetchone()
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT 1 FROM users WHERE user_id = ?", (str(user_id),)
+            ).fetchone()
         return row is not None
 
     def has_item(self, item_id: str) -> bool:
         """Whether ``item_id`` exists in the item registry."""
-        row = self.connection.execute(
-            "SELECT 1 FROM items WHERE item_id = ?", (str(item_id),)
-        ).fetchone()
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT 1 FROM items WHERE item_id = ?", (str(item_id),)
+            ).fetchone()
         return row is not None
 
     def _tag_id(self, cursor: sqlite3.Cursor, tag: str) -> int:
@@ -278,9 +306,10 @@ class SqliteTaggingStore:
         The user and item must already be registered (``foreign_keys=ON``
         enforces it at the database level as well).
         """
-        cursor = self.connection.cursor()
-        action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
-        self.connection.commit()
+        with self._lock:
+            cursor = self.connection.cursor()
+            action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
+            self.connection.commit()
         return action_id
 
     def append_action(
@@ -299,24 +328,25 @@ class SqliteTaggingStore:
         never leave a registered-but-actionless ghost, and the hot insert
         path pays one WAL commit instead of up to three.
         """
-        connection = self.connection
-        cursor = connection.cursor()
-        try:
-            if user_attributes is not None:
-                cursor.execute(
-                    "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
-                    (str(user_id), json.dumps(dict(user_attributes), sort_keys=True)),
-                )
-            if item_attributes is not None:
-                cursor.execute(
-                    "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
-                    (str(item_id), json.dumps(dict(item_attributes), sort_keys=True)),
-                )
-            action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
-            connection.commit()
-        except BaseException:
-            connection.rollback()
-            raise
+        with self._lock:
+            connection = self.connection
+            cursor = connection.cursor()
+            try:
+                if user_attributes is not None:
+                    cursor.execute(
+                        "INSERT OR REPLACE INTO users (user_id, attributes) VALUES (?, ?)",
+                        (str(user_id), json.dumps(dict(user_attributes), sort_keys=True)),
+                    )
+                if item_attributes is not None:
+                    cursor.execute(
+                        "INSERT OR REPLACE INTO items (item_id, attributes) VALUES (?, ?)",
+                        (str(item_id), json.dumps(dict(item_attributes), sort_keys=True)),
+                    )
+                action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
         return action_id
 
     def ingest(self, dataset: TaggingDataset) -> int:
@@ -328,6 +358,10 @@ class SqliteTaggingStore:
         the same file would otherwise silently duplicate every action
         (append individual rows with :meth:`add_action` instead).
         """
+        with self._lock:
+            return self._ingest_locked(dataset)
+
+    def _ingest_locked(self, dataset: TaggingDataset) -> int:
         connection = self.connection
         existing = int(
             connection.execute("SELECT COUNT(*) FROM actions").fetchone()[0]
@@ -402,25 +436,36 @@ class SqliteTaggingStore:
     def counts(self) -> Dict[str, int]:
         """Row counts per entity (``actions``, ``users``, ``items``, ``tags``)."""
         out: Dict[str, int] = {}
-        for table in ("actions", "users", "items", "tags"):
-            out[table] = int(
-                self.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
-            )
+        with self._lock:
+            for table in ("actions", "users", "items", "tags"):
+                out[table] = int(
+                    self.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                )
         return out
 
     def iter_users(self) -> Iterator[Tuple[str, Dict[str, str]]]:
-        """Stream ``(user_id, attributes)`` in primary-key order."""
-        for row in self.connection.execute(
-            "SELECT user_id, attributes FROM users ORDER BY rowid"
-        ):
-            yield row["user_id"], json.loads(row["attributes"])
+        """Stream ``(user_id, attributes)`` in primary-key order.
+
+        Holds the store lock for the whole walk (see the module docstring
+        for the thread model).
+        """
+        with self._lock:
+            for row in self.connection.execute(
+                "SELECT user_id, attributes FROM users ORDER BY rowid"
+            ):
+                yield row["user_id"], json.loads(row["attributes"])
 
     def iter_items(self) -> Iterator[Tuple[str, Dict[str, str]]]:
-        """Stream ``(item_id, attributes)`` in primary-key order."""
-        for row in self.connection.execute(
-            "SELECT item_id, attributes FROM items ORDER BY rowid"
-        ):
-            yield row["item_id"], json.loads(row["attributes"])
+        """Stream ``(item_id, attributes)`` in primary-key order.
+
+        Holds the store lock for the whole walk (see the module docstring
+        for the thread model).
+        """
+        with self._lock:
+            for row in self.connection.execute(
+                "SELECT item_id, attributes FROM items ORDER BY rowid"
+            ):
+                yield row["item_id"], json.loads(row["attributes"])
 
     def iter_actions(self) -> Iterator[Dict[str, object]]:
         """Stream action dicts in insertion order.
@@ -428,39 +473,41 @@ class SqliteTaggingStore:
         Each dict carries ``action_id``, ``user_id``, ``item_id``,
         ``tags`` (ordered tuple) and ``rating``.  Tags are fetched with a
         single ordered join and grouped on the fly, so the whole table is
-        never materialised in memory.
+        never materialised in memory.  Holds the store lock for the whole
+        walk, so writers wait and the walk sees a stable snapshot.
         """
-        tag_cursor = self.connection.execute(
-            "SELECT at.action_id AS action_id, t.tag AS tag "
-            "FROM action_tags AS at JOIN tags AS t ON t.tag_id = at.tag_id "
-            "ORDER BY at.action_id, at.position"
-        )
-        pending: Optional[sqlite3.Row] = None
+        with self._lock:
+            tag_cursor = self.connection.execute(
+                "SELECT at.action_id AS action_id, t.tag AS tag "
+                "FROM action_tags AS at JOIN tags AS t ON t.tag_id = at.tag_id "
+                "ORDER BY at.action_id, at.position"
+            )
+            pending: Optional[sqlite3.Row] = None
 
-        def tags_for(action_id: int) -> Tuple[str, ...]:
-            nonlocal pending
-            tags: List[str] = []
-            while True:
-                row = pending if pending is not None else tag_cursor.fetchone()
-                pending = None
-                if row is None:
-                    break
-                if row["action_id"] != action_id:
-                    pending = row
-                    break
-                tags.append(row["tag"])
-            return tuple(tags)
+            def tags_for(action_id: int) -> Tuple[str, ...]:
+                nonlocal pending
+                tags: List[str] = []
+                while True:
+                    row = pending if pending is not None else tag_cursor.fetchone()
+                    pending = None
+                    if row is None:
+                        break
+                    if row["action_id"] != action_id:
+                        pending = row
+                        break
+                    tags.append(row["tag"])
+                return tuple(tags)
 
-        for row in self.connection.execute(
-            "SELECT action_id, user_id, item_id, rating FROM actions ORDER BY action_id"
-        ):
-            yield {
-                "action_id": int(row["action_id"]),
-                "user_id": row["user_id"],
-                "item_id": row["item_id"],
-                "tags": tags_for(int(row["action_id"])),
-                "rating": None if row["rating"] is None else float(row["rating"]),
-            }
+            for row in self.connection.execute(
+                "SELECT action_id, user_id, item_id, rating FROM actions ORDER BY action_id"
+            ):
+                yield {
+                    "action_id": int(row["action_id"]),
+                    "user_id": row["user_id"],
+                    "item_id": row["item_id"],
+                    "tags": tags_for(int(row["action_id"])),
+                    "rating": None if row["rating"] is None else float(row["rating"]),
+                }
 
     def to_dataset(self, name: Optional[str] = None) -> TaggingDataset:
         """Materialise the store into an in-memory :class:`TaggingDataset`.

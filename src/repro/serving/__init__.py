@@ -1,0 +1,21 @@
+"""Long-lived serving loop over warm TagDM sessions.
+
+The serving subsystem turns the persistence substrate (SQLite dataset
+stores + warm-start session snapshots) into a process that can sit
+under mixed insert/query traffic: a :class:`TagDMServer` registry of
+per-corpus :class:`CorpusShard` instances, each with a single writer
+thread, shared-read solves, and a :class:`SnapshotRotationPolicy`
+keeping warm-start snapshots fresh and bounded.  See ``SERVING.md``.
+"""
+
+from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+from repro.serving.server import TagDMServer
+from repro.serving.shards import CorpusShard, ReadWriteLock
+
+__all__ = [
+    "TagDMServer",
+    "CorpusShard",
+    "ReadWriteLock",
+    "SnapshotRotationPolicy",
+    "SnapshotRotator",
+]

@@ -1,0 +1,189 @@
+"""Snapshot rotation policy for long-lived serving shards.
+
+A serving shard absorbs inserts for hours; its warm-start snapshot must
+track the store without either fsync-ing on every insert or growing an
+unbounded pile of stale files.  This module provides the policy half of
+that trade-off:
+
+* :class:`SnapshotRotationPolicy` -- *when* to snapshot: after every N
+  inserts and/or every T seconds, whichever fires first;
+* :class:`SnapshotRotator` -- *how*: sequence-numbered snapshot files in
+  one directory, written atomically (write-then-rename, inherited from
+  :func:`repro.core.persistence.save_session`), pruned down to the K
+  most recent once a new snapshot lands (compaction of superseded
+  files).
+
+Because every write is atomic and pruning only ever removes files that
+are strictly older than the newest complete snapshot, a crash at any
+point leaves :meth:`SnapshotRotator.latest` pointing at a loadable
+snapshot -- either the previous one or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["SnapshotRotationPolicy", "SnapshotRotator"]
+
+
+@dataclass(frozen=True)
+class SnapshotRotationPolicy:
+    """When a serving shard should take a fresh snapshot.
+
+    Parameters
+    ----------
+    every_inserts:
+        Snapshot after this many inserts since the last snapshot
+        (``None`` disables the insert trigger).
+    every_seconds:
+        Snapshot once this much wall-clock time has passed since the
+        last snapshot, provided at least one insert happened (``None``
+        disables the time trigger; an idle shard is never re-snapshotted
+        -- its last snapshot is already current).
+    keep_last:
+        How many snapshot files to retain; older ones are deleted after
+        each successful rotation.
+    """
+
+    every_inserts: Optional[int] = 500
+    every_seconds: Optional[float] = None
+    keep_last: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every_inserts is not None and self.every_inserts < 1:
+            raise ValueError("every_inserts must be >= 1 (or None)")
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise ValueError("every_seconds must be > 0 (or None)")
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        if self.every_inserts is None and self.every_seconds is None:
+            raise ValueError(
+                "at least one of every_inserts/every_seconds must be set"
+            )
+
+    def due(self, inserts_since: int, seconds_since: float) -> bool:
+        """Whether a snapshot is due given progress since the last one."""
+        if inserts_since <= 0:
+            return False  # nothing new to persist
+        if self.every_inserts is not None and inserts_since >= self.every_inserts:
+            return True
+        if self.every_seconds is not None and seconds_since >= self.every_seconds:
+            return True
+        return False
+
+
+class SnapshotRotator:
+    """Sequence-numbered, pruned snapshot files for one shard.
+
+    Files are named ``<basename>-<seq:08d>.snapshot`` inside
+    ``directory``; the sequence number increases monotonically (resuming
+    from whatever files already exist), so "latest" is a pure filename
+    comparison and needs no mtime trust.
+    """
+
+    _SUFFIX = ".snapshot"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        basename: str = "session",
+        policy: Optional[SnapshotRotationPolicy] = None,
+    ) -> None:
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", basename):
+            raise ValueError(
+                f"basename {basename!r} must be filesystem-safe "
+                "(letters, digits, dot, underscore, dash)"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.basename = basename
+        self.policy = policy or SnapshotRotationPolicy()
+        self._pattern = re.compile(
+            re.escape(basename) + r"-(\d{8})" + re.escape(self._SUFFIX) + r"\Z"
+        )
+        self.rotations = 0
+        self._inserts_since = 0
+        self._last_rotation_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Snapshot inventory
+    # ------------------------------------------------------------------
+    def snapshot_paths(self) -> List[Path]:
+        """Existing snapshots of this shard, oldest first."""
+        entries = []
+        for path in self.directory.iterdir():
+            match = self._pattern.fullmatch(path.name)
+            if match:
+                entries.append((int(match.group(1)), path))
+        return [path for _seq, path in sorted(entries)]
+
+    def latest(self) -> Optional[Path]:
+        """The most recent complete snapshot, or ``None``."""
+        paths = self.snapshot_paths()
+        return paths[-1] if paths else None
+
+    def _next_path(self) -> Path:
+        paths = self.snapshot_paths()
+        if paths:
+            last = int(self._pattern.fullmatch(paths[-1].name).group(1))
+        else:
+            last = 0
+        return self.directory / f"{self.basename}-{last + 1:08d}{self._SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Policy bookkeeping
+    # ------------------------------------------------------------------
+    def record_inserts(self, count: int) -> None:
+        """Tell the rotator ``count`` inserts were applied to the session."""
+        self._inserts_since += int(count)
+
+    @property
+    def inserts_since_rotation(self) -> int:
+        """Inserts applied since the last successful rotation."""
+        return self._inserts_since
+
+    def due(self) -> bool:
+        """Whether the policy says it is time to rotate."""
+        return self.policy.due(
+            self._inserts_since, time.monotonic() - self._last_rotation_monotonic
+        )
+
+    # ------------------------------------------------------------------
+    # Rotation
+    # ------------------------------------------------------------------
+    def rotate(self, session) -> Path:
+        """Write a new snapshot of ``session`` and prune superseded files.
+
+        The write is atomic (``save_session`` stages to a temp file and
+        renames); pruning runs only after the rename succeeded, so a
+        failure anywhere leaves the previous snapshot in place.
+        """
+        from repro.core.persistence import save_session  # lazy: keep import light
+
+        path = save_session(session, self._next_path())
+        self.rotations += 1
+        self._inserts_since = 0
+        self._last_rotation_monotonic = time.monotonic()
+        self.prune()
+        return path
+
+    def prune(self) -> List[Path]:
+        """Delete all but the ``keep_last`` newest snapshots.
+
+        Returns the removed paths.  Missing files (a concurrent pruner,
+        manual cleanup) are skipped silently.
+        """
+        paths = self.snapshot_paths()
+        excess = paths[: -self.policy.keep_last] if self.policy.keep_last else paths
+        removed: List[Path] = []
+        for path in excess:
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleaner
+                continue
+            removed.append(path)
+        return removed

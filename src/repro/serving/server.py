@@ -1,0 +1,289 @@
+"""A long-lived TagDM serving process over warm sessions.
+
+:class:`TagDMServer` is the ROADMAP's "long-lived server loop": a
+process-local registry of :class:`~repro.serving.shards.CorpusShard`
+instances keyed by corpus name.  Each shard owns one warm
+:class:`~repro.core.incremental.IncrementalTagDM` session backed by its
+own :class:`~repro.dataset.sqlite_store.SqliteTaggingStore` and its own
+snapshot directory, so corpora are fully isolated: separate database
+files, separate snapshot rotation, separate writer threads.
+
+Layout under the server root (one subdirectory per corpus)::
+
+    <root>/
+      <corpus-name>/
+        corpus.sqlite               -- the durable dataset store
+        snapshots/
+          session-00000042.snapshot -- rotated warm-start snapshots
+
+Lifecycle: :meth:`add_corpus` ingests a dataset and cold-prepares its
+session; :meth:`open_corpus` restarts an existing shard, warm-starting
+from the newest rotation snapshot whose fingerprint matches the store
+(falling back to a cold prepare when none does).  Inserts and solves
+route to the named shard; :meth:`close` drains every shard's queue,
+takes final snapshots and closes the stores.
+
+Failure semantics are documented in ``SERVING.md``: an insert that
+raises (unknown user without attributes, store failure) fails only its
+own request future; a failed snapshot rotation is recorded in the shard
+stats and retried at the next due point; the server survives both.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
+from repro.core.persistence import load_session
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+from repro.dataset.sqlite_store import SqliteTaggingStore
+from repro.dataset.store import TaggingDataset
+from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+from repro.serving.shards import CorpusShard
+
+__all__ = ["TagDMServer"]
+
+_STORE_FILENAME = "corpus.sqlite"
+_SNAPSHOT_DIRNAME = "snapshots"
+
+
+class TagDMServer:
+    """Serve inserts and solves over a registry of warm corpus shards.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per corpus (created on
+        demand).
+    policy:
+        Snapshot-rotation policy applied to every shard (each shard gets
+        its own rotator over its own snapshot directory).
+    enumeration, signature_backend, signature_dimensions, seed:
+        Session configuration used when a shard cold-prepares; a
+        warm-started shard takes its configuration from the snapshot.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        policy: Optional[SnapshotRotationPolicy] = None,
+        enumeration: Optional[GroupEnumerationConfig] = None,
+        signature_backend: str = "frequency",
+        signature_dimensions: int = 25,
+        seed: int = 0,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.policy = policy or SnapshotRotationPolicy()
+        self.enumeration = enumeration
+        self.signature_backend = signature_backend
+        self.signature_dimensions = signature_dimensions
+        self.seed = seed
+        self._shards: Dict[str, CorpusShard] = {}
+        self._stores: Dict[str, SqliteTaggingStore] = {}
+        self._registry_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def _corpus_dir(self, name: str) -> Path:
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+            raise ValueError(
+                f"corpus name {name!r} must be filesystem-safe "
+                "(letters, digits, dot, underscore, dash)"
+            )
+        return self.root / name
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("server is closed")
+
+    def _register(self, name: str, shard: CorpusShard, store: SqliteTaggingStore) -> None:
+        self._shards[name] = shard
+        self._stores[name] = store
+
+    def _rotator_for(self, name: str) -> SnapshotRotator:
+        return SnapshotRotator(
+            self._corpus_dir(name) / _SNAPSHOT_DIRNAME, policy=self.policy
+        )
+
+    def add_corpus(self, name: str, dataset: TaggingDataset) -> CorpusShard:
+        """Ingest ``dataset`` into a new shard and cold-prepare its session.
+
+        The corpus directory must not already hold a store (reopen those
+        with :meth:`open_corpus` instead -- silently re-ingesting would
+        duplicate every action).
+        """
+        with self._registry_lock:
+            self._require_open()
+            if name in self._shards:
+                raise ValueError(f"corpus {name!r} is already being served")
+            corpus_dir = self._corpus_dir(name)
+            store_path = corpus_dir / _STORE_FILENAME
+            if store_path.exists():
+                raise ValueError(
+                    f"corpus {name!r} already has a store at {store_path}; "
+                    "use open_corpus() to resume serving it"
+                )
+            corpus_dir.mkdir(parents=True, exist_ok=True)
+            store = SqliteTaggingStore.from_dataset(dataset, store_path)
+            try:
+                session = IncrementalTagDM(
+                    dataset,
+                    enumeration=self.enumeration,
+                    signature_backend=self.signature_backend,
+                    signature_dimensions=self.signature_dimensions,
+                    seed=self.seed,
+                    store=store,
+                ).prepare()
+                rotator = self._rotator_for(name)
+                rotator.rotate(session.session)  # a restart can warm-start at once
+                shard = CorpusShard(name, session, rotator=rotator)
+            except BaseException:
+                store.close()
+                raise
+            self._register(name, shard, store)
+            return shard
+
+    def open_corpus(self, name: str) -> CorpusShard:
+        """Resume serving an existing corpus directory.
+
+        Reloads the dataset from the shard's SQLite store and warm-starts
+        the session from the newest rotation snapshot whose fingerprint
+        matches; snapshots that fail to load (fingerprint drift because
+        the process died between a store write and the next rotation,
+        version bumps, torn files from pre-atomic writers) are skipped
+        oldest-last, and a cold prepare is the final fallback.
+        """
+        with self._registry_lock:
+            self._require_open()
+            if name in self._shards:
+                raise ValueError(f"corpus {name!r} is already being served")
+            store_path = self._corpus_dir(name) / _STORE_FILENAME
+            if not store_path.exists():
+                raise FileNotFoundError(
+                    f"corpus {name!r} has no store at {store_path}; "
+                    "create it with add_corpus()"
+                )
+            store = SqliteTaggingStore(store_path)
+            try:
+                dataset = store.to_dataset()
+                rotator = self._rotator_for(name)
+                session = self._warm_or_cold_session(dataset, store, rotator)
+                shard = CorpusShard(name, session, rotator=rotator)
+            except BaseException:
+                store.close()
+                raise
+            self._register(name, shard, store)
+            return shard
+
+    def _warm_or_cold_session(
+        self,
+        dataset: TaggingDataset,
+        store: SqliteTaggingStore,
+        rotator: SnapshotRotator,
+    ) -> IncrementalTagDM:
+        for snapshot in reversed(rotator.snapshot_paths()):
+            try:
+                warm = load_session(snapshot, dataset)
+            except Exception:
+                continue  # stale fingerprint / old version: try the next-newest
+            return IncrementalTagDM.from_session(warm, store=store).prepare()
+        return IncrementalTagDM(
+            dataset,
+            enumeration=self.enumeration,
+            signature_backend=self.signature_backend,
+            signature_dimensions=self.signature_dimensions,
+            seed=self.seed,
+            store=store,
+        ).prepare()
+
+    def shard(self, name: str) -> CorpusShard:
+        """The live shard serving ``name`` (raises KeyError when absent)."""
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise KeyError(
+                f"corpus {name!r} is not being served; "
+                f"known: {sorted(self._shards) or 'none'}"
+            ) from None
+
+    @property
+    def corpus_names(self) -> List[str]:
+        """Names of the corpora currently being served."""
+        return sorted(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    # ------------------------------------------------------------------
+    # Request routing
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        corpus: str,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+        user_attributes: Optional[Mapping[str, str]] = None,
+        item_attributes: Optional[Mapping[str, str]] = None,
+    ) -> IncrementalUpdateReport:
+        """Insert one action into the named corpus (waits until applied)."""
+        return self.shard(corpus).insert(
+            user_id,
+            item_id,
+            tags,
+            rating=rating,
+            user_attributes=user_attributes,
+            item_attributes=item_attributes,
+        )
+
+    def insert_batch(
+        self, corpus: str, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        """Insert a batch into the named corpus (waits until applied)."""
+        return self.shard(corpus).insert_batch(actions)
+
+    def solve(
+        self, corpus: str, problem: TagDMProblem, algorithm="auto", **options
+    ) -> MiningResult:
+        """Solve ``problem`` over the named corpus's warm session."""
+        return self.shard(corpus).solve(problem, algorithm=algorithm, **options)
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard serving counters, keyed by corpus name."""
+        return {name: shard.stats() for name, shard in sorted(self._shards.items())}
+
+    def close(self) -> None:
+        """Drain every shard, take final snapshots, close every store.
+
+        Idempotent; the server cannot be reused afterwards (start a new
+        one over the same root -- shards warm-start from the final
+        snapshots).
+        """
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard in self._shards.values():
+                shard.close(final_snapshot=True)
+            for store in self._stores.values():
+                store.close()
+            self._shards.clear()
+            self._stores.clear()
+
+    def __enter__(self) -> "TagDMServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

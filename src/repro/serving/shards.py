@@ -1,0 +1,327 @@
+"""One warm serving shard: a corpus, its session, and its writer thread.
+
+A :class:`CorpusShard` owns exactly one warm
+:class:`~repro.core.incremental.IncrementalTagDM` session (optionally
+mirrored into a :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`)
+and serves it under single-writer/multi-reader semantics:
+
+* **inserts** go through a thread-safe request queue drained by one
+  dedicated writer thread per shard.  The writer coalesces whatever is
+  queued into one write-lock hold, applies each request with the batch
+  insert API (one cache invalidation per request, not per action), and
+  then consults the shard's snapshot-rotation policy;
+* **solves** run on the calling threads under a shared read lock, so any
+  number of clients query concurrently; they are excluded only while a
+  write (or a snapshot) is in flight, which is what makes a solve always
+  observe a fully applied batch -- never a half-inserted one or a stale
+  cache.
+
+The read-write lock prefers writers: a queued insert blocks new readers,
+so a steady query stream cannot starve the ingest path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+from repro.serving.policy import SnapshotRotator
+
+__all__ = ["CorpusShard", "ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Many readers may hold the lock at once; a writer holds it alone.
+    Readers arriving while a writer waits queue up behind it, so the
+    single writer thread of a shard is never starved by solves.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+class _InsertRequest:
+    """One queued insert batch and the future its caller waits on."""
+
+    __slots__ = ("actions", "future")
+
+    def __init__(self, actions: List[Mapping[str, object]]) -> None:
+        self.actions = actions
+        self.future: "Future[IncrementalUpdateReport]" = Future()
+
+
+_SHUTDOWN = object()
+
+
+class CorpusShard:
+    """A warm session for one corpus, served by a single writer thread.
+
+    Parameters
+    ----------
+    name:
+        The corpus name this shard serves (the registry key in
+        :class:`~repro.serving.server.TagDMServer`).
+    session:
+        A prepared :class:`IncrementalTagDM`.  If it carries a ``store``,
+        every insert is mirrored durably in the same call.
+    rotator:
+        Optional :class:`SnapshotRotator`; when given, the writer thread
+        snapshots the session per the rotator's policy and after a clean
+        :meth:`close`.
+    queue_capacity:
+        Bound on queued insert requests; submitters block once full
+        (simple back-pressure instead of unbounded memory growth).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        session: IncrementalTagDM,
+        rotator: Optional[SnapshotRotator] = None,
+        queue_capacity: int = 1024,
+    ) -> None:
+        if not session.session.is_prepared:
+            raise ValueError("shard sessions must be prepared before serving")
+        self.name = name
+        self.session = session
+        self.rotator = rotator
+        self._lock = ReadWriteLock()
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
+        self._closed = threading.Event()
+        # Makes the closed-check + enqueue in submit_insert atomic with
+        # respect to close(), so no request can slip into a queue the
+        # writer has already left.
+        self._submit_lock = threading.Lock()
+        # Guards the serving counters (incremented by concurrent solvers).
+        self._stats_lock = threading.Lock()
+        self._inserts_served = 0
+        self._solves_served = 0
+        self._last_rotation_error: Optional[str] = None
+        if rotator is not None:
+            session.add_mutation_listener(
+                lambda report: rotator.record_inserts(report.actions_added)
+            )
+        self._writer = threading.Thread(
+            target=self._writer_loop, name=f"tagdm-shard-{name}", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit_insert(
+        self, actions: Iterable[Mapping[str, object]]
+    ) -> "Future[IncrementalUpdateReport]":
+        """Queue a batch of action dicts; returns a future for its report.
+
+        The future resolves once the writer thread has applied the whole
+        batch (and mirrored it into the store, when one is attached); it
+        carries the batch's exception if any action was rejected.
+        """
+        request = _InsertRequest(list(actions))
+        with self._submit_lock:
+            if self._closed.is_set():
+                raise RuntimeError(f"shard {self.name!r} is closed")
+            self._queue.put(request)
+        return request.future
+
+    def insert(
+        self,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+        user_attributes: Optional[Mapping[str, str]] = None,
+        item_attributes: Optional[Mapping[str, str]] = None,
+    ) -> IncrementalUpdateReport:
+        """Insert one action and wait for it to be applied."""
+        return self.insert_batch(
+            [
+                {
+                    "user_id": user_id,
+                    "item_id": item_id,
+                    "tags": tuple(tags),
+                    "rating": rating,
+                    "user_attributes": user_attributes,
+                    "item_attributes": item_attributes,
+                }
+            ]
+        )
+
+    def insert_batch(
+        self, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        """Insert a batch of action dicts and wait for the merged report."""
+        return self.submit_insert(actions).result()
+
+    def solve(
+        self, problem: TagDMProblem, algorithm="auto", **options
+    ) -> MiningResult:
+        """Solve ``problem`` over the warm session (shared read lock).
+
+        Runs on the calling thread; concurrent solves proceed in
+        parallel, and the write lock guarantees the solve sees a fully
+        applied state with fresh caches.
+        """
+        with self._lock.read_locked():
+            result = self.session.solve(problem, algorithm=algorithm, **options)
+        with self._stats_lock:
+            self._solves_served += 1
+        return result
+
+    def flush(self) -> None:
+        """Block until every insert queued so far has been applied."""
+        self._queue.join()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed.is_set()
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters for monitoring and the perf report."""
+        return {
+            "name": self.name,
+            "actions": self.session.dataset.n_actions,
+            "groups": self.session.n_groups,
+            "inserts_served": self._inserts_served,
+            "solves_served": self._solves_served,
+            "queue_depth": self._queue.qsize(),
+            "snapshot_rotations": (
+                self.rotator.rotations if self.rotator is not None else 0
+            ),
+            "last_rotation_error": self._last_rotation_error,
+        }
+
+    # ------------------------------------------------------------------
+    # Writer thread
+    # ------------------------------------------------------------------
+    def _drain(self, first: object) -> List[object]:
+        batch = [first]
+        while True:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                return batch
+
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            batch = self._drain(item)
+            requests = [entry for entry in batch if isinstance(entry, _InsertRequest)]
+            shutdown = any(entry is _SHUTDOWN for entry in batch)
+            if requests:
+                with self._lock.write_locked():
+                    for request in requests:
+                        try:
+                            report = self.session.add_actions(request.actions)
+                        except BaseException as exc:
+                            request.future.set_exception(exc)
+                        else:
+                            self._inserts_served += report.actions_added
+                            request.future.set_result(report)
+                    self._maybe_rotate(force=False)
+            for _ in batch:
+                self._queue.task_done()
+            if shutdown:
+                return
+
+    def _maybe_rotate(self, force: bool) -> None:
+        """Snapshot under the held write lock when due (or forced).
+
+        A failed snapshot must not take the shard down: the error is
+        recorded for :meth:`stats` and serving continues; the next due
+        rotation retries.
+        """
+        rotator = self.rotator
+        if rotator is None:
+            return
+        if not force and not rotator.due():
+            return
+        if force and rotator.inserts_since_rotation <= 0:
+            return  # the latest snapshot already covers the session
+        try:
+            rotator.rotate(self.session.session)
+            self._last_rotation_error = None
+        except Exception as exc:
+            self._last_rotation_error = f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, final_snapshot: bool = True) -> None:
+        """Drain the queue, optionally snapshot, and stop the writer.
+
+        Idempotent.  Requests submitted after ``close`` raise
+        ``RuntimeError``; requests queued before it are applied first
+        (the shutdown sentinel sits behind them in the FIFO).  The
+        attached store (if any) is *not* closed here -- its owner (the
+        server) closes it after every shard is down.
+        """
+        with self._submit_lock:
+            if self._closed.is_set():
+                return
+            self._closed.set()
+            self._queue.put(_SHUTDOWN)
+        self._writer.join()
+        # Belt and braces: _submit_lock makes the closed-check + enqueue
+        # atomic, so nothing should be queued behind the sentinel -- but a
+        # leftover request must fail loudly rather than hang its caller.
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(entry, _InsertRequest):
+                entry.future.set_exception(
+                    RuntimeError(f"shard {self.name!r} is closed")
+                )
+            self._queue.task_done()
+        if final_snapshot:
+            with self._lock.write_locked():
+                self._maybe_rotate(force=True)

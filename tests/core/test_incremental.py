@@ -167,6 +167,88 @@ class TestBatchAndSolve:
         report = incremental.add_actions(batch)
         assert report.actions_added == 4
 
+    def test_batch_invalidates_caches_once(self, incremental, monkeypatch):
+        """Regression: a batch of n actions used to rebuild the pairwise /
+        LSH caches n times; the batch path must invalidate exactly once."""
+        calls = {"invalidate": 0}
+        original = incremental.session.invalidate_caches
+
+        def counting_invalidate():
+            calls["invalidate"] += 1
+            original()
+
+        monkeypatch.setattr(
+            incremental.session, "invalidate_caches", counting_invalidate
+        )
+        batch = [action_for(incremental.dataset, row) for row in range(10)]
+        incremental.add_actions(batch)
+        assert calls["invalidate"] == 1
+        # A single insert still invalidates (once).
+        incremental.add_action(**action_for(incremental.dataset))
+        assert calls["invalidate"] == 2
+
+    def test_batch_failure_still_invalidates(self, incremental, monkeypatch):
+        """If the middle of a batch raises, the already-applied prefix must
+        not be served from stale caches."""
+        calls = {"invalidate": 0}
+        original = incremental.session.invalidate_caches
+
+        def counting_invalidate():
+            calls["invalidate"] += 1
+            original()
+
+        monkeypatch.setattr(
+            incremental.session, "invalidate_caches", counting_invalidate
+        )
+        dataset = incremental.dataset
+        batch = [
+            action_for(dataset, 0),
+            {"user_id": "ghost-user", "item_id": dataset.item_of(0), "tags": ["x"]},
+        ]
+        before = dataset.n_actions
+        with pytest.raises(KeyError):
+            incremental.add_actions(batch)
+        assert dataset.n_actions == before + 1  # the prefix stays applied
+        assert calls["invalidate"] == 1
+
+    def test_batch_matches_sequential_inserts(self):
+        """One batch and n sequential add_action calls must leave identical
+        sessions (groups, signatures, solve results)."""
+        import numpy as np
+
+        def build():
+            return IncrementalTagDM(
+                small_dataset(),
+                enumeration=GroupEnumerationConfig(min_support=5),
+                signature_backend="frequency",
+            ).prepare()
+
+        batched, sequential = build(), build()
+        actions = [action_for(batched.dataset, row) for row in range(8)]
+        batched.add_actions(actions)
+        for action in actions:
+            sequential.add_action(**action)
+        assert [str(g.description) for g in batched.groups] == [
+            str(g.description) for g in sequential.groups
+        ]
+        assert np.array_equal(
+            batched.session.signatures, sequential.session.signatures
+        )
+        problem = table1_problem(6, k=3, min_support=batched.default_support())
+        first = batched.solve(problem, algorithm="dv-fdp-fo")
+        second = sequential.solve(problem, algorithm="dv-fdp-fo")
+        assert first.objective_value == second.objective_value
+        assert first.descriptions() == second.descriptions()
+
+    def test_mutation_listeners_fire_once_per_call(self, incremental):
+        seen = []
+        incremental.add_mutation_listener(lambda report: seen.append(report))
+        incremental.add_action(**action_for(incremental.dataset))
+        incremental.add_actions(
+            [action_for(incremental.dataset, row) for row in range(3)]
+        )
+        assert [report.actions_added for report in seen] == [1, 3]
+
     def test_solve_after_inserts(self, incremental):
         dataset = incremental.dataset
         incremental.add_actions([action_for(dataset, row) for row in range(5)])

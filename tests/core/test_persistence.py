@@ -81,6 +81,64 @@ class TestSaveLoad:
         fingerprint = dataset_fingerprint(corpus)
         assert fingerprint["n_actions"] == corpus.n_actions
         assert fingerprint["user_schema"] == list(corpus.user_schema)
+        assert isinstance(fingerprint["action_checksum"], int)
+
+    def test_fingerprint_rejects_same_shape_different_corpus(self, corpus, tmp_path):
+        """Regression: the count-only fingerprint false-accepted a
+        *different* corpus with identical user/item/action counts."""
+        session = make_session(corpus).prepare()
+        path = save_session(session, tmp_path / "s.snapshot")
+        # Same generator, same shape, different seed => same counts with
+        # overwhelming probability, different content.
+        impostor = generate_movielens_style(
+            n_users=40, n_items=80, n_actions=800, seed=99
+        )
+        impostor.name = corpus.name
+        assert impostor.n_actions == corpus.n_actions
+        assert impostor.n_users == corpus.n_users
+        assert impostor.n_items == corpus.n_items
+        with pytest.raises(ValueError, match="different dataset"):
+            load_session(path, impostor)
+
+    def test_fingerprint_checksum_bounded_and_stable(self, corpus):
+        """The checksum must not degrade into a full-corpus scan, and must
+        be deterministic across calls (and, via crc32, across processes)."""
+        from repro.core.persistence import CHECKSUM_SAMPLE_SIZE, _action_checksum
+
+        big = generate_movielens_style(n_users=40, n_items=80, n_actions=5000, seed=1)
+        calls = {"count": 0}
+        original = big.user_of
+
+        def counting_user_of(index):
+            calls["count"] += 1
+            return original(index)
+
+        big.user_of = counting_user_of
+        checksum = _action_checksum(big)
+        assert calls["count"] <= CHECKSUM_SAMPLE_SIZE + 1
+        assert _action_checksum(big) == checksum
+
+    def test_save_session_is_atomic(self, corpus, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous snapshot intact and no
+        stray temp file behind."""
+        session = make_session(corpus).prepare()
+        path = save_session(session, tmp_path / "s.snapshot")
+        good_bytes = path.read_bytes()
+
+        def exploding_dump(obj, handle, protocol=None):
+            handle.write(b"torn")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            "repro.core.persistence.pickle.dump", exploding_dump
+        )
+        with pytest.raises(OSError, match="disk full"):
+            save_session(session, path)
+        assert path.read_bytes() == good_bytes  # old snapshot untouched
+        assert list(tmp_path.glob("*.tmp-*")) == []  # staging file cleaned up
+        monkeypatch.undo()
+        warm = load_session(path, corpus)
+        assert warm.n_groups == session.n_groups
 
     def test_snapshot_version_checked(self, corpus, tmp_path):
         import pickle

@@ -1,0 +1,154 @@
+"""Tests for snapshot rotation: policy triggers, pruning, crash safety."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.core.persistence import load_session
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_movielens_style(n_users=30, n_items=60, n_actions=400, seed=13)
+
+
+@pytest.fixture(scope="module")
+def session(corpus):
+    return TagDM(
+        corpus,
+        enumeration=GroupEnumerationConfig(min_support=5, max_groups=40),
+        signature_backend="frequency",
+        seed=2,
+    ).prepare()
+
+
+class TestPolicy:
+    def test_insert_trigger(self):
+        policy = SnapshotRotationPolicy(every_inserts=10, every_seconds=None)
+        assert not policy.due(9, 1e9)  # time trigger disabled
+        assert policy.due(10, 0.0)
+
+    def test_time_trigger_needs_at_least_one_insert(self):
+        policy = SnapshotRotationPolicy(every_inserts=None, every_seconds=0.5)
+        assert not policy.due(0, 1e9)  # idle shard: last snapshot is current
+        assert not policy.due(1, 0.1)
+        assert policy.due(1, 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotRotationPolicy(every_inserts=0)
+        with pytest.raises(ValueError):
+            SnapshotRotationPolicy(every_seconds=0.0)
+        with pytest.raises(ValueError):
+            SnapshotRotationPolicy(keep_last=0)
+        with pytest.raises(ValueError):
+            SnapshotRotationPolicy(every_inserts=None, every_seconds=None)
+
+
+class TestRotator:
+    def test_sequence_numbers_are_monotonic_and_resume(self, session, tmp_path):
+        rotator = SnapshotRotator(tmp_path, policy=SnapshotRotationPolicy(keep_last=10))
+        first = rotator.rotate(session)
+        second = rotator.rotate(session)
+        assert first.name == "session-00000001.snapshot"
+        assert second.name == "session-00000002.snapshot"
+        # A fresh rotator over the same directory resumes the numbering.
+        resumed = SnapshotRotator(tmp_path, policy=SnapshotRotationPolicy(keep_last=10))
+        assert resumed.rotate(session).name == "session-00000003.snapshot"
+
+    def test_keep_last_k_pruning(self, session, tmp_path):
+        rotator = SnapshotRotator(tmp_path, policy=SnapshotRotationPolicy(keep_last=2))
+        for _ in range(5):
+            rotator.rotate(session)
+        names = [path.name for path in rotator.snapshot_paths()]
+        assert names == ["session-00000004.snapshot", "session-00000005.snapshot"]
+        assert rotator.latest().name == "session-00000005.snapshot"
+
+    def test_due_resets_after_rotation(self, session, tmp_path):
+        rotator = SnapshotRotator(
+            tmp_path, policy=SnapshotRotationPolicy(every_inserts=5)
+        )
+        rotator.record_inserts(5)
+        assert rotator.due()
+        rotator.rotate(session)
+        assert rotator.inserts_since_rotation == 0
+        assert not rotator.due()
+
+    def test_time_based_rotation(self, session, tmp_path):
+        rotator = SnapshotRotator(
+            tmp_path,
+            policy=SnapshotRotationPolicy(every_inserts=None, every_seconds=0.05),
+        )
+        rotator.record_inserts(1)
+        assert not rotator.due()
+        time.sleep(0.06)
+        assert rotator.due()
+
+    def test_basename_must_be_filesystem_safe(self, tmp_path):
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            SnapshotRotator(tmp_path, basename="../escape")
+
+
+class TestCrashSafety:
+    def test_torn_write_leaves_previous_snapshot_loadable(
+        self, corpus, session, tmp_path, monkeypatch
+    ):
+        """A crash mid-rotation (simulated as pickle failing after partial
+        output) must leave the previous snapshot as the intact latest."""
+        rotator = SnapshotRotator(tmp_path, policy=SnapshotRotationPolicy(keep_last=3))
+        good = rotator.rotate(session)
+        good_bytes = good.read_bytes()
+
+        def exploding_dump(obj, handle, protocol=None):
+            handle.write(b"partial snapshot bytes")
+            raise OSError("power loss")
+
+        monkeypatch.setattr("repro.core.persistence.pickle.dump", exploding_dump)
+        with pytest.raises(OSError, match="power loss"):
+            rotator.rotate(session)
+        monkeypatch.undo()
+
+        assert rotator.latest() == good
+        assert good.read_bytes() == good_bytes
+        assert [p.name for p in rotator.snapshot_paths()] == [good.name]
+        warm = load_session(good, corpus)
+        assert warm.n_groups == session.n_groups
+
+    def test_warm_reload_ignores_in_flight_staging_files(
+        self, corpus, session, tmp_path
+    ):
+        """A reader that opens the directory mid-rotation sees only complete
+        snapshots: the writer's staging file is not part of the inventory."""
+        rotator = SnapshotRotator(tmp_path, policy=SnapshotRotationPolicy(keep_last=3))
+        complete = rotator.rotate(session)
+        # The next rotation is "in flight": its staging file exists but the
+        # atomic rename has not happened yet.
+        staging = tmp_path / "session-00000002.snapshot.tmp-4242"
+        staging.write_bytes(b"half-written pickle")
+        assert rotator.latest() == complete
+        warm = load_session(rotator.latest(), corpus)
+        assert warm.n_groups == session.n_groups
+
+    def test_failed_rotation_keeps_counter_and_inventory(self, session, tmp_path, monkeypatch):
+        rotator = SnapshotRotator(tmp_path, policy=SnapshotRotationPolicy(keep_last=3))
+        rotator.rotate(session)
+        rotator.record_inserts(7)
+
+        monkeypatch.setattr(
+            "repro.core.persistence.pickle.dump",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            rotator.rotate(session)
+        monkeypatch.undo()
+
+        assert rotator.rotations == 1
+        # The unsnapshotted inserts still count toward the next rotation.
+        assert rotator.inserts_since_rotation == 7
+        assert len(rotator.snapshot_paths()) == 1

@@ -68,6 +68,17 @@ class TestPerfReportQuick:
         assert persistence["warm_load_seconds"] > 0
         assert persistence["warm_speedup"] > 1.0
 
+    def test_serving_section(self, quick_report):
+        """The warm shard must absorb every insert under concurrent clients
+        and keep solve parity with a cold single-threaded replay."""
+        _perf_report, report = quick_report
+        serving = report["serving"]
+        assert serving["parity"] is True
+        assert serving["inserts"] > 0
+        assert serving["inserts_per_second"] > 0
+        assert serving["client_threads"] >= 4
+        assert serving["snapshot_rotations"] >= 1
+
 
 def _import_perf_report():
     sys.path.insert(0, str(BENCHMARKS))
@@ -104,3 +115,21 @@ def test_committed_pr2_bench_report_is_valid():
     persistence = report["persistence"]
     assert persistence["parity"] is True
     assert persistence["warm_speedup"] >= 5.0
+
+
+def test_committed_pr3_bench_report_is_valid():
+    """The committed BENCH_PR3.json must back the serving claims: a warm
+    shard sustains interleaved inserts and solves from concurrent client
+    threads with solve parity against a cold single-threaded replay."""
+    path = REPO_ROOT / "BENCH_PR3.json"
+    assert path.exists(), "BENCH_PR3.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    serving = report["serving"]
+    assert serving["parity"] is True
+    assert serving["inserts"] >= 500
+    assert serving["client_threads"] >= 4
+    assert serving["snapshot_rotations"] >= 1
+    assert serving["inserts_per_second"] > 1.0
