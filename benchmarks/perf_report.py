@@ -1,22 +1,24 @@
-"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3).
+"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4).
 
 Times the vectorized kernels against the retained naive seed
 implementations (:mod:`repro.geometry.reference`), measures the
 end-to-end build/solve phases at the Figure 7 scaling bins, times the
 persistence subsystem (SQLite ingest/load, cold session prepare vs
-warm snapshot load), and measures sustained interleaved insert+query
-throughput on a warm serving shard, then writes a JSON report so future
-PRs have a perf trajectory to beat.
+warm snapshot load), measures sustained interleaved insert+query
+throughput on a warm serving shard, and measures the HTTP front-end
+(wire request throughput plus per-request overhead over the same solve
+in-process), then writes a JSON report so future PRs have a perf
+trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR4.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 3; v1 reports lack the ``persistence``
-and ``serving`` sections, v2 reports lack ``serving`` -- both still
-validate)::
+Report schema (``schema_version`` 4; older reports lack the newer
+sections -- v1 has no ``persistence``/``serving``/``http``, v2 no
+``serving``/``http``, v3 no ``http`` -- and all still validate)::
 
     {
       "schema_version": 3,
@@ -41,8 +43,20 @@ validate)::
         "client_threads": int, "wall_seconds": float,
         "inserts_per_second": float, "solves_per_second": float,
         "snapshot_rotations": int, "parity": bool
+      },
+      "http": {
+        "tuples": int, "groups": int, "inserts": int, "solves": int,
+        "client_threads": int, "wall_seconds": float,
+        "requests_per_second": float,
+        "inprocess_solve_ms": float, "http_solve_ms": float,
+        "wire_overhead_ms": float, "parity": bool
       }
     }
+
+The ``http.parity`` flag is the PR 4 acceptance check: the same
+ProblemSpec solved through :class:`~repro.api.client.HttpClient` and
+through :class:`~repro.api.client.LocalClient` on the same warm session
+must return bit-identical group selections.
 """
 
 from __future__ import annotations
@@ -75,7 +89,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -369,6 +383,121 @@ def bench_serving(quick: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# HTTP front-end: wire throughput and per-request overhead (PR 4)
+# ----------------------------------------------------------------------
+def bench_http(quick: bool) -> Dict:
+    import tempfile
+    import threading
+    import time as time_module
+    from pathlib import Path as PathType
+
+    from repro.api import HttpClient, LocalClient, ProblemSpec
+    from repro.core.enumeration import GroupEnumerationConfig
+    from repro.core.problem import table1_problem
+    from repro.dataset.synthetic import generate_movielens_style
+    from repro.serving import TagDMHttpServer, TagDMServer
+
+    if quick:
+        n_actions, n_inserts, n_solves, timed_solves = 600, 40, 6, 5
+    else:
+        n_actions, n_inserts, n_solves, timed_solves = 2000, 300, 30, 20
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+    dataset = generate_movielens_style(
+        n_users=60, n_items=120, n_actions=n_actions, seed=42
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = TagDMServer(PathType(tmp), enumeration=enumeration, seed=42)
+        shard = server.add_corpus("bench", dataset)
+        problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+        spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+
+        with TagDMHttpServer(server) as front:
+            n_writers = 2
+            per_writer = n_inserts // n_writers
+            errors: List[BaseException] = []
+            barrier = threading.Barrier(n_writers + 2)
+
+            def inserter(label: int) -> None:
+                client = HttpClient(front.url)
+                try:
+                    barrier.wait()
+                    for i in range(per_writer):
+                        row = (label * per_writer + i) % n_actions
+                        client.insert_action(
+                            "bench",
+                            dataset.user_of(row),
+                            dataset.item_of(row),
+                            [f"http-{label}-{i}"],
+                        )
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def solver() -> None:
+                client = HttpClient(front.url)
+                try:
+                    barrier.wait()
+                    for _ in range(n_solves // 2):
+                        client.solve("bench", spec)
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=inserter, args=(label,))
+                for label in range(n_writers)
+            ]
+            threads.extend(threading.Thread(target=solver) for _ in range(2))
+            started = time_module.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            shard.flush()
+            wall = time_module.perf_counter() - started
+            if errors:
+                raise RuntimeError(f"http bench raised: {errors[0]!r}")
+
+            # Per-request overhead: the identical spec, warm caches, one
+            # client -- wire time minus in-process time is the protocol
+            # cost (serde + HTTP + socket).
+            client = HttpClient(front.url)
+            local = LocalClient({"bench": shard.session})
+            client.solve("bench", spec)  # warm both paths before timing
+            local.solve("bench", spec)
+            http_solve = best_of(timed_solves, lambda: client.solve("bench", spec))
+            inprocess_solve = best_of(timed_solves, lambda: local.solve("bench", spec))
+
+            over_http = client.solve("bench", spec)
+            in_process = local.solve("bench", spec)
+            parity = bool(
+                over_http.objective_value == in_process.objective_value
+                and [str(g.description) for g in over_http.groups]
+                == [str(g.description) for g in in_process.groups]
+                and [g.tuple_indices for g in over_http.groups]
+                == [g.tuple_indices for g in in_process.groups]
+            )
+            stats = client.stats("bench")
+        server.close()
+
+    solves_done = 2 * (n_solves // 2)
+    return {
+        "tuples": n_actions,
+        "groups": int(stats["groups"]),
+        "inserts": n_inserts,
+        "solves": solves_done,
+        "client_threads": n_writers + 2,
+        "wall_seconds": wall,
+        "requests_per_second": (
+            (n_inserts + solves_done) / wall if wall > 0 else float("inf")
+        ),
+        "inprocess_solve_ms": inprocess_solve * 1e3,
+        "http_solve_ms": http_solve * 1e3,
+        "wire_overhead_ms": (http_solve - inprocess_solve) * 1e3,
+        "parity": parity,
+    }
+
+
+# ----------------------------------------------------------------------
 # End-to-end scaling sweep (Figure 7 bins)
 # ----------------------------------------------------------------------
 def bench_scaling(quick: bool) -> List[Dict]:
@@ -442,23 +571,25 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR3",
+        "pr": "PR4",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
         "persistence": bench_persistence(quick),
         "serving": bench_serving(quick),
+        "http": bench_http(quick),
     }
 
 
 def validate_report(report: Dict) -> None:
     """Assert the report matches the documented schema (used by tests).
 
-    Accepts v1 reports (no ``persistence``/``serving`` section; the
-    committed ``BENCH_PR1.json``), v2 reports (no ``serving``; the
-    committed ``BENCH_PR2.json``) and current v3 reports.
+    Accepts v1 reports (no ``persistence``/``serving``/``http`` section;
+    the committed ``BENCH_PR1.json``), v2 reports (no ``serving``/
+    ``http``; ``BENCH_PR2.json``), v3 reports (no ``http``;
+    ``BENCH_PR3.json``) and current v4 reports.
     """
-    assert report["schema_version"] in (1, 2, SCHEMA_VERSION)
+    assert report["schema_version"] in (1, 2, 3, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -504,6 +635,25 @@ def validate_report(report: Dict) -> None:
         assert serving["parity"] is True, "serving lost parity with cold replay"
         assert serving["inserts_per_second"] > 0
         assert serving["client_threads"] >= 2
+    if report["schema_version"] >= 4:
+        http = report["http"]
+        for field in (
+            "tuples",
+            "groups",
+            "inserts",
+            "solves",
+            "client_threads",
+            "wall_seconds",
+            "requests_per_second",
+            "inprocess_solve_ms",
+            "http_solve_ms",
+            "wire_overhead_ms",
+            "parity",
+        ):
+            assert field in http, f"http missing {field}"
+        assert http["parity"] is True, "HTTP solve lost parity with in-process"
+        assert http["requests_per_second"] > 0
+        assert http["client_threads"] >= 2
 
 
 def main(argv=None) -> int:
@@ -514,8 +664,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR3.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR3.json)",
+        default=REPO_ROOT / "BENCH_PR4.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR4.json)",
     )
     args = parser.parse_args(argv)
 
@@ -551,6 +701,16 @@ def main(argv=None) -> int:
         f"({serving['inserts_per_second']:.0f} ins/s, "
         f"{serving['solves_per_second']:.1f} sol/s, "
         f"{serving['snapshot_rotations']} rotations, parity={serving['parity']})"
+    )
+    http = report["http"]
+    print(
+        f"http: {http['inserts']} inserts + {http['solves']} solves "
+        f"from {http['client_threads']} wire clients in "
+        f"{http['wall_seconds']:.2f}s "
+        f"({http['requests_per_second']:.0f} req/s; solve "
+        f"{http['inprocess_solve_ms']:.1f} ms in-process vs "
+        f"{http['http_solve_ms']:.1f} ms over HTTP, "
+        f"overhead {http['wire_overhead_ms']:.1f} ms, parity={http['parity']})"
     )
     print(f"wrote {args.output}")
     return 0

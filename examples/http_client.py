@@ -1,0 +1,195 @@
+"""Drive the TagDM HTTP front-end with concurrent wire clients.
+
+Starts a :class:`~repro.serving.server.TagDMServer` over a scratch
+directory, puts the :class:`~repro.serving.http.TagDMHttpServer`
+front-end on a loopback port, and drives it the way remote callers
+would: insert clients and solve clients on separate threads, each
+speaking the wire-native API through :class:`~repro.api.client.HttpClient`.
+The run ends with the PR's acceptance check -- the same
+:class:`~repro.api.spec.ProblemSpec` solved over HTTP and in-process
+(:class:`~repro.api.client.LocalClient` on the same warm session) must
+return bit-identical group selections -- plus a sweep of the error
+taxonomy (422 / 404 / 409).
+
+Run with::
+
+    PYTHONPATH=src python examples/http_client.py            # demo traffic
+    PYTHONPATH=src python examples/http_client.py --smoke    # CI smoke: strict exit code
+
+Smoke mode is a CI gate: it must finish in seconds, raise nothing
+across threads, land every insert in the warm session, and exit 0 only
+when wire parity holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import (  # noqa: E402
+    CapabilityMismatchError,
+    HttpClient,
+    LocalClient,
+    ProblemSpec,
+    SpecValidationError,
+    TagDMHttpServer,
+    TagDMServer,
+    UnknownCorpusError,
+    generate_movielens_style,
+    table1_problem,
+)
+from repro.core.enumeration import GroupEnumerationConfig  # noqa: E402
+
+
+def drive(url: str, dataset, problem, n_inserts: int, n_solves: int) -> list:
+    """Concurrent inserts + solves, every request over the wire."""
+    errors: list = []
+    n_writers = 2
+    per_writer = n_inserts // n_writers
+    barrier = threading.Barrier(n_writers + 1)
+    spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+
+    def inserter(label: int) -> None:
+        client = HttpClient(url)
+        try:
+            barrier.wait()
+            for i in range(per_writer):
+                row = (label * per_writer + i) % dataset.n_actions
+                client.insert_action(
+                    "movies",
+                    dataset.user_of(row),
+                    dataset.item_of(row),
+                    [f"http-{label}-{i}"],
+                )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def solver() -> None:
+        client = HttpClient(url)
+        try:
+            barrier.wait()
+            for _ in range(n_solves):
+                client.solve("movies", spec)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=inserter, args=(label,)) for label in range(n_writers)]
+    threads.append(threading.Thread(target=solver))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def check_error_taxonomy(client: HttpClient, problem) -> list:
+    """Every taxonomy class must come back typed over the wire."""
+    failures = []
+    probes = [
+        ("unknown corpus -> 404", UnknownCorpusError, lambda: client.stats("atlantis")),
+        (
+            "capability mismatch -> 409",
+            CapabilityMismatchError,
+            lambda: client.solve("movies", table1_problem(4), algorithm="sm-lsh-fo"),
+        ),
+        (
+            "bad spec -> 422",
+            SpecValidationError,
+            lambda: client.solve("movies", {"problem": {"objectives": []}}),
+        ),
+    ]
+    for label, expected, probe in probes:
+        try:
+            probe()
+        except expected:
+            print(f"  {label}: OK")
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append(f"{label}: got {type(exc).__name__}: {exc}")
+        else:  # pragma: no cover - failure path
+            failures.append(f"{label}: no error raised")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: small traffic, strict exit code",
+    )
+    args = parser.parse_args(argv)
+
+    n_inserts, n_solves = (60, 6) if args.smoke else (200, 20)
+    root = Path(tempfile.mkdtemp(prefix="tagdm-http-"))
+    dataset = generate_movielens_style(n_users=60, n_items=120, n_actions=800, seed=7)
+    initial_actions = dataset.n_actions
+
+    server = TagDMServer(
+        root,
+        enumeration=GroupEnumerationConfig(min_support=5, max_groups=80),
+        seed=7,
+    )
+    shard = server.add_corpus("movies", dataset)
+    problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+
+    with TagDMHttpServer(server) as front:
+        client = HttpClient(front.url)
+        health = client.health()
+        print(f"front-end at {front.url}: {health['corpora']} ({health['status']})")
+
+        started = time.perf_counter()
+        errors = drive(front.url, dataset, problem, n_inserts, n_solves)
+        shard.flush()
+        elapsed = time.perf_counter() - started
+        stats = client.stats("movies")
+        print(
+            f"{stats['inserts_served']} inserts + {stats['solves_served']} solves "
+            f"over HTTP in {elapsed:.2f}s "
+            f"({(n_inserts + n_solves) / elapsed:.0f} req/s, "
+            f"start_mode={stats['start_mode']})"
+        )
+
+        # Wire parity: the same spec over HTTP and in-process on the same
+        # warm session must select bit-identical groups.
+        spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+        over_http = client.solve("movies", spec)
+        in_process = LocalClient({"movies": shard.session}).solve("movies", spec)
+        parity = (
+            over_http.objective_value == in_process.objective_value
+            and [str(g.description) for g in over_http.groups]
+            == [str(g.description) for g in in_process.groups]
+            and [g.tuple_indices for g in over_http.groups]
+            == [g.tuple_indices for g in in_process.groups]
+        )
+        print(
+            f"wire parity: objective {over_http.objective_value:.4f} "
+            f"(bit-identical={parity})"
+        )
+
+        failures = check_error_taxonomy(client, problem)
+        applied = stats["actions"] == initial_actions + n_inserts
+
+    server.close()
+
+    ok = not errors and not failures and parity and applied
+    for error in errors:
+        print(f"ERROR: {type(error).__name__}: {error}")
+    for failure in failures:
+        print(f"TAXONOMY FAILURE: {failure}")
+    if not applied:
+        print(f"ERROR: expected {initial_actions + n_inserts} actions, got {stats['actions']}")
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,24 @@ Quickstart
 >>> problem = table1_problem(1, k=3, min_support=session.default_support())
 >>> result = session.solve(problem, algorithm="sm-lsh-fo")
 >>> print(result.summary())  # doctest: +SKIP
+
+Wire-native API (see ``API.md`` for the full protocol)
+------------------------------------------------------
+The same solve travels process-to-process as a declarative
+:class:`ProblemSpec`; :class:`LocalClient`, :class:`ServerClient` and
+:class:`HttpClient` are interchangeable backends of one
+:class:`TagDMClient` interface:
+
+>>> from repro import LocalClient, ProblemSpec
+>>> client = LocalClient({"movies": session})
+>>> spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+>>> result = client.solve("movies", spec)  # doctest: +SKIP
+
+and over the network, against a :class:`TagDMHttpServer` front-end:
+
+>>> from repro import HttpClient
+>>> remote = HttpClient("http://127.0.0.1:8631")  # doctest: +SKIP
+>>> result = remote.solve("movies", spec)  # doctest: +SKIP
 """
 
 from repro.core import (
@@ -49,8 +67,26 @@ from repro.dataset import (
     save_csv,
     save_sqlite,
 )
-from repro.algorithms import available_algorithms, build_algorithm, recommend_algorithm
-from repro.serving import SnapshotRotationPolicy, TagDMServer
+from repro.algorithms import (
+    algorithm_capabilities,
+    available_algorithms,
+    build_algorithm,
+    check_algorithm_capability,
+    recommend_algorithm,
+)
+from repro.serving import SnapshotRotationPolicy, TagDMHttpServer, TagDMServer
+from repro.api import (
+    ApiError,
+    CapabilityMismatchError,
+    HttpClient,
+    LocalClient,
+    ProblemSpec,
+    ServerClient,
+    SolveTimeoutError,
+    SpecValidationError,
+    TagDMClient,
+    UnknownCorpusError,
+)
 from repro.text import build_tag_cloud, render_tag_cloud
 
 __version__ = "1.0.0"
@@ -89,11 +125,25 @@ __all__ = [
     "load_session",
     # serving
     "TagDMServer",
+    "TagDMHttpServer",
     "SnapshotRotationPolicy",
+    # wire-native API
+    "ProblemSpec",
+    "TagDMClient",
+    "LocalClient",
+    "ServerClient",
+    "HttpClient",
+    "ApiError",
+    "SpecValidationError",
+    "UnknownCorpusError",
+    "CapabilityMismatchError",
+    "SolveTimeoutError",
     # algorithms
     "available_algorithms",
     "build_algorithm",
     "recommend_algorithm",
+    "algorithm_capabilities",
+    "check_algorithm_capability",
     # text
     "build_tag_cloud",
     "render_tag_cloud",

@@ -15,6 +15,8 @@ Algorithms are obtained by name through :func:`build_algorithm`.
 
 from repro.algorithms.base import (
     MiningAlgorithm,
+    algorithm_class,
+    algorithm_options,
     available_algorithms,
     build_algorithm,
     register_algorithm,
@@ -36,13 +38,18 @@ from repro.algorithms.dv_fdp import (
     DvFdpFoldAlgorithm,
 )
 from repro.algorithms.capabilities import (
+    AlgorithmCapability,
     CapabilityRow,
+    algorithm_capabilities,
     capability_matrix,
+    check_algorithm_capability,
     recommend_algorithm,
 )
 
 __all__ = [
     "MiningAlgorithm",
+    "algorithm_class",
+    "algorithm_options",
     "available_algorithms",
     "build_algorithm",
     "register_algorithm",
@@ -56,7 +63,10 @@ __all__ = [
     "DvFdpAlgorithm",
     "DvFdpFilterAlgorithm",
     "DvFdpFoldAlgorithm",
+    "AlgorithmCapability",
     "CapabilityRow",
+    "algorithm_capabilities",
     "capability_matrix",
+    "check_algorithm_capability",
     "recommend_algorithm",
 ]

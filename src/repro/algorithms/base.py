@@ -19,7 +19,14 @@ from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 from repro.algorithms.scoring import PairwiseMatrixCache, ProblemEvaluator
 
-__all__ = ["MiningAlgorithm", "register_algorithm", "build_algorithm", "available_algorithms"]
+__all__ = [
+    "MiningAlgorithm",
+    "register_algorithm",
+    "build_algorithm",
+    "available_algorithms",
+    "algorithm_class",
+    "algorithm_options",
+]
 
 
 class MiningAlgorithm(ABC):
@@ -131,6 +138,33 @@ def available_algorithms() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def algorithm_class(name: str) -> Type[MiningAlgorithm]:
+    """The registered algorithm class for ``name`` (case-insensitive).
+
+    Raises ``KeyError`` naming the available algorithms when unknown --
+    the wire API's spec validator maps that to a validation error.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    return _REGISTRY[key]
+
+
+def algorithm_options(name: str) -> List[str]:
+    """The keyword options the named algorithm's constructor accepts.
+
+    The wire API validates a spec's ``options`` against this list so a
+    typo'd parameter is rejected instead of silently dropped (which is
+    what :func:`build_algorithm`'s permissive filtering would do).
+    """
+    import inspect
+
+    cls = algorithm_class(name)
+    return sorted(set(inspect.signature(cls.__init__).parameters) - {"self"})
+
+
 def build_algorithm(name: str, **options) -> MiningAlgorithm:
     """Construct a registered algorithm by name.
 
@@ -138,12 +172,7 @@ def build_algorithm(name: str, **options) -> MiningAlgorithm:
     through, so callers can forward a common option set (e.g. ``seed``)
     to any algorithm.
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise KeyError(
-            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
-        )
-    cls = _REGISTRY[key]
+    cls = algorithm_class(name)
     import inspect
 
     accepted = set(inspect.signature(cls.__init__).parameters) - {"self"}

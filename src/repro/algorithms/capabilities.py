@@ -7,17 +7,34 @@ reproduces that table as data, and :func:`recommend_algorithm` maps a
 concrete problem specification to the paper's recommended solver -- the
 rule the ``algorithm="auto"`` mode of :class:`repro.core.framework.TagDM`
 uses.
+
+On top of the paper's table, :func:`algorithm_capabilities` keys the
+same knowledge by registry name (one :class:`AlgorithmCapability` per
+concrete solver), and :func:`check_algorithm_capability` is the
+machine-checkable rule the wire API's spec validator consults: asking
+the LSH family to maximise diversity, the FDP family to maximise pure
+similarity, or a plain (non-folding, non-filtering) variant to honour
+hard constraints is a *capability mismatch*, rejected before the solve
+starts instead of silently returning a result the algorithm was never
+designed to produce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.measures import Criterion, Dimension
 from repro.core.problem import TagDMProblem
 
-__all__ = ["CapabilityRow", "capability_matrix", "recommend_algorithm"]
+__all__ = [
+    "CapabilityRow",
+    "capability_matrix",
+    "recommend_algorithm",
+    "AlgorithmCapability",
+    "algorithm_capabilities",
+    "check_algorithm_capability",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +87,91 @@ def capability_matrix() -> List[CapabilityRow]:
             technique="fold constraints",
         ),
     ]
+
+
+@dataclass(frozen=True)
+class AlgorithmCapability:
+    """What one registered solver can be asked to do.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"sm-lsh-fo"``, ...).
+    family:
+        ``"exact"``, ``"lsh"`` or ``"fdp"``.
+    objective_criteria:
+        The criteria the solver's optimisation heuristic targets; a
+        problem whose objectives use any other criterion is a mismatch.
+    handles_constraints:
+        Whether the solver enforces hard dual-mining constraints (via
+        folding or filtering); plain variants do not, so a constrained
+        problem routed to them is a mismatch.
+    """
+
+    name: str
+    family: str
+    objective_criteria: Tuple[Criterion, ...]
+    handles_constraints: bool
+
+
+def algorithm_capabilities() -> Dict[str, AlgorithmCapability]:
+    """Table 2 keyed by registry name, one entry per concrete solver."""
+    both = (Criterion.SIMILARITY, Criterion.DIVERSITY)
+    rows = [
+        AlgorithmCapability("exact", "exact", both, True),
+        AlgorithmCapability("sm-lsh", "lsh", (Criterion.SIMILARITY,), False),
+        AlgorithmCapability("sm-lsh-fi", "lsh", (Criterion.SIMILARITY,), True),
+        AlgorithmCapability("sm-lsh-fo", "lsh", (Criterion.SIMILARITY,), True),
+        AlgorithmCapability("dv-fdp", "fdp", both, False),
+        AlgorithmCapability("dv-fdp-fi", "fdp", both, True),
+        AlgorithmCapability("dv-fdp-fo", "fdp", both, True),
+    ]
+    return {row.name: row for row in rows}
+
+
+def check_algorithm_capability(problem: TagDMProblem, algorithm: str) -> Optional[str]:
+    """Why ``algorithm`` cannot solve ``problem``, or ``None`` when it can.
+
+    ``"auto"`` always passes (the session resolves it to a recommended
+    solver); an algorithm missing from the capability table also passes,
+    so externally registered solvers are not rejected by a table they
+    never appeared in.  The returned string is a human-readable reason
+    the wire API wraps in a capability-mismatch error (HTTP 409).
+
+    The rules encode Table 2 plus the family split of Sections 4 and 5:
+    the LSH family's bucket search only maximises similarity, the FDP
+    family's dispersion heuristic is built for diversity goals (the
+    paper folds similarity terms into its distances, so mixed objectives
+    stay in the FDP family), and only the folding/filtering variants
+    enforce hard constraints.
+    """
+    name = algorithm.lower()
+    if name == "auto":
+        return None
+    capability = algorithm_capabilities().get(name)
+    if capability is None:
+        return None
+    objective_criteria = {objective.criterion for objective in problem.objectives}
+    unsupported = objective_criteria - set(capability.objective_criteria)
+    if unsupported:
+        return (
+            f"{name} only maximises "
+            f"{'/'.join(c.value for c in capability.objective_criteria)} objectives; "
+            f"problem {problem.name!r} optimises "
+            f"{'/'.join(sorted(c.value for c in unsupported))}"
+        )
+    if capability.family == "fdp" and Criterion.DIVERSITY not in objective_criteria:
+        return (
+            f"{name} (FDP family) needs at least one diversity objective; "
+            f"problem {problem.name!r} maximises similarity only "
+            "(use the SM-LSH family or exact)"
+        )
+    if problem.constraints and not capability.handles_constraints:
+        return (
+            f"{name} ignores hard constraints; problem {problem.name!r} has "
+            f"{len(problem.constraints)} (use the -fi/-fo variant)"
+        )
+    return None
 
 
 def recommend_algorithm(problem: TagDMProblem) -> str:

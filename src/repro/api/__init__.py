@@ -1,0 +1,49 @@
+"""Wire-native TagDM API: declarative specs, typed errors, unified client.
+
+This package defines the transport-agnostic request/response protocol of
+the TagDM serving stack (documented in ``API.md``):
+
+* :class:`~repro.api.spec.ProblemSpec` -- JSON-serialisable solve
+  requests covering every Table-1 instance (constraints, objectives,
+  support, k-range, algorithm + options), validated against the
+  string-keyed algorithm and capability registries;
+* result serialisation lives on the core types themselves
+  (:meth:`TagDMProblem.to_dict` / :meth:`MiningResult.to_dict` and their
+  inverses), so a solve survives a JSON round-trip unchanged;
+* :class:`~repro.api.errors.ApiError` -- the typed error taxonomy
+  (validation 422, unknown corpus 404, capability mismatch 409,
+  timeout 504) shared by every backend;
+* :class:`~repro.api.client.TagDMClient` -- one client API with three
+  interchangeable backends: :class:`LocalClient` (in-process sessions),
+  :class:`ServerClient` (a :class:`TagDMServer`'s warm shards) and
+  :class:`HttpClient` (the HTTP front-end in :mod:`repro.serving.http`).
+"""
+
+from repro.api.errors import (
+    ApiError,
+    CapabilityMismatchError,
+    SolveTimeoutError,
+    SpecValidationError,
+    UnknownCorpusError,
+    UnknownRouteError,
+    api_error_from_payload,
+    run_with_timeout,
+)
+from repro.api.spec import ProblemSpec
+from repro.api.client import HttpClient, LocalClient, ServerClient, TagDMClient
+
+__all__ = [
+    "ApiError",
+    "SpecValidationError",
+    "UnknownCorpusError",
+    "UnknownRouteError",
+    "CapabilityMismatchError",
+    "SolveTimeoutError",
+    "api_error_from_payload",
+    "run_with_timeout",
+    "ProblemSpec",
+    "TagDMClient",
+    "LocalClient",
+    "ServerClient",
+    "HttpClient",
+]

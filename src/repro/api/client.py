@@ -1,0 +1,363 @@
+"""The unified TagDM client: one API, three interchangeable backends.
+
+:class:`TagDMClient` is the caller-facing abstraction of the wire-native
+API.  Code written against it does not know -- and does not need to know
+-- where the corpus lives:
+
+* :class:`LocalClient` wraps in-process :class:`~repro.core.framework.TagDM`
+  / :class:`~repro.core.incremental.IncrementalTagDM` sessions (the
+  embedded-library deployment);
+* :class:`ServerClient` wraps a :class:`~repro.serving.server.TagDMServer`
+  and routes through its warm shards (the single-process serving
+  deployment);
+* :class:`HttpClient` speaks JSON to the HTTP front-end
+  (:mod:`repro.serving.http`) over the network (the remote deployment).
+
+All three validate requests through the same
+:class:`~repro.api.spec.ProblemSpec` machinery and raise the same typed
+:class:`~repro.api.errors.ApiError` taxonomy, and a solve produces
+bit-identical group selections on every backend serving the same warm
+session -- that is the contract the smoke test in
+``examples/http_client.py`` proves.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.parse
+import urllib.request
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.api.errors import (
+    ApiError,
+    CapabilityMismatchError,
+    SolveTimeoutError,
+    SpecValidationError,
+    UnknownCorpusError,
+    api_error_from_payload,
+    run_with_timeout,
+)
+from repro.api.service import (
+    coerce_spec,
+    corpus_stats,
+    health as server_health,
+    insert_actions,
+    list_corpora,
+    solve_spec,
+    validate_actions,
+)
+from repro.api.spec import ProblemSpec
+from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+
+__all__ = ["TagDMClient", "LocalClient", "ServerClient", "HttpClient"]
+
+SolveRequest = Union[ProblemSpec, TagDMProblem, Mapping[str, object]]
+
+
+class TagDMClient(ABC):
+    """Backend-independent TagDM request interface.
+
+    Solve requests accept a :class:`ProblemSpec`, a plain
+    :class:`TagDMProblem` (with ``algorithm`` / keyword options), or a
+    raw spec payload dict -- the three forms the wire protocol defines.
+    """
+
+    # ------------------------------------------------------------------
+    # Abstract operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def corpora(self) -> List[str]:
+        """Names of the corpora this client can reach."""
+
+    @abstractmethod
+    def insert(
+        self, corpus: str, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        """Apply a batch of action dicts and return the merged report."""
+
+    @abstractmethod
+    def solve(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        """Validate and run one solve request over the named corpus."""
+
+    @abstractmethod
+    def stats(self, corpus: str) -> Dict[str, object]:
+        """Serving counters for one corpus."""
+
+    @abstractmethod
+    def health(self) -> Dict[str, object]:
+        """Aggregate liveness payload (shape of ``/healthz``)."""
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def insert_action(
+        self,
+        corpus: str,
+        user_id: str,
+        item_id: str,
+        tags: Iterable[str],
+        rating: Optional[float] = None,
+        user_attributes: Optional[Mapping[str, str]] = None,
+        item_attributes: Optional[Mapping[str, str]] = None,
+    ) -> IncrementalUpdateReport:
+        """Insert a single tagging action (one-element batch)."""
+        return self.insert(
+            corpus,
+            [
+                {
+                    "user_id": user_id,
+                    "item_id": item_id,
+                    "tags": list(tags),
+                    "rating": rating,
+                    "user_attributes": (
+                        None if user_attributes is None else dict(user_attributes)
+                    ),
+                    "item_attributes": (
+                        None if item_attributes is None else dict(item_attributes)
+                    ),
+                }
+            ],
+        )
+
+    def close(self) -> None:
+        """Release client-held resources (default: nothing to release)."""
+
+    def __enter__(self) -> "TagDMClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalClient(TagDMClient):
+    """Speak the wire API to in-process sessions (no server, no socket).
+
+    Parameters
+    ----------
+    sessions:
+        ``corpus name -> prepared session`` mapping.  Solves work with
+        both :class:`TagDM` and :class:`IncrementalTagDM`; inserts need
+        the incremental wrapper (a plain session cannot absorb actions,
+        which the client reports as a capability mismatch).
+    """
+
+    def __init__(self, sessions: Mapping[str, object]) -> None:
+        self._sessions: Dict[str, object] = dict(sessions)
+
+    def _session(self, corpus: str):
+        try:
+            return self._sessions[corpus]
+        except KeyError:
+            raise UnknownCorpusError(
+                f"corpus {corpus!r} is not registered with this client",
+                details={"corpus": corpus, "known": sorted(self._sessions)},
+            ) from None
+
+    def corpora(self) -> List[str]:
+        return sorted(self._sessions)
+
+    def insert(
+        self, corpus: str, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        session = self._session(corpus)
+        if not isinstance(session, IncrementalTagDM):
+            raise CapabilityMismatchError(
+                f"corpus {corpus!r} is served by a static TagDM session; "
+                "inserts need an IncrementalTagDM",
+                details={"corpus": corpus},
+            )
+        batch = validate_actions(actions)
+        try:
+            return session.add_actions(batch)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SpecValidationError(f"insert rejected: {exc}") from exc
+
+    def solve(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        session = self._session(corpus)
+        spec = coerce_spec(request, algorithm=algorithm, options=options)
+        problem, name = spec.validate()
+        return run_with_timeout(
+            lambda: session.solve(problem, algorithm=name, **dict(spec.options)),
+            timeout,
+            f"solve({corpus})",
+        )
+
+    def stats(self, corpus: str) -> Dict[str, object]:
+        session = self._session(corpus)
+        dataset = session.dataset
+        return {
+            "name": corpus,
+            "backend": "local",
+            "actions": dataset.n_actions,
+            "groups": session.n_groups,
+        }
+
+    def health(self) -> Dict[str, object]:
+        return {"status": "ok", "corpora": self.corpora()}
+
+
+class ServerClient(TagDMClient):
+    """Route requests through a :class:`TagDMServer`'s warm shards.
+
+    The client does not own the server: closing the client leaves the
+    server (and its stores and snapshot rotators) running.
+    """
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    def corpora(self) -> List[str]:
+        return list_corpora(self.server)
+
+    def insert(
+        self, corpus: str, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        return insert_actions(self.server, corpus, actions)
+
+    def solve(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        spec = coerce_spec(request, algorithm=algorithm, options=options)
+        return solve_spec(self.server, corpus, spec, timeout=timeout)
+
+    def stats(self, corpus: str) -> Dict[str, object]:
+        return corpus_stats(self.server, corpus)
+
+    def health(self) -> Dict[str, object]:
+        return server_health(self.server)
+
+
+class HttpClient(TagDMClient):
+    """Speak JSON to the HTTP front-end of :mod:`repro.serving.http`.
+
+    Parameters
+    ----------
+    base_url:
+        Front-end address, e.g. ``"http://127.0.0.1:8631"``.
+    request_timeout:
+        Socket timeout applied to every request (seconds).  A solve with
+        an explicit ``timeout`` also sends it to the server as its
+        compute budget and widens the socket timeout to cover it.
+
+    Error bodies are decoded back into the same typed
+    :class:`~repro.api.errors.ApiError` classes the server raised, so
+    ``except SpecValidationError`` works identically against every
+    backend.
+    """
+
+    def __init__(self, base_url: str, request_timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data is not None else {},
+        )
+        budget = self.request_timeout if timeout is None else timeout + self.request_timeout
+        try:
+            with urllib.request.urlopen(request, timeout=budget) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                error_payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                raise ApiError(
+                    f"HTTP {exc.code} with non-JSON body from {method} {path}"
+                ) from exc
+            raise api_error_from_payload(error_payload) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise SolveTimeoutError(
+                f"{method} {path} timed out after {budget:g}s",
+                details={"timeout_seconds": budget},
+            ) from exc
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                raise SolveTimeoutError(
+                    f"{method} {path} timed out after {budget:g}s",
+                    details={"timeout_seconds": budget},
+                ) from exc
+            raise ApiError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+        if not isinstance(payload, dict):
+            raise ApiError(f"malformed response body from {method} {path}")
+        return payload
+
+    # ------------------------------------------------------------------
+    # TagDMClient operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _corpus_path(corpus: str, verb: str) -> str:
+        # Corpus names are caller input; a name with a slash or space
+        # must not produce a malformed or misrouted request line.
+        return f"/corpora/{urllib.parse.quote(corpus, safe='')}/{verb}"
+
+    def corpora(self) -> List[str]:
+        payload = self._request("GET", "/corpora")
+        return [str(name) for name in payload.get("corpora", [])]
+
+    def insert(
+        self, corpus: str, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        payload = self._request(
+            "POST", self._corpus_path(corpus, "insert"), body={"actions": list(actions)}
+        )
+        return IncrementalUpdateReport.from_dict(payload)
+
+    def solve(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        spec = coerce_spec(request, algorithm=algorithm, options=options)
+        body = spec.to_dict()
+        if timeout is not None:
+            body["timeout_seconds"] = timeout
+        payload = self._request(
+            "POST", self._corpus_path(corpus, "solve"), body=body, timeout=timeout
+        )
+        return MiningResult.from_dict(payload)
+
+    def stats(self, corpus: str) -> Dict[str, object]:
+        return self._request("GET", self._corpus_path(corpus, "stats"))
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,184 @@
+"""Typed error taxonomy of the wire-native TagDM API.
+
+Every failure a request can hit maps to exactly one :class:`ApiError`
+subclass, and every subclass carries a stable wire ``code`` plus the
+HTTP status the front-end answers with:
+
+=====================  ====================  ======
+class                  code                  status
+=====================  ====================  ======
+SpecValidationError    ``validation``        422
+UnknownCorpusError     ``unknown-corpus``    404
+UnknownRouteError      ``unknown-route``     404
+CapabilityMismatchError ``capability-mismatch`` 409
+SolveTimeoutError      ``timeout``           504
+ApiError (fallback)    ``internal``          500
+=====================  ====================  ======
+
+The taxonomy is transport-agnostic: :class:`~repro.api.client.LocalClient`
+raises the same classes an :class:`~repro.api.client.HttpClient` rebuilds
+from a response body (:func:`api_error_from_payload`), so callers handle
+failures identically whether the solve ran in-process or across the
+network.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, Mapping, Optional, TypeVar
+
+from repro.core.exceptions import ReproError
+
+__all__ = [
+    "ApiError",
+    "SpecValidationError",
+    "UnknownCorpusError",
+    "UnknownRouteError",
+    "CapabilityMismatchError",
+    "SolveTimeoutError",
+    "api_error_from_payload",
+    "run_with_timeout",
+]
+
+
+class ApiError(ReproError):
+    """Base class of all wire-API failures.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier carried on the wire.
+    status:
+        The HTTP status the front-end answers with.
+    details:
+        Optional JSON-safe extras (field names, known corpora, ...).
+    """
+
+    code: str = "internal"
+    status: int = 500
+
+    def __init__(self, message: str, details: Optional[Mapping[str, object]] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details: Dict[str, object] = dict(details or {})
+
+    def to_payload(self) -> Dict[str, object]:
+        """The wire form: ``{"error": {code, status, message, details}}``."""
+        return {
+            "error": {
+                "code": self.code,
+                "status": self.status,
+                "message": self.message,
+                "details": self.details,
+            }
+        }
+
+
+class SpecValidationError(ApiError):
+    """The request body or problem spec is malformed (HTTP 422)."""
+
+    code = "validation"
+    status = 422
+
+
+class UnknownCorpusError(ApiError):
+    """The named corpus is not being served (HTTP 404)."""
+
+    code = "unknown-corpus"
+    status = 404
+
+
+class UnknownRouteError(ApiError):
+    """The requested path or method does not exist (HTTP 404)."""
+
+    code = "unknown-route"
+    status = 404
+
+
+class CapabilityMismatchError(ApiError):
+    """The requested algorithm cannot solve this problem class (HTTP 409)."""
+
+    code = "capability-mismatch"
+    status = 409
+
+
+class SolveTimeoutError(ApiError):
+    """The request did not finish within its time budget (HTTP 504)."""
+
+    code = "timeout"
+    status = 504
+
+
+_ERRORS_BY_CODE: Dict[str, type] = {
+    cls.code: cls
+    for cls in (
+        SpecValidationError,
+        UnknownCorpusError,
+        UnknownRouteError,
+        CapabilityMismatchError,
+        SolveTimeoutError,
+        ApiError,
+    )
+}
+
+
+def api_error_from_payload(payload: Mapping[str, object]) -> ApiError:
+    """Rebuild the typed error a server serialised with ``to_payload``.
+
+    Unknown codes degrade to the :class:`ApiError` base class (with the
+    code preserved in ``details``) so a newer server cannot crash an
+    older client.
+    """
+    body = payload.get("error", payload)
+    if not isinstance(body, Mapping):
+        return ApiError(f"malformed error payload: {payload!r}")
+    code = str(body.get("code", "internal"))
+    message = str(body.get("message", "unknown error"))
+    details = body.get("details")
+    cls = _ERRORS_BY_CODE.get(code)
+    if cls is None:
+        error = ApiError(message, details if isinstance(details, Mapping) else None)
+        error.details.setdefault("code", code)
+        return error
+    return cls(message, details if isinstance(details, Mapping) else None)
+
+
+T = TypeVar("T")
+
+
+def run_with_timeout(fn: Callable[[], T], timeout: Optional[float], what: str) -> T:
+    """Run ``fn``, raising :class:`SolveTimeoutError` after ``timeout`` s.
+
+    With ``timeout=None`` the call runs inline.  With a budget, ``fn``
+    runs on a daemon worker thread; on expiry the caller gets the typed
+    timeout error immediately while the abandoned worker runs to
+    completion in the background (Python threads cannot be killed) --
+    its session-level effects still land, only the response is given up
+    on.  This mirrors what a network client experiences when it stops
+    waiting on a slow server.
+    """
+    if timeout is None:
+        return fn()
+    if timeout <= 0:
+        raise SpecValidationError(f"timeout must be positive, got {timeout}")
+    outcome: "queue.Queue[tuple]" = queue.Queue(maxsize=1)
+
+    def worker() -> None:
+        try:
+            outcome.put(("ok", fn()))
+        except BaseException as exc:  # propagated to the waiting caller
+            outcome.put(("error", exc))
+
+    thread = threading.Thread(target=worker, name=f"tagdm-timeout-{what}", daemon=True)
+    thread.start()
+    try:
+        kind, value = outcome.get(timeout=timeout)
+    except queue.Empty:
+        raise SolveTimeoutError(
+            f"{what} did not finish within {timeout:g}s",
+            details={"timeout_seconds": timeout},
+        ) from None
+    if kind == "error":
+        raise value
+    return value

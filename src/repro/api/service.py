@@ -1,0 +1,168 @@
+"""Transport-agnostic request execution over a :class:`TagDMServer`.
+
+The functions here are the single implementation of every wire-API
+operation: :class:`~repro.api.client.ServerClient` calls them directly
+(in-process), and the HTTP front-end (:mod:`repro.serving.http`) calls
+the very same functions from its request handlers.  That sharing is the
+point -- a solve answered over a socket and a solve answered in-process
+run the same validation, the same shard locking and the same session
+code, so their results are bit-identical by construction.
+
+All failures surface as the typed :class:`~repro.api.errors.ApiError`
+taxonomy; transports only translate them (HTTP status codes on one side,
+plain raises on the other).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.api.errors import (
+    SpecValidationError,
+    UnknownCorpusError,
+    run_with_timeout,
+)
+from repro.api.spec import ProblemSpec
+from repro.core.incremental import IncrementalUpdateReport
+from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
+
+__all__ = [
+    "coerce_spec",
+    "validate_actions",
+    "list_corpora",
+    "corpus_stats",
+    "insert_actions",
+    "solve_spec",
+    "health",
+]
+
+
+def validate_actions(actions: Iterable[Mapping[str, object]]) -> List[Mapping[str, object]]:
+    """Shape-check an insert batch; the one validator every backend uses.
+
+    Returns the materialised batch.  Raises :class:`SpecValidationError`
+    for non-object entries or missing identity keys, so LocalClient and
+    the server-backed transports cannot drift on what they accept.
+    """
+    batch = list(actions)
+    for position, action in enumerate(batch):
+        if not isinstance(action, Mapping):
+            raise SpecValidationError(
+                f"actions[{position}] must be an object, got {type(action).__name__}"
+            )
+        for key in ("user_id", "item_id"):
+            if key not in action:
+                raise SpecValidationError(f"actions[{position}] is missing {key!r}")
+    return batch
+
+
+def coerce_spec(
+    request: Union[ProblemSpec, TagDMProblem, Mapping[str, object]],
+    algorithm: str = "auto",
+    options: Optional[Mapping[str, object]] = None,
+) -> ProblemSpec:
+    """Normalise the three accepted solve-request forms into a spec.
+
+    Clients accept a :class:`ProblemSpec`, an in-memory
+    :class:`TagDMProblem` (plus ``algorithm``/``options``), or a raw wire
+    payload dict; everything downstream speaks specs only.
+    """
+    if isinstance(request, ProblemSpec):
+        if options:
+            raise SpecValidationError(
+                "pass algorithm options inside the ProblemSpec, not alongside it"
+            )
+        return request
+    if isinstance(request, TagDMProblem):
+        return ProblemSpec.from_problem(request, algorithm=algorithm, **dict(options or {}))
+    if isinstance(request, Mapping):
+        return ProblemSpec.from_dict(request)
+    raise SpecValidationError(
+        "solve request must be a ProblemSpec, a TagDMProblem or a spec payload "
+        f"dict, got {type(request).__name__}"
+    )
+
+
+def _shard(server, corpus: str):
+    try:
+        return server.shard(corpus)
+    except KeyError as exc:
+        raise UnknownCorpusError(
+            f"corpus {corpus!r} is not being served",
+            details={"corpus": corpus, "known": list(server.corpus_names)},
+        ) from exc
+
+
+def list_corpora(server) -> List[str]:
+    """Names of the corpora the server is currently serving."""
+    return list(server.corpus_names)
+
+
+def corpus_stats(server, corpus: str) -> Dict[str, object]:
+    """Serving counters of one shard (raises for unknown corpora)."""
+    return _shard(server, corpus).stats()
+
+
+def insert_actions(
+    server, corpus: str, actions: Iterable[Mapping[str, object]]
+) -> IncrementalUpdateReport:
+    """Apply an action batch to the named shard (waits until applied).
+
+    Bad action dicts -- missing keys, unknown users/items without
+    attributes -- surface as :class:`SpecValidationError` so every
+    transport answers them as a 422-class failure rather than a server
+    error.
+    """
+    batch = validate_actions(actions)
+    shard = _shard(server, corpus)
+    try:
+        return shard.insert_batch(batch)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SpecValidationError(f"insert rejected: {exc}") from exc
+
+
+def solve_spec(
+    server,
+    corpus: str,
+    request: Union[ProblemSpec, TagDMProblem, Mapping[str, object]],
+    timeout: Optional[float] = None,
+) -> MiningResult:
+    """Validate a solve request and run it on the named warm shard.
+
+    The spec is validated (422/409 taxonomy) *before* the shard is
+    touched; the solve itself runs under the shard's shared read lock on
+    the calling thread, optionally bounded by ``timeout`` seconds
+    (:class:`~repro.api.errors.SolveTimeoutError` on expiry).
+    """
+    spec = coerce_spec(request)
+    problem, algorithm = spec.validate()
+    shard = _shard(server, corpus)
+    return run_with_timeout(
+        lambda: shard.solve(problem, algorithm=algorithm, **dict(spec.options)),
+        timeout,
+        f"solve({corpus})",
+    )
+
+
+def health(server) -> Dict[str, object]:
+    """Aggregate liveness payload (the ``/healthz`` body).
+
+    Sums the per-shard serving counters and surfaces the snapshot and
+    warm/cold start bookkeeping, so one probe answers "is it up, what is
+    it serving, and did it warm-start the way we expect".
+    """
+    per_corpus = server.stats()
+    start_modes = [str(stats.get("start_mode", "cold")) for stats in per_corpus.values()]
+    return {
+        "status": "ok",
+        "corpora": sorted(per_corpus),
+        "inserts_served": sum(int(s.get("inserts_served", 0)) for s in per_corpus.values()),
+        "solves_served": sum(int(s.get("solves_served", 0)) for s in per_corpus.values()),
+        "snapshots_written": sum(
+            int(s.get("snapshots_written", 0)) for s in per_corpus.values()
+        ),
+        "warm_starts": sum(1 for mode in start_modes if mode.startswith("warm")),
+        "cold_starts": sum(1 for mode in start_modes if mode == "cold"),
+        "tail_replays": sum(1 for mode in start_modes if mode == "warm-replay"),
+    }

@@ -1,0 +1,188 @@
+"""Declarative, JSON-serialisable TagDM problem specs.
+
+A :class:`ProblemSpec` is the wire form of one solve request: the full
+Definition 4 problem (constraints, objectives, support, k-range) plus
+the algorithm to run and its constructor options.  It is what travels
+process-to-process -- ``ProblemSpec.from_problem(p).to_dict()`` on one
+side, ``ProblemSpec.from_dict(payload).to_problem()`` on the other --
+and what the validator checks against the string-keyed algorithm and
+capability registries before any solve starts.
+
+Validation is split by error class so transports can answer precisely:
+
+* malformed payloads, unknown algorithms and unaccepted options raise
+  :class:`~repro.api.errors.SpecValidationError` (HTTP 422);
+* a well-formed spec asking an algorithm for a problem class it cannot
+  solve raises :class:`~repro.api.errors.CapabilityMismatchError`
+  (HTTP 409).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.api.errors import CapabilityMismatchError, SpecValidationError
+from repro.core.exceptions import InvalidProblemError
+from repro.core.measures import Criterion
+from repro.core.problem import TagDMProblem
+
+__all__ = ["ProblemSpec"]
+
+#: Option values must be JSON scalars; nested containers have no
+#: algorithm-constructor use and complicate transport equality.
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _auto_algorithm(problem: TagDMProblem) -> str:
+    """The ``algorithm="auto"`` resolution rule of the wire API.
+
+    Matches the family split of Table 2 (and
+    :func:`repro.algorithms.recommend_algorithm`): *any* diversity
+    objective routes to the FDP family, otherwise the LSH family.  For
+    every Table-1 instance (objectives on tags) this is identical to
+    :meth:`TagDM.solve`'s rule; for problems whose diversity objective
+    sits on a non-tag dimension it picks the solver whose capability
+    row actually admits the problem, so an ``"auto"`` spec never fails
+    its own capability check.  All client backends resolve the name
+    here and pass it through explicitly, so they stay bit-identical to
+    each other.
+    """
+    family_is_fdp = problem.maximises_tag_diversity or any(
+        objective.criterion is Criterion.DIVERSITY for objective in problem.objectives
+    )
+    return "dv-fdp-fo" if family_is_fdp else "sm-lsh-fo"
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One solve request in wire form.
+
+    Attributes
+    ----------
+    problem:
+        The JSON payload of the :class:`TagDMProblem`
+        (:meth:`TagDMProblem.to_dict` shape).
+    algorithm:
+        Registry name (``"exact"``, ``"sm-lsh-fo"``, ...) or ``"auto"``.
+    options:
+        Keyword options for the algorithm constructor (``n_bits``,
+        ``n_tables``, ...).  ``seed`` is rejected: determinism across
+        process boundaries requires the serving session's seed, which
+        the session supplies itself.
+    """
+
+    problem: Mapping[str, object]
+    algorithm: str = "auto"
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_problem(
+        cls,
+        problem: TagDMProblem,
+        algorithm: str = "auto",
+        **options: object,
+    ) -> "ProblemSpec":
+        """Build a spec from an in-memory problem object."""
+        return cls(problem=problem.to_dict(), algorithm=algorithm, options=dict(options))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ProblemSpec":
+        """Decode a wire payload (``{"problem": ..., "algorithm": ..., "options": ...}``).
+
+        Shape errors raise :class:`SpecValidationError`; the problem
+        payload itself is validated lazily by :meth:`to_problem` /
+        :meth:`validate` so callers get one error class per failure
+        site.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecValidationError(
+                f"spec payload must be a JSON object, got {type(payload).__name__}"
+            )
+        problem = payload.get("problem")
+        if not isinstance(problem, Mapping):
+            raise SpecValidationError("spec payload needs a 'problem' object")
+        algorithm = payload.get("algorithm", "auto")
+        if not isinstance(algorithm, str) or not algorithm:
+            raise SpecValidationError(
+                f"spec 'algorithm' must be a non-empty string, got {algorithm!r}"
+            )
+        options = payload.get("options", {})
+        if not isinstance(options, Mapping):
+            raise SpecValidationError(
+                f"spec 'options' must be a JSON object, got {type(options).__name__}"
+            )
+        return cls(problem=dict(problem), algorithm=algorithm, options=dict(options))
+
+    # ------------------------------------------------------------------
+    # Serde
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON wire form (inverse of :meth:`from_dict`)."""
+        return {
+            "problem": dict(self.problem),
+            "algorithm": self.algorithm,
+            "options": dict(self.options),
+        }
+
+    def to_problem(self) -> TagDMProblem:
+        """Materialise the problem object, mapping decode failures to 422."""
+        try:
+            return TagDMProblem.from_dict(self.problem)
+        except InvalidProblemError as exc:
+            raise SpecValidationError(f"invalid problem spec: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def resolved_algorithm(self, problem: Optional[TagDMProblem] = None) -> str:
+        """The concrete solver name after ``"auto"`` resolution."""
+        name = self.algorithm.lower()
+        if name != "auto":
+            return name
+        return _auto_algorithm(problem if problem is not None else self.to_problem())
+
+    def validate(self) -> Tuple[TagDMProblem, str]:
+        """Check the spec against the algorithm and capability registries.
+
+        Returns ``(problem, resolved_algorithm_name)`` on success.
+        Raises :class:`SpecValidationError` for malformed problems,
+        unknown algorithm names and unaccepted or non-scalar options,
+        and :class:`CapabilityMismatchError` when the (resolved)
+        algorithm cannot solve this problem class.
+        """
+        from repro.algorithms import algorithm_options, check_algorithm_capability
+
+        problem = self.to_problem()
+        name = self.resolved_algorithm(problem)
+        try:
+            accepted = algorithm_options(name)
+        except KeyError as exc:
+            raise SpecValidationError(str(exc.args[0] if exc.args else exc)) from exc
+        if "seed" in self.options:
+            raise SpecValidationError(
+                "spec options may not set 'seed'; the serving session's seed "
+                "is authoritative (it is what makes remote and in-process "
+                "solves bit-identical)"
+            )
+        unaccepted = sorted(set(self.options) - set(accepted))
+        if unaccepted:
+            raise SpecValidationError(
+                f"algorithm {name!r} does not accept option(s) "
+                f"{', '.join(unaccepted)}; accepted: {', '.join(accepted)}"
+            )
+        for key, value in self.options.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                raise SpecValidationError(
+                    f"option {key!r} must be a JSON scalar, got {type(value).__name__}"
+                )
+        reason = check_algorithm_capability(problem, name)
+        if reason is not None:
+            raise CapabilityMismatchError(
+                reason,
+                details={"algorithm": name, "problem": problem.name},
+            )
+        return problem, name

@@ -75,6 +75,29 @@ class IncrementalUpdateReport:
             f"{self.pending_descriptions} description(s) below min support"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the wire API's insert response body)."""
+        return {
+            "actions_added": self.actions_added,
+            "new_users": list(self.new_users),
+            "new_items": list(self.new_items),
+            "groups_updated": self.groups_updated,
+            "groups_created": self.groups_created,
+            "pending_descriptions": self.pending_descriptions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "IncrementalUpdateReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        report = cls()
+        report.actions_added = int(payload.get("actions_added", 0))
+        report.new_users = [str(user) for user in payload.get("new_users", [])]
+        report.new_items = [str(item) for item in payload.get("new_items", [])]
+        report.groups_updated = int(payload.get("groups_updated", 0))
+        report.groups_created = int(payload.get("groups_created", 0))
+        report.pending_descriptions = int(payload.get("pending_descriptions", 0))
+        return report
+
 
 class IncrementalTagDM:
     """A TagDM session that absorbs new tagging actions in place.

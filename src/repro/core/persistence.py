@@ -48,8 +48,11 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "CHECKSUM_SAMPLE_SIZE",
     "dataset_fingerprint",
+    "read_snapshot",
+    "read_snapshot_fingerprint",
     "save_session",
     "load_session",
+    "session_from_snapshot",
 ]
 
 #: Bump when the snapshot dict layout changes; checked on load.
@@ -108,6 +111,35 @@ def dataset_fingerprint(dataset: TaggingDataset) -> Dict[str, object]:
         "item_schema": list(dataset.item_schema),
         "action_checksum": _action_checksum(dataset),
     }
+
+
+def read_snapshot(path: Union[str, Path]) -> Dict[str, object]:
+    """Deserialise a snapshot file into its version-checked dict.
+
+    The serving layer reads the snapshot *once*, inspects its
+    fingerprint to decide between a direct warm start and a tail
+    replay, then materialises the session from the same dict with
+    :func:`session_from_snapshot` -- no second deserialisation.  Raises
+    ``ValueError`` for snapshots of a different :data:`SNAPSHOT_VERSION`.
+    """
+    with Path(path).open("rb") as handle:
+        snapshot = pickle.load(handle)
+    version = snapshot.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"{path} is a v{version} snapshot; this library reads v{SNAPSHOT_VERSION}"
+        )
+    return snapshot
+
+
+def read_snapshot_fingerprint(path: Union[str, Path]) -> Dict[str, object]:
+    """The dataset fingerprint a snapshot was taken against.
+
+    Tells a caller how far a snapshot lags the durable store
+    (``n_actions`` / ``n_users`` / ``n_items`` at snapshot time)
+    without committing to a session restore.
+    """
+    return dict(read_snapshot(path)["dataset_fingerprint"])
 
 
 def _group_payload(groups: List[TaggingActionGroup]) -> List[Tuple[Tuple, Tuple[int, ...]]]:
@@ -197,7 +229,7 @@ def load_session(
     dataset: TaggingDataset,
     function_suite=None,
 ) -> TagDM:
-    """Warm-start a :class:`TagDM` session from a snapshot.
+    """Warm-start a :class:`TagDM` session from a snapshot file.
 
     ``dataset`` must be the corpus the snapshot was prepared over --
     typically just reloaded from the SQLite store
@@ -206,15 +238,23 @@ def load_session(
     LSH caches are restored without enumeration, fitting or projection,
     so ``solve`` results are identical to the session that was saved.
     """
-    path = Path(path)
-    with path.open("rb") as handle:
-        snapshot = pickle.load(handle)
+    return session_from_snapshot(
+        read_snapshot(path), dataset, function_suite=function_suite, source=str(path)
+    )
 
-    version = snapshot.get("snapshot_version")
-    if version != SNAPSHOT_VERSION:
-        raise ValueError(
-            f"{path} is a v{version} snapshot; this library reads v{SNAPSHOT_VERSION}"
-        )
+
+def session_from_snapshot(
+    snapshot: Dict[str, object],
+    dataset: TaggingDataset,
+    function_suite=None,
+    source: str = "snapshot",
+) -> TagDM:
+    """Materialise a warm session from an already-deserialised snapshot.
+
+    The fingerprint check against ``dataset`` still applies; ``source``
+    only labels error messages (the file path when coming through
+    :func:`load_session`).
+    """
     expected = snapshot["dataset_fingerprint"]
     actual = dataset_fingerprint(dataset)
     if expected != actual:
@@ -222,7 +262,7 @@ def load_session(
             key for key in expected if expected[key] != actual.get(key)
         )
         raise ValueError(
-            f"snapshot {path} was prepared over a different dataset "
+            f"snapshot {source} was prepared over a different dataset "
             f"(mismatched: {', '.join(mismatched)})"
         )
 

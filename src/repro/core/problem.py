@@ -24,10 +24,42 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from itertools import product
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.exceptions import InvalidProblemError
 from repro.core.measures import Criterion, Dimension
+
+
+def _parse_dimension(payload: Mapping[str, object]) -> Dimension:
+    try:
+        return Dimension(str(payload["dimension"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise InvalidProblemError(
+            f"dimension must be one of {[d.value for d in Dimension]}: {exc}"
+        ) from exc
+
+
+def _parse_criterion(payload: Mapping[str, object]) -> Criterion:
+    try:
+        return Criterion(str(payload["criterion"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise InvalidProblemError(
+            f"criterion must be one of {[c.value for c in Criterion]}: {exc}"
+        ) from exc
+
+
+def _parse_number(payload: Mapping[str, object], key: str) -> float:
+    value = payload.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise InvalidProblemError(f"{key} must be a number, got {value!r}")
+    return float(value)
+
+
+def _parse_int(payload: Mapping[str, object], key: str, default: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidProblemError(f"{key} must be an integer, got {value!r}")
+    return value
 
 __all__ = [
     "Constraint",
@@ -59,6 +91,27 @@ class Constraint:
         """Short human-readable form, e.g. ``users similarity >= 0.5``."""
         return f"{self.dimension.value} {self.criterion.value} >= {self.threshold:g}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (see :meth:`from_dict` for the inverse)."""
+        return {
+            "dimension": self.dimension.value,
+            "criterion": self.criterion.value,
+            "threshold": float(self.threshold),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Constraint":
+        """Rebuild a constraint from :meth:`to_dict` output.
+
+        Raises :class:`InvalidProblemError` on malformed payloads so the
+        wire API maps every decoding failure to one error class.
+        """
+        return cls(
+            dimension=_parse_dimension(payload),
+            criterion=_parse_criterion(payload),
+            threshold=_parse_number(payload, "threshold"),
+        )
+
 
 @dataclass(frozen=True)
 class Objective:
@@ -76,6 +129,26 @@ class Objective:
         """Short human-readable form, e.g. ``maximise tags similarity``."""
         prefix = f"{self.weight:g} * " if self.weight != 1.0 else ""
         return f"maximise {prefix}{self.dimension.value} {self.criterion.value}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (see :meth:`from_dict` for the inverse)."""
+        return {
+            "dimension": self.dimension.value,
+            "criterion": self.criterion.value,
+            "weight": float(self.weight),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Objective":
+        """Rebuild an objective from :meth:`to_dict` output."""
+        weight = payload.get("weight", 1.0)
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise InvalidProblemError(f"objective weight must be a number, got {weight!r}")
+        return cls(
+            dimension=_parse_dimension(payload),
+            criterion=_parse_criterion(payload),
+            weight=float(weight),
+        )
 
 
 @dataclass(frozen=True)
@@ -187,6 +260,56 @@ class TagDMProblem:
         for objective in self.objectives:
             lines.append(f"  objective: {objective.describe()}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Wire serde
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form covering the full Definition 4 triple.
+
+        The inverse :meth:`from_dict` revalidates through the regular
+        constructors, so ``TagDMProblem.from_dict(p.to_dict()) == p`` for
+        every well-formed problem (the dataclasses compare by value).
+        """
+        return {
+            "name": self.name,
+            "constraints": [constraint.to_dict() for constraint in self.constraints],
+            "objectives": [objective.to_dict() for objective in self.objectives],
+            "k_lo": self.k_lo,
+            "k_hi": self.k_hi,
+            "min_support": self.min_support,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TagDMProblem":
+        """Rebuild a problem from :meth:`to_dict` output.
+
+        Every malformed payload -- wrong types, unknown dimensions or
+        criteria, bounds violating Definition 4 -- raises
+        :class:`InvalidProblemError`, which the wire API maps to a
+        validation error (HTTP 422).
+        """
+        if not isinstance(payload, Mapping):
+            raise InvalidProblemError(
+                f"problem payload must be an object, got {type(payload).__name__}"
+            )
+        name = payload.get("name", "problem")
+        if not isinstance(name, str) or not name:
+            raise InvalidProblemError(f"problem name must be a non-empty string, got {name!r}")
+        constraints = payload.get("constraints", [])
+        objectives = payload.get("objectives", [])
+        if not isinstance(constraints, Sequence) or isinstance(constraints, (str, bytes)):
+            raise InvalidProblemError("constraints must be a list of constraint objects")
+        if not isinstance(objectives, Sequence) or isinstance(objectives, (str, bytes)):
+            raise InvalidProblemError("objectives must be a list of objective objects")
+        return cls(
+            name=name,
+            constraints=tuple(Constraint.from_dict(entry) for entry in constraints),
+            objectives=tuple(Objective.from_dict(entry) for entry in objectives),
+            k_lo=_parse_int(payload, "k_lo", 1),
+            k_hi=_parse_int(payload, "k_hi", 3),
+            min_support=_parse_int(payload, "min_support", 0),
+        )
 
 
 # ----------------------------------------------------------------------

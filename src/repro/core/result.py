@@ -3,13 +3,41 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.groups import TaggingActionGroup, group_support
+from repro.core.groups import GroupDescription, TaggingActionGroup, group_support
 from repro.core.measures import Criterion, Dimension
 from repro.core.problem import TagDMProblem
 
-__all__ = ["MiningResult"]
+__all__ = ["MiningResult", "json_safe"]
+
+
+def json_safe(value):
+    """Recursively convert ``value`` into plain JSON-serialisable types.
+
+    Algorithm metadata routinely carries numpy scalars, tuples and sets;
+    the wire protocol needs plain ints/floats/bools/lists/dicts.  Unknown
+    objects fall back to ``str`` so a stray value degrades to something
+    readable instead of blowing up the JSON encoder.
+    """
+    import numpy as np
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [json_safe(entry) for entry in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        entries = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [json_safe(entry) for entry in entries]
+    return str(value)
 
 
 @dataclass
@@ -103,3 +131,85 @@ class MiningResult:
             "elapsed_seconds": self.elapsed_seconds,
             "evaluations": self.evaluations,
         }
+
+    # ------------------------------------------------------------------
+    # Wire serde
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form of the full result (null results too).
+
+        Groups are serialised by identity -- their conjunctive
+        description plus the exact tuple rows they cover -- which is what
+        "bit-identical group selections" means across a process boundary.
+        Derived aggregates (user/item coverage, tag multisets,
+        signatures) are reconstructable from the dataset and are not
+        shipped; :meth:`from_dict` restores them when given the dataset.
+        """
+        return {
+            "problem": self.problem.to_dict(),
+            "algorithm": self.algorithm,
+            "groups": [
+                {
+                    "predicates": [[column, value] for column, value in group.description.predicates],
+                    "tuple_indices": [int(index) for index in group.tuple_indices],
+                }
+                for group in self.groups
+            ],
+            "objective_value": float(self.objective_value),
+            "constraint_scores": {
+                str(key): float(value) for key, value in self.constraint_scores.items()
+            },
+            "support": int(self.support),
+            "feasible": bool(self.feasible),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "evaluations": int(self.evaluations),
+            "metadata": json_safe(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object], dataset=None) -> "MiningResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        When ``dataset`` (the corpus the solve ran over) is provided,
+        each group's user/item coverage and tag multiset are rebuilt from
+        its tuple indices; without it the groups carry their description
+        and tuple indices only -- enough for display, equality and
+        parity checks on the client side of a wire call.
+        """
+        groups: List[TaggingActionGroup] = []
+        for entry in payload.get("groups", []):
+            description = GroupDescription(
+                predicates=tuple(
+                    (str(column), str(value)) for column, value in entry["predicates"]
+                )
+            )
+            indices = tuple(int(index) for index in entry["tuple_indices"])
+            if dataset is not None:
+                groups.append(
+                    TaggingActionGroup(
+                        description=description,
+                        tuple_indices=indices,
+                        user_ids=frozenset(dataset.users_for_indices(indices)),
+                        item_ids=frozenset(dataset.items_for_indices(indices)),
+                        tags=tuple(dataset.tags_for_indices(indices)),
+                    )
+                )
+            else:
+                groups.append(
+                    TaggingActionGroup(description=description, tuple_indices=indices)
+                )
+        return cls(
+            problem=TagDMProblem.from_dict(payload["problem"]),
+            algorithm=str(payload["algorithm"]),
+            groups=tuple(groups),
+            objective_value=float(payload["objective_value"]),
+            constraint_scores={
+                str(key): float(value)
+                for key, value in payload.get("constraint_scores", {}).items()
+            },
+            support=int(payload.get("support", 0)),
+            feasible=bool(payload.get("feasible", False)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            evaluations=int(payload.get("evaluations", 0)),
+            metadata=dict(payload.get("metadata", {})),
+        )

@@ -386,6 +386,49 @@ class TaggingDataset:
             )
         return subset
 
+    def prefix(
+        self,
+        n_actions: int,
+        n_users: Optional[int] = None,
+        n_items: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "TaggingDataset":
+        """Return the dataset as it was after its first ``n_actions`` rows.
+
+        Because actions are append-only and users/items are registered in
+        first-sight order, the first ``n_actions`` rows plus the first
+        ``n_users`` / ``n_items`` registrations reconstruct an earlier
+        state of the corpus exactly -- which is what lets a warm-start
+        snapshot taken at that point load against the prefix and then
+        replay the tail (:meth:`repro.serving.server.TagDMServer.open_corpus`).
+        ``n_users`` / ``n_items`` default to every registration (callers
+        that know the historical registry sizes pass them explicitly).
+        The name is kept by default so dataset fingerprints line up.
+        """
+        if n_actions < 0 or n_actions > self.n_actions:
+            raise ValueError(
+                f"prefix length {n_actions} out of range [0, {self.n_actions}]"
+            )
+        subset = TaggingDataset(
+            self._user_schema, self._item_schema, name=name or self.name
+        )
+        for position, (user_id, attributes) in enumerate(self._users.items()):
+            if n_users is not None and position >= n_users:
+                break
+            subset.register_user(user_id, attributes)
+        for position, (item_id, attributes) in enumerate(self._items.items()):
+            if n_items is not None and position >= n_items:
+                break
+            subset.register_item(item_id, attributes)
+        for index in range(n_actions):
+            subset.add_action(
+                self._user_ids[index],
+                self._item_ids[index],
+                self._tags[index],
+                self._ratings[index],
+            )
+        return subset
+
     def sample(self, n: int, seed: int = 0, name: Optional[str] = None) -> "TaggingDataset":
         """Return a uniformly sampled sub-dataset of ``n`` tuples.
 

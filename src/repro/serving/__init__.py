@@ -6,14 +6,21 @@ under mixed insert/query traffic: a :class:`TagDMServer` registry of
 per-corpus :class:`CorpusShard` instances, each with a single writer
 thread, shared-read solves, and a :class:`SnapshotRotationPolicy`
 keeping warm-start snapshots fresh and bounded.  See ``SERVING.md``.
+
+:class:`TagDMHttpServer` puts the registry on the network: an HTTP
+front-end speaking the wire-native API of :mod:`repro.api` (problem
+specs in, serialised results out, typed error taxonomy).  See
+``API.md``.
 """
 
 from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
 from repro.serving.server import TagDMServer
 from repro.serving.shards import CorpusShard, ReadWriteLock
+from repro.serving.http import TagDMHttpServer
 
 __all__ = [
     "TagDMServer",
+    "TagDMHttpServer",
     "CorpusShard",
     "ReadWriteLock",
     "SnapshotRotationPolicy",

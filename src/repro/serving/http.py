@@ -1,0 +1,292 @@
+"""HTTP front-end over :class:`~repro.serving.server.TagDMServer`.
+
+:class:`TagDMHttpServer` is the network half of the wire-native API: a
+stdlib :class:`~http.server.ThreadingHTTPServer` that translates JSON
+requests into the transport-agnostic service layer
+(:mod:`repro.api.service`) -- the *same* functions
+:class:`~repro.api.client.ServerClient` calls in-process, which is what
+makes a solve answered over the socket bit-identical to one answered
+in-process on the same warm session.
+
+Routes (all bodies JSON; see ``API.md`` for the full schema)::
+
+    GET  /healthz                  -- liveness + aggregate counters
+    GET  /corpora                  -- {"corpora": [names]}
+    GET  /corpora/<name>/stats     -- per-shard serving counters
+    POST /corpora/<name>/insert    -- {"actions": [...]} -> update report
+    POST /corpora/<name>/solve     -- ProblemSpec payload -> MiningResult
+
+Failures answer with the typed taxonomy of :mod:`repro.api.errors`
+(validation 422, unknown corpus/route 404, capability mismatch 409,
+timeout 504) as ``{"error": {code, status, message, details}}`` bodies.
+Threading model: every request runs on its own handler thread; solves
+take the shard's shared read lock (many concurrent solves), inserts
+enqueue onto the shard's single-writer queue and block until applied --
+exactly the semantics in-process callers get.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.api import service
+from repro.api.errors import (
+    ApiError,
+    SpecValidationError,
+    UnknownRouteError,
+)
+from repro.api.spec import ProblemSpec
+from repro.serving.server import TagDMServer
+
+__all__ = ["TagDMHttpServer"]
+
+#: Insert/solve bodies above this size are rejected before parsing
+#: (simple protection against a client flooding handler memory).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_CORPUS_ROUTE = re.compile(r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/(?P<verb>[a-z]+)\Z")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route one HTTP request into the service layer."""
+
+    #: Injected by :class:`TagDMHttpServer` via ``type(...)`` below.
+    tagdm_server: TagDMServer = None  # type: ignore[assignment]
+    default_solve_timeout: Optional[float] = None
+
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a serving process wants that off the hot path (and tests quiet).
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _write_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise SpecValidationError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise SpecValidationError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        raw = self.rfile.read(length)
+        self._body_unread = 0
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SpecValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise SpecValidationError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    def _discard_unread_body(self) -> None:
+        """Keep the HTTP/1.1 connection in sync before responding.
+
+        An error path can respond before the request body was read
+        (unknown route, oversized body, validation failure); on a
+        keep-alive connection the unread bytes would then be parsed as
+        the next request line.  Small remainders are drained; oversized
+        ones close the connection instead of reading them all.
+        """
+        remaining = getattr(self, "_body_unread", 0)
+        if remaining <= 0:
+            return
+        if remaining > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
+
+    def _dispatch(self, method: str) -> None:
+        self._body_unread = int(self.headers.get("Content-Length", 0) or 0)
+        try:
+            status, payload = self._route(method)
+        except ApiError as error:
+            status, payload = error.status, error.to_payload()
+        except Exception as exc:  # a bug must answer 500, not drop the socket
+            error = ApiError(f"{type(exc).__name__}: {exc}")
+            status, payload = error.status, error.to_payload()
+        self._discard_unread_body()
+        self._write_json(status, payload)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
+        path = self.path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            return 200, service.health(self.tagdm_server)
+        if method == "GET" and path == "/corpora":
+            return 200, {"corpora": service.list_corpora(self.tagdm_server)}
+        match = _CORPUS_ROUTE.fullmatch(path)
+        if match:
+            # Clients percent-encode corpus names; decode so an unsafe
+            # name answers "unknown corpus", not "unknown route".
+            name = urllib.parse.unquote(match.group("name"))
+            verb = match.group("verb")
+            if method == "GET" and verb == "stats":
+                return 200, service.corpus_stats(self.tagdm_server, name)
+            if method == "POST" and verb == "insert":
+                return 200, self._handle_insert(name)
+            if method == "POST" and verb == "solve":
+                return 200, self._handle_solve(name)
+        raise UnknownRouteError(
+            f"no route for {method} {path}",
+            details={
+                "routes": [
+                    "GET /healthz",
+                    "GET /corpora",
+                    "GET /corpora/<name>/stats",
+                    "POST /corpora/<name>/insert",
+                    "POST /corpora/<name>/solve",
+                ]
+            },
+        )
+
+    def _handle_insert(self, corpus: str) -> Dict[str, object]:
+        payload = self._read_body()
+        actions = payload.get("actions")
+        if not isinstance(actions, list):
+            raise SpecValidationError("insert body needs an 'actions' list")
+        report = service.insert_actions(self.tagdm_server, corpus, actions)
+        return report.to_dict()
+
+    def _handle_solve(self, corpus: str) -> Dict[str, object]:
+        payload = self._read_body()
+        timeout = payload.pop("timeout_seconds", self.default_solve_timeout)
+        if timeout is not None and (
+            isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+        ):
+            raise SpecValidationError(
+                f"timeout_seconds must be a number, got {timeout!r}"
+            )
+        spec = ProblemSpec.from_dict(payload)
+        result = service.solve_spec(self.tagdm_server, corpus, spec, timeout=timeout)
+        return result.to_dict()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+
+class TagDMHttpServer:
+    """Serve a :class:`TagDMServer` over HTTP on a background thread.
+
+    Parameters
+    ----------
+    server:
+        The warm-shard registry to expose.  Not owned: closing the
+        front-end leaves the :class:`TagDMServer` (and its stores and
+        rotators) running, so one process can expose the same registry
+        over several transports at once.
+    host / port:
+        Bind address; ``port=0`` picks a free port (the default, right
+        for tests and examples -- read :attr:`url` after construction).
+    default_solve_timeout:
+        Optional server-side compute budget (seconds) applied to solve
+        requests that do not send ``timeout_seconds`` themselves.
+
+    Usage::
+
+        with TagDMHttpServer(server) as front:
+            client = HttpClient(front.url)
+            client.solve("movies", ProblemSpec.from_problem(problem))
+    """
+
+    def __init__(
+        self,
+        server: TagDMServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_solve_timeout: Optional[float] = None,
+    ) -> None:
+        self.server = server
+        handler = type(
+            "BoundTagDMHandler",
+            (_Handler,),
+            {
+                "tagdm_server": server,
+                "default_solve_timeout": default_solve_timeout,
+            },
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when 0 was asked)."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the accept loop is live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TagDMHttpServer":
+        """Start the accept loop on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"tagdm-http-{self.address[1]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests and release the socket (idempotent).
+
+        In-flight handler threads finish their current response; the
+        underlying :class:`TagDMServer` keeps serving in-process callers.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TagDMHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -106,6 +106,10 @@ class SnapshotRotator:
             re.escape(basename) + r"-(\d{8})" + re.escape(self._SUFFIX) + r"\Z"
         )
         self.rotations = 0
+        #: Wall-clock epoch of the last successful :meth:`rotate` (or
+        #: ``None`` before the first one) -- surfaced by the serving
+        #: stats so operators can see snapshot freshness.
+        self.last_rotation_at: Optional[float] = None
         self._inserts_since = 0
         self._last_rotation_monotonic = time.monotonic()
 
@@ -166,6 +170,7 @@ class SnapshotRotator:
 
         path = save_session(session, self._next_path())
         self.rotations += 1
+        self.last_rotation_at = time.time()
         self._inserts_since = 0
         self._last_rotation_monotonic = time.monotonic()
         self.prune()

@@ -38,7 +38,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.core.enumeration import GroupEnumerationConfig
 from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
-from repro.core.persistence import load_session
+from repro.core.persistence import read_snapshot, session_from_snapshot
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 from repro.dataset.sqlite_store import SqliteTaggingStore
@@ -155,11 +155,16 @@ class TagDMServer:
         """Resume serving an existing corpus directory.
 
         Reloads the dataset from the shard's SQLite store and warm-starts
-        the session from the newest rotation snapshot whose fingerprint
-        matches; snapshots that fail to load (fingerprint drift because
-        the process died between a store write and the next rotation,
-        version bumps, torn files from pre-atomic writers) are skipped
-        oldest-last, and a cold prepare is the final fallback.
+        the session from the newest rotation snapshot.  A snapshot whose
+        fingerprint matches the store loads directly; a snapshot that
+        *lags* the store (the process died between store writes and the
+        next rotation) is loaded against the matching dataset prefix and
+        the store's action tail is replayed into the warm session, so
+        only the lagged inserts pay incremental maintenance instead of
+        the whole corpus paying a cold prepare.  Snapshots that fail both
+        paths (version bumps, fingerprint drift, torn files from
+        pre-atomic writers) are skipped newest-first, and a cold prepare
+        is the final fallback.
         """
         with self._registry_lock:
             self._require_open()
@@ -175,8 +180,16 @@ class TagDMServer:
             try:
                 dataset = store.to_dataset()
                 rotator = self._rotator_for(name)
-                session = self._warm_or_cold_session(dataset, store, rotator)
-                shard = CorpusShard(name, session, rotator=rotator)
+                session, start_mode, replayed = self._warm_or_cold_session(
+                    dataset, store, rotator
+                )
+                shard = CorpusShard(
+                    name,
+                    session,
+                    rotator=rotator,
+                    start_mode=start_mode,
+                    replayed_actions=replayed,
+                )
             except BaseException:
                 store.close()
                 raise
@@ -188,14 +201,16 @@ class TagDMServer:
         dataset: TaggingDataset,
         store: SqliteTaggingStore,
         rotator: SnapshotRotator,
-    ) -> IncrementalTagDM:
+    ):
+        """Warm-start (direct or tail-replay) or cold-prepare a session.
+
+        Returns ``(session, start_mode, replayed_actions)``.
+        """
         for snapshot in reversed(rotator.snapshot_paths()):
-            try:
-                warm = load_session(snapshot, dataset)
-            except Exception:
-                continue  # stale fingerprint / old version: try the next-newest
-            return IncrementalTagDM.from_session(warm, store=store).prepare()
-        return IncrementalTagDM(
+            restored = self._restore_snapshot(snapshot, dataset, store)
+            if restored is not None:
+                return restored
+        session = IncrementalTagDM(
             dataset,
             enumeration=self.enumeration,
             signature_backend=self.signature_backend,
@@ -203,6 +218,77 @@ class TagDMServer:
             seed=self.seed,
             store=store,
         ).prepare()
+        return session, "cold", 0
+
+    def _restore_snapshot(
+        self,
+        snapshot: Path,
+        dataset: TaggingDataset,
+        store: SqliteTaggingStore,
+    ):
+        """Try to warm-start from one snapshot, or ``None`` when unusable.
+
+        When the snapshot's fingerprint says it was taken ``lag`` actions
+        before the store's current tail, the snapshot is loaded against
+        the dataset *prefix* it was prepared over (same first-sight
+        registration order, so the first ``n_users``/``n_items``
+        registrations reconstruct the historical registries) and the tail
+        is replayed through the incremental session -- without the store
+        attached, because the store already holds those actions and
+        mirroring the replay would duplicate them.  Any failure (order
+        drift, fingerprint mismatch, version bump, torn file) makes this
+        snapshot unusable rather than fatal.
+        """
+        try:
+            payload = read_snapshot(snapshot)  # one deserialisation per snapshot
+            fingerprint = payload["dataset_fingerprint"]
+            lag = dataset.n_actions - int(fingerprint["n_actions"])
+            if lag < 0:
+                return None  # snapshot is ahead of the store: unusable
+            if lag == 0:
+                warm = session_from_snapshot(payload, dataset, source=str(snapshot))
+                session = IncrementalTagDM.from_session(warm, store=store).prepare()
+                return session, "warm", 0
+            prefix = dataset.prefix(
+                int(fingerprint["n_actions"]),
+                n_users=int(fingerprint["n_users"]),
+                n_items=int(fingerprint["n_items"]),
+            )
+            warm = session_from_snapshot(payload, prefix, source=str(snapshot))
+            session = IncrementalTagDM.from_session(warm, store=None).prepare()
+            self._replay_tail(session, dataset, prefix.n_actions)
+            session.store = store
+            return session, "warm-replay", lag
+        except Exception:
+            return None
+
+    @staticmethod
+    def _replay_tail(
+        session: IncrementalTagDM, dataset: TaggingDataset, start_row: int
+    ) -> None:
+        """Replay ``dataset`` rows ``start_row..`` into the warm session.
+
+        Attributes ride along on a user/item's first appearance in the
+        tail (the session's prefix dataset has never seen them); they are
+        read from the full dataset's registries, which the store already
+        persisted.
+        """
+        actions = []
+        for row in range(start_row, dataset.n_actions):
+            user_id = dataset.user_of(row)
+            item_id = dataset.item_of(row)
+            actions.append(
+                {
+                    "user_id": user_id,
+                    "item_id": item_id,
+                    "tags": dataset.tags_of(row),
+                    "rating": dataset.rating_of(row),
+                    "user_attributes": dataset.user_attributes(user_id),
+                    "item_attributes": dataset.item_attributes(item_id),
+                }
+            )
+        if actions:
+            session.add_actions(actions)
 
     def shard(self, name: str) -> CorpusShard:
         """The live shard serving ``name`` (raises KeyError when absent)."""

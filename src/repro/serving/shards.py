@@ -113,6 +113,13 @@ class CorpusShard:
     queue_capacity:
         Bound on queued insert requests; submitters block once full
         (simple back-pressure instead of unbounded memory growth).
+    start_mode:
+        How the session came up -- ``"cold"`` (full prepare), ``"warm"``
+        (snapshot restore) or ``"warm-replay"`` (snapshot restore plus a
+        store-tail replay); recorded for :meth:`stats`.
+    replayed_actions:
+        How many store-tail actions were replayed into the warm session
+        at startup (non-zero only for ``"warm-replay"``).
     """
 
     def __init__(
@@ -121,12 +128,20 @@ class CorpusShard:
         session: IncrementalTagDM,
         rotator: Optional[SnapshotRotator] = None,
         queue_capacity: int = 1024,
+        start_mode: str = "cold",
+        replayed_actions: int = 0,
     ) -> None:
         if not session.session.is_prepared:
             raise ValueError("shard sessions must be prepared before serving")
+        if start_mode not in ("cold", "warm", "warm-replay"):
+            raise ValueError(
+                f"start_mode must be cold/warm/warm-replay, got {start_mode!r}"
+            )
         self.name = name
         self.session = session
         self.rotator = rotator
+        self.start_mode = start_mode
+        self.replayed_actions = int(replayed_actions)
         self._lock = ReadWriteLock()
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
         self._closed = threading.Event()
@@ -224,7 +239,16 @@ class CorpusShard:
         return self._closed.is_set()
 
     def stats(self) -> Dict[str, object]:
-        """Serving counters for monitoring and the perf report."""
+        """Serving counters for monitoring and the perf report.
+
+        ``snapshots_written`` / ``last_rotation_at`` track the rotation
+        history of this shard's rotator (``snapshot_rotations`` is the
+        same counter under its pre-PR-4 name, kept for callers of the
+        older stats shape), and ``start_mode`` / ``replayed_actions``
+        record how the session came up (cold prepare, warm snapshot, or
+        warm snapshot plus store-tail replay).
+        """
+        rotations = self.rotator.rotations if self.rotator is not None else 0
         return {
             "name": self.name,
             "actions": self.session.dataset.n_actions,
@@ -232,10 +256,14 @@ class CorpusShard:
             "inserts_served": self._inserts_served,
             "solves_served": self._solves_served,
             "queue_depth": self._queue.qsize(),
-            "snapshot_rotations": (
-                self.rotator.rotations if self.rotator is not None else 0
+            "snapshot_rotations": rotations,
+            "snapshots_written": rotations,
+            "last_rotation_at": (
+                self.rotator.last_rotation_at if self.rotator is not None else None
             ),
             "last_rotation_error": self._last_rotation_error,
+            "start_mode": self.start_mode,
+            "replayed_actions": self.replayed_actions,
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,170 @@
+"""The unified TagDMClient over its in-process backends.
+
+The HTTP backend is exercised in ``tests/serving/test_http.py`` (it
+needs a running front-end); here the Local and Server backends prove the
+shared contract: same validation, same error taxonomy, bit-identical
+solve results over the same warm session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CapabilityMismatchError,
+    LocalClient,
+    ProblemSpec,
+    ServerClient,
+    SolveTimeoutError,
+    SpecValidationError,
+    UnknownCorpusError,
+)
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.incremental import IncrementalTagDM
+from repro.core.problem import table1_problem
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import TagDMServer
+
+SEED = 11
+
+
+def make_dataset():
+    return generate_movielens_style(n_users=40, n_items=80, n_actions=600, seed=SEED)
+
+
+@pytest.fixture()
+def incremental_session():
+    return IncrementalTagDM(
+        make_dataset(), enumeration=GroupEnumerationConfig(min_support=5), seed=SEED
+    ).prepare()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with TagDMServer(tmp_path, seed=SEED) as srv:
+        srv.add_corpus("movies", make_dataset())
+        yield srv
+
+
+class TestLocalClient:
+    def test_corpora_and_health(self, incremental_session):
+        client = LocalClient({"movies": incremental_session})
+        assert client.corpora() == ["movies"]
+        assert client.health()["status"] == "ok"
+
+    def test_solve_accepts_problem_spec_and_payload(self, incremental_session):
+        client = LocalClient({"movies": incremental_session})
+        problem = table1_problem(
+            1, k=3, min_support=incremental_session.default_support()
+        )
+        spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+        by_problem = client.solve("movies", problem, algorithm="sm-lsh-fo")
+        by_spec = client.solve("movies", spec)
+        by_payload = client.solve("movies", spec.to_dict())
+        assert by_problem.descriptions() == by_spec.descriptions()
+        assert by_spec.descriptions() == by_payload.descriptions()
+        assert by_spec.objective_value == by_payload.objective_value
+
+    def test_insert_updates_the_session(self, incremental_session):
+        client = LocalClient({"movies": incremental_session})
+        before = incremental_session.dataset.n_actions
+        dataset = incremental_session.dataset
+        report = client.insert_action(
+            "movies", dataset.user_of(0), dataset.item_of(0), ["wire-tag"]
+        )
+        assert report.actions_added == 1
+        assert incremental_session.dataset.n_actions == before + 1
+
+    def test_unknown_corpus(self, incremental_session):
+        client = LocalClient({"movies": incremental_session})
+        with pytest.raises(UnknownCorpusError):
+            client.solve("books", table1_problem(1))
+        with pytest.raises(UnknownCorpusError):
+            client.stats("books")
+
+    def test_insert_into_static_session_is_a_capability_mismatch(
+        self, prepared_session
+    ):
+        client = LocalClient({"static": prepared_session})
+        with pytest.raises(CapabilityMismatchError, match="static TagDM session"):
+            client.insert_action("static", "u0", "i0", ["t"])
+
+    def test_bad_action_payloads_are_validation_errors(self, incremental_session):
+        client = LocalClient({"movies": incremental_session})
+        with pytest.raises(SpecValidationError, match="missing 'item_id'"):
+            client.insert("movies", [{"user_id": "u0"}])
+        with pytest.raises(SpecValidationError, match="rejected"):
+            client.insert(
+                "movies",
+                [{"user_id": "brand-new-user", "item_id": "i0", "tags": ["t"]}],
+            )
+
+    def test_capability_mismatch_propagates(self, incremental_session):
+        client = LocalClient({"movies": incremental_session})
+        with pytest.raises(CapabilityMismatchError):
+            client.solve("movies", table1_problem(1), algorithm="dv-fdp-fo")
+
+    def test_solve_timeout(self, incremental_session, monkeypatch):
+        import time
+
+        client = LocalClient({"movies": incremental_session})
+        original = incremental_session.solve
+
+        def slow_solve(*args, **kwargs):
+            time.sleep(0.5)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(incremental_session, "solve", slow_solve)
+        problem = table1_problem(
+            1, k=3, min_support=incremental_session.default_support()
+        )
+        with pytest.raises(SolveTimeoutError):
+            client.solve("movies", problem, algorithm="sm-lsh-fo", timeout=0.05)
+
+
+class TestServerClient:
+    def test_routes_to_the_warm_shard(self, server):
+        client = ServerClient(server)
+        assert client.corpora() == ["movies"]
+        stats = client.stats("movies")
+        assert stats["name"] == "movies"
+        assert stats["start_mode"] == "cold"
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["cold_starts"] == 1
+
+    def test_insert_then_solve(self, server):
+        client = ServerClient(server)
+        dataset = server.shard("movies").session.dataset
+        report = client.insert_action(
+            "movies", dataset.user_of(0), dataset.item_of(0), ["via-server-client"]
+        )
+        assert report.actions_added == 1
+        problem = table1_problem(
+            1, k=3, min_support=server.shard("movies").session.default_support()
+        )
+        result = client.solve("movies", problem, algorithm="sm-lsh-fo")
+        assert result.k == 3
+
+    def test_unknown_corpus_lists_known(self, server):
+        client = ServerClient(server)
+        with pytest.raises(UnknownCorpusError) as excinfo:
+            client.solve("books", table1_problem(1))
+        assert excinfo.value.details["known"] == ["movies"]
+
+
+class TestBackendParity:
+    def test_local_and_server_clients_solve_bit_identically(self, server):
+        """Both backends over the *same warm session* must agree exactly."""
+        shard = server.shard("movies")
+        local = LocalClient({"movies": shard.session})
+        remote = ServerClient(server)
+        problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+        spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+        a = local.solve("movies", spec)
+        b = remote.solve("movies", spec)
+        assert a.objective_value == b.objective_value
+        assert [g.description for g in a.groups] == [g.description for g in b.groups]
+        assert [g.tuple_indices for g in a.groups] == [
+            g.tuple_indices for g in b.groups
+        ]

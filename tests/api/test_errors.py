@@ -1,0 +1,81 @@
+"""The typed error taxonomy and its wire payload round-trip."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    CapabilityMismatchError,
+    SolveTimeoutError,
+    SpecValidationError,
+    UnknownCorpusError,
+    UnknownRouteError,
+    api_error_from_payload,
+    run_with_timeout,
+)
+from repro.core.exceptions import ReproError
+
+TAXONOMY = [
+    (SpecValidationError, "validation", 422),
+    (UnknownCorpusError, "unknown-corpus", 404),
+    (UnknownRouteError, "unknown-route", 404),
+    (CapabilityMismatchError, "capability-mismatch", 409),
+    (SolveTimeoutError, "timeout", 504),
+    (ApiError, "internal", 500),
+]
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls, code, status", TAXONOMY)
+    def test_codes_and_statuses_are_stable(self, cls, code, status):
+        error = cls("boom", details={"hint": "x"})
+        assert error.code == code
+        assert error.status == status
+        assert isinstance(error, ReproError)
+
+    @pytest.mark.parametrize("cls, code, status", TAXONOMY)
+    def test_payload_round_trip_restores_the_class(self, cls, code, status):
+        error = cls("something went wrong", details={"corpus": "movies"})
+        payload = error.to_payload()
+        assert payload["error"]["code"] == code
+        assert payload["error"]["status"] == status
+        back = api_error_from_payload(payload)
+        assert type(back) is cls
+        assert back.message == "something went wrong"
+        assert back.details == {"corpus": "movies"}
+
+    def test_unknown_code_degrades_to_base_class(self):
+        back = api_error_from_payload(
+            {"error": {"code": "rate-limited", "status": 429, "message": "slow down"}}
+        )
+        assert type(back) is ApiError
+        assert back.details["code"] == "rate-limited"
+
+    def test_malformed_payload_degrades_to_base_class(self):
+        assert isinstance(api_error_from_payload({"error": "?"}), ApiError)
+
+
+class TestRunWithTimeout:
+    def test_no_timeout_runs_inline(self):
+        assert run_with_timeout(lambda: 42, None, "inline") == 42
+
+    def test_fast_call_beats_the_budget(self):
+        assert run_with_timeout(lambda: "ok", 5.0, "fast") == "ok"
+
+    def test_slow_call_raises_typed_timeout(self):
+        with pytest.raises(SolveTimeoutError, match="did not finish"):
+            run_with_timeout(lambda: time.sleep(2.0), 0.05, "slow")
+
+    def test_worker_exception_propagates(self):
+        def boom():
+            raise ValueError("from worker")
+
+        with pytest.raises(ValueError, match="from worker"):
+            run_with_timeout(boom, 5.0, "boom")
+
+    def test_nonpositive_budget_is_a_validation_error(self):
+        with pytest.raises(SpecValidationError, match="positive"):
+            run_with_timeout(lambda: 1, 0.0, "zero")

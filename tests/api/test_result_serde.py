@@ -1,0 +1,112 @@
+"""MiningResult wire round-trips: null and non-null, every Table-1 instance."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.problem import TABLE1_PROBLEMS, table1_problem
+from repro.core.result import MiningResult, json_safe
+
+
+def wire_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+def assert_result_equal(back: MiningResult, result: MiningResult) -> None:
+    assert back.problem == result.problem
+    assert back.algorithm == result.algorithm
+    assert [g.description for g in back.groups] == [g.description for g in result.groups]
+    assert [g.tuple_indices for g in back.groups] == [
+        g.tuple_indices for g in result.groups
+    ]
+    assert back.objective_value == result.objective_value
+    assert back.constraint_scores == result.constraint_scores
+    assert back.support == result.support
+    assert back.feasible == result.feasible
+    assert back.elapsed_seconds == result.elapsed_seconds
+    assert back.evaluations == result.evaluations
+
+
+class TestSolvedResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def solved(self, prepared_session):
+        """One solved result per Table-1 problem over the shared session."""
+        results = {}
+        support = prepared_session.default_support()
+        for problem_id in sorted(TABLE1_PROBLEMS):
+            problem = table1_problem(problem_id, k=3, min_support=support)
+            results[problem_id] = prepared_session.solve(problem, algorithm="auto")
+        return results
+
+    @pytest.mark.parametrize("problem_id", sorted(TABLE1_PROBLEMS))
+    def test_table1_result_survives_json(self, solved, problem_id):
+        result = solved[problem_id]
+        back = MiningResult.from_dict(wire_trip(result.to_dict()))
+        assert_result_equal(back, result)
+
+    @pytest.mark.parametrize("problem_id", sorted(TABLE1_PROBLEMS))
+    def test_rehydration_with_dataset_restores_group_aggregates(
+        self, solved, problem_id, movielens_dataset
+    ):
+        result = solved[problem_id]
+        back = MiningResult.from_dict(
+            wire_trip(result.to_dict()), dataset=movielens_dataset
+        )
+        assert [g.user_ids for g in back.groups] == [g.user_ids for g in result.groups]
+        assert [g.item_ids for g in back.groups] == [g.item_ids for g in result.groups]
+        assert [g.tags for g in back.groups] == [g.tags for g in result.groups]
+
+    def test_metadata_survives_as_plain_json(self, solved):
+        payload = wire_trip(solved[1].to_dict())
+        assert isinstance(payload["metadata"], dict)
+        back = MiningResult.from_dict(payload)
+        assert back.metadata == payload["metadata"]
+
+
+class TestNullResultRoundTrip:
+    def test_null_result_survives_json(self):
+        problem = table1_problem(3, k=3, min_support=50)
+        result = MiningResult(
+            problem=problem,
+            algorithm="sm-lsh-fi",
+            groups=(),
+            objective_value=0.0,
+            metadata={"relaxations": 8},
+        )
+        back = MiningResult.from_dict(wire_trip(result.to_dict()))
+        assert back.is_empty
+        assert not back.feasible
+        assert_result_equal(back, result)
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_and_arrays_become_plain_types(self):
+        payload = json_safe(
+            {
+                "bits": np.int64(10),
+                "score": np.float32(0.5),
+                "flag": np.bool_(True),
+                "vector": np.arange(3),
+                "pair": (1, 2),
+                "names": {"b", "a"},
+            }
+        )
+        assert payload == {
+            "bits": 10,
+            "score": 0.5,
+            "flag": True,
+            "vector": [0, 1, 2],
+            "pair": [1, 2],
+            "names": ["a", "b"],
+        }
+        json.dumps(payload)  # must be encodable as-is
+
+    def test_unknown_objects_degrade_to_strings(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        assert json_safe({"x": Weird()}) == {"x": "weird"}

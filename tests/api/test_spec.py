@@ -1,0 +1,160 @@
+"""Round-trip and validation tests for the wire-native problem specs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CapabilityMismatchError, ProblemSpec, SpecValidationError
+from repro.core.exceptions import InvalidProblemError
+from repro.core.measures import Criterion, Dimension
+from repro.core.problem import (
+    Constraint,
+    Objective,
+    TABLE1_PROBLEMS,
+    TagDMProblem,
+    enumerate_problem_instances,
+    table1_problem,
+)
+
+
+def wire_trip(payload):
+    """Simulate the process boundary: encode to JSON text and back."""
+    return json.loads(json.dumps(payload))
+
+
+class TestProblemRoundTrip:
+    @pytest.mark.parametrize("problem_id", sorted(TABLE1_PROBLEMS))
+    def test_every_table1_problem_survives_json(self, problem_id):
+        problem = TABLE1_PROBLEMS[problem_id]
+        assert TagDMProblem.from_dict(wire_trip(problem.to_dict())) == problem
+
+    def test_table1_with_nondefault_parameters(self):
+        problem = table1_problem(
+            4, k=7, min_support=35, user_threshold=0.25, item_threshold=0.75, k_lo=2
+        )
+        assert TagDMProblem.from_dict(wire_trip(problem.to_dict())) == problem
+
+    def test_every_enumerated_instance_survives_json(self):
+        problems = enumerate_problem_instances(k=4, min_support=9, threshold=0.3)
+        assert len(problems) == 98
+        for problem in problems:
+            assert TagDMProblem.from_dict(wire_trip(problem.to_dict())) == problem
+
+    def test_constraint_and_objective_round_trip(self):
+        constraint = Constraint(Dimension.USERS, Criterion.DIVERSITY, 0.4)
+        objective = Objective(Dimension.TAGS, Criterion.SIMILARITY, weight=2.5)
+        assert Constraint.from_dict(wire_trip(constraint.to_dict())) == constraint
+        assert Objective.from_dict(wire_trip(objective.to_dict())) == objective
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not-a-dict",
+            {"objectives": []},
+            {"objectives": [{"dimension": "tags", "criterion": "similarity"}], "k_lo": "3"},
+            {"objectives": [{"dimension": "galaxies", "criterion": "similarity"}]},
+            {"objectives": [{"dimension": "tags", "criterion": "entropy"}]},
+            {
+                "objectives": [{"dimension": "tags", "criterion": "similarity"}],
+                "constraints": [{"dimension": "users", "criterion": "similarity", "threshold": 7}],
+            },
+            {"objectives": "similarity"},
+            {"name": "", "objectives": [{"dimension": "tags", "criterion": "similarity"}]},
+        ],
+    )
+    def test_malformed_problem_payloads_raise_invalid_problem(self, payload):
+        with pytest.raises(InvalidProblemError):
+            TagDMProblem.from_dict(payload)
+
+
+class TestProblemSpec:
+    def test_spec_round_trip_preserves_algorithm_and_options(self):
+        spec = ProblemSpec.from_problem(
+            table1_problem(2), algorithm="sm-lsh-fi", n_bits=8, n_tables=2
+        )
+        back = ProblemSpec.from_dict(wire_trip(spec.to_dict()))
+        assert back == spec
+        assert back.to_problem() == table1_problem(2)
+
+    def test_from_problem_to_problem_identity(self):
+        for problem in TABLE1_PROBLEMS.values():
+            assert ProblemSpec.from_problem(problem).to_problem() == problem
+
+    def test_validate_resolves_auto_like_the_session(self):
+        _, name = ProblemSpec.from_problem(table1_problem(1)).validate()
+        assert name == "sm-lsh-fo"
+        _, name = ProblemSpec.from_problem(table1_problem(4)).validate()
+        assert name == "dv-fdp-fo"
+
+    def test_auto_never_fails_its_own_capability_check(self):
+        """``auto`` must resolve to an admissible solver for every
+        well-formed instance -- including diversity objectives on
+        non-tag dimensions (which route to the FDP family)."""
+        for problem in enumerate_problem_instances(k=3, min_support=0, threshold=0.5):
+            _, name = ProblemSpec.from_problem(problem).validate()
+            assert name in ("sm-lsh-fo", "dv-fdp-fo")
+        users_diversity = TagDMProblem(
+            name="users-div",
+            constraints=(),
+            objectives=(Objective(Dimension.USERS, Criterion.DIVERSITY),),
+        )
+        _, name = ProblemSpec.from_problem(users_diversity).validate()
+        assert name == "dv-fdp-fo"
+
+    def test_unknown_algorithm_is_a_validation_error(self):
+        spec = ProblemSpec.from_problem(table1_problem(1), algorithm="quantum-anneal")
+        with pytest.raises(SpecValidationError, match="unknown algorithm"):
+            spec.validate()
+
+    def test_unaccepted_option_is_a_validation_error(self):
+        spec = ProblemSpec.from_problem(table1_problem(1), algorithm="exact", n_bits=8)
+        with pytest.raises(SpecValidationError, match="does not accept"):
+            spec.validate()
+
+    def test_seed_option_is_rejected(self):
+        spec = ProblemSpec.from_problem(table1_problem(1), algorithm="sm-lsh-fo", seed=3)
+        with pytest.raises(SpecValidationError, match="seed"):
+            spec.validate()
+
+    def test_non_scalar_option_is_rejected(self):
+        spec = ProblemSpec.from_problem(
+            table1_problem(1), algorithm="sm-lsh-fo", n_bits=[8, 10]
+        )
+        with pytest.raises(SpecValidationError, match="JSON scalar"):
+            spec.validate()
+
+    def test_capability_mismatch_lsh_for_diversity_goal(self):
+        spec = ProblemSpec.from_problem(table1_problem(4), algorithm="sm-lsh-fo")
+        with pytest.raises(CapabilityMismatchError):
+            spec.validate()
+
+    def test_capability_mismatch_fdp_for_pure_similarity_goal(self):
+        spec = ProblemSpec.from_problem(table1_problem(1), algorithm="dv-fdp-fo")
+        with pytest.raises(CapabilityMismatchError):
+            spec.validate()
+
+    def test_capability_mismatch_plain_variant_with_constraints(self):
+        spec = ProblemSpec.from_problem(table1_problem(1), algorithm="sm-lsh")
+        with pytest.raises(CapabilityMismatchError, match="ignores hard constraints"):
+            spec.validate()
+
+    def test_exact_solves_every_table1_instance(self):
+        for problem in TABLE1_PROBLEMS.values():
+            _, name = ProblemSpec.from_problem(problem, algorithm="exact").validate()
+            assert name == "exact"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {"algorithm": "exact"},
+            {"problem": "p1"},
+            {"problem": {}, "algorithm": ""},
+            {"problem": {}, "options": ["n_bits"]},
+        ],
+    )
+    def test_malformed_spec_payloads_raise_validation(self, payload):
+        with pytest.raises(SpecValidationError):
+            ProblemSpec.from_dict(payload)

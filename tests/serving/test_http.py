@@ -1,0 +1,246 @@
+"""The HTTP front-end: endpoints, error taxonomy, wire parity."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    CapabilityMismatchError,
+    HttpClient,
+    LocalClient,
+    ProblemSpec,
+    SolveTimeoutError,
+    SpecValidationError,
+    UnknownCorpusError,
+    UnknownRouteError,
+)
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.problem import table1_problem
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import TagDMHttpServer, TagDMServer
+from repro.serving.shards import CorpusShard
+
+SEED = 23
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """One server + HTTP front-end + client shared by the module."""
+    root = tmp_path_factory.mktemp("http-root")
+    dataset = generate_movielens_style(n_users=40, n_items=80, n_actions=600, seed=SEED)
+    # max_groups keeps the "exact" parity solve inside its candidate cap
+    server = TagDMServer(
+        root,
+        enumeration=GroupEnumerationConfig(min_support=5, max_groups=60),
+        seed=SEED,
+    )
+    server.add_corpus("movies", dataset)
+    front = TagDMHttpServer(server).start()
+    client = HttpClient(front.url, request_timeout=30.0)
+    yield server, front, client
+    front.stop()
+    server.close()
+
+
+def raw_request(front, method, path, body=None):
+    """Issue a raw request and return ``(status, decoded json)``."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(front.url + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_healthz(self, stack):
+        _server, front, client = stack
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["corpora"] == ["movies"]
+        assert payload["cold_starts"] == 1
+        assert payload["warm_starts"] == 0
+        assert payload["snapshots_written"] >= 1
+
+    def test_corpora(self, stack):
+        _server, _front, client = stack
+        assert client.corpora() == ["movies"]
+
+    def test_stats_surfaces_rotation_counters(self, stack):
+        _server, _front, client = stack
+        stats = client.stats("movies")
+        assert stats["name"] == "movies"
+        assert stats["start_mode"] == "cold"
+        assert stats["snapshots_written"] >= 1
+        assert stats["last_rotation_at"] is not None
+        assert "replayed_actions" in stats
+
+    def test_insert_then_solve_over_the_wire(self, stack):
+        server, _front, client = stack
+        dataset = server.shard("movies").session.dataset
+        before = dataset.n_actions
+        report = client.insert_action(
+            "movies", dataset.user_of(0), dataset.item_of(0), ["http-tag"]
+        )
+        assert report.actions_added == 1
+        assert server.shard("movies").session.dataset.n_actions == before + 1
+        problem = table1_problem(
+            1, k=3, min_support=server.shard("movies").session.default_support()
+        )
+        result = client.solve("movies", problem, algorithm="sm-lsh-fo")
+        assert result.k == 3
+        assert result.algorithm == "sm-lsh-fo"
+
+
+class TestWireParity:
+    def test_http_solve_is_bit_identical_to_in_process(self, stack):
+        """The acceptance criterion: same warm session, same groups."""
+        server, _front, client = stack
+        shard = server.shard("movies")
+        local = LocalClient({"movies": shard.session})
+        problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+        for algorithm in ("sm-lsh-fo", "exact"):
+            spec = ProblemSpec.from_problem(problem, algorithm=algorithm)
+            over_http = client.solve("movies", spec)
+            in_process = local.solve("movies", spec)
+            assert over_http.objective_value == in_process.objective_value
+            assert [g.description for g in over_http.groups] == [
+                g.description for g in in_process.groups
+            ]
+            assert [g.tuple_indices for g in over_http.groups] == [
+                g.tuple_indices for g in in_process.groups
+            ]
+            assert over_http.constraint_scores == in_process.constraint_scores
+
+
+class TestErrorTaxonomy:
+    def test_bad_spec_is_422(self, stack):
+        _server, front, _client = stack
+        status, payload = raw_request(
+            front,
+            "POST",
+            "/corpora/movies/solve",
+            body={"problem": {"objectives": []}},
+        )
+        assert status == 422
+        assert payload["error"]["code"] == "validation"
+
+    def test_unknown_corpus_is_404(self, stack):
+        _server, front, _client = stack
+        status, payload = raw_request(
+            front,
+            "POST",
+            "/corpora/atlantis/solve",
+            body=ProblemSpec.from_problem(table1_problem(1)).to_dict(),
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-corpus"
+        assert payload["error"]["details"]["known"] == ["movies"]
+
+    def test_capability_mismatch_is_409(self, stack):
+        _server, front, _client = stack
+        status, payload = raw_request(
+            front,
+            "POST",
+            "/corpora/movies/solve",
+            body=ProblemSpec.from_problem(
+                table1_problem(4), algorithm="sm-lsh-fo"
+            ).to_dict(),
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "capability-mismatch"
+
+    def test_unknown_route_is_404(self, stack):
+        _server, front, _client = stack
+        status, payload = raw_request(front, "GET", "/corpora/movies/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-route"
+
+    def test_non_json_body_is_422(self, stack):
+        _server, front, _client = stack
+        request = urllib.request.Request(
+            front.url + "/corpora/movies/solve", data=b"not json{", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert excinfo.value.code == 422
+
+    def test_typed_errors_rebuild_client_side(self, stack):
+        _server, _front, client = stack
+        with pytest.raises(UnknownCorpusError):
+            client.stats("atlantis")
+        with pytest.raises(CapabilityMismatchError):
+            client.solve("movies", table1_problem(4), algorithm="sm-lsh-fo")
+        with pytest.raises(SpecValidationError):
+            client.solve("movies", {"problem": {"objectives": []}})
+        with pytest.raises(UnknownRouteError):
+            client._request("GET", "/nope")
+
+    def test_error_with_unread_body_keeps_the_keepalive_connection_usable(
+        self, stack
+    ):
+        """An error answered before the body was read must not desync a
+        persistent connection (the unread bytes would otherwise be parsed
+        as the next request line)."""
+        import http.client
+
+        _server, front, _client = stack
+        host, port = front.address
+        connection = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            body = json.dumps({"padding": "x" * 4096}).encode("utf-8")
+            # unknown route: the handler raises before touching the body
+            connection.request("POST", "/corpora/movies/explode", body=body)
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            # the same connection must serve the next request cleanly
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_solve_timeout_is_504(self, stack, monkeypatch):
+        server, _front, client = stack
+        import time
+
+        original = CorpusShard.solve
+
+        def slow_solve(self, *args, **kwargs):
+            time.sleep(0.5)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(CorpusShard, "solve", slow_solve)
+        problem = table1_problem(
+            1, k=3, min_support=server.shard("movies").session.default_support()
+        )
+        with pytest.raises(SolveTimeoutError):
+            client.solve("movies", problem, algorithm="sm-lsh-fo", timeout=0.05)
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_releases_the_port(self, tmp_path):
+        dataset = generate_movielens_style(
+            n_users=20, n_items=40, n_actions=200, seed=SEED
+        )
+        with TagDMServer(tmp_path, seed=SEED) as server:
+            server.add_corpus("tiny", dataset)
+            front = TagDMHttpServer(server)
+            assert not front.is_running
+            front.start()
+            assert front.is_running
+            host, port = front.address
+            assert port != 0
+            front.stop()
+            front.stop()
+            assert not front.is_running
+            # the TagDMServer must keep serving in-process after the
+            # front-end is gone
+            assert server.corpus_names == ["tiny"]

@@ -1,0 +1,177 @@
+"""Warm-start tail replay: snapshots lagging the store still warm-start."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import IncrementalTagDM
+from repro.core.problem import table1_problem
+from repro.dataset.sqlite_store import SqliteTaggingStore
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import SnapshotRotationPolicy, TagDMServer
+
+SEED = 29
+
+
+def make_dataset():
+    return generate_movielens_style(n_users=40, n_items=80, n_actions=500, seed=SEED)
+
+
+def make_server(root, every_inserts=10_000):
+    # A huge rotation threshold so the only snapshot is the one taken at
+    # add_corpus / close time -- the store can then advance past it.
+    return TagDMServer(
+        root,
+        policy=SnapshotRotationPolicy(every_inserts=every_inserts, keep_last=3),
+        seed=SEED,
+    )
+
+
+def grow_store_past_snapshot(root, dataset, count, new_user=False):
+    """Append ``count`` actions straight to the store (no snapshot)."""
+    store = SqliteTaggingStore(root / "movies" / "corpus.sqlite")
+    try:
+        for i in range(count):
+            if new_user and i == 0:
+                store.append_action(
+                    "tail-user",
+                    dataset.item_of(0),
+                    (f"tail-{i}",),
+                    None,
+                    user_attributes={
+                        attr: "unknown" for attr in dataset.user_schema
+                    },
+                )
+            else:
+                store.append_action(
+                    dataset.user_of(i), dataset.item_of(i), (f"tail-{i}",), None
+                )
+    finally:
+        store.close()
+
+
+class TestTailReplay:
+    def test_lagging_snapshot_replays_the_tail_instead_of_cold_prepare(
+        self, tmp_path
+    ):
+        dataset = make_dataset()
+        server = make_server(tmp_path)
+        server.add_corpus("movies", dataset)
+        server.close()
+        grow_store_past_snapshot(tmp_path, dataset, 12)
+
+        resumed = make_server(tmp_path)
+        shard = resumed.open_corpus("movies")
+        stats = shard.stats()
+        assert stats["start_mode"] == "warm-replay"
+        assert stats["replayed_actions"] == 12
+        assert shard.session.dataset.n_actions == 512
+        resumed.close()
+
+    def test_tail_replay_solves_match_in_order_cold_replay(self, tmp_path):
+        dataset = make_dataset()
+        server = make_server(tmp_path)
+        server.add_corpus("movies", dataset)
+        server.close()
+        grow_store_past_snapshot(tmp_path, dataset, 12)
+
+        resumed = make_server(tmp_path)
+        shard = resumed.open_corpus("movies")
+
+        cold = IncrementalTagDM(make_dataset(), seed=SEED).prepare()
+        for i in range(12):
+            cold.add_action(dataset.user_of(i), dataset.item_of(i), (f"tail-{i}",))
+
+        problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+        warm_result = resumed.solve("movies", problem, algorithm="sm-lsh-fo")
+        cold_result = cold.solve(problem, algorithm="sm-lsh-fo")
+        assert warm_result.objective_value == cold_result.objective_value
+        assert warm_result.descriptions() == cold_result.descriptions()
+        assert [g.tuple_indices for g in warm_result.groups] == [
+            g.tuple_indices for g in cold_result.groups
+        ]
+        resumed.close()
+
+    def test_tail_with_a_new_user_registers_it_during_replay(self, tmp_path):
+        dataset = make_dataset()
+        server = make_server(tmp_path)
+        server.add_corpus("movies", dataset)
+        server.close()
+        grow_store_past_snapshot(tmp_path, dataset, 5, new_user=True)
+
+        resumed = make_server(tmp_path)
+        shard = resumed.open_corpus("movies")
+        assert shard.stats()["start_mode"] == "warm-replay"
+        assert shard.session.dataset.has_user("tail-user")
+        assert shard.session.dataset.n_users == dataset.n_users + 1
+        resumed.close()
+
+    def test_inserts_after_replay_mirror_into_the_store_exactly_once(self, tmp_path):
+        dataset = make_dataset()
+        server = make_server(tmp_path)
+        server.add_corpus("movies", dataset)
+        server.close()
+        grow_store_past_snapshot(tmp_path, dataset, 7)
+
+        resumed = make_server(tmp_path)
+        shard = resumed.open_corpus("movies")
+        resumed.insert("movies", dataset.user_of(0), dataset.item_of(0), ["after"])
+        shard.flush()
+        assert shard.session.dataset.n_actions == 508
+        resumed.close()
+
+        store = SqliteTaggingStore(tmp_path / "movies" / "corpus.sqlite")
+        try:
+            # 500 initial + 7 tail + 1 post-replay; the replay itself must
+            # not have been mirrored back (it came *from* the store).
+            assert store.counts()["actions"] == 508
+        finally:
+            store.close()
+
+    def test_matching_snapshot_still_warm_starts_directly(self, tmp_path):
+        dataset = make_dataset()
+        server = make_server(tmp_path)
+        server.add_corpus("movies", dataset)
+        server.close()  # final snapshot covers the store exactly
+
+        resumed = make_server(tmp_path)
+        shard = resumed.open_corpus("movies")
+        stats = shard.stats()
+        assert stats["start_mode"] == "warm"
+        assert stats["replayed_actions"] == 0
+        resumed.close()
+
+    def test_unusable_snapshots_still_fall_back_to_cold(self, tmp_path):
+        dataset = make_dataset()
+        server = make_server(tmp_path)
+        server.add_corpus("movies", dataset)
+        server.close()
+        for snapshot in (tmp_path / "movies" / "snapshots").iterdir():
+            snapshot.write_bytes(b"torn beyond recognition")
+
+        resumed = make_server(tmp_path)
+        shard = resumed.open_corpus("movies")
+        assert shard.stats()["start_mode"] == "cold"
+        resumed.close()
+
+
+class TestRotationCounters:
+    def test_stats_expose_snapshot_and_start_counters(self, tmp_path):
+        dataset = make_dataset()
+        server = make_server(tmp_path, every_inserts=5)
+        shard = server.add_corpus("movies", dataset)
+        stats = server.stats()["movies"]
+        assert stats["snapshots_written"] == 1  # the add_corpus snapshot
+        assert stats["last_rotation_at"] is not None
+        assert stats["start_mode"] == "cold"
+
+        before = stats["last_rotation_at"]
+        for i in range(5):
+            server.insert("movies", dataset.user_of(i), dataset.item_of(i), ["r"])
+        shard.flush()
+        stats = server.stats()["movies"]
+        assert stats["snapshots_written"] == 2
+        assert stats["last_rotation_at"] >= before
+        # the pre-PR-4 key stays aligned for older consumers
+        assert stats["snapshot_rotations"] == stats["snapshots_written"]
+        server.close()

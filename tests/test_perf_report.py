@@ -79,6 +79,18 @@ class TestPerfReportQuick:
         assert serving["client_threads"] >= 4
         assert serving["snapshot_rotations"] >= 1
 
+    def test_http_section(self, quick_report):
+        """The HTTP front-end must sustain concurrent wire clients and
+        return bit-identical solves to the in-process client."""
+        _perf_report, report = quick_report
+        http = report["http"]
+        assert http["parity"] is True
+        assert http["inserts"] > 0
+        assert http["requests_per_second"] > 0
+        assert http["client_threads"] >= 4
+        assert http["http_solve_ms"] > 0
+        assert http["inprocess_solve_ms"] > 0
+
 
 def _import_perf_report():
     sys.path.insert(0, str(BENCHMARKS))
@@ -133,3 +145,20 @@ def test_committed_pr3_bench_report_is_valid():
     assert serving["client_threads"] >= 4
     assert serving["snapshot_rotations"] >= 1
     assert serving["inserts_per_second"] > 1.0
+
+
+def test_committed_pr4_bench_report_is_valid():
+    """The committed BENCH_PR4.json must back the wire-API claims: the
+    HTTP front-end serves concurrent clients and an HttpClient solve is
+    bit-identical to the same solve in-process on the same warm session."""
+    path = REPO_ROOT / "BENCH_PR4.json"
+    assert path.exists(), "BENCH_PR4.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    http = report["http"]
+    assert http["parity"] is True
+    assert http["inserts"] >= 300
+    assert http["client_threads"] >= 4
+    assert http["requests_per_second"] > 1.0
