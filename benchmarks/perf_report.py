@@ -1,28 +1,32 @@
-"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4).
+"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5).
 
 Times the vectorized kernels against the retained naive seed
 implementations (:mod:`repro.geometry.reference`), measures the
 end-to-end build/solve phases at the Figure 7 scaling bins, times the
 persistence subsystem (SQLite ingest/load, cold session prepare vs
 warm snapshot load), measures sustained interleaved insert+query
-throughput on a warm serving shard, and measures the HTTP front-end
-(wire request throughput plus per-request overhead over the same solve
-in-process), then writes a JSON report so future PRs have a perf
-trajectory to beat.
+throughput on a warm serving shard, measures the HTTP front-end
+(wire request throughput, per-request overhead over the same solve
+in-process, and what connection pooling saves per request), and
+measures the multi-process fleet (aggregate solve throughput at 1/2/4
+workers on a multi-corpus workload, router forwarding overhead, and
+routed/direct/single-process parity), then writes a JSON report so
+future PRs have a perf trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR5.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 4; older reports lack the newer
-sections -- v1 has no ``persistence``/``serving``/``http``, v2 no
-``serving``/``http``, v3 no ``http`` -- and all still validate)::
+Report schema (``schema_version`` 5; older reports lack the newer
+sections -- v1 has no ``persistence``/``serving``/``http``/``fleet``,
+v2 no ``serving``/``http``/``fleet``, v3 no ``http``/``fleet``, v4 no
+``fleet`` -- and all still validate)::
 
     {
-      "schema_version": 3,
-      "pr": "PR3",
+      "schema_version": 5,
+      "pr": "PR5",
       "mode": "full" | "quick",
       "kernels": {
         "<kernel>": {"naive_seconds": float, "vectorized_seconds": float,
@@ -49,14 +53,33 @@ sections -- v1 has no ``persistence``/``serving``/``http``, v2 no
         "client_threads": int, "wall_seconds": float,
         "requests_per_second": float,
         "inprocess_solve_ms": float, "http_solve_ms": float,
-        "wire_overhead_ms": float, "parity": bool
+        "wire_overhead_ms": float,
+        "unpooled_solve_ms": float,
+        "stats_pooled_ms": float, "stats_unpooled_ms": float,
+        "connection_overhead_ms": float,
+        "parity": bool
+      },
+      "fleet": {
+        "corpora": int, "tuples_per_corpus": int, "cpu_count": int,
+        "groups_returned": int, "client_threads": int,
+        "solves_per_run": int,
+        "runs": [{"workers": int, "wall_seconds": float,
+                   "solves_per_second": float}],
+        "throughput_speedup_max_vs_1": float,
+        "routed_solve_ms": float, "direct_solve_ms": float,
+        "router_overhead_ms": float, "parity": bool
       }
     }
 
 The ``http.parity`` flag is the PR 4 acceptance check: the same
 ProblemSpec solved through :class:`~repro.api.client.HttpClient` and
 through :class:`~repro.api.client.LocalClient` on the same warm session
-must return bit-identical group selections.
+must return bit-identical group selections.  ``fleet.parity`` extends
+it across processes (PR 5): routed-through-the-router, direct-to-worker
+and single-process solves must all agree bit-identically.
+``fleet.throughput_speedup_max_vs_1`` is meaningful only relative to
+``fleet.cpu_count`` -- worker processes cannot scale past the cores the
+machine actually has, so the report records both.
 """
 
 from __future__ import annotations
@@ -89,7 +112,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -100,6 +123,26 @@ def best_of(repeats: int, fn: Callable[[], object]) -> float:
         fn()
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def best_of_pair(
+    repeats: int, fn_a: Callable[[], object], fn_b: Callable[[], object]
+) -> "tuple[float, float]":
+    """Interleaved :func:`best_of` over two alternatives (A,B,A,B,...).
+
+    Comparing two paths with back-to-back ``best_of`` runs lets slow
+    machine-load drift land entirely on one side and flip the sign of a
+    small difference; interleaving exposes both sides to the same drift.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - started)
+        started = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - started)
+    return best_a, best_b
 
 
 def _speedup_entry(naive_seconds: float, fast_seconds: float, parity: bool, **params):
@@ -459,13 +502,29 @@ def bench_http(quick: bool) -> Dict:
 
             # Per-request overhead: the identical spec, warm caches, one
             # client -- wire time minus in-process time is the protocol
-            # cost (serde + HTTP + socket).
+            # cost (serde + HTTP + socket).  The unpooled client opens a
+            # fresh TCP connection per request (the pre-PR-5 behaviour),
+            # so pooled vs unpooled isolates what keep-alive saves.
             client = HttpClient(front.url)
+            unpooled = HttpClient(front.url, keep_alive=False)
             local = LocalClient({"bench": shard.session})
             client.solve("bench", spec)  # warm both paths before timing
+            unpooled.solve("bench", spec)
             local.solve("bench", spec)
-            http_solve = best_of(timed_solves, lambda: client.solve("bench", spec))
-            inprocess_solve = best_of(timed_solves, lambda: local.solve("bench", spec))
+            http_solve, inprocess_solve = best_of_pair(
+                timed_solves,
+                lambda: client.solve("bench", spec),
+                lambda: local.solve("bench", spec),
+            )
+            unpooled_solve = best_of(timed_solves, lambda: unpooled.solve("bench", spec))
+            # Connection-setup cost, isolated on a no-compute request so
+            # a solve's variance cannot drown the ~sub-ms TCP+teardown
+            # saving that pooling buys on every single request.
+            stats_pooled, stats_unpooled = best_of_pair(
+                max(20, timed_solves * 4),
+                lambda: client.stats("bench"),
+                lambda: unpooled.stats("bench"),
+            )
 
             over_http = client.solve("bench", spec)
             in_process = local.solve("bench", spec)
@@ -477,6 +536,8 @@ def bench_http(quick: bool) -> Dict:
                 == [g.tuple_indices for g in in_process.groups]
             )
             stats = client.stats("bench")
+            unpooled.close()
+            client.close()
         server.close()
 
     solves_done = 2 * (n_solves // 2)
@@ -493,6 +554,189 @@ def bench_http(quick: bool) -> Dict:
         "inprocess_solve_ms": inprocess_solve * 1e3,
         "http_solve_ms": http_solve * 1e3,
         "wire_overhead_ms": (http_solve - inprocess_solve) * 1e3,
+        "unpooled_solve_ms": unpooled_solve * 1e3,
+        "stats_pooled_ms": stats_pooled * 1e3,
+        "stats_unpooled_ms": stats_unpooled * 1e3,
+        "connection_overhead_ms": (stats_unpooled - stats_pooled) * 1e3,
+        "parity": parity,
+    }
+
+
+# ----------------------------------------------------------------------
+# Multi-process fleet: aggregate throughput + router overhead (PR 5)
+# ----------------------------------------------------------------------
+def bench_fleet(quick: bool) -> Dict:
+    """Aggregate solve throughput at 1/2/4 workers, and router overhead.
+
+    One shared fleet root holds N corpora; for each worker count a fresh
+    fleet serves that same root (corpora pinned round-robin so every
+    worker owns an equal share) and a fixed pool of client threads
+    drives solves round-robin across corpora through the router.
+    Throughput scaling is bounded by the machine's cores -- the report
+    records ``cpu_count`` so a 1.0x on a 1-core container and a 3x on a
+    4-core host read correctly.
+    """
+    import os
+    import tempfile
+    import threading
+    import time as time_module
+    from pathlib import Path as PathType
+
+    from repro.api import FleetClient, HttpClient, ProblemSpec, ServerClient
+    from repro.core.enumeration import GroupEnumerationConfig
+    from repro.core.problem import table1_problem
+    from repro.dataset.synthetic import generate_movielens_style
+    from repro.serving import TagDMFleet, TagDMServer
+
+    if quick:
+        n_corpora, n_actions, worker_counts = 2, 600, (1, 2)
+        client_threads, solves_per_thread, timed_solves = 4, 3, 3
+    else:
+        n_corpora, n_actions, worker_counts = 4, 2000, (1, 2, 4)
+        client_threads, solves_per_thread, timed_solves = 8, 6, 10
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+    seed = 42
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = PathType(tmp)
+        corpora = [f"corpus-{index}" for index in range(n_corpora)]
+        problems: Dict[str, object] = {}
+
+        # Ingest every corpus once (store + cold prepare + snapshot);
+        # all fleets below warm-start from these snapshots.
+        ingest = TagDMServer(root, enumeration=enumeration, seed=seed)
+        for index, name in enumerate(corpora):
+            dataset = generate_movielens_style(
+                n_users=60, n_items=120, n_actions=n_actions, seed=seed + index
+            )
+            shard = ingest.add_corpus(name, dataset)
+            # Pick a k this corpus can actually satisfy, so the workload
+            # solves real (non-null) problems end to end.
+            support = shard.session.default_support()
+            problems[name] = table1_problem(1, k=2, min_support=support)
+            for k in (5, 4, 3):
+                candidate = table1_problem(1, k=k, min_support=support)
+                if shard.session.solve(candidate, algorithm="sm-lsh-fo").groups:
+                    problems[name] = candidate
+                    break
+        ingest.close()
+        specs = {
+            name: ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+            for name, problem in problems.items()
+        }
+
+        def drive_through(router_url: str) -> float:
+            """Aggregate wall time for the fixed multi-corpus solve load."""
+            client = HttpClient(router_url, request_timeout=600.0)
+            errors: List[BaseException] = []
+            barrier = threading.Barrier(client_threads + 1)
+
+            def solver(label: int) -> None:
+                try:
+                    barrier.wait()
+                    for index in range(solves_per_thread):
+                        name = corpora[(label + index) % n_corpora]
+                        client.solve(name, specs[name])
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=solver, args=(label,))
+                for label in range(client_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time_module.perf_counter()
+            for thread in threads:
+                thread.join()
+            wall = time_module.perf_counter() - started
+            client.close()
+            if errors:
+                raise RuntimeError(f"fleet bench raised: {errors[0]!r}")
+            return wall
+
+        runs: List[Dict] = []
+        routed_solve = direct_solve = float("nan")
+        routed_result = direct_result = None
+        total_solves = client_threads * solves_per_thread
+        for n_workers in worker_counts:
+            pins = {
+                name: f"worker-{index % n_workers}"
+                for index, name in enumerate(corpora)
+            }
+            fleet = TagDMFleet(
+                root,
+                n_workers=n_workers,
+                enumeration=enumeration,
+                seed=seed,
+                pins=pins,
+                spawn_timeout=600.0,
+            )
+            fleet.discover_corpora()
+            fleet.start()
+            try:
+                # One warm-up pass per corpus, then the timed load.
+                warm_client = HttpClient(fleet.url, request_timeout=600.0)
+                for name in corpora:
+                    warm_client.solve(name, specs[name])
+                wall = drive_through(fleet.url)
+                runs.append(
+                    {
+                        "workers": n_workers,
+                        "wall_seconds": wall,
+                        "solves_per_second": total_solves / wall if wall > 0 else float("inf"),
+                    }
+                )
+                if n_workers == worker_counts[-1]:
+                    # Router forwarding overhead: the same solve through
+                    # the router vs straight at the owning worker
+                    # (interleaved so machine-load drift cannot flip the
+                    # few-ms difference).
+                    direct_client = FleetClient(fleet.url, request_timeout=600.0)
+                    name = corpora[0]
+                    direct_client.solve(name, specs[name])  # placement fetch + warm
+                    routed_solve, direct_solve = best_of_pair(
+                        timed_solves,
+                        lambda: warm_client.solve(name, specs[name]),
+                        lambda: direct_client.solve(name, specs[name]),
+                    )
+                    routed_result = warm_client.solve(name, specs[name])
+                    direct_result = direct_client.solve(name, specs[name])
+                    direct_client.close()
+                warm_client.close()
+            finally:
+                fleet.close()
+
+        # Single-process parity baseline over the very same root (the
+        # corpus warm-starts from the same snapshot the workers used).
+        single = TagDMServer(root, enumeration=enumeration, seed=seed)
+        single.open_corpus(corpora[0])
+        single_result = ServerClient(single).solve(corpora[0], specs[corpora[0]])
+        single.close()
+
+    def key(result):
+        return (
+            result.objective_value,
+            [str(group.description) for group in result.groups],
+            [group.tuple_indices for group in result.groups],
+        )
+
+    parity = bool(key(routed_result) == key(direct_result) == key(single_result))
+    baseline = runs[0]["solves_per_second"]
+    peak = max(run["solves_per_second"] for run in runs)
+    return {
+        "corpora": n_corpora,
+        "tuples_per_corpus": n_actions,
+        "cpu_count": int(os.cpu_count() or 1),
+        "groups_returned": len(routed_result.groups),
+        "client_threads": client_threads,
+        "solves_per_run": total_solves,
+        "runs": runs,
+        "throughput_speedup_max_vs_1": peak / baseline if baseline > 0 else float("inf"),
+        "routed_solve_ms": routed_solve * 1e3,
+        "direct_solve_ms": direct_solve * 1e3,
+        "router_overhead_ms": (routed_solve - direct_solve) * 1e3,
         "parity": parity,
     }
 
@@ -571,25 +815,27 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR4",
+        "pr": "PR5",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
         "persistence": bench_persistence(quick),
         "serving": bench_serving(quick),
         "http": bench_http(quick),
+        "fleet": bench_fleet(quick),
     }
 
 
 def validate_report(report: Dict) -> None:
     """Assert the report matches the documented schema (used by tests).
 
-    Accepts v1 reports (no ``persistence``/``serving``/``http`` section;
-    the committed ``BENCH_PR1.json``), v2 reports (no ``serving``/
-    ``http``; ``BENCH_PR2.json``), v3 reports (no ``http``;
-    ``BENCH_PR3.json``) and current v4 reports.
+    Accepts v1 reports (no ``persistence``/``serving``/``http``/``fleet``
+    section; the committed ``BENCH_PR1.json``), v2 reports (no
+    ``serving``/``http``/``fleet``; ``BENCH_PR2.json``), v3 reports (no
+    ``http``/``fleet``; ``BENCH_PR3.json``), v4 reports (no ``fleet``;
+    ``BENCH_PR4.json``) and current v5 reports.
     """
-    assert report["schema_version"] in (1, 2, 3, SCHEMA_VERSION)
+    assert report["schema_version"] in (1, 2, 3, 4, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -654,6 +900,36 @@ def validate_report(report: Dict) -> None:
         assert http["parity"] is True, "HTTP solve lost parity with in-process"
         assert http["requests_per_second"] > 0
         assert http["client_threads"] >= 2
+    if report["schema_version"] >= 5:
+        for field in (
+            "unpooled_solve_ms",
+            "stats_pooled_ms",
+            "stats_unpooled_ms",
+            "connection_overhead_ms",
+        ):
+            assert field in report["http"], f"http missing {field}"
+        fleet = report["fleet"]
+        for field in (
+            "corpora",
+            "tuples_per_corpus",
+            "cpu_count",
+            "groups_returned",
+            "client_threads",
+            "solves_per_run",
+            "runs",
+            "throughput_speedup_max_vs_1",
+            "routed_solve_ms",
+            "direct_solve_ms",
+            "router_overhead_ms",
+            "parity",
+        ):
+            assert field in fleet, f"fleet missing {field}"
+        assert fleet["parity"] is True, "fleet lost routed/direct/single parity"
+        assert isinstance(fleet["runs"], list) and fleet["runs"]
+        for run in fleet["runs"]:
+            assert run["solves_per_second"] > 0
+        assert fleet["groups_returned"] > 0, "fleet bench solved a null result"
+        assert fleet["cpu_count"] >= 1
 
 
 def main(argv=None) -> int:
@@ -664,8 +940,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR4.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR4.json)",
+        default=REPO_ROOT / "BENCH_PR5.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR5.json)",
     )
     args = parser.parse_args(argv)
 
@@ -710,7 +986,22 @@ def main(argv=None) -> int:
         f"({http['requests_per_second']:.0f} req/s; solve "
         f"{http['inprocess_solve_ms']:.1f} ms in-process vs "
         f"{http['http_solve_ms']:.1f} ms over HTTP, "
-        f"overhead {http['wire_overhead_ms']:.1f} ms, parity={http['parity']})"
+        f"overhead {http['wire_overhead_ms']:.1f} ms, parity={http['parity']}; "
+        f"stats {http['stats_unpooled_ms']:.2f} ms unpooled vs "
+        f"{http['stats_pooled_ms']:.2f} ms pooled, "
+        f"pooling saves {http['connection_overhead_ms']:.2f} ms/req)"
+    )
+    fleet = report["fleet"]
+    ladder = ", ".join(
+        f"{run['workers']}w={run['solves_per_second']:.1f} sol/s" for run in fleet["runs"]
+    )
+    print(
+        f"fleet: {fleet['corpora']} corpora x {fleet['tuples_per_corpus']} tuples, "
+        f"{fleet['client_threads']} clients on {fleet['cpu_count']} cpu(s): {ladder} "
+        f"(peak {fleet['throughput_speedup_max_vs_1']:.2f}x vs 1 worker); "
+        f"router overhead {fleet['router_overhead_ms']:.1f} ms "
+        f"({fleet['routed_solve_ms']:.1f} routed vs {fleet['direct_solve_ms']:.1f} direct), "
+        f"parity={fleet['parity']}"
     )
     print(f"wrote {args.output}")
     return 0

@@ -1,0 +1,232 @@
+"""Run a multi-process TagDM serving fleet, kill a worker, prove recovery.
+
+Starts a :class:`~repro.serving.fleet.TagDMFleet` -- two worker
+processes behind one :class:`~repro.serving.router.TagDMRouter` -- over
+a scratch root with two corpora, drives mixed insert/solve traffic
+through the router and through a placement-aware
+:class:`~repro.api.client.FleetClient`, then SIGKILLs one worker while
+traffic is in flight and asserts the fleet heals: the supervisor
+respawns the worker (warm-started from its corpus's snapshot
+directory), the router rides out the gap by retrying, and a post-kill
+solve is bit-identical to the in-process baseline.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_demo.py            # demo traffic
+    PYTHONPATH=src python examples/fleet_demo.py --smoke    # CI smoke: strict exit code
+
+Smoke mode is a CI gate: it must finish in well under a minute, raise
+nothing across threads, survive the worker kill, and exit 0 only when
+routed, direct-to-worker and in-process solves all bit-identically
+agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import (  # noqa: E402
+    FleetClient,
+    HttpClient,
+    LocalClient,
+    ProblemSpec,
+    TagDM,
+    TagDMFleet,
+    generate_movielens_style,
+    table1_problem,
+)
+from repro.core.enumeration import GroupEnumerationConfig  # noqa: E402
+
+SEED = 7
+ENUMERATION = GroupEnumerationConfig(min_support=5, max_groups=60)
+
+
+def groups_key(result):
+    return [(str(group.description), group.tuple_indices) for group in result.groups]
+
+
+def drive(router_url: str, datasets, spec, n_inserts: int, n_solves: int) -> list:
+    """Concurrent traffic via the router: solves on both corpora, inserts
+    on 'books' only ('movies' must stay pristine for the parity checks
+    against the pre-traffic in-process baseline)."""
+    errors: list = []
+    corpora = sorted(datasets)
+    barrier = threading.Barrier(2)
+
+    def inserter() -> None:
+        client = HttpClient(router_url, request_timeout=120.0)
+        dataset = datasets["books"]
+        try:
+            barrier.wait()
+            for index in range(n_inserts):
+                row = index % dataset.n_actions
+                client.insert_action(
+                    "books", dataset.user_of(row), dataset.item_of(row), [f"fleet-{index}"]
+                )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            client.close()
+
+    def solver() -> None:
+        client = HttpClient(router_url, request_timeout=120.0)
+        try:
+            barrier.wait()
+            for index in range(n_solves):
+                client.solve(corpora[index % len(corpora)], spec)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=inserter), threading.Thread(target=solver)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: small traffic, strict exit code",
+    )
+    args = parser.parse_args(argv)
+
+    n_inserts, n_solves = (10, 4) if args.smoke else (60, 16)
+    root = Path(tempfile.mkdtemp(prefix="tagdm-fleet-"))
+    datasets = {
+        "movies": generate_movielens_style(n_users=60, n_items=120, n_actions=600, seed=SEED),
+        "books": generate_movielens_style(n_users=40, n_items=80, n_actions=500, seed=SEED + 1),
+    }
+
+    # In-process baseline for the parity checks (prepared over the same
+    # dataset + config the fleet ingests, before any inserts land).
+    baseline_session = TagDM(datasets["movies"], enumeration=ENUMERATION, seed=SEED).prepare()
+    problem = table1_problem(1, k=4, min_support=baseline_session.default_support())
+    spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+    baseline = LocalClient({"movies": baseline_session}).solve("movies", spec)
+
+    fleet = TagDMFleet(
+        root,
+        n_workers=2,
+        enumeration=ENUMERATION,
+        seed=SEED,
+        pins={"movies": "worker-0", "books": "worker-1"},
+        spawn_timeout=300.0,
+    )
+    for name, dataset in datasets.items():
+        fleet.add_corpus(name, dataset)
+    started = time.perf_counter()
+    fleet.start()
+    print(
+        f"fleet up in {time.perf_counter() - started:.1f}s at {fleet.url}; "
+        f"placement {fleet.placement.assignments()}"
+    )
+
+    routed = HttpClient(fleet.url, request_timeout=300.0)
+    direct = FleetClient(fleet.url, request_timeout=300.0)
+
+    # Pre-kill parity: routed == direct-to-worker == in-process.
+    via_router = routed.solve("movies", spec)
+    via_worker = direct.solve("movies", spec)
+    parity_before = (
+        groups_key(via_router) == groups_key(via_worker) == groups_key(baseline)
+        and via_router.objective_value == baseline.objective_value
+    )
+    print(
+        f"parity routed/direct/in-process: {parity_before} "
+        f"(objective {via_router.objective_value:.4f}, {len(via_router.groups)} groups)"
+    )
+
+    started = time.perf_counter()
+    errors = drive(fleet.url, datasets, spec, n_inserts, n_solves)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{n_inserts} inserts + {n_solves} solves through the router "
+        f"in {elapsed:.2f}s ({(n_inserts + n_solves) / elapsed:.0f} req/s)"
+    )
+
+    # Kill the worker that owns 'movies' while a solve is in flight.
+    owner = fleet.placement.owner_of("movies")
+    restarts_before = fleet.stats()["workers"][owner]["restarts"]
+    kill_outcome = {}
+
+    def solve_through_the_kill() -> None:
+        try:
+            kill_outcome["result"] = routed.solve("movies", spec)
+        except Exception as exc:  # pragma: no cover - failure path
+            kill_outcome["error"] = exc
+
+    solver = threading.Thread(target=solve_through_the_kill)
+    solver.start()
+    time.sleep(0.05)
+    fleet.kill_worker(owner)
+    print(f"killed {owner} mid-traffic...")
+    solver.join(timeout=300.0)
+
+    recovered = False
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        worker_stats = fleet.stats()["workers"][owner]
+        if worker_stats["alive"] and worker_stats["restarts"] > restarts_before:
+            recovered = True
+            break
+        time.sleep(0.05)
+
+    post_kill = routed.solve("movies", spec)
+    corpus_stats = routed.stats("movies")
+    parity_after = (
+        "result" in kill_outcome
+        and groups_key(kill_outcome["result"]) == groups_key(baseline)
+        and groups_key(post_kill) == groups_key(baseline)
+    )
+    print(
+        f"recovery: respawned={recovered} "
+        f"(restarts {fleet.stats()['workers'][owner]['restarts']}), "
+        f"start_mode={corpus_stats['start_mode']}, "
+        f"in-flight + post-kill parity={parity_after}"
+    )
+    if "error" in kill_outcome:
+        print(f"ERROR: in-flight solve raised {kill_outcome['error']!r}")
+
+    router_stats = fleet.router.stats()
+    print(
+        f"router: {router_stats['requests_forwarded']} forwarded, "
+        f"{router_stats['forward_retries']} retries, "
+        f"{router_stats['workers_unavailable']} gave up"
+    )
+
+    routed.close()
+    direct.close()
+    fleet.close()
+
+    ok = (
+        not errors
+        and parity_before
+        and parity_after
+        and recovered
+        and "error" not in kill_outcome
+        and str(corpus_stats["start_mode"]).startswith("warm")
+    )
+    for error in errors:
+        print(f"ERROR: {type(error).__name__}: {error}")
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,16 +21,17 @@ Quickstart
 Wire-native API (see ``API.md`` for the full protocol)
 ------------------------------------------------------
 The same solve travels process-to-process as a declarative
-:class:`ProblemSpec`; :class:`LocalClient`, :class:`ServerClient` and
-:class:`HttpClient` are interchangeable backends of one
-:class:`TagDMClient` interface:
+:class:`ProblemSpec`; :class:`LocalClient`, :class:`ServerClient`,
+:class:`HttpClient` and :class:`FleetClient` are interchangeable
+backends of one :class:`TagDMClient` interface:
 
 >>> from repro import LocalClient, ProblemSpec
 >>> client = LocalClient({"movies": session})
 >>> spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
 >>> result = client.solve("movies", spec)  # doctest: +SKIP
 
-and over the network, against a :class:`TagDMHttpServer` front-end:
+and over the network, against a :class:`TagDMHttpServer` front-end or a
+multi-process :class:`TagDMFleet` (see ``DEPLOYMENT.md``):
 
 >>> from repro import HttpClient
 >>> remote = HttpClient("http://127.0.0.1:8631")  # doctest: +SKIP
@@ -74,18 +75,31 @@ from repro.algorithms import (
     check_algorithm_capability,
     recommend_algorithm,
 )
-from repro.serving import SnapshotRotationPolicy, TagDMHttpServer, TagDMServer
+from repro.serving import (
+    PlacementTable,
+    SnapshotRotationPolicy,
+    TagDMFleet,
+    TagDMHttpServer,
+    TagDMRouter,
+    TagDMServer,
+)
 from repro.api import (
     ApiError,
     CapabilityMismatchError,
+    ConnectionFailedError,
+    FleetClient,
     HttpClient,
     LocalClient,
+    PageSpec,
     ProblemSpec,
+    ResultPage,
     ServerClient,
     SolveTimeoutError,
     SpecValidationError,
     TagDMClient,
     UnknownCorpusError,
+    WorkerUnavailableError,
+    merge_result_pages,
 )
 from repro.text import build_tag_cloud, render_tag_cloud
 
@@ -126,17 +140,26 @@ __all__ = [
     # serving
     "TagDMServer",
     "TagDMHttpServer",
+    "TagDMFleet",
+    "TagDMRouter",
+    "PlacementTable",
     "SnapshotRotationPolicy",
     # wire-native API
     "ProblemSpec",
+    "PageSpec",
+    "ResultPage",
+    "merge_result_pages",
     "TagDMClient",
     "LocalClient",
     "ServerClient",
     "HttpClient",
+    "FleetClient",
     "ApiError",
     "SpecValidationError",
     "UnknownCorpusError",
     "CapabilityMismatchError",
+    "ConnectionFailedError",
+    "WorkerUnavailableError",
     "SolveTimeoutError",
     # algorithms
     "available_algorithms",

@@ -10,27 +10,48 @@ the TagDM serving stack (documented in ``API.md``):
 * result serialisation lives on the core types themselves
   (:meth:`TagDMProblem.to_dict` / :meth:`MiningResult.to_dict` and their
   inverses), so a solve survives a JSON round-trip unchanged;
+* :class:`~repro.api.spec.PageSpec` / :class:`~repro.api.spec.ResultPage`
+  -- declarative result windowing (``?page=``/``?page_size=``) with a
+  lossless :func:`~repro.api.spec.merge_result_pages` round-trip, and an
+  NDJSON stream form for very large group sets;
 * :class:`~repro.api.errors.ApiError` -- the typed error taxonomy
   (validation 422, unknown corpus 404, capability mismatch 409,
-  timeout 504) shared by every backend;
-* :class:`~repro.api.client.TagDMClient` -- one client API with three
+  worker unavailable 503, timeout 504) shared by every backend;
+* :class:`~repro.api.client.TagDMClient` -- one client API with four
   interchangeable backends: :class:`LocalClient` (in-process sessions),
-  :class:`ServerClient` (a :class:`TagDMServer`'s warm shards) and
-  :class:`HttpClient` (the HTTP front-end in :mod:`repro.serving.http`).
+  :class:`ServerClient` (a :class:`TagDMServer`'s warm shards),
+  :class:`HttpClient` (any HTTP front-end, over a pooled keep-alive
+  :class:`~repro.api.client.HttpConnectionPool`) and
+  :class:`FleetClient` (placement-aware direct-to-worker fleet access).
 """
 
 from repro.api.errors import (
     ApiError,
     CapabilityMismatchError,
+    ConnectionFailedError,
     SolveTimeoutError,
     SpecValidationError,
     UnknownCorpusError,
     UnknownRouteError,
+    WorkerUnavailableError,
     api_error_from_payload,
     run_with_timeout,
 )
-from repro.api.spec import ProblemSpec
-from repro.api.client import HttpClient, LocalClient, ServerClient, TagDMClient
+from repro.api.spec import (
+    DEFAULT_PAGE_SIZE,
+    PageSpec,
+    ProblemSpec,
+    ResultPage,
+    merge_result_pages,
+)
+from repro.api.client import (
+    FleetClient,
+    HttpClient,
+    HttpConnectionPool,
+    LocalClient,
+    ServerClient,
+    TagDMClient,
+)
 
 __all__ = [
     "ApiError",
@@ -38,12 +59,20 @@ __all__ = [
     "UnknownCorpusError",
     "UnknownRouteError",
     "CapabilityMismatchError",
+    "ConnectionFailedError",
+    "WorkerUnavailableError",
     "SolveTimeoutError",
     "api_error_from_payload",
     "run_with_timeout",
     "ProblemSpec",
+    "PageSpec",
+    "ResultPage",
+    "merge_result_pages",
+    "DEFAULT_PAGE_SIZE",
     "TagDMClient",
     "LocalClient",
     "ServerClient",
     "HttpClient",
+    "FleetClient",
+    "HttpConnectionPool",
 ]

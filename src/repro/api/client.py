@@ -1,4 +1,4 @@
-"""The unified TagDM client: one API, three interchangeable backends.
+"""The unified TagDM client: one API, four interchangeable backends.
 
 :class:`TagDMClient` is the caller-facing abstraction of the wire-native
 API.  Code written against it does not know -- and does not need to know
@@ -10,30 +10,37 @@ API.  Code written against it does not know -- and does not need to know
 * :class:`ServerClient` wraps a :class:`~repro.serving.server.TagDMServer`
   and routes through its warm shards (the single-process serving
   deployment);
-* :class:`HttpClient` speaks JSON to the HTTP front-end
-  (:mod:`repro.serving.http`) over the network (the remote deployment).
+* :class:`HttpClient` speaks JSON to an HTTP front-end
+  (:mod:`repro.serving.http` or the fleet router in
+  :mod:`repro.serving.router`) over pooled keep-alive connections (the
+  remote deployment);
+* :class:`FleetClient` fetches a fleet's corpus->worker placement map
+  from its router and talks to the owning workers directly, falling
+  back to the router when placement drifts (the high-fan-in remote
+  deployment).
 
-All three validate requests through the same
+All backends validate requests through the same
 :class:`~repro.api.spec.ProblemSpec` machinery and raise the same typed
 :class:`~repro.api.errors.ApiError` taxonomy, and a solve produces
 bit-identical group selections on every backend serving the same warm
-session -- that is the contract the smoke test in
-``examples/http_client.py`` proves.
+session -- that is the contract the smoke tests in
+``examples/http_client.py`` and ``examples/fleet_demo.py`` prove.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import socket
-import urllib.error
+import socket  # noqa: F401 - timeout type + TCP_NODELAY
+import threading
 import urllib.parse
-import urllib.request
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.api.errors import (
     ApiError,
     CapabilityMismatchError,
+    ConnectionFailedError,
     SolveTimeoutError,
     SpecValidationError,
     UnknownCorpusError,
@@ -46,15 +53,23 @@ from repro.api.service import (
     health as server_health,
     insert_actions,
     list_corpora,
+    result_from_ndjson,
     solve_spec,
     validate_actions,
 )
-from repro.api.spec import ProblemSpec
+from repro.api.spec import DEFAULT_PAGE_SIZE, PageSpec, ProblemSpec, ResultPage
 from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 
-__all__ = ["TagDMClient", "LocalClient", "ServerClient", "HttpClient"]
+__all__ = [
+    "TagDMClient",
+    "LocalClient",
+    "ServerClient",
+    "HttpClient",
+    "FleetClient",
+    "HttpConnectionPool",
+]
 
 SolveRequest = Union[ProblemSpec, TagDMProblem, Mapping[str, object]]
 
@@ -131,6 +146,80 @@ class TagDMClient(ABC):
             ],
         )
 
+    def solve_page(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        page: int = 1,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> ResultPage:
+        """Solve and return one page of the result's group list.
+
+        The default implementation runs the full solve and windows it
+        client-side, so every backend answers pages identically;
+        :class:`HttpClient` overrides it to request the window on the
+        wire instead (``?page=``/``?page_size=``), keeping large group
+        sets off the response body.  Blocks for the whole solve either
+        way -- pagination bounds the transfer, not the computation.
+        """
+        window = PageSpec(page=page, page_size=page_size)
+        result = self.solve(
+            corpus, request, algorithm=algorithm, timeout=timeout, **options
+        )
+        return ResultPage.from_payload(window.paginate(result.to_dict()))
+
+    def solve_pages(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> Iterator[ResultPage]:
+        """Iterate every page of a solve, first to last.
+
+        The default implementation solves once and windows locally.
+        :class:`HttpClient` fetches page by page over the wire; because
+        serving solves are deterministic over a warm session, those
+        per-page solves agree, and
+        :func:`~repro.api.spec.merge_result_pages` over the yielded
+        pages reconstructs the unpaginated result bit-identically.
+        """
+        result = self.solve(
+            corpus, request, algorithm=algorithm, timeout=timeout, **options
+        )
+        payload = result.to_dict()
+        page = 1
+        while True:
+            entry = ResultPage.from_payload(
+                PageSpec(page=page, page_size=page_size).paginate(payload)
+            )
+            yield entry
+            if not entry.has_more:
+                return
+            page += 1
+
+    def solve_stream(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        """Solve, transferring the result incrementally where possible.
+
+        In-process backends have nothing to stream, so the default is a
+        plain :meth:`solve`.  :class:`HttpClient` overrides it to read
+        the response as NDJSON (one group per line), bounding the size
+        of any single JSON document it must parse.
+        """
+        return self.solve(corpus, request, algorithm=algorithm, timeout=timeout, **options)
+
     def close(self) -> None:
         """Release client-held resources (default: nothing to release)."""
 
@@ -143,6 +232,11 @@ class TagDMClient(ABC):
 
 class LocalClient(TagDMClient):
     """Speak the wire API to in-process sessions (no server, no socket).
+
+    Calls run synchronously on the calling thread against the raw
+    sessions -- there is no shard locking here, so concurrent inserts
+    and solves on the *same* session need external coordination (that
+    is what :class:`ServerClient` over a :class:`TagDMServer` provides).
 
     Parameters
     ----------
@@ -218,8 +312,11 @@ class LocalClient(TagDMClient):
 class ServerClient(TagDMClient):
     """Route requests through a :class:`TagDMServer`'s warm shards.
 
-    The client does not own the server: closing the client leaves the
-    server (and its stores and snapshot rotators) running.
+    Thread-safe to share: every call delegates to the server's
+    per-shard locking (solves shared, inserts single-writer and
+    blocking until applied).  The client does not own the server:
+    closing the client leaves the server (and its stores and snapshot
+    rotators) running.
     """
 
     def __init__(self, server) -> None:
@@ -251,8 +348,235 @@ class ServerClient(TagDMClient):
         return server_health(self.server)
 
 
+#: Transport failures that mean "the reused keep-alive connection went
+#: stale before the server saw this request" -- safe to retry once on a
+#: fresh connection.  Failures *after* the status line arrived are never
+#: in this set (the server already processed the request by then).
+_STALE_CONNECTION_ERRORS = (
+    http.client.BadStatusLine,
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
+
+
+class HttpConnectionPool:
+    """Thread-safe pool of keep-alive connections to one HTTP endpoint.
+
+    Every wire client used to open a fresh TCP connection per request;
+    this pool is the shared fix: idle :class:`http.client.HTTPConnection`
+    objects are parked per endpoint and reused across requests (and
+    across threads -- each connection is used by one thread at a time,
+    the pool itself is locked).  A reused connection that the server
+    closed while idle is detected by its failure mode
+    (:data:`_STALE_CONNECTION_ERRORS` before any response byte) and the
+    request is replayed once on a fresh connection; a fresh connection
+    that fails is a real error and propagates.
+
+    All methods block only for their own socket I/O; acquiring and
+    releasing connections never blocks on other requests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        request_timeout: float = 30.0,
+        max_idle: int = 8,
+        keep_alive: bool = True,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http":
+            raise ValueError(
+                f"HttpConnectionPool speaks plain http, got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.request_timeout = request_timeout
+        self.max_idle = max_idle
+        #: ``keep_alive=False`` degrades to one-connection-per-request
+        #: (the pre-pool behaviour) -- kept so the perf report can
+        #: measure exactly what pooling saves.
+        self.keep_alive = keep_alive
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._reused = 0
+        self._opened = 0
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _acquire(self, fresh: bool = False) -> Tuple[http.client.HTTPConnection, bool]:
+        with self._lock:
+            if self._closed:
+                raise ConnectionFailedError(f"connection pool for {self.base_url} is closed")
+            if self._idle and not fresh:
+                self._reused += 1
+                return self._idle.pop(), True
+            self._opened += 1
+        return (
+            http.client.HTTPConnection(self.host, self.port, timeout=self.request_timeout),
+            False,
+        )
+
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if (
+                self.keep_alive
+                and not self._closed
+                and len(self._idle) < self.max_idle
+            ):
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    @staticmethod
+    def _discard(connection: http.client.HTTPConnection) -> None:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - close() should not raise
+            pass
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def open_response(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        timeout: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> http.client.HTTPResponse:
+        """Send one request and return the live (unread) response.
+
+        The caller owns the response: it must either read it fully and
+        hand it back through :meth:`finish` (so the connection can be
+        reused) or :meth:`abandon` it.
+
+        Retry rule: a reused connection that fails while *sending* never
+        delivered the request, so it is always safe to replay once -- on
+        a deliberately fresh connection, since a restarted server leaves
+        the whole idle pool stale at once.  A failure while *waiting for
+        the response* is ambiguous (the server may have applied the
+        request before dying), so it is replayed only when the caller
+        declared the request ``idempotent``; otherwise it propagates and
+        the caller decides.  All non-stale failures propagate as the
+        underlying :mod:`socket`/:mod:`http.client` exceptions.
+        """
+        budget = self.request_timeout if timeout is None else timeout
+        for attempt in (1, 2):
+            connection, reused = self._acquire(fresh=attempt > 1)
+            connection.timeout = budget
+            sent = False
+            try:
+                if connection.sock is None:
+                    connection.connect()
+                    # Nagle + the peer's delayed ACK costs ~40ms on every
+                    # request that needs two writes (headers, then body)
+                    # over a warm keep-alive connection; a fresh
+                    # connection hides it behind TCP quickack, which is
+                    # exactly why an unpooled client never shows it.
+                    connection.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                connection.sock.settimeout(budget)
+                connection.request(method, path, body=body, headers=dict(headers or {}))
+                sent = True
+                response = connection.getresponse()
+            except _STALE_CONNECTION_ERRORS:
+                self._discard(connection)
+                if reused and attempt == 1 and (not sent or idempotent):
+                    continue
+                raise
+            except BaseException:
+                self._discard(connection)
+                raise
+            response._pool_connection = connection  # type: ignore[attr-defined]
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def finish(self, response: http.client.HTTPResponse) -> None:
+        """Return a fully-read response's connection to the idle pool."""
+        connection = getattr(response, "_pool_connection", None)
+        if connection is None:  # pragma: no cover - not one of ours
+            response.close()
+            return
+        if response.isclosed() and not response.will_close:
+            self._release(connection)
+        else:
+            response.close()
+            self._discard(connection)
+
+    def abandon(self, response: http.client.HTTPResponse) -> None:
+        """Drop a response (and its connection) without draining it."""
+        connection = getattr(response, "_pool_connection", None)
+        response.close()
+        if connection is not None:
+            self._discard(connection)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        timeout: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One full request/response cycle over a pooled connection.
+
+        Returns ``(status, lowercased headers, body bytes)``.  Blocks
+        for the whole exchange.  ``idempotent=False`` restricts the
+        stale-connection replay to send-stage failures (see
+        :meth:`open_response`).
+        """
+        response = self.open_response(
+            method, path, body=body, headers=headers, timeout=timeout, idempotent=idempotent
+        )
+        try:
+            data = response.read()
+        except BaseException:
+            self.abandon(response)
+            raise
+        header_map = {key.lower(): value for key, value in response.getheaders()}
+        status = response.status
+        self.finish(response)
+        return status, header_map, data
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Pool counters: connections opened, requests on reused ones."""
+        with self._lock:
+            return {
+                "opened": self._opened,
+                "reused": self._reused,
+                "idle": len(self._idle),
+            }
+
+    def close(self) -> None:
+        """Close every idle connection; in-flight ones close on finish."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            self._discard(connection)
+
+
 class HttpClient(TagDMClient):
-    """Speak JSON to the HTTP front-end of :mod:`repro.serving.http`.
+    """Speak JSON to an HTTP front-end over pooled keep-alive connections.
+
+    Works against both a single-process front-end
+    (:class:`~repro.serving.http.TagDMHttpServer`) and a fleet router
+    (:class:`~repro.serving.router.TagDMRouter`) -- the routes are
+    identical.  Thread-safe: any number of threads may share one client;
+    each in-flight request holds its own pooled connection.
 
     Parameters
     ----------
@@ -262,70 +586,102 @@ class HttpClient(TagDMClient):
         Socket timeout applied to every request (seconds).  A solve with
         an explicit ``timeout`` also sends it to the server as its
         compute budget and widens the socket timeout to cover it.
+    keep_alive:
+        ``False`` opens a fresh connection per request (the pre-PR-5
+        behaviour; kept for benchmarking the difference).
+    pool_size:
+        Upper bound on idle connections kept warm.
 
     Error bodies are decoded back into the same typed
     :class:`~repro.api.errors.ApiError` classes the server raised, so
     ``except SpecValidationError`` works identically against every
-    backend.
+    backend; transport failures raise
+    :class:`~repro.api.errors.ConnectionFailedError`.
     """
 
-    def __init__(self, base_url: str, request_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        request_timeout: float = 30.0,
+        keep_alive: bool = True,
+        pool_size: int = 8,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.request_timeout = request_timeout
+        self.pool = HttpConnectionPool(
+            self.base_url,
+            request_timeout=request_timeout,
+            max_idle=pool_size,
+            keep_alive=keep_alive,
+        )
 
     # ------------------------------------------------------------------
     # Transport plumbing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_body(
+        body: Optional[Mapping[str, object]],
+    ) -> Tuple[Optional[bytes], Dict[str, str]]:
+        if body is None:
+            return None, {}
+        return json.dumps(body).encode("utf-8"), {"Content-Type": "application/json"}
+
+    def _budget(self, timeout: Optional[float]) -> float:
+        return self.request_timeout if timeout is None else timeout + self.request_timeout
+
+    def _raise_transport_error(
+        self, exc: BaseException, method: str, path: str, budget: float
+    ) -> None:
+        if isinstance(exc, (socket.timeout, TimeoutError)):
+            raise SolveTimeoutError(
+                f"{method} {path} timed out after {budget:g}s",
+                details={"timeout_seconds": budget},
+            ) from exc
+        raise ConnectionFailedError(f"cannot reach {self.base_url}: {exc}") from exc
+
+    @staticmethod
+    def _decode_payload(status: int, data: bytes, method: str, path: str) -> Dict[str, object]:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ApiError(
+                f"HTTP {status} with non-JSON body from {method} {path}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ApiError(f"malformed response body from {method} {path}")
+        if status >= 400:
+            raise api_error_from_payload(payload)
+        return payload
+
     def _request(
         self,
         method: str,
         path: str,
         body: Optional[Mapping[str, object]] = None,
         timeout: Optional[float] = None,
+        idempotent: bool = True,
     ) -> Dict[str, object]:
-        data = None if body is None else json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data is not None else {},
-        )
-        budget = self.request_timeout if timeout is None else timeout + self.request_timeout
+        data, headers = self._encode_body(body)
+        budget = self._budget(timeout)
         try:
-            with urllib.request.urlopen(request, timeout=budget) as response:
-                payload = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            try:
-                error_payload = json.loads(exc.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                raise ApiError(
-                    f"HTTP {exc.code} with non-JSON body from {method} {path}"
-                ) from exc
-            raise api_error_from_payload(error_payload) from exc
-        except (socket.timeout, TimeoutError) as exc:
-            raise SolveTimeoutError(
-                f"{method} {path} timed out after {budget:g}s",
-                details={"timeout_seconds": budget},
-            ) from exc
-        except urllib.error.URLError as exc:
-            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
-                raise SolveTimeoutError(
-                    f"{method} {path} timed out after {budget:g}s",
-                    details={"timeout_seconds": budget},
-                ) from exc
-            raise ApiError(f"cannot reach {self.base_url}: {exc.reason}") from exc
-        if not isinstance(payload, dict):
-            raise ApiError(f"malformed response body from {method} {path}")
-        return payload
+            status, _headers, raw = self.pool.request(
+                method, path, body=data, headers=headers, timeout=budget,
+                idempotent=idempotent,
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            self._raise_transport_error(exc, method, path, budget)
+        return self._decode_payload(status, raw, method, path)
 
     # ------------------------------------------------------------------
     # TagDMClient operations
     # ------------------------------------------------------------------
     @staticmethod
-    def _corpus_path(corpus: str, verb: str) -> str:
+    def _corpus_path(corpus: str, verb: str, query: str = "") -> str:
         # Corpus names are caller input; a name with a slash or space
         # must not produce a malformed or misrouted request line.
-        return f"/corpora/{urllib.parse.quote(corpus, safe='')}/{verb}"
+        quoted = urllib.parse.quote(corpus, safe="")
+        suffix = f"?{query}" if query else ""
+        return f"/corpora/{quoted}/{verb}{suffix}"
 
     def corpora(self) -> List[str]:
         payload = self._request("GET", "/corpora")
@@ -334,10 +690,29 @@ class HttpClient(TagDMClient):
     def insert(
         self, corpus: str, actions: Iterable[Mapping[str, object]]
     ) -> IncrementalUpdateReport:
+        # Not idempotent: a stale-connection failure after the request
+        # was sent raises ConnectionFailedError instead of silently
+        # replaying a batch the server may already have applied.
         payload = self._request(
-            "POST", self._corpus_path(corpus, "insert"), body={"actions": list(actions)}
+            "POST",
+            self._corpus_path(corpus, "insert"),
+            body={"actions": list(actions)},
+            idempotent=False,
         )
         return IncrementalUpdateReport.from_dict(payload)
+
+    def _solve_body(
+        self,
+        request: SolveRequest,
+        algorithm: str,
+        timeout: Optional[float],
+        options: Mapping[str, object],
+    ) -> Dict[str, object]:
+        spec = coerce_spec(request, algorithm=algorithm, options=options)
+        body = spec.to_dict()
+        if timeout is not None:
+            body["timeout_seconds"] = timeout
+        return body
 
     def solve(
         self,
@@ -347,13 +722,105 @@ class HttpClient(TagDMClient):
         timeout: Optional[float] = None,
         **options: object,
     ) -> MiningResult:
-        spec = coerce_spec(request, algorithm=algorithm, options=options)
-        body = spec.to_dict()
-        if timeout is not None:
-            body["timeout_seconds"] = timeout
+        body = self._solve_body(request, algorithm, timeout, options)
         payload = self._request(
             "POST", self._corpus_path(corpus, "solve"), body=body, timeout=timeout
         )
+        return MiningResult.from_dict(payload)
+
+    def solve_page(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        page: int = 1,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> ResultPage:
+        """One wire-paged solve: only this page's groups travel back."""
+        window = PageSpec(page=page, page_size=page_size)
+        body = self._solve_body(request, algorithm, timeout, options)
+        payload = self._request(
+            "POST",
+            self._corpus_path(corpus, "solve", window.to_query()),
+            body=body,
+            timeout=timeout,
+        )
+        return ResultPage.from_payload(payload)
+
+    def solve_pages(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> Iterator[ResultPage]:
+        """Fetch a solve page by page over the wire (see base docstring)."""
+        page = 1
+        while True:
+            entry = self.solve_page(
+                corpus,
+                request,
+                page=page,
+                page_size=page_size,
+                algorithm=algorithm,
+                timeout=timeout,
+                **options,
+            )
+            yield entry
+            if not entry.has_more:
+                return
+            page += 1
+
+    def solve_stream(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        """Solve with an NDJSON response body, parsed line by line.
+
+        The server sends one group per line after a result envelope
+        (``?stream=ndjson``), and this client decodes each line as it
+        arrives off the socket -- the largest JSON document ever parsed
+        is one group, not the whole result.  A stream cut mid-transfer
+        raises :class:`SpecValidationError` (truncation is detected by
+        the envelope's group count), never a silently short result.
+        """
+        body = self._solve_body(request, algorithm, timeout, options)
+        data, headers = self._encode_body(body)
+        path = self._corpus_path(corpus, "solve", "stream=ndjson")
+        budget = self._budget(timeout)
+        try:
+            response = self.pool.open_response(
+                "POST", path, body=data, headers=headers, timeout=budget
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            self._raise_transport_error(exc, "POST", path, budget)
+        error_body: Optional[bytes] = None
+        try:
+            status = response.status
+            if status >= 400:
+                error_body = response.read()
+            else:
+                payload = result_from_ndjson(iter(response.readline, b""))
+        except (OSError, http.client.HTTPException) as exc:
+            self.pool.abandon(response)
+            self._raise_transport_error(exc, "POST", path, budget)
+        except BaseException:
+            self.pool.abandon(response)
+            raise
+        if response.isclosed():
+            self.pool.finish(response)
+        else:
+            self.pool.abandon(response)
+        if error_body is not None:
+            self._decode_payload(status, error_body, "POST", path)  # raises
         return MiningResult.from_dict(payload)
 
     def stats(self, corpus: str) -> Dict[str, object]:
@@ -361,3 +828,195 @@ class HttpClient(TagDMClient):
 
     def health(self) -> Dict[str, object]:
         return self._request("GET", "/healthz")
+
+    def placement(self) -> Dict[str, object]:
+        """Fetch a fleet router's corpus->worker placement map.
+
+        Only routers answer this route; a single-process front-end
+        raises :class:`~repro.api.errors.UnknownRouteError` (404).
+        """
+        return self._request("GET", "/placement")
+
+    def close(self) -> None:
+        """Close pooled connections (the client is unusable afterwards)."""
+        self.pool.close()
+
+
+class FleetClient(TagDMClient):
+    """Talk to a serving fleet, bypassing the router on the data path.
+
+    On first use the client fetches the router's placement map
+    (``GET /placement``) and opens a pooled :class:`HttpClient` per
+    worker; corpus operations then go *directly* to the owning worker,
+    cutting the router's forwarding hop out of every insert and solve.
+    The router stays the source of truth: when a direct request fails at
+    the transport level (the worker died, or respawned on a new port) or
+    the worker no longer serves the corpus, the client refreshes its
+    placement map and retries direct once, then falls back to the router
+    -- which itself waits out worker respawns.
+
+    Thread-safe; the placement cache and per-worker clients are shared
+    under one lock, requests themselves run lock-free on pooled
+    connections.
+    """
+
+    def __init__(
+        self,
+        router_url: str,
+        request_timeout: float = 30.0,
+        direct: bool = True,
+        pool_size: int = 8,
+    ) -> None:
+        self.router = HttpClient(
+            router_url, request_timeout=request_timeout, pool_size=pool_size
+        )
+        self.request_timeout = request_timeout
+        self.pool_size = pool_size
+        #: ``direct=False`` sends everything through the router (useful
+        #: to measure the forwarding overhead the direct path avoids).
+        self.direct = direct
+        self._lock = threading.Lock()
+        self._corpus_urls: Dict[str, str] = {}
+        self._workers: Dict[str, HttpClient] = {}
+
+    # ------------------------------------------------------------------
+    # Placement cache
+    # ------------------------------------------------------------------
+    def refresh_placement(self) -> Dict[str, str]:
+        """Re-fetch the router's placement map; returns corpus->worker-url."""
+        payload = self.router.placement()
+        corpora = payload.get("corpora", {})
+        workers = payload.get("workers", {})
+        mapping: Dict[str, str] = {}
+        if isinstance(corpora, Mapping) and isinstance(workers, Mapping):
+            for corpus, worker_id in corpora.items():
+                url = workers.get(str(worker_id))
+                if isinstance(url, str) and url:
+                    mapping[str(corpus)] = url
+        with self._lock:
+            self._corpus_urls = mapping
+        return dict(mapping)
+
+    def _worker_client(self, url: str) -> HttpClient:
+        with self._lock:
+            client = self._workers.get(url)
+            if client is None:
+                client = HttpClient(
+                    url, request_timeout=self.request_timeout, pool_size=self.pool_size
+                )
+                self._workers[url] = client
+            return client
+
+    def _direct_client(self, corpus: str, refresh: bool) -> Optional[HttpClient]:
+        if not self.direct:
+            return None
+        with self._lock:
+            url = self._corpus_urls.get(corpus)
+        if url is None or refresh:
+            url = self.refresh_placement().get(corpus)
+        if url is None:
+            return None
+        return self._worker_client(url)
+
+    def _run(self, corpus: str, operation: Callable[[TagDMClient], object]) -> object:
+        """Direct attempt -> placement refresh + retry -> router fallback."""
+        for refresh in (False, True):
+            client = self._direct_client(corpus, refresh=refresh)
+            if client is None:
+                break
+            try:
+                return operation(client)
+            except (ConnectionFailedError, UnknownCorpusError):
+                continue
+        return operation(self.router)
+
+    # ------------------------------------------------------------------
+    # TagDMClient operations
+    # ------------------------------------------------------------------
+    def corpora(self) -> List[str]:
+        return self.router.corpora()
+
+    def insert(
+        self, corpus: str, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
+        """Insert via the owning worker, falling back to the router.
+
+        At-least-once across a worker crash: if the direct request fails
+        after the worker may have applied it, the fallback re-sends the
+        batch (same caveat as the router's own retry; see
+        ``DEPLOYMENT.md``).
+        """
+        batch = list(actions)
+        return self._run(corpus, lambda client: client.insert(corpus, batch))
+
+    def solve(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        return self._run(
+            corpus,
+            lambda client: client.solve(
+                corpus, request, algorithm=algorithm, timeout=timeout, **options
+            ),
+        )
+
+    def solve_page(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        page: int = 1,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> ResultPage:
+        return self._run(
+            corpus,
+            lambda client: client.solve_page(
+                corpus,
+                request,
+                page=page,
+                page_size=page_size,
+                algorithm=algorithm,
+                timeout=timeout,
+                **options,
+            ),
+        )
+
+    def solve_stream(
+        self,
+        corpus: str,
+        request: SolveRequest,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> MiningResult:
+        return self._run(
+            corpus,
+            lambda client: client.solve_stream(
+                corpus, request, algorithm=algorithm, timeout=timeout, **options
+            ),
+        )
+
+    def stats(self, corpus: str) -> Dict[str, object]:
+        return self._run(corpus, lambda client: client.stats(corpus))
+
+    def health(self) -> Dict[str, object]:
+        return self.router.health()
+
+    def placement(self) -> Dict[str, object]:
+        """The router's full placement payload (workers, corpora, pins)."""
+        return self.router.placement()
+
+    def close(self) -> None:
+        """Close the router client and every per-worker client."""
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for client in workers:
+            client.close()
+        self.router.close()

@@ -11,6 +11,7 @@ SpecValidationError    ``validation``        422
 UnknownCorpusError     ``unknown-corpus``    404
 UnknownRouteError      ``unknown-route``     404
 CapabilityMismatchError ``capability-mismatch`` 409
+WorkerUnavailableError ``worker-unavailable`` 503
 SolveTimeoutError      ``timeout``           504
 ApiError (fallback)    ``internal``          500
 =====================  ====================  ======
@@ -36,6 +37,8 @@ __all__ = [
     "UnknownCorpusError",
     "UnknownRouteError",
     "CapabilityMismatchError",
+    "ConnectionFailedError",
+    "WorkerUnavailableError",
     "SolveTimeoutError",
     "api_error_from_payload",
     "run_with_timeout",
@@ -103,6 +106,34 @@ class CapabilityMismatchError(ApiError):
     status = 409
 
 
+class ConnectionFailedError(ApiError):
+    """The client could not reach (or keep) its server connection.
+
+    Client-side only: this class is raised locally by
+    :class:`~repro.api.client.HttpClient` when the TCP connection cannot
+    be established or dies before a response arrives -- it never travels
+    on the wire (a server that *answered* has, by definition, been
+    reached).  :class:`~repro.api.client.FleetClient` treats it as the
+    signal to refresh its placement map and retry through the router.
+    """
+
+    code = "connection-failed"
+    status = 503
+
+
+class WorkerUnavailableError(ApiError):
+    """No worker process could answer for this corpus (HTTP 503).
+
+    Raised by the fleet router when the owning worker stayed unreachable
+    through the router's whole retry window (it died and did not respawn
+    in time, or its respawn keeps failing).  The request may be retried;
+    ``details`` carries the corpus and the worker id the router tried.
+    """
+
+    code = "worker-unavailable"
+    status = 503
+
+
 class SolveTimeoutError(ApiError):
     """The request did not finish within its time budget (HTTP 504)."""
 
@@ -117,6 +148,7 @@ _ERRORS_BY_CODE: Dict[str, type] = {
         UnknownCorpusError,
         UnknownRouteError,
         CapabilityMismatchError,
+        WorkerUnavailableError,
         SolveTimeoutError,
         ApiError,
     )

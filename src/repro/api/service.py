@@ -15,14 +15,15 @@ plain raises on the other).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+import json
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
 from repro.api.errors import (
     SpecValidationError,
     UnknownCorpusError,
     run_with_timeout,
 )
-from repro.api.spec import ProblemSpec
+from repro.api.spec import PageSpec, ProblemSpec
 from repro.core.incremental import IncrementalUpdateReport
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
@@ -34,6 +35,9 @@ __all__ = [
     "corpus_stats",
     "insert_actions",
     "solve_spec",
+    "solve_spec_payload",
+    "result_ndjson_lines",
+    "result_from_ndjson",
     "health",
 ]
 
@@ -143,6 +147,91 @@ def solve_spec(
         timeout,
         f"solve({corpus})",
     )
+
+
+def solve_spec_payload(
+    server,
+    corpus: str,
+    request: Union[ProblemSpec, TagDMProblem, Mapping[str, object]],
+    timeout: Optional[float] = None,
+    page: Optional[PageSpec] = None,
+) -> Dict[str, object]:
+    """Run a solve and return its wire payload, optionally one page of it.
+
+    The solve itself is always complete -- pagination windows the
+    *response*, not the computation -- so any page of a deterministic
+    solve is consistent with every other page of the same request.
+    With ``page=None`` the full payload comes back unwindowed (identical
+    to ``solve_spec(...).to_dict()``).
+    """
+    result = solve_spec(server, corpus, request, timeout=timeout)
+    payload = result.to_dict()
+    if page is None:
+        return payload
+    return page.paginate(payload)
+
+
+def result_ndjson_lines(payload: Mapping[str, object]) -> Iterator[bytes]:
+    """Encode a result payload as NDJSON lines (UTF-8, newline-terminated).
+
+    Line 1 is the result envelope -- every field except ``groups`` plus
+    ``n_groups`` -- and each following line is one group object, so a
+    reader holds at most one group in memory per parse step no matter
+    how large the group set is.  The inverse is
+    :func:`result_from_ndjson`.
+    """
+    groups = payload.get("groups", [])
+    envelope = {key: value for key, value in payload.items() if key != "groups"}
+    envelope["kind"] = "result"
+    envelope["n_groups"] = len(groups)
+    yield json.dumps(envelope).encode("utf-8") + b"\n"
+    for group in groups:
+        yield json.dumps({"kind": "group", "group": group}).encode("utf-8") + b"\n"
+
+
+def result_from_ndjson(lines: Iterable[Union[str, bytes]]) -> Dict[str, object]:
+    """Reassemble the payload :func:`result_ndjson_lines` produced.
+
+    Raises :class:`SpecValidationError` on a malformed or truncated
+    stream (wrong first line, group-count mismatch), so a connection
+    that died mid-stream cannot silently pass off a partial group set
+    as a complete result.
+    """
+    envelope: Optional[Dict[str, object]] = None
+    groups: List[object] = []
+    for raw in lines:
+        text = raw.decode("utf-8") if isinstance(raw, bytes) else raw
+        if not text.strip():
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise SpecValidationError(f"malformed NDJSON line: {exc}") from exc
+        kind = record.get("kind") if isinstance(record, dict) else None
+        if envelope is None:
+            if kind != "result":
+                raise SpecValidationError(
+                    f"NDJSON stream must start with the result envelope, got {kind!r}"
+                )
+            envelope = {
+                key: value
+                for key, value in record.items()
+                if key not in ("kind", "n_groups")
+            }
+            envelope["_expected_groups"] = int(record.get("n_groups", 0))
+        elif kind == "group":
+            groups.append(record.get("group"))
+        else:
+            raise SpecValidationError(f"unexpected NDJSON record kind {kind!r}")
+    if envelope is None:
+        raise SpecValidationError("empty NDJSON stream")
+    expected = envelope.pop("_expected_groups")
+    if len(groups) != expected:
+        raise SpecValidationError(
+            f"truncated NDJSON stream: expected {expected} groups, got {len(groups)}"
+        )
+    envelope["groups"] = groups
+    return envelope
 
 
 def health(server) -> Dict[str, object]:

@@ -19,15 +19,26 @@ Validation is split by error class so transports can answer precisely:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.api.errors import CapabilityMismatchError, SpecValidationError
 from repro.core.exceptions import InvalidProblemError
 from repro.core.measures import Criterion
 from repro.core.problem import TagDMProblem
+from repro.core.result import MiningResult
 
-__all__ = ["ProblemSpec"]
+__all__ = [
+    "ProblemSpec",
+    "PageSpec",
+    "ResultPage",
+    "merge_result_pages",
+    "DEFAULT_PAGE_SIZE",
+]
+
+#: Page size used when a request sends ``page`` without ``page_size``.
+DEFAULT_PAGE_SIZE = 50
 
 #: Option values must be JSON scalars; nested containers have no
 #: algorithm-constructor use and complicate transport equality.
@@ -57,6 +68,10 @@ def _auto_algorithm(problem: TagDMProblem) -> str:
 @dataclass(frozen=True)
 class ProblemSpec:
     """One solve request in wire form.
+
+    Immutable (frozen dataclass), hence freely shareable across
+    threads; :meth:`validate` only reads registries and blocks for no
+    I/O.
 
     Attributes
     ----------
@@ -186,3 +201,178 @@ class ProblemSpec:
                 details={"algorithm": name, "problem": problem.name},
             )
         return problem, name
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """One page window over a solve result's group list.
+
+    The wire form of the ``?page=``/``?page_size=`` query parameters on
+    a solve request: pages are 1-based windows of ``page_size`` groups
+    in result order.  A page past the end is *not* an error -- it comes
+    back empty with ``has_more=False`` -- so clients can walk pages
+    without first asking for the total.  Immutable and thread-safe.
+    """
+
+    page: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if isinstance(self.page, bool) or not isinstance(self.page, int) or self.page < 1:
+            raise SpecValidationError(
+                f"page must be an integer >= 1, got {self.page!r}"
+            )
+        if (
+            isinstance(self.page_size, bool)
+            or not isinstance(self.page_size, int)
+            or self.page_size < 1
+        ):
+            raise SpecValidationError(
+                f"page_size must be an integer >= 1, got {self.page_size!r}"
+            )
+
+    @classmethod
+    def from_query(cls, query: Mapping[str, str]) -> Optional["PageSpec"]:
+        """Decode the pagination query parameters, or ``None`` when absent.
+
+        ``page`` without ``page_size`` defaults the size to
+        :data:`DEFAULT_PAGE_SIZE`; ``page_size`` without ``page`` means
+        page 1.  Non-integer values raise :class:`SpecValidationError`.
+        """
+        raw_page = query.get("page")
+        raw_size = query.get("page_size")
+        if raw_page is None and raw_size is None:
+            return None
+
+        def _as_int(label: str, raw: str) -> int:
+            try:
+                return int(raw)
+            except (TypeError, ValueError):
+                raise SpecValidationError(
+                    f"{label} must be an integer, got {raw!r}"
+                ) from None
+
+        page = 1 if raw_page is None else _as_int("page", raw_page)
+        size = DEFAULT_PAGE_SIZE if raw_size is None else _as_int("page_size", raw_size)
+        return cls(page=page, page_size=size)
+
+    def to_query(self) -> str:
+        """The query-string form (inverse of :meth:`from_query`)."""
+        return f"page={self.page}&page_size={self.page_size}"
+
+    def paginate(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Window a full result payload down to this page.
+
+        Returns a new payload whose ``groups`` list holds only this
+        page's window, plus a ``pagination`` envelope
+        (``page``/``page_size``/``total_groups``/``total_pages``/
+        ``has_more``).  The input payload is not mutated.
+        """
+        groups = payload.get("groups", [])
+        if not isinstance(groups, list):
+            raise SpecValidationError("result payload has no 'groups' list to page")
+        total = len(groups)
+        total_pages = max(1, math.ceil(total / self.page_size))
+        start = (self.page - 1) * self.page_size
+        window = groups[start : start + self.page_size]
+        paged = dict(payload)
+        paged["groups"] = window
+        paged["pagination"] = {
+            "page": self.page,
+            "page_size": self.page_size,
+            "total_groups": total,
+            "total_pages": total_pages,
+            "has_more": start + len(window) < total,
+        }
+        return paged
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One decoded page of a paginated solve response.
+
+    ``result`` is a :class:`~repro.core.result.MiningResult` whose
+    ``groups`` hold only this page's window; the remaining fields echo
+    the server's pagination envelope.  Immutable and thread-safe.
+    """
+
+    result: MiningResult
+    page: int
+    page_size: int
+    total_groups: int
+    total_pages: int
+    has_more: bool
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ResultPage":
+        """Decode a paged wire payload (``pagination`` envelope required)."""
+        envelope = payload.get("pagination")
+        if not isinstance(envelope, Mapping):
+            raise SpecValidationError(
+                "paged solve response is missing its 'pagination' envelope"
+            )
+        return cls(
+            result=MiningResult.from_dict(payload),
+            page=int(envelope["page"]),
+            page_size=int(envelope["page_size"]),
+            total_groups=int(envelope["total_groups"]),
+            total_pages=int(envelope["total_pages"]),
+            has_more=bool(envelope["has_more"]),
+        )
+
+
+def merge_result_pages(pages: List["ResultPage"]) -> MiningResult:
+    """Reassemble consecutive pages into one full result.
+
+    Pages must be in order, share one solve, and cover every group
+    (page 1 .. total_pages); anything else raises
+    :class:`SpecValidationError`.  The merged result is bit-identical to
+    the unpaginated solve -- that is the pagination round-trip contract
+    the tier-1 tests assert.
+    """
+    if not pages:
+        raise SpecValidationError("cannot merge zero result pages")
+    expected_total = pages[0].total_groups
+    first = pages[0].result
+    groups: List[object] = []
+    for position, entry in enumerate(pages, start=1):
+        if entry.page != position:
+            raise SpecValidationError(
+                f"result pages out of order: expected page {position}, "
+                f"got {entry.page}"
+            )
+        # Wire clients re-solve per page fetch, so an insert landing
+        # between fetches would hand us windows of two different solves.
+        # The solve envelope rides on every page; any drift in it means
+        # the pages are not windows of one result.
+        if (
+            entry.total_groups != expected_total
+            or entry.result.objective_value != first.objective_value
+            or entry.result.algorithm != first.algorithm
+            or entry.result.support != first.support
+            or entry.result.constraint_scores != first.constraint_scores
+        ):
+            raise SpecValidationError(
+                f"page {entry.page} belongs to a different solve than page 1 "
+                "(envelope drift: the corpus changed between page fetches); "
+                "re-fetch the pages or use solve_stream for one-shot results"
+            )
+        groups.extend(entry.result.groups)
+    if len(groups) != expected_total:
+        raise SpecValidationError(
+            f"merged pages cover {len(groups)} groups, server reported "
+            f"{expected_total}"
+        )
+    last = pages[-1].result
+    return MiningResult(
+        problem=last.problem,
+        algorithm=last.algorithm,
+        groups=tuple(groups),
+        objective_value=last.objective_value,
+        constraint_scores=dict(last.constraint_scores),
+        support=last.support,
+        feasible=last.feasible,
+        elapsed_seconds=last.elapsed_seconds,
+        evaluations=last.evaluations,
+        metadata=dict(last.metadata),
+    )

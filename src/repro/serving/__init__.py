@@ -1,26 +1,41 @@
-"""Long-lived serving loop over warm TagDM sessions.
+"""Long-lived serving over warm TagDM sessions, single- or multi-process.
 
 The serving subsystem turns the persistence substrate (SQLite dataset
-stores + warm-start session snapshots) into a process that can sit
-under mixed insert/query traffic: a :class:`TagDMServer` registry of
-per-corpus :class:`CorpusShard` instances, each with a single writer
-thread, shared-read solves, and a :class:`SnapshotRotationPolicy`
-keeping warm-start snapshots fresh and bounded.  See ``SERVING.md``.
+stores + warm-start session snapshots) into processes that sit under
+mixed insert/query traffic, in three layers:
 
-:class:`TagDMHttpServer` puts the registry on the network: an HTTP
-front-end speaking the wire-native API of :mod:`repro.api` (problem
-specs in, serialised results out, typed error taxonomy).  See
-``API.md``.
+* **In-process registry** -- :class:`TagDMServer`, a registry of
+  per-corpus :class:`CorpusShard` instances: one warm session, one
+  single-writer insert queue and one writer-preferring
+  :class:`ReadWriteLock` per corpus, with
+  :class:`SnapshotRotationPolicy`/:class:`SnapshotRotator` keeping
+  warm-start snapshots fresh and bounded.  See ``SERVING.md``.
+* **Network front-end** -- :class:`TagDMHttpServer`, an HTTP server
+  speaking the wire-native API of :mod:`repro.api` (problem specs in,
+  serialised -- optionally paginated or NDJSON-streamed -- results out,
+  typed error taxonomy).  See ``API.md``.
+* **Multi-process fleet** -- :class:`TagDMFleet` spawns and supervises
+  N worker processes (each a :class:`TagDMServer` + front-end on its
+  own port) behind a :class:`TagDMRouter` that owns the
+  corpus->worker :class:`PlacementTable` (rendezvous hashing + pins)
+  and rides out worker deaths by retrying against respawned workers.
+  See ``DEPLOYMENT.md`` and ``ARCHITECTURE.md``.
 """
 
 from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
 from repro.serving.server import TagDMServer
 from repro.serving.shards import CorpusShard, ReadWriteLock
 from repro.serving.http import TagDMHttpServer
+from repro.serving.router import PlacementTable, TagDMRouter
+from repro.serving.fleet import FleetWorker, TagDMFleet
 
 __all__ = [
     "TagDMServer",
     "TagDMHttpServer",
+    "TagDMFleet",
+    "TagDMRouter",
+    "PlacementTable",
+    "FleetWorker",
     "CorpusShard",
     "ReadWriteLock",
     "SnapshotRotationPolicy",

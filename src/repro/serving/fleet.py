@@ -1,0 +1,523 @@
+"""Multi-process serving fleet: N worker processes behind one router.
+
+:class:`TagDMFleet` scales the single-process serving stack across OS
+processes -- the ROADMAP's "cross-process shard placement" step.  One
+fleet owns:
+
+* a shared on-disk **root** with the exact
+  :class:`~repro.serving.server.TagDMServer` layout (one subdirectory
+  per corpus: SQLite store + snapshot dir), so any corpus directory a
+  single-process server wrote is servable by a fleet and vice versa;
+* a :class:`~repro.serving.router.PlacementTable` assigning each corpus
+  to exactly one **worker process** (rendezvous hashing + pins), which
+  preserves the single-writer-per-shard invariant across processes --
+  only the owning worker ever opens a corpus's store;
+* the worker processes themselves, each running a
+  :class:`TagDMServer` + :class:`~repro.serving.http.TagDMHttpServer`
+  on its own port, warm-starting every assigned corpus from its
+  snapshot directory;
+* a **supervisor thread** that respawns any worker that dies (the
+  respawn warm-starts from the corpus's newest snapshot, replaying the
+  store tail if the snapshot lagged) and republishes the worker's new
+  address;
+* a :class:`~repro.serving.router.TagDMRouter` in the fleet process,
+  forwarding client requests to owners and riding out respawns.
+
+Blocking behaviour: :meth:`TagDMFleet.start` blocks until every worker
+reports ready (warm-started and listening); :meth:`add_corpus` blocks
+for the initial ingest/prepare (plus a worker restart when the fleet is
+already running); :meth:`close` blocks until every worker exited.  All
+public methods are safe to call from any thread.
+
+Deployment guidance (worker counts, snapshot tuning, health checks)
+lives in ``DEPLOYMENT.md``; the architecture walkthrough in
+``ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.dataset.store import TaggingDataset
+from repro.serving.policy import SnapshotRotationPolicy
+from repro.serving.router import PlacementTable, TagDMRouter
+
+__all__ = ["TagDMFleet", "FleetWorker"]
+
+_STORE_FILENAME = "corpus.sqlite"
+
+
+def _worker_main(
+    connection,
+    root: str,
+    corpus_names: List[str],
+    host: str,
+    config: Dict[str, object],
+) -> None:
+    """Entry point of one worker process.
+
+    Opens (warm-starts) every assigned corpus, serves it over HTTP on an
+    OS-assigned port, reports ``("ready", port)`` up the pipe, then
+    blocks until the parent sends ``"stop"`` or the pipe dies (parent
+    gone) -- either way it shuts down cleanly: drain queues, final
+    snapshots, close stores.
+    """
+    # Imports happen here (not at module top) only in spirit: the module
+    # import is cheap and the heavy session machinery loads on demand.
+    from repro.serving.http import TagDMHttpServer
+    from repro.serving.server import TagDMServer
+
+    server = TagDMServer(
+        Path(root),
+        policy=config.get("policy"),
+        enumeration=config.get("enumeration"),
+        signature_backend=str(config.get("signature_backend", "frequency")),
+        signature_dimensions=int(config.get("signature_dimensions", 25)),
+        seed=int(config.get("seed", 0)),
+    )
+    try:
+        for name in corpus_names:
+            server.open_corpus(name)
+        front = TagDMHttpServer(
+            server,
+            host=host,
+            port=0,
+            default_solve_timeout=config.get("default_solve_timeout"),
+        ).start()
+    except BaseException as exc:
+        try:
+            connection.send(("failed", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        server.close()
+        return
+    try:
+        connection.send(("ready", front.address[1]))
+        while True:
+            message = connection.recv()  # blocks; EOFError when parent dies
+            if message == "stop":
+                break
+    except (EOFError, OSError):
+        pass
+    finally:
+        front.stop()
+        server.close()
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+
+class FleetWorker:
+    """Parent-side handle of one worker process.
+
+    Mutable state (``process``/``connection``/``port``) is owned by the
+    fleet under its registry lock; readers see ``url`` flip to ``None``
+    while the worker is down and back to its new address once the
+    supervisor respawned it.
+    """
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.process = None
+        self.connection = None
+        self.port: Optional[int] = None
+        self.corpora: List[str] = []
+        #: Total respawns, administrative restarts included (monitoring).
+        self.restarts = 0
+        #: Unplanned deaths only -- what the supervisor's ``max_restarts``
+        #: crash-loop budget counts (an add_corpus restart must not
+        #: consume it).
+        self.crashes = 0
+        self.stopping = False
+        #: Serialises spawn/stop transitions on this worker between the
+        #: supervisor thread and administrative callers (restart_worker,
+        #: close) -- without it, a respawn racing a restart could leave
+        #: two live processes owning the same corpus stores.
+        self.lifecycle_lock = threading.Lock()
+
+    @property
+    def url(self) -> Optional[str]:
+        """Base URL of the live worker, or ``None`` while it is down."""
+        if self.port is None:
+            return None
+        return f"http://{self.host}:{self.port}"
+
+    host: str = "127.0.0.1"
+
+    def is_alive(self) -> bool:
+        """Whether the OS process is currently running."""
+        return self.process is not None and self.process.is_alive()
+
+
+class TagDMFleet:
+    """Spawn, place, supervise and front a multi-process serving fleet.
+
+    Parameters
+    ----------
+    root:
+        Shared fleet directory (one subdirectory per corpus; created on
+        demand).  Compatible with a single-process ``TagDMServer`` root.
+    n_workers:
+        How many worker processes to run.
+    policy / enumeration / signature_backend / signature_dimensions / seed:
+        Per-worker :class:`TagDMServer` configuration (must be picklable
+        -- it crosses the process boundary at spawn).
+    host:
+        Interface workers and the router bind (loopback by default).
+    router_port:
+        Router bind port (``0`` picks a free one; read :attr:`url`).
+    pins:
+        Optional ``corpus -> worker id`` placement overrides.
+    start_method:
+        :mod:`multiprocessing` start method.  ``"spawn"`` (default) is
+        the safe choice from any process; ``"fork"`` starts faster but
+        inherits the parent's threads' locks mid-flight.
+    spawn_timeout:
+        How long to wait for one worker to warm-start and report ready.
+    retry_deadline:
+        Router forwarding retry window (must cover a respawn).
+    max_restarts:
+        Supervisor gives up respawning a worker after this many deaths
+        (its corpora then answer 503 until an operator intervenes).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        n_workers: int = 2,
+        policy: Optional[SnapshotRotationPolicy] = None,
+        enumeration: Optional[GroupEnumerationConfig] = None,
+        signature_backend: str = "frequency",
+        signature_dimensions: int = 25,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        router_port: int = 0,
+        pins: Optional[Mapping[str, str]] = None,
+        start_method: str = "spawn",
+        spawn_timeout: float = 120.0,
+        retry_deadline: float = 30.0,
+        default_solve_timeout: Optional[float] = None,
+        max_restarts: int = 10,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.spawn_timeout = spawn_timeout
+        self.max_restarts = max_restarts
+        self._config: Dict[str, object] = {
+            "policy": policy,
+            "enumeration": enumeration,
+            "signature_backend": signature_backend,
+            "signature_dimensions": signature_dimensions,
+            "seed": seed,
+            "default_solve_timeout": default_solve_timeout,
+        }
+        self._context = multiprocessing.get_context(start_method)
+        worker_ids = [f"worker-{index}" for index in range(n_workers)]
+        self.placement = PlacementTable(workers=worker_ids, pins=pins)
+        self._workers: Dict[str, FleetWorker] = {}
+        for worker_id in worker_ids:
+            handle = FleetWorker(worker_id)
+            handle.host = host
+            self._workers[worker_id] = handle
+        self._lock = threading.RLock()
+        self._closing = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._started = False
+        self.router = TagDMRouter(
+            self.placement,
+            self.worker_url,
+            host=host,
+            port=router_port,
+            retry_deadline=retry_deadline,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The router's base URL -- what fleet clients talk to."""
+        return self.router.url
+
+    @property
+    def worker_ids(self) -> List[str]:
+        """Ids of the fleet's workers (stable across respawns)."""
+        return sorted(self._workers)
+
+    def worker_url(self, worker_id: str) -> Optional[str]:
+        """Live base URL of one worker (``None`` while it is down)."""
+        handle = self._workers.get(worker_id)
+        if handle is None or not handle.is_alive():
+            return None
+        return handle.url
+
+    def stats(self) -> Dict[str, object]:
+        """Supervisor-side fleet counters (no worker round-trips)."""
+        with self._lock:
+            return {
+                "workers": {
+                    worker_id: {
+                        "url": handle.url if handle.is_alive() else None,
+                        "alive": handle.is_alive(),
+                        "restarts": handle.restarts,
+                        "crashes": handle.crashes,
+                        "corpora": list(handle.corpora),
+                    }
+                    for worker_id, handle in sorted(self._workers.items())
+                },
+                "router": self.router.stats(),
+                "corpora": self.placement.corpora(),
+            }
+
+    # ------------------------------------------------------------------
+    # Corpus management
+    # ------------------------------------------------------------------
+    def add_corpus(self, name: str, dataset: TaggingDataset) -> None:
+        """Ingest a new corpus into the fleet root and place it.
+
+        The ingest (store write + cold prepare + first snapshot) runs in
+        the fleet process through a short-lived single-process
+        :class:`TagDMServer`; the owning worker then serves it by
+        warm-starting from that snapshot -- which is why fleet solves
+        are bit-identical to single-process ones.  When the fleet is
+        already running, the owner is restarted to pick the corpus up
+        (its other corpora warm-start back in seconds); blocks until the
+        corpus is servable either way.
+        """
+        from repro.serving.server import TagDMServer
+
+        ingest = TagDMServer(
+            self.root,
+            policy=self._config["policy"],
+            enumeration=self._config["enumeration"],
+            signature_backend=str(self._config["signature_backend"]),
+            signature_dimensions=int(self._config["signature_dimensions"]),
+            seed=int(self._config["seed"]),
+        )
+        try:
+            ingest.add_corpus(name, dataset)
+        finally:
+            ingest.close()
+        self.placement.register_corpus(name)
+        if self._started:
+            self.restart_worker(self.placement.owner_of(name))
+
+    def open_corpus(self, name: str) -> None:
+        """Place an existing corpus directory (ingested earlier or by a
+        single-process server) without touching its data.
+
+        Blocks for the owner's restart when the fleet is running.
+        """
+        if not (self.root / name / _STORE_FILENAME).exists():
+            raise FileNotFoundError(
+                f"corpus {name!r} has no store under {self.root / name}; "
+                "ingest it with add_corpus()"
+            )
+        self.placement.register_corpus(name)
+        if self._started:
+            self.restart_worker(self.placement.owner_of(name))
+
+    def discover_corpora(self) -> List[str]:
+        """Register every corpus directory already present in the root.
+
+        Returns the names found.  This is how a fleet resumes a root a
+        previous fleet (or single-process server) wrote.
+        """
+        found = []
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and (entry / _STORE_FILENAME).exists():
+                self.placement.register_corpus(entry.name)
+                found.append(entry.name)
+        return found
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, handle: FleetWorker) -> None:
+        """Start one worker process and block until it reports ready."""
+        corpora = self.placement.assignments().get(handle.worker_id, [])
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_end, str(self.root), list(corpora), self.host, self._config),
+            name=f"tagdm-{handle.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        if not parent_end.poll(self.spawn_timeout):
+            process.kill()
+            parent_end.close()
+            raise RuntimeError(
+                f"{handle.worker_id} did not report ready within "
+                f"{self.spawn_timeout:g}s"
+            )
+        try:
+            kind, value = parent_end.recv()
+        except (EOFError, OSError):
+            parent_end.close()
+            process.join(timeout=5.0)
+            raise RuntimeError(
+                f"{handle.worker_id} died before reporting ready "
+                f"(exit code {process.exitcode})"
+            ) from None
+        if kind != "ready":
+            parent_end.close()
+            process.join(timeout=5.0)
+            raise RuntimeError(f"{handle.worker_id} failed to start: {value}")
+        with self._lock:
+            handle.process = process
+            handle.connection = parent_end
+            handle.port = int(value)
+            handle.corpora = list(corpora)
+            handle.stopping = False
+
+    def _stop_worker(self, handle: FleetWorker, timeout: float = 30.0) -> None:
+        """Graceful stop: ask, wait, then kill.  Idempotent."""
+        with self._lock:
+            handle.stopping = True
+            process, connection = handle.process, handle.connection
+            handle.port = None
+        if connection is not None:
+            try:
+                connection.send("stop")
+            except (OSError, BrokenPipeError):
+                pass
+        if process is not None:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        with self._lock:
+            handle.process = None
+            handle.connection = None
+
+    def restart_worker(self, worker_id: str) -> None:
+        """Gracefully stop and respawn one worker (placement refreshed).
+
+        Blocks until the respawned worker is ready (waiting out a
+        concurrent supervisor respawn first).  Administrative restarts
+        count in ``restarts`` but not in the ``max_restarts`` crash
+        budget.  No-op before :meth:`start`.
+        """
+        handle = self._workers[worker_id]
+        if not self._started:
+            return
+        with handle.lifecycle_lock:
+            self._stop_worker(handle)
+            handle.restarts += 1
+            self._spawn(handle)
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL one worker (chaos hook for tests and drills).
+
+        Returns immediately; the supervisor respawns the worker and the
+        router rides out the gap by retrying.
+        """
+        handle = self._workers[worker_id]
+        with self._lock:
+            process = handle.process
+            handle.port = None
+        if process is not None:
+            process.kill()
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._closing.wait(0.1):
+            for handle in list(self._workers.values()):
+                if self._closing.is_set():
+                    return
+                if handle.stopping or handle.is_alive():
+                    continue
+                if handle.process is None:
+                    continue  # never spawned (start() races) -- not ours
+                if handle.crashes >= self.max_restarts:
+                    continue  # crash-looping; leave it down for operators
+                if not handle.lifecycle_lock.acquire(blocking=False):
+                    continue  # an administrative restart owns this worker
+                try:
+                    if handle.stopping or handle.is_alive():
+                        continue  # state changed while taking the lock
+                    handle.restarts += 1
+                    handle.crashes += 1
+                    with self._lock:
+                        handle.port = None
+                    try:
+                        self._spawn(handle)
+                    except Exception:
+                        # Spawn failed (bad snapshot, fd pressure, port
+                        # exhaustion, ...); the loop retries until the
+                        # crash budget caps it.  The supervisor itself
+                        # must never die of one worker's failure.
+                        time.sleep(0.5)
+                finally:
+                    handle.lifecycle_lock.release()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TagDMFleet":
+        """Spawn every worker, start supervision and the router.
+
+        Blocks until all workers are warm and listening; idempotent.
+        """
+        if self._started:
+            return self
+        self._started = True
+        try:
+            for handle in self._workers.values():
+                self._spawn(handle)
+        except BaseException:
+            self._started = False
+            for handle in self._workers.values():
+                if handle.process is not None:
+                    self._stop_worker(handle, timeout=5.0)
+            raise
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="tagdm-fleet-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        self.router.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the router, the supervisor and every worker (idempotent).
+
+        Workers shut down cleanly: queues drained, final snapshots
+        written, stores closed -- a later fleet (or single-process
+        server) over the same root warm-starts from them.
+        """
+        self._closing.set()
+        if self._supervisor is not None:
+            # The supervisor may be mid-_spawn (bounded by spawn_timeout);
+            # the per-handle lifecycle locks below make close wait for any
+            # such respawn and then stop it, so no worker outlives close.
+            self._supervisor.join(timeout=10.0)
+            self._supervisor = None
+        self.router.stop()
+        for handle in self._workers.values():
+            with handle.lifecycle_lock:
+                self._stop_worker(handle)
+        self._started = False
+
+    def __enter__(self) -> "TagDMFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

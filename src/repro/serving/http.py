@@ -16,6 +16,14 @@ Routes (all bodies JSON; see ``API.md`` for the full schema)::
     POST /corpora/<name>/insert    -- {"actions": [...]} -> update report
     POST /corpora/<name>/solve     -- ProblemSpec payload -> MiningResult
 
+The solve route also accepts result-shaping query parameters:
+``?page=P&page_size=S`` windows the response's group list (JSON body
+plus a ``pagination`` envelope), and ``?stream=ndjson`` answers
+``application/x-ndjson`` -- a result envelope line followed by one
+group per line -- so very large group sets never form one giant JSON
+document on either side of the wire.  The two are mutually exclusive
+(422 when combined).
+
 Failures answer with the typed taxonomy of :mod:`repro.api.errors`
 (validation 422, unknown corpus/route 404, capability mismatch 409,
 timeout 504) as ``{"error": {code, status, message, details}}`` bodies.
@@ -32,7 +40,7 @@ import re
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.api import service
 from repro.api.errors import (
@@ -40,7 +48,7 @@ from repro.api.errors import (
     SpecValidationError,
     UnknownRouteError,
 )
-from repro.api.spec import ProblemSpec
+from repro.api.spec import PageSpec, ProblemSpec
 from repro.serving.server import TagDMServer
 
 __all__ = ["TagDMHttpServer"]
@@ -52,6 +60,15 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 _CORPUS_ROUTE = re.compile(r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/(?P<verb>[a-z]+)\Z")
 
 
+class _NdjsonBody:
+    """Marker wrapper: a route answered pre-encoded NDJSON lines."""
+
+    __slots__ = ("lines",)
+
+    def __init__(self, lines: List[bytes]) -> None:
+        self.lines = lines
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Route one HTTP request into the service layer."""
 
@@ -60,6 +77,10 @@ class _Handler(BaseHTTPRequestHandler):
     default_solve_timeout: Optional[float] = None
 
     protocol_version = "HTTP/1.1"
+    # Responses are written as several small segments (status, headers,
+    # body); with Nagle on, a keep-alive client's delayed ACK turns that
+    # into ~40ms per response.
+    disable_nagle_algorithm = True
 
     # BaseHTTPRequestHandler logs every request to stderr by default;
     # a serving process wants that off the hot path (and tests quiet).
@@ -71,13 +92,19 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _write_json(self, status: int, payload: Dict[str, object]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._write_body(status, "application/json", [body])
+
+    def _write_body(self, status: int, content_type: str, chunks: List[bytes]) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(sum(len(chunk) for chunk in chunks)))
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(body)
+        # Written chunk-at-a-time so an NDJSON reader on the other end
+        # starts parsing groups before the last one hits the socket.
+        for chunk in chunks:
+            self.wfile.write(chunk)
 
     def _read_body(self) -> Dict[str, object]:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -131,12 +158,15 @@ class _Handler(BaseHTTPRequestHandler):
             error = ApiError(f"{type(exc).__name__}: {exc}")
             status, payload = error.status, error.to_payload()
         self._discard_unread_body()
-        self._write_json(status, payload)
+        if isinstance(payload, _NdjsonBody):
+            self._write_body(status, "application/x-ndjson", payload.lines)
+        else:
+            self._write_json(status, payload)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
+    def _route(self, method: str):
         path = self.path.split("?", 1)[0]
         if method == "GET" and path == "/healthz":
             return 200, service.health(self.tagdm_server)
@@ -175,7 +205,24 @@ class _Handler(BaseHTTPRequestHandler):
         report = service.insert_actions(self.tagdm_server, corpus, actions)
         return report.to_dict()
 
-    def _handle_solve(self, corpus: str) -> Dict[str, object]:
+    def _solve_query(self) -> Tuple[Optional[PageSpec], bool]:
+        """Decode the solve route's result-shaping query parameters."""
+        _, _, raw_query = self.path.partition("?")
+        query = dict(urllib.parse.parse_qsl(raw_query))
+        stream = query.get("stream")
+        if stream is not None and stream != "ndjson":
+            raise SpecValidationError(
+                f"stream must be 'ndjson', got {stream!r}"
+            )
+        page = PageSpec.from_query(query)
+        if page is not None and stream is not None:
+            raise SpecValidationError(
+                "page/page_size and stream=ndjson are mutually exclusive"
+            )
+        return page, stream is not None
+
+    def _handle_solve(self, corpus: str):
+        page, stream = self._solve_query()
         payload = self._read_body()
         timeout = payload.pop("timeout_seconds", self.default_solve_timeout)
         if timeout is not None and (
@@ -185,8 +232,12 @@ class _Handler(BaseHTTPRequestHandler):
                 f"timeout_seconds must be a number, got {timeout!r}"
             )
         spec = ProblemSpec.from_dict(payload)
-        result = service.solve_spec(self.tagdm_server, corpus, spec, timeout=timeout)
-        return result.to_dict()
+        result_payload = service.solve_spec_payload(
+            self.tagdm_server, corpus, spec, timeout=timeout, page=page
+        )
+        if stream:
+            return _NdjsonBody(list(service.result_ndjson_lines(result_payload)))
+        return result_payload
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._dispatch("GET")

@@ -83,6 +83,11 @@ class SnapshotRotator:
     ``directory``; the sequence number increases monotonically (resuming
     from whatever files already exist), so "latest" is a pure filename
     comparison and needs no mtime trust.
+
+    Not itself thread-safe: a rotator belongs to exactly one shard,
+    whose writer thread calls :meth:`record_inserts`/:meth:`due`/
+    :meth:`rotate` under the shard's write lock.  :meth:`rotate` blocks
+    for the full snapshot serialisation, fsync and prune.
     """
 
     _SUFFIX = ".snapshot"

@@ -1,0 +1,558 @@
+"""Corpus-placement router: one front door for a multi-process fleet.
+
+The router is the half of the serving fleet that clients see: an HTTP
+process that owns the corpus->worker placement table and forwards every
+``/corpora/<name>/*`` request to the worker process whose
+:class:`~repro.serving.server.TagDMServer` holds that corpus's warm
+shard.  Placement is rendezvous hashing (stable under worker
+joins/leaves: only the moved corpus re-homes) with explicit pin
+overrides for operators who need a corpus on a specific worker.
+
+Routes (bodies and errors exactly as in :mod:`repro.serving.http`, so a
+client cannot tell a router from a single-process front-end except by
+the extra route)::
+
+    GET  /healthz                  -- router + aggregated worker health
+    GET  /corpora                  -- {"corpora": [names]} from placement
+    GET  /placement                -- corpus->worker map with worker urls
+    *    /corpora/<name>/<verb>    -- forwarded verbatim to the owner
+
+Failure semantics: a forward that cannot reach the owning worker
+(killed, restarting) is retried against the worker's *current* address
+-- re-resolved every attempt, because a respawned worker comes back on
+a new port -- until ``retry_deadline`` elapses, then answers 503
+(:class:`~repro.api.errors.WorkerUnavailableError`).  A request the
+worker *answered* is relayed as-is, status and body untouched, which is
+what keeps routed error payloads bit-identical to single-process ones.
+
+Threading model: the router is a :class:`ThreadingHTTPServer`; each
+request forwards on its own handler thread over a per-worker
+:class:`~repro.api.client.HttpConnectionPool`, so slow solves on one
+worker do not block requests to another.  :class:`PlacementTable` is
+itself thread-safe and shared with the fleet supervisor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+import time
+import urllib.parse
+from http.client import HTTPException
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from socket import timeout as socket_timeout
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.api.client import HttpConnectionPool
+from repro.api.errors import (
+    ApiError,
+    SolveTimeoutError,
+    SpecValidationError,
+    UnknownCorpusError,
+    UnknownRouteError,
+    WorkerUnavailableError,
+)
+
+__all__ = ["PlacementTable", "TagDMRouter"]
+
+_CORPUS_ROUTE = re.compile(r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/(?P<verb>[a-z]+)\Z")
+
+#: Forwarded request bodies above this size are rejected up front
+#: (mirrors ``repro.serving.http.MAX_BODY_BYTES``).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _rendezvous_score(worker_id: str, corpus: str) -> int:
+    """The weight of ``worker_id`` for ``corpus`` (highest weight owns).
+
+    SHA-1 based so the placement is identical in every process that
+    computes it -- Python's builtin ``hash`` is salted per process and
+    would scatter corpora differently on every restart.
+    """
+    digest = hashlib.sha1(f"{worker_id}\x00{corpus}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PlacementTable:
+    """Thread-safe corpus->worker placement with pin overrides.
+
+    Ownership is rendezvous hashing over the current worker set: each
+    corpus goes to the worker with the highest hash weight for it, so
+    adding or removing one worker only moves the corpora that worker
+    gains or loses -- every other assignment is untouched.  An explicit
+    :meth:`pin` overrides hashing for one corpus as long as its pinned
+    worker is registered (an absent pinned worker falls back to hashing
+    rather than blackholing the corpus).
+
+    All methods take an internal lock and never block on I/O, so the
+    table can be shared between the router's request threads and the
+    fleet supervisor.
+    """
+
+    def __init__(
+        self,
+        workers: Union[List[str], Tuple[str, ...]] = (),
+        pins: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._workers: List[str] = []
+        self._corpora: List[str] = []
+        self._pins: Dict[str, str] = dict(pins or {})
+        for worker_id in workers:
+            self.add_worker(worker_id)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_worker(self, worker_id: str) -> None:
+        """Register a worker id (idempotent)."""
+        with self._lock:
+            if worker_id not in self._workers:
+                self._workers.append(worker_id)
+                self._workers.sort()
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Drop a worker id; its corpora re-home by hashing (idempotent)."""
+        with self._lock:
+            if worker_id in self._workers:
+                self._workers.remove(worker_id)
+
+    def register_corpus(self, corpus: str) -> None:
+        """Make a corpus placeable (idempotent)."""
+        with self._lock:
+            if corpus not in self._corpora:
+                self._corpora.append(corpus)
+                self._corpora.sort()
+
+    def forget_corpus(self, corpus: str) -> None:
+        """Remove a corpus (and any pin it had; idempotent)."""
+        with self._lock:
+            if corpus in self._corpora:
+                self._corpora.remove(corpus)
+            self._pins.pop(corpus, None)
+
+    def pin(self, corpus: str, worker_id: str) -> None:
+        """Pin a corpus to one worker, overriding rendezvous hashing."""
+        with self._lock:
+            if worker_id not in self._workers:
+                raise KeyError(
+                    f"cannot pin {corpus!r} to unknown worker {worker_id!r}; "
+                    f"known: {self._workers}"
+                )
+            self.register_corpus(corpus)
+            self._pins[corpus] = worker_id
+
+    def unpin(self, corpus: str) -> None:
+        """Remove a pin; the corpus re-homes by hashing (idempotent)."""
+        with self._lock:
+            self._pins.pop(corpus, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def workers(self) -> List[str]:
+        """Registered worker ids, sorted."""
+        with self._lock:
+            return list(self._workers)
+
+    def corpora(self) -> List[str]:
+        """Registered corpus names, sorted."""
+        with self._lock:
+            return list(self._corpora)
+
+    def __contains__(self, corpus: str) -> bool:
+        with self._lock:
+            return corpus in self._corpora
+
+    def owner_of(self, corpus: str) -> str:
+        """The worker id serving ``corpus``.
+
+        Raises ``KeyError`` for an unregistered corpus and
+        ``RuntimeError`` when the table has no workers at all.
+        """
+        with self._lock:
+            if corpus not in self._corpora:
+                raise KeyError(f"corpus {corpus!r} is not placed")
+            if not self._workers:
+                raise RuntimeError("placement table has no workers")
+            pinned = self._pins.get(corpus)
+            if pinned is not None and pinned in self._workers:
+                return pinned
+            return max(
+                self._workers,
+                key=lambda worker_id: (_rendezvous_score(worker_id, corpus), worker_id),
+            )
+
+    def assignments(self) -> Dict[str, List[str]]:
+        """Every worker's corpus list (workers with none map to ``[]``)."""
+        with self._lock:
+            table: Dict[str, List[str]] = {worker_id: [] for worker_id in self._workers}
+            for corpus in self._corpora:
+                table[self.owner_of(corpus)].append(corpus)
+            return table
+
+    def to_payload(
+        self, worker_urls: Optional[Mapping[str, Optional[str]]] = None
+    ) -> Dict[str, object]:
+        """The ``GET /placement`` wire body."""
+        with self._lock:
+            corpora = {corpus: self.owner_of(corpus) for corpus in self._corpora}
+            workers: Dict[str, Optional[str]] = {
+                worker_id: (worker_urls or {}).get(worker_id)
+                for worker_id in self._workers
+            }
+            return {
+                "workers": workers,
+                "corpora": corpora,
+                "pins": dict(self._pins),
+            }
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Forward one request to the owning worker (or answer router routes)."""
+
+    router: "TagDMRouter" = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+    # Same keep-alive Nagle/delayed-ACK trap as the worker front-end.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep request logging off the forwarding hot path
+
+    # ------------------------------------------------------------------
+    # Plumbing (mirrors repro.serving.http._Handler)
+    # ------------------------------------------------------------------
+    def _write_json(self, status: int, payload: Mapping[str, object]) -> None:
+        self._write_raw(status, "application/json", json.dumps(payload).encode("utf-8"))
+
+    def _write_raw(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            return b""
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            # Same class and message as the worker front-end's own
+            # oversized-body answer, so routed and direct requests see
+            # an identical 422 payload.
+            raise SpecValidationError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        return self.rfile.read(length)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            status, content_type, body = self._route(method)
+        except ApiError as error:
+            status, content_type = error.status, "application/json"
+            body = json.dumps(error.to_payload()).encode("utf-8")
+        except Exception as exc:  # a router bug must answer 500, not drop the socket
+            error = ApiError(f"{type(exc).__name__}: {exc}")
+            status, content_type = error.status, "application/json"
+            body = json.dumps(error.to_payload()).encode("utf-8")
+        self._write_raw(status, content_type, body)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str) -> Tuple[int, str, bytes]:
+        path, _, query = self.path.partition("?")
+        body = self._read_body()
+        if method == "GET" and path == "/healthz":
+            return 200, "application/json", self.router._health_body()
+        if method == "GET" and path == "/corpora":
+            payload = {"corpora": self.router.placement.corpora()}
+            return 200, "application/json", json.dumps(payload).encode("utf-8")
+        if method == "GET" and path == "/placement":
+            return 200, "application/json", self.router._placement_body()
+        match = _CORPUS_ROUTE.fullmatch(path)
+        if match:
+            corpus = urllib.parse.unquote(match.group("name"))
+            return self.router.forward(method, corpus, self.path, body)
+        raise UnknownRouteError(
+            f"no route for {method} {path}",
+            details={
+                "routes": [
+                    "GET /healthz",
+                    "GET /corpora",
+                    "GET /placement",
+                    "GET /corpora/<name>/stats",
+                    "POST /corpora/<name>/insert",
+                    "POST /corpora/<name>/solve",
+                ]
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+
+class TagDMRouter:
+    """Route fleet traffic to the worker that owns each corpus.
+
+    Parameters
+    ----------
+    placement:
+        The (shared, thread-safe) :class:`PlacementTable`.  The fleet
+        supervisor registers workers/corpora on it; the router only
+        reads.
+    resolve_worker:
+        ``worker_id -> base url`` resolver -- a callable or a plain
+        mapping.  Returning ``None`` means "worker currently down";
+        the router keeps re-resolving while it retries, which is how a
+        respawned worker's new port is picked up mid-request.
+    host / port:
+        Bind address (``port=0`` picks a free port; read :attr:`url`).
+    retry_deadline:
+        How long a forward keeps retrying an unreachable owner before
+        answering 503 (seconds).  Must cover a worker respawn:
+        process start + warm-start from snapshot.
+    retry_interval:
+        Sleep between forward attempts (seconds).
+    request_timeout:
+        Socket timeout for one forwarded attempt (seconds); a worker
+        that is *reachable but slow* past this answers 504, it is not
+        retried (re-running a slow solve would only pile on load).
+
+    Lifecycle and threading match
+    :class:`~repro.serving.http.TagDMHttpServer`: ``start()`` serves on
+    a daemon thread, ``stop()`` is idempotent, the object is a context
+    manager, and every inbound request is handled (and forwarded) on
+    its own thread.
+    """
+
+    def __init__(
+        self,
+        placement: PlacementTable,
+        resolve_worker: Union[Callable[[str], Optional[str]], Mapping[str, str]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_deadline: float = 30.0,
+        retry_interval: float = 0.05,
+        request_timeout: float = 120.0,
+    ) -> None:
+        self.placement = placement
+        if callable(resolve_worker):
+            self._resolve = resolve_worker
+        else:
+            mapping = dict(resolve_worker)
+            self._resolve = mapping.get
+        self.retry_deadline = retry_deadline
+        self.retry_interval = retry_interval
+        self.request_timeout = request_timeout
+        self._pools: Dict[str, HttpConnectionPool] = {}
+        self._pools_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._forwarded = 0
+        self._retries = 0
+        self._unavailable = 0
+        handler = type("BoundRouterHandler", (_RouterHandler,), {"router": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when 0 was asked)."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the accept loop is live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def stats(self) -> Dict[str, int]:
+        """Forwarding counters (requests, stale retries, 503 give-ups)."""
+        with self._stats_lock:
+            return {
+                "requests_forwarded": self._forwarded,
+                "forward_retries": self._retries,
+                "workers_unavailable": self._unavailable,
+            }
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _pool_for(self, base_url: str) -> HttpConnectionPool:
+        with self._pools_lock:
+            pool = self._pools.get(base_url)
+            if pool is None:
+                pool = HttpConnectionPool(
+                    base_url, request_timeout=self.request_timeout
+                )
+                self._pools[base_url] = pool
+            return pool
+
+    def _owner_of(self, corpus: str) -> str:
+        try:
+            return self.placement.owner_of(corpus)
+        except KeyError:
+            # Bit-identical to the single-process unknown-corpus answer
+            # (message and details from repro.api.service._shard).
+            raise UnknownCorpusError(
+                f"corpus {corpus!r} is not being served",
+                details={"corpus": corpus, "known": self.placement.corpora()},
+            ) from None
+        except RuntimeError as exc:
+            raise WorkerUnavailableError(
+                str(exc), details={"corpus": corpus}
+            ) from None
+
+    def forward(
+        self, method: str, corpus: str, path_with_query: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        """Relay one request to the corpus owner; retry while it is down.
+
+        Returns ``(status, content type, body bytes)`` exactly as the
+        worker answered.  Retries happen only for *transport* failures
+        (connect refused/reset, worker mid-restart) -- never after a
+        response arrived, and never for per-attempt socket timeouts
+        (those answer 504).  An insert forwarded to a worker that dies
+        mid-request may therefore be applied at most twice only if the
+        worker died *after* applying but before answering; see
+        ``DEPLOYMENT.md`` for the at-least-once insert caveat.
+        """
+        headers = {"Content-Type": "application/json"} if body else {}
+        deadline = time.monotonic() + self.retry_deadline
+        attempt = 0
+        while True:
+            worker_id = self._owner_of(corpus)
+            base_url = self._resolve(worker_id)
+            if base_url is not None:
+                attempt += 1
+                try:
+                    status, response_headers, data = self._pool_for(base_url).request(
+                        method, path_with_query, body=body or None, headers=headers
+                    )
+                except (socket_timeout, TimeoutError) as exc:
+                    raise SolveTimeoutError(
+                        f"worker {worker_id!r} did not answer {method} "
+                        f"{path_with_query} within {self.request_timeout:g}s",
+                        details={
+                            "corpus": corpus,
+                            "worker": worker_id,
+                            "timeout_seconds": self.request_timeout,
+                        },
+                    ) from exc
+                except (OSError, HTTPException):
+                    pass  # worker down or dying; fall through to retry
+                else:
+                    with self._stats_lock:
+                        self._forwarded += 1
+                        self._retries += attempt - 1
+                    content_type = response_headers.get("content-type", "application/json")
+                    return status, content_type, data
+            if time.monotonic() >= deadline:
+                with self._stats_lock:
+                    self._unavailable += 1
+                raise WorkerUnavailableError(
+                    f"worker {worker_id!r} for corpus {corpus!r} stayed "
+                    f"unreachable for {self.retry_deadline:g}s",
+                    details={"corpus": corpus, "worker": worker_id},
+                )
+            time.sleep(self.retry_interval)
+
+    # ------------------------------------------------------------------
+    # Router-local routes
+    # ------------------------------------------------------------------
+    def _placement_body(self) -> bytes:
+        urls = {worker_id: self._resolve(worker_id) for worker_id in self.placement.workers()}
+        return json.dumps(self.placement.to_payload(urls)).encode("utf-8")
+
+    def _health_body(self) -> bytes:
+        """Aggregate worker ``/healthz`` bodies under the router's own.
+
+        Uses one non-retried probe per worker so a dead worker makes the
+        probe report it (``reachable: false``) instead of hanging the
+        health endpoint through a retry window.
+        """
+        workers: Dict[str, Dict[str, object]] = {}
+        totals = {"inserts_served": 0, "solves_served": 0, "snapshots_written": 0}
+        status = "ok"
+        for worker_id in self.placement.workers():
+            base_url = self._resolve(worker_id)
+            entry: Dict[str, object] = {"url": base_url, "reachable": False}
+            if base_url is not None:
+                try:
+                    code, _headers, data = self._pool_for(base_url).request(
+                        "GET", "/healthz", timeout=min(5.0, self.request_timeout)
+                    )
+                    payload = json.loads(data.decode("utf-8"))
+                    if code == 200 and isinstance(payload, dict):
+                        entry["reachable"] = True
+                        entry["health"] = payload
+                        for key in totals:
+                            totals[key] += int(payload.get(key, 0))
+                except (OSError, HTTPException, ValueError):
+                    pass
+            if not entry["reachable"]:
+                status = "degraded"
+            workers[worker_id] = entry
+        body: Dict[str, object] = {
+            "status": status,
+            "role": "router",
+            "corpora": self.placement.corpora(),
+            "workers": workers,
+            "router": self.stats(),
+        }
+        body.update(totals)
+        return json.dumps(body).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TagDMRouter":
+        """Start the accept loop on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"tagdm-router-{self.address[1]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close worker pools, release the socket.
+
+        Idempotent; blocks until the accept loop exits (in-flight
+        handler threads finish their current response).
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        with self._pools_lock:
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "TagDMRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -55,6 +55,16 @@ _SNAPSHOT_DIRNAME = "snapshots"
 class TagDMServer:
     """Serve inserts and solves over a registry of warm corpus shards.
 
+    Thread-safety: all methods may be called from any thread.  Registry
+    mutations (:meth:`add_corpus` / :meth:`open_corpus` / :meth:`close`)
+    serialise behind one lock and block for their full ingest /
+    warm-start / drain; request routing (:meth:`insert`,
+    :meth:`insert_batch`, :meth:`solve`, :meth:`stats`) is lock-free at
+    the registry and inherits the per-shard semantics -- solves run
+    concurrently under the shard's shared read lock, inserts block
+    until the shard's writer thread has applied (and durably mirrored)
+    the batch.
+
     Parameters
     ----------
     root:

@@ -1,0 +1,205 @@
+"""Paginated and NDJSON-streamed solve results: windowing + round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    HttpClient,
+    LocalClient,
+    PageSpec,
+    ProblemSpec,
+    ResultPage,
+    SpecValidationError,
+    merge_result_pages,
+)
+from repro.api.service import result_from_ndjson, result_ndjson_lines
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.problem import table1_problem
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import TagDMHttpServer, TagDMServer
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """Server + front-end + pooled client over a 4-group solve."""
+    root = tmp_path_factory.mktemp("page-root")
+    dataset = generate_movielens_style(n_users=60, n_items=120, n_actions=600, seed=SEED)
+    server = TagDMServer(
+        root,
+        enumeration=GroupEnumerationConfig(min_support=5, max_groups=60),
+        seed=SEED,
+    )
+    shard = server.add_corpus("movies", dataset)
+    problem = table1_problem(1, k=4, min_support=shard.session.default_support())
+    spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+    front = TagDMHttpServer(server).start()
+    client = HttpClient(front.url, request_timeout=60.0)
+    yield server, shard, front, client, spec
+    client.close()
+    front.stop()
+    server.close()
+
+
+def groups_key(result):
+    return [
+        (str(group.description), group.tuple_indices) for group in result.groups
+    ]
+
+
+class TestPageSpec:
+    def test_rejects_bad_values(self):
+        for page, size in ((0, 5), (-1, 5), (1, 0), (1, -3), (True, 5), (1, True)):
+            with pytest.raises(SpecValidationError):
+                PageSpec(page=page, page_size=size)
+
+    def test_from_query_defaults(self):
+        assert PageSpec.from_query({}) is None
+        window = PageSpec.from_query({"page": "2"})
+        assert window.page == 2 and window.page_size == 50
+        window = PageSpec.from_query({"page_size": "7"})
+        assert window.page == 1 and window.page_size == 7
+        with pytest.raises(SpecValidationError):
+            PageSpec.from_query({"page": "two"})
+
+    def test_paginate_windows_and_envelope(self):
+        payload = {"groups": list(range(7)), "objective_value": 1.0}
+        first = PageSpec(page=1, page_size=3).paginate(payload)
+        assert first["groups"] == [0, 1, 2]
+        assert first["pagination"] == {
+            "page": 1,
+            "page_size": 3,
+            "total_groups": 7,
+            "total_pages": 3,
+            "has_more": True,
+        }
+        last = PageSpec(page=3, page_size=3).paginate(payload)
+        assert last["groups"] == [6] and last["pagination"]["has_more"] is False
+        beyond = PageSpec(page=9, page_size=3).paginate(payload)
+        assert beyond["groups"] == [] and beyond["pagination"]["has_more"] is False
+        # the source payload is never mutated
+        assert payload["groups"] == list(range(7)) and "pagination" not in payload
+
+
+class TestNdjsonSerde:
+    def test_round_trip(self):
+        payload = {
+            "groups": [{"predicates": [["g", "x"]], "tuple_indices": [1, 2]}],
+            "objective_value": 0.5,
+            "algorithm": "sm-lsh-fo",
+        }
+        lines = list(result_ndjson_lines(payload))
+        assert len(lines) == 2  # envelope + one group
+        assert result_from_ndjson(lines) == payload
+
+    def test_truncated_stream_detected(self):
+        payload = {"groups": [{"a": 1}, {"a": 2}], "objective_value": 0.5}
+        lines = list(result_ndjson_lines(payload))
+        with pytest.raises(SpecValidationError, match="truncated"):
+            result_from_ndjson(lines[:-1])
+
+    def test_malformed_streams_rejected(self):
+        with pytest.raises(SpecValidationError, match="empty"):
+            result_from_ndjson([])
+        with pytest.raises(SpecValidationError, match="envelope"):
+            result_from_ndjson([json.dumps({"kind": "group", "group": {}})])
+        with pytest.raises(SpecValidationError, match="malformed"):
+            result_from_ndjson([b"{nope"])
+
+
+class TestWirePagination:
+    def test_pages_merge_to_unpaginated(self, stack):
+        _server, _shard, _front, client, spec = stack
+        full = client.solve("movies", spec)
+        assert len(full.groups) == 4  # meaningful pagination needs groups
+        pages = list(client.solve_pages("movies", spec, page_size=3))
+        assert [entry.page for entry in pages] == [1, 2]
+        assert pages[0].has_more and not pages[1].has_more
+        assert all(entry.total_groups == 4 for entry in pages)
+        merged = merge_result_pages(pages)
+        assert groups_key(merged) == groups_key(full)
+        assert merged.objective_value == full.objective_value
+
+    def test_single_page_beyond_end_is_empty(self, stack):
+        _server, _shard, _front, client, spec = stack
+        page = client.solve_page("movies", spec, page=9, page_size=3)
+        assert page.result.groups == () and not page.has_more
+
+    def test_local_and_http_pages_agree(self, stack):
+        _server, shard, _front, client, spec = stack
+        local = LocalClient({"movies": shard.session})
+        for wire, inproc in zip(
+            client.solve_pages("movies", spec, page_size=2),
+            local.solve_pages("movies", spec, page_size=2),
+        ):
+            assert groups_key(wire.result) == groups_key(inproc.result)
+            assert wire.total_pages == inproc.total_pages == 2
+
+    def test_stream_solve_is_bit_identical(self, stack):
+        _server, _shard, _front, client, spec = stack
+        plain = client.solve("movies", spec)
+        streamed = client.solve_stream("movies", spec)
+        assert groups_key(streamed) == groups_key(plain)
+        assert streamed.objective_value == plain.objective_value
+
+    def test_stream_and_page_are_mutually_exclusive(self, stack):
+        _server, _shard, front, _client, spec = stack
+        import urllib.error
+        import urllib.request
+
+        body = json.dumps(spec.to_dict()).encode("utf-8")
+        request = urllib.request.Request(
+            front.url + "/corpora/movies/solve?page=1&stream=ndjson",
+            data=body,
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert info.value.code == 422
+
+    def test_bad_stream_value_rejected(self, stack):
+        _server, _shard, front, _client, spec = stack
+        import urllib.error
+        import urllib.request
+
+        body = json.dumps(spec.to_dict()).encode("utf-8")
+        request = urllib.request.Request(
+            front.url + "/corpora/movies/solve?stream=csv",
+            data=body,
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert info.value.code == 422
+
+    def test_connection_pool_reuses_sockets(self, stack):
+        _server, _shard, _front, client, _spec = stack
+        for _ in range(3):
+            client.health()
+        stats = client.pool.stats()
+        assert stats["reused"] >= 2
+        assert stats["opened"] <= stats["opened"] + stats["reused"]
+
+
+class TestMergeResultPages:
+    def test_rejects_out_of_order_and_drift(self, stack):
+        _server, _shard, _front, client, spec = stack
+        pages = list(client.solve_pages("movies", spec, page_size=2))
+        with pytest.raises(SpecValidationError, match="out of order"):
+            merge_result_pages(list(reversed(pages)))
+        drifted = ResultPage(
+            result=pages[1].result,
+            page=2,
+            page_size=2,
+            total_groups=99,
+            total_pages=2,
+            has_more=False,
+        )
+        with pytest.raises(SpecValidationError, match="different solve"):
+            merge_result_pages([pages[0], drifted])
+        with pytest.raises(SpecValidationError, match="zero"):
+            merge_result_pages([])

@@ -1,0 +1,151 @@
+"""The multi-process fleet: spawn, parity, kill/respawn recovery.
+
+These tests spawn real worker processes (``multiprocessing`` spawn
+context, the fleet default), so they are the slowest in the serving
+suite; the fixture is module-scoped and sized small.  Router logic that
+does not need real processes lives in ``test_router.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import FleetClient, HttpClient, LocalClient, ProblemSpec
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.framework import TagDM
+from repro.core.problem import table1_problem
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import TagDMFleet
+
+SEED = 7
+ENUMERATION = GroupEnumerationConfig(min_support=5, max_groups=60)
+
+
+@pytest.fixture(scope="module")
+def fleet_stack(tmp_path_factory):
+    """A live 2-worker fleet serving two corpora."""
+    root = tmp_path_factory.mktemp("fleet-root")
+    datasets = {
+        "alpha": generate_movielens_style(n_users=60, n_items=120, n_actions=600, seed=SEED),
+        "beta": generate_movielens_style(n_users=40, n_items=80, n_actions=500, seed=SEED + 1),
+    }
+    fleet = TagDMFleet(
+        root,
+        n_workers=2,
+        enumeration=ENUMERATION,
+        seed=SEED,
+        pins={"alpha": "worker-0", "beta": "worker-1"},
+        spawn_timeout=300.0,
+    )
+    for name, dataset in datasets.items():
+        fleet.add_corpus(name, dataset)
+    fleet.start()
+    # One warm in-process session for parity baselines.
+    session = TagDM(datasets["alpha"], enumeration=ENUMERATION, seed=SEED).prepare()
+    problem = table1_problem(1, k=4, min_support=session.default_support())
+    spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+    yield fleet, datasets, session, spec
+    fleet.close()
+
+
+def groups_key(result):
+    return [(str(group.description), group.tuple_indices) for group in result.groups]
+
+
+class TestFleetServing:
+    def test_workers_spread_by_pins(self, fleet_stack):
+        fleet, _datasets, _session, _spec = fleet_stack
+        assert fleet.placement.assignments() == {
+            "worker-0": ["alpha"],
+            "worker-1": ["beta"],
+        }
+        stats = fleet.stats()
+        assert all(entry["alive"] for entry in stats["workers"].values())
+
+    def test_routed_direct_and_single_process_parity(self, fleet_stack):
+        fleet, _datasets, session, spec = fleet_stack
+        in_process = LocalClient({"alpha": session}).solve("alpha", spec)
+        assert len(in_process.groups) == 4
+
+        routed = HttpClient(fleet.url, request_timeout=120.0)
+        via_router = routed.solve("alpha", spec)
+
+        direct = FleetClient(fleet.url, request_timeout=120.0)
+        via_worker = direct.solve("alpha", spec)
+        # the direct client really did bypass the router for the solve
+        assert direct.refresh_placement()["alpha"] == fleet.worker_url(
+            fleet.placement.owner_of("alpha")
+        )
+
+        for result in (via_router, via_worker):
+            assert groups_key(result) == groups_key(in_process)
+            assert result.objective_value == in_process.objective_value
+        routed.close()
+        direct.close()
+
+    def test_both_corpora_answer(self, fleet_stack):
+        fleet, datasets, _session, _spec = fleet_stack
+        client = HttpClient(fleet.url, request_timeout=120.0)
+        assert client.corpora() == ["alpha", "beta"]
+        for name, dataset in datasets.items():
+            stats = client.stats(name)
+            assert stats["actions"] >= dataset.n_actions
+            assert stats["start_mode"].startswith("warm")  # snapshot restore
+        client.close()
+
+    def test_insert_via_router_lands_durably(self, fleet_stack):
+        fleet, datasets, _session, _spec = fleet_stack
+        client = HttpClient(fleet.url, request_timeout=120.0)
+        dataset = datasets["beta"]
+        before = client.stats("beta")["actions"]
+        report = client.insert_action(
+            "beta", dataset.user_of(0), dataset.item_of(0), ["fleet-tag"]
+        )
+        assert report.actions_added == 1
+        assert client.stats("beta")["actions"] == before + 1
+        client.close()
+
+
+class TestFleetRecovery:
+    def test_worker_killed_mid_solve_is_retried_on_respawn(self, fleet_stack):
+        fleet, _datasets, session, spec = fleet_stack
+        baseline = LocalClient({"alpha": session}).solve("alpha", spec)
+        owner = fleet.placement.owner_of("alpha")
+        restarts_before = fleet.stats()["workers"][owner]["restarts"]
+        client = HttpClient(fleet.url, request_timeout=300.0)
+
+        outcome = {}
+
+        def solve_through_the_kill():
+            outcome["result"] = client.solve("alpha", spec)
+
+        solver = threading.Thread(target=solve_through_the_kill)
+        solver.start()
+        time.sleep(0.05)  # let the request reach the worker
+        fleet.kill_worker(owner)
+        solver.join(timeout=300.0)
+        assert not solver.is_alive(), "routed solve never returned after the kill"
+
+        # The retried solve came from the respawned, warm-started worker
+        # and is bit-identical to the in-process baseline.
+        assert groups_key(outcome["result"]) == groups_key(baseline)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            stats = fleet.stats()["workers"][owner]
+            if stats["alive"] and stats["restarts"] > restarts_before:
+                break
+            time.sleep(0.05)
+        stats = fleet.stats()["workers"][owner]
+        assert stats["alive"] and stats["restarts"] > restarts_before
+        assert client.stats("alpha")["start_mode"].startswith("warm")
+        client.close()
+
+    def test_solve_after_recovery_still_parity(self, fleet_stack):
+        fleet, _datasets, session, spec = fleet_stack
+        baseline = LocalClient({"alpha": session}).solve("alpha", spec)
+        client = HttpClient(fleet.url, request_timeout=120.0)
+        assert groups_key(client.solve("alpha", spec)) == groups_key(baseline)
+        client.close()

@@ -1,0 +1,279 @@
+"""The fleet router: placement, forwarding, retry and 404 parity.
+
+Workers here are in-process :class:`TagDMHttpServer` instances (threads,
+not child processes) so the forwarding/retry logic is exercised without
+spawn latency; the real multi-process paths live in ``test_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    HttpClient,
+    ProblemSpec,
+    UnknownCorpusError,
+    UnknownRouteError,
+    WorkerUnavailableError,
+    merge_result_pages,
+)
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.problem import table1_problem
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import PlacementTable, TagDMHttpServer, TagDMRouter, TagDMServer
+
+SEED = 7
+
+
+class TestPlacementTable:
+    def test_rendezvous_is_deterministic_and_total(self):
+        table = PlacementTable(workers=["w0", "w1", "w2"])
+        corpora = [f"corpus-{index}" for index in range(20)]
+        for name in corpora:
+            table.register_corpus(name)
+        owners = {name: table.owner_of(name) for name in corpora}
+        # Same inputs, same answers -- across a fresh table too.
+        again = PlacementTable(workers=["w2", "w0", "w1"])
+        for name in corpora:
+            again.register_corpus(name)
+        assert owners == {name: again.owner_of(name) for name in corpora}
+        assert set(table.assignments()) == {"w0", "w1", "w2"}
+        assert sorted(
+            name for members in table.assignments().values() for name in members
+        ) == sorted(corpora)
+
+    def test_removing_a_worker_only_moves_its_corpora(self):
+        table = PlacementTable(workers=["w0", "w1", "w2"])
+        corpora = [f"corpus-{index}" for index in range(30)]
+        for name in corpora:
+            table.register_corpus(name)
+        before = {name: table.owner_of(name) for name in corpora}
+        table.remove_worker("w1")
+        for name in corpora:
+            after = table.owner_of(name)
+            if before[name] != "w1":
+                assert after == before[name]  # survivors keep their corpora
+            else:
+                assert after in ("w0", "w2")
+
+    def test_pins_override_and_fall_back(self):
+        table = PlacementTable(workers=["w0", "w1"])
+        table.register_corpus("movies")
+        hashed = table.owner_of("movies")
+        other = "w0" if hashed == "w1" else "w1"
+        table.pin("movies", other)
+        assert table.owner_of("movies") == other
+        table.remove_worker(other)
+        assert table.owner_of("movies") == hashed  # absent pin falls back
+        with pytest.raises(KeyError):
+            table.pin("movies", "w9")
+
+    def test_unknown_corpus_and_empty_table(self):
+        table = PlacementTable(workers=["w0"])
+        with pytest.raises(KeyError):
+            table.owner_of("nope")
+        empty = PlacementTable()
+        empty.register_corpus("movies")
+        with pytest.raises(RuntimeError):
+            empty.owner_of("movies")
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """Two in-process 'workers' behind one router (pins align placement)."""
+    dataset_a = generate_movielens_style(n_users=60, n_items=120, n_actions=600, seed=SEED)
+    dataset_b = generate_movielens_style(n_users=40, n_items=80, n_actions=500, seed=SEED + 1)
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+
+    server_a = TagDMServer(tmp_path_factory.mktemp("worker-a"), enumeration=enumeration, seed=SEED)
+    shard_a = server_a.add_corpus("alpha", dataset_a)
+    server_b = TagDMServer(tmp_path_factory.mktemp("worker-b"), enumeration=enumeration, seed=SEED)
+    server_b.add_corpus("beta", dataset_b)
+
+    front_a = TagDMHttpServer(server_a).start()
+    front_b = TagDMHttpServer(server_b).start()
+    urls = {"worker-a": front_a.url, "worker-b": front_b.url}
+
+    placement = PlacementTable(workers=["worker-a", "worker-b"])
+    placement.pin("alpha", "worker-a")
+    placement.pin("beta", "worker-b")
+    router = TagDMRouter(
+        placement, urls.get, retry_deadline=10.0, retry_interval=0.02
+    ).start()
+
+    problem = table1_problem(1, k=4, min_support=shard_a.session.default_support())
+    spec = ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+    context = {
+        "urls": urls,
+        "router": router,
+        "fronts": {"worker-a": front_a, "worker-b": front_b},
+        "servers": {"worker-a": server_a, "worker-b": server_b},
+        "spec": spec,
+        "dataset_b": dataset_b,
+    }
+    yield context
+    router.stop()
+    for front in context["fronts"].values():
+        if front.is_running:
+            front.stop()
+    server_a.close()
+    server_b.close()
+
+
+def groups_key(result):
+    return [(str(group.description), group.tuple_indices) for group in result.groups]
+
+
+def raw_get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=30.0) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestRouting:
+    def test_corpora_is_the_placement_union(self, stack):
+        client = HttpClient(stack["router"].url)
+        assert client.corpora() == ["alpha", "beta"]
+        client.close()
+
+    def test_placement_payload(self, stack):
+        client = HttpClient(stack["router"].url)
+        payload = client.placement()
+        assert payload["corpora"] == {"alpha": "worker-a", "beta": "worker-b"}
+        assert payload["workers"]["worker-a"] == stack["urls"]["worker-a"]
+        assert payload["pins"] == {"alpha": "worker-a", "beta": "worker-b"}
+        client.close()
+
+    def test_routed_solve_is_bit_identical_to_direct(self, stack):
+        routed = HttpClient(stack["router"].url)
+        direct = HttpClient(stack["urls"]["worker-a"])
+        via_router = routed.solve("alpha", stack["spec"])
+        via_worker = direct.solve("alpha", stack["spec"])
+        assert groups_key(via_router) == groups_key(via_worker)
+        assert via_router.objective_value == via_worker.objective_value
+        assert len(via_router.groups) == 4
+        routed.close()
+        direct.close()
+
+    def test_insert_routes_to_the_owner(self, stack):
+        client = HttpClient(stack["router"].url)
+        dataset = stack["dataset_b"]
+        before = client.stats("beta")["actions"]
+        client.insert_action(
+            "beta", dataset.user_of(0), dataset.item_of(0), ["routed-tag"]
+        )
+        assert client.stats("beta")["actions"] == before + 1
+        # the other worker's corpus is untouched
+        assert stack["servers"]["worker-a"].shard("alpha").stats()["inserts_served"] == 0
+        client.close()
+
+    def test_pagination_and_stream_forward_through_router(self, stack):
+        client = HttpClient(stack["router"].url)
+        full = client.solve("alpha", stack["spec"])
+        pages = list(client.solve_pages("alpha", stack["spec"], page_size=3))
+        assert groups_key(merge_result_pages(pages)) == groups_key(full)
+        streamed = client.solve_stream("alpha", stack["spec"])
+        assert groups_key(streamed) == groups_key(full)
+        client.close()
+
+    def test_health_aggregates_workers(self, stack):
+        status, payload = raw_get(stack["router"].url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok" and payload["role"] == "router"
+        assert set(payload["workers"]) == {"worker-a", "worker-b"}
+        assert all(entry["reachable"] for entry in payload["workers"].values())
+        assert payload["solves_served"] >= 0
+
+    def test_unknown_corpus_payload_matches_single_process(self, stack):
+        # Make the known-corpora lists coincide: ask a single-process
+        # front-end that serves only 'alpha' vs a router placing only
+        # 'alpha', then compare the 404 bodies byte for byte.
+        placement = PlacementTable(workers=["worker-a"])
+        placement.pin("alpha", "worker-a")
+        lone_router = TagDMRouter(placement, stack["urls"].get).start()
+        try:
+            router_status, router_payload = raw_get(
+                lone_router.url, "/corpora/atlantis/stats"
+            )
+            worker_status, worker_payload = raw_get(
+                stack["urls"]["worker-a"], "/corpora/atlantis/stats"
+            )
+        finally:
+            lone_router.stop()
+        assert router_status == worker_status == 404
+        assert router_payload == worker_payload
+
+    def test_unknown_route_404(self, stack):
+        status, payload = raw_get(stack["router"].url, "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-route"
+
+    def test_typed_errors_relay_unchanged(self, stack):
+        client = HttpClient(stack["router"].url)
+        with pytest.raises(UnknownCorpusError):
+            client.stats("atlantis")
+        with pytest.raises(UnknownRouteError):
+            client.placement_probe = client._request("GET", "/corpora/alpha/bogus")
+        client.close()
+
+
+class TestRetry:
+    def test_request_rides_out_a_worker_restart(self, stack):
+        baseline = HttpClient(stack["urls"]["worker-a"]).solve("alpha", stack["spec"])
+
+        # A fresh router (no pooled connections into the old front-end,
+        # the way a router sees a worker that died hard) pinned to the
+        # same placement.
+        placement = PlacementTable(workers=["worker-a"])
+        placement.pin("alpha", "worker-a")
+        router = TagDMRouter(
+            placement,
+            lambda worker_id: stack["urls"].get(worker_id),
+            retry_deadline=10.0,
+            retry_interval=0.02,
+        ).start()
+        client = HttpClient(router.url, request_timeout=60.0)
+
+        # Take worker-a down; its old address now refuses connections.
+        stack["fronts"]["worker-a"].stop()
+
+        def delayed_restart():
+            new_front = TagDMHttpServer(stack["servers"]["worker-a"]).start()
+            stack["fronts"]["worker-a"] = new_front
+            stack["urls"]["worker-a"] = new_front.url  # respawn on a new port
+
+        timer = threading.Timer(0.3, delayed_restart)
+        timer.start()
+        try:
+            result = client.solve("alpha", stack["spec"])
+        finally:
+            timer.join()
+        assert groups_key(result) == groups_key(baseline)
+        assert router.stats()["forward_retries"] >= 1
+        client.close()
+        router.stop()
+
+    def test_worker_down_past_deadline_answers_503(self, stack):
+        placement = PlacementTable(workers=["ghost"])
+        placement.register_corpus("alpha")
+        short_router = TagDMRouter(
+            placement,
+            lambda worker_id: None,  # never resolves: worker never comes up
+            retry_deadline=0.3,
+            retry_interval=0.02,
+        ).start()
+        client = HttpClient(short_router.url)
+        try:
+            with pytest.raises(WorkerUnavailableError):
+                client.stats("alpha")
+        finally:
+            client.close()
+            short_router.stop()
+        assert short_router.stats()["workers_unavailable"] == 1

@@ -91,6 +91,22 @@ class TestPerfReportQuick:
         assert http["http_solve_ms"] > 0
         assert http["inprocess_solve_ms"] > 0
 
+    def test_fleet_section(self, quick_report):
+        _perf_report, report = quick_report
+        fleet = report["fleet"]
+        assert fleet["parity"] is True
+        assert [run["workers"] for run in fleet["runs"]] == [1, 2]
+        assert all(run["solves_per_second"] > 0 for run in fleet["runs"])
+        assert fleet["groups_returned"] > 0
+        assert fleet["cpu_count"] >= 1
+
+    def test_http_pooling_fields(self, quick_report):
+        _perf_report, report = quick_report
+        http = report["http"]
+        assert http["stats_pooled_ms"] > 0
+        assert http["stats_unpooled_ms"] > 0
+        assert http["unpooled_solve_ms"] > 0
+
 
 def _import_perf_report():
     sys.path.insert(0, str(BENCHMARKS))
@@ -162,3 +178,27 @@ def test_committed_pr4_bench_report_is_valid():
     assert http["inserts"] >= 300
     assert http["client_threads"] >= 4
     assert http["requests_per_second"] > 1.0
+
+
+def test_committed_pr5_bench_report_is_valid():
+    """The committed BENCH_PR5.json must back the fleet claims: solves
+    routed through the router, sent directly to the owning worker and
+    run single-process are bit-identical, the worker ladder (1/2/4) was
+    actually measured, and the pooled-vs-unpooled client comparison is
+    recorded.  Throughput *scaling* is machine-relative (bounded by
+    ``fleet.cpu_count``), so it is asserted only on hosts with the cores
+    to show it."""
+    path = REPO_ROOT / "BENCH_PR5.json"
+    assert path.exists(), "BENCH_PR5.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    fleet = report["fleet"]
+    assert fleet["parity"] is True
+    assert [run["workers"] for run in fleet["runs"]] == [1, 2, 4]
+    assert fleet["corpora"] >= 4
+    assert fleet["client_threads"] >= 8
+    assert fleet["groups_returned"] > 0
+    http = report["http"]
+    assert http["stats_pooled_ms"] > 0 and http["stats_unpooled_ms"] > 0
