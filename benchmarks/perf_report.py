@@ -1,4 +1,4 @@
-"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5).
+"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5), reliability (PR 6).
 
 Times the vectorized kernels against the retained naive seed
 implementations (:mod:`repro.geometry.reference`), measures the
@@ -10,23 +10,27 @@ throughput on a warm serving shard, measures the HTTP front-end
 in-process, and what connection pooling saves per request), and
 measures the multi-process fleet (aggregate solve throughput at 1/2/4
 workers on a multi-corpus workload, router forwarding overhead, and
-routed/direct/single-process parity), then writes a JSON report so
+routed/direct/single-process parity), and runs the reliability drill
+(solve latency through a SIGKILL + respawn of the owning worker,
+exactly-once audit of keyed inserts across the kill, admission-control
+shed behaviour under a stalled writer), then writes a JSON report so
 future PRs have a perf trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR6.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 5; older reports lack the newer
-sections -- v1 has no ``persistence``/``serving``/``http``/``fleet``,
-v2 no ``serving``/``http``/``fleet``, v3 no ``http``/``fleet``, v4 no
-``fleet`` -- and all still validate)::
+Report schema (``schema_version`` 6; older reports lack the newer
+sections -- v1 has no ``persistence``/``serving``/``http``/``fleet``/
+``reliability``, v2 no ``serving``/``http``/``fleet``/``reliability``,
+v3 no ``http``/``fleet``/``reliability``, v4 no ``fleet``/
+``reliability``, v5 no ``reliability`` -- and all still validate)::
 
     {
-      "schema_version": 5,
-      "pr": "PR5",
+      "schema_version": 6,
+      "pr": "PR6",
       "mode": "full" | "quick",
       "kernels": {
         "<kernel>": {"naive_seconds": float, "vectorized_seconds": float,
@@ -68,6 +72,18 @@ v2 no ``serving``/``http``/``fleet``, v3 no ``http``/``fleet``, v4 no
         "throughput_speedup_max_vs_1": float,
         "routed_solve_ms": float, "direct_solve_ms": float,
         "router_overhead_ms": float, "parity": bool
+      },
+      "reliability": {
+        "tuples": int, "inserts": int, "solves": int,
+        "kill_at_insert": int, "worker_restarts": int,
+        "deduplicated_replies": int,
+        "solve_p50_ms": float, "solve_p99_ms": float,
+        "solve_max_ms": float,
+        "lost_inserts": int, "duplicated_inserts": int,
+        "exactly_once": bool,
+        "admission": {"offered": int, "accepted": int, "shed": int,
+                       "shed_rate": float,
+                       "applied_equals_accepted": bool}
       }
     }
 
@@ -80,6 +96,14 @@ and single-process solves must all agree bit-identically.
 ``fleet.throughput_speedup_max_vs_1`` is meaningful only relative to
 ``fleet.cpu_count`` -- worker processes cannot scale past the cores the
 machine actually has, so the report records both.
+
+``reliability.exactly_once`` is the PR 6 acceptance check: with the
+owning worker SIGKILLed *after* a keyed insert committed but *before*
+it answered, every keyed insert must land exactly once -- zero lost,
+zero duplicated -- with the ambiguous retry answered from the dedup
+log.  ``reliability.solve_p99_ms`` reads against ``solve_p50_ms``: the
+gap is the recovery window solves rode out while the supervisor
+respawned the worker.
 """
 
 from __future__ import annotations
@@ -112,7 +136,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -742,6 +766,234 @@ def bench_fleet(quick: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Reliability: kill-ladder latency, exactly-once audit, admission (PR 6)
+# ----------------------------------------------------------------------
+def bench_reliability(quick: bool) -> Dict:
+    """Fault drill under measurement.
+
+    A seeded :class:`~repro.serving.reliability.FaultPlan` SIGKILLs the
+    worker that owns the drill corpus right after it *applied* a keyed
+    insert but before it answered -- the ambiguous window -- while solve
+    traffic keeps flowing through the router.  The section records solve
+    latency percentiles through the recovery (p99 - p50 is the respawn
+    window), audits the store for exactly-once insert semantics, and
+    separately measures admission-control shedding against a writer
+    stalled by an injected sleep (shed batches must never reach the
+    store; accepted batches all must).
+    """
+    import tempfile
+    import threading
+    import time as time_module
+    from pathlib import Path as PathType
+
+    from repro.api import HttpClient, OverloadedError, ProblemSpec
+    from repro.core.enumeration import GroupEnumerationConfig
+    from repro.core.problem import table1_problem
+    from repro.dataset.synthetic import generate_movielens_style
+    from repro.serving import (
+        AdmissionPolicy,
+        FaultPlan,
+        FaultRule,
+        TagDMFleet,
+        TagDMServer,
+    )
+
+    if quick:
+        n_actions, n_inserts, n_solves = 500, 10, 8
+    else:
+        n_actions, n_inserts, n_solves = 1500, 30, 24
+    kill_at = 3
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+    seed = 42
+    dataset = generate_movielens_style(
+        n_users=40, n_items=80, n_actions=n_actions, seed=seed
+    )
+    initial = dataset.n_actions
+    spec = ProblemSpec.from_problem(
+        table1_problem(1, k=3, min_support=5), algorithm="sm-lsh-fo"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = PathType(tmp)
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    "insert.applied",
+                    "kill",
+                    when_actions=initial + kill_at,
+                    once=True,
+                )
+            ],
+            seed=seed,
+            state_dir=root / "latches",
+        )
+        fleet = TagDMFleet(
+            root / "fleet",
+            n_workers=1,
+            enumeration=enumeration,
+            seed=seed,
+            spawn_timeout=600.0,
+            fault_plan=plan,
+            heartbeat_interval=0.5,
+        )
+        fleet.add_corpus("drill", dataset)
+        fleet.start()
+        client = HttpClient(fleet.url, request_timeout=600.0)
+        client.solve("drill", spec)  # warm the wire path before timing
+
+        errors: List[BaseException] = []
+        latencies: List[float] = []
+        reports: List[object] = []
+        barrier = threading.Barrier(2)
+
+        def solver() -> None:
+            try:
+                solve_client = HttpClient(fleet.url, request_timeout=600.0)
+                barrier.wait()
+                for _ in range(n_solves):
+                    started = time_module.perf_counter()
+                    solve_client.solve("drill", spec)
+                    latencies.append(time_module.perf_counter() - started)
+                solve_client.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def inserter() -> None:
+            try:
+                barrier.wait()
+                for index in range(n_inserts):
+                    row = index % initial
+                    reports.append(
+                        client.insert(
+                            "drill",
+                            [
+                                {
+                                    "user_id": dataset.user_of(row),
+                                    "item_id": dataset.item_of(row),
+                                    "tags": [f"drill-{index}"],
+                                }
+                            ],
+                            idempotency_key=f"drill-insert-{index}",
+                        )
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=solver), threading.Thread(target=inserter)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise RuntimeError(f"reliability bench raised: {errors[0]!r}")
+
+        restarts = 0
+        deadline = time_module.monotonic() + 120.0
+        while time_module.monotonic() < deadline:
+            worker_stats = fleet.stats()["workers"]
+            restarts = sum(entry["restarts"] for entry in worker_stats.values())
+            if restarts > 0 and all(entry["alive"] for entry in worker_stats.values()):
+                break
+            time_module.sleep(0.05)
+        actual = int(client.stats("drill")["actions"])
+        client.close()
+        fleet.close()
+
+    expected = initial + n_inserts
+    lost = max(0, expected - actual)
+    duplicated = max(0, actual - expected)
+    deduplicated = sum(1 for report in reports if report.deduplicated)
+    ordered = sorted(latencies)
+
+    def percentile(fraction: float) -> float:
+        return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+    # Admission control, in-process: stall the writer with an injected
+    # sleep, burst more batches than the one-deep queue admits, and
+    # audit that shed batches never reached the store while every
+    # accepted batch did.
+    offered = 12
+    with tempfile.TemporaryDirectory() as tmp:
+        server = TagDMServer(
+            PathType(tmp),
+            enumeration=enumeration,
+            seed=seed,
+            admission=AdmissionPolicy(max_queue_depth=1, retry_after_seconds=0.2),
+            fault_plan=FaultPlan(
+                [FaultRule("shard.apply", "sleep", at=1, sleep_seconds=0.5)]
+            ),
+        )
+        gate_dataset = generate_movielens_style(
+            n_users=40, n_items=80, n_actions=400, seed=seed
+        )
+        gate_initial = gate_dataset.n_actions
+        shard = server.add_corpus("gate", gate_dataset)
+        futures = [
+            shard.submit_insert(
+                [
+                    {
+                        "user_id": gate_dataset.user_of(0),
+                        "item_id": gate_dataset.item_of(0),
+                        "tags": ["gate-0"],
+                    }
+                ]
+            )
+        ]
+        # Wait for the writer to dequeue the first batch into the
+        # injected sleep so the burst below meets a full queue.
+        stall_deadline = time_module.monotonic() + 10.0
+        while (
+            shard.stats()["queue_depth"] > 0
+            and time_module.monotonic() < stall_deadline
+        ):
+            time_module.sleep(0.01)
+        shed = 0
+        for index in range(1, offered):
+            try:
+                futures.append(
+                    shard.submit_insert(
+                        [
+                            {
+                                "user_id": gate_dataset.user_of(index),
+                                "item_id": gate_dataset.item_of(index),
+                                "tags": [f"gate-{index}"],
+                            }
+                        ]
+                    )
+                )
+            except OverloadedError:
+                shed += 1
+        for future in futures:
+            future.result(timeout=60.0)
+        shard.flush()
+        accepted = len(futures)
+        applied = int(shard.stats()["actions"]) - gate_initial
+        server.close()
+
+    return {
+        "tuples": initial,
+        "inserts": n_inserts,
+        "solves": len(latencies),
+        "kill_at_insert": kill_at,
+        "worker_restarts": restarts,
+        "deduplicated_replies": deduplicated,
+        "solve_p50_ms": percentile(0.50) * 1e3,
+        "solve_p99_ms": percentile(0.99) * 1e3,
+        "solve_max_ms": ordered[-1] * 1e3,
+        "lost_inserts": lost,
+        "duplicated_inserts": duplicated,
+        "exactly_once": lost == 0 and duplicated == 0,
+        "admission": {
+            "offered": offered,
+            "accepted": accepted,
+            "shed": shed,
+            "shed_rate": shed / offered,
+            "applied_equals_accepted": applied == accepted,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # End-to-end scaling sweep (Figure 7 bins)
 # ----------------------------------------------------------------------
 def bench_scaling(quick: bool) -> List[Dict]:
@@ -815,7 +1067,7 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR5",
+        "pr": "PR6",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
@@ -823,19 +1075,19 @@ def generate_report(quick: bool) -> Dict:
         "serving": bench_serving(quick),
         "http": bench_http(quick),
         "fleet": bench_fleet(quick),
+        "reliability": bench_reliability(quick),
     }
 
 
 def validate_report(report: Dict) -> None:
     """Assert the report matches the documented schema (used by tests).
 
-    Accepts v1 reports (no ``persistence``/``serving``/``http``/``fleet``
-    section; the committed ``BENCH_PR1.json``), v2 reports (no
-    ``serving``/``http``/``fleet``; ``BENCH_PR2.json``), v3 reports (no
-    ``http``/``fleet``; ``BENCH_PR3.json``), v4 reports (no ``fleet``;
-    ``BENCH_PR4.json``) and current v5 reports.
+    Accepts every committed generation: v1 (kernels + scaling only;
+    ``BENCH_PR1.json``) through v5 (no ``reliability``;
+    ``BENCH_PR5.json``) and current v6 reports -- each version adds one
+    section and all older reports still validate.
     """
-    assert report["schema_version"] in (1, 2, 3, 4, SCHEMA_VERSION)
+    assert report["schema_version"] in (1, 2, 3, 4, 5, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -930,6 +1182,44 @@ def validate_report(report: Dict) -> None:
             assert run["solves_per_second"] > 0
         assert fleet["groups_returned"] > 0, "fleet bench solved a null result"
         assert fleet["cpu_count"] >= 1
+    if report["schema_version"] >= 6:
+        reliability = report["reliability"]
+        for field in (
+            "tuples",
+            "inserts",
+            "solves",
+            "kill_at_insert",
+            "worker_restarts",
+            "deduplicated_replies",
+            "solve_p50_ms",
+            "solve_p99_ms",
+            "solve_max_ms",
+            "lost_inserts",
+            "duplicated_inserts",
+            "exactly_once",
+            "admission",
+        ):
+            assert field in reliability, f"reliability missing {field}"
+        assert reliability["lost_inserts"] == 0, "reliability drill lost inserts"
+        assert reliability["duplicated_inserts"] == 0, (
+            "reliability drill duplicated inserts"
+        )
+        assert reliability["exactly_once"] is True
+        assert reliability["worker_restarts"] >= 1, "the kill never fired"
+        assert reliability["solve_p50_ms"] > 0
+        admission = reliability["admission"]
+        for field in (
+            "offered",
+            "accepted",
+            "shed",
+            "shed_rate",
+            "applied_equals_accepted",
+        ):
+            assert field in admission, f"reliability.admission missing {field}"
+        assert admission["applied_equals_accepted"] is True, (
+            "shed batches leaked into the store (or accepted batches were lost)"
+        )
+        assert admission["accepted"] + admission["shed"] == admission["offered"]
 
 
 def main(argv=None) -> int:
@@ -940,8 +1230,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR5.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR5.json)",
+        default=REPO_ROOT / "BENCH_PR6.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR6.json)",
     )
     args = parser.parse_args(argv)
 
@@ -1002,6 +1292,20 @@ def main(argv=None) -> int:
         f"router overhead {fleet['router_overhead_ms']:.1f} ms "
         f"({fleet['routed_solve_ms']:.1f} routed vs {fleet['direct_solve_ms']:.1f} direct), "
         f"parity={fleet['parity']}"
+    )
+    reliability = report["reliability"]
+    admission = reliability["admission"]
+    print(
+        f"reliability: {reliability['inserts']} keyed inserts through a kill at "
+        f"#{reliability['kill_at_insert']} -> lost={reliability['lost_inserts']} "
+        f"dup={reliability['duplicated_inserts']} "
+        f"({reliability['deduplicated_replies']} dedup replies, "
+        f"{reliability['worker_restarts']} respawn); solve p50 "
+        f"{reliability['solve_p50_ms']:.1f} ms / p99 "
+        f"{reliability['solve_p99_ms']:.1f} ms through the recovery window; "
+        f"admission shed {admission['shed']}/{admission['offered']} "
+        f"({admission['shed_rate']:.0%}), "
+        f"applied==accepted={admission['applied_equals_accepted']}"
     )
     print(f"wrote {args.output}")
     return 0

@@ -1,0 +1,245 @@
+"""Chaos drill: seeded faults against a live fleet, exactly-once audit.
+
+Starts a two-worker :class:`~repro.serving.fleet.TagDMFleet` with a
+deterministic :class:`~repro.serving.reliability.FaultPlan` armed inside
+every worker process:
+
+* **SIGKILL** the worker that owns ``books`` at the moment it has
+  applied the third keyed insert -- *after* the batch (and its
+  ``Idempotency-Key`` dedup record) committed, *before* the response
+  was written.  That is the nastiest window for an insert: the client
+  cannot tell "applied" from "lost".
+* **Slow solves** (injected sleeps at ``shard.solve``) so recovery is
+  exercised under mixed latency, not idle traffic.
+
+Every insert goes through the router with an ``Idempotency-Key``, so
+the ambiguous retry after the kill must *deduplicate* on the respawned,
+warm-started worker.  The drill then audits the authoritative store
+counts: ``lost = expected - actual`` and ``duplicated = actual -
+expected`` must both be zero, every client call must have succeeded,
+and a post-kill solve must be bit-identical to an in-process mirror
+session that applied the same batches exactly once with no faults.
+
+Run with::
+
+    PYTHONPATH=src python examples/chaos_demo.py            # full drill
+    PYTHONPATH=src python examples/chaos_demo.py --smoke    # CI gate: strict exit code
+
+Smoke mode must finish in well under two minutes and exit 0 only when
+the exactly-once audit is clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import (  # noqa: E402
+    AdmissionPolicy,
+    FaultPlan,
+    FaultRule,
+    HttpClient,
+    LocalClient,
+    ProblemSpec,
+    TagDMFleet,
+    generate_movielens_style,
+    table1_problem,
+)
+from repro.core.enumeration import GroupEnumerationConfig  # noqa: E402
+from repro.core.incremental import IncrementalTagDM  # noqa: E402
+
+SEED = 7
+ENUMERATION = GroupEnumerationConfig(min_support=5, max_groups=60)
+
+
+def groups_key(result):
+    return [(str(group.description), group.tuple_indices) for group in result.groups]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: small traffic, strict exit code",
+    )
+    args = parser.parse_args(argv)
+
+    n_inserts, n_solves = (8, 3) if args.smoke else (30, 10)
+    kill_at_insert = 3  # SIGKILL after this many keyed inserts applied
+
+    root = Path(tempfile.mkdtemp(prefix="tagdm-chaos-"))
+    datasets = {
+        "movies": generate_movielens_style(n_users=60, n_items=120, n_actions=600, seed=SEED),
+        "books": generate_movielens_style(n_users=40, n_items=80, n_actions=500, seed=SEED + 1),
+    }
+    initial_books = datasets["books"].n_actions
+
+    plan = FaultPlan(
+        [
+            # The tentpole fault: kill the books owner right after the
+            # Nth insert applied (absolute count trigger) but before it
+            # answered.  once=True latches across respawns, so the
+            # deduplicating retry does not re-trigger it.
+            FaultRule(
+                "insert.applied",
+                "kill",
+                when_actions=initial_books + kill_at_insert,
+                once=True,
+            ),
+            # Background misery: a few solves run slow.
+            FaultRule("shard.solve", "sleep", times=3, sleep_seconds=0.05),
+        ],
+        seed=SEED,
+        state_dir=root / "chaos-latches",
+    )
+
+    fleet = TagDMFleet(
+        root,
+        n_workers=2,
+        enumeration=ENUMERATION,
+        seed=SEED,
+        pins={"movies": "worker-0", "books": "worker-1"},
+        spawn_timeout=300.0,
+        admission=AdmissionPolicy(
+            max_queue_depth=256, max_inflight_solves=16, retry_after_seconds=1.0
+        ),
+        fault_plan=plan,
+        heartbeat_interval=0.5,
+    )
+    for name, dataset in datasets.items():
+        fleet.add_corpus(name, dataset)
+    started = time.perf_counter()
+    fleet.start()
+    print(
+        f"fleet up in {time.perf_counter() - started:.1f}s at {fleet.url}; "
+        f"fault plan: kill books owner at insert #{kill_at_insert}, slow solves"
+    )
+
+    client = HttpClient(fleet.url, request_timeout=300.0)
+    owner = fleet.placement.owner_of("books")
+    restarts_before = fleet.stats()["workers"][owner]["restarts"]
+
+    shard_spec = ProblemSpec.from_problem(
+        table1_problem(1, k=4, min_support=5), algorithm="sm-lsh-fo"
+    )
+
+    # Mixed traffic: keyed inserts into 'books' (the insert that crosses
+    # the trigger count SIGKILLs the owner mid-request) + solves.
+    errors: list = []
+    dataset = datasets["books"]
+    batches = [
+        [
+            {
+                "user_id": dataset.user_of(index % initial_books),
+                "item_id": dataset.item_of(index % initial_books),
+                "tags": [f"chaos-{index}"],
+            }
+        ]
+        for index in range(n_inserts)
+    ]
+
+    def solver() -> None:
+        try:
+            for index in range(n_solves):
+                client_bg = HttpClient(fleet.url, request_timeout=300.0)
+                try:
+                    client_bg.solve("books" if index % 2 else "movies", shard_spec)
+                finally:
+                    client_bg.close()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    solve_thread = threading.Thread(target=solver)
+    solve_thread.start()
+    reports = []
+    insert_started = time.perf_counter()
+    try:
+        for index, batch in enumerate(batches):
+            reports.append(
+                client.insert("books", batch, idempotency_key=f"chaos-insert-{index}")
+            )
+    except Exception as exc:  # pragma: no cover - failure path
+        errors.append(exc)
+    solve_thread.join(timeout=300.0)
+    elapsed = time.perf_counter() - insert_started
+    deduplicated = sum(1 for report in reports if report.deduplicated)
+    print(
+        f"{len(reports)} keyed inserts + {n_solves} solves in {elapsed:.1f}s "
+        f"({deduplicated} answered from the dedup log after the kill)"
+    )
+
+    # The owner must have died and been respawned by the supervisor.
+    respawned = False
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        worker_stats = fleet.stats()["workers"][owner]
+        if worker_stats["alive"] and worker_stats["restarts"] > restarts_before:
+            respawned = True
+            break
+        time.sleep(0.05)
+
+    # Exactly-once audit against the authoritative store count, plus
+    # parity against a fault-free in-process mirror that applied the
+    # same batches exactly once.
+    stats = client.stats("books")
+    expected = initial_books + n_inserts
+    actual = int(stats["actions"])
+    lost = max(0, expected - actual)
+    duplicated = max(0, actual - expected)
+    post_kill = client.solve("books", shard_spec)
+    mirror = LocalClient(
+        {
+            "books": IncrementalTagDM(
+                datasets["books"], enumeration=ENUMERATION, seed=SEED
+            ).prepare()
+        }
+    )
+    for batch in batches:
+        mirror.insert("books", batch)
+    parity = groups_key(post_kill) == groups_key(mirror.solve("books", shard_spec))
+    router_stats = fleet.router.stats()
+    print(
+        f"audit: expected {expected} actions, store has {actual} "
+        f"-> lost={lost} duplicated={duplicated}; "
+        f"owner respawned={respawned} (start_mode={stats['start_mode']}), "
+        f"solve parity={parity}"
+    )
+    print(
+        f"router: {router_stats['requests_forwarded']} forwarded, "
+        f"{router_stats['forward_retries']} retries, "
+        f"{router_stats['workers_unavailable']} gave up, "
+        f"{router_stats['heartbeat_probes']} heartbeat probes, "
+        f"breakers {router_stats['breakers']}"
+    )
+
+    client.close()
+    fleet.close()
+
+    killed = any(worker["restarts"] > 0 for worker in fleet.stats()["workers"].values())
+    ok = (
+        not errors
+        and lost == 0
+        and duplicated == 0
+        and killed
+        and respawned
+        and parity
+        and len(reports) == n_inserts
+    )
+    for error in errors:
+        print(f"ERROR: {type(error).__name__}: {error}")
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

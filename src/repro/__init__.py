@@ -76,6 +76,9 @@ from repro.algorithms import (
     recommend_algorithm,
 )
 from repro.serving import (
+    AdmissionPolicy,
+    FaultPlan,
+    FaultRule,
     PlacementTable,
     SnapshotRotationPolicy,
     TagDMFleet,
@@ -91,6 +94,7 @@ from repro.api import (
     HttpClient,
     LocalClient,
     PageSpec,
+    OverloadedError,
     ProblemSpec,
     ResultPage,
     ServerClient,
@@ -144,6 +148,9 @@ __all__ = [
     "TagDMRouter",
     "PlacementTable",
     "SnapshotRotationPolicy",
+    "AdmissionPolicy",
+    "FaultPlan",
+    "FaultRule",
     # wire-native API
     "ProblemSpec",
     "PageSpec",
@@ -159,6 +166,7 @@ __all__ = [
     "UnknownCorpusError",
     "CapabilityMismatchError",
     "ConnectionFailedError",
+    "OverloadedError",
     "WorkerUnavailableError",
     "SolveTimeoutError",
     # algorithms

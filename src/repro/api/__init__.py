@@ -29,6 +29,7 @@ from repro.api.errors import (
     ApiError,
     CapabilityMismatchError,
     ConnectionFailedError,
+    OverloadedError,
     SolveTimeoutError,
     SpecValidationError,
     UnknownCorpusError,
@@ -60,6 +61,7 @@ __all__ = [
     "UnknownRouteError",
     "CapabilityMismatchError",
     "ConnectionFailedError",
+    "OverloadedError",
     "WorkerUnavailableError",
     "SolveTimeoutError",
     "api_error_from_payload",

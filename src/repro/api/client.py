@@ -34,6 +34,7 @@ import json
 import socket  # noqa: F401 - timeout type + TCP_NODELAY
 import threading
 import urllib.parse
+import uuid
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
@@ -91,9 +92,20 @@ class TagDMClient(ABC):
 
     @abstractmethod
     def insert(
-        self, corpus: str, actions: Iterable[Mapping[str, object]]
+        self,
+        corpus: str,
+        actions: Iterable[Mapping[str, object]],
+        idempotency_key: Optional[str] = None,
     ) -> IncrementalUpdateReport:
-        """Apply a batch of action dicts and return the merged report."""
+        """Apply a batch of action dicts and return the merged report.
+
+        ``idempotency_key`` names the batch for exactly-once semantics:
+        retrying the same batch under the same key (after a transport
+        failure, through any backend reaching the same durable corpus)
+        never double-applies -- the original report comes back with
+        ``deduplicated=True``.  Backends that talk over the network
+        generate a key automatically when none is given.
+        """
 
     @abstractmethod
     def solve(
@@ -126,6 +138,7 @@ class TagDMClient(ABC):
         rating: Optional[float] = None,
         user_attributes: Optional[Mapping[str, str]] = None,
         item_attributes: Optional[Mapping[str, str]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> IncrementalUpdateReport:
         """Insert a single tagging action (one-element batch)."""
         return self.insert(
@@ -144,6 +157,7 @@ class TagDMClient(ABC):
                     ),
                 }
             ],
+            idempotency_key=idempotency_key,
         )
 
     def solve_page(
@@ -263,7 +277,10 @@ class LocalClient(TagDMClient):
         return sorted(self._sessions)
 
     def insert(
-        self, corpus: str, actions: Iterable[Mapping[str, object]]
+        self,
+        corpus: str,
+        actions: Iterable[Mapping[str, object]],
+        idempotency_key: Optional[str] = None,
     ) -> IncrementalUpdateReport:
         session = self._session(corpus)
         if not isinstance(session, IncrementalTagDM):
@@ -274,7 +291,7 @@ class LocalClient(TagDMClient):
             )
         batch = validate_actions(actions)
         try:
-            return session.add_actions(batch)
+            return session.add_actions(batch, request_id=idempotency_key)
         except (KeyError, ValueError, TypeError) as exc:
             raise SpecValidationError(f"insert rejected: {exc}") from exc
 
@@ -326,9 +343,14 @@ class ServerClient(TagDMClient):
         return list_corpora(self.server)
 
     def insert(
-        self, corpus: str, actions: Iterable[Mapping[str, object]]
+        self,
+        corpus: str,
+        actions: Iterable[Mapping[str, object]],
+        idempotency_key: Optional[str] = None,
     ) -> IncrementalUpdateReport:
-        return insert_actions(self.server, corpus, actions)
+        return insert_actions(
+            self.server, corpus, actions, request_id=idempotency_key
+        )
 
     def solve(
         self,
@@ -372,8 +394,9 @@ class HttpConnectionPool:
     the pool itself is locked).  A reused connection that the server
     closed while idle is detected by its failure mode
     (:data:`_STALE_CONNECTION_ERRORS` before any response byte) and the
-    request is replayed once on a fresh connection; a fresh connection
-    that fails is a real error and propagates.
+    request is replayed once on a fresh connection -- but only when the
+    replay is provably safe (see :meth:`open_response`); a fresh
+    connection that fails is a real error and propagates.
 
     All methods block only for their own socket I/O; acquiring and
     releasing connections never blocks on other requests.
@@ -385,6 +408,7 @@ class HttpConnectionPool:
         request_timeout: float = 30.0,
         max_idle: int = 8,
         keep_alive: bool = True,
+        fault_plan=None,
     ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme != "http":
@@ -400,6 +424,11 @@ class HttpConnectionPool:
         #: (the pre-pool behaviour) -- kept so the perf report can
         #: measure exactly what pooling saves.
         self.keep_alive = keep_alive
+        #: Optional :class:`~repro.serving.reliability.FaultPlan`; the
+        #: ``pool.pre_send`` point fires before each send on a *reused*
+        #: connection (``reset`` shuts the socket down first, simulating
+        #: a server that closed the idle connection).
+        self.fault_plan = fault_plan
         self._idle: List[http.client.HTTPConnection] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -443,6 +472,15 @@ class HttpConnectionPool:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
+    @staticmethod
+    def _infer_idempotent(method: str, headers: Mapping[str, str]) -> bool:
+        """Whether a request is provably safe to replay after an
+        ambiguous failure: GETs (read-only by contract) and requests
+        carrying an ``Idempotency-Key`` (the server deduplicates)."""
+        if method.upper() == "GET":
+            return True
+        return any(key.lower() == "idempotency-key" for key in headers)
+
     def open_response(
         self,
         method: str,
@@ -450,7 +488,7 @@ class HttpConnectionPool:
         body: Optional[bytes] = None,
         headers: Optional[Mapping[str, str]] = None,
         timeout: Optional[float] = None,
-        idempotent: bool = True,
+        idempotent: Optional[bool] = None,
     ) -> http.client.HTTPResponse:
         """Send one request and return the live (unread) response.
 
@@ -463,17 +501,36 @@ class HttpConnectionPool:
         a deliberately fresh connection, since a restarted server leaves
         the whole idle pool stale at once.  A failure while *waiting for
         the response* is ambiguous (the server may have applied the
-        request before dying), so it is replayed only when the caller
-        declared the request ``idempotent``; otherwise it propagates and
-        the caller decides.  All non-stale failures propagate as the
-        underlying :mod:`socket`/:mod:`http.client` exceptions.
+        request before dying), so it is replayed only when the request
+        is idempotent -- by default that is inferred: GETs and requests
+        carrying an ``Idempotency-Key`` header replay (the server
+        deduplicates the key), any other POST propagates the failure as
+        :class:`~repro.api.errors.ConnectionFailedError` territory and
+        the caller decides.  Pass ``idempotent=True``/``False`` to
+        override the inference (e.g. solve POSTs are read-only).  All
+        non-stale failures propagate as the underlying
+        :mod:`socket`/:mod:`http.client` exceptions.
         """
+        request_headers = dict(headers or {})
+        if idempotent is None:
+            idempotent = self._infer_idempotent(method, request_headers)
         budget = self.request_timeout if timeout is None else timeout
         for attempt in (1, 2):
             connection, reused = self._acquire(fresh=attempt > 1)
             connection.timeout = budget
             sent = False
             try:
+                if (
+                    self.fault_plan is not None
+                    and reused
+                    and self.fault_plan.fire("pool.pre_send", path=path) == "reset"
+                ):
+                    # Simulate the server closing this idle keep-alive
+                    # connection: the send below fails stale.
+                    try:
+                        connection.sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
                 if connection.sock is None:
                     connection.connect()
                     # Nagle + the peer's delayed ACK costs ~40ms on every
@@ -485,7 +542,7 @@ class HttpConnectionPool:
                         socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
                     )
                 connection.sock.settimeout(budget)
-                connection.request(method, path, body=body, headers=dict(headers or {}))
+                connection.request(method, path, body=body, headers=request_headers)
                 sent = True
                 response = connection.getresponse()
             except _STALE_CONNECTION_ERRORS:
@@ -526,14 +583,15 @@ class HttpConnectionPool:
         body: Optional[bytes] = None,
         headers: Optional[Mapping[str, str]] = None,
         timeout: Optional[float] = None,
-        idempotent: bool = True,
+        idempotent: Optional[bool] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One full request/response cycle over a pooled connection.
 
         Returns ``(status, lowercased headers, body bytes)``.  Blocks
-        for the whole exchange.  ``idempotent=False`` restricts the
-        stale-connection replay to send-stage failures (see
-        :meth:`open_response`).
+        for the whole exchange.  ``idempotent`` follows
+        :meth:`open_response`: ``None`` infers replay safety from the
+        method and an ``Idempotency-Key`` header; ``False`` restricts
+        the stale-connection replay to send-stage failures.
         """
         response = self.open_response(
             method, path, body=body, headers=headers, timeout=timeout, idempotent=idempotent
@@ -605,6 +663,7 @@ class HttpClient(TagDMClient):
         request_timeout: float = 30.0,
         keep_alive: bool = True,
         pool_size: int = 8,
+        fault_plan=None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.request_timeout = request_timeout
@@ -613,6 +672,7 @@ class HttpClient(TagDMClient):
             request_timeout=request_timeout,
             max_idle=pool_size,
             keep_alive=keep_alive,
+            fault_plan=fault_plan,
         )
 
     # ------------------------------------------------------------------
@@ -659,9 +719,12 @@ class HttpClient(TagDMClient):
         path: str,
         body: Optional[Mapping[str, object]] = None,
         timeout: Optional[float] = None,
-        idempotent: bool = True,
+        idempotent: Optional[bool] = None,
+        extra_headers: Optional[Mapping[str, str]] = None,
     ) -> Dict[str, object]:
         data, headers = self._encode_body(body)
+        if extra_headers:
+            headers.update(extra_headers)
         budget = self._budget(timeout)
         try:
             status, _headers, raw = self.pool.request(
@@ -688,16 +751,21 @@ class HttpClient(TagDMClient):
         return [str(name) for name in payload.get("corpora", [])]
 
     def insert(
-        self, corpus: str, actions: Iterable[Mapping[str, object]]
+        self,
+        corpus: str,
+        actions: Iterable[Mapping[str, object]],
+        idempotency_key: Optional[str] = None,
     ) -> IncrementalUpdateReport:
-        # Not idempotent: a stale-connection failure after the request
-        # was sent raises ConnectionFailedError instead of silently
-        # replaying a batch the server may already have applied.
+        # Every insert travels with an Idempotency-Key (generated when
+        # the caller brings none): the server deduplicates the key, so a
+        # stale-connection replay -- or any caller retry under the same
+        # key -- can never double-apply the batch.
+        key = idempotency_key or uuid.uuid4().hex
         payload = self._request(
             "POST",
             self._corpus_path(corpus, "insert"),
             body={"actions": list(actions)},
-            idempotent=False,
+            extra_headers={"Idempotency-Key": key},
         )
         return IncrementalUpdateReport.from_dict(payload)
 
@@ -723,8 +791,14 @@ class HttpClient(TagDMClient):
         **options: object,
     ) -> MiningResult:
         body = self._solve_body(request, algorithm, timeout, options)
+        # Solves are read-only: safe to replay on a stale keep-alive
+        # connection even though they travel as POSTs.
         payload = self._request(
-            "POST", self._corpus_path(corpus, "solve"), body=body, timeout=timeout
+            "POST",
+            self._corpus_path(corpus, "solve"),
+            body=body,
+            timeout=timeout,
+            idempotent=True,
         )
         return MiningResult.from_dict(payload)
 
@@ -746,6 +820,7 @@ class HttpClient(TagDMClient):
             self._corpus_path(corpus, "solve", window.to_query()),
             body=body,
             timeout=timeout,
+            idempotent=True,
         )
         return ResultPage.from_payload(payload)
 
@@ -798,7 +873,8 @@ class HttpClient(TagDMClient):
         budget = self._budget(timeout)
         try:
             response = self.pool.open_response(
-                "POST", path, body=data, headers=headers, timeout=budget
+                "POST", path, body=data, headers=headers, timeout=budget,
+                idempotent=True,
             )
         except (OSError, http.client.HTTPException) as exc:
             self._raise_transport_error(exc, "POST", path, budget)
@@ -937,17 +1013,25 @@ class FleetClient(TagDMClient):
         return self.router.corpora()
 
     def insert(
-        self, corpus: str, actions: Iterable[Mapping[str, object]]
+        self,
+        corpus: str,
+        actions: Iterable[Mapping[str, object]],
+        idempotency_key: Optional[str] = None,
     ) -> IncrementalUpdateReport:
         """Insert via the owning worker, falling back to the router.
 
-        At-least-once across a worker crash: if the direct request fails
-        after the worker may have applied it, the fallback re-sends the
-        batch (same caveat as the router's own retry; see
+        Exactly-once across a worker crash: one idempotency key is
+        generated up front and rides on the direct attempt, the
+        placement-refresh retry *and* the router fallback, so whichever
+        path re-sends the batch, the corpus store deduplicates it (see
         ``DEPLOYMENT.md``).
         """
         batch = list(actions)
-        return self._run(corpus, lambda client: client.insert(corpus, batch))
+        key = idempotency_key or uuid.uuid4().hex
+        return self._run(
+            corpus,
+            lambda client: client.insert(corpus, batch, idempotency_key=key),
+        )
 
     def solve(
         self,

@@ -11,6 +11,7 @@ SpecValidationError    ``validation``        422
 UnknownCorpusError     ``unknown-corpus``    404
 UnknownRouteError      ``unknown-route``     404
 CapabilityMismatchError ``capability-mismatch`` 409
+OverloadedError        ``overloaded``        429
 WorkerUnavailableError ``worker-unavailable`` 503
 SolveTimeoutError      ``timeout``           504
 ApiError (fallback)    ``internal``          500
@@ -38,9 +39,11 @@ __all__ = [
     "UnknownRouteError",
     "CapabilityMismatchError",
     "ConnectionFailedError",
+    "OverloadedError",
     "WorkerUnavailableError",
     "SolveTimeoutError",
     "api_error_from_payload",
+    "retry_after_header",
     "run_with_timeout",
 ]
 
@@ -121,13 +124,44 @@ class ConnectionFailedError(ApiError):
     status = 503
 
 
+class OverloadedError(ApiError):
+    """Admission control shed the request before queueing it (HTTP 429).
+
+    Raised by a shard whose insert queue or in-flight-solve count is at
+    its :class:`~repro.serving.reliability.AdmissionPolicy` watermark.
+    The request was *not* applied and is always safe to retry after the
+    backoff carried in ``details["retry_after_seconds"]`` (also emitted
+    as a ``Retry-After`` response header).
+    """
+
+    code = "overloaded"
+    status = 429
+
+    def __init__(
+        self,
+        message: str,
+        details: Optional[Mapping[str, object]] = None,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        merged = dict(details or {})
+        if retry_after_seconds is not None:
+            merged["retry_after_seconds"] = float(retry_after_seconds)
+        super().__init__(message, merged)
+
+    @property
+    def retry_after_seconds(self) -> Optional[float]:
+        value = self.details.get("retry_after_seconds")
+        return float(value) if value is not None else None
+
+
 class WorkerUnavailableError(ApiError):
     """No worker process could answer for this corpus (HTTP 503).
 
     Raised by the fleet router when the owning worker stayed unreachable
-    through the router's whole retry window (it died and did not respawn
-    in time, or its respawn keeps failing).  The request may be retried;
-    ``details`` carries the corpus and the worker id the router tried.
+    through its whole retry budget and deadline (it died and did not
+    respawn in time, its respawn keeps failing, or its circuit breaker
+    stayed open).  The request may be retried; ``details`` carries the
+    corpus and the worker id the router tried.
     """
 
     code = "worker-unavailable"
@@ -148,6 +182,7 @@ _ERRORS_BY_CODE: Dict[str, type] = {
         UnknownCorpusError,
         UnknownRouteError,
         CapabilityMismatchError,
+        OverloadedError,
         WorkerUnavailableError,
         SolveTimeoutError,
         ApiError,
@@ -174,6 +209,23 @@ def api_error_from_payload(payload: Mapping[str, object]) -> ApiError:
         error.details.setdefault("code", code)
         return error
     return cls(message, details if isinstance(details, Mapping) else None)
+
+
+def retry_after_header(error: ApiError) -> Optional[str]:
+    """The ``Retry-After`` header value for ``error``, if it carries one.
+
+    Any :class:`ApiError` whose details include ``retry_after_seconds``
+    gets the header (rounded up to a whole second, as the header is
+    integer-valued); others get ``None``.
+    """
+    value = error.details.get("retry_after_seconds")
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return str(max(1, int(-(-seconds // 1))))
 
 
 T = TypeVar("T")

@@ -109,7 +109,10 @@ def corpus_stats(server, corpus: str) -> Dict[str, object]:
 
 
 def insert_actions(
-    server, corpus: str, actions: Iterable[Mapping[str, object]]
+    server,
+    corpus: str,
+    actions: Iterable[Mapping[str, object]],
+    request_id: Optional[str] = None,
 ) -> IncrementalUpdateReport:
     """Apply an action batch to the named shard (waits until applied).
 
@@ -117,11 +120,17 @@ def insert_actions(
     attributes -- surface as :class:`SpecValidationError` so every
     transport answers them as a 422-class failure rather than a server
     error.
+
+    ``request_id`` is the batch's idempotency key (the HTTP transport
+    reads it from the ``Idempotency-Key`` header): a key the corpus
+    store has already recorded returns the original report with
+    ``deduplicated=True`` instead of re-applying the batch, which is
+    what makes client/router retries of an insert exactly-once.
     """
     batch = validate_actions(actions)
     shard = _shard(server, corpus)
     try:
-        return shard.insert_batch(batch)
+        return shard.insert_batch(batch, request_id=request_id)
     except (KeyError, ValueError, TypeError) as exc:
         raise SpecValidationError(f"insert rejected: {exc}") from exc
 

@@ -55,6 +55,10 @@ class IncrementalUpdateReport:
         self.groups_updated = 0
         self.groups_created = 0
         self.pending_descriptions = 0
+        #: True when this report was *recalled* from the store's
+        #: idempotency log instead of applied: the batch had already
+        #: been committed under the same request id, nothing mutated.
+        self.deduplicated = False
 
     def merge(self, other: "IncrementalUpdateReport") -> "IncrementalUpdateReport":
         """Accumulate another report into this one (for batch inserts)."""
@@ -84,6 +88,7 @@ class IncrementalUpdateReport:
             "groups_updated": self.groups_updated,
             "groups_created": self.groups_created,
             "pending_descriptions": self.pending_descriptions,
+            "deduplicated": self.deduplicated,
         }
 
     @classmethod
@@ -96,6 +101,7 @@ class IncrementalUpdateReport:
         report.groups_updated = int(payload.get("groups_updated", 0))
         report.groups_created = int(payload.get("groups_created", 0))
         report.pending_descriptions = int(payload.get("pending_descriptions", 0))
+        report.deduplicated = bool(payload.get("deduplicated", False))
         return report
 
 
@@ -439,7 +445,11 @@ class IncrementalTagDM:
         self._notify_mutation(report)
         return report
 
-    def add_actions(self, actions: Iterable[Mapping[str, object]]) -> IncrementalUpdateReport:
+    def add_actions(
+        self,
+        actions: Iterable[Mapping[str, object]],
+        request_id: Optional[str] = None,
+    ) -> IncrementalUpdateReport:
         """Insert a batch of action dicts (same keys as :meth:`add_action`).
 
         The whole batch shares a single cache invalidation: groups are
@@ -450,7 +460,37 @@ class IncrementalTagDM:
         applied stay applied and the caches are still invalidated before
         the exception propagates, so the session never serves stale
         results.
+
+        ``request_id`` makes the batch **exactly-once** against the
+        attached durable store: a batch whose id is already in the
+        store's idempotency log is *not* re-applied -- its recorded
+        report comes back with ``deduplicated=True`` and no listener
+        fires.  A fresh id applies the batch and records the id inside
+        one deferred SQLite transaction, so a process killed mid-batch
+        loses the whole uncommitted batch (and its marker) to WAL
+        recovery and the retry re-applies cleanly; a kill *after* the
+        commit leaves the marker, and the retry deduplicates.  A batch
+        rejected mid-way (validation error) commits its applied prefix
+        but records **no** marker -- such requests surface their 4xx and
+        are not blindly retried.  Without a store, ``request_id`` is
+        accepted but provides no replay protection.
         """
+        store = self.store
+        if request_id is not None and store is not None:
+            cached = store.recall_request(request_id)
+            if cached is not None:
+                report = IncrementalUpdateReport.from_dict(cached)
+                report.deduplicated = True
+                return report
+            with store.deferred_commit():
+                total = self._apply_batch(actions)
+                store.record_request(request_id, total.to_dict())
+            return total
+        return self._apply_batch(actions)
+
+    def _apply_batch(
+        self, actions: Iterable[Mapping[str, object]]
+    ) -> IncrementalUpdateReport:
         total = IncrementalUpdateReport()
         try:
             for action in actions:

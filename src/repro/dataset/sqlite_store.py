@@ -34,6 +34,8 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -41,8 +43,17 @@ from repro.dataset.store import TaggingDataset
 
 __all__ = ["SqliteTaggingStore"]
 
-#: Bump when the table layout changes; checked on open.
+#: Bump when the table layout changes *incompatibly*; checked on open.
+#: Purely additive tables (``request_ids``) ride on ``CREATE TABLE IF
+#: NOT EXISTS`` instead, so older store files upgrade transparently the
+#: first time a newer build opens them.
 SCHEMA_VERSION = 1
+
+#: How many idempotency records :meth:`SqliteTaggingStore.record_request`
+#: retains (oldest evicted first).  A replay arriving after its record
+#: was evicted re-applies -- size this above the number of in-flight +
+#: retryable requests, not the corpus size.
+REQUEST_LOG_KEEP = 10_000
 
 _PRAGMAS = (
     ("journal_mode", "WAL"),
@@ -80,6 +91,11 @@ CREATE TABLE IF NOT EXISTS action_tags (
     tag_id    INTEGER NOT NULL REFERENCES tags(tag_id),
     PRIMARY KEY (action_id, position)
 );
+CREATE TABLE IF NOT EXISTS request_ids (
+    request_id TEXT PRIMARY KEY,        -- client-generated idempotency key
+    report     TEXT NOT NULL,           -- JSON of the original batch's report
+    created_at REAL NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_actions_user ON actions(user_id);
 CREATE INDEX IF NOT EXISTS idx_actions_item ON actions(item_id);
 CREATE INDEX IF NOT EXISTS idx_action_tags_tag ON action_tags(tag_id);
@@ -109,6 +125,10 @@ class SqliteTaggingStore:
         # (sqlite3 would otherwise raise ProgrammingError the moment a
         # thread other than the opener touches it).
         self._lock = threading.RLock()
+        # Depth of nested deferred_commit() windows; while positive,
+        # write methods skip their own commit so a whole batch lands in
+        # one transaction (see deferred_commit).
+        self._defer_depth = 0
         self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
             self.path, check_same_thread=False
         )
@@ -160,9 +180,22 @@ class SqliteTaggingStore:
         return self._connection
 
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
+        """Checkpoint the WAL and close the connection (idempotent).
+
+        ``wal_checkpoint(TRUNCATE)`` folds every committed frame back
+        into the main database file and truncates the ``-wal`` sidecar,
+        so a process that is later killed (and therefore never runs a
+        clean shutdown again) still left behind a self-contained main DB
+        from its *last* clean close -- and warm restarts never pay a
+        large WAL replay for data that was already durable.
+        """
         with self._lock:
             if self._connection is not None:
+                try:
+                    self._connection.commit()
+                    self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+                except sqlite3.Error:  # pragma: no cover - checkpoint is best-effort
+                    pass
                 self._connection.close()
                 self._connection = None
 
@@ -228,6 +261,44 @@ class SqliteTaggingStore:
         """Return the current value of a connection pragma (for tests)."""
         with self._lock:
             return self.connection.execute(f"PRAGMA {name}").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Transaction scoping
+    # ------------------------------------------------------------------
+    def _maybe_commit(self) -> None:
+        """Commit now unless a deferred_commit window is open."""
+        if self._defer_depth == 0:
+            self.connection.commit()
+
+    @contextmanager
+    def deferred_commit(self):
+        """Scope several writes into one SQLite transaction.
+
+        Inside the window, :meth:`append_action` / :meth:`add_action` /
+        :meth:`record_request` skip their per-call commit; the whole
+        window commits **once** on exit.  This is the atom the
+        exactly-once insert path builds on: a batch of actions plus its
+        idempotency record become visible together, and a process killed
+        mid-window loses the *entire* uncommitted transaction to WAL
+        recovery -- never a prefix with the dedup record, or vice versa.
+
+        The exit commit runs even when the window is left by an
+        exception: each action already committed per-call semantics
+        before this API existed (a rejected action mid-batch leaves the
+        applied prefix durable), and the deferred window preserves that
+        -- it only removes the *torn-by-kill* case.  Callers that need
+        all-or-nothing on Python-level errors roll back themselves
+        before re-raising.  Reentrant; holds the store lock for the
+        whole window (the single-writer serving path already does).
+        """
+        with self._lock:
+            self._defer_depth += 1
+            try:
+                yield self
+            finally:
+                self._defer_depth -= 1
+                if self._defer_depth == 0:
+                    self.connection.commit()
 
     # ------------------------------------------------------------------
     # Writes
@@ -309,7 +380,7 @@ class SqliteTaggingStore:
         with self._lock:
             cursor = self.connection.cursor()
             action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
-            self.connection.commit()
+            self._maybe_commit()
         return action_id
 
     def append_action(
@@ -327,10 +398,16 @@ class SqliteTaggingStore:
         registration and the action row land atomically, so a crash can
         never leave a registered-but-actionless ghost, and the hot insert
         path pays one WAL commit instead of up to three.
+
+        Inside a :meth:`deferred_commit` window the per-call commit is
+        skipped and the action's statements run under a savepoint, so a
+        rejected action undoes only itself -- earlier actions of the
+        batch stay in the (still uncommitted) transaction.
         """
         with self._lock:
             connection = self.connection
             cursor = connection.cursor()
+            cursor.execute("SAVEPOINT repro_append_action")
             try:
                 if user_attributes is not None:
                     cursor.execute(
@@ -343,11 +420,66 @@ class SqliteTaggingStore:
                         (str(item_id), json.dumps(dict(item_attributes), sort_keys=True)),
                     )
                 action_id = self._insert_action(cursor, user_id, item_id, tags, rating)
-                connection.commit()
+                cursor.execute("RELEASE SAVEPOINT repro_append_action")
+                self._maybe_commit()
             except BaseException:
-                connection.rollback()
+                cursor.execute("ROLLBACK TRANSACTION TO SAVEPOINT repro_append_action")
+                cursor.execute("RELEASE SAVEPOINT repro_append_action")
+                if self._defer_depth == 0:
+                    connection.rollback()
                 raise
         return action_id
+
+    # ------------------------------------------------------------------
+    # Idempotency log
+    # ------------------------------------------------------------------
+    def recall_request(self, request_id: str) -> Optional[Dict[str, object]]:
+        """The recorded report of ``request_id``, or ``None`` if unseen.
+
+        A non-``None`` return means the batch carrying this idempotency
+        key was already applied *and committed*; the caller returns the
+        cached report instead of re-applying.
+        """
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT report FROM request_ids WHERE request_id = ?",
+                (str(request_id),),
+            ).fetchone()
+        return None if row is None else json.loads(row["report"])
+
+    def record_request(
+        self,
+        request_id: str,
+        report: Mapping[str, object],
+        keep_last: int = REQUEST_LOG_KEEP,
+    ) -> None:
+        """Record ``request_id`` as applied, with its JSON-safe report.
+
+        Meant to run inside the same :meth:`deferred_commit` window as
+        the batch it marks, so the marker and the data commit together.
+        Retains the ``keep_last`` newest records (insertion order).
+        """
+        with self._lock:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO request_ids (request_id, report, created_at) "
+                "VALUES (?, ?, ?)",
+                (str(request_id), json.dumps(dict(report)), time.time()),
+            )
+            self.connection.execute(
+                "DELETE FROM request_ids WHERE rowid <= "
+                "(SELECT COALESCE(MAX(rowid), 0) FROM request_ids) - ?",
+                (int(keep_last),),
+            )
+            self._maybe_commit()
+
+    def request_log_size(self) -> int:
+        """How many idempotency records are currently retained."""
+        with self._lock:
+            return int(
+                self.connection.execute(
+                    "SELECT COUNT(*) FROM request_ids"
+                ).fetchone()[0]
+            )
 
     def ingest(self, dataset: TaggingDataset) -> int:
         """Batch-load an in-memory dataset in a single transaction.

@@ -20,9 +20,27 @@ mixed insert/query traffic, in three layers:
   corpus->worker :class:`PlacementTable` (rendezvous hashing + pins)
   and rides out worker deaths by retrying against respawned workers.
   See ``DEPLOYMENT.md`` and ``ARCHITECTURE.md``.
+
+Cross-cutting the three layers, :mod:`repro.serving.reliability`
+supplies the fault-tolerance primitives: :class:`AdmissionPolicy`
+(429 load shedding), :class:`CircuitBreaker` + :class:`RetryBudget`
+(the router's health-aware retry machinery) and
+:class:`FaultPlan`/:class:`FaultRule` (the deterministic
+fault-injection harness behind ``tests/serving/test_chaos.py`` and
+``examples/chaos_demo.py``).  The failure-semantics matrix -- which
+fault surfaces where, with which status code -- is in
+``DEPLOYMENT.md``.
 """
 
 from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+from repro.serving.reliability import (
+    AdmissionPolicy,
+    CircuitBreaker,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    RetryBudget,
+)
 from repro.serving.server import TagDMServer
 from repro.serving.shards import CorpusShard, ReadWriteLock
 from repro.serving.http import TagDMHttpServer
@@ -40,4 +58,10 @@ __all__ = [
     "ReadWriteLock",
     "SnapshotRotationPolicy",
     "SnapshotRotator",
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "RetryBudget",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
 ]

@@ -79,6 +79,8 @@ def _worker_main(
         signature_backend=str(config.get("signature_backend", "frequency")),
         signature_dimensions=int(config.get("signature_dimensions", 25)),
         seed=int(config.get("seed", 0)),
+        admission=config.get("admission"),
+        fault_plan=config.get("fault_plan"),
     )
     try:
         for name in corpus_names:
@@ -88,6 +90,7 @@ def _worker_main(
             host=host,
             port=0,
             default_solve_timeout=config.get("default_solve_timeout"),
+            fault_plan=config.get("fault_plan"),
         ).start()
     except BaseException as exc:
         try:
@@ -185,6 +188,22 @@ class TagDMFleet:
     max_restarts:
         Supervisor gives up respawning a worker after this many deaths
         (its corpora then answer 503 until an operator intervenes).
+    admission:
+        Optional :class:`~repro.serving.reliability.AdmissionPolicy`
+        applied by every worker's shards (shed with 429 + Retry-After
+        past the configured watermarks).  Crosses the spawn boundary;
+        must stay picklable.
+    fault_plan:
+        Optional :class:`~repro.serving.reliability.FaultPlan` armed in
+        every worker process for chaos drills (the ``add_corpus``
+        ingest path stays clean).  Per-process runtime state rebuilds
+        on unpickle; cross-process ``once`` latches live in the plan's
+        ``state_dir``.
+    heartbeat_interval:
+        Router heartbeat probe period in seconds (``None`` disables).
+        Probes feed the router's per-worker circuit breakers so a
+        respawned worker re-enters rotation without waiting for client
+        traffic.
     """
 
     def __init__(
@@ -204,6 +223,9 @@ class TagDMFleet:
         retry_deadline: float = 30.0,
         default_solve_timeout: Optional[float] = None,
         max_restarts: int = 10,
+        admission=None,
+        fault_plan=None,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -219,6 +241,8 @@ class TagDMFleet:
             "signature_dimensions": signature_dimensions,
             "seed": seed,
             "default_solve_timeout": default_solve_timeout,
+            "admission": admission,
+            "fault_plan": fault_plan,
         }
         self._context = multiprocessing.get_context(start_method)
         worker_ids = [f"worker-{index}" for index in range(n_workers)]
@@ -238,6 +262,7 @@ class TagDMFleet:
             host=host,
             port=router_port,
             retry_deadline=retry_deadline,
+            heartbeat_interval=heartbeat_interval,
         )
 
     # ------------------------------------------------------------------

@@ -47,8 +47,10 @@ from repro.api.errors import (
     ApiError,
     SpecValidationError,
     UnknownRouteError,
+    retry_after_header,
 )
 from repro.api.spec import PageSpec, ProblemSpec
+from repro.serving.reliability import FaultPlan
 from repro.serving.server import TagDMServer
 
 __all__ = ["TagDMHttpServer"]
@@ -75,6 +77,7 @@ class _Handler(BaseHTTPRequestHandler):
     #: Injected by :class:`TagDMHttpServer` via ``type(...)`` below.
     tagdm_server: TagDMServer = None  # type: ignore[assignment]
     default_solve_timeout: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
 
     protocol_version = "HTTP/1.1"
     # Responses are written as several small segments (status, headers,
@@ -90,21 +93,46 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _write_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _write_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._write_body(status, "application/json", [body])
+        self._write_body(status, "application/json", [body], extra_headers)
 
-    def _write_body(self, status: int, content_type: str, chunks: List[bytes]) -> None:
+    def _write_body(
+        self,
+        status: int,
+        content_type: str,
+        chunks: List[bytes],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        truncate_at: Optional[int] = None
+        if self.fault_plan is not None:
+            if self.fault_plan.fire("http.post_write", path=self.path) == "truncate":
+                # Advertise the full Content-Length, deliver half: the
+                # client's read fails with IncompleteRead mid-body.
+                truncate_at = sum(len(chunk) for chunk in chunks) // 2
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(sum(len(chunk) for chunk in chunks)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         # Written chunk-at-a-time so an NDJSON reader on the other end
         # starts parsing groups before the last one hits the socket.
+        written = 0
         for chunk in chunks:
+            if truncate_at is not None and written + len(chunk) > truncate_at:
+                self.wfile.write(chunk[: truncate_at - written])
+                self.close_connection = True
+                return
             self.wfile.write(chunk)
+            written += len(chunk)
 
     def _read_body(self) -> Dict[str, object]:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -150,18 +178,32 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         self._body_unread = int(self.headers.get("Content-Length", 0) or 0)
+        extra_headers: Optional[Dict[str, str]] = None
         try:
             status, payload = self._route(method)
         except ApiError as error:
             status, payload = error.status, error.to_payload()
+            retry_after = retry_after_header(error)
+            if retry_after is not None:
+                extra_headers = {"Retry-After": retry_after}
         except Exception as exc:  # a bug must answer 500, not drop the socket
             error = ApiError(f"{type(exc).__name__}: {exc}")
             status, payload = error.status, error.to_payload()
         self._discard_unread_body()
+        if self.fault_plan is not None:
+            action = self.fault_plan.fire(
+                "http.pre_write", path=self.path, status=status
+            )
+            if action == "reset":
+                # Close without writing a byte: the client sees its
+                # response socket die (RemoteDisconnected), exactly like
+                # a worker killed after applying but before answering.
+                self.close_connection = True
+                return
         if isinstance(payload, _NdjsonBody):
             self._write_body(status, "application/x-ndjson", payload.lines)
         else:
-            self._write_json(status, payload)
+            self._write_json(status, payload, extra_headers)
 
     # ------------------------------------------------------------------
     # Routing
@@ -197,12 +239,47 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _idempotency_key(self) -> Optional[str]:
+        """The request's validated ``Idempotency-Key`` header, if any."""
+        key = self.headers.get("Idempotency-Key")
+        if key is None:
+            return None
+        key = key.strip()
+        if not key or len(key) > 200 or not key.isprintable():
+            raise SpecValidationError(
+                "Idempotency-Key must be 1-200 printable characters"
+            )
+        return key
+
+    def _corpus_actions(self, corpus: str) -> Optional[int]:
+        """Current action count of ``corpus`` (fault-rule context only)."""
+        try:
+            return self.tagdm_server.shard(corpus).session.dataset.n_actions
+        except KeyError:
+            return None
+
     def _handle_insert(self, corpus: str) -> Dict[str, object]:
+        request_id = self._idempotency_key()
         payload = self._read_body()
         actions = payload.get("actions")
         if not isinstance(actions, list):
             raise SpecValidationError("insert body needs an 'actions' list")
-        report = service.insert_actions(self.tagdm_server, corpus, actions)
+        plan = self.fault_plan
+        if plan is not None:
+            plan.fire(
+                "insert.pre_apply",
+                corpus=corpus,
+                n_actions=self._corpus_actions(corpus),
+            )
+        report = service.insert_actions(
+            self.tagdm_server, corpus, actions, request_id=request_id
+        )
+        if plan is not None:
+            plan.fire(
+                "insert.applied",
+                corpus=corpus,
+                n_actions=self._corpus_actions(corpus),
+            )
         return report.to_dict()
 
     def _solve_query(self) -> Tuple[Optional[PageSpec], bool]:
@@ -262,6 +339,11 @@ class TagDMHttpServer:
     default_solve_timeout:
         Optional server-side compute budget (seconds) applied to solve
         requests that do not send ``timeout_seconds`` themselves.
+    fault_plan:
+        Optional :class:`~repro.serving.reliability.FaultPlan` armed on
+        every handler (``http.pre_write`` / ``http.post_write`` /
+        ``insert.pre_apply`` / ``insert.applied`` injection points);
+        inert in production.
 
     Usage::
 
@@ -276,6 +358,7 @@ class TagDMHttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         default_solve_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.server = server
         handler = type(
@@ -284,6 +367,7 @@ class TagDMHttpServer:
             {
                 "tagdm_server": server,
                 "default_solve_timeout": default_solve_timeout,
+                "fault_plan": fault_plan,
             },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)

@@ -97,6 +97,7 @@ class SnapshotRotator:
         directory: Union[str, Path],
         basename: str = "session",
         policy: Optional[SnapshotRotationPolicy] = None,
+        fault_plan=None,
     ) -> None:
         if not re.fullmatch(r"[A-Za-z0-9._-]+", basename):
             raise ValueError(
@@ -107,6 +108,15 @@ class SnapshotRotator:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.basename = basename
         self.policy = policy or SnapshotRotationPolicy()
+        #: Optional :class:`~repro.serving.reliability.FaultPlan`; fired
+        #: at the ``snapshot.write`` point just before each rotation's
+        #: save (chaos-testing hook, inert when ``None``).
+        self.fault_plan = fault_plan
+        # A process SIGKILLed mid-save leaves the staging file behind
+        # (clean failures unlink it); it can never be mistaken for a
+        # snapshot (the atomic rename never ran) but would pile up
+        # forever.  This rotator now owns the directory, so sweep them.
+        self._clean_stale_staging()
         self._pattern = re.compile(
             re.escape(basename) + r"-(\d{8})" + re.escape(self._SUFFIX) + r"\Z"
         )
@@ -121,6 +131,24 @@ class SnapshotRotator:
     # ------------------------------------------------------------------
     # Snapshot inventory
     # ------------------------------------------------------------------
+    def _clean_stale_staging(self) -> List[Path]:
+        """Delete orphaned ``*.snapshot.tmp-<pid>`` staging files.
+
+        Safe because exactly one rotator (one shard, one process) owns a
+        snapshot directory at a time: any staging file present when the
+        rotator is constructed belongs to a previous, dead owner.
+        """
+        removed: List[Path] = []
+        for path in self.directory.glob(
+            f"{self.basename}-*{self._SUFFIX}.tmp-*"
+        ):
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleaner
+                continue
+            removed.append(path)
+        return removed
+
     def snapshot_paths(self) -> List[Path]:
         """Existing snapshots of this shard, oldest first."""
         entries = []
@@ -173,6 +201,8 @@ class SnapshotRotator:
         """
         from repro.core.persistence import save_session  # lazy: keep import light
 
+        if self.fault_plan is not None:
+            self.fault_plan.fire("snapshot.write", basename=self.basename)
         path = save_session(session, self._next_path())
         self.rotations += 1
         self.last_rotation_at = time.time()

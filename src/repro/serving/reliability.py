@@ -1,0 +1,455 @@
+"""Reliability primitives for the serving fleet.
+
+This module collects the four building blocks the fault-tolerance layer
+is made of, kept deliberately free of serving imports so every layer
+(store, shard, HTTP front, router, fleet, client) can use them without
+cycles:
+
+* :class:`AdmissionPolicy` -- per-shard load-shedding watermarks: bound
+  the insert queue depth and the number of in-flight solves, and shed
+  excess load with a typed 429 (``OverloadedError``) + ``Retry-After``
+  *before* latency collapses;
+* :class:`CircuitBreaker` -- the classic closed/open/half-open breaker
+  the router keeps per worker, fed by forward failures and heartbeat
+  probes, so a dead worker stops absorbing request attempts within a
+  few failures instead of at every request;
+* :class:`RetryBudget` -- a bounded retry allowance with jittered
+  exponential backoff, replacing retry-until-deadline loops: a request
+  gets at most ``max_attempts`` actual forwards, each failure backing
+  off further (seeded, so tests are deterministic);
+* :class:`FaultPlan` / :class:`FaultRule` -- a deterministic
+  fault-injection harness.  Production code carries an optional plan
+  and calls ``plan.fire("point.name", **context)`` at named injection
+  points; with no plan attached (the default) that is a no-op.  A test
+  or chaos demo arms specific rules (kill this worker at the Nth
+  insert, reset that socket before the response is written, crash the
+  next snapshot write, ...) and the whole stack misbehaves exactly
+  on cue, in whichever process the rule matches.
+
+Determinism and multi-process coordination
+------------------------------------------
+A plan is seeded: probabilistic rules draw from ``random.Random(seed)``
+so a chaos run replays identically.  Plans cross the ``spawn`` pickle
+boundary into fleet workers; per-process runtime state (RNG, arrival
+counters, locks) is rebuilt fresh on unpickle, so ``at=N`` means "the
+Nth arrival at this point *in this process*".  Rules that must fire at
+most once across *all* processes (e.g. "kill whichever worker first
+applies an insert") set ``once=True`` and the plan claims a latch file
+under ``state_dir`` with an atomic exclusive create before executing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RetryBudget",
+]
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Load-shedding watermarks for one shard.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Shed an insert when the shard's writer queue already holds this
+        many requests (``None`` disables insert shedding).  Distinct
+        from the queue's hard ``queue_capacity``: capacity *blocks* the
+        submitter, the watermark *rejects* with a retryable 429 first.
+    max_inflight_solves:
+        Shed a solve when this many solves are already running on the
+        shard (``None`` disables solve shedding).
+    retry_after_seconds:
+        The backoff hint carried in the 429's ``Retry-After`` header
+        and error details.
+    """
+
+    max_queue_depth: Optional[int] = None
+    max_inflight_solves: Optional[int] = None
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.max_inflight_solves is not None and self.max_inflight_solves < 1:
+            raise ValueError("max_inflight_solves must be >= 1 (or None)")
+        if self.retry_after_seconds <= 0:
+            raise ValueError("retry_after_seconds must be > 0")
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """A closed/open/half-open breaker for one upstream worker.
+
+    * **closed** -- requests flow; ``failure_threshold`` consecutive
+      failures trip the breaker open.
+    * **open** -- :meth:`allow` answers ``False`` (callers skip the
+      worker without burning a connection attempt) until
+      ``reset_timeout`` has elapsed.
+    * **half-open** -- one probe is let through per ``reset_timeout``
+      window; its success closes the breaker, its failure re-opens it.
+
+    Thread-safe; the clock is injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.25,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._last_probe_at: Optional[float] = None
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state (transitions open -> half-open lazily on query)."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def _advance(self) -> None:
+        """Move open -> half-open once the reset window has elapsed."""
+        if self._state == self.OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout:
+                self._state = self.HALF_OPEN
+                self._last_probe_at = None
+
+    def allow(self) -> bool:
+        """Whether a request (or probe) may be sent to the worker now.
+
+        In the half-open state only one caller per reset window gets
+        ``True``; everyone else keeps skipping until that probe reports
+        back via :meth:`record_success`/:meth:`record_failure` (or its
+        window expires, guarding against a probe that never reports).
+        """
+        with self._lock:
+            self._advance()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                return False
+            # half-open: admit one probe per reset window
+            now = self._clock()
+            if (
+                self._last_probe_at is not None
+                and now - self._last_probe_at < self.reset_timeout
+            ):
+                return False
+            self._last_probe_at = now
+            return True
+
+    def record_success(self) -> None:
+        """A request to the worker succeeded: close the breaker."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._last_probe_at = None
+
+    def record_failure(self) -> None:
+        """A request to the worker failed: count it, maybe trip open."""
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.times_opened += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state for stats/health endpoints."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self.times_opened,
+            }
+
+
+# ----------------------------------------------------------------------
+# Retry budget
+# ----------------------------------------------------------------------
+class RetryBudget:
+    """A bounded retry allowance with jittered exponential backoff.
+
+    One budget instance is configuration shared by many requests; each
+    request tracks its own attempt count and asks the budget whether it
+    may try again (:meth:`exhausted`) and how long to back off before
+    the next try (:meth:`delay`).  Backoff for attempt *n* is
+    ``min(cap, base * 2**(n-1))`` scaled by a uniform jitter in
+    ``[1 - jitter, 1 + jitter]`` drawn from the (optionally seeded)
+    RNG, so synchronized retry storms decorrelate while tests replay
+    byte-identically.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 0.5,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff_base and backoff_cap must be > 0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether a request that already made ``attempts`` tries is done."""
+        return attempts >= self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        base = min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+        if self.jitter == 0.0:
+            return base
+        with self._lock:
+            scale = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return base * scale
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class InjectedFault(RuntimeError):
+    """An exception deliberately raised by a ``crash`` fault rule.
+
+    Only ever raised when a :class:`FaultPlan` is armed -- production
+    paths without a plan can never see it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+_FAULT_ACTIONS = ("kill", "crash", "reset", "truncate", "sleep")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One arming of one injection point.
+
+    Parameters
+    ----------
+    point:
+        Injection point name, e.g. ``"insert.applied"`` or
+        ``"http.pre_write"``.  The points a build exposes are listed in
+        the serving docs; unknown names simply never fire.
+    action:
+        * ``"kill"`` -- ``SIGKILL`` the current process (fired by the
+          plan itself; never returns);
+        * ``"crash"`` -- raise :class:`InjectedFault` at the point;
+        * ``"sleep"`` -- block for ``sleep_seconds`` at the point;
+        * ``"reset"`` / ``"truncate"`` -- returned to the caller, which
+          performs the transport-level damage (close the socket before
+          writing / cut the response body short).
+    at:
+        Fire on the Nth arrival at ``point`` in this process (1-based);
+        ``None`` matches every arrival.
+    when_actions:
+        Fire only when the caller-supplied ``n_actions`` context equals
+        this value.  Because the context is an *absolute* dataset count,
+        a kill armed this way is self-disarming: after respawn the
+        retried batch deduplicates instead of re-applying, so the count
+        never passes through the trigger value again.
+    times:
+        Per-process cap on how often this rule fires (default once).
+    once:
+        Claim a cross-process latch in the plan's ``state_dir`` before
+        firing, so the rule fires at most once across every process
+        sharing the plan (requires ``state_dir``).
+    sleep_seconds:
+        Duration of the ``"sleep"`` action.
+    probability:
+        Fire with this probability (drawn from the plan's seeded RNG);
+        ``None`` means always.
+    """
+
+    point: str
+    action: str
+    at: Optional[int] = None
+    when_actions: Optional[int] = None
+    times: int = 1
+    once: bool = False
+    sleep_seconds: float = 0.05
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _FAULT_ACTIONS:
+            raise ValueError(
+                f"action must be one of {_FAULT_ACTIONS}, got {self.action!r}"
+            )
+        if self.at is not None and self.at < 1:
+            raise ValueError("at must be >= 1 (or None)")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.sleep_seconds < 0:
+            raise ValueError("sleep_seconds must be >= 0")
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1] (or None)")
+
+
+class FaultPlan:
+    """A seeded, picklable schedule of deliberate failures.
+
+    Carried (optionally) by every serving layer; ``fire`` is called at
+    each named injection point and either does nothing (no matching
+    armed rule) or executes/returns the matched rule's action.  See the
+    module docstring for determinism and multi-process semantics.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule] = (),
+        seed: int = 0,
+        state_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self.state_dir = str(state_dir) if state_dir is not None else None
+        for index, rule in enumerate(self.rules):
+            if rule.once and self.state_dir is None:
+                raise ValueError(
+                    f"rule {index} ({rule.point!r}) has once=True but the "
+                    "plan has no state_dir to keep the cross-process latch in"
+                )
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        self._lock = threading.Lock()
+        self._rng = random.Random(self.seed)
+        self._arrivals: Dict[str, int] = {}
+        self._fired_counts: Dict[int, int] = {}
+        #: ``(point, action, arrival)`` tuples of every rule fired in
+        #: this process, for test assertions.
+        self.fired: List[Tuple[str, str, int]] = []
+
+    # -- pickling: config crosses process boundaries, runtime state is
+    # -- per-process and rebuilt fresh.
+    def __getstate__(self) -> Dict[str, object]:
+        return {"rules": self.rules, "seed": self.seed, "state_dir": self.state_dir}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.rules = list(state["rules"])
+        self.seed = state["seed"]
+        self.state_dir = state["state_dir"]
+        self._init_runtime()
+
+    # ------------------------------------------------------------------
+    def arrivals(self, point: str) -> int:
+        """How many times ``point`` has been reached in this process."""
+        with self._lock:
+            return self._arrivals.get(point, 0)
+
+    def _claim_latch(self, index: int, rule: FaultRule) -> bool:
+        latch_dir = Path(self.state_dir)
+        latch_dir.mkdir(parents=True, exist_ok=True)
+        latch = latch_dir / f"fault-{index:03d}-{rule.action}.fired"
+        try:
+            # O_CREAT|O_EXCL: exactly one process across the fleet wins.
+            fd = os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def fire(self, point: str, **context) -> Optional[str]:
+        """Record an arrival at ``point``; execute a matching rule if any.
+
+        Returns ``None`` (nothing armed / nothing matched), or the
+        action string for caller-handled actions (``"reset"`` /
+        ``"truncate"`` / ``"sleep"`` -- sleep has already happened).
+        ``"crash"`` raises :class:`InjectedFault`; ``"kill"`` does not
+        return at all.
+        """
+        with self._lock:
+            arrival = self._arrivals.get(point, 0) + 1
+            self._arrivals[point] = arrival
+            matched: Optional[FaultRule] = None
+            for index, rule in enumerate(self.rules):
+                if rule.point != point:
+                    continue
+                if self._fired_counts.get(index, 0) >= rule.times:
+                    continue
+                if rule.at is not None and arrival != rule.at:
+                    continue
+                if (
+                    rule.when_actions is not None
+                    and context.get("n_actions") != rule.when_actions
+                ):
+                    continue
+                if (
+                    rule.probability is not None
+                    and self._rng.random() >= rule.probability
+                ):
+                    continue
+                if rule.once and not self._claim_latch(index, rule):
+                    continue
+                self._fired_counts[index] = self._fired_counts.get(index, 0) + 1
+                self.fired.append((point, rule.action, arrival))
+                matched = rule
+                break
+        if matched is None:
+            return None
+        return self._execute(point, matched)
+
+    @staticmethod
+    def _execute(point: str, rule: FaultRule) -> Optional[str]:
+        if rule.action == "sleep":
+            time.sleep(rule.sleep_seconds)
+            return "sleep"
+        if rule.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            raise AssertionError("unreachable: SIGKILL did not terminate")
+        if rule.action == "crash":
+            raise InjectedFault(point)
+        return rule.action  # "reset" / "truncate": caller does the damage

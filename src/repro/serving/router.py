@@ -20,10 +20,23 @@ the extra route)::
 Failure semantics: a forward that cannot reach the owning worker
 (killed, restarting) is retried against the worker's *current* address
 -- re-resolved every attempt, because a respawned worker comes back on
-a new port -- until ``retry_deadline`` elapses, then answers 503
-(:class:`~repro.api.errors.WorkerUnavailableError`).  A request the
-worker *answered* is relayed as-is, status and body untouched, which is
-what keeps routed error payloads bit-identical to single-process ones.
+a new port -- under two bounds: a per-request **retry budget**
+(:class:`~repro.serving.reliability.RetryBudget`: at most
+``max_attempts`` actual forwards, jittered exponential backoff between
+them) and the wall-clock ``retry_deadline``.  Whichever runs out first
+answers 503 (:class:`~repro.api.errors.WorkerUnavailableError`).  Each
+worker also has a :class:`~repro.serving.reliability.CircuitBreaker`
+fed by forward failures and (when enabled) background heartbeat
+probes: once a worker trips the breaker open, forwards skip it without
+burning connection attempts until the breaker half-opens and a probe
+succeeds.  Waits spent on an unresolved worker or an open breaker
+consume *no* budget -- only the deadline -- so a respawning worker is
+picked up the moment it is back.  A request the worker *answered* is
+relayed as-is, status, body and ``Retry-After`` header untouched,
+which is what keeps routed error payloads bit-identical to
+single-process ones; the ``Idempotency-Key`` request header is
+forwarded too, so a routed insert retried across a worker crash
+deduplicates instead of double-applying.
 
 Threading model: the router is a :class:`ThreadingHTTPServer`; each
 request forwards on its own handler thread over a per-worker
@@ -53,7 +66,9 @@ from repro.api.errors import (
     UnknownCorpusError,
     UnknownRouteError,
     WorkerUnavailableError,
+    retry_after_header,
 )
+from repro.serving.reliability import CircuitBreaker, RetryBudget
 
 __all__ = ["PlacementTable", "TagDMRouter"]
 
@@ -227,10 +242,18 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def _write_json(self, status: int, payload: Mapping[str, object]) -> None:
         self._write_raw(status, "application/json", json.dumps(payload).encode("utf-8"))
 
-    def _write_raw(self, status: int, content_type: str, body: bytes) -> None:
+    def _write_raw(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -251,34 +274,47 @@ class _RouterHandler(BaseHTTPRequestHandler):
         return self.rfile.read(length)
 
     def _dispatch(self, method: str) -> None:
+        extra_headers: Optional[Mapping[str, str]] = None
         try:
-            status, content_type, body = self._route(method)
+            status, content_type, body, extra_headers = self._route(method)
         except ApiError as error:
             status, content_type = error.status, "application/json"
             body = json.dumps(error.to_payload()).encode("utf-8")
+            retry_after = retry_after_header(error)
+            if retry_after is not None:
+                extra_headers = {"Retry-After": retry_after}
         except Exception as exc:  # a router bug must answer 500, not drop the socket
             error = ApiError(f"{type(exc).__name__}: {exc}")
             status, content_type = error.status, "application/json"
             body = json.dumps(error.to_payload()).encode("utf-8")
-        self._write_raw(status, content_type, body)
+        self._write_raw(status, content_type, body, extra_headers)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, method: str) -> Tuple[int, str, bytes]:
+    def _route(self, method: str) -> Tuple[int, str, bytes, Optional[Mapping[str, str]]]:
         path, _, query = self.path.partition("?")
         body = self._read_body()
         if method == "GET" and path == "/healthz":
-            return 200, "application/json", self.router._health_body()
+            return 200, "application/json", self.router._health_body(), None
         if method == "GET" and path == "/corpora":
             payload = {"corpora": self.router.placement.corpora()}
-            return 200, "application/json", json.dumps(payload).encode("utf-8")
+            return 200, "application/json", json.dumps(payload).encode("utf-8"), None
         if method == "GET" and path == "/placement":
-            return 200, "application/json", self.router._placement_body()
+            return 200, "application/json", self.router._placement_body(), None
         match = _CORPUS_ROUTE.fullmatch(path)
         if match:
             corpus = urllib.parse.unquote(match.group("name"))
-            return self.router.forward(method, corpus, self.path, body)
+            # Forward the idempotency key so a keyed insert retried by
+            # the router (or replayed over a pooled connection into the
+            # worker) deduplicates server-side instead of double-applying.
+            request_headers: Dict[str, str] = {}
+            idempotency_key = self.headers.get("Idempotency-Key")
+            if idempotency_key is not None:
+                request_headers["Idempotency-Key"] = idempotency_key
+            return self.router.forward(
+                method, corpus, self.path, body, headers=request_headers
+            )
         raise UnknownRouteError(
             f"no route for {method} {path}",
             details={
@@ -317,15 +353,34 @@ class TagDMRouter:
     host / port:
         Bind address (``port=0`` picks a free port; read :attr:`url`).
     retry_deadline:
-        How long a forward keeps retrying an unreachable owner before
-        answering 503 (seconds).  Must cover a worker respawn:
-        process start + warm-start from snapshot.
+        Wall-clock bound on one forward: how long it may keep waiting
+        for an unreachable owner before answering 503 (seconds).  Must
+        cover a worker respawn: process start + warm-start from
+        snapshot.
     retry_interval:
-        Sleep between forward attempts (seconds).
+        Sleep between placement polls while the owner is unresolved or
+        its breaker is open (seconds); also the backoff base of the
+        default retry budget.
     request_timeout:
         Socket timeout for one forwarded attempt (seconds); a worker
         that is *reachable but slow* past this answers 504, it is not
         retried (re-running a slow solve would only pile on load).
+    retry_budget:
+        The :class:`~repro.serving.reliability.RetryBudget` bounding
+        *actual* forward attempts per request (waits on an unresolved
+        worker or an open breaker are free).  ``None`` builds one from
+        ``retry_interval`` (64 attempts, capped jittered backoff,
+        seeded for deterministic tests).
+    breaker_failure_threshold / breaker_reset_timeout:
+        Per-worker :class:`~repro.serving.reliability.CircuitBreaker`
+        tuning: consecutive failures to trip open, and how long an open
+        breaker waits before letting a half-open probe through.
+    heartbeat_interval:
+        When set, :meth:`start` runs a background thread probing every
+        worker's ``/healthz`` this often (seconds), feeding the
+        breakers -- a respawned worker is then closed back into rotation
+        even when no client traffic is probing it.  ``None`` (default)
+        disables the thread; breakers are still fed by forward results.
 
     Lifecycle and threading match
     :class:`~repro.serving.http.TagDMHttpServer`: ``start()`` serves on
@@ -343,6 +398,10 @@ class TagDMRouter:
         retry_deadline: float = 30.0,
         retry_interval: float = 0.05,
         request_timeout: float = 120.0,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_timeout: float = 0.25,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         self.placement = placement
         if callable(resolve_worker):
@@ -353,12 +412,28 @@ class TagDMRouter:
         self.retry_deadline = retry_deadline
         self.retry_interval = retry_interval
         self.request_timeout = request_timeout
+        self.retry_budget = retry_budget or RetryBudget(
+            max_attempts=64,
+            backoff_base=max(retry_interval, 1e-3),
+            backoff_cap=0.5,
+            jitter=0.5,
+            seed=0,
+        )
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_timeout = breaker_reset_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._pools: Dict[str, HttpConnectionPool] = {}
         self._pools_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._forwarded = 0
         self._retries = 0
         self._unavailable = 0
+        self._budget_exhausted = 0
+        self._heartbeat_probes = 0
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
         handler = type("BoundRouterHandler", (_RouterHandler,), {"router": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -384,14 +459,22 @@ class TagDMRouter:
         """Whether the accept loop is live."""
         return self._thread is not None and self._thread.is_alive()
 
-    def stats(self) -> Dict[str, int]:
-        """Forwarding counters (requests, stale retries, 503 give-ups)."""
+    def stats(self) -> Dict[str, object]:
+        """Forwarding counters plus per-worker breaker snapshots."""
         with self._stats_lock:
-            return {
+            counters: Dict[str, object] = {
                 "requests_forwarded": self._forwarded,
                 "forward_retries": self._retries,
                 "workers_unavailable": self._unavailable,
+                "budget_exhausted": self._budget_exhausted,
+                "heartbeat_probes": self._heartbeat_probes,
             }
+        with self._breakers_lock:
+            counters["breakers"] = {
+                worker_id: breaker.snapshot()
+                for worker_id, breaker in sorted(self._breakers.items())
+            }
+        return counters
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -405,6 +488,23 @@ class TagDMRouter:
                 )
                 self._pools[base_url] = pool
             return pool
+
+    def breaker_for(self, worker_id: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one worker.
+
+        Keyed by worker *id*, not address: a respawned worker keeps its
+        breaker, so the successful first forward after a respawn is what
+        closes it.
+        """
+        with self._breakers_lock:
+            breaker = self._breakers.get(worker_id)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_failure_threshold,
+                    reset_timeout=self.breaker_reset_timeout,
+                )
+                self._breakers[worker_id] = breaker
+            return breaker
 
     def _owner_of(self, corpus: str) -> str:
         try:
@@ -422,30 +522,49 @@ class TagDMRouter:
             ) from None
 
     def forward(
-        self, method: str, corpus: str, path_with_query: str, body: bytes
-    ) -> Tuple[int, str, bytes]:
+        self,
+        method: str,
+        corpus: str,
+        path_with_query: str,
+        body: bytes,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, str, bytes, Dict[str, str]]:
         """Relay one request to the corpus owner; retry while it is down.
 
-        Returns ``(status, content type, body bytes)`` exactly as the
-        worker answered.  Retries happen only for *transport* failures
-        (connect refused/reset, worker mid-restart) -- never after a
-        response arrived, and never for per-attempt socket timeouts
-        (those answer 504).  An insert forwarded to a worker that dies
-        mid-request may therefore be applied at most twice only if the
-        worker died *after* applying but before answering; see
-        ``DEPLOYMENT.md`` for the at-least-once insert caveat.
+        Returns ``(status, content type, body bytes, extra headers)``
+        exactly as the worker answered (the extra headers carry a
+        relayed ``Retry-After``, if the worker sent one).  Retries
+        happen only for *transport* failures (connect refused/reset,
+        worker mid-restart) -- never after a response arrived, and
+        never for per-attempt socket timeouts (those answer 504).  Each
+        transport failure consumes one unit of the retry budget and
+        feeds the worker's breaker; waits on an unresolved worker or an
+        open breaker consume only wall clock.  A request that exhausts
+        either the budget or ``retry_deadline`` answers 503.
+
+        An insert forwarded to a worker that dies mid-request is
+        retried with its ``Idempotency-Key`` header intact, so the
+        respawned worker deduplicates it -- exactly-once; an unkeyed
+        insert keeps the at-least-once caveat (see ``DEPLOYMENT.md``).
         """
-        headers = {"Content-Type": "application/json"} if body else {}
+        request_headers: Dict[str, str] = (
+            {"Content-Type": "application/json"} if body else {}
+        )
+        if headers:
+            request_headers.update(headers)
         deadline = time.monotonic() + self.retry_deadline
         attempt = 0
         while True:
             worker_id = self._owner_of(corpus)
             base_url = self._resolve(worker_id)
-            if base_url is not None:
+            breaker = self.breaker_for(worker_id)
+            pause = self.retry_interval
+            if base_url is not None and breaker.allow():
                 attempt += 1
                 try:
                     status, response_headers, data = self._pool_for(base_url).request(
-                        method, path_with_query, body=body or None, headers=headers
+                        method, path_with_query, body=body or None,
+                        headers=request_headers,
                     )
                 except (socket_timeout, TimeoutError) as exc:
                     raise SolveTimeoutError(
@@ -458,22 +577,51 @@ class TagDMRouter:
                         },
                     ) from exc
                 except (OSError, HTTPException):
-                    pass  # worker down or dying; fall through to retry
+                    # Worker down or dying: feed the breaker, spend one
+                    # unit of retry budget, back off before the next try.
+                    breaker.record_failure()
+                    if self.retry_budget.exhausted(attempt):
+                        with self._stats_lock:
+                            self._unavailable += 1
+                            self._budget_exhausted += 1
+                        raise WorkerUnavailableError(
+                            f"worker {worker_id!r} for corpus {corpus!r} "
+                            f"failed {attempt} forward attempts "
+                            "(retry budget exhausted)",
+                            details={
+                                "corpus": corpus,
+                                "worker": worker_id,
+                                "attempts": attempt,
+                                "breaker": breaker.snapshot(),
+                            },
+                        ) from None
+                    pause = self.retry_budget.delay(attempt)
                 else:
+                    breaker.record_success()
                     with self._stats_lock:
                         self._forwarded += 1
                         self._retries += attempt - 1
                     content_type = response_headers.get("content-type", "application/json")
-                    return status, content_type, data
-            if time.monotonic() >= deadline:
+                    extra: Dict[str, str] = {}
+                    retry_after = response_headers.get("retry-after")
+                    if retry_after is not None:
+                        extra["Retry-After"] = retry_after
+                    return status, content_type, data, extra
+            now = time.monotonic()
+            if now >= deadline:
                 with self._stats_lock:
                     self._unavailable += 1
                 raise WorkerUnavailableError(
                     f"worker {worker_id!r} for corpus {corpus!r} stayed "
                     f"unreachable for {self.retry_deadline:g}s",
-                    details={"corpus": corpus, "worker": worker_id},
+                    details={
+                        "corpus": corpus,
+                        "worker": worker_id,
+                        "attempts": attempt,
+                        "breaker": breaker.snapshot(),
+                    },
                 )
-            time.sleep(self.retry_interval)
+            time.sleep(max(0.0, min(pause, deadline - now)))
 
     # ------------------------------------------------------------------
     # Router-local routes
@@ -482,12 +630,48 @@ class TagDMRouter:
         urls = {worker_id: self._resolve(worker_id) for worker_id in self.placement.workers()}
         return json.dumps(self.placement.to_payload(urls)).encode("utf-8")
 
+    def _probe_worker(self, worker_id: str) -> Optional[Dict[str, object]]:
+        """One ``/healthz`` probe of one worker, feeding its breaker.
+
+        Returns the worker's health payload, or ``None`` when the worker
+        is unresolved, unreachable or answered garbage.  Transport
+        failures count against the breaker; an unresolved worker (known
+        to be down, nothing to probe) does not -- the breaker should
+        reflect *surprise* failures, not supervised restarts.
+        """
+        base_url = self._resolve(worker_id)
+        if base_url is None:
+            return None
+        breaker = self.breaker_for(worker_id)
+        with self._stats_lock:
+            self._heartbeat_probes += 1
+        try:
+            code, _headers, data = self._pool_for(base_url).request(
+                "GET", "/healthz", timeout=min(5.0, self.request_timeout)
+            )
+            payload = json.loads(data.decode("utf-8"))
+        except (OSError, HTTPException, ValueError):
+            breaker.record_failure()
+            return None
+        if code == 200 and isinstance(payload, dict):
+            breaker.record_success()
+            return payload
+        return None
+
+    def _heartbeat_loop(self) -> None:
+        while not self._heartbeat_stop.wait(self.heartbeat_interval):
+            for worker_id in self.placement.workers():
+                if self._heartbeat_stop.is_set():
+                    return
+                self._probe_worker(worker_id)
+
     def _health_body(self) -> bytes:
         """Aggregate worker ``/healthz`` bodies under the router's own.
 
         Uses one non-retried probe per worker so a dead worker makes the
         probe report it (``reachable: false``) instead of hanging the
-        health endpoint through a retry window.
+        health endpoint through a retry window.  Probe results feed the
+        per-worker breakers, whose snapshots ride along in each entry.
         """
         workers: Dict[str, Dict[str, object]] = {}
         totals = {"inserts_served": 0, "solves_served": 0, "snapshots_written": 0}
@@ -495,19 +679,13 @@ class TagDMRouter:
         for worker_id in self.placement.workers():
             base_url = self._resolve(worker_id)
             entry: Dict[str, object] = {"url": base_url, "reachable": False}
-            if base_url is not None:
-                try:
-                    code, _headers, data = self._pool_for(base_url).request(
-                        "GET", "/healthz", timeout=min(5.0, self.request_timeout)
-                    )
-                    payload = json.loads(data.decode("utf-8"))
-                    if code == 200 and isinstance(payload, dict):
-                        entry["reachable"] = True
-                        entry["health"] = payload
-                        for key in totals:
-                            totals[key] += int(payload.get(key, 0))
-                except (OSError, HTTPException, ValueError):
-                    pass
+            payload = self._probe_worker(worker_id)
+            if payload is not None:
+                entry["reachable"] = True
+                entry["health"] = payload
+                for key in totals:
+                    totals[key] += int(payload.get(key, 0))
+            entry["breaker"] = self.breaker_for(worker_id).snapshot()
             if not entry["reachable"]:
                 status = "degraded"
             workers[worker_id] = entry
@@ -525,7 +703,7 @@ class TagDMRouter:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "TagDMRouter":
-        """Start the accept loop on a daemon thread (idempotent)."""
+        """Start the accept loop (and heartbeat thread) -- idempotent."""
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -533,6 +711,14 @@ class TagDMRouter:
                 daemon=True,
             )
             self._thread.start()
+        if self.heartbeat_interval is not None and self._heartbeat_thread is None:
+            self._heartbeat_stop.clear()
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"tagdm-router-heartbeat-{self.address[1]}",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
         return self
 
     def stop(self) -> None:
@@ -541,6 +727,10 @@ class TagDMRouter:
         Idempotent; blocks until the accept loop exits (in-flight
         handler threads finish their current response).
         """
+        if self._heartbeat_thread is not None:
+            self._heartbeat_stop.set()
+            self._heartbeat_thread.join(timeout=10.0)
+            self._heartbeat_thread = None
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join()

@@ -44,6 +44,7 @@ from repro.core.result import MiningResult
 from repro.dataset.sqlite_store import SqliteTaggingStore
 from repro.dataset.store import TaggingDataset
 from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+from repro.serving.reliability import AdmissionPolicy, FaultPlan
 from repro.serving.shards import CorpusShard
 
 __all__ = ["TagDMServer"]
@@ -76,6 +77,14 @@ class TagDMServer:
     enumeration, signature_backend, signature_dimensions, seed:
         Session configuration used when a shard cold-prepares; a
         warm-started shard takes its configuration from the snapshot.
+    admission:
+        Optional :class:`~repro.serving.reliability.AdmissionPolicy`
+        applied to every shard (queue-depth / in-flight-solve load
+        shedding with typed 429s).
+    fault_plan:
+        Optional :class:`~repro.serving.reliability.FaultPlan` threaded
+        into every shard and rotator (chaos-testing hooks; inert in
+        production).
     """
 
     def __init__(
@@ -86,6 +95,8 @@ class TagDMServer:
         signature_backend: str = "frequency",
         signature_dimensions: int = 25,
         seed: int = 0,
+        admission: Optional[AdmissionPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -94,6 +105,8 @@ class TagDMServer:
         self.signature_backend = signature_backend
         self.signature_dimensions = signature_dimensions
         self.seed = seed
+        self.admission = admission
+        self.fault_plan = fault_plan
         self._shards: Dict[str, CorpusShard] = {}
         self._stores: Dict[str, SqliteTaggingStore] = {}
         self._registry_lock = threading.Lock()
@@ -120,7 +133,9 @@ class TagDMServer:
 
     def _rotator_for(self, name: str) -> SnapshotRotator:
         return SnapshotRotator(
-            self._corpus_dir(name) / _SNAPSHOT_DIRNAME, policy=self.policy
+            self._corpus_dir(name) / _SNAPSHOT_DIRNAME,
+            policy=self.policy,
+            fault_plan=self.fault_plan,
         )
 
     def add_corpus(self, name: str, dataset: TaggingDataset) -> CorpusShard:
@@ -154,7 +169,13 @@ class TagDMServer:
                 ).prepare()
                 rotator = self._rotator_for(name)
                 rotator.rotate(session.session)  # a restart can warm-start at once
-                shard = CorpusShard(name, session, rotator=rotator)
+                shard = CorpusShard(
+                    name,
+                    session,
+                    rotator=rotator,
+                    admission=self.admission,
+                    fault_plan=self.fault_plan,
+                )
             except BaseException:
                 store.close()
                 raise
@@ -199,6 +220,8 @@ class TagDMServer:
                     rotator=rotator,
                     start_mode=start_mode,
                     replayed_actions=replayed,
+                    admission=self.admission,
+                    fault_plan=self.fault_plan,
                 )
             except BaseException:
                 store.close()
@@ -342,10 +365,18 @@ class TagDMServer:
         )
 
     def insert_batch(
-        self, corpus: str, actions: Iterable[Mapping[str, object]]
+        self,
+        corpus: str,
+        actions: Iterable[Mapping[str, object]],
+        request_id: Optional[str] = None,
     ) -> IncrementalUpdateReport:
-        """Insert a batch into the named corpus (waits until applied)."""
-        return self.shard(corpus).insert_batch(actions)
+        """Insert a batch into the named corpus (waits until applied).
+
+        ``request_id`` is the batch's idempotency key; a key the corpus
+        store has already recorded returns the original report
+        (``deduplicated=True``) without re-applying the batch.
+        """
+        return self.shard(corpus).insert_batch(actions, request_id=request_id)
 
     def solve(
         self, corpus: str, problem: TagDMProblem, algorithm="auto", **options

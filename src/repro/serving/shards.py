@@ -28,10 +28,12 @@ from concurrent.futures import Future
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.api.errors import OverloadedError
 from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 from repro.serving.policy import SnapshotRotator
+from repro.serving.reliability import AdmissionPolicy, FaultPlan
 
 __all__ = ["CorpusShard", "ReadWriteLock"]
 
@@ -85,10 +87,15 @@ class ReadWriteLock:
 class _InsertRequest:
     """One queued insert batch and the future its caller waits on."""
 
-    __slots__ = ("actions", "future")
+    __slots__ = ("actions", "request_id", "future")
 
-    def __init__(self, actions: List[Mapping[str, object]]) -> None:
+    def __init__(
+        self,
+        actions: List[Mapping[str, object]],
+        request_id: Optional[str] = None,
+    ) -> None:
         self.actions = actions
+        self.request_id = request_id
         self.future: "Future[IncrementalUpdateReport]" = Future()
 
 
@@ -120,6 +127,17 @@ class CorpusShard:
     replayed_actions:
         How many store-tail actions were replayed into the warm session
         at startup (non-zero only for ``"warm-replay"``).
+    admission:
+        Optional :class:`~repro.serving.reliability.AdmissionPolicy`;
+        when given, inserts are shed with a typed 429
+        (:class:`~repro.api.errors.OverloadedError`) once the writer
+        queue reaches ``max_queue_depth``, and solves once
+        ``max_inflight_solves`` are already running.
+    fault_plan:
+        Optional :class:`~repro.serving.reliability.FaultPlan` for the
+        chaos harness; exposes the ``shard.apply`` (writer thread, just
+        before a batch is applied) and ``shard.solve`` (solver thread,
+        under the read lock) injection points.
     """
 
     def __init__(
@@ -130,6 +148,8 @@ class CorpusShard:
         queue_capacity: int = 1024,
         start_mode: str = "cold",
         replayed_actions: int = 0,
+        admission: Optional[AdmissionPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not session.session.is_prepared:
             raise ValueError("shard sessions must be prepared before serving")
@@ -140,6 +160,8 @@ class CorpusShard:
         self.name = name
         self.session = session
         self.rotator = rotator
+        self.admission = admission
+        self.fault_plan = fault_plan
         self.start_mode = start_mode
         self.replayed_actions = int(replayed_actions)
         self._lock = ReadWriteLock()
@@ -153,6 +175,10 @@ class CorpusShard:
         self._stats_lock = threading.Lock()
         self._inserts_served = 0
         self._solves_served = 0
+        self._inflight_solves = 0
+        self._inserts_shed = 0
+        self._solves_shed = 0
+        self._dedup_hits = 0
         self._last_rotation_error: Optional[str] = None
         if rotator is not None:
             session.add_mutation_listener(
@@ -167,15 +193,36 @@ class CorpusShard:
     # Client API
     # ------------------------------------------------------------------
     def submit_insert(
-        self, actions: Iterable[Mapping[str, object]]
+        self,
+        actions: Iterable[Mapping[str, object]],
+        request_id: Optional[str] = None,
     ) -> "Future[IncrementalUpdateReport]":
         """Queue a batch of action dicts; returns a future for its report.
 
         The future resolves once the writer thread has applied the whole
         batch (and mirrored it into the store, when one is attached); it
         carries the batch's exception if any action was rejected.
+
+        ``request_id`` is the batch's idempotency key: a batch whose key
+        the durable store has already recorded resolves to the original
+        report (``deduplicated=True``) without re-applying.  When the
+        shard has an admission policy and the writer queue is at its
+        watermark, the batch is shed with a retryable
+        :class:`~repro.api.errors.OverloadedError` instead of queued.
         """
-        request = _InsertRequest(list(actions))
+        admission = self.admission
+        if admission is not None and admission.max_queue_depth is not None:
+            depth = self._queue.qsize()
+            if depth >= admission.max_queue_depth:
+                with self._stats_lock:
+                    self._inserts_shed += 1
+                raise OverloadedError(
+                    f"shard {self.name!r} shed the insert: writer queue at its "
+                    f"admission watermark ({depth} queued)",
+                    details={"corpus": self.name, "queue_depth": depth},
+                    retry_after_seconds=admission.retry_after_seconds,
+                )
+        request = _InsertRequest(list(actions), request_id=request_id)
         with self._submit_lock:
             if self._closed.is_set():
                 raise RuntimeError(f"shard {self.name!r} is closed")
@@ -206,10 +253,12 @@ class CorpusShard:
         )
 
     def insert_batch(
-        self, actions: Iterable[Mapping[str, object]]
+        self,
+        actions: Iterable[Mapping[str, object]],
+        request_id: Optional[str] = None,
     ) -> IncrementalUpdateReport:
         """Insert a batch of action dicts and wait for the merged report."""
-        return self.submit_insert(actions).result()
+        return self.submit_insert(actions, request_id=request_id).result()
 
     def solve(
         self, problem: TagDMProblem, algorithm="auto", **options
@@ -218,10 +267,34 @@ class CorpusShard:
 
         Runs on the calling thread; concurrent solves proceed in
         parallel, and the write lock guarantees the solve sees a fully
-        applied state with fresh caches.
+        applied state with fresh caches.  With an admission policy, a
+        solve arriving while ``max_inflight_solves`` are already running
+        is shed with a retryable 429 before it can pile onto the session.
         """
-        with self._lock.read_locked():
-            result = self.session.solve(problem, algorithm=algorithm, **options)
+        admission = self.admission
+        with self._stats_lock:
+            if (
+                admission is not None
+                and admission.max_inflight_solves is not None
+                and self._inflight_solves >= admission.max_inflight_solves
+            ):
+                self._solves_shed += 1
+                inflight = self._inflight_solves
+                raise OverloadedError(
+                    f"shard {self.name!r} shed the solve: {inflight} solve(s) "
+                    "already in flight",
+                    details={"corpus": self.name, "inflight_solves": inflight},
+                    retry_after_seconds=admission.retry_after_seconds,
+                )
+            self._inflight_solves += 1
+        try:
+            with self._lock.read_locked():
+                if self.fault_plan is not None:
+                    self.fault_plan.fire("shard.solve", corpus=self.name)
+                result = self.session.solve(problem, algorithm=algorithm, **options)
+        finally:
+            with self._stats_lock:
+                self._inflight_solves -= 1
         with self._stats_lock:
             self._solves_served += 1
         return result
@@ -256,6 +329,10 @@ class CorpusShard:
             "inserts_served": self._inserts_served,
             "solves_served": self._solves_served,
             "queue_depth": self._queue.qsize(),
+            "inflight_solves": self._inflight_solves,
+            "inserts_shed": self._inserts_shed,
+            "solves_shed": self._solves_shed,
+            "dedup_hits": self._dedup_hits,
             "snapshot_rotations": rotations,
             "snapshots_written": rotations,
             "last_rotation_at": (
@@ -287,11 +364,23 @@ class CorpusShard:
                 with self._lock.write_locked():
                     for request in requests:
                         try:
-                            report = self.session.add_actions(request.actions)
+                            if self.fault_plan is not None:
+                                self.fault_plan.fire(
+                                    "shard.apply",
+                                    corpus=self.name,
+                                    n_actions=self.session.dataset.n_actions,
+                                )
+                            report = self.session.add_actions(
+                                request.actions, request_id=request.request_id
+                            )
                         except BaseException as exc:
                             request.future.set_exception(exc)
                         else:
-                            self._inserts_served += report.actions_added
+                            if report.deduplicated:
+                                with self._stats_lock:
+                                    self._dedup_hits += 1
+                            else:
+                                self._inserts_served += report.actions_added
                             request.future.set_result(report)
                     self._maybe_rotate(force=False)
             for _ in batch:

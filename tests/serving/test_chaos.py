@@ -1,0 +1,701 @@
+"""The chaos suite: deterministic fault injection across every layer.
+
+Every test arms a seeded :class:`~repro.serving.reliability.FaultPlan`
+(or drives the reliability primitives directly with fake clocks) and
+asserts the documented failure semantics from ``DEPLOYMENT.md``:
+exactly-once keyed inserts, typed 429/503 shedding with ``Retry-After``,
+breaker/budget-bounded router retries, and crash-safe snapshot rotation.
+The multi-process kill drill lives in ``examples/chaos_demo.py``; here
+workers are in-process so the whole suite stays fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    HttpClient,
+    OverloadedError,
+    ProblemSpec,
+    WorkerUnavailableError,
+    api_error_from_payload,
+)
+from repro.api.client import HttpConnectionPool
+from repro.api.errors import retry_after_header
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.incremental import IncrementalTagDM
+from repro.core.problem import table1_problem
+from repro.dataset.sqlite_store import SqliteTaggingStore
+from repro.dataset.synthetic import generate_movielens_style
+from repro.serving import (
+    AdmissionPolicy,
+    CircuitBreaker,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    PlacementTable,
+    RetryBudget,
+    TagDMHttpServer,
+    TagDMRouter,
+    TagDMServer,
+)
+
+SEED = 31
+ENUMERATION = GroupEnumerationConfig(min_support=5, max_groups=60)
+
+
+def make_dataset(n_actions=400, seed=SEED):
+    return generate_movielens_style(
+        n_users=40, n_items=80, n_actions=n_actions, seed=seed
+    )
+
+
+def action_for(dataset, row=0, tag="chaos"):
+    return {
+        "user_id": dataset.user_of(row),
+        "item_id": dataset.item_of(row),
+        "tags": [tag],
+    }
+
+
+def make_spec(shard):
+    problem = table1_problem(1, k=4, min_support=shard.session.default_support())
+    return ProblemSpec.from_problem(problem, algorithm="sm-lsh-fo")
+
+
+# ----------------------------------------------------------------------
+# Reliability primitives
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_open_after_threshold_and_half_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1.0, clock=clock)
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.now = 0.5
+        assert not breaker.allow()  # still inside the reset window
+        clock.now = 1.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the one probe of this window
+        assert not breaker.allow()  # everyone else keeps waiting
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now = 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open" and breaker.times_opened == 2
+        clock.now = 2.5
+        assert breaker.allow()
+        breaker.record_success()  # probe succeeded
+        assert breaker.state == "closed" and breaker.allow()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "closed"
+        assert snapshot["consecutive_failures"] == 0
+        assert snapshot["times_opened"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestRetryBudget:
+    def test_exhaustion_and_backoff_shape(self):
+        budget = RetryBudget(max_attempts=3, backoff_base=0.1, backoff_cap=0.25, jitter=0.0)
+        assert not budget.exhausted(2)
+        assert budget.exhausted(3)
+        assert budget.delay(1) == pytest.approx(0.1)
+        assert budget.delay(2) == pytest.approx(0.2)
+        assert budget.delay(3) == pytest.approx(0.25)  # capped
+        assert budget.delay(9) == pytest.approx(0.25)
+
+    def test_seeded_jitter_is_deterministic_and_bounded(self):
+        first = RetryBudget(backoff_base=0.1, jitter=0.5, seed=42)
+        second = RetryBudget(backoff_base=0.1, jitter=0.5, seed=42)
+        delays = [first.delay(n) for n in (1, 2, 3, 4)]
+        assert delays == [second.delay(n) for n in (1, 2, 3, 4)]
+        for attempt, delay in enumerate(delays, start=1):
+            base = min(0.5, 0.1 * 2 ** (attempt - 1))
+            assert base * 0.5 <= delay <= base * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryBudget(jitter=1.0)
+
+
+class TestAdmissionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_inflight_solves=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(retry_after_seconds=0.0)
+
+
+class TestFaultPlan:
+    def test_at_and_times_and_arrivals(self):
+        plan = FaultPlan([FaultRule("p", "crash", at=2)])
+        assert plan.fire("p") is None  # arrival 1: not armed
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.fire("p")  # arrival 2 fires
+        assert excinfo.value.point == "p"
+        assert plan.fire("p") is None  # times=1: spent
+        assert plan.arrivals("p") == 3
+        assert plan.fired == [("p", "crash", 2)]
+
+    def test_when_actions_matches_context(self):
+        plan = FaultPlan([FaultRule("p", "reset", when_actions=5)])
+        assert plan.fire("p", n_actions=4) is None
+        assert plan.fire("p", n_actions=5) == "reset"
+
+    def test_sleep_and_caller_handled_actions(self):
+        plan = FaultPlan(
+            [
+                FaultRule("s", "sleep", sleep_seconds=0.01),
+                FaultRule("t", "truncate"),
+            ]
+        )
+        started = time.monotonic()
+        assert plan.fire("s") == "sleep"
+        assert time.monotonic() - started >= 0.01
+        assert plan.fire("t") == "truncate"
+
+    def test_seeded_probability_replays_identically(self):
+        rules = [FaultRule("p", "reset", times=100, probability=0.5)]
+        first = FaultPlan(rules, seed=7)
+        second = FaultPlan(rules, seed=7)
+        pattern = [first.fire("p") for _ in range(20)]
+        assert pattern == [second.fire("p") for _ in range(20)]
+        assert "reset" in pattern and None in pattern  # both outcomes drawn
+
+    def test_pickle_rebuilds_runtime_state(self):
+        plan = FaultPlan([FaultRule("p", "reset", at=1)], seed=3)
+        assert plan.fire("p") == "reset"
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.rules == plan.rules and clone.seed == 3
+        assert clone.arrivals("p") == 0  # per-process counters reset
+        assert clone.fire("p") == "reset"  # re-armed in the "new process"
+
+    def test_once_needs_state_dir_and_latches_across_plans(self, tmp_path):
+        with pytest.raises(ValueError):
+            FaultPlan([FaultRule("p", "reset", once=True)])
+        rules = [FaultRule("p", "reset", once=True)]
+        first = FaultPlan(rules, state_dir=tmp_path)
+        second = FaultPlan(rules, state_dir=tmp_path)  # "another process"
+        assert first.fire("p") == "reset"
+        assert second.fire("p") is None  # latch already claimed
+        assert first.fire("p") is None
+
+
+class TestOverloadedWire:
+    def test_payload_round_trip_and_retry_after(self):
+        error = OverloadedError("too busy", retry_after_seconds=2.5)
+        assert error.status == 429
+        back = api_error_from_payload(error.to_payload())
+        assert isinstance(back, OverloadedError)
+        assert back.retry_after_seconds == 2.5
+        assert retry_after_header(back) == "3"  # ceiling, whole seconds
+        assert retry_after_header(WorkerUnavailableError("down")) is None
+
+
+# ----------------------------------------------------------------------
+# Exactly-once inserts: store + incremental session
+# ----------------------------------------------------------------------
+class TestExactlyOnceStore:
+    def test_request_log_records_recalls_and_trims(self, tmp_path):
+        dataset = make_dataset()
+        store = SqliteTaggingStore.from_dataset(dataset, tmp_path / "corpus.sqlite")
+        assert store.recall_request("r-0") is None
+        for index in range(6):
+            store.record_request(f"r-{index}", {"actions_added": index}, keep_last=4)
+        assert store.request_log_size() == 4  # oldest two trimmed
+        assert store.recall_request("r-0") is None
+        assert store.recall_request("r-5") == {"actions_added": 5}
+        store.close()
+
+    def test_same_request_id_applies_exactly_once(self, tmp_path):
+        dataset = make_dataset()
+        store = SqliteTaggingStore.from_dataset(dataset, tmp_path / "corpus.sqlite")
+        session = IncrementalTagDM(
+            dataset, enumeration=ENUMERATION, store=store, seed=SEED
+        ).prepare()
+        before = store.counts()["actions"]
+        first = session.add_actions([action_for(dataset)], request_id="batch-1")
+        assert first.actions_added == 1 and not first.deduplicated
+        replay = session.add_actions([action_for(dataset)], request_id="batch-1")
+        assert replay.deduplicated and replay.actions_added == 1  # original report
+        assert store.counts()["actions"] == before + 1
+        assert session.dataset.n_actions == before + 1
+        # A different key applies normally.
+        other = session.add_actions([action_for(dataset, row=1)], request_id="batch-2")
+        assert not other.deduplicated
+        assert store.counts()["actions"] == before + 2
+        store.close()
+
+    def test_report_survives_the_wire_round_trip(self, tmp_path):
+        dataset = make_dataset()
+        store = SqliteTaggingStore.from_dataset(dataset, tmp_path / "corpus.sqlite")
+        session = IncrementalTagDM(
+            dataset, enumeration=ENUMERATION, store=store, seed=SEED
+        ).prepare()
+        session.add_actions([action_for(dataset)], request_id="wire-1")
+        recalled = session.add_actions([action_for(dataset)], request_id="wire-1")
+        payload = recalled.to_dict()
+        assert payload["deduplicated"] is True
+        assert payload["actions_added"] == 1
+        store.close()
+
+    def test_close_truncates_the_wal(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "corpus.sqlite"
+        store = SqliteTaggingStore.from_dataset(dataset, path)
+        store.add_action(**{**action_for(dataset), "tags": ("wal",)})
+        wal = path.with_name(path.name + "-wal")
+        assert wal.exists() and wal.stat().st_size > 0  # WAL carrying frames
+        store.close()
+        assert not wal.exists() or wal.stat().st_size == 0
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_insert_queue_watermark_sheds_with_429(self, tmp_path):
+        server = TagDMServer(
+            tmp_path / "root",
+            enumeration=ENUMERATION,
+            seed=SEED,
+            admission=AdmissionPolicy(max_queue_depth=1, retry_after_seconds=2.0),
+            fault_plan=FaultPlan(
+                [FaultRule("shard.apply", "sleep", at=1, sleep_seconds=1.0)]
+            ),
+        )
+        dataset = make_dataset()
+        shard = server.add_corpus("movies", dataset)
+        # First batch: the writer dequeues it and stalls inside the
+        # injected sleep (wait for the dequeue before continuing).
+        first = shard.submit_insert([action_for(dataset, row=0, tag="q-0")])
+        deadline = time.monotonic() + 5.0
+        while shard.stats()["queue_depth"] > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # Second batch sits in the queue at the watermark; the third is shed.
+        queued = shard.submit_insert([action_for(dataset, row=1, tag="q-1")])
+        with pytest.raises(OverloadedError) as excinfo:
+            shard.submit_insert([action_for(dataset, row=2, tag="shed")])
+        assert excinfo.value.retry_after_seconds == 2.0
+        assert excinfo.value.details["corpus"] == "movies"
+        for future in (first, queued):
+            future.result(timeout=10.0)
+        assert shard.stats()["inserts_shed"] == 1
+        server.close()
+
+    def test_inflight_solve_watermark_sheds_with_429(self, tmp_path):
+        server = TagDMServer(
+            tmp_path / "root",
+            enumeration=ENUMERATION,
+            seed=SEED,
+            admission=AdmissionPolicy(max_inflight_solves=1, retry_after_seconds=1.0),
+            fault_plan=FaultPlan(
+                [FaultRule("shard.solve", "sleep", at=1, sleep_seconds=1.0)]
+            ),
+        )
+        shard = server.add_corpus("movies", make_dataset())
+        spec = make_spec(shard)
+        problem, algorithm = spec.validate()
+        started = threading.Event()
+        outcome = {}
+
+        def slow_solve():
+            started.set()
+            outcome["result"] = shard.solve(problem, algorithm=algorithm)
+
+        solver = threading.Thread(target=slow_solve)
+        solver.start()
+        started.wait()
+        time.sleep(0.2)  # let the solve enter the injected sleep
+        with pytest.raises(OverloadedError):
+            shard.solve(problem, algorithm=algorithm)
+        solver.join(timeout=30.0)
+        assert "result" in outcome  # the admitted solve still finished
+        assert shard.stats()["solves_shed"] == 1
+        server.close()
+
+    def test_http_answers_429_with_retry_after_header(self, tmp_path):
+        server = TagDMServer(
+            tmp_path / "root",
+            enumeration=ENUMERATION,
+            seed=SEED,
+            admission=AdmissionPolicy(max_inflight_solves=1, retry_after_seconds=2.0),
+            fault_plan=FaultPlan(
+                [FaultRule("shard.solve", "sleep", at=1, sleep_seconds=1.5)]
+            ),
+        )
+        shard = server.add_corpus("movies", make_dataset())
+        spec = make_spec(shard)
+        front = TagDMHttpServer(server).start()
+        body = json.dumps(spec.to_dict()).encode("utf-8")
+        pool = HttpConnectionPool(front.url, request_timeout=30.0)
+
+        def background_solve():
+            pool_bg = HttpConnectionPool(front.url, request_timeout=30.0)
+            try:
+                pool_bg.request(
+                    "POST", "/corpora/movies/solve", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+            finally:
+                pool_bg.close()
+
+        solver = threading.Thread(target=background_solve)
+        solver.start()
+        time.sleep(0.3)  # the background solve is inside the injected sleep
+        status, headers, data = pool.request(
+            "POST", "/corpora/movies/solve", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        solver.join(timeout=30.0)
+        assert status == 429
+        assert headers.get("retry-after") == "2"
+        error = api_error_from_payload(json.loads(data.decode("utf-8")))
+        assert isinstance(error, OverloadedError)
+        assert error.retry_after_seconds == 2.0
+        pool.close()
+        front.stop()
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport faults
+# ----------------------------------------------------------------------
+class TestHttpTransportFaults:
+    def test_keyed_insert_replays_through_a_reset_exactly_once(self, tmp_path):
+        # http.pre_write "reset" drops the connection *after* the insert
+        # applied but before any response byte: the client's ambiguous
+        # retry is only safe because the Idempotency-Key dedups it.
+        plan = FaultPlan([FaultRule("http.pre_write", "reset", at=2)])
+        server = TagDMServer(
+            tmp_path / "root", enumeration=ENUMERATION, seed=SEED, fault_plan=plan
+        )
+        dataset = make_dataset()
+        shard = server.add_corpus("movies", dataset)
+        front = TagDMHttpServer(server, fault_plan=plan).start()
+        client = HttpClient(front.url, request_timeout=30.0)
+        before = client.stats("movies")["actions"]  # arrival 1 warms the pool
+        report = client.insert(
+            "movies", [action_for(dataset)], idempotency_key="chaos-key"
+        )  # arrival 2: applied, response reset, replay dedups
+        assert report.actions_added == 1
+        assert report.deduplicated  # the replay answered from the request log
+        assert client.stats("movies")["actions"] == before + 1  # exactly once
+        assert shard.stats()["dedup_hits"] == 1
+        assert ("http.pre_write", "reset", 2) in plan.fired
+        client.close()
+        front.stop()
+        server.close()
+
+    def test_unkeyed_post_does_not_replay_through_a_reset(self, tmp_path):
+        plan = FaultPlan([FaultRule("http.pre_write", "reset", at=2)])
+        server = TagDMServer(
+            tmp_path / "root", enumeration=ENUMERATION, seed=SEED, fault_plan=plan
+        )
+        shard = server.add_corpus("movies", make_dataset())
+        spec = make_spec(shard)
+        front = TagDMHttpServer(server, fault_plan=plan).start()
+        pool = HttpConnectionPool(front.url, request_timeout=30.0)
+        pool.request("GET", "/corpora")  # arrival 1 warms the keep-alive
+        with pytest.raises((http.client.HTTPException, OSError)):
+            pool.request(
+                "POST", "/corpora/movies/solve",
+                body=json.dumps(spec.to_dict()).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )  # ambiguous failure, no key, no GET: must surface
+        pool.close()
+        front.stop()
+        server.close()
+
+    def test_truncated_response_is_detected_not_swallowed(self, tmp_path):
+        plan = FaultPlan([FaultRule("http.post_write", "truncate", at=2)])
+        server = TagDMServer(
+            tmp_path / "root", enumeration=ENUMERATION, seed=SEED, fault_plan=plan
+        )
+        server.add_corpus("movies", make_dataset())
+        front = TagDMHttpServer(server, fault_plan=plan).start()
+        pool = HttpConnectionPool(front.url, request_timeout=30.0)
+        pool.request("GET", "/corpora")  # arrival 1
+        with pytest.raises(http.client.IncompleteRead):
+            pool.request("GET", "/corpora/movies/stats")  # arrival 2: cut short
+        pool.close()
+        front.stop()
+        server.close()
+
+    def test_client_side_stale_socket_replay_is_deterministic(self, tmp_path):
+        # pool.pre_send "reset" shoots the idle keep-alive socket just
+        # before reuse: the send fails before any byte reached the
+        # server, so even an unkeyed request replays safely.
+        plan = FaultPlan([FaultRule("pool.pre_send", "reset", at=1)])
+        server = TagDMServer(tmp_path / "root", enumeration=ENUMERATION, seed=SEED)
+        server.add_corpus("movies", make_dataset())
+        front = TagDMHttpServer(server).start()
+        pool = HttpConnectionPool(front.url, request_timeout=30.0, fault_plan=plan)
+        status, _headers, _data = pool.request("GET", "/corpora")  # fresh socket
+        assert status == 200
+        status, _headers, data = pool.request("GET", "/corpora")  # reused: reset+replay
+        assert status == 200
+        assert json.loads(data.decode("utf-8")) == {"corpora": ["movies"]}
+        assert plan.fired == [("pool.pre_send", "reset", 1)]
+        pool.close()
+        front.stop()
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshot rotation under crashes
+# ----------------------------------------------------------------------
+class TestSnapshotCrashSafety:
+    def test_crashed_rotation_is_recorded_and_retried(self, tmp_path):
+        from repro.serving import SnapshotRotationPolicy
+
+        plan = FaultPlan([FaultRule("snapshot.write", "crash", at=2)])
+        server = TagDMServer(
+            tmp_path / "root",
+            policy=SnapshotRotationPolicy(every_inserts=1),
+            enumeration=ENUMERATION,
+            seed=SEED,
+            fault_plan=plan,
+        )
+        dataset = make_dataset()
+        shard = server.add_corpus("movies", dataset)  # arrival 1: initial snapshot
+        shard.insert_batch([action_for(dataset, tag="crash-me")])
+        shard.flush()
+        stats = shard.stats()
+        assert stats["last_rotation_error"] is not None
+        assert "InjectedFault" in stats["last_rotation_error"]
+        assert stats["snapshots_written"] == 1  # the crashed one never landed
+        # Serving continues and the next due rotation retries cleanly.
+        shard.insert_batch([action_for(dataset, row=1, tag="retry")])
+        shard.flush()
+        stats = shard.stats()
+        assert stats["last_rotation_error"] is None
+        assert stats["snapshots_written"] == 2
+        server.close()
+
+    def test_stale_staging_files_are_swept_on_construction(self, tmp_path):
+        from repro.serving import SnapshotRotator
+
+        directory = tmp_path / "snapshots"
+        directory.mkdir()
+        orphan = directory / "session-00000007.snapshot.tmp-12345"
+        orphan.write_bytes(b"torn half-written snapshot")
+        rotator = SnapshotRotator(directory)
+        assert not orphan.exists()
+        assert rotator.snapshot_paths() == []  # never mistaken for a snapshot
+
+    def test_open_corpus_falls_back_past_a_corrupt_snapshot(self, tmp_path):
+        from repro.serving import SnapshotRotationPolicy
+
+        root = tmp_path / "root"
+        dataset = make_dataset()
+        server = TagDMServer(
+            root,
+            policy=SnapshotRotationPolicy(every_inserts=1, keep_last=5),
+            enumeration=ENUMERATION,
+            seed=SEED,
+        )
+        shard = server.add_corpus("movies", dataset)
+        expected_actions = dataset.n_actions + 1  # the session mutates dataset
+        shard.insert_batch([action_for(dataset, tag="second-snap")])
+        server.close()  # final snapshot: >= 2 snapshot files on disk
+        snapshots = sorted((root / "movies" / "snapshots").glob("*.snapshot"))
+        assert len(snapshots) >= 2
+        snapshots[-1].write_bytes(b"\x00garbage: a torn or corrupt snapshot")
+
+        reopened = TagDMServer(root, enumeration=ENUMERATION, seed=SEED)
+        shard = reopened.open_corpus("movies")
+        stats = shard.stats()
+        # Warm-started from the older loadable snapshot (replaying the
+        # store tail it lagged behind), not cold, and nothing was lost.
+        assert stats["start_mode"].startswith("warm")
+        assert stats["actions"] == expected_actions
+        reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Router: breaker + budget + header relay
+# ----------------------------------------------------------------------
+class TestRouterReliability:
+    def test_budget_bounds_attempts_and_breaker_opens(self):
+        placement = PlacementTable(workers=["w0"])
+        placement.register_corpus("movies")
+        router = TagDMRouter(
+            placement,
+            lambda worker_id: "http://127.0.0.1:9",  # discard port: refused
+            retry_deadline=30.0,
+            retry_interval=0.01,
+            retry_budget=RetryBudget(
+                max_attempts=3, backoff_base=0.01, backoff_cap=0.02, jitter=0.0
+            ),
+            breaker_failure_threshold=3,
+            breaker_reset_timeout=60.0,
+        )
+        started = time.monotonic()
+        with pytest.raises(WorkerUnavailableError) as excinfo:
+            router.forward("GET", "movies", "/corpora/movies/stats", b"")
+        assert time.monotonic() - started < 5.0  # budget, not the 30s deadline
+        assert excinfo.value.details["attempts"] == 3
+        stats = router.stats()
+        assert stats["budget_exhausted"] == 1
+        assert stats["workers_unavailable"] == 1
+        assert stats["breakers"]["w0"]["state"] == "open"
+        router.stop()
+
+    def test_unresolved_worker_burns_deadline_not_budget(self):
+        placement = PlacementTable(workers=["ghost"])
+        placement.register_corpus("movies")
+        router = TagDMRouter(
+            placement,
+            lambda worker_id: None,  # supervised restart: nothing to dial
+            retry_deadline=0.2,
+            retry_interval=0.02,
+        )
+        with pytest.raises(WorkerUnavailableError) as excinfo:
+            router.forward("GET", "movies", "/corpora/movies/stats", b"")
+        assert excinfo.value.details["attempts"] == 0  # no budget consumed
+        stats = router.stats()
+        assert stats["workers_unavailable"] == 1
+        assert stats["budget_exhausted"] == 0
+        assert stats["breakers"]["ghost"]["state"] == "closed"  # never blamed
+        router.stop()
+
+    @pytest.fixture()
+    def routed_stack(self, tmp_path):
+        """One worker front-end behind a router, admission armed."""
+        plan = FaultPlan([FaultRule("shard.solve", "sleep", at=1, sleep_seconds=1.5)])
+        server = TagDMServer(
+            tmp_path / "root",
+            enumeration=ENUMERATION,
+            seed=SEED,
+            admission=AdmissionPolicy(max_inflight_solves=1, retry_after_seconds=2.0),
+            fault_plan=plan,
+        )
+        dataset = make_dataset()
+        shard = server.add_corpus("movies", dataset)
+        front = TagDMHttpServer(server, fault_plan=plan).start()
+        placement = PlacementTable(workers=["w0"])
+        placement.pin("movies", "w0")
+        router = TagDMRouter(
+            placement, {"w0": front.url}, retry_deadline=10.0, retry_interval=0.02
+        ).start()
+        yield router, front, server, shard, dataset
+        router.stop()
+        front.stop()
+        server.close()
+
+    def test_router_relays_retry_after_and_429(self, routed_stack):
+        router, _front, _server, shard, _dataset = routed_stack
+        spec = make_spec(shard)
+        body = json.dumps(spec.to_dict()).encode("utf-8")
+
+        def background_solve():
+            pool_bg = HttpConnectionPool(router.url, request_timeout=30.0)
+            try:
+                pool_bg.request(
+                    "POST", "/corpora/movies/solve", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+            finally:
+                pool_bg.close()
+
+        solver = threading.Thread(target=background_solve)
+        solver.start()
+        time.sleep(0.3)
+        pool = HttpConnectionPool(router.url, request_timeout=30.0)
+        status, headers, data = pool.request(
+            "POST", "/corpora/movies/solve", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        solver.join(timeout=30.0)
+        assert status == 429  # the worker's shed relays bit-identically
+        assert headers.get("retry-after") == "2"  # header relayed through
+        assert isinstance(
+            api_error_from_payload(json.loads(data.decode("utf-8"))), OverloadedError
+        )
+        pool.close()
+
+    def test_router_forwards_the_idempotency_key(self, routed_stack):
+        router, _front, _server, shard, dataset = routed_stack
+        client = HttpClient(router.url, request_timeout=30.0)
+        before = client.stats("movies")["actions"]
+        first = client.insert(
+            "movies", [action_for(dataset, tag="routed")], idempotency_key="via-router"
+        )
+        again = client.insert(
+            "movies", [action_for(dataset, tag="routed")], idempotency_key="via-router"
+        )
+        assert first.actions_added == 1 and not first.deduplicated
+        assert again.deduplicated  # the key crossed the router both times
+        assert client.stats("movies")["actions"] == before + 1
+        assert shard.stats()["dedup_hits"] == 1
+        client.close()
+
+    def test_health_and_stats_surface_breakers(self, routed_stack):
+        router, _front, _server, _shard, _dataset = routed_stack
+        pool = HttpConnectionPool(router.url, request_timeout=30.0)
+        status, _headers, data = pool.request("GET", "/healthz")
+        payload = json.loads(data.decode("utf-8"))
+        assert status == 200
+        assert payload["workers"]["w0"]["reachable"]
+        assert payload["workers"]["w0"]["breaker"]["state"] == "closed"
+        assert router.stats()["breakers"]["w0"]["state"] == "closed"
+        assert router.stats()["heartbeat_probes"] >= 1
+        pool.close()
+
+    def test_heartbeat_probes_close_a_tripped_breaker(self, tmp_path):
+        server = TagDMServer(tmp_path / "root", enumeration=ENUMERATION, seed=SEED)
+        server.add_corpus("movies", make_dataset())
+        front = TagDMHttpServer(server).start()
+        placement = PlacementTable(workers=["w0"])
+        placement.pin("movies", "w0")
+        router = TagDMRouter(
+            placement,
+            {"w0": front.url},
+            breaker_reset_timeout=0.1,
+            heartbeat_interval=0.1,
+        ).start()
+        breaker = router.breaker_for("w0")
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and breaker.state != "closed":
+            time.sleep(0.05)
+        assert breaker.state == "closed"  # heartbeat probed it back in
+        assert router.stats()["heartbeat_probes"] >= 1
+        router.stop()
+        front.stop()
+        server.close()

@@ -107,6 +107,21 @@ class TestPerfReportQuick:
         assert http["stats_unpooled_ms"] > 0
         assert http["unpooled_solve_ms"] > 0
 
+    def test_reliability_section(self, quick_report):
+        """The kill drill must land every keyed insert exactly once and
+        the admission gate must shed without leaking into the store."""
+        _perf_report, report = quick_report
+        reliability = report["reliability"]
+        assert reliability["exactly_once"] is True
+        assert reliability["lost_inserts"] == 0
+        assert reliability["duplicated_inserts"] == 0
+        assert reliability["worker_restarts"] >= 1
+        assert reliability["deduplicated_replies"] >= 1
+        assert reliability["solve_p99_ms"] >= reliability["solve_p50_ms"]
+        admission = reliability["admission"]
+        assert admission["shed"] >= 1
+        assert admission["applied_equals_accepted"] is True
+
 
 def _import_perf_report():
     sys.path.insert(0, str(BENCHMARKS))
@@ -202,3 +217,24 @@ def test_committed_pr5_bench_report_is_valid():
     assert fleet["groups_returned"] > 0
     http = report["http"]
     assert http["stats_pooled_ms"] > 0 and http["stats_unpooled_ms"] > 0
+
+
+def test_committed_pr6_bench_report_is_valid():
+    """The committed BENCH_PR6.json must back the reliability claims:
+    the kill drill landed every keyed insert exactly once (zero lost,
+    zero duplicated, the ambiguous retry answered from the dedup log),
+    the supervisor respawned the killed worker, and the admission gate
+    shed load without a single shed batch leaking into the store."""
+    path = REPO_ROOT / "BENCH_PR6.json"
+    assert path.exists(), "BENCH_PR6.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    reliability = report["reliability"]
+    assert reliability["exactly_once"] is True
+    assert reliability["inserts"] >= 30
+    assert reliability["deduplicated_replies"] >= 1
+    assert reliability["worker_restarts"] >= 1
+    assert reliability["admission"]["shed"] >= 1
+    assert reliability["admission"]["applied_equals_accepted"] is True
