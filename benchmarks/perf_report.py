@@ -1,4 +1,4 @@
-"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5), reliability (PR 6).
+"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5), reliability (PR 6), HTAP (PR 7).
 
 Times the vectorized kernels against the retained naive seed
 implementations (:mod:`repro.geometry.reference`), measures the
@@ -13,24 +13,30 @@ workers on a multi-corpus workload, router forwarding overhead, and
 routed/direct/single-process parity), and runs the reliability drill
 (solve latency through a SIGKILL + respawn of the owning worker,
 exactly-once audit of keyed inserts across the kill, admission-control
-shed behaviour under a stalled writer), then writes a JSON report so
-future PRs have a perf trajectory to beat.
+shed behaviour under a stalled writer), and measures the HTAP
+delta+main split (solve latency percentiles under a sustained insert
+storm on the lock-free pinned-view path vs an inline reconstruction of
+the old RW-lock shard, insert throughput with a concurrent solve loop,
+and bit-identical parity of delta-visible/post-merge solves against a
+serialized replay), then writes a JSON report so future PRs have a
+perf trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR7.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 6; older reports lack the newer
+Report schema (``schema_version`` 7; older reports lack the newer
 sections -- v1 has no ``persistence``/``serving``/``http``/``fleet``/
-``reliability``, v2 no ``serving``/``http``/``fleet``/``reliability``,
-v3 no ``http``/``fleet``/``reliability``, v4 no ``fleet``/
-``reliability``, v5 no ``reliability`` -- and all still validate)::
+``reliability``/``htap``, v2 no ``serving``/``http``/``fleet``/
+``reliability``/``htap``, v3 no ``http``/``fleet``/``reliability``/
+``htap``, v4 no ``fleet``/``reliability``/``htap``, v5 no
+``reliability``/``htap``, v6 no ``htap`` -- and all still validate)::
 
     {
-      "schema_version": 6,
-      "pr": "PR6",
+      "schema_version": 7,
+      "pr": "PR7",
       "mode": "full" | "quick",
       "kernels": {
         "<kernel>": {"naive_seconds": float, "vectorized_seconds": float,
@@ -84,6 +90,21 @@ v3 no ``http``/``fleet``/``reliability``, v4 no ``fleet``/
         "admission": {"offered": int, "accepted": int, "shed": int,
                        "shed_rate": float,
                        "applied_equals_accepted": bool}
+      },
+      "htap": {
+        "tuples": int, "inserts": int, "insert_threads": int,
+        "baseline": {"solve_p50_ms": float, "solve_p99_ms": float,
+                      "solves_during_storm": int,
+                      "storm_wall_seconds": float,
+                      "inserts_per_second": float},
+        "delta_main": {"solve_p50_ms": float, "solve_p99_ms": float,
+                        "solves_during_storm": int,
+                        "storm_wall_seconds": float,
+                        "inserts_per_second": float,
+                        "merge_count": int, "final_epoch": int},
+        "solve_p99_speedup": float,
+        "delta_visible_parity": bool, "merged_parity": bool,
+        "parity": bool
       }
     }
 
@@ -104,6 +125,17 @@ zero duplicated -- with the ambiguous retry answered from the dedup
 log.  ``reliability.solve_p99_ms`` reads against ``solve_p50_ms``: the
 gap is the recovery window solves rode out while the supervisor
 respawned the worker.
+
+``htap.solve_p99_speedup`` is the PR 7 acceptance check: the same
+insert storm + solve loop is driven twice in the same run -- once
+against an inline reconstruction of the old RW-lock shard (solves under
+the shared side of a writer-preferring lock, so they stall behind the
+saturated insert stream) and once against the delta+main
+:class:`~repro.serving.shards.CorpusShard` (lock-free solves on a
+pinned view) -- and the delta+main solve p99 must improve on the
+baseline's.  ``htap.parity`` requires the shard's delta-visible and
+post-merge solves to be bit-identical to a serialized single-threaded
+replay of the same committed insert order.
 """
 
 from __future__ import annotations
@@ -136,7 +168,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -994,6 +1026,284 @@ def bench_reliability(quick: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# HTAP: delta+main vs the old RW-lock shard under an insert storm (PR 7)
+# ----------------------------------------------------------------------
+def bench_htap(quick: bool) -> Dict:
+    """Solve latency under a sustained insert storm, before vs after.
+
+    The *same run* drives the same workload -- N writer threads pushing
+    single-action inserts as fast as they are acknowledged, with a solve
+    loop measuring latency the whole time -- through two serving builds:
+
+    * **baseline**: an inline reconstruction of the pre-PR-7 shard --
+      one writer thread applying inserts under the exclusive side of a
+      *writer-preferring* RW lock, solves on the session under its
+      shared side.  While the insert stream stays saturated some writer
+      is always active or waiting, so solves stall (the reader-
+      starvation hazard this PR removes);
+    * **delta_main**: the real :class:`~repro.serving.shards.CorpusShard`
+      -- inserts through the writer queue, fold-per-batch merges, solves
+      lock-free on the pinned published view.
+
+    Parity pins correctness: the shard's post-storm solve (delta folded)
+    and a post-ack delta-visible solve must be bit-identical to a fresh
+    session serially replaying the same committed insert order.
+    """
+    import tempfile
+    import threading
+    import time as time_module
+    from contextlib import contextmanager
+    from pathlib import Path as PathType
+
+    from repro.core.enumeration import GroupEnumerationConfig
+    from repro.core.incremental import IncrementalTagDM
+    from repro.core.problem import table1_problem
+    from repro.dataset.synthetic import generate_movielens_style
+    from repro.serving import SnapshotRotationPolicy, TagDMServer
+
+    if quick:
+        n_actions, n_inserts = 600, 120
+    else:
+        n_actions, n_inserts = 1500, 600
+    n_writers = 2
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+    seed = 42
+
+    def fresh_dataset():
+        return generate_movielens_style(
+            n_users=60, n_items=120, n_actions=n_actions, seed=seed
+        )
+
+    base = fresh_dataset()
+    initial = base.n_actions
+    payloads = [
+        {
+            "user_id": base.user_of((i * 7) % initial),
+            "item_id": base.item_of((i * 11) % initial),
+            "tags": (f"htap-{i}", "storm"),
+            "rating": float(i % 5),
+        }
+        for i in range(n_inserts)
+    ]
+    chunks = [payloads[label::n_writers] for label in range(n_writers)]
+
+    class WriterPreferringRWLock:
+        """The pre-PR-7 lock: readers blocked while any writer waits."""
+
+        def __init__(self) -> None:
+            self._condition = threading.Condition()
+            self._readers = 0
+            self._writer_active = False
+            self._waiting_writers = 0
+
+        @contextmanager
+        def read_locked(self):
+            with self._condition:
+                while self._writer_active or self._waiting_writers:
+                    self._condition.wait()
+                self._readers += 1
+            try:
+                yield
+            finally:
+                with self._condition:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._condition.notify_all()
+
+        @contextmanager
+        def write_locked(self):
+            with self._condition:
+                self._waiting_writers += 1
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+                self._waiting_writers -= 1
+                self._writer_active = True
+            try:
+                yield
+            finally:
+                with self._condition:
+                    self._writer_active = False
+                    self._condition.notify_all()
+
+    def run_storm(apply_chunk, do_solve):
+        """Drive the storm; measure solve latency until it completes."""
+        storm_done = threading.Event()
+        latencies: List[float] = []
+        errors: List[BaseException] = []
+
+        def solver() -> None:
+            try:
+                while True:
+                    started = time_module.perf_counter()
+                    do_solve()
+                    latencies.append(time_module.perf_counter() - started)
+                    if storm_done.is_set():
+                        return
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer(chunk) -> None:
+            try:
+                apply_chunk(chunk)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        solve_thread = threading.Thread(target=solver)
+        write_threads = [
+            threading.Thread(target=writer, args=(chunk,)) for chunk in chunks
+        ]
+        solve_thread.start()
+        started = time_module.perf_counter()
+        for thread in write_threads:
+            thread.start()
+        for thread in write_threads:
+            thread.join()
+        wall = time_module.perf_counter() - started
+        storm_done.set()
+        solve_thread.join()
+        if errors:
+            raise RuntimeError(f"htap bench raised: {errors[0]!r}")
+        return latencies, wall
+
+    def percentiles(latencies: List[float]):
+        ordered = sorted(latencies)
+        def at(fraction: float) -> float:
+            return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+        return at(0.50) * 1e3, at(0.99) * 1e3
+
+    def result_key(result):
+        return (
+            result.objective_value,
+            [str(group.description) for group in result.groups],
+            [group.tuple_indices for group in result.groups],
+        )
+
+    def serialized_replay(served_dataset):
+        """A fresh session replaying the committed insert order serially."""
+        replay = IncrementalTagDM(
+            fresh_dataset(), enumeration=enumeration, seed=seed
+        ).prepare()
+        for row in range(initial, served_dataset.n_actions):
+            replay.add_action(
+                served_dataset.user_of(row),
+                served_dataset.item_of(row),
+                served_dataset.tags_of(row),
+                served_dataset.rating_of(row),
+            )
+        return replay
+
+    # -- baseline: the old RW-lock shard, reconstructed inline ----------
+    baseline_session = IncrementalTagDM(
+        fresh_dataset(), enumeration=enumeration, seed=seed
+    ).prepare()
+    problem = table1_problem(1, k=3, min_support=baseline_session.default_support())
+    baseline_lock = WriterPreferringRWLock()
+
+    def baseline_apply(chunk) -> None:
+        for action in chunk:
+            with baseline_lock.write_locked():
+                baseline_session.add_actions([action])
+
+    def baseline_solve() -> None:
+        with baseline_lock.read_locked():
+            baseline_session.solve(problem, algorithm="sm-lsh-fo")
+
+    baseline_solve()  # warm the caches outside the measured window
+    baseline_latencies, baseline_wall = run_storm(baseline_apply, baseline_solve)
+    with baseline_lock.read_locked():
+        baseline_final = baseline_session.solve(problem, algorithm="sm-lsh-fo")
+    baseline_parity = result_key(baseline_final) == result_key(
+        serialized_replay(baseline_session.dataset).solve(
+            problem, algorithm="sm-lsh-fo"
+        )
+    )
+    baseline_p50, baseline_p99 = percentiles(baseline_latencies)
+
+    # -- delta+main: the real shard, same workload ----------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        server = TagDMServer(
+            PathType(tmp),
+            policy=SnapshotRotationPolicy(every_inserts=max(50, n_inserts // 4)),
+            enumeration=enumeration,
+            seed=seed,
+        )
+        shard = server.add_corpus("htap", fresh_dataset())
+
+        def htap_apply(chunk) -> None:
+            for action in chunk:
+                shard.insert(**action)
+
+        def htap_solve() -> None:
+            shard.solve(problem, algorithm="sm-lsh-fo")
+
+        htap_solve()  # warm the published view outside the measured window
+        htap_latencies, htap_wall = run_storm(htap_apply, htap_solve)
+        shard.flush()
+        stats = shard.stats()
+
+        # Post-merge parity: the folded shard vs a serialized replay of
+        # its committed insert order.
+        merged_result = shard.solve(problem, algorithm="sm-lsh-fo")
+        replay = serialized_replay(shard.session.dataset)
+        merged_parity = result_key(merged_result) == result_key(
+            replay.solve(problem, algorithm="sm-lsh-fo")
+        )
+
+        # Delta-visible parity: under the fold-per-batch default an
+        # acknowledged insert is visible to the very next solve; that
+        # solve must match the replay extended by the same batch.
+        extra = [
+            {
+                "user_id": base.user_of(i),
+                "item_id": base.item_of(i),
+                "tags": (f"htap-delta-{i}",),
+                "rating": None,
+            }
+            for i in range(3)
+        ]
+        shard.insert_batch(extra)
+        delta_result = shard.solve(problem, algorithm="sm-lsh-fo")
+        replay.add_actions(extra)
+        delta_parity = result_key(delta_result) == result_key(
+            replay.solve(problem, algorithm="sm-lsh-fo")
+        )
+        server.close()
+    htap_p50, htap_p99 = percentiles(htap_latencies)
+
+    return {
+        "tuples": initial,
+        "inserts": n_inserts,
+        "insert_threads": n_writers,
+        "baseline": {
+            "solve_p50_ms": baseline_p50,
+            "solve_p99_ms": baseline_p99,
+            "solves_during_storm": len(baseline_latencies),
+            "storm_wall_seconds": baseline_wall,
+            "inserts_per_second": (
+                n_inserts / baseline_wall if baseline_wall > 0 else float("inf")
+            ),
+        },
+        "delta_main": {
+            "solve_p50_ms": htap_p50,
+            "solve_p99_ms": htap_p99,
+            "solves_during_storm": len(htap_latencies),
+            "storm_wall_seconds": htap_wall,
+            "inserts_per_second": (
+                n_inserts / htap_wall if htap_wall > 0 else float("inf")
+            ),
+            "merge_count": int(stats["merge_count"]),
+            "final_epoch": int(stats["epoch"]),
+        },
+        "solve_p99_speedup": (
+            baseline_p99 / htap_p99 if htap_p99 > 0 else float("inf")
+        ),
+        "delta_visible_parity": bool(delta_parity),
+        "merged_parity": bool(merged_parity),
+        "parity": bool(baseline_parity and merged_parity and delta_parity),
+    }
+
+
+# ----------------------------------------------------------------------
 # End-to-end scaling sweep (Figure 7 bins)
 # ----------------------------------------------------------------------
 def bench_scaling(quick: bool) -> List[Dict]:
@@ -1067,7 +1377,7 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR6",
+        "pr": "PR7",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
@@ -1076,6 +1386,7 @@ def generate_report(quick: bool) -> Dict:
         "http": bench_http(quick),
         "fleet": bench_fleet(quick),
         "reliability": bench_reliability(quick),
+        "htap": bench_htap(quick),
     }
 
 
@@ -1083,11 +1394,11 @@ def validate_report(report: Dict) -> None:
     """Assert the report matches the documented schema (used by tests).
 
     Accepts every committed generation: v1 (kernels + scaling only;
-    ``BENCH_PR1.json``) through v5 (no ``reliability``;
-    ``BENCH_PR5.json``) and current v6 reports -- each version adds one
-    section and all older reports still validate.
+    ``BENCH_PR1.json``) through v6 (no ``htap``; ``BENCH_PR6.json``) and
+    current v7 reports -- each version adds one section and all older
+    reports still validate.
     """
-    assert report["schema_version"] in (1, 2, 3, 4, 5, SCHEMA_VERSION)
+    assert report["schema_version"] in (1, 2, 3, 4, 5, 6, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -1220,6 +1531,48 @@ def validate_report(report: Dict) -> None:
             "shed batches leaked into the store (or accepted batches were lost)"
         )
         assert admission["accepted"] + admission["shed"] == admission["offered"]
+    if report["schema_version"] >= 7:
+        htap = report["htap"]
+        for field in (
+            "tuples",
+            "inserts",
+            "insert_threads",
+            "baseline",
+            "delta_main",
+            "solve_p99_speedup",
+            "delta_visible_parity",
+            "merged_parity",
+            "parity",
+        ):
+            assert field in htap, f"htap missing {field}"
+        for side in ("baseline", "delta_main"):
+            for field in (
+                "solve_p50_ms",
+                "solve_p99_ms",
+                "solves_during_storm",
+                "storm_wall_seconds",
+                "inserts_per_second",
+            ):
+                assert field in htap[side], f"htap.{side} missing {field}"
+            assert htap[side]["solve_p50_ms"] > 0
+            assert htap[side]["inserts_per_second"] > 0
+            assert htap[side]["solves_during_storm"] >= 1
+        assert htap["delta_main"]["merge_count"] >= 1, "the shard never folded"
+        assert (
+            htap["delta_main"]["final_epoch"]
+            == htap["delta_main"]["merge_count"] + 1
+        )
+        assert htap["parity"] is True, "HTAP solves lost parity with serialized replay"
+        assert htap["delta_visible_parity"] is True
+        assert htap["merged_parity"] is True
+        assert htap["solve_p99_speedup"] > 0
+        if report["mode"] == "full":
+            # The PR 7 acceptance check: under the same insert storm the
+            # lock-free pinned-view solves must beat the RW-lock
+            # baseline's p99 (quick mode is too short to assert timing).
+            assert htap["solve_p99_speedup"] > 1.0, (
+                "delta+main solve p99 did not improve on the RW-lock baseline"
+            )
 
 
 def main(argv=None) -> int:
@@ -1230,8 +1583,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR6.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR6.json)",
+        default=REPO_ROOT / "BENCH_PR7.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR7.json)",
     )
     args = parser.parse_args(argv)
 
@@ -1306,6 +1659,18 @@ def main(argv=None) -> int:
         f"admission shed {admission['shed']}/{admission['offered']} "
         f"({admission['shed_rate']:.0%}), "
         f"applied==accepted={admission['applied_equals_accepted']}"
+    )
+    htap = report["htap"]
+    print(
+        f"htap: {htap['inserts']} inserts from {htap['insert_threads']} writers; "
+        f"solve p50/p99 under the storm "
+        f"{htap['baseline']['solve_p50_ms']:.1f}/{htap['baseline']['solve_p99_ms']:.1f} ms "
+        f"(rw-lock baseline, {htap['baseline']['solves_during_storm']} solves) vs "
+        f"{htap['delta_main']['solve_p50_ms']:.1f}/{htap['delta_main']['solve_p99_ms']:.1f} ms "
+        f"(delta+main, {htap['delta_main']['solves_during_storm']} solves) -> "
+        f"p99 {htap['solve_p99_speedup']:.1f}x; "
+        f"{htap['delta_main']['inserts_per_second']:.0f} ins/s with concurrent solves, "
+        f"{htap['delta_main']['merge_count']} merges; parity={htap['parity']}"
     )
     print(f"wrote {args.output}")
     return 0

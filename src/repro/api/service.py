@@ -246,9 +246,12 @@ def result_from_ndjson(lines: Iterable[Union[str, bytes]]) -> Dict[str, object]:
 def health(server) -> Dict[str, object]:
     """Aggregate liveness payload (the ``/healthz`` body).
 
-    Sums the per-shard serving counters and surfaces the snapshot and
-    warm/cold start bookkeeping, so one probe answers "is it up, what is
-    it serving, and did it warm-start the way we expect".
+    Sums the per-shard serving counters and surfaces the snapshot,
+    warm/cold start and delta+main merge bookkeeping, so one probe
+    answers "is it up, what is it serving, did it warm-start the way we
+    expect, and is the merge path keeping up".  Every per-shard value is
+    taken from one consistent :meth:`~repro.serving.shards.CorpusShard.stats`
+    snapshot, so a probe racing a merge never reports torn values.
     """
     per_corpus = server.stats()
     start_modes = [str(stats.get("start_mode", "cold")) for stats in per_corpus.values()]
@@ -263,4 +266,17 @@ def health(server) -> Dict[str, object]:
         "warm_starts": sum(1 for mode in start_modes if mode.startswith("warm")),
         "cold_starts": sum(1 for mode in start_modes if mode == "cold"),
         "tail_replays": sum(1 for mode in start_modes if mode == "warm-replay"),
+        "delta_size": sum(int(s.get("delta_size", 0)) for s in per_corpus.values()),
+        "merge_count": sum(int(s.get("merge_count", 0)) for s in per_corpus.values()),
+        "merge_failures": sum(
+            int(s.get("merge_failures", 0)) for s in per_corpus.values()
+        ),
+        "max_merge_lag_s": max(
+            (float(s.get("merge_lag_s", 0.0)) for s in per_corpus.values()),
+            default=0.0,
+        ),
+        "pinned_solves": sum(int(s.get("pinned_solves", 0)) for s in per_corpus.values()),
+        "pinned_epochs": sum(
+            len(s.get("pinned_epochs", {}) or {}) for s in per_corpus.values()
+        ),
     }

@@ -32,8 +32,9 @@ session for a warm restart at any point.
 
 from __future__ import annotations
 
+import threading
 from itertools import combinations
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.enumeration import GroupEnumerationConfig
 from repro.core.framework import TagDM
@@ -42,7 +43,135 @@ from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 from repro.dataset.store import ITEM_PREFIX, USER_PREFIX, TaggingDataset
 
-__all__ = ["IncrementalTagDM", "IncrementalUpdateReport"]
+__all__ = ["IncrementalTagDM", "IncrementalUpdateReport", "SessionView"]
+
+
+class SessionView:
+    """An immutable solve-only view of a session, frozen at one epoch.
+
+    The delta+main serving split needs solves that never touch the write
+    path: a view captures the session's group list (a shallow copy is
+    enough -- incremental maintenance *replaces* list entries, it never
+    mutates a published :class:`~repro.core.groups.TaggingActionGroup`)
+    plus the solve configuration (function suite, seed, signature
+    dimensionality), and lazily materialises its own signature matrix,
+    pairwise-matrix cache and LSH indexes.  Because
+    :meth:`TagDM.invalidate_caches` swaps cache *pointers* rather than
+    mutating cache objects, a view may also inherit the live session's
+    caches at freeze time: later inserts replace the session's pointers
+    and leave the view's inherited objects intact.
+
+    Freezing is therefore O(n_groups) pointer copying -- cheap enough to
+    run after every merged writer batch -- while the expensive derived
+    structures are built at most once per view, on first solve.
+
+    Views are safe for concurrent solves: the lazy builds are serialised
+    by a view-local lock, and the built structures are only ever read
+    afterwards (the pairwise cache tolerates concurrent fills exactly as
+    it did under the old shared read lock).
+    """
+
+    def __init__(self, session: TagDM, epoch: int = 0) -> None:
+        if not session.is_prepared:
+            raise ValueError("cannot freeze an unprepared session")
+        #: Monotonic publication number assigned by the owner (the shard's
+        #: merge path); views themselves never change it.
+        self.epoch = int(epoch)
+        #: How many dataset actions the frozen group state reflects -- the
+        #: shard's ``delta_size`` is the live dataset size minus this.
+        self.n_actions = session.dataset.n_actions
+        self.groups: List[TaggingActionGroup] = list(session.groups)
+        self.functions = session.functions
+        self.seed = session.seed
+        self._build_lock = threading.Lock()
+        # Inherit whatever derived state the session has already paid for;
+        # anything still None is built lazily against the frozen groups.
+        self._signatures = session._signatures
+        self._matrix_cache = session._matrix_cache
+        self._lsh_cache: Dict[int, object] = dict(session._lsh_cache)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups in the frozen view."""
+        return len(self.groups)
+
+    @property
+    def signatures(self):
+        """The frozen ``(n_groups, d)`` signature matrix (built lazily)."""
+        with self._build_lock:
+            if self._signatures is None:
+                from repro.core.signatures import signature_matrix  # lazy import
+
+                self._signatures = signature_matrix(self.groups)
+            return self._signatures
+
+    def matrix_cache(self):
+        """The view's pairwise-matrix cache (built lazily, then shared)."""
+        with self._build_lock:
+            if self._matrix_cache is None:
+                from repro.algorithms.scoring import PairwiseMatrixCache  # lazy import
+
+                self._matrix_cache = PairwiseMatrixCache(self.groups, self.functions)
+            return self._matrix_cache
+
+    def signature_lsh(self, n_bits: int = 10, n_tables: int = 1):
+        """A cosine-LSH index over the frozen signatures (cached per view).
+
+        Mirrors :meth:`TagDM.signature_lsh`: one index per table count at
+        the widest bit width requested so far, narrower widths derived by
+        prefix truncation.
+        """
+        signatures = self.signatures
+        with self._build_lock:
+            cached = self._lsh_cache.get(n_tables)
+            if cached is None or cached.n_bits < n_bits:
+                from repro.index.lsh import CosineLshIndex  # lazy import
+
+                cached = CosineLshIndex(
+                    n_dimensions=signatures.shape[1],
+                    n_bits=n_bits,
+                    n_tables=n_tables,
+                    seed=self.seed,
+                ).build(signatures)
+                self._lsh_cache[n_tables] = cached
+        if cached.n_bits == n_bits:
+            return cached
+        return cached.rebuild_with_bits(n_bits)
+
+    def _signature_lsh_provider(self, n_bits: int, n_tables: int, seed: int):
+        if seed != self.seed:
+            return None
+        return self.signature_lsh(n_bits=n_bits, n_tables=n_tables)
+
+    def solve(
+        self,
+        problem: TagDMProblem,
+        algorithm: Union[str, object] = "auto",
+        **algorithm_options,
+    ) -> MiningResult:
+        """Solve ``problem`` over the frozen groups.
+
+        Bit-identical to :meth:`TagDM.solve` on a session in the same
+        state: the same solver construction (seeded with the session
+        seed), the same group list, function suite, pairwise cache and
+        LSH provider plumbing.
+        """
+        from repro.algorithms import build_algorithm  # lazy: avoids a cycle
+
+        if isinstance(algorithm, str):
+            name = algorithm.lower()
+            if name == "auto":
+                name = "dv-fdp-fo" if problem.maximises_tag_diversity else "sm-lsh-fo"
+            solver = build_algorithm(name, seed=self.seed, **algorithm_options)
+        else:
+            solver = algorithm
+        return solver.solve(
+            problem,
+            self.groups,
+            self.functions,
+            cache=self.matrix_cache(),
+            lsh_provider=self._signature_lsh_provider,
+        )
 
 
 class IncrementalUpdateReport:
@@ -250,6 +379,18 @@ class IncrementalTagDM:
     def solve(self, problem: TagDMProblem, algorithm="auto", **options) -> MiningResult:
         """Solve a problem over the maintained groups."""
         return self.session.solve(problem, algorithm=algorithm, **options)
+
+    def freeze(self, epoch: int = 0) -> SessionView:
+        """Freeze the current session state into an immutable solve view.
+
+        The caller must ensure no insert is concurrently mutating the
+        session (the serving shard freezes from its merge path, which is
+        excluded from the writer by the merge lock).  The returned
+        :class:`SessionView` stays valid forever: later inserts replace
+        group-list entries and cache pointers on the live session without
+        touching the objects the view captured.
+        """
+        return SessionView(self.session, epoch=epoch)
 
     # ------------------------------------------------------------------
     # Description generation (mirrors repro.core.enumeration modes)

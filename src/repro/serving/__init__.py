@@ -5,11 +5,15 @@ stores + warm-start session snapshots) into processes that sit under
 mixed insert/query traffic, in three layers:
 
 * **In-process registry** -- :class:`TagDMServer`, a registry of
-  per-corpus :class:`CorpusShard` instances: one warm session, one
-  single-writer insert queue and one writer-preferring
-  :class:`ReadWriteLock` per corpus, with
-  :class:`SnapshotRotationPolicy`/:class:`SnapshotRotator` keeping
-  warm-start snapshots fresh and bounded.  See ``SERVING.md``.
+  per-corpus :class:`CorpusShard` instances, each served HTAP-style as
+  **delta + main**: one single-writer insert queue feeding the session
+  (the delta), lock-free solves against a pinned immutable
+  :class:`~repro.core.incremental.SessionView` (the main), and a merge
+  path -- governed by :class:`MergePolicy` -- that folds delta into a
+  freshly published view and rotates snapshots per
+  :class:`SnapshotRotationPolicy`/:class:`SnapshotRotator`.  The fair
+  :class:`ReadWriteLock` coordinates only the merge path (writer apply
+  vs fold/snapshot).  See ``SERVING.md``.
 * **Network front-end** -- :class:`TagDMHttpServer`, an HTTP server
   speaking the wire-native API of :mod:`repro.api` (problem specs in,
   serialised -- optionally paginated or NDJSON-streamed -- results out,
@@ -32,7 +36,8 @@ fault surfaces where, with which status code -- is in
 ``DEPLOYMENT.md``.
 """
 
-from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+from repro.core.incremental import SessionView
+from repro.serving.policy import MergePolicy, SnapshotRotationPolicy, SnapshotRotator
 from repro.serving.reliability import (
     AdmissionPolicy,
     CircuitBreaker,
@@ -56,6 +61,8 @@ __all__ = [
     "FleetWorker",
     "CorpusShard",
     "ReadWriteLock",
+    "SessionView",
+    "MergePolicy",
     "SnapshotRotationPolicy",
     "SnapshotRotator",
     "AdmissionPolicy",

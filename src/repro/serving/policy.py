@@ -27,7 +27,58 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Union
 
-__all__ = ["SnapshotRotationPolicy", "SnapshotRotator"]
+__all__ = ["MergePolicy", "SnapshotRotationPolicy", "SnapshotRotator"]
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """When a delta+main shard folds its delta into a fresh main view.
+
+    The shard lands inserts in the session (the delta) immediately, but
+    solves only ever see the last *published* frozen view (the main).
+    This policy decides how far the main may trail the delta:
+
+    Parameters
+    ----------
+    every_inserts:
+        Fold after a writer batch once this many actions have
+        accumulated in the delta.  The fold runs *before* the batch's
+        futures resolve, so with the default of ``1`` an acknowledged
+        insert is visible to the very next solve -- the pre-HTAP
+        read-your-writes contract.  Larger values amortise the fold
+        (and its O(n_groups) freeze) over more inserts at the cost of
+        acknowledged-but-not-yet-visible windows.  ``None`` disables
+        the insert trigger entirely: folds happen only on the time
+        trigger, :meth:`~repro.serving.shards.CorpusShard.merge_now`,
+        :meth:`~repro.serving.shards.CorpusShard.flush` or close.
+    every_seconds:
+        Background fold once the oldest unmerged insert is this old
+        (``None`` disables the time trigger).
+    """
+
+    every_inserts: Optional[int] = 1
+    every_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.every_inserts is not None and self.every_inserts < 1:
+            raise ValueError("every_inserts must be >= 1 (or None)")
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise ValueError("every_seconds must be > 0 (or None)")
+
+    def due_on_write(self, delta_size: int) -> bool:
+        """Whether a writer batch should fold before acknowledging."""
+        if delta_size <= 0:
+            return False
+        return self.every_inserts is not None and delta_size >= self.every_inserts
+
+    def due_on_timer(self, delta_size: int, delta_age_seconds: float) -> bool:
+        """Whether the background merge thread should fold now."""
+        if delta_size <= 0:
+            return False
+        return (
+            self.every_seconds is not None
+            and delta_age_seconds >= self.every_seconds
+        )
 
 
 @dataclass(frozen=True)

@@ -43,7 +43,7 @@ from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 from repro.dataset.sqlite_store import SqliteTaggingStore
 from repro.dataset.store import TaggingDataset
-from repro.serving.policy import SnapshotRotationPolicy, SnapshotRotator
+from repro.serving.policy import MergePolicy, SnapshotRotationPolicy, SnapshotRotator
 from repro.serving.reliability import AdmissionPolicy, FaultPlan
 from repro.serving.shards import CorpusShard
 
@@ -62,9 +62,10 @@ class TagDMServer:
     warm-start / drain; request routing (:meth:`insert`,
     :meth:`insert_batch`, :meth:`solve`, :meth:`stats`) is lock-free at
     the registry and inherits the per-shard semantics -- solves run
-    concurrently under the shard's shared read lock, inserts block
-    until the shard's writer thread has applied (and durably mirrored)
-    the batch.
+    concurrently against the shard's pinned main view without taking
+    any lock, inserts block until the shard's writer thread has applied
+    (and durably mirrored) the batch and, under the default merge
+    policy, folded it into a freshly published view.
 
     Parameters
     ----------
@@ -81,6 +82,11 @@ class TagDMServer:
         Optional :class:`~repro.serving.reliability.AdmissionPolicy`
         applied to every shard (queue-depth / in-flight-solve load
         shedding with typed 429s).
+    merge_policy:
+        :class:`~repro.serving.policy.MergePolicy` applied to every
+        shard, governing how far a published main view may trail the
+        insert delta.  The default folds after every writer batch
+        before the batch acknowledges (read-your-writes).
     fault_plan:
         Optional :class:`~repro.serving.reliability.FaultPlan` threaded
         into every shard and rotator (chaos-testing hooks; inert in
@@ -96,6 +102,7 @@ class TagDMServer:
         signature_dimensions: int = 25,
         seed: int = 0,
         admission: Optional[AdmissionPolicy] = None,
+        merge_policy: Optional[MergePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.root = Path(root)
@@ -106,6 +113,7 @@ class TagDMServer:
         self.signature_dimensions = signature_dimensions
         self.seed = seed
         self.admission = admission
+        self.merge_policy = merge_policy
         self.fault_plan = fault_plan
         self._shards: Dict[str, CorpusShard] = {}
         self._stores: Dict[str, SqliteTaggingStore] = {}
@@ -174,6 +182,7 @@ class TagDMServer:
                     session,
                     rotator=rotator,
                     admission=self.admission,
+                    merge_policy=self.merge_policy,
                     fault_plan=self.fault_plan,
                 )
             except BaseException:
@@ -221,6 +230,7 @@ class TagDMServer:
                     start_mode=start_mode,
                     replayed_actions=replayed,
                     admission=self.admission,
+                    merge_policy=self.merge_policy,
                     fault_plan=self.fault_plan,
                 )
             except BaseException:
@@ -289,7 +299,7 @@ class TagDMServer:
             )
             warm = session_from_snapshot(payload, prefix, source=str(snapshot))
             session = IncrementalTagDM.from_session(warm, store=None).prepare()
-            self._replay_tail(session, dataset, prefix.n_actions)
+            self._replay_tail(session, dataset, store, prefix.n_actions)
             session.store = store
             return session, "warm-replay", lag
         except Exception:
@@ -297,25 +307,31 @@ class TagDMServer:
 
     @staticmethod
     def _replay_tail(
-        session: IncrementalTagDM, dataset: TaggingDataset, start_row: int
+        session: IncrementalTagDM,
+        dataset: TaggingDataset,
+        store: SqliteTaggingStore,
+        start_row: int,
     ) -> None:
-        """Replay ``dataset`` rows ``start_row..`` into the warm session.
+        """Replay the store's action tail into the warm session.
 
-        Attributes ride along on a user/item's first appearance in the
-        tail (the session's prefix dataset has never seen them); they are
-        read from the full dataset's registries, which the store already
-        persisted.
+        The tail rows come straight from the store's SQL pushdown
+        (:meth:`~repro.dataset.sqlite_store.SqliteTaggingStore.tail_actions`,
+        tag grouping inside SQLite) instead of re-walking the
+        materialised dataset in Python.  Attributes ride along on a
+        user/item's first appearance in the tail (the session's prefix
+        dataset has never seen them); they are read from the full
+        dataset's registries, which the store already persisted.
         """
         actions = []
-        for row in range(start_row, dataset.n_actions):
-            user_id = dataset.user_of(row)
-            item_id = dataset.item_of(row)
+        for row in store.tail_actions(start_row):
+            user_id = str(row["user_id"])
+            item_id = str(row["item_id"])
             actions.append(
                 {
                     "user_id": user_id,
                     "item_id": item_id,
-                    "tags": dataset.tags_of(row),
-                    "rating": dataset.rating_of(row),
+                    "tags": row["tags"],
+                    "rating": row["rating"],
                     "user_attributes": dataset.user_attributes(user_id),
                     "item_attributes": dataset.item_attributes(item_id),
                 }

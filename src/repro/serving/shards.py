@@ -3,59 +3,87 @@
 A :class:`CorpusShard` owns exactly one warm
 :class:`~repro.core.incremental.IncrementalTagDM` session (optionally
 mirrored into a :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`)
-and serves it under single-writer/multi-reader semantics:
+and serves it with an HTAP-style **delta + main** split:
 
 * **inserts** go through a thread-safe request queue drained by one
   dedicated writer thread per shard.  The writer coalesces whatever is
-  queued into one write-lock hold, applies each request with the batch
-  insert API (one cache invalidation per request, not per action), and
-  then consults the shard's snapshot-rotation policy;
-* **solves** run on the calling threads under a shared read lock, so any
-  number of clients query concurrently; they are excluded only while a
-  write (or a snapshot) is in flight, which is what makes a solve always
-  observe a fully applied batch -- never a half-inserted one or a stale
-  cache.
+  queued into one exclusive hold of the merge lock, applies each request
+  with the batch insert API (one cache invalidation per request, not per
+  action) -- this is the *delta*: immediately visible to subsequent
+  updates, durable in the store, but not yet served to solves;
+* a **fold** freezes the session into an immutable
+  :class:`~repro.core.incremental.SessionView` (the *main*) and
+  publishes it under a new epoch.  The shard's
+  :class:`~repro.serving.policy.MergePolicy` decides when: by default
+  after every writer batch (before the batch's futures resolve, so an
+  acknowledged insert is visible to the very next solve), optionally on
+  a time trigger served by a background merge thread;
+* **solves** run on the calling threads against a *pinned* published
+  view (epoch + refcount) and take **no lock at all**: a solve can never
+  stall behind the writer, and a long solve can never stall the ingest
+  path -- it just keeps its pinned epoch alive while newer views are
+  published around it.
 
-The read-write lock prefers writers: a queued insert blocks new readers,
-so a steady query stream cannot starve the ingest path.
+The :class:`ReadWriteLock` survives only on the merge path: the writer
+applies batches under its exclusive side and folds/snapshots read the
+session under its shared side.  It is *fair* (arrival-ordered), so a
+fold can never be starved by a saturated insert queue -- the hazard the
+old writer-preferring lock had.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.api.errors import OverloadedError
-from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
+from repro.core.incremental import (
+    IncrementalTagDM,
+    IncrementalUpdateReport,
+    SessionView,
+)
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
-from repro.serving.policy import SnapshotRotator
+from repro.serving.policy import MergePolicy, SnapshotRotator
 from repro.serving.reliability import AdmissionPolicy, FaultPlan
 
 __all__ = ["CorpusShard", "ReadWriteLock"]
 
 
 class ReadWriteLock:
-    """A writer-preferring readers/writer lock.
+    """A fair (arrival-ordered) readers/writer lock.
 
     Many readers may hold the lock at once; a writer holds it alone.
-    Readers arriving while a writer waits queue up behind it, so the
-    single writer thread of a shard is never starved by solves.
+    Waiters are admitted in arrival order: a reader arriving after a
+    waiting writer lets that writer go first, but writers that keep
+    arriving queue up *behind* an already-waiting reader, so its wait is
+    bounded by the writers ahead of it at arrival time.  (The
+    writer-preferring variant this replaces blocked readers while *any*
+    writer was waiting, which starved readers indefinitely whenever the
+    writer stream stayed saturated.)
     """
 
     def __init__(self) -> None:
         self._condition = threading.Condition()
+        self._next_ticket = 0
         self._readers = 0
         self._writer_active = False
-        self._writers_waiting = 0
+        # Tickets of waiting writers; appended in arrival order, so the
+        # list is always sorted and index 0 is the oldest waiter.
+        self._waiting_writers: List[int] = []
 
     @contextmanager
     def read_locked(self):
         with self._condition:
-            while self._writer_active or self._writers_waiting:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            while self._writer_active or (
+                self._waiting_writers and self._waiting_writers[0] < ticket
+            ):
                 self._condition.wait()
             self._readers += 1
         try:
@@ -69,12 +97,18 @@ class ReadWriteLock:
     @contextmanager
     def write_locked(self):
         with self._condition:
-            self._writers_waiting += 1
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._waiting_writers.append(ticket)
             try:
-                while self._writer_active or self._readers:
+                while (
+                    self._writer_active
+                    or self._readers
+                    or self._waiting_writers[0] != ticket
+                ):
                     self._condition.wait()
             finally:
-                self._writers_waiting -= 1
+                self._waiting_writers.remove(ticket)
             self._writer_active = True
         try:
             yield
@@ -103,7 +137,7 @@ _SHUTDOWN = object()
 
 
 class CorpusShard:
-    """A warm session for one corpus, served by a single writer thread.
+    """A warm session for one corpus, served delta+main.
 
     Parameters
     ----------
@@ -114,7 +148,7 @@ class CorpusShard:
         A prepared :class:`IncrementalTagDM`.  If it carries a ``store``,
         every insert is mirrored durably in the same call.
     rotator:
-        Optional :class:`SnapshotRotator`; when given, the writer thread
+        Optional :class:`SnapshotRotator`; when given, the shard
         snapshots the session per the rotator's policy and after a clean
         :meth:`close`.
     queue_capacity:
@@ -133,11 +167,18 @@ class CorpusShard:
         (:class:`~repro.api.errors.OverloadedError`) once the writer
         queue reaches ``max_queue_depth``, and solves once
         ``max_inflight_solves`` are already running.
+    merge_policy:
+        :class:`~repro.serving.policy.MergePolicy` governing how far the
+        published main view may trail the delta.  The default folds
+        after every writer batch before its futures resolve
+        (read-your-writes, matching the pre-HTAP contract).
     fault_plan:
         Optional :class:`~repro.serving.reliability.FaultPlan` for the
         chaos harness; exposes the ``shard.apply`` (writer thread, just
-        before a batch is applied) and ``shard.solve`` (solver thread,
-        under the read lock) injection points.
+        before a batch is applied), ``shard.solve`` (solver thread, on
+        the pinned view, no lock held), ``merge.pre_fold`` (before a
+        fold freezes the session) and ``merge.post_fold`` (after the new
+        view is published, before waiters resume) injection points.
     """
 
     def __init__(
@@ -149,6 +190,7 @@ class CorpusShard:
         start_mode: str = "cold",
         replayed_actions: int = 0,
         admission: Optional[AdmissionPolicy] = None,
+        merge_policy: Optional[MergePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not session.session.is_prepared:
@@ -161,17 +203,27 @@ class CorpusShard:
         self.session = session
         self.rotator = rotator
         self.admission = admission
+        self.merge_policy = merge_policy or MergePolicy()
         self.fault_plan = fault_plan
         self.start_mode = start_mode
         self.replayed_actions = int(replayed_actions)
+        # Merge-path coordination only: the writer applies batches under
+        # the exclusive side; folds and snapshots read the session under
+        # the shared side.  Solves never touch this lock.
         self._lock = ReadWriteLock()
+        # Serialises fold/rotate maintenance between the writer thread
+        # and the background merge thread.
+        self._maintenance_lock = threading.RLock()
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
         self._closed = threading.Event()
         # Makes the closed-check + enqueue in submit_insert atomic with
         # respect to close(), so no request can slip into a queue the
         # writer has already left.
         self._submit_lock = threading.Lock()
-        # Guards the serving counters (incremented by concurrent solvers).
+        # Guards every mutable serving counter, the delta-age clock,
+        # the published view and its pins; stats() snapshots them all
+        # under one hold so /healthz never reports torn values mid-merge
+        # (e.g. a bumped merge_count with the previous epoch).
         self._stats_lock = threading.Lock()
         self._inserts_served = 0
         self._solves_served = 0
@@ -179,7 +231,16 @@ class CorpusShard:
         self._inserts_shed = 0
         self._solves_shed = 0
         self._dedup_hits = 0
+        self._merge_count = 0
+        self._merge_failures = 0
+        self._first_delta_at: Optional[float] = None
         self._last_rotation_error: Optional[str] = None
+        self._last_merge_error: Optional[str] = None
+        # The published main view and its pins (epoch -> active solves),
+        # guarded by _stats_lock like every other mutable serving field.
+        self._view: SessionView = session.freeze(epoch=1)
+        self._next_epoch = 2
+        self._pins: Dict[int, int] = {}
         if rotator is not None:
             session.add_mutation_listener(
                 lambda report: rotator.record_inserts(report.actions_added)
@@ -188,6 +249,12 @@ class CorpusShard:
             target=self._writer_loop, name=f"tagdm-shard-{name}", daemon=True
         )
         self._writer.start()
+        self._merge_stop = threading.Event()
+        self._merge_wakeup = threading.Event()
+        self._merger = threading.Thread(
+            target=self._merge_loop, name=f"tagdm-merge-{name}", daemon=True
+        )
+        self._merger.start()
 
     # ------------------------------------------------------------------
     # Client API
@@ -201,7 +268,9 @@ class CorpusShard:
 
         The future resolves once the writer thread has applied the whole
         batch (and mirrored it into the store, when one is attached); it
-        carries the batch's exception if any action was rejected.
+        carries the batch's exception if any action was rejected.  Under
+        the default merge policy the fold runs before the future
+        resolves, so an acknowledged batch is visible to the next solve.
 
         ``request_id`` is the batch's idempotency key: a batch whose key
         the durable store has already recorded resolves to the original
@@ -263,13 +332,15 @@ class CorpusShard:
     def solve(
         self, problem: TagDMProblem, algorithm="auto", **options
     ) -> MiningResult:
-        """Solve ``problem`` over the warm session (shared read lock).
+        """Solve ``problem`` against the pinned main view (no lock).
 
         Runs on the calling thread; concurrent solves proceed in
-        parallel, and the write lock guarantees the solve sees a fully
-        applied state with fresh caches.  With an admission policy, a
-        solve arriving while ``max_inflight_solves`` are already running
-        is shed with a retryable 429 before it can pile onto the session.
+        parallel and are never excluded by the writer -- each solve pins
+        the current published epoch for its duration and reads the
+        immutable view, so it always observes a fully folded state with
+        consistent caches.  With an admission policy, a solve arriving
+        while ``max_inflight_solves`` are already running is shed with a
+        retryable 429 before it can pile onto the session.
         """
         admission = self.admission
         with self._stats_lock:
@@ -288,10 +359,13 @@ class CorpusShard:
                 )
             self._inflight_solves += 1
         try:
-            with self._lock.read_locked():
+            view = self._pin_view()
+            try:
                 if self.fault_plan is not None:
                     self.fault_plan.fire("shard.solve", corpus=self.name)
-                result = self.session.solve(problem, algorithm=algorithm, **options)
+                result = view.solve(problem, algorithm=algorithm, **options)
+            finally:
+                self._unpin_view(view)
         finally:
             with self._stats_lock:
                 self._inflight_solves -= 1
@@ -300,8 +374,56 @@ class CorpusShard:
         return result
 
     def flush(self) -> None:
-        """Block until every insert queued so far has been applied."""
+        """Block until every insert queued so far is applied *and* folded.
+
+        With a lazy merge policy this also publishes a fresh view, so a
+        flush-then-solve always observes everything flushed.
+        """
         self._queue.join()
+        self.merge_now()
+
+    def merge_now(self) -> int:
+        """Fold the delta into a fresh main view immediately.
+
+        Returns the epoch of the published view (the current one when
+        the delta was already empty).  Raises whatever the fold raised
+        (e.g. an injected :class:`~repro.serving.reliability.InjectedFault`)
+        after recording it in :meth:`stats`.
+        """
+        with self._maintenance_lock:
+            if self.delta_size > 0:
+                self._fold()
+            with self._stats_lock:
+                return self._view.epoch
+
+    @property
+    def delta_size(self) -> int:
+        """Actions applied to the session but not yet in the main view."""
+        with self._stats_lock:
+            view_actions = self._view.n_actions
+        return max(0, self.session.dataset.n_actions - view_actions)
+
+    # ------------------------------------------------------------------
+    # View pinning
+    # ------------------------------------------------------------------
+    def _pin_view(self) -> SessionView:
+        with self._stats_lock:
+            view = self._view
+            self._pins[view.epoch] = self._pins.get(view.epoch, 0) + 1
+            return view
+
+    def _unpin_view(self, view: SessionView) -> None:
+        with self._stats_lock:
+            remaining = self._pins.get(view.epoch, 0) - 1
+            if remaining > 0:
+                self._pins[view.epoch] = remaining
+            else:
+                self._pins.pop(view.epoch, None)
+
+    def current_view(self) -> SessionView:
+        """The currently published main view (unpinned; for inspection)."""
+        with self._stats_lock:
+            return self._view
 
     # ------------------------------------------------------------------
     # Introspection
@@ -312,39 +434,69 @@ class CorpusShard:
         return self._closed.is_set()
 
     def stats(self) -> Dict[str, object]:
-        """Serving counters for monitoring and the perf report.
+        """A consistent snapshot of the serving counters.
+
+        All mutable counters are read under the same lock that guards
+        their increments, and the view/pin fields under the view lock,
+        so a stats call racing a merge can never observe torn values
+        (e.g. a bumped ``merge_count`` with the previous epoch).
 
         ``snapshots_written`` / ``last_rotation_at`` track the rotation
         history of this shard's rotator (``snapshot_rotations`` is the
         same counter under its pre-PR-4 name, kept for callers of the
         older stats shape), and ``start_mode`` / ``replayed_actions``
-        record how the session came up (cold prepare, warm snapshot, or
-        warm snapshot plus store-tail replay).
+        record how the session came up.  The delta+main fields:
+        ``epoch`` (published main view), ``delta_size`` (actions applied
+        but not yet folded), ``merge_count`` / ``merge_failures`` /
+        ``last_merge_error`` (fold history), ``merge_lag_s`` (age of the
+        oldest unfolded insert, 0 when the delta is empty) and
+        ``pinned_epochs`` / ``pinned_solves`` (epochs kept alive by
+        in-flight solves and how many solves hold them).
         """
         rotations = self.rotator.rotations if self.rotator is not None else 0
-        return {
+        with self._stats_lock:
+            counters = {
+                "inserts_served": self._inserts_served,
+                "solves_served": self._solves_served,
+                "inflight_solves": self._inflight_solves,
+                "inserts_shed": self._inserts_shed,
+                "solves_shed": self._solves_shed,
+                "dedup_hits": self._dedup_hits,
+                "merge_count": self._merge_count,
+                "merge_failures": self._merge_failures,
+                "last_merge_error": self._last_merge_error,
+                "last_rotation_error": self._last_rotation_error,
+            }
+            first_delta_at = self._first_delta_at
+            view = self._view
+            pinned = {str(epoch): count for epoch, count in sorted(self._pins.items())}
+        delta_size = max(0, self.session.dataset.n_actions - view.n_actions)
+        merge_lag = 0.0
+        if delta_size > 0 and first_delta_at is not None:
+            merge_lag = max(0.0, time.monotonic() - first_delta_at)
+        stats: Dict[str, object] = {
             "name": self.name,
             "actions": self.session.dataset.n_actions,
-            "groups": self.session.n_groups,
-            "inserts_served": self._inserts_served,
-            "solves_served": self._solves_served,
+            "groups": view.n_groups,
             "queue_depth": self._queue.qsize(),
-            "inflight_solves": self._inflight_solves,
-            "inserts_shed": self._inserts_shed,
-            "solves_shed": self._solves_shed,
-            "dedup_hits": self._dedup_hits,
+            "epoch": view.epoch,
+            "delta_size": delta_size,
+            "merge_lag_s": merge_lag,
+            "pinned_epochs": pinned,
+            "pinned_solves": sum(pinned.values()),
             "snapshot_rotations": rotations,
             "snapshots_written": rotations,
             "last_rotation_at": (
                 self.rotator.last_rotation_at if self.rotator is not None else None
             ),
-            "last_rotation_error": self._last_rotation_error,
             "start_mode": self.start_mode,
             "replayed_actions": self.replayed_actions,
         }
+        stats.update(counters)
+        return stats
 
     # ------------------------------------------------------------------
-    # Writer thread
+    # Writer thread (the delta)
     # ------------------------------------------------------------------
     def _drain(self, first: object) -> List[object]:
         batch = [first]
@@ -361,6 +513,7 @@ class CorpusShard:
             requests = [entry for entry in batch if isinstance(entry, _InsertRequest)]
             shutdown = any(entry is _SHUTDOWN for entry in batch)
             if requests:
+                outcomes = []
                 with self._lock.write_locked():
                     for request in requests:
                         try:
@@ -374,26 +527,115 @@ class CorpusShard:
                                 request.actions, request_id=request.request_id
                             )
                         except BaseException as exc:
-                            request.future.set_exception(exc)
+                            outcomes.append((request, None, exc))
                         else:
-                            if report.deduplicated:
-                                with self._stats_lock:
+                            with self._stats_lock:
+                                if report.deduplicated:
                                     self._dedup_hits += 1
-                            else:
-                                self._inserts_served += report.actions_added
-                            request.future.set_result(report)
+                                else:
+                                    self._inserts_served += report.actions_added
+                                    if (
+                                        report.actions_added
+                                        and self._first_delta_at is None
+                                    ):
+                                        self._first_delta_at = time.monotonic()
+                            outcomes.append((request, report, None))
+                # Fold delta -> main *before* acknowledging, so a solve
+                # issued after an ack sees the batch (default policy).  A
+                # failed fold must not fail the inserts -- they are
+                # durably applied; the error is recorded and the next
+                # fold picks the delta up.
+                with self._maintenance_lock:
+                    if self.merge_policy.due_on_write(self.delta_size):
+                        try:
+                            self._fold()
+                        except BaseException:
+                            pass  # recorded by _fold; serving continues
+                for request, report, exc in outcomes:
+                    if exc is not None:
+                        request.future.set_exception(exc)
+                    else:
+                        request.future.set_result(report)
+                with self._maintenance_lock:
                     self._maybe_rotate(force=False)
             for _ in batch:
                 self._queue.task_done()
             if shutdown:
                 return
 
-    def _maybe_rotate(self, force: bool) -> None:
-        """Snapshot under the held write lock when due (or forced).
+    # ------------------------------------------------------------------
+    # Merge path (delta -> main)
+    # ------------------------------------------------------------------
+    def _fold(self) -> None:
+        """Freeze the session into a new main view and publish it.
 
-        A failed snapshot must not take the shard down: the error is
-        recorded for :meth:`stats` and serving continues; the next due
-        rotation retries.
+        Callers hold ``_maintenance_lock``.  The freeze runs under the
+        shared side of the merge lock, excluding the writer, so the view
+        captures whole batches only; publication happens inside the same
+        hold, so the published view's ``n_actions`` always equals the
+        session's at that instant (the delta drops to zero).
+        """
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(
+                    "merge.pre_fold",
+                    corpus=self.name,
+                    n_actions=self.session.dataset.n_actions,
+                )
+            with self._lock.read_locked():
+                view = self.session.freeze(epoch=self._next_epoch)
+                with self._stats_lock:
+                    self._view = view
+                    self._next_epoch += 1
+                    self._merge_count += 1
+                    self._last_merge_error = None
+                    self._first_delta_at = None
+            if self.fault_plan is not None:
+                self.fault_plan.fire(
+                    "merge.post_fold",
+                    corpus=self.name,
+                    n_actions=view.n_actions,
+                )
+        except BaseException as exc:
+            with self._stats_lock:
+                self._merge_failures += 1
+                self._last_merge_error = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def _merge_loop(self) -> None:
+        """Background merge thread: time-triggered folds and rotations."""
+        policy = self.merge_policy
+        poll = 0.25
+        if policy.every_seconds is not None:
+            poll = min(poll, max(policy.every_seconds / 4.0, 0.01))
+        while not self._merge_stop.is_set():
+            self._merge_wakeup.wait(timeout=poll)
+            self._merge_wakeup.clear()
+            if self._merge_stop.is_set():
+                return
+            with self._stats_lock:
+                first_delta_at = self._first_delta_at
+            age = 0.0
+            if first_delta_at is not None:
+                age = time.monotonic() - first_delta_at
+            if policy.due_on_timer(self.delta_size, age):
+                with self._maintenance_lock:
+                    try:
+                        self._fold()
+                    except BaseException:
+                        pass  # recorded by _fold; retried next tick
+            if self.rotator is not None and self.rotator.due():
+                with self._maintenance_lock:
+                    self._maybe_rotate(force=False)
+
+    def _maybe_rotate(self, force: bool) -> None:
+        """Snapshot the session when due (or forced).
+
+        Runs under ``_maintenance_lock``; the serialisation itself takes
+        the shared side of the merge lock so the writer cannot mutate
+        the session mid-pickle.  A failed snapshot must not take the
+        shard down: the error is recorded for :meth:`stats` and serving
+        continues; the next due rotation retries.
         """
         rotator = self.rotator
         if rotator is None:
@@ -403,16 +645,19 @@ class CorpusShard:
         if force and rotator.inserts_since_rotation <= 0:
             return  # the latest snapshot already covers the session
         try:
-            rotator.rotate(self.session.session)
-            self._last_rotation_error = None
+            with self._lock.read_locked():
+                rotator.rotate(self.session.session)
+            with self._stats_lock:
+                self._last_rotation_error = None
         except Exception as exc:
-            self._last_rotation_error = f"{type(exc).__name__}: {exc}"
+            with self._stats_lock:
+                self._last_rotation_error = f"{type(exc).__name__}: {exc}"
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, final_snapshot: bool = True) -> None:
-        """Drain the queue, optionally snapshot, and stop the writer.
+        """Drain the queue, fold, optionally snapshot, and stop the threads.
 
         Idempotent.  Requests submitted after ``close`` raise
         ``RuntimeError``; requests queued before it are applied first
@@ -426,6 +671,9 @@ class CorpusShard:
             self._closed.set()
             self._queue.put(_SHUTDOWN)
         self._writer.join()
+        self._merge_stop.set()
+        self._merge_wakeup.set()
+        self._merger.join()
         # Belt and braces: _submit_lock makes the closed-check + enqueue
         # atomic, so nothing should be queued behind the sentinel -- but a
         # leftover request must fail loudly rather than hang its caller.
@@ -439,6 +687,11 @@ class CorpusShard:
                     RuntimeError(f"shard {self.name!r} is closed")
                 )
             self._queue.task_done()
-        if final_snapshot:
-            with self._lock.write_locked():
+        with self._maintenance_lock:
+            if self.delta_size > 0:
+                try:
+                    self._fold()
+                except BaseException:
+                    pass  # recorded; the store has everything anyway
+            if final_snapshot:
                 self._maybe_rotate(force=True)

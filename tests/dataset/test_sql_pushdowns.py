@@ -1,0 +1,159 @@
+"""Tests for the SQLite SQL pushdowns (window functions + accelerators).
+
+The delta+main serving split moves the bulk-read and candidate-support
+queries out of Python row streams and into SQLite -- these tests pin the
+pushdowns to the streaming/Python reference implementations they
+replaced, byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.dataset.sqlite_store import SqliteTaggingStore
+from repro.dataset.store import TaggingDataset
+from repro.dataset.synthetic import generate_movielens_style
+
+
+@pytest.fixture()
+def corpus() -> TaggingDataset:
+    return generate_movielens_style(n_users=30, n_items=60, n_actions=400, seed=11)
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return tmp_path / "corpus.sqlite"
+
+
+class TestActionRows:
+    def test_action_rows_match_streaming_iteration(self, corpus, store_path):
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            assert store.action_rows() == list(store.iter_actions())
+
+    def test_tail_restriction_matches_filtered_stream(self, corpus, store_path):
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            tail = store.tail_actions(390)
+            reference = [
+                action for action in store.iter_actions() if action["action_id"] > 390
+            ]
+            assert tail == reference
+            assert len(tail) == corpus.n_actions - 390
+            # Dataset rows are 0-based, action_id is 1-based: the tail
+            # from row N starts with action_id N+1.
+            assert tail[0]["action_id"] == 391
+
+    def test_tail_beyond_end_is_empty(self, corpus, store_path):
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            assert store.tail_actions(corpus.n_actions) == []
+
+    def test_zero_tag_actions_come_through_as_empty_tuple(self, store_path):
+        dataset = TaggingDataset(("kind",), ("genre",), name="bare")
+        dataset.register_user("u1", {"kind": "a"})
+        dataset.register_item("i1", {"genre": "b"})
+        dataset.add_action("u1", "i1", ())
+        dataset.add_action("u1", "i1", ("tagged",))
+        with SqliteTaggingStore.from_dataset(dataset, store_path) as store:
+            rows = store.action_rows()
+            assert rows[0]["tags"] == ()
+            assert rows[1]["tags"] == ("tagged",)
+            assert rows == list(store.iter_actions())
+
+    def test_separator_collision_falls_back_to_stream(self, store_path):
+        dataset = TaggingDataset(("kind",), ("genre",), name="weird")
+        dataset.register_user("u1", {"kind": "a"})
+        dataset.register_item("i1", {"genre": "b"})
+        dataset.add_action("u1", "i1", ("plain", "with\x1fseparator"))
+        dataset.add_action("u1", "i1", ("plain",))
+        with SqliteTaggingStore.from_dataset(dataset, store_path) as store:
+            assert store._tags_collide_with_separator()
+            rows = store.action_rows()
+            assert rows == list(store.iter_actions())
+            assert rows[0]["tags"] == ("plain", "with\x1fseparator")
+            assert store.tail_actions(1) == rows[1:]
+
+    def test_round_trip_dataset_uses_pushdown_losslessly(self, corpus, store_path):
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            restored = store.to_dataset()
+        assert restored.n_actions == corpus.n_actions
+        for row in range(corpus.n_actions):
+            assert restored.tags_of(row) == corpus.tags_of(row)
+            assert restored.user_of(row) == corpus.user_of(row)
+            assert restored.item_of(row) == corpus.item_of(row)
+
+
+class TestActionAttrsAccelerator:
+    def test_sync_is_incremental(self, corpus, store_path):
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            added = store.sync_action_attrs()
+            per_action = len(corpus.user_schema) + len(corpus.item_schema)
+            assert added == corpus.n_actions * per_action
+            assert store.sync_action_attrs() == 0  # high-water mark holds
+
+            store.append_action(corpus.user_of(0), corpus.item_of(0), ("extra",))
+            assert store.sync_action_attrs() == per_action  # only the tail
+
+    def test_rebuild_refills_from_scratch(self, corpus, store_path):
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            first = store.sync_action_attrs()
+            assert store.sync_action_attrs(rebuild=True) == first
+
+    def test_attribute_support_counts_match_python_reference(
+        self, corpus, store_path
+    ):
+        min_support = 5
+        reference = {}
+        for column in corpus.columns:
+            for value, count in Counter(corpus.column_values(column)).items():
+                if count >= min_support:
+                    reference[(column, value)] = count
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            assert store.attribute_support_counts(min_support=min_support) == reference
+
+    def test_pair_support_counts_match_python_reference(self, corpus, store_path):
+        min_support = 5
+        user_columns = [c for c in corpus.columns if c.startswith("user.")]
+        item_columns = [c for c in corpus.columns if c.startswith("item.")]
+        reference = Counter()
+        for row in range(corpus.n_actions):
+            for u_col in user_columns:
+                u_val = corpus.column_values(u_col)[row]
+                for i_col in item_columns:
+                    i_val = corpus.column_values(i_col)[row]
+                    reference[((u_col, u_val), (i_col, i_val))] += 1
+        expected = {
+            pair: count for pair, count in reference.items() if count >= min_support
+        }
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            assert store.pair_support_counts(min_support=min_support) == expected
+
+    def test_support_counts_see_appended_actions(self, store_path):
+        dataset = TaggingDataset(("kind",), ("genre",), name="inc")
+        dataset.register_user("u1", {"kind": "a"})
+        dataset.register_item("i1", {"genre": "b"})
+        dataset.add_action("u1", "i1", ("t",))
+        with SqliteTaggingStore.from_dataset(dataset, store_path) as store:
+            assert store.attribute_support_counts() == {
+                ("user.kind", "a"): 1,
+                ("item.genre", "b"): 1,
+            }
+            store.append_action("u1", "i1", ("t2",))
+            assert store.attribute_support_counts() == {
+                ("user.kind", "a"): 2,
+                ("item.genre", "b"): 2,
+            }
+            assert store.pair_support_counts() == {
+                (("user.kind", "a"), ("item.genre", "b")): 2
+            }
+
+
+class TestTagHistogram:
+    def test_histogram_matches_python_counter(self, corpus, store_path):
+        reference = Counter()
+        for row in range(corpus.n_actions):
+            reference.update(corpus.tags_of(row))
+        expected = sorted(reference.items(), key=lambda kv: (-kv[1], kv[0]))
+        with SqliteTaggingStore.from_dataset(corpus, store_path) as store:
+            assert store.tag_histogram() == expected
+            assert store.tag_histogram(limit=3) == expected[:3]

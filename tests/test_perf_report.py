@@ -122,6 +122,26 @@ class TestPerfReportQuick:
         assert admission["shed"] >= 1
         assert admission["applied_equals_accepted"] is True
 
+    def test_htap_section(self, quick_report):
+        """The delta+main shard must keep solving during the insert storm
+        (the RW-lock baseline starves) with bit-identical parity for
+        delta-visible and post-merge solves against a serialized replay."""
+        _perf_report, report = quick_report
+        htap = report["htap"]
+        assert htap["parity"] is True
+        assert htap["delta_visible_parity"] is True
+        assert htap["merged_parity"] is True
+        assert htap["inserts"] > 0
+        assert htap["insert_threads"] >= 2
+        assert htap["baseline"]["solves_during_storm"] >= 1
+        assert htap["delta_main"]["solves_during_storm"] >= 1
+        assert htap["delta_main"]["merge_count"] >= 1
+        assert (
+            htap["delta_main"]["final_epoch"]
+            == htap["delta_main"]["merge_count"] + 1
+        )
+        assert htap["solve_p99_speedup"] > 0
+
 
 def _import_perf_report():
     sys.path.insert(0, str(BENCHMARKS))
@@ -238,3 +258,27 @@ def test_committed_pr6_bench_report_is_valid():
     assert reliability["worker_restarts"] >= 1
     assert reliability["admission"]["shed"] >= 1
     assert reliability["admission"]["applied_equals_accepted"] is True
+
+
+def test_committed_pr7_bench_report_is_valid():
+    """The committed BENCH_PR7.json must back the HTAP claims: under the
+    same in-run insert storm the delta+main shard's solve p99 improved
+    on the RW-lock baseline's (the acceptance criterion -- solves no
+    longer stall behind the writer), the shard actually folded, and
+    delta-visible and post-merge solves are bit-identical to a
+    serialized replay of the committed insert order."""
+    path = REPO_ROOT / "BENCH_PR7.json"
+    assert path.exists(), "BENCH_PR7.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    htap = report["htap"]
+    assert htap["parity"] is True
+    assert htap["solve_p99_speedup"] > 1.0
+    assert htap["inserts"] >= 500
+    assert htap["delta_main"]["merge_count"] >= 1
+    assert (
+        htap["delta_main"]["solves_during_storm"]
+        >= htap["baseline"]["solves_during_storm"]
+    )
