@@ -56,6 +56,7 @@ from repro import (  # noqa: E402
 )
 from repro.core.enumeration import GroupEnumerationConfig  # noqa: E402
 from repro.core.incremental import IncrementalTagDM  # noqa: E402
+from repro.core.witness import get_witness, witness_enabled  # noqa: E402
 
 SEED = 7
 ENUMERATION = GroupEnumerationConfig(min_support=5, max_groups=60)
@@ -226,6 +227,21 @@ def main(argv=None) -> int:
     fleet.close()
 
     killed = any(worker["restarts"] > 0 for worker in fleet.stats()["workers"].values())
+
+    # With TAGDM_LOCK_WITNESS=1 (the CI chaos job), every named lock
+    # acquisition in this supervisor process was recorded; any ordering
+    # inversion against the canonical hierarchy fails the drill.
+    witness_clean = True
+    if witness_enabled():
+        inversions = get_witness().inversions()
+        witness_clean = not inversions
+        for report in inversions:
+            print(f"LOCK-ORDER INVERSION:\n{report}")
+        print(
+            f"lock-order witness: {len(get_witness().edges())} edges, "
+            f"{len(inversions)} inversions"
+        )
+
     ok = (
         not errors
         and lost == 0
@@ -234,6 +250,7 @@ def main(argv=None) -> int:
         and respawned
         and parity
         and len(reports) == n_inserts
+        and witness_clean
     )
     for error in errors:
         print(f"ERROR: {type(error).__name__}: {error}")

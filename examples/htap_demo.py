@@ -44,6 +44,7 @@ if str(SRC) not in sys.path:
 from repro import generate_movielens_style, table1_problem  # noqa: E402
 from repro.core.enumeration import GroupEnumerationConfig  # noqa: E402
 from repro.core.incremental import IncrementalTagDM  # noqa: E402
+from repro.core.witness import get_witness, witness_enabled  # noqa: E402
 from repro.serving import SnapshotRotationPolicy, TagDMServer  # noqa: E402
 
 SEED = 13
@@ -189,6 +190,21 @@ def main(argv=None) -> int:
     server.close()
     for error in errors:
         print(f"ERROR: {type(error).__name__}: {error}")
+
+    # With TAGDM_LOCK_WITNESS=1 (the CI HTAP job), the storm above
+    # exercised the shard's submit/maintenance/merge/stats locks under
+    # real contention; any ordering inversion fails the demo.
+    witness_clean = True
+    if witness_enabled():
+        inversions = get_witness().inversions()
+        witness_clean = not inversions
+        for report in inversions:
+            print(f"LOCK-ORDER INVERSION:\n{report}")
+        print(
+            f"lock-order witness: {len(get_witness().edges())} edges, "
+            f"{len(inversions)} inversions"
+        )
+
     ok = (
         not errors
         and parity
@@ -199,6 +215,7 @@ def main(argv=None) -> int:
         and int(stats["merge_failures"]) == 0
         and int(stats["delta_size"]) == 0
         and int(stats["epoch"]) == int(stats["merge_count"]) + 1
+        and witness_clean
     )
     if not drifted:
         # Not a failure -- a tiny storm can leave the optimum unchanged --

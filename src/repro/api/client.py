@@ -60,6 +60,7 @@ from repro.api.service import (
 )
 from repro.api.spec import DEFAULT_PAGE_SIZE, PageSpec, ProblemSpec, ResultPage
 from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
+from repro.core.witness import named_lock
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 
@@ -290,6 +291,8 @@ class LocalClient(TagDMClient):
                 details={"corpus": corpus},
             )
         batch = validate_actions(actions)
+        # analyze: writer-context -- the local backend owns no threads;
+        # the caller that handed us these sessions is their only writer.
         try:
             return session.add_actions(batch, request_id=idempotency_key)
         except (KeyError, ValueError, TypeError) as exc:
@@ -430,7 +433,7 @@ class HttpConnectionPool:
         #: a server that closed the idle connection).
         self.fault_plan = fault_plan
         self._idle: List[http.client.HTTPConnection] = []
-        self._lock = threading.Lock()
+        self._lock = named_lock("pool.lock")
         self._closed = False
         self._reused = 0
         self._opened = 0
@@ -951,7 +954,7 @@ class FleetClient(TagDMClient):
         #: ``direct=False`` sends everything through the router (useful
         #: to measure the forwarding overhead the direct path avoids).
         self.direct = direct
-        self._lock = threading.Lock()
+        self._lock = named_lock("client.placement")
         self._corpus_urls: Dict[str, str] = {}
         self._workers: Dict[str, HttpClient] = {}
 

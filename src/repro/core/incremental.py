@@ -41,6 +41,7 @@ from repro.core.framework import TagDM
 from repro.core.groups import GroupDescription, TaggingActionGroup
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
+from repro.core.witness import locked_by, named_lock
 from repro.dataset.store import ITEM_PREFIX, USER_PREFIX, TaggingDataset
 
 __all__ = ["IncrementalTagDM", "IncrementalUpdateReport", "SessionView"]
@@ -83,7 +84,7 @@ class SessionView:
         self.groups: List[TaggingActionGroup] = list(session.groups)
         self.functions = session.functions
         self.seed = session.seed
-        self._build_lock = threading.Lock()
+        self._build_lock = named_lock("view.build")
         # Inherit whatever derived state the session has already paid for;
         # anything still None is built lazily against the frozen groups.
         self._signatures = session._signatures
@@ -565,6 +566,7 @@ class IncrementalTagDM:
         report.pending_descriptions = len(self._pending)
         return report
 
+    @locked_by("shard.merge")
     def add_action(
         self,
         user_id: str,
@@ -586,6 +588,7 @@ class IncrementalTagDM:
         self._notify_mutation(report)
         return report
 
+    @locked_by("shard.merge")
     def add_actions(
         self,
         actions: Iterable[Mapping[str, object]],
@@ -653,6 +656,7 @@ class IncrementalTagDM:
     # ------------------------------------------------------------------
     # Consistency helpers
     # ------------------------------------------------------------------
+    @locked_by("shard.merge")
     def refresh_topic_model(self) -> None:
         """Refit the topic model and recompute every group signature.
 

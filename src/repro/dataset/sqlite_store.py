@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.witness import locked_by, named_rlock
 from repro.dataset.store import TaggingDataset
 
 __all__ = ["SqliteTaggingStore"]
@@ -140,7 +141,7 @@ class SqliteTaggingStore:
         # lets the serving layer's worker threads share the connection
         # (sqlite3 would otherwise raise ProgrammingError the moment a
         # thread other than the opener touches it).
-        self._lock = threading.RLock()
+        self._lock = named_rlock("store.lock")
         # Depth of nested deferred_commit() windows; while positive,
         # write methods skip their own commit so a whole batch lands in
         # one transaction (see deferred_commit).
@@ -319,6 +320,7 @@ class SqliteTaggingStore:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
+    @locked_by("store.lock")
     def register_user(self, user_id: str, attributes: Mapping[str, str]) -> None:
         """Insert or update a user registry row."""
         with self._lock:
@@ -328,6 +330,7 @@ class SqliteTaggingStore:
             )
             self.connection.commit()
 
+    @locked_by("store.lock")
     def register_item(self, item_id: str, attributes: Mapping[str, str]) -> None:
         """Insert or update an item registry row."""
         with self._lock:
@@ -381,6 +384,7 @@ class SqliteTaggingStore:
         )
         return action_id
 
+    @locked_by("store.lock")
     def add_action(
         self,
         user_id: str,
@@ -399,6 +403,7 @@ class SqliteTaggingStore:
             self._maybe_commit()
         return action_id
 
+    @locked_by("store.lock")
     def append_action(
         self,
         user_id: str,
@@ -463,6 +468,7 @@ class SqliteTaggingStore:
             ).fetchone()
         return None if row is None else json.loads(row["report"])
 
+    @locked_by("store.lock")
     def record_request(
         self,
         request_id: str,
@@ -497,6 +503,7 @@ class SqliteTaggingStore:
                 ).fetchone()[0]
             )
 
+    @locked_by("store.lock")
     def ingest(self, dataset: TaggingDataset) -> int:
         """Batch-load an in-memory dataset in a single transaction.
 
@@ -743,6 +750,7 @@ class SqliteTaggingStore:
         """
         return self.action_rows(after_action_id=int(start_row))
 
+    @locked_by("store.lock")
     def sync_action_attrs(self, rebuild: bool = False) -> int:
         """Fill the ``action_attrs`` accelerator table, entirely in SQL.
 

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.witness import named_lock, named_rlock
 from repro.dataset.store import TaggingDataset
 from repro.serving.policy import SnapshotRotationPolicy
 from repro.serving.router import PlacementTable, TagDMRouter
@@ -142,7 +143,7 @@ class FleetWorker:
         #: supervisor thread and administrative callers (restart_worker,
         #: close) -- without it, a respawn racing a restart could leave
         #: two live processes owning the same corpus stores.
-        self.lifecycle_lock = threading.Lock()
+        self.lifecycle_lock = named_lock("fleet.lifecycle")
 
     @property
     def url(self) -> Optional[str]:
@@ -252,7 +253,7 @@ class TagDMFleet:
             handle = FleetWorker(worker_id)
             handle.host = host
             self._workers[worker_id] = handle
-        self._lock = threading.RLock()
+        self._lock = named_rlock("fleet.registry")
         self._closing = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
         self._started = False

@@ -49,6 +49,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.witness import named_lock
+
 __all__ = [
     "AdmissionPolicy",
     "CircuitBreaker",
@@ -128,7 +130,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("breaker.state")
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
@@ -240,7 +242,7 @@ class RetryBudget:
         self.backoff_cap = backoff_cap
         self.jitter = jitter
         self._rng = random.Random(seed)
-        self._lock = threading.Lock()
+        self._lock = named_lock("budget.rng")
 
     def exhausted(self, attempts: int) -> bool:
         """Whether a request that already made ``attempts`` tries is done."""
@@ -365,7 +367,7 @@ class FaultPlan:
         self._init_runtime()
 
     def _init_runtime(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("faultplan.state")
         self._rng = random.Random(self.seed)
         self._arrivals: Dict[str, int] = {}
         self._fired_counts: Dict[int, int] = {}
@@ -414,33 +416,55 @@ class FaultPlan:
         with self._lock:
             arrival = self._arrivals.get(point, 0) + 1
             self._arrivals[point] = arrival
+        # The latch claim is file I/O (O_CREAT|O_EXCL across processes),
+        # so it must not run under the plan lock -- fire() sits on fast
+        # paths (the writer's apply loop, the solve path).  Matching runs
+        # under the lock; a once-rule releases it, races for the latch,
+        # and only records itself as fired after winning.  A lost latch
+        # rescans for the next armed rule (same behaviour as the old
+        # single-pass `continue`).
+        latch_lost: set = set()
+        while True:
             matched: Optional[FaultRule] = None
-            for index, rule in enumerate(self.rules):
-                if rule.point != point:
+            matched_index = -1
+            with self._lock:
+                for index, rule in enumerate(self.rules):
+                    if index in latch_lost or rule.point != point:
+                        continue
+                    if self._fired_counts.get(index, 0) >= rule.times:
+                        continue
+                    if rule.at is not None and arrival != rule.at:
+                        continue
+                    if (
+                        rule.when_actions is not None
+                        and context.get("n_actions") != rule.when_actions
+                    ):
+                        continue
+                    if (
+                        rule.probability is not None
+                        and self._rng.random() >= rule.probability
+                    ):
+                        continue
+                    matched = rule
+                    matched_index = index
+                    break
+                if matched is not None and not matched.once:
+                    self._fired_counts[matched_index] = (
+                        self._fired_counts.get(matched_index, 0) + 1
+                    )
+                    self.fired.append((point, matched.action, arrival))
+            if matched is None:
+                return None
+            if matched.once:
+                if not self._claim_latch(matched_index, matched):
+                    latch_lost.add(matched_index)
                     continue
-                if self._fired_counts.get(index, 0) >= rule.times:
-                    continue
-                if rule.at is not None and arrival != rule.at:
-                    continue
-                if (
-                    rule.when_actions is not None
-                    and context.get("n_actions") != rule.when_actions
-                ):
-                    continue
-                if (
-                    rule.probability is not None
-                    and self._rng.random() >= rule.probability
-                ):
-                    continue
-                if rule.once and not self._claim_latch(index, rule):
-                    continue
-                self._fired_counts[index] = self._fired_counts.get(index, 0) + 1
-                self.fired.append((point, rule.action, arrival))
-                matched = rule
-                break
-        if matched is None:
-            return None
-        return self._execute(point, matched)
+                with self._lock:
+                    self._fired_counts[matched_index] = (
+                        self._fired_counts.get(matched_index, 0) + 1
+                    )
+                    self.fired.append((point, matched.action, arrival))
+            return self._execute(point, matched)
 
     @staticmethod
     def _execute(point: str, rule: FaultRule) -> Optional[str]:

@@ -59,6 +59,7 @@ from socket import timeout as socket_timeout
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.client import HttpConnectionPool
+from repro.core.witness import named_lock, named_rlock
 from repro.api.errors import (
     ApiError,
     SolveTimeoutError,
@@ -111,7 +112,7 @@ class PlacementTable:
         workers: Union[List[str], Tuple[str, ...]] = (),
         pins: Optional[Mapping[str, str]] = None,
     ) -> None:
-        self._lock = threading.RLock()
+        self._lock = named_rlock("placement.table")
         self._workers: List[str] = []
         self._corpora: List[str] = []
         self._pins: Dict[str, str] = dict(pins or {})
@@ -423,10 +424,10 @@ class TagDMRouter:
         self.breaker_reset_timeout = breaker_reset_timeout
         self.heartbeat_interval = heartbeat_interval
         self._breakers: Dict[str, CircuitBreaker] = {}
-        self._breakers_lock = threading.Lock()
+        self._breakers_lock = named_lock("router.breakers")
         self._pools: Dict[str, HttpConnectionPool] = {}
-        self._pools_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._pools_lock = named_lock("router.pools")
+        self._stats_lock = named_lock("router.stats")
         self._forwarded = 0
         self._retries = 0
         self._unavailable = 0

@@ -32,7 +32,6 @@ stats and retried at the next due point; the server survives both.
 from __future__ import annotations
 
 import re
-import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
@@ -41,6 +40,7 @@ from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
 from repro.core.persistence import read_snapshot, session_from_snapshot
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
+from repro.core.witness import named_lock
 from repro.dataset.sqlite_store import SqliteTaggingStore
 from repro.dataset.store import TaggingDataset
 from repro.serving.policy import MergePolicy, SnapshotRotationPolicy, SnapshotRotator
@@ -117,7 +117,7 @@ class TagDMServer:
         self.fault_plan = fault_plan
         self._shards: Dict[str, CorpusShard] = {}
         self._stores: Dict[str, SqliteTaggingStore] = {}
-        self._registry_lock = threading.Lock()
+        self._registry_lock = named_lock("server.registry")
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -322,6 +322,9 @@ class TagDMServer:
         dataset has never seen them); they are read from the full
         dataset's registries, which the store already persisted.
         """
+        # analyze: writer-context -- startup-only replay; the shard (and
+        # its writer thread) does not exist yet, so this thread is the
+        # session's only mutator.
         actions = []
         for row in store.tail_actions(start_row):
             user_id = str(row["user_id"])

@@ -46,6 +46,7 @@ from repro.core.incremental import (
     IncrementalUpdateReport,
     SessionView,
 )
+from repro.core.witness import get_witness, named_lock, named_rlock, witness_enabled
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
 from repro.serving.policy import MergePolicy, SnapshotRotator
@@ -65,9 +66,13 @@ class ReadWriteLock:
     writer-preferring variant this replaces blocked readers while *any*
     writer was waiting, which starved readers indefinitely whenever the
     writer stream stayed saturated.)
+
+    ``name`` is the lock's handle in the runtime lock-order witness
+    (:mod:`repro.core.witness`); both the shared and the exclusive side
+    report under it when ``TAGDM_LOCK_WITNESS`` is set.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self._condition = threading.Condition()
         self._next_ticket = 0
         self._readers = 0
@@ -75,6 +80,8 @@ class ReadWriteLock:
         # Tickets of waiting writers; appended in arrival order, so the
         # list is always sorted and index 0 is the oldest waiter.
         self._waiting_writers: List[int] = []
+        self._witness = get_witness() if (name and witness_enabled()) else None
+        self.name = name
 
     @contextmanager
     def read_locked(self):
@@ -86,9 +93,13 @@ class ReadWriteLock:
             ):
                 self._condition.wait()
             self._readers += 1
+        if self._witness is not None:
+            self._witness.note_acquire(self.name)
         try:
             yield
         finally:
+            if self._witness is not None:
+                self._witness.note_release(self.name)
             with self._condition:
                 self._readers -= 1
                 if self._readers == 0:
@@ -110,9 +121,13 @@ class ReadWriteLock:
             finally:
                 self._waiting_writers.remove(ticket)
             self._writer_active = True
+        if self._witness is not None:
+            self._witness.note_acquire(self.name)
         try:
             yield
         finally:
+            if self._witness is not None:
+                self._witness.note_release(self.name)
             with self._condition:
                 self._writer_active = False
                 self._condition.notify_all()
@@ -210,21 +225,21 @@ class CorpusShard:
         # Merge-path coordination only: the writer applies batches under
         # the exclusive side; folds and snapshots read the session under
         # the shared side.  Solves never touch this lock.
-        self._lock = ReadWriteLock()
+        self._lock = ReadWriteLock(name="shard.merge")
         # Serialises fold/rotate maintenance between the writer thread
         # and the background merge thread.
-        self._maintenance_lock = threading.RLock()
+        self._maintenance_lock = named_rlock("shard.maintenance")
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
         self._closed = threading.Event()
         # Makes the closed-check + enqueue in submit_insert atomic with
         # respect to close(), so no request can slip into a queue the
         # writer has already left.
-        self._submit_lock = threading.Lock()
+        self._submit_lock = named_lock("shard.submit")
         # Guards every mutable serving counter, the delta-age clock,
         # the published view and its pins; stats() snapshots them all
         # under one hold so /healthz never reports torn values mid-merge
         # (e.g. a bumped merge_count with the previous epoch).
-        self._stats_lock = threading.Lock()
+        self._stats_lock = named_lock("shard.stats")
         self._inserts_served = 0
         self._solves_served = 0
         self._inflight_solves = 0

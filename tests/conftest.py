@@ -9,6 +9,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import witness as _witness
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """With TAGDM_LOCK_WITNESS armed, fail the run on any lock-order
+    inversion recorded while the suite exercised the serving stack."""
+    if not _witness.witness_enabled():
+        return
+    reports = _witness.get_witness().inversions()
+    if reports:
+        session.exitstatus = 1
+        raise _witness.LockOrderViolation(
+            f"{len(reports)} lock-order inversion(s) observed during the "
+            "test session:\n\n" + "\n\n".join(reports)
+        )
+
 from repro.core.enumeration import GroupEnumerationConfig
 from repro.core.framework import TagDM
 from repro.dataset.store import TaggingDataset

@@ -1,0 +1,7 @@
+"""Repo-native static analysis: lock discipline (LD1xx), deadlock
+hierarchy (LH2xx), wire-contract drift (WC3xx), concurrency-API
+hygiene (WR4xx) and documentation links (DL5xx).
+
+Run ``python -m tools.analyze`` from the repository root; see
+TOOLING.md for the full check catalogue and the baseline workflow.
+"""

@@ -1,0 +1,136 @@
+"""Command-line entry point: ``python -m tools.analyze``.
+
+Exit code 0 when every finding is covered by the committed baseline
+(``tools/analyze/baseline.json``), 1 otherwise.  Stale baseline entries
+(grandfathered findings that no longer fire) also fail the run -- a
+fixed finding must leave the baseline in the same change.
+
+Usage::
+
+    python -m tools.analyze                    # all checks
+    python -m tools.analyze --check locks order
+    python -m tools.analyze --explain LD102
+    python -m tools.analyze --list             # available checks/codes
+    python -m tools.analyze --no-baseline      # raw findings, no filter
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from tools.analyze import contracts, doclinks, locks, order, writers
+from tools.analyze.core import Baseline, Finding, Project
+from tools.analyze.explain import EXPLANATIONS
+
+__all__ = ["CHECKS", "main"]
+
+CHECKS: Dict[str, Callable[[Project], List[Finding]]] = {
+    "locks": locks.run,         # LD1xx  lock discipline
+    "order": order.run,         # LH2xx  deadlock hierarchy
+    "contracts": contracts.run, # WC3xx  wire-contract drift
+    "writers": writers.run,     # WR4xx  concurrency-API hygiene
+    "doclinks": doclinks.run,   # DL5xx  markdown link integrity
+}
+
+_DEFAULT_ROOT = Path(__file__).resolve().parent.parent.parent
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="repo-native static analysis: lock discipline, "
+        "deadlock hierarchy, wire-contract drift, writer hygiene, doc links",
+    )
+    parser.add_argument(
+        "--check",
+        nargs="+",
+        choices=sorted(CHECKS),
+        default=sorted(CHECKS),
+        help="run only these check families (default: all)",
+    )
+    parser.add_argument(
+        "--explain", metavar="CODE", help="explain a finding code and exit"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list checks and codes, then exit"
+    )
+    parser.add_argument(
+        "--root", type=Path, default=_DEFAULT_ROOT, help="repository root"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding; ignore the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        code = args.explain.upper()
+        text = EXPLANATIONS.get(code)
+        if text is None:
+            print(f"unknown code {code!r}; known: {', '.join(sorted(EXPLANATIONS))}")
+            return 2
+        print(f"{code}: {text}")
+        return 0
+
+    if args.list:
+        for name in sorted(CHECKS):
+            print(name)
+        print()
+        for code in sorted(EXPLANATIONS):
+            print(f"{code}  {EXPLANATIONS[code].split('.')[0]}.")
+        return 0
+
+    project = Project(args.root)
+    findings: List[Finding] = []
+    for name in args.check:
+        findings.extend(CHECKS[name](project))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+
+    baseline = (
+        Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    )
+    new, baselined, stale = baseline.split(findings)
+
+    for finding in new:
+        print(finding.render())
+    if baselined:
+        print(f"({len(baselined)} baselined finding(s) suppressed; "
+              f"see {args.baseline.name})")
+    # A baseline entry is only stale when its check family actually ran.
+    prefix_to_check = {
+        "LD": "locks", "LH": "order", "WC": "contracts",
+        "WR": "writers", "DL": "doclinks",
+    }
+    stale = [
+        entry
+        for entry in stale
+        if prefix_to_check.get(entry["code"][:2]) in args.check
+    ]
+    failed = bool(new)
+    if stale and not args.no_baseline:
+        failed = True
+        print(
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+            "(finding no longer fires -- remove from the baseline):"
+        )
+        for entry in stale:
+            print(f"  {entry['code']} {entry['path']} [{entry['key']}]")
+    if not failed:
+        checked = ", ".join(args.check)
+        print(f"analyze: clean ({checked})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

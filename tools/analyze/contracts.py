@@ -1,0 +1,661 @@
+"""Wire-contract drift checks (WC3xx).
+
+Each contract has exactly one source-of-truth table in this module.
+The checks then verify that the *code* and the *docs* both match it:
+
+* error taxonomy       -- :data:`ERROR_TAXONOMY` vs
+  ``src/repro/api/errors.py`` (WC301) vs the API.md error table (WC302)
+* fault points         -- :data:`FAULT_POINTS` vs every
+  ``plan.fire("...")`` literal in src (WC303), the SERVING.md drill
+  table (WC304) and every ``FaultRule("...")`` literal in tests (WC305)
+* shard stats keys     -- :data:`STATS_KEYS` vs the literal dict in
+  ``CorpusShard.stats()`` (WC306) vs the SERVING.md stats table (WC307)
+* algorithm registry   -- :data:`ALGORITHMS` vs the
+  ``@register_algorithm`` classes (WC308) vs API.md (WC309)
+
+Plus a cross-cutting rule folded into WC304: any backticked
+``prefix.word`` token in the serving docs that *looks* like a fault
+point or lock name must actually be one -- stale names in prose are
+drift too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.analyze.core import (
+    Finding,
+    Project,
+    backtick_tokens,
+    parse_markdown_table,
+    strip_backticks,
+)
+from tools.analyze.hierarchy import LOCK_ORDER
+
+__all__ = [
+    "ALGORITHMS",
+    "ERROR_TAXONOMY",
+    "FAULT_POINTS",
+    "STATS_KEYS",
+    "run",
+]
+
+ERRORS_MODULE = "src/repro/api/errors.py"
+SHARDS_MODULE = "src/repro/serving/shards.py"
+ALGORITHM_MODULES = (
+    "src/repro/algorithms/exact.py",
+    "src/repro/algorithms/sm_lsh.py",
+    "src/repro/algorithms/dv_fdp.py",
+)
+API_DOC = "API.md"
+SERVING_DOC = "SERVING.md"
+DEPLOYMENT_DOC = "DEPLOYMENT.md"
+
+#: class name -> (wire code, HTTP status, serialised on the wire?).
+#: ``wire=False`` marks client-side errors that never cross the wire and
+#: therefore must NOT be in ``_ERRORS_BY_CODE`` (their HTTP column in
+#: API.md is em-dash).
+ERROR_TAXONOMY: Dict[str, Tuple[str, int, bool]] = {
+    "ApiError": ("internal", 500, True),
+    "SpecValidationError": ("validation", 422, True),
+    "UnknownCorpusError": ("unknown-corpus", 404, True),
+    "UnknownRouteError": ("unknown-route", 404, True),
+    "CapabilityMismatchError": ("capability-mismatch", 409, True),
+    "ConnectionFailedError": ("connection-failed", 503, False),
+    "OverloadedError": ("overloaded", 429, True),
+    "WorkerUnavailableError": ("worker-unavailable", 503, True),
+    "SolveTimeoutError": ("timeout", 504, True),
+}
+
+#: Every fault-injection point a ``FaultPlan`` can arm, in the order the
+#: SERVING.md drill table documents them.
+FAULT_POINTS: Tuple[str, ...] = (
+    "shard.apply",
+    "shard.solve",
+    "merge.pre_fold",
+    "merge.post_fold",
+    "insert.pre_apply",
+    "insert.applied",
+    "http.pre_write",
+    "http.post_write",
+    "snapshot.write",
+    "pool.pre_send",
+)
+
+#: Exactly the keys ``CorpusShard.stats()`` returns (and /healthz and
+#: ``/corpora/<name>/stats`` republish).
+STATS_KEYS: Tuple[str, ...] = (
+    "name",
+    "actions",
+    "groups",
+    "queue_depth",
+    "epoch",
+    "delta_size",
+    "merge_lag_s",
+    "pinned_epochs",
+    "pinned_solves",
+    "snapshot_rotations",
+    "snapshots_written",
+    "last_rotation_at",
+    "start_mode",
+    "replayed_actions",
+    "inserts_served",
+    "solves_served",
+    "inflight_solves",
+    "inserts_shed",
+    "solves_shed",
+    "dedup_hits",
+    "merge_count",
+    "merge_failures",
+    "last_merge_error",
+    "last_rotation_error",
+)
+
+#: The algorithm registry (``@register_algorithm`` classes by their
+#: ``name`` attribute).
+ALGORITHMS: Tuple[str, ...] = (
+    "exact",
+    "sm-lsh",
+    "sm-lsh-fi",
+    "sm-lsh-fo",
+    "dv-fdp",
+    "dv-fdp-fi",
+    "dv-fdp-fo",
+)
+
+#: Backticked ``prefix.word`` tokens in docs that must name a real fault
+#: point or lock (prose drift detector).
+_DOTTED_TOKEN = re.compile(
+    r"^(shard|merge|insert|http|snapshot|pool|fleet|server|store|view"
+    r"|placement|router|client|breaker|budget|faultplan)\.\w+$"
+)
+
+#: Dotted doc tokens that are legitimate but are neither fault points
+#: nor locks (public API methods referenced in prose).
+_DOC_TOKEN_ALLOWLIST = {
+    "client.solve_page",
+    "client.solve_stream",
+}
+
+
+# ---------------------------------------------------------------------------
+# WC301 / WC302: error taxonomy
+# ---------------------------------------------------------------------------
+
+
+def check_errors_module(source: str, rel_path: str = ERRORS_MODULE) -> List[Finding]:
+    """WC301: the errors module must define exactly the taxonomy."""
+    findings: List[Finding] = []
+    tree = ast.parse(source, filename=rel_path)
+    seen: Dict[str, Tuple[Optional[str], Optional[int], int]] = {}
+    registry: Optional[Set[str]] = None
+    registry_line = 1
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+            if node.name != "ApiError" and "ApiError" not in bases:
+                continue
+            code = status = None
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Constant
+                ):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            if target.id == "code":
+                                code = stmt.value.value
+                            elif target.id == "status":
+                                status = stmt.value.value
+            seen[node.name] = (code, status, node.lineno)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if not any(
+                isinstance(t, ast.Name) and t.id == "_ERRORS_BY_CODE"
+                for t in targets
+            ):
+                continue
+            registry_line = node.lineno
+            value = node.value
+            if isinstance(value, ast.DictComp):
+                for comp in value.generators:
+                    if isinstance(comp.iter, (ast.Tuple, ast.List)):
+                        registry = {
+                            elt.id
+                            for elt in comp.iter.elts
+                            if isinstance(elt, ast.Name)
+                        }
+            elif isinstance(value, ast.Dict):
+                registry = {
+                    v.id for v in value.values if isinstance(v, ast.Name)
+                }
+    for cls_name, (code, status, wire) in sorted(ERROR_TAXONOMY.items()):
+        if cls_name not in seen:
+            findings.append(
+                Finding(
+                    "WC301", rel_path, 1,
+                    f"taxonomy class {cls_name} is missing from the errors "
+                    "module",
+                    key=f"missing-class:{cls_name}",
+                )
+            )
+            continue
+        got_code, got_status, line = seen[cls_name]
+        if cls_name == "ApiError":
+            # base-class defaults live in the class body too
+            got_code = got_code or "internal"
+            got_status = got_status or 500
+        if got_code != code or got_status != status:
+            findings.append(
+                Finding(
+                    "WC301", rel_path, line,
+                    f"{cls_name} declares code={got_code!r} status="
+                    f"{got_status!r}; the taxonomy says ({code!r}, {status})",
+                    key=f"class-drift:{cls_name}",
+                )
+            )
+    for cls_name, (_, _, line) in sorted(seen.items()):
+        if cls_name not in ERROR_TAXONOMY:
+            findings.append(
+                Finding(
+                    "WC301", rel_path, line,
+                    f"ApiError subclass {cls_name} is not in the "
+                    "ERROR_TAXONOMY table (add it there AND to the API.md "
+                    "error table)",
+                    key=f"unregistered-class:{cls_name}",
+                )
+            )
+    wire_classes = {n for n, (_, _, wire) in ERROR_TAXONOMY.items() if wire}
+    if registry is None:
+        findings.append(
+            Finding(
+                "WC301", rel_path, registry_line,
+                "could not parse _ERRORS_BY_CODE", key="registry-unparsed",
+            )
+        )
+    elif registry != wire_classes:
+        missing = sorted(wire_classes - registry)
+        extra = sorted(registry - wire_classes)
+        findings.append(
+            Finding(
+                "WC301", rel_path, registry_line,
+                f"_ERRORS_BY_CODE drift: missing {missing}, extra {extra} "
+                "(client-side errors must stay out; wire errors must be in)",
+                key="registry-drift",
+            )
+        )
+    return findings
+
+
+def check_error_doc(text: str, rel_path: str = API_DOC) -> List[Finding]:
+    """WC302: the API.md error table lists exactly the taxonomy."""
+    findings: List[Finding] = []
+    table = parse_markdown_table(text, ("Class", "code", "HTTP"))
+    if table is None:
+        return [
+            Finding(
+                "WC302", rel_path, 1,
+                "no error table with Class/code/HTTP columns found",
+                key="missing-table",
+            )
+        ]
+    header_line, headers, rows = table
+    lowered = [h.lower() for h in headers]
+    col = {
+        "class": next(i for i, h in enumerate(lowered) if "class" in h),
+        "code": next(i for i, h in enumerate(lowered) if "code" in h),
+        "http": next(i for i, h in enumerate(lowered) if "http" in h),
+    }
+    documented: Set[str] = set()
+    for line, cells in rows:
+        cls_name = strip_backticks(cells[col["class"]])
+        documented.add(cls_name)
+        if cls_name not in ERROR_TAXONOMY:
+            findings.append(
+                Finding(
+                    "WC302", rel_path, line,
+                    f"documented error class {cls_name!r} is not in the "
+                    "taxonomy",
+                    key=f"unknown-class:{cls_name}",
+                )
+            )
+            continue
+        code, status, wire = ERROR_TAXONOMY[cls_name]
+        doc_code = strip_backticks(cells[col["code"]])
+        doc_http = cells[col["http"]].strip()
+        if doc_code != code:
+            findings.append(
+                Finding(
+                    "WC302", rel_path, line,
+                    f"{cls_name} documented with code {doc_code!r}; the "
+                    f"taxonomy says {code!r}",
+                    key=f"code-drift:{cls_name}",
+                )
+            )
+        expected_http = {str(status)} if wire else {"—", "--", "-", str(status)}
+        if doc_http not in expected_http:
+            findings.append(
+                Finding(
+                    "WC302", rel_path, line,
+                    f"{cls_name} documented with HTTP {doc_http!r}; expected "
+                    f"{status}" + ("" if wire else " or an em-dash (client-side)"),
+                    key=f"status-drift:{cls_name}",
+                )
+            )
+    for cls_name in sorted(set(ERROR_TAXONOMY) - documented):
+        findings.append(
+            Finding(
+                "WC302", rel_path, header_line,
+                f"taxonomy class {cls_name} has no row in the error table",
+                key=f"undocumented-class:{cls_name}",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# WC303 / WC304 / WC305: fault points
+# ---------------------------------------------------------------------------
+
+
+def _fire_literals(source: str, rel_path: str) -> List[Tuple[int, str]]:
+    literals: List[Tuple[int, str]] = []
+    for node in ast.walk(ast.parse(source, filename=rel_path)):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "fire"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            literals.append((node.lineno, node.args[0].value))
+    return literals
+
+
+def check_fire_sites(source: str, rel_path: str) -> List[Finding]:
+    """WC303: every ``fire("...")`` literal in src is a declared point."""
+    findings: List[Finding] = []
+    for line, point in _fire_literals(source, rel_path):
+        if point not in FAULT_POINTS:
+            findings.append(
+                Finding(
+                    "WC303", rel_path, line,
+                    f"fire({point!r}) is not a declared fault point "
+                    "(tools/analyze/contracts.FAULT_POINTS)",
+                    key=f"unknown-point:{point}",
+                )
+            )
+    return findings
+
+
+def check_fault_doc(text: str, rel_path: str = SERVING_DOC) -> List[Finding]:
+    """WC304: the SERVING.md drill table lists exactly FAULT_POINTS, and
+    no doc token *looks* like a point/lock without being one."""
+    findings: List[Finding] = []
+    table = parse_markdown_table(text, ("Point", "Fires"))
+    if table is None:
+        findings.append(
+            Finding(
+                "WC304", rel_path, 1,
+                "no fault-point table with Point/Fires columns found",
+                key="missing-table",
+            )
+        )
+        return findings
+    header_line, _, rows = table
+    documented = []
+    for line, cells in rows:
+        point = strip_backticks(cells[0])
+        documented.append(point)
+        if point not in FAULT_POINTS:
+            findings.append(
+                Finding(
+                    "WC304", rel_path, line,
+                    f"documented fault point {point!r} is not declared",
+                    key=f"unknown-point:{point}",
+                )
+            )
+    for point in FAULT_POINTS:
+        if point not in documented:
+            findings.append(
+                Finding(
+                    "WC304", rel_path, header_line,
+                    f"fault point {point!r} has no row in the drill table",
+                    key=f"undocumented-point:{point}",
+                )
+            )
+    return findings
+
+
+def check_doc_tokens(text: str, rel_path: str) -> List[Finding]:
+    """WC304 (prose rule): dotted backticked tokens must be real."""
+    findings: List[Finding] = []
+    known = set(FAULT_POINTS) | set(LOCK_ORDER) | _DOC_TOKEN_ALLOWLIST
+    for line, token in backtick_tokens(text):
+        if _DOTTED_TOKEN.match(token) and token not in known:
+            findings.append(
+                Finding(
+                    "WC304", rel_path, line,
+                    f"`{token}` reads like a fault point or lock name but "
+                    "matches neither FAULT_POINTS nor LOCK_ORDER",
+                    key=f"stale-token:{token}",
+                )
+            )
+    return findings
+
+
+def check_test_rules(source: str, rel_path: str) -> List[Finding]:
+    """WC305: ``FaultRule("a.b", ...)`` literals in tests must be
+    declared points.  Single-word synthetic names (``"p"``) are the
+    unit-test idiom for exercising the plan machinery and are allowed.
+    """
+    findings: List[Finding] = []
+    for node in ast.walk(ast.parse(source, filename=rel_path)):
+        if (
+            isinstance(node, ast.Call)
+            and (
+                (isinstance(node.func, ast.Name) and node.func.id == "FaultRule")
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "FaultRule"
+                )
+            )
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            point = node.args[0].value
+            if "." in point and point not in FAULT_POINTS:
+                findings.append(
+                    Finding(
+                        "WC305", rel_path, node.lineno,
+                        f"test arms FaultRule({point!r}) but no such fault "
+                        "point exists -- the rule can never fire",
+                        key=f"unknown-point:{point}",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# WC306 / WC307: stats keys
+# ---------------------------------------------------------------------------
+
+
+def check_stats_source(source: str, rel_path: str = SHARDS_MODULE) -> List[Finding]:
+    """WC306: the literal keys built in ``CorpusShard.stats()`` must be
+    exactly STATS_KEYS."""
+    findings: List[Finding] = []
+    tree = ast.parse(source, filename=rel_path)
+    stats_fn: Optional[ast.FunctionDef] = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "CorpusShard":
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "stats":
+                    stats_fn = item
+    if stats_fn is None:
+        return [
+            Finding(
+                "WC306", rel_path, 1,
+                "CorpusShard.stats() not found", key="missing-stats",
+            )
+        ]
+    keys: Set[str] = set()
+    for node in ast.walk(stats_fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    # dict keys that are epoch-pin sub-keys etc. only appear in nested
+    # comprehensions, which ast.Dict above does not produce.
+    expected = set(STATS_KEYS)
+    for key in sorted(expected - keys):
+        findings.append(
+            Finding(
+                "WC306", rel_path, stats_fn.lineno,
+                f"declared stats key {key!r} is not built by stats()",
+                key=f"missing-key:{key}",
+            )
+        )
+    for key in sorted(keys - expected):
+        findings.append(
+            Finding(
+                "WC306", rel_path, stats_fn.lineno,
+                f"stats() returns undeclared key {key!r} (add it to "
+                "STATS_KEYS and the SERVING.md stats table)",
+                key=f"undeclared-key:{key}",
+            )
+        )
+    return findings
+
+
+def check_stats_doc(text: str, rel_path: str = SERVING_DOC) -> List[Finding]:
+    """WC307: the SERVING.md stats-key table lists exactly STATS_KEYS."""
+    findings: List[Finding] = []
+    table = parse_markdown_table(text, ("Key", "Meaning"))
+    if table is None:
+        return [
+            Finding(
+                "WC307", rel_path, 1,
+                "no stats-key table with Key/Meaning columns found",
+                key="missing-table",
+            )
+        ]
+    header_line, _, rows = table
+    documented = [strip_backticks(cells[0]) for _, cells in rows]
+    for line, cells in rows:
+        key = strip_backticks(cells[0])
+        if key not in STATS_KEYS:
+            findings.append(
+                Finding(
+                    "WC307", rel_path, line,
+                    f"documented stats key {key!r} is not returned by "
+                    "CorpusShard.stats()",
+                    key=f"unknown-key:{key}",
+                )
+            )
+    for key in STATS_KEYS:
+        if key not in documented:
+            findings.append(
+                Finding(
+                    "WC307", rel_path, header_line,
+                    f"stats key {key!r} has no row in the stats table",
+                    key=f"undocumented-key:{key}",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# WC308 / WC309: algorithm registry
+# ---------------------------------------------------------------------------
+
+
+def check_algorithm_sources(
+    sources: Sequence[Tuple[str, str]]
+) -> List[Finding]:
+    """WC308: the ``@register_algorithm`` classes expose exactly the
+    declared names."""
+    findings: List[Finding] = []
+    registered: Dict[str, Tuple[str, int]] = {}
+    for rel_path, source in sources:
+        for node in ast.walk(ast.parse(source, filename=rel_path)):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorated = any(
+                isinstance(d, ast.Name) and d.id == "register_algorithm"
+                for d in node.decorator_list
+            )
+            if not decorated:
+                continue
+            name = None
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Constant
+                ):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == "name":
+                            name = stmt.value.value
+            if name is None:
+                findings.append(
+                    Finding(
+                        "WC308", rel_path, node.lineno,
+                        f"@register_algorithm class {node.name} has no "
+                        "literal `name` attribute",
+                        key=f"unnamed:{node.name}",
+                    )
+                )
+                continue
+            registered[name] = (rel_path, node.lineno)
+    for name in sorted(set(ALGORITHMS) - set(registered)):
+        findings.append(
+            Finding(
+                "WC308", ALGORITHM_MODULES[0], 1,
+                f"declared algorithm {name!r} is not registered anywhere",
+                key=f"missing-algorithm:{name}",
+            )
+        )
+    for name in sorted(set(registered) - set(ALGORITHMS)):
+        rel_path, line = registered[name]
+        findings.append(
+            Finding(
+                "WC308", rel_path, line,
+                f"registered algorithm {name!r} is not in the ALGORITHMS "
+                "table (add it there AND to the API.md registry list)",
+                key=f"undeclared-algorithm:{name}",
+            )
+        )
+    return findings
+
+
+_ALGO_TOKEN = re.compile(r"^(exact|auto|sm-lsh(-\w+)?|dv-fdp(-\w+)?)$")
+
+
+def check_algorithm_doc(text: str, rel_path: str = API_DOC) -> List[Finding]:
+    """WC309: API.md mentions exactly the registered algorithm names."""
+    findings: List[Finding] = []
+    mentioned: Set[str] = set()
+    for line, token in backtick_tokens(text):
+        if not _ALGO_TOKEN.match(token) or token == "auto":
+            continue
+        mentioned.add(token)
+        if token not in ALGORITHMS:
+            findings.append(
+                Finding(
+                    "WC309", rel_path, line,
+                    f"documented algorithm `{token}` is not in the registry",
+                    key=f"unknown-algorithm:{token}",
+                )
+            )
+    for name in sorted(set(ALGORITHMS) - mentioned):
+        findings.append(
+            Finding(
+                "WC309", rel_path, 1,
+                f"registered algorithm {name!r} is never mentioned in "
+                f"{rel_path}",
+                key=f"undocumented-algorithm:{name}",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+
+
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(check_errors_module(project.source(ERRORS_MODULE)))
+    findings.extend(check_error_doc(project.source(API_DOC)))
+    for rel_path in project.python_files("src/repro"):
+        findings.extend(check_fire_sites(project.source(rel_path), rel_path))
+    fired = set()
+    for rel_path in project.python_files("src/repro"):
+        fired.update(p for _, p in _fire_literals(project.source(rel_path), rel_path))
+    for point in FAULT_POINTS:
+        if point not in fired:
+            findings.append(
+                Finding(
+                    "WC303", "src/repro/serving/reliability.py", 1,
+                    f"declared fault point {point!r} is never fired in src",
+                    key=f"never-fired:{point}",
+                )
+            )
+    findings.extend(check_fault_doc(project.source(SERVING_DOC)))
+    for doc in (API_DOC, SERVING_DOC, DEPLOYMENT_DOC):
+        if project.exists(doc):
+            findings.extend(check_doc_tokens(project.source(doc), doc))
+    for rel_path in project.python_files("tests"):
+        findings.extend(check_test_rules(project.source(rel_path), rel_path))
+    findings.extend(check_stats_source(project.source(SHARDS_MODULE)))
+    findings.extend(check_stats_doc(project.source(SERVING_DOC)))
+    findings.extend(
+        check_algorithm_sources(
+            [(m, project.source(m)) for m in ALGORITHM_MODULES if project.exists(m)]
+        )
+    )
+    findings.extend(check_algorithm_doc(project.source(API_DOC)))
+    return findings

@@ -1,0 +1,184 @@
+"""Shared infrastructure for the repo-native analysis suite.
+
+Findings, the project file/AST cache, baseline handling, and the small
+markdown helpers the contract checkers share.  Stdlib only -- the
+analyzers must run in CI before (and without) the test dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "backtick_tokens",
+    "parse_markdown_table",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding.
+
+    ``key`` is the *stable* identity used for baseline matching: it must
+    not contain line numbers, so a baselined finding stays baselined as
+    the file shifts around it.  ``(code, path, key)`` is the match key.
+    """
+
+    code: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    key: str
+
+    def render(self) -> str:
+        return f"{self.code} {self.path}:{self.line}  {self.message}"
+
+
+class Project:
+    """Repo root plus a parse cache over its python files and docs."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root).resolve()
+        self._sources: Dict[str, str] = {}
+        self._trees: Dict[str, ast.Module] = {}
+
+    def rel(self, path: Path) -> str:
+        return Path(path).resolve().relative_to(self.root).as_posix()
+
+    def exists(self, rel_path: str) -> bool:
+        return (self.root / rel_path).exists()
+
+    def source(self, rel_path: str) -> str:
+        if rel_path not in self._sources:
+            self._sources[rel_path] = (self.root / rel_path).read_text(
+                encoding="utf-8"
+            )
+        return self._sources[rel_path]
+
+    def tree(self, rel_path: str) -> ast.Module:
+        if rel_path not in self._trees:
+            self._trees[rel_path] = ast.parse(
+                self.source(rel_path), filename=rel_path
+            )
+        return self._trees[rel_path]
+
+    def python_files(self, *subdirs: str) -> List[str]:
+        """Repo-relative paths of every ``.py`` file under ``subdirs``."""
+        found: List[str] = []
+        for subdir in subdirs:
+            base = self.root / subdir
+            if not base.exists():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                found.append(self.rel(path))
+        return found
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, committed with one-line justifications.
+
+    Matching ignores line numbers: an entry covers *every* finding with
+    the same ``(code, path, key)`` (e.g. both ``queue.put`` calls under
+    the shard submit lock are one intentional design decision, not two).
+    """
+
+    entries: List[Dict[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload.get("findings", [])
+        for entry in entries:
+            missing = {"code", "path", "key", "justification"} - set(entry)
+            if missing:
+                raise ValueError(
+                    f"baseline entry {entry!r} is missing {sorted(missing)}"
+                )
+        return cls(entries=list(entries))
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+        """Partition findings into (new, baselined) plus stale entries."""
+        index = {(e["code"], e["path"], e["key"]): e for e in self.entries}
+        matched: set = set()
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            entry_key = (finding.code, finding.path, finding.key)
+            if entry_key in index:
+                matched.add(entry_key)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if (entry["code"], entry["path"], entry["key"]) not in matched
+        ]
+        return new, baselined, stale
+
+
+_TABLE_ROW = re.compile(r"^\s*\|(.+)\|\s*$")
+_BACKTICK = re.compile(r"`([^`]+)`")
+
+
+def parse_markdown_table(
+    text: str, required_headers: Sequence[str]
+) -> Optional[Tuple[int, List[str], List[Tuple[int, List[str]]]]]:
+    """Find the first markdown table whose header contains the required
+    column names (case-insensitive substring match per column).
+
+    Returns ``(header_line, headers, rows)`` where rows are
+    ``(line_number, cells)`` with surrounding whitespace stripped, or
+    ``None`` when no such table exists.  Line numbers are 1-based.
+    """
+    lines = text.splitlines()
+    for number, line in enumerate(lines, 1):
+        match = _TABLE_ROW.match(line)
+        if not match:
+            continue
+        headers = [cell.strip() for cell in match.group(1).split("|")]
+        lowered = [header.lower() for header in headers]
+        if not all(
+            any(required.lower() in cell for cell in lowered)
+            for required in required_headers
+        ):
+            continue
+        rows: List[Tuple[int, List[str]]] = []
+        for offset, row_line in enumerate(lines[number:], number + 1):
+            row_match = _TABLE_ROW.match(row_line)
+            if not row_match:
+                break
+            cells = [cell.strip() for cell in row_match.group(1).split("|")]
+            if all(set(cell) <= {"-", ":", " "} for cell in cells):
+                continue  # the |---|---| separator row
+            rows.append((offset, cells))
+        return number, headers, rows
+    return None
+
+
+def backtick_tokens(text: str) -> List[Tuple[int, str]]:
+    """Every backticked token in ``text`` with its 1-based line number."""
+    tokens: List[Tuple[int, str]] = []
+    for number, line in enumerate(text.splitlines(), 1):
+        for match in _BACKTICK.finditer(line):
+            tokens.append((number, match.group(1)))
+    return tokens
+
+
+def strip_backticks(cell: str) -> str:
+    """``` `code` ``` -> ``code`` (first backticked token, or the cell)."""
+    match = _BACKTICK.search(cell)
+    return match.group(1) if match else cell.strip()

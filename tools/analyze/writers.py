@@ -1,0 +1,263 @@
+"""Concurrency-API hygiene checks (WR4xx).
+
+The mutating surface of the two stateful cores is small and must stay
+explicitly annotated:
+
+* ``IncrementalTagDM`` mutators are **externally synchronized**: the
+  caller must hold the shard's exclusive merge lock (or be a declared
+  single-writer context).  Each mutator carries
+  ``@locked_by("shard.merge")`` (WR401) and every call site in src must
+  be inside a ``write_locked()`` block, inside a function itself tagged
+  ``@locked_by``, or under an ``# analyze: writer-context`` comment
+  explaining why no lock is needed (WR402).
+* ``SqliteTaggingStore`` mutators are **self-guarded monitors**: each
+  carries ``@locked_by("store.lock")`` (WR401) and its body must
+  actually take ``with self._lock:`` (WR403).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.analyze.core import Finding, Project
+from tools.analyze.locks import SCAN_DIRS, SCAN_EXCLUDE, _base_attr, _receiver_text
+
+__all__ = [
+    "SESSION_MUTATORS",
+    "STORE_MUTATORS",
+    "WRITER_MARKER",
+    "check_call_sites",
+    "check_mutator_defs",
+    "run",
+]
+
+#: Externally-synchronized mutators: class, module, required lock.
+SESSION_MUTATORS: Dict[str, str] = {
+    "add_action": "shard.merge",
+    "add_actions": "shard.merge",
+    "refresh_topic_model": "shard.merge",
+}
+SESSION_CLASS = ("src/repro/core/incremental.py", "IncrementalTagDM")
+
+#: Self-guarded monitor mutators: every body takes the store lock.
+STORE_MUTATORS: Tuple[str, ...] = (
+    "register_user",
+    "register_item",
+    "add_action",
+    "append_action",
+    "record_request",
+    "ingest",
+    "sync_action_attrs",
+)
+STORE_CLASS = ("src/repro/dataset/sqlite_store.py", "SqliteTaggingStore")
+STORE_LOCK = "store.lock"
+
+#: The annotation that marks a call site as a declared single-writer
+#: context.  Must appear in the enclosing function, before the call.
+WRITER_MARKER = "# analyze: writer-context"
+
+#: Session-mutator call sites are only flagged when the receiver looks
+#: like a session (``TaggingDataset.add_action`` and the store's
+#: ``add_action`` share names with the session mutators).
+_SESSION_RECEIVER_HINT = "session"
+
+
+def _locked_by_names(func: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for decorator in func.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and isinstance(decorator.func, ast.Name)
+            and decorator.func.id == "locked_by"
+        ):
+            for arg in decorator.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    names.add(arg.value)
+    return names
+
+
+def _class_methods(
+    tree: ast.Module, cls_name: str
+) -> Dict[str, ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls_name:
+            return {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+    return {}
+
+
+def check_mutator_defs(
+    session_source: str,
+    store_source: str,
+    session_path: str = SESSION_CLASS[0],
+    store_path: str = STORE_CLASS[0],
+) -> List[Finding]:
+    """WR401 over both mutator surfaces, WR403 over the store."""
+    findings: List[Finding] = []
+
+    methods = _class_methods(
+        ast.parse(session_source, filename=session_path), SESSION_CLASS[1]
+    )
+    for name, required in sorted(SESSION_MUTATORS.items()):
+        func = methods.get(name)
+        if func is None:
+            findings.append(
+                Finding(
+                    "WR401", session_path, 1,
+                    f"declared mutator {SESSION_CLASS[1]}.{name} not found",
+                    key=f"missing-mutator:{name}",
+                )
+            )
+            continue
+        if required not in _locked_by_names(func):
+            findings.append(
+                Finding(
+                    "WR401", session_path, func.lineno,
+                    f"{SESSION_CLASS[1]}.{name} mutates session state but "
+                    f"is not annotated @locked_by({required!r})",
+                    key=f"unannotated:{SESSION_CLASS[1]}.{name}",
+                )
+            )
+
+    methods = _class_methods(
+        ast.parse(store_source, filename=store_path), STORE_CLASS[1]
+    )
+    for name in STORE_MUTATORS:
+        func = methods.get(name)
+        if func is None:
+            findings.append(
+                Finding(
+                    "WR401", store_path, 1,
+                    f"declared mutator {STORE_CLASS[1]}.{name} not found",
+                    key=f"missing-mutator:{name}",
+                )
+            )
+            continue
+        if STORE_LOCK not in _locked_by_names(func):
+            findings.append(
+                Finding(
+                    "WR401", store_path, func.lineno,
+                    f"{STORE_CLASS[1]}.{name} mutates store state but is "
+                    f"not annotated @locked_by({STORE_LOCK!r})",
+                    key=f"unannotated:{STORE_CLASS[1]}.{name}",
+                )
+            )
+            continue
+        if not _takes_own_lock(func):
+            findings.append(
+                Finding(
+                    "WR403", store_path, func.lineno,
+                    f"{STORE_CLASS[1]}.{name} is a self-guarded monitor "
+                    "method but its body never takes `with self._lock:`",
+                    key=f"unguarded-body:{name}",
+                )
+            )
+    return findings
+
+
+def _takes_own_lock(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                base = _base_attr(item.context_expr)
+                if base == ("self", "_lock"):
+                    return True
+    return False
+
+
+class _CallSiteScan(ast.NodeVisitor):
+    """WR402: session-mutator calls outside a declared writer context."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel_path = rel_path
+        self.lines = source.splitlines()
+        self.findings: List[Finding] = []
+        self._with_contexts: List[str] = []
+        self._func_stack: List[ast.FunctionDef] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node)
+        saved, self._with_contexts = self._with_contexts, []
+        self.generic_visit(node)
+        self._with_contexts = saved
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        labels: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+                if expr.func.attr in ("write_locked", "read_locked"):
+                    # an rwlock hold; exclusive side satisfies shard.merge
+                    if expr.func.attr == "write_locked":
+                        labels.append("shard.merge")
+                    continue
+            base = _base_attr(expr)
+            if base is not None:
+                labels.append(f"attr:{base[1]}")
+        self._with_contexts.extend(labels)
+        self.generic_visit(node)
+        for _ in labels:
+            self._with_contexts.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        if not isinstance(node.func, ast.Attribute):
+            return
+        name = node.func.attr
+        required = SESSION_MUTATORS.get(name)
+        if required is None:
+            return
+        receiver = _receiver_text(node.func.value).lower()
+        if _SESSION_RECEIVER_HINT not in receiver:
+            return
+        if required in self._with_contexts:
+            return
+        enclosing = self._func_stack[-1] if self._func_stack else None
+        if enclosing is not None:
+            if required in _locked_by_names(enclosing):
+                return
+            if self._marker_before(enclosing, node.lineno):
+                return
+        self.findings.append(
+            Finding(
+                "WR402", self.rel_path, node.lineno,
+                f"{_receiver_text(node.func.value)}.{name}() mutates the "
+                f"session without holding {required!r}: wrap it in the "
+                "shard's write_locked() block, tag the enclosing function "
+                f"@locked_by({required!r}), or add an "
+                f"'{WRITER_MARKER}' comment explaining the single-writer "
+                "argument",
+                key=f"unsynchronized:{name}",
+            )
+        )
+
+    def _marker_before(self, func: ast.FunctionDef, line: int) -> bool:
+        start = func.lineno
+        for number in range(start, min(line, len(self.lines) + 1)):
+            if WRITER_MARKER in self.lines[number - 1]:
+                return True
+        return False
+
+
+def check_call_sites(rel_path: str, source: str) -> List[Finding]:
+    scan = _CallSiteScan(rel_path, source)
+    scan.visit(ast.parse(source, filename=rel_path))
+    return scan.findings
+
+
+def run(project: Project) -> List[Finding]:
+    findings = check_mutator_defs(
+        project.source(SESSION_CLASS[0]), project.source(STORE_CLASS[0])
+    )
+    for rel_path in project.python_files(*SCAN_DIRS):
+        if rel_path in SCAN_EXCLUDE or rel_path == SESSION_CLASS[0]:
+            continue
+        findings.extend(check_call_sites(rel_path, project.source(rel_path)))
+    return findings

@@ -1,56 +1,23 @@
-"""Fail CI when a top-level markdown file links to a missing file.
-
-Scans every ``*.md`` in the repository root for inline markdown links
-``[text](target)`` and checks that each *relative* target exists on
-disk (anchors stripped).  External links (``http://``, ``https://``,
-``mailto:``) and pure in-page anchors (``#section``) are not checked --
-this is a docs-integrity gate, not a crawler.
+"""Back-compat shim: the doc-link check now lives in the analysis
+suite (``python -m tools.analyze --check doclinks``, codes DL501/DL502;
+see TOOLING.md).  This wrapper keeps the old entry point working for
+scripts and muscle memory.
 
 Run with::
 
     python tools/check_doc_links.py            # repo root inferred
     python tools/check_doc_links.py --root .   # explicit root
-
-Exit code 0 when every link resolves, 1 with a listing of the broken
-ones otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import sys
-import urllib.parse
 from pathlib import Path
 
-#: Inline markdown links; deliberately simple (no nested parens in our docs).
-_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
-
-_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
-
-
-def iter_links(text: str):
-    """Yield every inline-link target in ``text``."""
-    for match in _LINK.finditer(text):
-        yield match.group(1)
-
-
-def check_file(markdown_path: Path, root: Path):
-    """Yield ``(target, resolved_path)`` for each broken link in one file."""
-    for target in iter_links(markdown_path.read_text(encoding="utf-8")):
-        if target.startswith(_EXTERNAL_SCHEMES):
-            continue
-        path_part, _, _anchor = target.partition("#")
-        if not path_part:
-            continue  # pure in-page anchor
-        resolved = (markdown_path.parent / urllib.parse.unquote(path_part)).resolve()
-        try:
-            resolved.relative_to(root.resolve())
-        except ValueError:
-            yield target, resolved  # escapes the repo: always broken
-            continue
-        if not resolved.exists():
-            yield target, resolved
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
 
 def main(argv=None) -> int:
@@ -58,31 +25,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--root",
         type=Path,
-        default=Path(__file__).resolve().parent.parent,
+        default=_REPO_ROOT,
         help="repository root holding the top-level *.md files",
     )
     args = parser.parse_args(argv)
-    root = args.root.resolve()
 
-    markdown_files = sorted(root.glob("*.md"))
-    if not markdown_files:
-        print(f"no top-level *.md files under {root}", file=sys.stderr)
-        return 1
+    from tools.analyze.cli import main as analyze_main
 
-    broken = []
-    checked = 0
-    for markdown_path in markdown_files:
-        for target, resolved in check_file(markdown_path, root):
-            broken.append((markdown_path.name, target, resolved))
-        checked += 1
-
-    if broken:
-        print(f"{len(broken)} broken link(s) across {checked} file(s):")
-        for source, target, resolved in broken:
-            print(f"  {source}: ({target}) -> missing {resolved}")
-        return 1
-    print(f"all relative links resolve across {checked} top-level markdown files")
-    return 0
+    return analyze_main(["--check", "doclinks", "--root", str(args.root)])
 
 
 if __name__ == "__main__":
