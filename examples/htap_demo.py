@@ -187,6 +187,17 @@ def main(argv=None) -> int:
         f"merged-view parity={parity}"
     )
 
+    # Determinism drill: the same seeded problem solved again (twice) on
+    # the merged view must be byte-identical to the first post-storm
+    # solve.  Any hidden global state on the solve path -- an unseeded
+    # RNG, set-order tie-breaks, a wall-clock read (the DT6xx lint's
+    # prey) -- shows up here as a key mismatch.
+    duplicate_keys = [
+        result_key(shard.solve(problem, algorithm="sm-lsh-fo")) for _ in range(2)
+    ]
+    deterministic = all(key == merged_key for key in duplicate_keys)
+    print(f"determinism drill: 3 identical solves match={deterministic}")
+
     server.close()
     for error in errors:
         print(f"ERROR: {type(error).__name__}: {error}")
@@ -208,6 +219,7 @@ def main(argv=None) -> int:
     ok = (
         not errors
         and parity
+        and deterministic
         and n_inserts > 0
         and len(latencies) >= n_solvers
         and served.n_actions - initial == n_inserts

@@ -41,12 +41,26 @@ from repro.core.framework import TagDM
 from repro.core.groups import GroupDescription, TaggingActionGroup
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
+from repro.core.sanitizer import freeze_array, owned_by, seal_view
 from repro.core.witness import locked_by, named_lock
 from repro.dataset.store import ITEM_PREFIX, USER_PREFIX, TaggingDataset
 
 __all__ = ["IncrementalTagDM", "IncrementalUpdateReport", "SessionView"]
 
 
+@owned_by(
+    # Captured at publication, read lock-free by every solver thread.
+    epoch="frozen-after-publish",
+    n_actions="frozen-after-publish",
+    groups="frozen-after-publish",
+    functions="frozen-after-publish",
+    seed="frozen-after-publish",
+    # Derived state built lazily after freeze(), under the view's lock.
+    _build_lock="init-only",
+    _signatures="lock:view.build",
+    _matrix_cache="lock:view.build",
+    _lsh_cache="lock:view.build",
+)
 class SessionView:
     """An immutable solve-only view of a session, frozen at one epoch.
 
@@ -90,6 +104,9 @@ class SessionView:
         self._signatures = session._signatures
         self._matrix_cache = session._matrix_cache
         self._lsh_cache: Dict[int, object] = dict(session._lsh_cache)
+        # With TAGDM_STATE_SANITIZER armed, the published containers are
+        # wrapped in raise-on-write proxies (no-op in production).
+        seal_view(self)
 
     @property
     def n_groups(self) -> int:
@@ -103,7 +120,7 @@ class SessionView:
             if self._signatures is None:
                 from repro.core.signatures import signature_matrix  # lazy import
 
-                self._signatures = signature_matrix(self.groups)
+                self._signatures = freeze_array(signature_matrix(self.groups))
             return self._signatures
 
     def matrix_cache(self):
@@ -444,6 +461,7 @@ class IncrementalTagDM:
         group.signature = self.session.signature_builder.signature(group)
         return group
 
+    @locked_by("shard.merge")
     def _touch_group(self, description: GroupDescription, row: int, report: IncrementalUpdateReport) -> None:
         position = self._group_index.get(description)
         if position is not None:
@@ -485,6 +503,7 @@ class IncrementalTagDM:
             for listener in self._mutation_listeners:
                 listener(report)
 
+    @locked_by("shard.merge")
     def _invalidate_derived_state(self) -> None:
         """Drop every cache a changed signature poisons.
 
@@ -496,6 +515,7 @@ class IncrementalTagDM:
         self.session.invalidate_caches()
         self.session._signatures = None
 
+    @locked_by("shard.merge")
     def _insert_one(
         self,
         user_id: str,
@@ -668,7 +688,16 @@ class IncrementalTagDM:
         ``signature_backend`` string -- not inferred from the live model
         object, whose ``name`` attribute may carry the base-class default
         (``"topic-model"``) and would silently swap the backend.
+
+        The refit builds *replacement* group objects rather than
+        rebinding ``signature`` on the live ones: published views share
+        the captured group objects with the session (freeze() copies the
+        list, not the groups), so an in-place rebind would mutate state
+        a concurrent lock-free solver is reading.  Replacing list
+        entries is the same discipline every incremental insert follows.
         """
+        import dataclasses
+
         from repro.core.signatures import GroupSignatureBuilder
 
         builder = GroupSignatureBuilder(
@@ -677,7 +706,12 @@ class IncrementalTagDM:
             n_dimensions=self.session.signature_builder.n_dimensions,
             seed=self.session.seed,
         )
-        builder.build(self.session.groups)
+        replacements = [
+            dataclasses.replace(group, signature=None)
+            for group in self.session.groups
+        ]
+        builder.build(replacements)
+        self.session.groups[:] = replacements
         self.session.signature_builder = builder
         self._invalidate_derived_state()
 

@@ -49,7 +49,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.witness import named_lock
+from repro.core.witness import locked_by, named_lock
 
 __all__ = [
     "AdmissionPolicy",
@@ -144,6 +144,7 @@ class CircuitBreaker:
             self._advance()
             return self._state
 
+    @locked_by("breaker.state")
     def _advance(self) -> None:
         """Move open -> half-open once the reset window has elapsed."""
         if self._state == self.OPEN:

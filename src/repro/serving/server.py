@@ -40,7 +40,7 @@ from repro.core.incremental import IncrementalTagDM, IncrementalUpdateReport
 from repro.core.persistence import read_snapshot, session_from_snapshot
 from repro.core.problem import TagDMProblem
 from repro.core.result import MiningResult
-from repro.core.witness import named_lock
+from repro.core.witness import locked_by, named_lock
 from repro.dataset.sqlite_store import SqliteTaggingStore
 from repro.dataset.store import TaggingDataset
 from repro.serving.policy import MergePolicy, SnapshotRotationPolicy, SnapshotRotator
@@ -135,6 +135,7 @@ class TagDMServer:
         if self._closed:
             raise RuntimeError("server is closed")
 
+    @locked_by("server.registry")
     def _register(self, name: str, shard: CorpusShard, store: SqliteTaggingStore) -> None:
         self._shards[name] = shard
         self._stores[name] = store

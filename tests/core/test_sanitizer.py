@@ -1,0 +1,191 @@
+"""Tests for the runtime publication-immutability sanitizer.
+
+The static half (RC5xx) is covered in ``tests/tools/test_analyze.py``;
+here we prove the runtime half: with ``TAGDM_STATE_SANITIZER`` armed a
+frozen view's containers raise on write, and with it unset (the
+production default) nothing is wrapped at all.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.enumeration import GroupEnumerationConfig
+from repro.core.incremental import IncrementalTagDM
+from repro.core.sanitizer import (
+    SANITIZER_ENV,
+    FrozenDict,
+    FrozenList,
+    PublicationViolation,
+    freeze_array,
+    sanitizer_enabled,
+    seal_view,
+)
+from repro.dataset.synthetic import generate_movielens_style
+
+
+@pytest.fixture()
+def armed(monkeypatch):
+    monkeypatch.setenv(SANITIZER_ENV, "1")
+
+
+@pytest.fixture()
+def disarmed(monkeypatch):
+    monkeypatch.delenv(SANITIZER_ENV, raising=False)
+
+
+class TestEnablement:
+    def test_unset_and_falsey_values_disable(self, monkeypatch):
+        for value in (None, "", "0", "false", " 0 "):
+            if value is None:
+                monkeypatch.delenv(SANITIZER_ENV, raising=False)
+            else:
+                monkeypatch.setenv(SANITIZER_ENV, value)
+            assert not sanitizer_enabled()
+
+    def test_truthy_values_enable(self, monkeypatch):
+        for value in ("1", "yes", "on"):
+            monkeypatch.setenv(SANITIZER_ENV, value)
+            assert sanitizer_enabled()
+
+
+class TestFrozenContainers:
+    def test_frozen_list_reads_like_a_list(self):
+        frozen = FrozenList([1, 2, 3])
+        assert len(frozen) == 3
+        assert frozen[0] == 1
+        assert frozen[1:] == [2, 3]
+        assert list(frozen) == [1, 2, 3]
+        assert frozen == [1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda l: l.append(4),
+            lambda l: l.extend([4]),
+            lambda l: l.insert(0, 4),
+            lambda l: l.remove(1),
+            lambda l: l.pop(),
+            lambda l: l.clear(),
+            lambda l: l.sort(),
+            lambda l: l.reverse(),
+            lambda l: l.__setitem__(0, 9),
+            lambda l: l.__delitem__(0),
+            lambda l: l.__iadd__([4]),
+            lambda l: l.__imul__(2),
+        ],
+    )
+    def test_frozen_list_mutators_raise(self, mutate):
+        frozen = FrozenList([1, 2, 3])
+        with pytest.raises(PublicationViolation):
+            mutate(frozen)
+        assert frozen == [1, 2, 3]  # nothing changed
+
+    def test_frozen_dict_reads_like_a_dict(self):
+        frozen = FrozenDict({"a": 1})
+        assert frozen["a"] == 1
+        assert dict(frozen) == {"a": 1}
+        assert frozen.get("missing") is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.__setitem__("b", 2),
+            lambda d: d.__delitem__("a"),
+            lambda d: d.pop("a"),
+            lambda d: d.popitem(),
+            lambda d: d.clear(),
+            lambda d: d.update({"b": 2}),
+            lambda d: d.setdefault("b", 2),
+        ],
+    )
+    def test_frozen_dict_mutators_raise(self, mutate):
+        frozen = FrozenDict({"a": 1})
+        with pytest.raises(PublicationViolation):
+            mutate(frozen)
+        assert frozen == {"a": 1}
+
+
+class TestFreezeArray:
+    def test_armed_marks_array_read_only(self, armed):
+        array = np.zeros(4)
+        assert freeze_array(array) is array
+        with pytest.raises(ValueError):
+            array[0] = 1.0
+
+    def test_disarmed_leaves_array_writable(self, disarmed):
+        array = np.zeros(4)
+        assert freeze_array(array) is array
+        array[0] = 1.0  # no raise
+        assert array[0] == 1.0
+
+    def test_non_arrays_pass_through(self, armed):
+        assert freeze_array(None) is None
+        payload = object()
+        assert freeze_array(payload) is payload
+
+
+class TestSealView:
+    def _view(self):
+        signature = np.ones(3)
+        group = SimpleNamespace(signature=signature)
+        return SimpleNamespace(
+            groups=[group], _signatures=np.ones((1, 3))
+        )
+
+    def test_armed_wraps_groups_and_freezes_signatures(self, armed):
+        view = self._view()
+        seal_view(view)
+        assert isinstance(view.groups, FrozenList)
+        with pytest.raises(PublicationViolation):
+            view.groups.append(object())
+        with pytest.raises(ValueError):
+            view.groups[0].signature[0] = 5.0
+        with pytest.raises(ValueError):
+            view._signatures[0, 0] = 5.0
+
+    def test_disarmed_is_a_no_op(self, disarmed):
+        view = self._view()
+        seal_view(view)
+        assert type(view.groups) is list
+        view.groups.append(object())  # still a plain list
+        view._signatures[0, 0] = 5.0  # still writable
+
+
+class TestFrozenSessionView:
+    """End-to-end: freeze() on a real session honours the env switch."""
+
+    def _session(self):
+        dataset = generate_movielens_style(
+            n_users=30, n_items=60, n_actions=300, seed=7
+        )
+        return IncrementalTagDM(
+            dataset, enumeration=GroupEnumerationConfig(min_support=5)
+        ).prepare()
+
+    def test_armed_view_raises_on_post_publication_write(self, armed):
+        view = self._session().freeze(epoch=1)
+        assert isinstance(view.groups, FrozenList)
+        with pytest.raises(PublicationViolation):
+            view.groups.append(object())
+        with pytest.raises(PublicationViolation):
+            view.groups.pop()
+
+    def test_armed_view_still_builds_lazy_state(self, armed):
+        # _signatures/_matrix_cache/_lsh_cache are lock:view.build, not
+        # frozen-after-publish: the lazy build must still succeed...
+        view = self._session().freeze(epoch=1)
+        matrix = view.signatures
+        assert matrix is not None and len(view.groups) > 0
+        # ...and the *result* it publishes is itself read-only.
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 123.0
+
+    def test_disarmed_view_stays_plain(self, disarmed):
+        view = self._session().freeze(epoch=1)
+        assert type(view.groups) is list
+        matrix = view.signatures
+        matrix[0, 0] = matrix[0, 0]  # writable: no wrapping when unset

@@ -19,11 +19,20 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-from tools.analyze import contracts, doclinks, locks, order, writers  # noqa: E402
+from tools.analyze import (  # noqa: E402
+    contracts,
+    determinism,
+    doclinks,
+    locks,
+    order,
+    races,
+    writers,
+)
 from tools.analyze.cli import CHECKS, main  # noqa: E402
 from tools.analyze.core import Baseline, Finding  # noqa: E402
 from tools.analyze.explain import EXPLANATIONS  # noqa: E402
 from tools.analyze.hierarchy import LOCK_DECLS, LOCK_ORDER  # noqa: E402
+from tools.analyze.ownership import OWNERSHIP_DECLS, OwnershipDecl  # noqa: E402
 
 SHARDS = "src/repro/serving/shards.py"  # a module with declared locks
 
@@ -475,6 +484,341 @@ class TestDocLinks:
 
 
 # ---------------------------------------------------------------------------
+# shared-state races (RC5xx)
+# ---------------------------------------------------------------------------
+
+
+class TestRaces:
+    def test_undeclared_attribute_flagged(self):
+        src = (
+            "@owned_by(x='init-only')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "        self.y = 2\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC501"]
+        assert findings[0].key == "undeclared:C.y"
+
+    def test_unknown_domain_flagged(self):
+        src = (
+            "@owned_by(x='protected-by-vibes')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC501"]
+        assert findings[0].key == "bad-domain:C.x"
+
+    def test_post_init_write_to_init_only_flagged(self):
+        src = (
+            "@owned_by(x='init-only')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "    def f(self):\n"
+            "        self.x = 2\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC502"]
+        assert findings[0].key == "post-init:C.x:f"
+
+    def test_post_publish_del_flagged(self):
+        src = (
+            "@owned_by(x='frozen-after-publish')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "    def f(self):\n"
+            "        del self.x\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC502"]
+        assert findings[0].key == "post-publish:C.x:f"
+
+    def test_unlocked_write_flagged_locked_write_accepted(self):
+        # _maintenance_lock is the only LockDecl with that attribute
+        # name, so the lexical `with` resolves even in a synthetic class.
+        src = (
+            "@owned_by(x='lock:shard.maintenance')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def good(self):\n"
+            "        with self._maintenance_lock:\n"
+            "            self.x += 1\n"
+            "    def bad(self):\n"
+            "        self.x += 1\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC502"]
+        assert findings[0].key == "unlocked:C.x:bad"
+
+    def test_locked_by_decorator_grants_lock_domain(self):
+        src = (
+            "@owned_by(x='lock:shard.merge')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    @locked_by('shard.merge')\n"
+            "    def f(self):\n"
+            "        self.x = 1\n"
+        )
+        assert races.check_file("m.py", src) == []
+
+    def test_read_locked_is_not_a_writer_context(self):
+        src = (
+            "@owned_by(x='lock:shard.maintenance')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def reader(self):\n"
+            "        with self._maintenance_lock.read_locked():\n"
+            "            self.x = 1\n"
+            "    def writer(self):\n"
+            "        with self._maintenance_lock.write_locked():\n"
+            "            self.x = 2\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC502"]
+        assert findings[0].key == "unlocked:C.x:reader"
+
+    def test_container_mutation_outside_lock_flagged(self):
+        src = (
+            "@owned_by(items='lock:shard.maintenance')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "    def f(self):\n"
+            "        self.items.append(1)\n"
+            "    def g(self):\n"
+            "        self.items[0] = 1\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC503", "RC503"]
+        assert {f.key for f in findings} == {"unlocked:C.items:f", "unlocked:C.items:g"}
+
+    def test_nested_store_through_attribute_flagged(self):
+        src = (
+            "@owned_by(session='lock:shard.maintenance')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.session = object()\n"
+            "    def f(self):\n"
+            "        self.session.groups = []\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC503"]
+
+    def test_confined_writer_table_declaration(self):
+        decl = OwnershipDecl(
+            module="m.py",
+            cls="C",
+            attrs={"x": "confined:worker"},
+            confined_writers={"worker": ("loop",)},
+        )
+        src = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def loop(self):\n"
+            "        self.x = 1\n"
+            "    def other(self):\n"
+            "        self.x = 2\n"
+        )
+        findings = races.check_file("m.py", src, decls=[decl])
+        assert codes(findings) == ["RC502"]
+        assert findings[0].key == "unconfined:C.x:other"
+
+    def test_extra_init_methods_accepted(self):
+        decl = OwnershipDecl(
+            module="m.py",
+            cls="C",
+            attrs={"x": "init-only"},
+            init_methods=("__init__", "prepare"),
+        )
+        src = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def prepare(self):\n"
+            "        self.x = 1\n"
+        )
+        assert races.check_file("m.py", src, decls=[decl]) == []
+
+    def test_inline_owner_marker_declares_attribute(self):
+        src = (
+            "@owned_by(x='init-only')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "        self.y = {}  # analyze: owner=init-only\n"
+        )
+        assert races.check_file("m.py", src) == []
+
+    def test_writer_context_marker_accepted(self):
+        src = (
+            "@owned_by(x='lock:shard.maintenance')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def f(self):\n"
+            "        # analyze: writer-context -- single-writer merge thread\n"
+            "        self.x = 1\n"
+        )
+        assert races.check_file("m.py", src) == []
+
+    def test_view_mutation_flagged(self):
+        src = (
+            "def f(view):\n"
+            "    view.groups.append(1)\n"
+            "def g(published_view):\n"
+            "    published_view.epoch = 2\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC504", "RC504"]
+
+    def test_self_rooted_view_attr_not_rc504(self):
+        # instance state is the class-domain scan's job, not RC504's
+        src = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        self.view.x = 1\n"
+        )
+        assert races.check_file("m.py", src) == []
+
+    def test_stale_attribute_declaration_flagged(self):
+        src = (
+            "@owned_by(x='init-only', z='init-only')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+        )
+        findings = races.check_file("m.py", src)
+        assert codes(findings) == ["RC505"]
+        assert findings[0].key == "stale-attr:C.z"
+
+    def test_stale_class_declaration_flagged(self):
+        decl = OwnershipDecl(module="m.py", cls="Gone", attrs={"x": "init-only"})
+        findings = races.check_file("m.py", "class Other:\n    pass\n", decls=[decl])
+        assert codes(findings) == ["RC505"]
+        assert findings[0].key == "stale-class:Gone"
+
+    def test_method_call_through_return_value_not_a_write(self):
+        # self.shard(name).insert(...) mutates a *return value*, not
+        # attribute state; `insert` collides with the list mutator.
+        src = (
+            "@owned_by(x='init-only')\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "    def f(self, name):\n"
+            "        return self.shard(name).insert(1)\n"
+        )
+        assert races.check_file("m.py", src) == []
+
+    def test_ownership_table_domains_all_valid(self):
+        for decl in OWNERSHIP_DECLS:
+            for attr, domain in decl.attrs.items():
+                assert races._valid_domain(domain), (decl.cls, attr, domain)
+            for label in decl.confined_writers:
+                assert f"confined:{label}" in decl.attrs.values(), (decl.cls, label)
+
+
+# ---------------------------------------------------------------------------
+# determinism lint (DT6xx)
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_unseeded_default_rng_flagged(self):
+        findings = determinism.check_file("m.py", "rng = default_rng()\n")
+        assert codes(findings) == ["DT601"]
+        assert findings[0].key == "unseeded:default_rng"
+
+    def test_seeded_default_rng_accepted(self):
+        assert determinism.check_file("m.py", "rng = default_rng(13)\n") == []
+        assert determinism.check_file("m.py", "rng = default_rng(seed=13)\n") == []
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = determinism.check_file("m.py", "r = random.Random()\n")
+        assert codes(findings) == ["DT601"]
+        assert determinism.check_file("m.py", "r = random.Random(3)\n") == []
+
+    def test_global_random_draw_flagged(self):
+        findings = determinism.check_file("m.py", "x = random.choice(items)\n")
+        assert codes(findings) == ["DT601"]
+        assert findings[0].key == "global-rng:random.choice"
+        # a seeded instance's draw is fine
+        assert determinism.check_file("m.py", "x = rng.choice(items)\n") == []
+
+    def test_numpy_global_draw_flagged(self):
+        findings = determinism.check_file("m.py", "np.random.shuffle(xs)\n")
+        assert codes(findings) == ["DT601"]
+        assert findings[0].key == "global-rng:np.random.shuffle"
+
+    def test_set_iteration_flagged(self):
+        findings = determinism.check_file(
+            "m.py", "for tag in set(tags):\n    emit(tag)\n"
+        )
+        assert codes(findings) == ["DT602"]
+
+    def test_sorted_set_iteration_accepted(self):
+        src = "for tag in sorted(set(tags)):\n    emit(tag)\n"
+        assert determinism.check_file("m.py", src) == []
+
+    def test_set_fed_to_consumer_flagged(self):
+        assert codes(determinism.check_file("m.py", "xs = list({1, 2})\n")) == ["DT602"]
+        assert codes(
+            determinism.check_file("m.py", "s = ','.join({str(x) for x in xs})\n")
+        ) == ["DT602"]
+
+    def test_dict_iteration_not_flagged(self):
+        assert determinism.check_file("m.py", "for k in mapping:\n    pass\n") == []
+
+    def test_wall_clock_on_deterministic_path_flagged(self):
+        findings = determinism.check_file(
+            "src/repro/core/m.py", "stamp = time.time()\n"
+        )
+        assert codes(findings) == ["DT603"]
+
+    def test_wall_clock_outside_deterministic_paths_accepted(self):
+        src = "stamp = time.time()\n"
+        assert determinism.check_file("src/repro/serving/m.py", src) == []
+
+    def test_monotonic_clock_accepted_everywhere(self):
+        src = "begin = time.monotonic()\nend = time.perf_counter()\n"
+        assert determinism.check_file("src/repro/core/m.py", src) == []
+
+    def test_datetime_now_on_deterministic_path_flagged(self):
+        findings = determinism.check_file(
+            "src/repro/core/m.py", "when = datetime.now()\n"
+        )
+        assert codes(findings) == ["DT603"]
+
+    def test_id_ordering_flagged(self):
+        findings = determinism.check_file(
+            "m.py", "ordered = sorted(groups, key=lambda g: id(g))\n"
+        )
+        assert codes(findings) == ["DT604"]
+        assert determinism.check_file("m.py", "ordered = sorted(xs, key=len)\n") == []
+
+    def test_marker_suppresses_same_line(self):
+        src = "rng = default_rng()  # analyze: nondeterminism-ok(test-only jitter)\n"
+        assert determinism.check_file("m.py", src) == []
+
+    def test_marker_suppresses_preceding_line(self):
+        src = (
+            "# analyze: nondeterminism-ok(display order, never serialized)\n"
+            "for tag in set(tags):\n"
+            "    emit(tag)\n"
+        )
+        assert determinism.check_file("m.py", src) == []
+
+
+# ---------------------------------------------------------------------------
 # CLI, explanations, baseline, and the repo itself
 # ---------------------------------------------------------------------------
 
@@ -484,9 +828,9 @@ def _all_emittable_codes():
     import re
 
     found = set()
-    for module in (locks, order, contracts, writers, doclinks):
+    for module in (locks, order, contracts, writers, doclinks, races, determinism):
         source = Path(module.__file__).read_text(encoding="utf-8")
-        found.update(re.findall(r'"((?:LD|LH|WC|WR|DL)\d{3})"', source))
+        found.update(re.findall(r'"((?:LD|LH|WC|WR|DL|RC|DT)\d{3})"', source))
     return found
 
 
@@ -558,6 +902,74 @@ class TestSuite:
         assert "stale" in out
         assert "DL501" in out and "LD102" not in out
 
+    def test_prune_baseline_rewrites_file(self, tmp_path, capsys):
+        bogus = {
+            "findings": [
+                {
+                    "code": "DL501",
+                    "path": "README.md",
+                    "key": "broken:NO_SUCH.md",
+                    "justification": "stale on purpose",
+                }
+            ]
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(bogus))
+        rc = main(
+            [
+                "--root", str(REPO_ROOT), "--check", "doclinks",
+                "--baseline", str(path), "--prune-baseline",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert json.loads(path.read_text()) == {"findings": []}
+        # the rewritten file is a valid baseline for the next run
+        assert main(
+            ["--root", str(REPO_ROOT), "--check", "doclinks", "--baseline", str(path)]
+        ) == 0
+
+    def test_prune_baseline_does_not_mask_new_findings(self, tmp_path, capsys):
+        root = tmp_path / "repo"
+        root.mkdir()
+        (root / "README.md").write_text("[gone](MISSING.md)\n")
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "code": "DL501",
+                            "path": "README.md",
+                            "key": "broken:OTHER.md",
+                            "justification": "stale on purpose",
+                        }
+                    ]
+                }
+            )
+        )
+        rc = main(
+            [
+                "--root", str(root), "--check", "doclinks",
+                "--baseline", str(path), "--prune-baseline",
+            ]
+        )
+        assert rc == 1  # the new DL501 still fails the run...
+        assert json.loads(path.read_text()) == {"findings": []}  # ...but stale is gone
+
+    def test_ci_run_parses_each_file_once(self):
+        from tools.analyze.core import Project
+
+        project = Project(REPO_ROOT)
+        for check in CHECKS.values():
+            check(project)
+        first = project.parse_count
+        assert first > 0
+        for check in CHECKS.values():
+            check(project)
+        assert project.parse_count == first
+
     def test_check_selection(self, capsys):
         assert main(["--root", str(REPO_ROOT), "--check", "doclinks"]) == 0
         out = capsys.readouterr().out
@@ -573,7 +985,7 @@ class TestSuite:
         assert proc.returncode == 0
         assert "locks" in proc.stdout and "LD101" in proc.stdout
 
-    def test_doc_links_shim_still_works(self):
+    def test_doc_links_shim_still_works_and_warns(self):
         proc = subprocess.run(
             [sys.executable, "tools/check_doc_links.py"],
             cwd=REPO_ROOT,
@@ -581,3 +993,5 @@ class TestSuite:
             text=True,
         )
         assert proc.returncode == 0
+        assert "DeprecationWarning" in proc.stderr
+        assert "tools.analyze --check doclinks" in proc.stderr

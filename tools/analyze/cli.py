@@ -12,27 +12,39 @@ Usage::
     python -m tools.analyze --explain LD102
     python -m tools.analyze --list             # available checks/codes
     python -m tools.analyze --no-baseline      # raw findings, no filter
+    python -m tools.analyze --prune-baseline   # drop stale baseline entries
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List
 
-from tools.analyze import contracts, doclinks, locks, order, writers
+from tools.analyze import (
+    contracts,
+    determinism,
+    doclinks,
+    locks,
+    order,
+    races,
+    writers,
+)
 from tools.analyze.core import Baseline, Finding, Project
 from tools.analyze.explain import EXPLANATIONS
 
 __all__ = ["CHECKS", "main"]
 
 CHECKS: Dict[str, Callable[[Project], List[Finding]]] = {
-    "locks": locks.run,         # LD1xx  lock discipline
-    "order": order.run,         # LH2xx  deadlock hierarchy
-    "contracts": contracts.run, # WC3xx  wire-contract drift
-    "writers": writers.run,     # WR4xx  concurrency-API hygiene
-    "doclinks": doclinks.run,   # DL5xx  markdown link integrity
+    "locks": locks.run,           # LD1xx  lock discipline
+    "order": order.run,           # LH2xx  deadlock hierarchy
+    "contracts": contracts.run,   # WC3xx  wire-contract drift
+    "writers": writers.run,       # WR4xx  concurrency-API hygiene
+    "doclinks": doclinks.run,     # DL5xx  markdown link integrity
+    "races": races.run,           # RC5xx  shared-state ownership
+    "determinism": determinism.run,  # DT6xx  determinism lint
 }
 
 _DEFAULT_ROOT = Path(__file__).resolve().parent.parent.parent
@@ -43,7 +55,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analyze",
         description="repo-native static analysis: lock discipline, "
-        "deadlock hierarchy, wire-contract drift, writer hygiene, doc links",
+        "deadlock hierarchy, wire-contract drift, writer hygiene, doc "
+        "links, shared-state ownership, determinism lint",
     )
     parser.add_argument(
         "--check",
@@ -71,6 +84,12 @@ def main(argv=None) -> int:
         "--no-baseline",
         action="store_true",
         help="report every finding; ignore the baseline",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file dropping entries that no longer "
+        "match any finding (new findings still fail the run)",
     )
     args = parser.parse_args(argv)
 
@@ -110,7 +129,8 @@ def main(argv=None) -> int:
     # A baseline entry is only stale when its check family actually ran.
     prefix_to_check = {
         "LD": "locks", "LH": "order", "WC": "contracts",
-        "WR": "writers", "DL": "doclinks",
+        "WR": "writers", "DL": "doclinks", "RC": "races",
+        "DT": "determinism",
     }
     stale = [
         entry
@@ -118,6 +138,22 @@ def main(argv=None) -> int:
         if prefix_to_check.get(entry["code"][:2]) in args.check
     ]
     failed = bool(new)
+    if args.prune_baseline and not args.no_baseline and stale:
+        stale_keys = {(e["code"], e["path"], e["key"]) for e in stale}
+        kept = [
+            entry
+            for entry in baseline.entries
+            if (entry["code"], entry["path"], entry["key"]) not in stale_keys
+        ]
+        args.baseline.write_text(
+            json.dumps({"findings": kept}, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"pruned {len(stale)} stale baseline "
+            f"entr{'y' if len(stale) == 1 else 'ies'} from "
+            f"{args.baseline.name} ({len(kept)} kept)"
+        )
+        stale = []
     if stale and not args.no_baseline:
         failed = True
         print(

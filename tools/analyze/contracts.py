@@ -145,10 +145,15 @@ _DOC_TOKEN_ALLOWLIST = {
 # ---------------------------------------------------------------------------
 
 
-def check_errors_module(source: str, rel_path: str = ERRORS_MODULE) -> List[Finding]:
+def check_errors_module(
+    source: str,
+    rel_path: str = ERRORS_MODULE,
+    tree: Optional[ast.Module] = None,
+) -> List[Finding]:
     """WC301: the errors module must define exactly the taxonomy."""
     findings: List[Finding] = []
-    tree = ast.parse(source, filename=rel_path)
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
     seen: Dict[str, Tuple[Optional[str], Optional[int], int]] = {}
     registry: Optional[Set[str]] = None
     registry_line = 1
@@ -321,9 +326,13 @@ def check_error_doc(text: str, rel_path: str = API_DOC) -> List[Finding]:
 # ---------------------------------------------------------------------------
 
 
-def _fire_literals(source: str, rel_path: str) -> List[Tuple[int, str]]:
+def _fire_literals(
+    source: str, rel_path: str, tree: Optional[ast.Module] = None
+) -> List[Tuple[int, str]]:
     literals: List[Tuple[int, str]] = []
-    for node in ast.walk(ast.parse(source, filename=rel_path)):
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
+    for node in ast.walk(tree):
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
@@ -336,10 +345,12 @@ def _fire_literals(source: str, rel_path: str) -> List[Tuple[int, str]]:
     return literals
 
 
-def check_fire_sites(source: str, rel_path: str) -> List[Finding]:
+def check_fire_sites(
+    source: str, rel_path: str, tree: Optional[ast.Module] = None
+) -> List[Finding]:
     """WC303: every ``fire("...")`` literal in src is a declared point."""
     findings: List[Finding] = []
-    for line, point in _fire_literals(source, rel_path):
+    for line, point in _fire_literals(source, rel_path, tree=tree):
         if point not in FAULT_POINTS:
             findings.append(
                 Finding(
@@ -408,13 +419,17 @@ def check_doc_tokens(text: str, rel_path: str) -> List[Finding]:
     return findings
 
 
-def check_test_rules(source: str, rel_path: str) -> List[Finding]:
+def check_test_rules(
+    source: str, rel_path: str, tree: Optional[ast.Module] = None
+) -> List[Finding]:
     """WC305: ``FaultRule("a.b", ...)`` literals in tests must be
     declared points.  Single-word synthetic names (``"p"``) are the
     unit-test idiom for exercising the plan machinery and are allowed.
     """
     findings: List[Finding] = []
-    for node in ast.walk(ast.parse(source, filename=rel_path)):
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
+    for node in ast.walk(tree):
         if (
             isinstance(node, ast.Call)
             and (
@@ -446,11 +461,16 @@ def check_test_rules(source: str, rel_path: str) -> List[Finding]:
 # ---------------------------------------------------------------------------
 
 
-def check_stats_source(source: str, rel_path: str = SHARDS_MODULE) -> List[Finding]:
+def check_stats_source(
+    source: str,
+    rel_path: str = SHARDS_MODULE,
+    tree: Optional[ast.Module] = None,
+) -> List[Finding]:
     """WC306: the literal keys built in ``CorpusShard.stats()`` must be
     exactly STATS_KEYS."""
     findings: List[Finding] = []
-    tree = ast.parse(source, filename=rel_path)
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
     stats_fn: Optional[ast.FunctionDef] = None
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef) and node.name == "CorpusShard":
@@ -536,14 +556,18 @@ def check_stats_doc(text: str, rel_path: str = SERVING_DOC) -> List[Finding]:
 
 
 def check_algorithm_sources(
-    sources: Sequence[Tuple[str, str]]
+    sources: Sequence[Tuple[str, str]],
+    trees: Optional[Dict[str, ast.Module]] = None,
 ) -> List[Finding]:
     """WC308: the ``@register_algorithm`` classes expose exactly the
     declared names."""
     findings: List[Finding] = []
     registered: Dict[str, Tuple[str, int]] = {}
     for rel_path, source in sources:
-        for node in ast.walk(ast.parse(source, filename=rel_path)):
+        tree = (trees or {}).get(rel_path)
+        if tree is None:
+            tree = ast.parse(source, filename=rel_path)
+        for node in ast.walk(tree):
             if not isinstance(node, ast.ClassDef):
                 continue
             decorated = any(
@@ -628,13 +652,21 @@ def check_algorithm_doc(text: str, rel_path: str = API_DOC) -> List[Finding]:
 
 def run(project: Project) -> List[Finding]:
     findings: List[Finding] = []
-    findings.extend(check_errors_module(project.source(ERRORS_MODULE)))
+    findings.extend(
+        check_errors_module(
+            project.source(ERRORS_MODULE), tree=project.tree(ERRORS_MODULE)
+        )
+    )
     findings.extend(check_error_doc(project.source(API_DOC)))
-    for rel_path in project.python_files("src/repro"):
-        findings.extend(check_fire_sites(project.source(rel_path), rel_path))
     fired = set()
     for rel_path in project.python_files("src/repro"):
-        fired.update(p for _, p in _fire_literals(project.source(rel_path), rel_path))
+        tree = project.tree(rel_path)
+        findings.extend(
+            check_fire_sites(project.source(rel_path), rel_path, tree=tree)
+        )
+        fired.update(
+            p for _, p in _fire_literals(project.source(rel_path), rel_path, tree=tree)
+        )
     for point in FAULT_POINTS:
         if point not in fired:
             findings.append(
@@ -649,12 +681,22 @@ def run(project: Project) -> List[Finding]:
         if project.exists(doc):
             findings.extend(check_doc_tokens(project.source(doc), doc))
     for rel_path in project.python_files("tests"):
-        findings.extend(check_test_rules(project.source(rel_path), rel_path))
-    findings.extend(check_stats_source(project.source(SHARDS_MODULE)))
+        findings.extend(
+            check_test_rules(
+                project.source(rel_path), rel_path, tree=project.tree(rel_path)
+            )
+        )
+    findings.extend(
+        check_stats_source(
+            project.source(SHARDS_MODULE), tree=project.tree(SHARDS_MODULE)
+        )
+    )
     findings.extend(check_stats_doc(project.source(SERVING_DOC)))
+    present = [m for m in ALGORITHM_MODULES if project.exists(m)]
     findings.extend(
         check_algorithm_sources(
-            [(m, project.source(m)) for m in ALGORITHM_MODULES if project.exists(m)]
+            [(m, project.source(m)) for m in present],
+            trees={m: project.tree(m) for m in present},
         )
     )
     findings.extend(check_algorithm_doc(project.source(API_DOC)))

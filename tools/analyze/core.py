@@ -43,12 +43,20 @@ class Finding:
 
 
 class Project:
-    """Repo root plus a parse cache over its python files and docs."""
+    """Repo root plus a parse cache over its python files and docs.
+
+    Sources and ASTs are cached keyed by ``(mtime_ns, size)`` stamps, so
+    a CI run over all check families reads and parses each file exactly
+    once (``parse_count`` lets tests assert that), while an interactive
+    session that edits a file between runs sees fresh content.
+    """
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root).resolve()
-        self._sources: Dict[str, str] = {}
-        self._trees: Dict[str, ast.Module] = {}
+        self._sources: Dict[str, Tuple[Tuple[int, int], str]] = {}
+        self._trees: Dict[str, Tuple[Tuple[int, int], ast.Module]] = {}
+        #: Number of actual ``ast.parse`` calls (cache misses).
+        self.parse_count = 0
 
     def rel(self, path: Path) -> str:
         return Path(path).resolve().relative_to(self.root).as_posix()
@@ -56,19 +64,26 @@ class Project:
     def exists(self, rel_path: str) -> bool:
         return (self.root / rel_path).exists()
 
+    def _stamp(self, rel_path: str) -> Tuple[int, int]:
+        stat = (self.root / rel_path).stat()
+        return (stat.st_mtime_ns, stat.st_size)
+
     def source(self, rel_path: str) -> str:
-        if rel_path not in self._sources:
-            self._sources[rel_path] = (self.root / rel_path).read_text(
-                encoding="utf-8"
-            )
-        return self._sources[rel_path]
+        stamp = self._stamp(rel_path)
+        cached = self._sources.get(rel_path)
+        if cached is None or cached[0] != stamp:
+            text = (self.root / rel_path).read_text(encoding="utf-8")
+            self._sources[rel_path] = (stamp, text)
+        return self._sources[rel_path][1]
 
     def tree(self, rel_path: str) -> ast.Module:
-        if rel_path not in self._trees:
-            self._trees[rel_path] = ast.parse(
-                self.source(rel_path), filename=rel_path
-            )
-        return self._trees[rel_path]
+        stamp = self._stamp(rel_path)
+        cached = self._trees.get(rel_path)
+        if cached is None or cached[0] != stamp:
+            self.parse_count += 1
+            parsed = ast.parse(self.source(rel_path), filename=rel_path)
+            self._trees[rel_path] = (stamp, parsed)
+        return self._trees[rel_path][1]
 
     def python_files(self, *subdirs: str) -> List[str]:
         """Repo-relative paths of every ``.py`` file under ``subdirs``."""

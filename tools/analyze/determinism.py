@@ -1,0 +1,282 @@
+"""Determinism lint (DT6xx) over the AST.
+
+The HTAP parity claim -- a solve is bit-identical regardless of
+interleaving, replay, or process restarts -- only holds if nothing on
+the solve/fold/serde paths consults hidden global state.  These checks
+flag the classic leaks:
+
+* **DT601** -- unseeded randomness anywhere under ``src/repro``:
+  ``default_rng()`` with no seed, module-level ``random.<draw>()`` /
+  ``np.random.<draw>()`` (the shared global generators), or a
+  ``random.Random()`` / ``RandomState()`` constructed without a seed.
+* **DT602** -- direct iteration of a ``set`` expression (``set(...)``,
+  ``frozenset(...)``, a set literal or comprehension): set order is
+  salted per process, so anything it feeds -- serialization, group
+  ordering, tie-breaks -- varies run to run.  Wrap in ``sorted(...)``.
+* **DT603** -- wall-clock reads (``time.time``, ``datetime.now``, ...)
+  inside the deterministic-path packages (core, algorithms, index,
+  geometry, text).  Timing belongs to the serving/ops layers;
+  ``time.monotonic`` / ``perf_counter`` instrumentation is not flagged.
+* **DT604** -- ``sorted`` / ``.sort`` / ``min`` / ``max`` whose ``key``
+  uses ``id()``: object addresses reshuffle every run, so ties resolve
+  differently each time.
+
+Escape hatch: a ``# analyze: nondeterminism-ok(<why>)`` comment on the
+offending line (or the line above) suppresses the finding -- the "why"
+is mandatory by convention and reviewed like any baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Sequence
+
+from tools.analyze.core import Finding, Project
+from tools.analyze.locks import SCAN_DIRS, _receiver_text
+
+__all__ = [
+    "DETERMINISTIC_PATHS",
+    "NONDETERMINISM_MARKER",
+    "check_file",
+    "run",
+]
+
+#: Packages on the solve/fold/serde paths: results produced here must be
+#: reproducible bit-for-bit, so wall-clock reads are banned outright.
+DETERMINISTIC_PATHS = (
+    "src/repro/core/",
+    "src/repro/algorithms/",
+    "src/repro/index/",
+    "src/repro/geometry/",
+    "src/repro/text/",
+)
+
+NONDETERMINISM_MARKER = "# analyze: nondeterminism-ok("
+_MARKER_RE = re.compile(r"#\s*analyze:\s*nondeterminism-ok\(")
+
+#: Draw methods on the global ``random`` module generator.
+_PY_RANDOM_DRAWS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "triangular", "gauss", "normalvariate",
+        "lognormvariate", "expovariate", "betavariate", "gammavariate",
+        "paretovariate", "vonmisesvariate", "weibullvariate", "getrandbits",
+        "randbytes",
+    }
+)
+
+#: Draw methods on the legacy numpy global generator (``np.random.*``).
+_NP_RANDOM_DRAWS = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+        "standard_normal", "beta", "binomial", "poisson", "exponential",
+        "bytes",
+    }
+)
+
+_NP_RECEIVERS = ("np.random", "numpy.random")
+
+#: Calls that *consume* an iterable in encounter order.
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+_WALL_CLOCK = (
+    ("time", ("time", "time_ns")),
+    ("datetime", ("now", "utcnow")),
+    ("date", ("today",)),
+)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _contains_id_call(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == "id"
+        ):
+            return True
+    return False
+
+
+class _DeterminismScan(ast.NodeVisitor):
+    def __init__(self, rel_path: str, lines: Sequence[str]) -> None:
+        self.rel_path = rel_path
+        self.lines = lines
+        self.findings: List[Finding] = []
+        self.wall_clock_banned = rel_path.startswith(DETERMINISTIC_PATHS)
+
+    def _suppressed(self, line: int) -> bool:
+        for number in (line, line - 1):
+            if 1 <= number <= len(self.lines) and _MARKER_RE.search(
+                self.lines[number - 1]
+            ):
+                return True
+        return False
+
+    def _flag(self, code: str, line: int, message: str, key: str) -> None:
+        if self._suppressed(line):
+            return
+        self.findings.append(Finding(code, self.rel_path, line, message, key))
+
+    # -- DT602: set iteration -------------------------------------------
+    def _check_iterated(self, node: ast.expr, line: int, how: str) -> None:
+        if _is_set_expr(node):
+            self._flag(
+                "DT602", line,
+                f"iterating a set expression {how}: set order is salted "
+                "per process, so downstream ordering (serialization, "
+                "tie-breaks) varies run to run -- wrap it in sorted(...) "
+                f"or annotate '{NONDETERMINISM_MARKER}<why>)'",
+                key=f"set-iteration:{how}",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterated(node.iter, node.lineno, "in a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehensions(self, node) -> None:
+        for comp in node.generators:
+            self._check_iterated(comp.iter, node.lineno, "in a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehensions
+    visit_SetComp = _visit_comprehensions
+    visit_DictComp = _visit_comprehensions
+    visit_GeneratorExp = _visit_comprehensions
+
+    # -- calls: DT601 / DT602-consumers / DT603 / DT604 -----------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng(node)
+        self._check_consumer(node)
+        self._check_wall_clock(node)
+        self._check_id_key(node)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        receiver = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = _receiver_text(func.value)
+        if name == "default_rng" and not node.args and not node.keywords:
+            self._flag(
+                "DT601", node.lineno,
+                "default_rng() without a seed: every process draws a "
+                "different stream -- thread the component seed through",
+                key="unseeded:default_rng",
+            )
+            return
+        if (
+            name in ("Random", "RandomState")
+            and not node.args
+            and not node.keywords
+        ):
+            self._flag(
+                "DT601", node.lineno,
+                f"{name}() constructed without a seed -- thread the "
+                "component seed through",
+                key=f"unseeded:{name}",
+            )
+            return
+        if receiver == "random" and name in _PY_RANDOM_DRAWS:
+            self._flag(
+                "DT601", node.lineno,
+                f"random.{name}() draws from the unseeded process-global "
+                "generator; use a seeded random.Random instance",
+                key=f"global-rng:random.{name}",
+            )
+            return
+        if receiver in _NP_RECEIVERS and name in _NP_RANDOM_DRAWS:
+            self._flag(
+                "DT601", node.lineno,
+                f"{receiver}.{name}() draws from numpy's global generator; "
+                "use a seeded np.random.default_rng(seed)",
+                key=f"global-rng:np.random.{name}",
+            )
+
+    def _check_consumer(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CONSUMERS:
+            if node.args:
+                self._check_iterated(
+                    node.args[0], node.lineno, f"via {func.id}()"
+                )
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            if node.args:
+                self._check_iterated(node.args[0], node.lineno, "via join()")
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        if not self.wall_clock_banned:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = _receiver_text(func.value)
+        tail = receiver.rsplit(".", 1)[-1]
+        for module_tail, names in _WALL_CLOCK:
+            if tail == module_tail and func.attr in names:
+                self._flag(
+                    "DT603", node.lineno,
+                    f"wall-clock read {receiver}.{func.attr}() on a "
+                    "deterministic path (solve/fold/serde packages must be "
+                    "replayable bit-for-bit); take timestamps at the "
+                    "serving layer and pass them in",
+                    key=f"wall-clock:{func.attr}",
+                )
+                return
+
+    def _check_id_key(self, node: ast.Call) -> None:
+        func = node.func
+        ordering = (
+            isinstance(func, ast.Name) and func.id in ("sorted", "min", "max")
+        ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+        if not ordering:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "key" and _contains_id_call(keyword.value):
+                name = func.id if isinstance(func, ast.Name) else "sort"
+                self._flag(
+                    "DT604", node.lineno,
+                    f"{name}() key uses id(): object addresses reshuffle "
+                    "every run, so ties resolve nondeterministically -- key "
+                    "on stable content instead",
+                    key=f"id-ordering:{name}",
+                )
+
+
+def check_file(
+    rel_path: str,
+    source: str,
+    tree: Optional[ast.Module] = None,
+) -> List[Finding]:
+    """DT6xx over one module.  Fixture tests pass synthetic sources."""
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
+    scan = _DeterminismScan(rel_path, source.splitlines())
+    scan.visit(tree)
+    return scan.findings
+
+
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel_path in project.python_files(*SCAN_DIRS):
+        findings.extend(
+            check_file(
+                rel_path, project.source(rel_path), tree=project.tree(rel_path)
+            )
+        )
+    return findings

@@ -137,6 +137,83 @@ EXPLANATIONS: Dict[str, str] = {
         "a body that never takes `with self._lock:` silently drops that "
         "promise while the @locked_by annotation still advertises it."
     ),
+    # -- shared-state races ----------------------------------------------
+    "RC501": (
+        "Write to an attribute with no ownership declaration.  Every "
+        "instance attribute of a declared concurrency class must be "
+        "classified into an ownership domain (init-only, lock:<name>, "
+        "confined:<label>, frozen-after-publish) in "
+        "tools/analyze/ownership.py, via the class's @owned_by "
+        "decorator, or inline with `# analyze: owner=<domain>`.  "
+        "Completeness is deliberate: a new field cannot silently join a "
+        "shared class unclassified.  Also fired for a declared domain "
+        "string the analyzer does not recognise."
+    ),
+    "RC502": (
+        "Attribute store outside its ownership domain.  A direct "
+        "`self.X = ...` / `del self.X` after construction that is not "
+        "in the domain's writer context: init-only and "
+        "frozen-after-publish attributes must not be written post-init "
+        "at all; lock:<name> attributes need the lock held (a lexical "
+        "`with`, write_locked() for rwlocks, an enclosing "
+        "@locked_by(\"<name>\"), or an `# analyze: writer-context` "
+        "comment); confined:<label> attributes may only be written by "
+        "the declared writer methods."
+    ),
+    "RC503": (
+        "Container or nested-object mutation outside its ownership "
+        "domain.  Same contract as RC502 but for writes *through* the "
+        "attribute: `self.X[...] = ...`, `self.X.append(...)`, "
+        "`self.X.Y = ...`.  These mutate shared state just as surely as "
+        "rebinding the attribute, and are easier to miss in review."
+    ),
+    "RC504": (
+        "Mutation of published-view state.  A store/del/mutator call "
+        "whose receiver chain goes through a view (`view`, `*_view`): a "
+        "frozen SessionView and everything reachable from it is "
+        "immutable after freeze() -- concurrent solvers read it with no "
+        "lock.  Mutate the live session under the merge lock and "
+        "publish a new epoch.  The runtime half of this contract is the "
+        "TAGDM_STATE_SANITIZER raise-on-write proxies "
+        "(repro.core.sanitizer)."
+    ),
+    "RC505": (
+        "Stale ownership declaration.  A declared attribute the class "
+        "never writes, or a declared class the module no longer "
+        "defines.  Dead entries rot the table's authority; delete them "
+        "in the same change that removed the code."
+    ),
+    # -- determinism ------------------------------------------------------
+    "DT601": (
+        "Unseeded randomness.  default_rng() without a seed, a draw on "
+        "the process-global `random` / `np.random` generators, or a "
+        "Random()/RandomState() constructed seedless.  Every stochastic "
+        "component must thread its seed from the session/component "
+        "configuration so replays are bit-identical.  Suppress a "
+        "deliberate use with `# analyze: nondeterminism-ok(<why>)`."
+    ),
+    "DT602": (
+        "Set iteration feeding order-sensitive consumers.  Iterating a "
+        "set expression (for loop, comprehension, list()/tuple()/"
+        "enumerate()/join()) leaks the per-process hash salt into "
+        "downstream ordering -- serialization, group order, tie-breaks.  "
+        "Wrap the set in sorted(...), or annotate "
+        "`# analyze: nondeterminism-ok(<why>)` when order provably "
+        "cannot escape."
+    ),
+    "DT603": (
+        "Wall-clock read on a deterministic path.  time.time(), "
+        "datetime.now() etc. inside the solve/fold/serde packages "
+        "(core, algorithms, index, geometry, text) make results depend "
+        "on when they ran.  Take timestamps at the serving/ops layer "
+        "and pass them in; monotonic timing instrumentation is exempt."
+    ),
+    "DT604": (
+        "id()-based ordering.  A sorted()/.sort()/min()/max() key that "
+        "calls id() resolves ties by object address, which reshuffles "
+        "every run.  Key on stable content (description, name, index) "
+        "instead."
+    ),
     # -- doc links --------------------------------------------------------
     "DL501": (
         "Broken documentation link.  A relative markdown link in a "

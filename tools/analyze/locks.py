@@ -434,12 +434,14 @@ def check_file(
     source: str,
     decls: Sequence[LockDecl] = LOCK_DECLS,
     blocking: Dict[str, str] = BLOCKING_CALLS,
+    tree: Optional[ast.Module] = None,
 ) -> Tuple[List[Finding], List[Tuple[str, str, str]]]:
     """Run LD101/LD102/LD103 over one module's source.
 
     Returns ``(findings, constructed_decl_keys)``.
     """
-    tree = ast.parse(source, filename=rel_path)
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
     scan = _ModuleScan(rel_path, tree, decls, blocking)
     # Pre-compute acquires protected by an enclosing try/finally so the
     # per-statement pass can skip them.
@@ -476,7 +478,7 @@ def run(project: Project) -> List[Finding]:
         if rel_path in SCAN_EXCLUDE:
             continue
         file_findings, file_constructed = check_file(
-            rel_path, project.source(rel_path)
+            rel_path, project.source(rel_path), tree=project.tree(rel_path)
         )
         findings.extend(file_findings)
         constructed.update(file_constructed)

@@ -125,11 +125,16 @@ class _NestingScan(ast.NodeVisitor):
 
 
 def check_file(
-    rel_path: str, source: str, decls: Sequence[LockDecl] = LOCK_DECLS
+    rel_path: str,
+    source: str,
+    decls: Sequence[LockDecl] = LOCK_DECLS,
+    tree: Optional[ast.Module] = None,
 ) -> List[Finding]:
     """LH201 over one module's source."""
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
     scan = _NestingScan(rel_path, decls)
-    scan.visit(ast.parse(source, filename=rel_path))
+    scan.visit(tree)
     return scan.findings
 
 
@@ -137,10 +142,12 @@ def check_witness_module(
     source: str,
     expected_order: Sequence[str] = LOCK_ORDER,
     rel_path: str = WITNESS_MODULE,
+    tree: Optional[ast.Module] = None,
 ) -> List[Finding]:
     """LH202: parse the runtime module and diff its LOCK_HIERARCHY."""
     findings: List[Finding] = []
-    tree = ast.parse(source, filename=rel_path)
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
     runtime: Optional[Tuple[str, ...]] = None
     line = 1
     for node in ast.walk(tree):
@@ -202,8 +209,16 @@ def run(project: Project) -> List[Finding]:
     for rel_path in project.python_files(*SCAN_DIRS):
         if rel_path in SCAN_EXCLUDE:
             continue
-        findings.extend(check_file(rel_path, project.source(rel_path)))
-    findings.extend(check_witness_module(project.source(WITNESS_MODULE)))
+        findings.extend(
+            check_file(
+                rel_path, project.source(rel_path), tree=project.tree(rel_path)
+            )
+        )
+    findings.extend(
+        check_witness_module(
+            project.source(WITNESS_MODULE), tree=project.tree(WITNESS_MODULE)
+        )
+    )
     # Every declared name must rank somewhere; every rank must be used.
     declared = {decl.name for decl in LOCK_DECLS}
     for name in sorted(declared - set(LOCK_ORDER)):

@@ -95,13 +95,17 @@ def check_mutator_defs(
     store_source: str,
     session_path: str = SESSION_CLASS[0],
     store_path: str = STORE_CLASS[0],
+    session_tree: Optional[ast.Module] = None,
+    store_tree: Optional[ast.Module] = None,
 ) -> List[Finding]:
     """WR401 over both mutator surfaces, WR403 over the store."""
     findings: List[Finding] = []
 
-    methods = _class_methods(
-        ast.parse(session_source, filename=session_path), SESSION_CLASS[1]
-    )
+    if session_tree is None:
+        session_tree = ast.parse(session_source, filename=session_path)
+    if store_tree is None:
+        store_tree = ast.parse(store_source, filename=store_path)
+    methods = _class_methods(session_tree, SESSION_CLASS[1])
     for name, required in sorted(SESSION_MUTATORS.items()):
         func = methods.get(name)
         if func is None:
@@ -123,9 +127,7 @@ def check_mutator_defs(
                 )
             )
 
-    methods = _class_methods(
-        ast.parse(store_source, filename=store_path), STORE_CLASS[1]
-    )
+    methods = _class_methods(store_tree, STORE_CLASS[1])
     for name in STORE_MUTATORS:
         func = methods.get(name)
         if func is None:
@@ -246,18 +248,29 @@ class _CallSiteScan(ast.NodeVisitor):
         return False
 
 
-def check_call_sites(rel_path: str, source: str) -> List[Finding]:
+def check_call_sites(
+    rel_path: str, source: str, tree: Optional[ast.Module] = None
+) -> List[Finding]:
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
     scan = _CallSiteScan(rel_path, source)
-    scan.visit(ast.parse(source, filename=rel_path))
+    scan.visit(tree)
     return scan.findings
 
 
 def run(project: Project) -> List[Finding]:
     findings = check_mutator_defs(
-        project.source(SESSION_CLASS[0]), project.source(STORE_CLASS[0])
+        project.source(SESSION_CLASS[0]),
+        project.source(STORE_CLASS[0]),
+        session_tree=project.tree(SESSION_CLASS[0]),
+        store_tree=project.tree(STORE_CLASS[0]),
     )
     for rel_path in project.python_files(*SCAN_DIRS):
         if rel_path in SCAN_EXCLUDE or rel_path == SESSION_CLASS[0]:
             continue
-        findings.extend(check_call_sites(rel_path, project.source(rel_path)))
+        findings.extend(
+            check_call_sites(
+                rel_path, project.source(rel_path), tree=project.tree(rel_path)
+            )
+        )
     return findings

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -21,6 +22,12 @@ if str(_REPO_ROOT) not in sys.path:
 
 
 def main(argv=None) -> int:
+    warnings.warn(
+        "tools/check_doc_links.py is deprecated; run "
+        "`python -m tools.analyze --check doclinks` instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--root",
