@@ -1,4 +1,4 @@
-"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5), reliability (PR 6), HTAP (PR 7).
+"""Performance report: kernels (PR 1), persistence (PR 2), serving (PR 3), HTTP (PR 4), fleet (PR 5), reliability (PR 6), HTAP (PR 7), subscriptions (PR 10).
 
 Times the vectorized kernels against the retained naive seed
 implementations (:mod:`repro.geometry.reference`), measures the
@@ -18,24 +18,31 @@ delta+main split (solve latency percentiles under a sustained insert
 storm on the lock-free pinned-view path vs an inline reconstruction of
 the old RW-lock shard, insert throughput with a concurrent solve loop,
 and bit-identical parity of delta-visible/post-merge solves against a
-serialized replay), then writes a JSON report so future PRs have a
-perf trajectory to beat.
+serialized replay), and measures the standing-query pipeline (notify
+latency from a published view to the subscription ledger position
+covering its watermark, evaluator backlog depth under a batched insert
+storm, and the incremental advantage of re-solving a standing query on
+the warm serving session over a from-scratch cold replay at the same
+watermark), then writes a JSON report so future PRs have a perf
+trajectory to beat.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/perf_report.py            # full report -> BENCH_PR10.json
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # smoke mode, seconds not minutes
     PYTHONPATH=src python benchmarks/perf_report.py --output /tmp/bench.json
 
-Report schema (``schema_version`` 7; older reports lack the newer
+Report schema (``schema_version`` 8; older reports lack the newer
 sections -- v1 has no ``persistence``/``serving``/``http``/``fleet``/
-``reliability``/``htap``, v2 no ``serving``/``http``/``fleet``/
-``reliability``/``htap``, v3 no ``http``/``fleet``/``reliability``/
-``htap``, v4 no ``fleet``/``reliability``/``htap``, v5 no
-``reliability``/``htap``, v6 no ``htap`` -- and all still validate)::
+``reliability``/``htap``/``subscriptions``, v2 no ``serving``/``http``/
+``fleet``/``reliability``/``htap``/``subscriptions``, v3 no ``http``/
+``fleet``/``reliability``/``htap``/``subscriptions``, v4 no ``fleet``/
+``reliability``/``htap``/``subscriptions``, v5 no ``reliability``/
+``htap``/``subscriptions``, v6 no ``htap``/``subscriptions``, v7 no
+``subscriptions`` -- and all still validate)::
 
     {
-      "schema_version": 7,
+      "schema_version": 8,
       "pr": "PR7",
       "mode": "full" | "quick",
       "kernels": {
@@ -105,6 +112,15 @@ sections -- v1 has no ``persistence``/``serving``/``http``/``fleet``/
         "solve_p99_speedup": float,
         "delta_visible_parity": bool, "merged_parity": bool,
         "parity": bool
+      },
+      "subscriptions": {
+        "tuples": int, "inserts": int, "batches": int,
+        "diffs_delivered": int, "storm_wall_seconds": float,
+        "notify_p50_ms": float, "notify_p99_ms": float,
+        "max_backlog": int,
+        "lost_diffs": int, "duplicated_diffs": int,
+        "warm_solve_ms": float, "cold_replay_ms": float,
+        "incremental_speedup": float, "parity": bool
       }
     }
 
@@ -136,6 +152,16 @@ pinned view) -- and the delta+main solve p99 must improve on the
 baseline's.  ``htap.parity`` requires the shard's delta-visible and
 post-merge solves to be bit-identical to a serialized single-threaded
 replay of the same committed insert order.
+
+``subscriptions.incremental_speedup`` is the PR 10 acceptance check:
+re-solving a registered standing query on the warm serving session
+(the evaluator's per-publish path) must beat a from-scratch cold
+session that re-prepares the corpus and replays the committed insert
+prefix to the same watermark.  ``subscriptions.parity`` requires the
+composed diff chain delivered by the ledger *and* the warm solve to
+agree byte-identically (under canonical JSON, volatile fields
+stripped) with that cold replay; ``lost_diffs``/``duplicated_diffs``
+audit the ledger seqs for exactly-once visible delivery.
 """
 
 from __future__ import annotations
@@ -168,7 +194,7 @@ from repro.geometry.reference import (  # noqa: E402
 )
 from repro.index.lsh import CosineLshIndex  # noqa: E402
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -1303,6 +1329,207 @@ def bench_htap(quick: bool) -> Dict:
     }
 
 
+def bench_subscriptions(quick: bool) -> Dict:
+    """Standing-query delivery: notify latency, backlog, incremental edge.
+
+    One serving shard with a registered subscription rides out a
+    batched insert storm.  After each batch flushes (publishing a new
+    view at watermark = corpus action count) the bench records the
+    publish instant; a sampler thread polls the subscription row and
+    stamps the first instant its ``last_watermark`` covers each
+    published watermark.  The gap is the **notify latency** -- insert
+    commit to delivered (or silently advanced) ledger position --
+    reported as p50/p99, together with the deepest ``subs_backlog`` the
+    sampler ever observed.
+
+    The incremental half is the reason standing queries exist at all:
+    answering the same spec at the final watermark from the warm
+    serving session (what the evaluator does per publish) vs a
+    from-scratch cold session that must re-prepare the corpus and
+    replay the committed insert prefix (what a poll-and-resolve client
+    would pay).  ``incremental_speedup`` is cold/warm and the ledger
+    audit (dense seqs, no duplicates, parity of the composed chain
+    against the warm solve) pins correctness.
+    """
+    import tempfile
+    import threading
+    import time as time_module
+    from pathlib import Path as PathType
+
+    from repro.api.client import ServerClient
+    from repro.api.diff import (
+        ResultDiff,
+        apply_diff,
+        comparable_payload,
+        payloads_equal,
+    )
+    from repro.api.service import coerce_spec
+    from repro.core.enumeration import GroupEnumerationConfig
+    from repro.core.incremental import IncrementalTagDM
+    from repro.core.problem import table1_problem
+    from repro.dataset.synthetic import generate_movielens_style
+    from repro.serving import SnapshotRotationPolicy, TagDMServer
+
+    if quick:
+        n_actions, n_batches, batch_size = 400, 6, 10
+    else:
+        n_actions, n_batches, batch_size = 800, 20, 15
+    enumeration = GroupEnumerationConfig(min_support=5, max_groups=60)
+    seed = 17
+    total_inserts = n_batches * batch_size
+
+    def fresh_dataset():
+        return generate_movielens_style(
+            n_users=40, n_items=80, n_actions=n_actions, seed=seed
+        )
+
+    base = fresh_dataset()
+    initial = base.n_actions
+    payloads = [
+        {
+            "user_id": base.user_of((i * 13) % initial),
+            "item_id": base.item_of((i * 17) % initial),
+            "tags": (f"standing-{i % 9}", "subscribed"),
+            "rating": float(i % 5),
+        }
+        for i in range(total_inserts)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = TagDMServer(
+            PathType(tmp),
+            policy=SnapshotRotationPolicy(every_inserts=max(100, total_inserts)),
+            enumeration=enumeration,
+            seed=seed,
+        )
+        shard = server.add_corpus("standing", fresh_dataset())
+        client = ServerClient(server)
+        problem = table1_problem(1, k=3, min_support=shard.session.default_support())
+        spec = coerce_spec(problem, algorithm="sm-lsh-fo")
+        client.register_subscription("standing", spec, subscription_id="bench")
+        if not shard.evaluator.wait_idle(timeout=60.0):
+            raise RuntimeError("subscription bench: initial evaluation never settled")
+
+        # (watermark, publish_seconds) appended by the storm loop; the
+        # sampler only reads committed prefixes, so no lock is needed.
+        publishes: List[tuple] = []
+        arrivals: Dict[int, float] = {}
+        max_backlog = 0
+        sampler_stop = threading.Event()
+        sampler_errors: List[BaseException] = []
+
+        def sampler() -> None:
+            nonlocal max_backlog
+            try:
+                while not sampler_stop.is_set():
+                    stats = shard.stats()
+                    max_backlog = max(max_backlog, int(stats["subs_backlog"]))
+                    row = client.subscriptions("standing")[0]
+                    now = time_module.perf_counter()
+                    reached = int(row["last_watermark"])
+                    for watermark, _ in publishes[: len(publishes)]:
+                        if watermark <= reached and watermark not in arrivals:
+                            arrivals[watermark] = now
+                    time_module.sleep(0.002)
+            except BaseException as exc:  # pragma: no cover - failure path
+                sampler_errors.append(exc)
+
+        sampler_thread = threading.Thread(target=sampler)
+        sampler_thread.start()
+        storm_started = time_module.perf_counter()
+        for batch in range(n_batches):
+            for action in payloads[batch * batch_size : (batch + 1) * batch_size]:
+                shard.insert(**action)
+            shard.flush()
+            publishes.append(
+                (shard.session.dataset.n_actions, time_module.perf_counter())
+            )
+        final_watermark = publishes[-1][0]
+        deadline = time_module.perf_counter() + 120.0
+        while (
+            final_watermark not in arrivals
+            and time_module.perf_counter() < deadline
+            and not sampler_errors
+        ):
+            time_module.sleep(0.002)
+        storm_wall = time_module.perf_counter() - storm_started
+        sampler_stop.set()
+        sampler_thread.join()
+        if sampler_errors:
+            raise RuntimeError(f"subscription bench raised: {sampler_errors[0]!r}")
+        if final_watermark not in arrivals:
+            raise RuntimeError("subscription bench: final watermark never delivered")
+
+        latencies = sorted(
+            arrivals[watermark] - published
+            for watermark, published in publishes
+            if watermark in arrivals
+        )
+
+        def at(fraction: float) -> float:
+            return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+
+        # Ledger audit: dense seqs, exactly-once, and the composed diff
+        # chain must equal the warm solve at the final watermark.
+        poll = client.poll_subscription("standing", "bench")
+        diffs = poll["diffs"]
+        seqs = [int(entry["seq"]) for entry in diffs]
+        lost = len(set(range(1, (max(seqs) if seqs else 0) + 1)) - set(seqs))
+        duplicated = len(seqs) - len(set(seqs))
+        composed = None
+        for entry in diffs:
+            composed = apply_diff(ResultDiff.from_dict(entry["diff"]), composed)
+
+        def warm_solve():
+            return comparable_payload(
+                shard.solve(problem, algorithm="sm-lsh-fo").to_dict()
+            )
+
+        warm_payload = warm_solve()  # warm the caches outside the window
+        warm_seconds = best_of(3, warm_solve)
+
+        started = time_module.perf_counter()
+        cold = IncrementalTagDM(
+            fresh_dataset(), enumeration=enumeration, seed=seed
+        ).prepare()
+        served = shard.session.dataset
+        for row_index in range(initial, final_watermark):
+            cold.add_action(
+                served.user_of(row_index),
+                served.item_of(row_index),
+                served.tags_of(row_index),
+                served.rating_of(row_index),
+            )
+        cold_payload = comparable_payload(
+            cold.solve(problem, algorithm="sm-lsh-fo").to_dict()
+        )
+        cold_seconds = time_module.perf_counter() - started
+
+        parity = payloads_equal(warm_payload, cold_payload) and (
+            composed is None or payloads_equal(composed, warm_payload)
+        )
+        server.close()
+
+    return {
+        "tuples": initial,
+        "inserts": total_inserts,
+        "batches": n_batches,
+        "diffs_delivered": len(diffs),
+        "storm_wall_seconds": storm_wall,
+        "notify_p50_ms": at(0.50) * 1e3,
+        "notify_p99_ms": at(0.99) * 1e3,
+        "max_backlog": int(max_backlog),
+        "lost_diffs": int(lost),
+        "duplicated_diffs": int(duplicated),
+        "warm_solve_ms": warm_seconds * 1e3,
+        "cold_replay_ms": cold_seconds * 1e3,
+        "incremental_speedup": (
+            cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+        ),
+        "parity": bool(parity),
+    }
+
+
 # ----------------------------------------------------------------------
 # End-to-end scaling sweep (Figure 7 bins)
 # ----------------------------------------------------------------------
@@ -1377,7 +1604,7 @@ def generate_report(quick: bool) -> Dict:
         )
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR7",
+        "pr": "PR10",
         "mode": "quick" if quick else "full",
         "kernels": kernels,
         "scaling": bench_scaling(quick),
@@ -1387,6 +1614,7 @@ def generate_report(quick: bool) -> Dict:
         "fleet": bench_fleet(quick),
         "reliability": bench_reliability(quick),
         "htap": bench_htap(quick),
+        "subscriptions": bench_subscriptions(quick),
     }
 
 
@@ -1394,11 +1622,11 @@ def validate_report(report: Dict) -> None:
     """Assert the report matches the documented schema (used by tests).
 
     Accepts every committed generation: v1 (kernels + scaling only;
-    ``BENCH_PR1.json``) through v6 (no ``htap``; ``BENCH_PR6.json``) and
-    current v7 reports -- each version adds one section and all older
-    reports still validate.
+    ``BENCH_PR1.json``) through v7 (no ``subscriptions``;
+    ``BENCH_PR7.json``) and current v8 reports -- each version adds one
+    section and all older reports still validate.
     """
-    assert report["schema_version"] in (1, 2, 3, 4, 5, 6, SCHEMA_VERSION)
+    assert report["schema_version"] in (1, 2, 3, 4, 5, 6, 7, SCHEMA_VERSION)
     assert report["mode"] in ("full", "quick")
     assert isinstance(report["kernels"], dict) and report["kernels"]
     for name, entry in report["kernels"].items():
@@ -1573,6 +1801,42 @@ def validate_report(report: Dict) -> None:
             assert htap["solve_p99_speedup"] > 1.0, (
                 "delta+main solve p99 did not improve on the RW-lock baseline"
             )
+    if report["schema_version"] >= 8:
+        subscriptions = report["subscriptions"]
+        for field in (
+            "tuples",
+            "inserts",
+            "batches",
+            "diffs_delivered",
+            "storm_wall_seconds",
+            "notify_p50_ms",
+            "notify_p99_ms",
+            "max_backlog",
+            "lost_diffs",
+            "duplicated_diffs",
+            "warm_solve_ms",
+            "cold_replay_ms",
+            "incremental_speedup",
+            "parity",
+        ):
+            assert field in subscriptions, f"subscriptions missing {field}"
+        assert subscriptions["lost_diffs"] == 0, "subscription ledger lost diffs"
+        assert subscriptions["duplicated_diffs"] == 0, (
+            "subscription ledger duplicated diffs"
+        )
+        assert subscriptions["parity"] is True, (
+            "composed diff chain lost parity with the cold replay"
+        )
+        assert subscriptions["notify_p50_ms"] > 0
+        assert subscriptions["notify_p99_ms"] >= subscriptions["notify_p50_ms"]
+        assert subscriptions["max_backlog"] >= 0
+        # The PR 10 acceptance check: re-solving a standing query on the
+        # warm serving session must beat a from-scratch cold session
+        # replaying the same committed prefix (quick mode included --
+        # the cold side pays a full corpus prepare either way).
+        assert subscriptions["incremental_speedup"] > 1.0, (
+            "warm standing-query solve did not beat the from-scratch replay"
+        )
 
 
 def main(argv=None) -> int:
@@ -1583,8 +1847,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR7.json",
-        help="where to write the JSON report (default: repo-root BENCH_PR7.json)",
+        default=REPO_ROOT / "BENCH_PR10.json",
+        help="where to write the JSON report (default: repo-root BENCH_PR10.json)",
     )
     args = parser.parse_args(argv)
 
@@ -1671,6 +1935,21 @@ def main(argv=None) -> int:
         f"p99 {htap['solve_p99_speedup']:.1f}x; "
         f"{htap['delta_main']['inserts_per_second']:.0f} ins/s with concurrent solves, "
         f"{htap['delta_main']['merge_count']} merges; parity={htap['parity']}"
+    )
+    subscriptions = report["subscriptions"]
+    print(
+        f"subscriptions: {subscriptions['inserts']} inserts in "
+        f"{subscriptions['batches']} batches -> "
+        f"{subscriptions['diffs_delivered']} diffs "
+        f"(lost={subscriptions['lost_diffs']} "
+        f"dup={subscriptions['duplicated_diffs']}); notify p50/p99 "
+        f"{subscriptions['notify_p50_ms']:.1f}/"
+        f"{subscriptions['notify_p99_ms']:.1f} ms, "
+        f"backlog<= {subscriptions['max_backlog']}; warm solve "
+        f"{subscriptions['warm_solve_ms']:.1f} ms vs cold replay "
+        f"{subscriptions['cold_replay_ms']:.1f} ms "
+        f"({subscriptions['incremental_speedup']:.1f}x, "
+        f"parity={subscriptions['parity']})"
     )
     print(f"wrote {args.output}")
     return 0

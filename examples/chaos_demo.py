@@ -9,6 +9,13 @@ every worker process:
   ``Idempotency-Key`` dedup record) committed, *before* the response
   was written.  That is the nastiest window for an insert: the client
   cannot tell "applied" from "lost".
+* **SIGKILL** the ``books`` owner a second time inside its
+  subscription evaluator, at ``subs.pre_notify`` -- after a standing
+  query was re-solved, *before* its diff reached the delivery ledger.
+  That is the at-least-once/exactly-once seam for subscriptions: the
+  evaluation is lost, the respawned worker's bootstrap replays it, and
+  the ledger's watermark guard must keep visible delivery exactly
+  once.
 * **Slow solves** (injected sleeps at ``shard.solve``) so recovery is
   exercised under mixed latency, not idle traffic.
 
@@ -19,6 +26,10 @@ counts: ``lost = expected - actual`` and ``duplicated = actual -
 expected`` must both be zero, every client call must have succeeded,
 and a post-kill solve must be bit-identical to an in-process mirror
 session that applied the same batches exactly once with no faults.
+The subscription audit is the metamorphic replay contract: the diff
+ledger's seqs must be contiguous from 1 (``lost=0`` / ``dup=0``) and
+composing the delivered chain from an empty result must byte-match
+the fault-free mirror's solve over the final corpus.
 
 Run with::
 
@@ -53,6 +64,12 @@ from repro import (  # noqa: E402
     TagDMFleet,
     generate_movielens_style,
     table1_problem,
+)
+from repro.api.diff import (  # noqa: E402
+    ResultDiff,
+    apply_diff,
+    comparable_payload,
+    payloads_equal,
 )
 from repro.core.enumeration import GroupEnumerationConfig  # noqa: E402
 from repro.core.incremental import IncrementalTagDM  # noqa: E402
@@ -97,6 +114,13 @@ def main(argv=None) -> int:
                 when_actions=initial_books + kill_at_insert,
                 once=True,
             ),
+            # The subscription fault: kill the books owner inside its
+            # evaluator on the very first subs.pre_notify -- the standing
+            # query's initial snapshot was solved and diffed but not yet
+            # committed to the delivery ledger.  The respawned worker's
+            # bootstrap must replay the evaluation; once=True keeps the
+            # replay from re-triggering the kill.
+            FaultRule("subs.pre_notify", "kill", at=1, once=True),
             # Background misery: a few solves run slow.
             FaultRule("shard.solve", "sleep", times=3, sleep_seconds=0.05),
         ],
@@ -128,11 +152,39 @@ def main(argv=None) -> int:
 
     client = HttpClient(fleet.url, request_timeout=300.0)
     owner = fleet.placement.owner_of("books")
-    restarts_before = fleet.stats()["workers"][owner]["restarts"]
 
     shard_spec = ProblemSpec.from_problem(
         table1_problem(1, k=4, min_support=5), algorithm="sm-lsh-fo"
     )
+
+    # Register the standing query first: its initial-snapshot evaluation
+    # trips the subs.pre_notify SIGKILL (diff computed, ledger write
+    # never ran).  The supervisor respawns the owner, whose bootstrap
+    # re-notifies the current view and replays the evaluation -- wait
+    # for seq 1 to prove the at-least-once half before the insert storm.
+    client.register_subscription(
+        "books",
+        shard_spec,
+        owner="chaos-drill",
+        subscription_id="standing-books",
+        idempotency_key="chaos-sub-1",
+    )
+    first_diff_seen = False
+    sub_deadline = time.monotonic() + 120.0
+    while time.monotonic() < sub_deadline:
+        try:
+            if client.poll_subscription("books", "standing-books")["diffs"]:
+                first_diff_seen = True
+                break
+        except Exception:
+            pass  # owner mid-respawn: the router will shield retries
+        time.sleep(0.1)
+    print(
+        "subscription 'standing-books' registered; initial evaluation "
+        f"killed at subs.pre_notify, replayed after respawn={first_diff_seen}"
+    )
+
+    restarts_before = fleet.stats()["workers"][owner]["restarts"]
 
     # Mixed traffic: keyed inserts into 'books' (the insert that crosses
     # the trigger count SIGKILLs the owner mid-request) + solves.
@@ -208,6 +260,34 @@ def main(argv=None) -> int:
     for batch in batches:
         mirror.insert("books", batch)
     parity = groups_key(post_kill) == groups_key(mirror.solve("books", shard_spec))
+
+    # Subscription audit: wait for the evaluator to cover the final
+    # watermark (the corpus action count), then check the metamorphic
+    # replay contract on the delivered ledger.
+    watermark_reached = False
+    sub_deadline = time.monotonic() + 120.0
+    while time.monotonic() < sub_deadline:
+        rows = {r["subscription_id"]: r for r in client.subscriptions("books")}
+        if rows.get("standing-books", {}).get("last_watermark", -1) >= expected:
+            watermark_reached = True
+            break
+        time.sleep(0.1)
+    ledger = client.poll_subscription("books", "standing-books")["diffs"]
+    seqs = [entry["seq"] for entry in ledger]
+    sub_lost = len(set(range(1, (max(seqs) if seqs else 0) + 1)) - set(seqs))
+    sub_dup = len(seqs) - len(set(seqs))
+    composed = None
+    for entry in ledger:
+        composed = apply_diff(ResultDiff.from_dict(entry["diff"]), composed)
+    sub_parity = payloads_equal(
+        composed, comparable_payload(mirror.solve("books", shard_spec).to_dict())
+    )
+    print(
+        f"subscription audit: {len(seqs)} diffs delivered, watermark "
+        f"reached {expected}={watermark_reached} -> lost={sub_lost} "
+        f"dup={sub_dup}, diff-chain replay parity={sub_parity}"
+    )
+
     router_stats = fleet.router.stats()
     print(
         f"audit: expected {expected} actions, store has {actual} "
@@ -251,6 +331,11 @@ def main(argv=None) -> int:
         and parity
         and len(reports) == n_inserts
         and witness_clean
+        and first_diff_seen
+        and watermark_reached
+        and sub_lost == 0
+        and sub_dup == 0
+        and sub_parity
     )
     for error in errors:
         print(f"ERROR: {type(error).__name__}: {error}")

@@ -51,9 +51,13 @@ from repro.api.errors import (
 from repro.api.service import (
     coerce_spec,
     corpus_stats,
+    diffs_from_ndjson,
     health as server_health,
     insert_actions,
     list_corpora,
+    poll_subscription as service_poll_subscription,
+    register_subscription as service_register_subscription,
+    list_subscriptions as service_list_subscriptions,
     result_from_ndjson,
     solve_spec,
     validate_actions,
@@ -235,6 +239,53 @@ class TagDMClient(ABC):
         """
         return self.solve(corpus, request, algorithm=algorithm, timeout=timeout, **options)
 
+    # ------------------------------------------------------------------
+    # Subscriptions (standing queries)
+    # ------------------------------------------------------------------
+    def _no_subscriptions(self, corpus: str) -> CapabilityMismatchError:
+        return CapabilityMismatchError(
+            f"the {type(self).__name__} backend has no durable subscription "
+            f"ledger for corpus {corpus!r}; use a server-backed client",
+            details={"corpus": corpus},
+        )
+
+    def register_subscription(
+        self,
+        corpus: str,
+        spec: SolveRequest,
+        owner: str = "anonymous",
+        subscription_id: Optional[str] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Register a standing query; returns the subscription row.
+
+        ``idempotency_key`` makes retried registrations exactly-once
+        (the replay answers ``deduplicated=True``); reusing a
+        ``subscription_id`` without it is a 409.  Backends without a
+        durable store report a capability mismatch.
+        """
+        raise self._no_subscriptions(corpus)
+
+    def subscriptions(self, corpus: str) -> List[Dict[str, object]]:
+        """All subscriptions registered on the named corpus."""
+        raise self._no_subscriptions(corpus)
+
+    def poll_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        """Delivered diffs with ``seq >= from_seq`` plus ledger position."""
+        raise self._no_subscriptions(corpus)
+
+    def stream_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        """Like :meth:`poll_subscription`; HTTP backends read NDJSON.
+
+        In-process backends have nothing to stream, so the default
+        delegates to the poll implementation.
+        """
+        return self.poll_subscription(corpus, subscription_id, from_seq=from_seq)
+
     def close(self) -> None:
         """Release client-held resources (default: nothing to release)."""
 
@@ -371,6 +422,34 @@ class ServerClient(TagDMClient):
 
     def health(self) -> Dict[str, object]:
         return server_health(self.server)
+
+    def register_subscription(
+        self,
+        corpus: str,
+        spec: SolveRequest,
+        owner: str = "anonymous",
+        subscription_id: Optional[str] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "spec": coerce_spec(spec).to_dict(),
+            "owner": owner,
+        }
+        if subscription_id is not None:
+            payload["subscription_id"] = subscription_id
+        return service_register_subscription(
+            self.server, corpus, payload, request_id=idempotency_key
+        )
+
+    def subscriptions(self, corpus: str) -> List[Dict[str, object]]:
+        return service_list_subscriptions(self.server, corpus)
+
+    def poll_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        return service_poll_subscription(
+            self.server, corpus, subscription_id, from_seq=from_seq
+        )
 
 
 #: Transport failures that mean "the reused keep-alive connection went
@@ -916,6 +995,221 @@ class HttpClient(TagDMClient):
         """
         return self._request("GET", "/placement")
 
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _subscription_path(corpus: str, subscription_id: str, suffix: str = "") -> str:
+        quoted = urllib.parse.quote(corpus, safe="")
+        quoted_sub = urllib.parse.quote(subscription_id, safe="")
+        return f"/corpora/{quoted}/subscriptions/{quoted_sub}{suffix}"
+
+    def register_subscription(
+        self,
+        corpus: str,
+        spec: SolveRequest,
+        owner: str = "anonymous",
+        subscription_id: Optional[str] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, object]:
+        # Registrations travel with an Idempotency-Key exactly like
+        # inserts: a stale-connection replay or caller retry under the
+        # same key returns the original row (deduplicated=True) instead
+        # of a 409.
+        key = idempotency_key or uuid.uuid4().hex
+        body: Dict[str, object] = {
+            "spec": coerce_spec(spec).to_dict(),
+            "owner": owner,
+        }
+        if subscription_id is not None:
+            body["subscription_id"] = subscription_id
+        return self._request(
+            "POST",
+            self._corpus_path(corpus, "subscriptions"),
+            body=body,
+            extra_headers={"Idempotency-Key": key},
+        )
+
+    def subscriptions(self, corpus: str) -> List[Dict[str, object]]:
+        payload = self._request("GET", self._corpus_path(corpus, "subscriptions"))
+        entries = payload.get("subscriptions", [])
+        return [entry for entry in entries if isinstance(entry, dict)]
+
+    def poll_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        return self._request(
+            "GET",
+            self._subscription_path(
+                corpus, subscription_id, f"?from_seq={int(from_seq)}"
+            ),
+        )
+
+    def stream_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        """Fetch a diff suffix as NDJSON, parsed line by line.
+
+        Truncation is detected by the envelope's diff count -- a
+        connection cut mid-stream raises :class:`SpecValidationError`
+        (or :class:`ConnectionFailedError` at the transport level),
+        never a silently short diff list.  :meth:`follow_subscription`
+        layers reconnect-and-resume on top of this.
+        """
+        path = self._subscription_path(
+            corpus, subscription_id, f"/stream?from_seq={int(from_seq)}"
+        )
+        budget = self._budget(None)
+        try:
+            response = self.pool.open_response(
+                "GET", path, body=None, headers={}, timeout=budget,
+                idempotent=True,
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            self._raise_transport_error(exc, "GET", path, budget)
+        error_body: Optional[bytes] = None
+        try:
+            status = response.status
+            if status >= 400:
+                error_body = response.read()
+            else:
+                payload = diffs_from_ndjson(iter(response.readline, b""))
+        except (OSError, http.client.HTTPException) as exc:
+            self.pool.abandon(response)
+            self._raise_transport_error(exc, "GET", path, budget)
+        except BaseException:
+            self.pool.abandon(response)
+            raise
+        if response.isclosed():
+            self.pool.finish(response)
+        else:
+            self.pool.abandon(response)
+        if error_body is not None:
+            self._decode_payload(status, error_body, "GET", path)  # raises
+        return payload
+
+    @staticmethod
+    def _consume_diff_lines(response, from_seq: int, sink: List[Dict[str, object]], path: str) -> Dict[str, object]:
+        """Parse one diff NDJSON stream, acking into ``sink`` per line.
+
+        Every *complete* diff line is appended to ``sink`` before the
+        next line is read, so when the stream dies mid-transfer the
+        caller knows exactly which diffs arrived whole and can resume
+        from the seq after the last acked one.
+        """
+        def fail(message: str) -> None:
+            raise SpecValidationError(f"{message} from GET {path}")
+
+        first = response.readline()
+        if not first:
+            fail("empty NDJSON stream")
+        try:
+            envelope = json.loads(first.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            fail("malformed NDJSON envelope")
+        if not isinstance(envelope, dict) or envelope.get("kind") != "diffs":
+            fail("unexpected NDJSON envelope")
+        expected = int(from_seq)
+        for _ in range(int(envelope.get("n_diffs", 0))):
+            line = response.readline()
+            if not line:
+                fail("truncated NDJSON stream")
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                fail("malformed NDJSON diff line")
+            if not isinstance(record, dict) or record.get("kind") != "diff":
+                fail("unexpected NDJSON line kind")
+            if int(record.get("seq", -1)) != expected:
+                fail("non-contiguous diff seq")
+            record.pop("kind", None)
+            sink.append(record)
+            expected += 1
+        envelope = dict(envelope)
+        envelope.pop("kind", None)
+        envelope.pop("n_diffs", None)
+        return envelope
+
+    def _read_diff_stream(
+        self,
+        corpus: str,
+        subscription_id: str,
+        from_seq: int,
+        sink: List[Dict[str, object]],
+    ) -> Dict[str, object]:
+        path = self._subscription_path(
+            corpus, subscription_id, f"/stream?from_seq={int(from_seq)}"
+        )
+        budget = self._budget(None)
+        try:
+            response = self.pool.open_response(
+                "GET", path, body=None, headers={}, timeout=budget,
+                idempotent=True,
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            self._raise_transport_error(exc, "GET", path, budget)
+        error_body: Optional[bytes] = None
+        try:
+            status = response.status
+            if status >= 400:
+                error_body = response.read()
+            else:
+                envelope = self._consume_diff_lines(response, from_seq, sink, path)
+        except (OSError, http.client.HTTPException) as exc:
+            self.pool.abandon(response)
+            self._raise_transport_error(exc, "GET", path, budget)
+        except BaseException:
+            self.pool.abandon(response)
+            raise
+        if response.isclosed():
+            self.pool.finish(response)
+        else:
+            self.pool.abandon(response)
+        if error_body is not None:
+            self._decode_payload(status, error_body, "GET", path)  # raises
+        return envelope
+
+    def follow_subscription(
+        self,
+        corpus: str,
+        subscription_id: str,
+        from_seq: int = 1,
+        max_reconnects: int = 3,
+    ) -> Dict[str, object]:
+        """Stream the diff suffix, resuming across truncated streams.
+
+        Diffs are acked line by line as each complete NDJSON record
+        arrives; when a stream dies mid-transfer (truncated body or a
+        dropped connection) the client reconnects with ``from_seq`` set
+        to the last acked seq + 1, so no diff is ever skipped or
+        replayed -- the resumed stream starts exactly where the dead
+        one stopped.  Returns the poll-shaped payload plus a
+        ``reconnects`` count.
+        """
+        collected: List[Dict[str, object]] = []
+        next_seq = int(from_seq)
+        last_error: Optional[Exception] = None
+        for attempt in range(max_reconnects + 1):
+            try:
+                envelope = self._read_diff_stream(
+                    corpus, subscription_id, next_seq, collected
+                )
+            except (SpecValidationError, ConnectionFailedError) as exc:
+                last_error = exc
+                if collected:
+                    next_seq = int(collected[-1]["seq"]) + 1
+                continue
+            result = dict(envelope)
+            result["from_seq"] = int(from_seq)
+            result["diffs"] = collected
+            result["reconnects"] = attempt
+            return result
+        raise ConnectionFailedError(
+            f"subscription stream for {subscription_id!r} on {corpus!r} kept "
+            f"failing after {max_reconnects} reconnects: {last_error}",
+            details={"corpus": corpus, "subscription_id": subscription_id},
+        )
+
     def close(self) -> None:
         """Close pooled connections (the client is unusable afterwards)."""
         self.pool.close()
@@ -1091,6 +1385,52 @@ class FleetClient(TagDMClient):
 
     def stats(self, corpus: str) -> Dict[str, object]:
         return self._run(corpus, lambda client: client.stats(corpus))
+
+    def register_subscription(
+        self,
+        corpus: str,
+        spec: SolveRequest,
+        owner: str = "anonymous",
+        subscription_id: Optional[str] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, object]:
+        # Same exactly-once contract as insert: one key up front rides
+        # on the direct attempt, the refresh retry and the router
+        # fallback, so no path can double-register.
+        key = idempotency_key or uuid.uuid4().hex
+        return self._run(
+            corpus,
+            lambda client: client.register_subscription(
+                corpus,
+                spec,
+                owner=owner,
+                subscription_id=subscription_id,
+                idempotency_key=key,
+            ),
+        )
+
+    def subscriptions(self, corpus: str) -> List[Dict[str, object]]:
+        return self._run(corpus, lambda client: client.subscriptions(corpus))
+
+    def poll_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        return self._run(
+            corpus,
+            lambda client: client.poll_subscription(
+                corpus, subscription_id, from_seq=from_seq
+            ),
+        )
+
+    def stream_subscription(
+        self, corpus: str, subscription_id: str, from_seq: int = 1
+    ) -> Dict[str, object]:
+        return self._run(
+            corpus,
+            lambda client: client.stream_subscription(
+                corpus, subscription_id, from_seq=from_seq
+            ),
+        )
 
     def health(self) -> Dict[str, object]:
         return self.router.health()

@@ -1,0 +1,257 @@
+"""Result diffs: what changed between two solves of the same spec.
+
+A subscription notification does not re-ship the whole result every
+time the corpus moves -- it ships a :class:`ResultDiff`, an *edit
+script* from the previous delivered result payload to the new one.
+The contract is constructive: ``apply_diff(diff, old) == new`` holds
+byte-for-byte (after stripping volatile timing fields) because the
+diff is literally the recipe :func:`apply_diff` follows, not a
+summary a reader must re-interpret.
+
+Group identity is the group's conjunctive description -- the ordered
+``predicates`` list of ``[column, value]`` pairs -- matching what
+``MiningResult.to_dict`` calls "serialised by identity".  Relative to
+that identity a diff classifies each group in the new result as:
+
+``keep``
+    identical payload carried over from the old result (the diff
+    stores only the key, so an unchanged group costs O(predicates)
+    on the wire, not O(tuples)),
+``add``
+    a group whose key was absent from the old result (full payload),
+``rescore``
+    a group whose key existed but whose payload changed -- in TagDM
+    terms the same description now covers a different tuple set
+    because inserts landed under it (full new payload).
+
+Keys present in the old result but absent from the new one are listed
+in ``dropped``.  The envelope (every top-level field except
+``groups``) is carried only when it changed; an empty diff therefore
+certifies the two results are bit-identical, so the evaluator can
+suppress the notification entirely -- no false positives from
+re-solving an unchanged corpus.
+
+Volatile fields (``elapsed_seconds``, ``evaluations``, ``metadata``)
+are wall-clock/instrumentation noise: two solves of the same view
+byte-match only outside them, so :func:`comparable_payload` strips
+them and all diff equality is defined over the stripped form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.errors import SpecValidationError
+
+__all__ = [
+    "VOLATILE_RESULT_FIELDS",
+    "ResultDiff",
+    "apply_diff",
+    "comparable_payload",
+    "diff_results",
+    "group_key",
+    "payloads_equal",
+]
+
+#: Per-solve noise excluded from diff equality (see module docstring).
+VOLATILE_RESULT_FIELDS: Tuple[str, ...] = ("elapsed_seconds", "evaluations", "metadata")
+
+
+def comparable_payload(payload: Optional[Mapping[str, object]]) -> Optional[Dict[str, object]]:
+    """``payload`` minus :data:`VOLATILE_RESULT_FIELDS`, or ``None``.
+
+    This is the canonical form all diff construction, application and
+    equality checks operate on; round-tripping through JSON preserves
+    it exactly.
+    """
+    if payload is None:
+        return None
+    return {
+        key: value
+        for key, value in payload.items()
+        if key not in VOLATILE_RESULT_FIELDS
+    }
+
+
+def group_key(group: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """A group's identity: its ordered conjunctive description."""
+    predicates = group.get("predicates", [])
+    return tuple((str(column), str(value)) for column, value in predicates)
+
+
+def _canonical(value: object) -> str:
+    """Deterministic JSON encoding used for payload equality."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ResultDiff:
+    """Edit script from one result payload to its successor.
+
+    ``ops`` covers the *new* result's groups in order; ``dropped``
+    lists old-result keys that vanished.  ``envelope`` is the new
+    result's non-``groups`` fields when they differ from the old
+    result's (``None`` means "unchanged, reuse the old envelope").
+    ``watermark`` is the corpus action count the new result was
+    evaluated at.
+    """
+
+    watermark: int
+    ops: Tuple[Tuple[str, object], ...]
+    dropped: Tuple[Tuple[Tuple[str, str], ...], ...]
+    envelope: Optional[Dict[str, object]] = field(default=None)
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff applying the diff reproduces the old payload exactly."""
+        return (
+            self.envelope is None
+            and not self.dropped
+            and all(op == "keep" for op, _ in self.ops)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "watermark": int(self.watermark),
+            "ops": [
+                [op, [list(pair) for pair in operand]]
+                if op == "keep"
+                else [op, operand]
+                for op, operand in self.ops
+            ],
+            "dropped": [[list(pair) for pair in key] for key in self.dropped],
+        }
+        if self.envelope is not None:
+            payload["envelope"] = self.envelope
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ResultDiff":
+        try:
+            raw_ops = payload["ops"]
+            watermark = int(payload["watermark"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecValidationError(f"malformed diff payload: {exc}") from exc
+        ops: List[Tuple[str, object]] = []
+        for entry in raw_ops:
+            op, operand = entry[0], entry[1]
+            if op == "keep":
+                ops.append((op, tuple((str(c), str(v)) for c, v in operand)))
+            elif op in ("add", "rescore"):
+                ops.append((op, dict(operand)))
+            else:
+                raise SpecValidationError(f"unknown diff op {op!r}")
+        dropped = tuple(
+            tuple((str(c), str(v)) for c, v in key)
+            for key in payload.get("dropped", [])
+        )
+        envelope = payload.get("envelope")
+        return cls(
+            watermark=watermark,
+            ops=tuple(ops),
+            dropped=dropped,
+            envelope=dict(envelope) if envelope is not None else None,
+        )
+
+
+def diff_results(
+    old_payload: Optional[Mapping[str, object]],
+    new_payload: Mapping[str, object],
+    watermark: int,
+) -> ResultDiff:
+    """Build the edit script turning ``old_payload`` into ``new_payload``.
+
+    ``old_payload`` is ``None`` for the initial snapshot: every group
+    is an ``add`` and the full envelope is carried.  Both payloads are
+    reduced to :func:`comparable_payload` form first, so volatile
+    fields can never leak into a diff (and can never force a spurious
+    notification).
+    """
+    old = comparable_payload(old_payload)
+    new = comparable_payload(dict(new_payload))
+    assert new is not None
+    old_groups: Dict[Tuple[Tuple[str, str], ...], str] = {}
+    if old is not None:
+        for group in old.get("groups", []):
+            old_groups[group_key(group)] = _canonical(group)
+
+    ops: List[Tuple[str, object]] = []
+    new_keys = set()
+    for group in new.get("groups", []):
+        key = group_key(group)
+        new_keys.add(key)
+        previous = old_groups.get(key)
+        if previous is None:
+            ops.append(("add", dict(group)))
+        elif previous == _canonical(group):
+            ops.append(("keep", key))
+        else:
+            ops.append(("rescore", dict(group)))
+    dropped = tuple(key for key in old_groups if key not in new_keys)
+
+    new_envelope = {key: value for key, value in new.items() if key != "groups"}
+    if old is not None:
+        old_envelope = {key: value for key, value in old.items() if key != "groups"}
+    else:
+        old_envelope = None
+    envelope = None if new_envelope == old_envelope else new_envelope
+    return ResultDiff(
+        watermark=int(watermark),
+        ops=tuple(ops),
+        dropped=dropped,
+        envelope=envelope,
+    )
+
+
+def apply_diff(
+    diff: ResultDiff, old_payload: Optional[Mapping[str, object]]
+) -> Dict[str, object]:
+    """Replay ``diff`` against ``old_payload``; returns the new payload.
+
+    Constructive inverse of :func:`diff_results`:
+    ``apply_diff(diff_results(old, new, w), old)`` equals
+    ``comparable_payload(new)`` byte-for-byte under canonical JSON.
+    Raises :class:`SpecValidationError` when the diff references a
+    group the old payload does not have -- the consumer's state has
+    diverged and it must re-sync from a full snapshot.
+    """
+    old = comparable_payload(old_payload)
+    old_groups: Dict[Tuple[Tuple[str, str], ...], Mapping[str, object]] = {}
+    if old is not None:
+        for group in old.get("groups", []):
+            old_groups[group_key(group)] = group
+    groups: List[object] = []
+    for op, operand in diff.ops:
+        if op == "keep":
+            try:
+                groups.append(old_groups[operand])  # type: ignore[index]
+            except KeyError:
+                raise SpecValidationError(
+                    f"diff keeps group {operand!r} absent from the prior result"
+                ) from None
+        else:  # "add" | "rescore"
+            groups.append(dict(operand))  # type: ignore[arg-type]
+    for key in diff.dropped:
+        if key not in old_groups:
+            raise SpecValidationError(
+                f"diff drops group {key!r} absent from the prior result"
+            )
+    if diff.envelope is not None:
+        envelope = dict(diff.envelope)
+    elif old is not None:
+        envelope = {key: value for key, value in old.items() if key != "groups"}
+    else:
+        raise SpecValidationError(
+            "diff against an empty prior result must carry its envelope"
+        )
+    envelope["groups"] = groups
+    return envelope
+
+
+def payloads_equal(
+    left: Optional[Mapping[str, object]], right: Optional[Mapping[str, object]]
+) -> bool:
+    """Bit-identity of two result payloads modulo volatile fields."""
+    return _canonical(comparable_payload(left)) == _canonical(comparable_payload(right))

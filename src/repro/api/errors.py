@@ -10,7 +10,9 @@ class                  code                  status
 SpecValidationError    ``validation``        422
 UnknownCorpusError     ``unknown-corpus``    404
 UnknownRouteError      ``unknown-route``     404
+UnknownSubscriptionError ``unknown-subscription`` 404
 CapabilityMismatchError ``capability-mismatch`` 409
+SubscriptionExistsError ``subscription-exists`` 409
 OverloadedError        ``overloaded``        429
 WorkerUnavailableError ``worker-unavailable`` 503
 SolveTimeoutError      ``timeout``           504
@@ -38,6 +40,8 @@ __all__ = [
     "UnknownCorpusError",
     "UnknownRouteError",
     "CapabilityMismatchError",
+    "UnknownSubscriptionError",
+    "SubscriptionExistsError",
     "ConnectionFailedError",
     "OverloadedError",
     "WorkerUnavailableError",
@@ -106,6 +110,26 @@ class CapabilityMismatchError(ApiError):
     """The requested algorithm cannot solve this problem class (HTTP 409)."""
 
     code = "capability-mismatch"
+    status = 409
+
+
+class UnknownSubscriptionError(ApiError):
+    """The named subscription is not registered on this corpus (HTTP 404)."""
+
+    code = "unknown-subscription"
+    status = 404
+
+
+class SubscriptionExistsError(ApiError):
+    """A different subscription already holds this id (HTTP 409).
+
+    Registration is idempotent only through the ``Idempotency-Key``
+    request log: re-sending the *same* registration with its original
+    key replays the cached response, but reusing a subscription id with
+    a different spec (or without the key) is a conflict, not a replay.
+    """
+
+    code = "subscription-exists"
     status = 409
 
 
@@ -182,6 +206,8 @@ _ERRORS_BY_CODE: Dict[str, type] = {
         UnknownCorpusError,
         UnknownRouteError,
         CapabilityMismatchError,
+        UnknownSubscriptionError,
+        SubscriptionExistsError,
         OverloadedError,
         WorkerUnavailableError,
         SolveTimeoutError,

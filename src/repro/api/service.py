@@ -16,11 +16,14 @@ plain raises on the other).
 from __future__ import annotations
 
 import json
+import uuid
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
 from repro.api.errors import (
     SpecValidationError,
+    SubscriptionExistsError,
     UnknownCorpusError,
+    UnknownSubscriptionError,
     run_with_timeout,
 )
 from repro.api.spec import PageSpec, ProblemSpec
@@ -38,6 +41,11 @@ __all__ = [
     "solve_spec_payload",
     "result_ndjson_lines",
     "result_from_ndjson",
+    "register_subscription",
+    "list_subscriptions",
+    "poll_subscription",
+    "subscription_ndjson_lines",
+    "diffs_from_ndjson",
     "health",
 ]
 
@@ -240,6 +248,232 @@ def result_from_ndjson(lines: Iterable[Union[str, bytes]]) -> Dict[str, object]:
             f"truncated NDJSON stream: expected {expected} groups, got {len(groups)}"
         )
     envelope["groups"] = groups
+    return envelope
+
+
+def _subscription_summary(row: Mapping[str, object]) -> Dict[str, object]:
+    """The wire form of one subscription row (``last_result`` elided)."""
+    return {
+        "subscription_id": row["subscription_id"],
+        "owner": row["owner"],
+        "spec": row["spec"],
+        "state": row["state"],
+        "created_at": row["created_at"],
+        "last_watermark": row["last_watermark"],
+        "last_seq": row["last_seq"],
+    }
+
+
+def register_subscription(
+    server,
+    corpus: str,
+    payload: Mapping[str, object],
+    request_id: Optional[str] = None,
+) -> Dict[str, object]:
+    """Register a standing query on the named corpus.
+
+    ``payload`` carries the problem ``spec`` (validated exactly like a
+    one-shot solve request: 422 on malformed, 409 on capability
+    mismatch), an optional ``owner`` label and an optional
+    client-chosen ``subscription_id`` (server-assigned otherwise).
+
+    ``request_id`` is the registration's idempotency key (HTTP reads
+    it from ``Idempotency-Key``): a key the corpus store has already
+    recorded replays the original response with ``deduplicated=True``
+    instead of re-registering, which is what makes client/router
+    retries of a registration exactly-once.  Reusing a *subscription
+    id* without the original key is a 409
+    (:class:`~repro.api.errors.SubscriptionExistsError`).
+
+    The new subscription is evaluated against the currently published
+    view immediately, so its first diff (seq 1, relative to the empty
+    result) is the full initial snapshot.
+    """
+    if not isinstance(payload, Mapping):
+        raise SpecValidationError(
+            f"subscription request must be an object, got {type(payload).__name__}"
+        )
+    spec_payload = payload.get("spec")
+    if not isinstance(spec_payload, Mapping):
+        raise SpecValidationError("subscription request is missing its 'spec' object")
+    spec = ProblemSpec.from_dict(spec_payload)
+    spec.validate()  # full 422/409 taxonomy before any state changes
+    shard = _shard(server, corpus)
+    store = shard.session.store
+    if store is None or shard.evaluator is None:
+        raise SpecValidationError(
+            f"corpus {corpus!r} has no durable store; subscriptions need one"
+        )
+    if request_id is not None:
+        recalled = store.recall_request(request_id)
+        if recalled is not None:
+            response = dict(recalled)
+            response["deduplicated"] = True
+            return response
+    subscription_id = str(payload.get("subscription_id") or f"sub-{uuid.uuid4().hex[:12]}")
+    owner = str(payload.get("owner", "anonymous"))
+    try:
+        with store.deferred_commit():
+            row = store.create_subscription(subscription_id, owner, spec.to_dict())
+            response = _subscription_summary(row)
+            response["deduplicated"] = False
+            if request_id is not None:
+                store.record_request(request_id, response)
+    except KeyError:
+        raise SubscriptionExistsError(
+            f"subscription {subscription_id!r} already exists on corpus {corpus!r}",
+            details={"corpus": corpus, "subscription_id": subscription_id},
+        ) from None
+    shard.evaluator.subscription_registered()
+    shard.evaluator.notify_publish(shard.current_view())
+    return response
+
+
+def list_subscriptions(server, corpus: str) -> List[Dict[str, object]]:
+    """All subscriptions registered on the named corpus, oldest first."""
+    shard = _shard(server, corpus)
+    store = shard.session.store
+    if store is None:
+        return []
+    return [_subscription_summary(row) for row in store.list_subscriptions()]
+
+
+def _subscription_diffs(server, corpus: str, subscription_id: str, from_seq: int):
+    shard = _shard(server, corpus)
+    store = shard.session.store
+    try:
+        if store is None:
+            raise KeyError(subscription_id)
+        row = store.subscription(subscription_id)
+        if row is None:
+            raise KeyError(subscription_id)
+        diffs = store.subscription_diffs(subscription_id, from_seq=int(from_seq))
+    except KeyError:
+        raise UnknownSubscriptionError(
+            f"subscription {subscription_id!r} is not registered on corpus {corpus!r}",
+            details={"corpus": corpus, "subscription_id": subscription_id},
+        ) from None
+    return row, diffs
+
+
+def poll_subscription(
+    server, corpus: str, subscription_id: str, from_seq: int = 1
+) -> Dict[str, object]:
+    """Delivered diffs with ``seq >= from_seq``, plus the ledger position.
+
+    The poll/stream resume contract: a consumer that has applied diffs
+    up to seq ``n`` asks for ``from_seq = n + 1`` and receives exactly
+    the missing suffix -- seqs are dense per subscription, so there is
+    no gap ambiguity after a disconnect.
+    """
+    row, diffs = _subscription_diffs(server, corpus, subscription_id, from_seq)
+    return {
+        "subscription_id": row["subscription_id"],
+        "from_seq": int(from_seq),
+        "last_seq": row["last_seq"],
+        "watermark": row["last_watermark"],
+        "diffs": [
+            {
+                "seq": entry["seq"],
+                "watermark": entry["watermark"],
+                "epoch": entry["epoch"],
+                "diff": entry["diff"],
+            }
+            for entry in diffs
+        ],
+    }
+
+
+def subscription_ndjson_lines(
+    server, corpus: str, subscription_id: str, from_seq: int = 1
+) -> Iterator[bytes]:
+    """Encode a diff suffix as NDJSON (UTF-8, newline-terminated).
+
+    Line 1 is the stream envelope -- ``kind: "diffs"`` plus ``n_diffs``
+    and the ledger position -- and each following line is one
+    ``kind: "diff"`` record carrying its seq, watermark, epoch and the
+    :class:`~repro.api.diff.ResultDiff` payload.  The inverse is
+    :func:`diffs_from_ndjson`; like the solve stream, the declared
+    count is what lets a reader detect truncation.
+    """
+    row, diffs = _subscription_diffs(server, corpus, subscription_id, from_seq)
+    envelope = {
+        "kind": "diffs",
+        "subscription_id": row["subscription_id"],
+        "from_seq": int(from_seq),
+        "n_diffs": len(diffs),
+        "last_seq": row["last_seq"],
+        "watermark": row["last_watermark"],
+    }
+    yield json.dumps(envelope).encode("utf-8") + b"\n"
+    for entry in diffs:
+        record = {
+            "kind": "diff",
+            "seq": entry["seq"],
+            "watermark": entry["watermark"],
+            "epoch": entry["epoch"],
+            "diff": entry["diff"],
+        }
+        yield json.dumps(record).encode("utf-8") + b"\n"
+
+
+def diffs_from_ndjson(lines: Iterable[Union[str, bytes]]) -> Dict[str, object]:
+    """Reassemble the payload :func:`subscription_ndjson_lines` produced.
+
+    Raises :class:`SpecValidationError` on a malformed or truncated
+    stream (wrong first line, diff-count mismatch, non-contiguous
+    seqs), so a connection that died mid-stream can never pass off a
+    partial diff suffix as complete -- the client reconnects and
+    resumes from its last *acked* seq instead.
+    """
+    envelope: Optional[Dict[str, object]] = None
+    diffs: List[Dict[str, object]] = []
+    for raw in lines:
+        text = raw.decode("utf-8") if isinstance(raw, bytes) else raw
+        if not text.strip():
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise SpecValidationError(f"malformed NDJSON line: {exc}") from exc
+        kind = record.get("kind") if isinstance(record, dict) else None
+        if envelope is None:
+            if kind != "diffs":
+                raise SpecValidationError(
+                    f"NDJSON stream must start with the diffs envelope, got {kind!r}"
+                )
+            envelope = {
+                key: value
+                for key, value in record.items()
+                if key not in ("kind", "n_diffs")
+            }
+            envelope["_expected_diffs"] = int(record.get("n_diffs", 0))
+        elif kind == "diff":
+            diffs.append(
+                {
+                    "seq": int(record["seq"]),
+                    "watermark": int(record["watermark"]),
+                    "epoch": int(record["epoch"]),
+                    "diff": record.get("diff"),
+                }
+            )
+        else:
+            raise SpecValidationError(f"unexpected NDJSON record kind {kind!r}")
+    if envelope is None:
+        raise SpecValidationError("empty NDJSON stream")
+    expected = envelope.pop("_expected_diffs")
+    if len(diffs) != expected:
+        raise SpecValidationError(
+            f"truncated NDJSON stream: expected {expected} diffs, got {len(diffs)}"
+        )
+    start = int(envelope.get("from_seq", 1))
+    for offset, entry in enumerate(diffs):
+        if entry["seq"] != start + offset:
+            raise SpecValidationError(
+                f"non-contiguous diff stream: expected seq {start + offset}, "
+                f"got {entry['seq']}"
+            )
+    envelope["diffs"] = diffs
     return envelope
 
 

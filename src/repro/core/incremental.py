@@ -109,6 +109,20 @@ class SessionView:
         seal_view(self)
 
     @property
+    def watermark(self) -> int:
+        """The insert watermark this view was frozen at.
+
+        Watermarks are corpus action counts: monotone under the
+        append-only insert path and totally ordered, unlike epochs,
+        which restart from 1 on every shard (re)open.  The
+        subscription pipeline keys its exactly-once delivery ledger on
+        watermarks for exactly that reason -- a post-crash replay of
+        an already-delivered evaluation carries the same watermark and
+        is suppressed.
+        """
+        return self.n_actions
+
+    @property
     def n_groups(self) -> int:
         """Number of groups in the frozen view."""
         return len(self.groups)
@@ -379,6 +393,17 @@ class IncrementalTagDM:
     def dataset(self) -> TaggingDataset:
         """The underlying (mutated in place) dataset."""
         return self.session.dataset
+
+    def watermark(self) -> int:
+        """The current insert watermark: committed corpus action count.
+
+        Every :meth:`freeze` stamps the view it publishes with the
+        watermark at freeze time (:attr:`SessionView.watermark`); the
+        subscription evaluator compares those stamps against each
+        subscription's last-evaluated watermark to decide what still
+        needs re-solving.
+        """
+        return self.session.dataset.n_actions
 
     @property
     def groups(self) -> List[TaggingActionGroup]:

@@ -62,6 +62,7 @@ LOCK_HIERARCHY: Tuple[str, ...] = (
     "shard.maintenance",  # CorpusShard._maintenance_lock: fold/rotate
     "shard.merge",  # CorpusShard._lock: ticket RW lock (delta apply / fold)
     "shard.stats",  # CorpusShard._stats_lock: counters, view, epoch pins
+    "subs.state",  # SubscriptionEvaluator._lock: pending view + counters
     "store.lock",  # SqliteTaggingStore._lock: connection serialisation
     "view.build",  # SessionView._build_lock: lazy derived-state builds
     "placement.table",  # PlacementTable._lock: corpus -> worker map

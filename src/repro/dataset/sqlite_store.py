@@ -97,6 +97,34 @@ CREATE TABLE IF NOT EXISTS request_ids (
     report     TEXT NOT NULL,           -- JSON of the original batch's report
     created_at REAL NOT NULL
 );
+-- Standing queries (additive, like request_ids): one row per
+-- registered subscription, carrying its spec, delivery state and the
+-- watermark (corpus action count) it was last evaluated at.  The
+-- watermark/seq pair is the exactly-once-delivery ledger: an
+-- evaluation replayed after a crash hits the same watermark and is
+-- suppressed instead of emitting a duplicate diff.
+CREATE TABLE IF NOT EXISTS subscriptions (
+    subscription_id TEXT PRIMARY KEY,
+    owner           TEXT NOT NULL,
+    spec            TEXT NOT NULL,      -- JSON problem spec (ProblemSpec.to_dict)
+    state           TEXT NOT NULL DEFAULT 'active',
+    created_at      REAL NOT NULL,
+    last_watermark  INTEGER NOT NULL DEFAULT -1,
+    last_seq        INTEGER NOT NULL DEFAULT 0,
+    last_result     TEXT                -- JSON of the last delivered result
+);
+-- One row per delivered diff, the consumer-facing notification log;
+-- seq is dense (1..last_seq) per subscription, so a poll/stream
+-- client resumes from its last acked seq with no gap ambiguity.
+CREATE TABLE IF NOT EXISTS subscription_diffs (
+    subscription_id TEXT NOT NULL REFERENCES subscriptions(subscription_id),
+    seq             INTEGER NOT NULL,
+    watermark       INTEGER NOT NULL,
+    epoch           INTEGER NOT NULL,
+    created_at      REAL NOT NULL,
+    diff            TEXT NOT NULL,      -- JSON ResultDiff.to_dict
+    PRIMARY KEY (subscription_id, seq)
+);
 -- Accelerator table (additive, like request_ids): one row per
 -- (action, prefixed attribute column), populated *inside SQLite* from
 -- the JSON registries by sync_action_attrs(), so candidate-generation
@@ -502,6 +530,182 @@ class SqliteTaggingStore:
                     "SELECT COUNT(*) FROM request_ids"
                 ).fetchone()[0]
             )
+
+    # ------------------------------------------------------------------
+    # Subscriptions (standing queries)
+    # ------------------------------------------------------------------
+    def _subscription_row(self, row: sqlite3.Row) -> Dict[str, object]:
+        return {
+            "subscription_id": row["subscription_id"],
+            "owner": row["owner"],
+            "spec": json.loads(row["spec"]),
+            "state": row["state"],
+            "created_at": float(row["created_at"]),
+            "last_watermark": int(row["last_watermark"]),
+            "last_seq": int(row["last_seq"]),
+            "last_result": (
+                None if row["last_result"] is None else json.loads(row["last_result"])
+            ),
+        }
+
+    @locked_by("store.lock")
+    def create_subscription(
+        self, subscription_id: str, owner: str, spec: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Register a standing query; returns its stored row.
+
+        Raises :class:`KeyError` when the id is already taken -- the
+        service layer maps that onto the 409 ``subscription-exists``
+        error (or onto idempotent replay via the request log).  Meant
+        to run inside a :meth:`deferred_commit` window together with
+        its :meth:`record_request` marker.
+        """
+        with self._lock:
+            try:
+                self.connection.execute(
+                    "INSERT INTO subscriptions "
+                    "(subscription_id, owner, spec, state, created_at) "
+                    "VALUES (?, ?, ?, 'active', ?)",
+                    (
+                        str(subscription_id),
+                        str(owner),
+                        json.dumps(dict(spec), sort_keys=True),
+                        time.time(),
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                raise KeyError(subscription_id) from None
+            self._maybe_commit()
+            return self.subscription(subscription_id)
+
+    def subscription(self, subscription_id: str) -> Optional[Dict[str, object]]:
+        """The stored row of one subscription, or ``None`` if unknown."""
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT * FROM subscriptions WHERE subscription_id = ?",
+                (str(subscription_id),),
+            ).fetchone()
+        return None if row is None else self._subscription_row(row)
+
+    def list_subscriptions(self) -> List[Dict[str, object]]:
+        """All subscriptions, oldest first (registration order)."""
+        with self._lock:
+            rows = self.connection.execute(
+                "SELECT * FROM subscriptions ORDER BY rowid"
+            ).fetchall()
+        return [self._subscription_row(row) for row in rows]
+
+    @locked_by("store.lock")
+    def record_subscription_diff(
+        self,
+        subscription_id: str,
+        watermark: int,
+        epoch: int,
+        diff: Mapping[str, object],
+        result: Mapping[str, object],
+    ) -> Optional[int]:
+        """Append one evaluated diff; returns its seq, or ``None`` when
+        suppressed.
+
+        The exactly-once gate of the notification pipeline: the diff
+        row, the subscription's advanced watermark and its new
+        ``last_result`` commit in **one** transaction, and an
+        evaluation at a watermark at or below ``last_watermark`` (a
+        crash-replay, or a stale coalesced epoch) returns ``None``
+        without writing -- at-least-once evaluation upstream, exactly
+        once in the visible diff log.
+        """
+        with self.deferred_commit():
+            row = self.connection.execute(
+                "SELECT last_watermark, last_seq FROM subscriptions "
+                "WHERE subscription_id = ?",
+                (str(subscription_id),),
+            ).fetchone()
+            if row is None:
+                raise KeyError(subscription_id)
+            if int(watermark) <= int(row["last_watermark"]):
+                return None
+            seq = int(row["last_seq"]) + 1
+            self.connection.execute(
+                "INSERT INTO subscription_diffs "
+                "(subscription_id, seq, watermark, epoch, created_at, diff) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    str(subscription_id),
+                    seq,
+                    int(watermark),
+                    int(epoch),
+                    time.time(),
+                    json.dumps(dict(diff), sort_keys=True),
+                ),
+            )
+            self.connection.execute(
+                "UPDATE subscriptions SET last_watermark = ?, last_seq = ?, "
+                "last_result = ? WHERE subscription_id = ?",
+                (
+                    int(watermark),
+                    seq,
+                    json.dumps(dict(result), sort_keys=True),
+                    str(subscription_id),
+                ),
+            )
+            return seq
+
+    @locked_by("store.lock")
+    def advance_subscription_watermark(
+        self, subscription_id: str, watermark: int
+    ) -> bool:
+        """Advance the ledger without a diff row (bit-identical re-solve).
+
+        The no-notification half of the delivery contract: the
+        re-evaluation produced a result byte-equal to the last
+        delivered one, so the watermark moves forward (the evaluator
+        will not re-solve this range again) but the consumer-visible
+        diff log stays untouched.  Returns whether the row advanced.
+        """
+        with self.deferred_commit():
+            row = self.connection.execute(
+                "SELECT last_watermark FROM subscriptions WHERE subscription_id = ?",
+                (str(subscription_id),),
+            ).fetchone()
+            if row is None:
+                raise KeyError(subscription_id)
+            if int(watermark) <= int(row["last_watermark"]):
+                return False
+            self.connection.execute(
+                "UPDATE subscriptions SET last_watermark = ? WHERE subscription_id = ?",
+                (int(watermark), str(subscription_id)),
+            )
+            return True
+
+    def subscription_diffs(
+        self, subscription_id: str, from_seq: int = 1
+    ) -> List[Dict[str, object]]:
+        """Delivered diffs of one subscription with ``seq >= from_seq``.
+
+        Raises :class:`KeyError` for an unknown subscription so the
+        service layer can distinguish "no new diffs" from "no such
+        subscription" (404).
+        """
+        with self._lock:
+            if self.subscription(subscription_id) is None:
+                raise KeyError(subscription_id)
+            rows = self.connection.execute(
+                "SELECT seq, watermark, epoch, created_at, diff "
+                "FROM subscription_diffs WHERE subscription_id = ? AND seq >= ? "
+                "ORDER BY seq",
+                (str(subscription_id), int(from_seq)),
+            ).fetchall()
+        return [
+            {
+                "seq": int(row["seq"]),
+                "watermark": int(row["watermark"]),
+                "epoch": int(row["epoch"]),
+                "created_at": float(row["created_at"]),
+                "diff": json.loads(row["diff"]),
+            }
+            for row in rows
+        ]
 
     @locked_by("store.lock")
     def ingest(self, dataset: TaggingDataset) -> int:

@@ -15,6 +15,10 @@ Routes (all bodies JSON; see ``API.md`` for the full schema)::
     GET  /corpora/<name>/stats     -- per-shard serving counters
     POST /corpora/<name>/insert    -- {"actions": [...]} -> update report
     POST /corpora/<name>/solve     -- ProblemSpec payload -> MiningResult
+    POST /corpora/<name>/subscriptions             -- register a standing query
+    GET  /corpora/<name>/subscriptions             -- list registrations
+    GET  /corpora/<name>/subscriptions/<id>        -- poll diffs (?from_seq=N)
+    GET  /corpora/<name>/subscriptions/<id>/stream -- same suffix as NDJSON
 
 The solve route also accepts result-shaping query parameters:
 ``?page=P&page_size=S`` windows the response's group list (JSON body
@@ -60,6 +64,10 @@ __all__ = ["TagDMHttpServer"]
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _CORPUS_ROUTE = re.compile(r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/(?P<verb>[a-z]+)\Z")
+_SUBSCRIPTION_ROUTE = re.compile(
+    r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/subscriptions/"
+    r"(?P<sub>[A-Za-z0-9._~%-]+)(?P<stream>/stream)?\Z"
+)
 
 
 class _NdjsonBody:
@@ -226,6 +234,31 @@ class _Handler(BaseHTTPRequestHandler):
                 return 200, self._handle_insert(name)
             if method == "POST" and verb == "solve":
                 return 200, self._handle_solve(name)
+            if verb == "subscriptions":
+                if method == "POST":
+                    return 200, self._handle_register(name)
+                if method == "GET":
+                    return 200, {
+                        "subscriptions": service.list_subscriptions(
+                            self.tagdm_server, name
+                        )
+                    }
+        sub_match = _SUBSCRIPTION_ROUTE.fullmatch(path)
+        if sub_match and method == "GET":
+            name = urllib.parse.unquote(sub_match.group("name"))
+            sub_id = urllib.parse.unquote(sub_match.group("sub"))
+            from_seq = self._from_seq_query()
+            if sub_match.group("stream"):
+                return 200, _NdjsonBody(
+                    list(
+                        service.subscription_ndjson_lines(
+                            self.tagdm_server, name, sub_id, from_seq=from_seq
+                        )
+                    )
+                )
+            return 200, service.poll_subscription(
+                self.tagdm_server, name, sub_id, from_seq=from_seq
+            )
         raise UnknownRouteError(
             f"no route for {method} {path}",
             details={
@@ -235,6 +268,10 @@ class _Handler(BaseHTTPRequestHandler):
                     "GET /corpora/<name>/stats",
                     "POST /corpora/<name>/insert",
                     "POST /corpora/<name>/solve",
+                    "POST /corpora/<name>/subscriptions",
+                    "GET /corpora/<name>/subscriptions",
+                    "GET /corpora/<name>/subscriptions/<id>",
+                    "GET /corpora/<name>/subscriptions/<id>/stream",
                 ]
             },
         )
@@ -281,6 +318,28 @@ class _Handler(BaseHTTPRequestHandler):
                 n_actions=self._corpus_actions(corpus),
             )
         return report.to_dict()
+
+    def _handle_register(self, corpus: str) -> Dict[str, object]:
+        request_id = self._idempotency_key()
+        payload = self._read_body()
+        return service.register_subscription(
+            self.tagdm_server, corpus, payload, request_id=request_id
+        )
+
+    def _from_seq_query(self) -> int:
+        """Decode the subscription routes' ``?from_seq=N`` parameter."""
+        _, _, raw_query = self.path.partition("?")
+        query = dict(urllib.parse.parse_qsl(raw_query))
+        raw = query.get("from_seq", "1")
+        try:
+            from_seq = int(raw)
+        except ValueError:
+            raise SpecValidationError(
+                f"from_seq must be an integer, got {raw!r}"
+            ) from None
+        if from_seq < 1:
+            raise SpecValidationError(f"from_seq must be >= 1, got {from_seq}")
+        return from_seq
 
     def _solve_query(self) -> Tuple[Optional[PageSpec], bool]:
         """Decode the solve route's result-shaping query parameters."""

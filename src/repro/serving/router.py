@@ -74,6 +74,10 @@ from repro.serving.reliability import CircuitBreaker, RetryBudget
 __all__ = ["PlacementTable", "TagDMRouter"]
 
 _CORPUS_ROUTE = re.compile(r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/(?P<verb>[a-z]+)\Z")
+_SUBSCRIPTION_ROUTE = re.compile(
+    r"\A/corpora/(?P<name>[A-Za-z0-9._~%-]+)/subscriptions/"
+    r"(?P<sub>[A-Za-z0-9._~%-]+)(?P<stream>/stream)?\Z"
+)
 
 #: Forwarded request bodies above this size are rejected up front
 #: (mirrors ``repro.serving.http.MAX_BODY_BYTES``).
@@ -303,12 +307,13 @@ class _RouterHandler(BaseHTTPRequestHandler):
             return 200, "application/json", json.dumps(payload).encode("utf-8"), None
         if method == "GET" and path == "/placement":
             return 200, "application/json", self.router._placement_body(), None
-        match = _CORPUS_ROUTE.fullmatch(path)
+        match = _CORPUS_ROUTE.fullmatch(path) or _SUBSCRIPTION_ROUTE.fullmatch(path)
         if match:
             corpus = urllib.parse.unquote(match.group("name"))
-            # Forward the idempotency key so a keyed insert retried by
-            # the router (or replayed over a pooled connection into the
-            # worker) deduplicates server-side instead of double-applying.
+            # Forward the idempotency key so a keyed insert (or a
+            # subscription registration) retried by the router -- or
+            # replayed over a pooled connection into the worker --
+            # deduplicates server-side instead of double-applying.
             request_headers: Dict[str, str] = {}
             idempotency_key = self.headers.get("Idempotency-Key")
             if idempotency_key is not None:
@@ -326,6 +331,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
                     "GET /corpora/<name>/stats",
                     "POST /corpora/<name>/insert",
                     "POST /corpora/<name>/solve",
+                    "POST /corpora/<name>/subscriptions",
+                    "GET /corpora/<name>/subscriptions",
+                    "GET /corpora/<name>/subscriptions/<id>",
+                    "GET /corpora/<name>/subscriptions/<id>/stream",
                 ]
             },
         )

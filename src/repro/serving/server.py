@@ -46,6 +46,7 @@ from repro.dataset.store import TaggingDataset
 from repro.serving.policy import MergePolicy, SnapshotRotationPolicy, SnapshotRotator
 from repro.serving.reliability import AdmissionPolicy, FaultPlan
 from repro.serving.shards import CorpusShard
+from repro.serving.subscriptions import SubscriptionEvaluator
 
 __all__ = ["TagDMServer"]
 
@@ -117,6 +118,7 @@ class TagDMServer:
         self.fault_plan = fault_plan
         self._shards: Dict[str, CorpusShard] = {}
         self._stores: Dict[str, SqliteTaggingStore] = {}
+        self._evaluators: Dict[str, SubscriptionEvaluator] = {}
         self._registry_lock = named_lock("server.registry")
         self._closed = False
 
@@ -136,9 +138,22 @@ class TagDMServer:
             raise RuntimeError("server is closed")
 
     @locked_by("server.registry")
-    def _register(self, name: str, shard: CorpusShard, store: SqliteTaggingStore) -> None:
+    def _register(
+        self,
+        name: str,
+        shard: CorpusShard,
+        store: SqliteTaggingStore,
+        evaluator: SubscriptionEvaluator,
+    ) -> None:
         self._shards[name] = shard
         self._stores[name] = store
+        self._evaluators[name] = evaluator
+        # Bootstrap replay: re-notify the freshly published view so any
+        # subscription whose ledger trails the store (a crash between
+        # evaluation and its diff commit) is re-evaluated now, not at
+        # the next fold.  Already-covered watermarks are suppressed by
+        # the ledger, so this is free when nothing was lost.
+        evaluator.notify_publish(shard.current_view())
 
     def _rotator_for(self, name: str) -> SnapshotRotator:
         return SnapshotRotator(
@@ -178,6 +193,9 @@ class TagDMServer:
                 ).prepare()
                 rotator = self._rotator_for(name)
                 rotator.rotate(session.session)  # a restart can warm-start at once
+                evaluator = SubscriptionEvaluator(
+                    name, store, fault_plan=self.fault_plan
+                )
                 shard = CorpusShard(
                     name,
                     session,
@@ -185,11 +203,12 @@ class TagDMServer:
                     admission=self.admission,
                     merge_policy=self.merge_policy,
                     fault_plan=self.fault_plan,
+                    evaluator=evaluator,
                 )
             except BaseException:
                 store.close()
                 raise
-            self._register(name, shard, store)
+            self._register(name, shard, store, evaluator)
             return shard
 
     def open_corpus(self, name: str) -> CorpusShard:
@@ -224,6 +243,9 @@ class TagDMServer:
                 session, start_mode, replayed = self._warm_or_cold_session(
                     dataset, store, rotator
                 )
+                evaluator = SubscriptionEvaluator(
+                    name, store, fault_plan=self.fault_plan
+                )
                 shard = CorpusShard(
                     name,
                     session,
@@ -233,11 +255,12 @@ class TagDMServer:
                     admission=self.admission,
                     merge_policy=self.merge_policy,
                     fault_plan=self.fault_plan,
+                    evaluator=evaluator,
                 )
             except BaseException:
                 store.close()
                 raise
-            self._register(name, shard, store)
+            self._register(name, shard, store, evaluator)
             return shard
 
     def _warm_or_cold_session(
@@ -424,10 +447,15 @@ class TagDMServer:
             self._closed = True
             for shard in self._shards.values():
                 shard.close(final_snapshot=True)
+            # Evaluators stop after their shard (no more folds can
+            # notify them) and before the stores they write to close.
+            for evaluator in self._evaluators.values():
+                evaluator.close()
             for store in self._stores.values():
                 store.close()
             self._shards.clear()
             self._stores.clear()
+            self._evaluators.clear()
 
     def __enter__(self) -> "TagDMServer":
         return self

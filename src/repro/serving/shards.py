@@ -194,6 +194,11 @@ class CorpusShard:
         the pinned view, no lock held), ``merge.pre_fold`` (before a
         fold freezes the session) and ``merge.post_fold`` (after the new
         view is published, before waiters resume) injection points.
+    evaluator:
+        Optional :class:`~repro.serving.subscriptions.SubscriptionEvaluator`
+        notified with every view the fold path publishes; its counters
+        surface in :meth:`stats` under the ``subs_*`` keys.  The server
+        owns its lifecycle.
     """
 
     def __init__(
@@ -207,6 +212,7 @@ class CorpusShard:
         admission: Optional[AdmissionPolicy] = None,
         merge_policy: Optional[MergePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        evaluator=None,
     ) -> None:
         if not session.session.is_prepared:
             raise ValueError("shard sessions must be prepared before serving")
@@ -220,6 +226,10 @@ class CorpusShard:
         self.admission = admission
         self.merge_policy = merge_policy or MergePolicy()
         self.fault_plan = fault_plan
+        # Optional SubscriptionEvaluator: notified with every published
+        # view from the fold path, surfaced in stats(); the server owns
+        # its lifecycle (the shard never closes it).
+        self.evaluator = evaluator
         self.start_mode = start_mode
         self.replayed_actions = int(replayed_actions)
         # Merge-path coordination only: the writer applies batches under
@@ -469,6 +479,9 @@ class CorpusShard:
         in-flight solves and how many solves hold them).
         """
         rotations = self.rotator.rotations if self.rotator is not None else 0
+        # Taken before (never nested under) the stats lock; the
+        # evaluator's own lock guards a consistent counter snapshot.
+        subs = self.evaluator.counters() if self.evaluator is not None else {}
         with self._stats_lock:
             counters = {
                 "inserts_served": self._inserts_served,
@@ -506,6 +519,12 @@ class CorpusShard:
             ),
             "start_mode": self.start_mode,
             "replayed_actions": self.replayed_actions,
+            "subs_active": subs.get("subs_active", 0),
+            "subs_evaluations": subs.get("subs_evaluations", 0),
+            "subs_notifications": subs.get("subs_notifications", 0),
+            "subs_suppressed": subs.get("subs_suppressed", 0),
+            "subs_backlog": subs.get("subs_backlog", 0),
+            "subs_last_error": subs.get("subs_last_error"),
         }
         stats.update(counters)
         return stats
@@ -611,6 +630,8 @@ class CorpusShard:
                     corpus=self.name,
                     n_actions=view.n_actions,
                 )
+            if self.evaluator is not None:
+                self.evaluator.notify_publish(view)
         except BaseException as exc:
             with self._stats_lock:
                 self._merge_failures += 1

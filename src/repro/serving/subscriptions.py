@@ -1,0 +1,270 @@
+"""Standing-query evaluation: one background evaluator per shard.
+
+A subscription is a registered :class:`~repro.api.spec.ProblemSpec`
+that must be re-solved whenever the corpus moves.  The shard's fold
+path already publishes immutable epoch-numbered views; the evaluator
+subscribes to those publications (:meth:`notify_publish`), re-solves
+every registered spec against the freshest view, diffs the result
+against the subscription's last delivered payload
+(:mod:`repro.api.diff`) and appends the diff to the store's
+notification log.
+
+Delivery semantics, by construction:
+
+- **at-least-once evaluation**: a publication is only *forgotten* once
+  its evaluations committed; a crash mid-pipeline loses nothing
+  because the next open's bootstrap re-notifies the current view and
+  the subscription rows still carry the pre-crash watermark.
+- **exactly-once visible delivery**: the store's
+  ``record_subscription_diff`` advances watermark + seq + diff row in
+  one transaction and refuses watermarks at or below the ledger's --
+  a replayed evaluation is *suppressed*, never duplicated.
+- **no false positives**: an empty diff (the re-solve byte-matched the
+  previous result) advances the watermark silently instead of
+  emitting a notification.
+
+Publications are *coalesced*: the evaluator keeps only the newest
+pending view, so an insert storm costs one evaluation per drain, not
+one per fold.  Intermediate watermarks a consumer never saw simply do
+not appear in its diff stream -- composition still holds because each
+diff is relative to the previous *delivered* result, not the previous
+fold.
+
+The fault plan exposes three injection points on this path:
+``subs.pre_eval`` (before the re-solve), ``subs.post_eval`` (solved,
+diff not yet computed/committed) and ``subs.pre_notify`` (diff
+computed, ledger write about to run).  A kill between ``post_eval``
+and ``pre_notify`` is the chaos drill of record: the evaluation is
+lost, the replay re-solves, and the ledger keeps delivery exactly
+once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.api.diff import comparable_payload, diff_results
+from repro.api.spec import ProblemSpec
+from repro.core.incremental import SessionView
+from repro.core.witness import named_lock
+
+__all__ = ["SubscriptionEvaluator"]
+
+
+class SubscriptionEvaluator:
+    """Background re-solver of one corpus's registered subscriptions.
+
+    Parameters
+    ----------
+    corpus:
+        Corpus name (for fault-point context and error strings).
+    store:
+        The corpus's :class:`~repro.dataset.sqlite_store.SqliteTaggingStore`;
+        holds the ``subscriptions`` table and the diff ledger.
+    fault_plan:
+        Optional :class:`~repro.serving.reliability.FaultPlan` armed on
+        the ``subs.*`` injection points.
+    retry_interval:
+        Back-off before re-attempting a failed evaluation drain.
+    """
+
+    def __init__(
+        self,
+        corpus: str,
+        store,
+        fault_plan=None,
+        retry_interval: float = 0.05,
+    ) -> None:
+        self.corpus = corpus
+        self.store = store
+        self.fault_plan = fault_plan
+        self.retry_interval = float(retry_interval)
+        self._lock = named_lock("subs.state")
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._pending_view: Optional[SessionView] = None
+        self._evaluating = False
+        self._active = sum(
+            1 for sub in store.list_subscriptions() if sub["state"] == "active"
+        )
+        self._evaluations = 0
+        self._notifications = 0
+        self._suppressed = 0
+        self._last_error: Optional[str] = None
+        self._notified_watermark = 0
+        self._completed_watermark = 0
+        self._thread = threading.Thread(
+            target=self._loop, name=f"subs-{corpus}", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Publication intake
+    # ------------------------------------------------------------------
+    def notify_publish(self, view: SessionView) -> None:
+        """Queue a freshly published view for evaluation (coalescing).
+
+        Called by the shard's fold path after every publication and by
+        the server at corpus-open time (the bootstrap replay that makes
+        evaluation at-least-once across crashes).  Only the newest view
+        is kept; older queued publications are superseded, never lost
+        -- the newest view's watermark covers theirs.
+        """
+        with self._lock:
+            if (
+                self._pending_view is None
+                or view.watermark >= self._pending_view.watermark
+            ):
+                self._pending_view = view
+            self._notified_watermark = max(self._notified_watermark, view.watermark)
+            self._wakeup.set()
+
+    def subscription_registered(self) -> None:
+        """Bump the active-subscription counter (service layer hook)."""
+        with self._lock:
+            self._active += 1
+
+    # ------------------------------------------------------------------
+    # Evaluation loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._wakeup.wait(0.2)
+            if self._stop.is_set():
+                return
+            with self._lock:
+                self._wakeup.clear()
+                view = self._pending_view
+                self._pending_view = None
+                if view is not None:
+                    self._evaluating = True
+            if view is None:
+                continue
+            try:
+                clean = self._evaluate(view)
+            finally:
+                with self._lock:
+                    self._evaluating = False
+            if not clean:
+                # Re-queue for retry unless a newer publication arrived
+                # meanwhile, then back off briefly (stop-responsive).
+                with self._lock:
+                    if self._pending_view is None:
+                        self._pending_view = view
+                    self._wakeup.set()
+                self._stop.wait(self.retry_interval)
+
+    def _evaluate(self, view: SessionView) -> bool:
+        """Evaluate every lagging subscription against ``view``.
+
+        Returns ``False`` when any evaluation failed (the caller
+        re-queues the view); successes are never rolled back -- each
+        subscription's ledger write is its own transaction.
+        """
+        clean = True
+        plan = self.fault_plan
+        for sub in self.store.list_subscriptions():
+            if sub["state"] != "active":
+                continue
+            sub_id = sub["subscription_id"]
+            if view.watermark <= sub["last_watermark"]:
+                # The ledger already covers this watermark: a replayed
+                # bootstrap or a coalesced stale publication.  Count the
+                # suppression -- it is the exactly-once gate firing.
+                with self._lock:
+                    self._suppressed += 1
+                continue
+            try:
+                if plan is not None:
+                    plan.fire(
+                        "subs.pre_eval",
+                        corpus=self.corpus,
+                        subscription=sub_id,
+                        n_actions=view.watermark,
+                    )
+                spec = ProblemSpec.from_dict(sub["spec"])
+                problem, algorithm = spec.validate()
+                result = view.solve(problem, algorithm=algorithm, **dict(spec.options))
+                if plan is not None:
+                    plan.fire(
+                        "subs.post_eval",
+                        corpus=self.corpus,
+                        subscription=sub_id,
+                        n_actions=view.watermark,
+                    )
+                payload = comparable_payload(result.to_dict())
+                diff = diff_results(sub["last_result"], payload, view.watermark)
+                with self._lock:
+                    self._evaluations += 1
+                if diff.is_empty:
+                    # Bit-identical re-solve: advance the watermark
+                    # silently, no notification (no false positives).
+                    self.store.advance_subscription_watermark(sub_id, view.watermark)
+                    continue
+                if plan is not None:
+                    plan.fire(
+                        "subs.pre_notify",
+                        corpus=self.corpus,
+                        subscription=sub_id,
+                        n_actions=view.watermark,
+                    )
+                seq = self.store.record_subscription_diff(
+                    sub_id, view.watermark, view.epoch, diff.to_dict(), payload
+                )
+                with self._lock:
+                    if seq is None:
+                        self._suppressed += 1
+                    else:
+                        self._notifications += 1
+            except Exception as exc:  # noqa: BLE001 -- incl. InjectedFault
+                clean = False
+                with self._lock:
+                    self._last_error = f"{sub_id}@{view.watermark}: {exc}"
+        if clean:
+            with self._lock:
+                self._completed_watermark = max(
+                    self._completed_watermark, view.watermark
+                )
+        return clean
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, object]:
+        """Stats-table snapshot; safe to call under ``shard.stats``."""
+        with self._lock:
+            return {
+                "subs_active": self._active,
+                "subs_evaluations": self._evaluations,
+                "subs_notifications": self._notifications,
+                "subs_suppressed": self._suppressed,
+                "subs_backlog": max(
+                    0, self._notified_watermark - self._completed_watermark
+                ),
+                "subs_last_error": self._last_error,
+            }
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until the evaluator has drained (tests / benchmarks)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                idle = (
+                    self._pending_view is None
+                    and not self._evaluating
+                    and not self._wakeup.is_set()
+                )
+            if idle:
+                return True
+            time.sleep(0.005)
+        return False
+
+    def close(self) -> None:
+        """Stop the evaluator thread (idempotent; pending work is safe:
+        the ledger watermark makes the next open's bootstrap replay it)."""
+        self._stop.set()
+        self._wakeup.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)

@@ -1,0 +1,248 @@
+"""Metamorphic properties of the result-diff engine (repro/api/diff.py).
+
+The contract under test is constructive: a :class:`ResultDiff` is the
+exact recipe :func:`apply_diff` follows, so
+``apply_diff(diff_results(old, new, w), old)`` must reproduce
+``comparable_payload(new)`` byte-for-byte under canonical JSON for
+*any* pair of result payloads -- including adversarial ones a solver
+would never emit.  These tests generate seeded-random payload pairs
+and chains and check the algebra directly, independent of any corpus
+or solver (the end-to-end half lives in
+``tests/serving/test_subscriptions.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api.diff import (
+    VOLATILE_RESULT_FIELDS,
+    ResultDiff,
+    apply_diff,
+    comparable_payload,
+    diff_results,
+    group_key,
+    payloads_equal,
+)
+from repro.api.errors import SpecValidationError
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def random_group(rng: random.Random, key_pool) -> dict:
+    """One serialised group; identity drawn from a bounded key pool so
+    collisions (keep/rescore/drop cases) actually happen."""
+    predicates = rng.choice(key_pool)
+    return {
+        "predicates": [list(pair) for pair in predicates],
+        "tuple_indices": sorted(rng.sample(range(200), rng.randint(1, 12))),
+    }
+
+
+def random_payload(rng: random.Random, key_pool) -> dict:
+    keys_used = set()
+    groups = []
+    for _ in range(rng.randint(0, 8)):
+        group = random_group(rng, key_pool)
+        key = group_key(group)
+        if key in keys_used:  # identities are unique within one result
+            continue
+        keys_used.add(key)
+        groups.append(group)
+    return {
+        "problem": {"name": f"problem-{rng.randint(1, 6)}", "k_lo": rng.randint(1, 5)},
+        "algorithm": rng.choice(["exact", "sm-lsh-fo", "dv-fdp"]),
+        "groups": groups,
+        "objective_value": round(rng.uniform(0, 3), 6),
+        "constraint_scores": {"users": round(rng.uniform(0, 1), 6)},
+        "support": rng.randint(0, 50),
+        "feasible": rng.random() < 0.9,
+        # Volatile noise: must never influence any diff.
+        "elapsed_seconds": rng.random(),
+        "evaluations": rng.randint(0, 10_000),
+        "metadata": {"nonce": rng.random()},
+    }
+
+
+def key_pool_for(rng: random.Random):
+    """A small pool of group identities shared by a generated chain."""
+    pool = []
+    for i in range(10):
+        n_predicates = rng.randint(1, 3)
+        pool.append(
+            tuple(
+                (f"col-{rng.randint(0, 4)}", f"val-{i}-{j}")
+                for j in range(n_predicates)
+            )
+        )
+    return pool
+
+
+class TestDiffApplyRoundTrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_apply_reconstructs_new_payload(self, seed):
+        """The core metamorphic property over random payload pairs:
+        apply(diff(old, new), old) == comparable(new), byte-identical
+        under canonical JSON."""
+        rng = random.Random(seed)
+        pool = key_pool_for(rng)
+        old = random_payload(rng, pool)
+        new = random_payload(rng, pool)
+        diff = diff_results(old, new, watermark=seed)
+        rebuilt = apply_diff(diff, old)
+        assert canonical(rebuilt) == canonical(comparable_payload(new))
+        assert payloads_equal(rebuilt, new)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_apply_from_empty_prior(self, seed):
+        """old=None (the initial snapshot): every group is an add and
+        the envelope must be carried."""
+        rng = random.Random(1000 + seed)
+        new = random_payload(rng, key_pool_for(rng))
+        diff = diff_results(None, new, watermark=1)
+        assert all(op == "add" for op, _ in diff.ops)
+        assert diff.envelope is not None
+        assert canonical(apply_diff(diff, None)) == canonical(comparable_payload(new))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_chain_composition(self, seed):
+        """Composing a chain of diffs from an empty prior reproduces
+        every intermediate payload -- the replay contract the
+        subscription ledger relies on."""
+        rng = random.Random(2000 + seed)
+        pool = key_pool_for(rng)
+        payloads = [random_payload(rng, pool) for _ in range(6)]
+        previous = None
+        state = None
+        for watermark, payload in enumerate(payloads, start=1):
+            diff = diff_results(previous, payload, watermark=watermark)
+            state = apply_diff(diff, state)
+            assert canonical(state) == canonical(comparable_payload(payload))
+            previous = payload
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_serde_roundtrip_preserves_application(self, seed):
+        """A diff surviving JSON (to_dict -> dumps -> loads -> from_dict)
+        applies identically to the in-memory one."""
+        rng = random.Random(3000 + seed)
+        pool = key_pool_for(rng)
+        old = random_payload(rng, pool)
+        new = random_payload(rng, pool)
+        diff = diff_results(old, new, watermark=7)
+        wired = ResultDiff.from_dict(json.loads(json.dumps(diff.to_dict())))
+        assert canonical(apply_diff(wired, old)) == canonical(apply_diff(diff, old))
+        assert wired.is_empty == diff.is_empty
+
+
+class TestEmptyDiffEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_empty_diff_iff_equal_payloads(self, seed):
+        """is_empty <=> the two payloads are bit-identical modulo
+        volatile fields (both directions)."""
+        rng = random.Random(4000 + seed)
+        pool = key_pool_for(rng)
+        payload = random_payload(rng, pool)
+        twin = json.loads(json.dumps(payload))
+        twin["elapsed_seconds"] = payload["elapsed_seconds"] + 1.0
+        twin["evaluations"] = payload["evaluations"] + 99
+        twin["metadata"] = {"other": "noise"}
+        assert diff_results(payload, twin, watermark=2).is_empty
+        assert payloads_equal(payload, twin)
+
+        other = random_payload(rng, pool)
+        diff = diff_results(payload, other, watermark=3)
+        assert diff.is_empty == payloads_equal(payload, other)
+
+    def test_volatile_fields_never_reach_a_diff(self):
+        rng = random.Random(99)
+        payload = random_payload(rng, key_pool_for(rng))
+        diff = diff_results(None, payload, watermark=1)
+        assert diff.envelope is not None
+        for volatile in VOLATILE_RESULT_FIELDS:
+            assert volatile not in diff.envelope
+        rebuilt = apply_diff(diff, None)
+        for volatile in VOLATILE_RESULT_FIELDS:
+            assert volatile not in rebuilt
+
+    def test_envelope_omitted_when_only_groups_change(self):
+        rng = random.Random(5)
+        pool = key_pool_for(rng)
+        old = random_payload(rng, pool)
+        new = json.loads(json.dumps(old))
+        new["groups"] = new["groups"] + [
+            {"predicates": [["fresh-col", "fresh-val"]], "tuple_indices": [1, 2]}
+        ]
+        diff = diff_results(old, new, watermark=4)
+        assert diff.envelope is None  # unchanged: reuse the old one
+        assert canonical(apply_diff(diff, old)) == canonical(comparable_payload(new))
+
+
+class TestDiffClassification:
+    def test_keep_add_rescore_drop(self):
+        old = {
+            "problem": {"name": "p"},
+            "algorithm": "exact",
+            "groups": [
+                {"predicates": [["a", "1"]], "tuple_indices": [1, 2]},
+                {"predicates": [["b", "2"]], "tuple_indices": [3]},
+                {"predicates": [["c", "3"]], "tuple_indices": [4]},
+            ],
+            "objective_value": 1.0,
+        }
+        new = {
+            "problem": {"name": "p"},
+            "algorithm": "exact",
+            "groups": [
+                {"predicates": [["a", "1"]], "tuple_indices": [1, 2]},  # keep
+                {"predicates": [["b", "2"]], "tuple_indices": [3, 9]},  # rescore
+                {"predicates": [["d", "4"]], "tuple_indices": [5]},  # add
+            ],
+            "objective_value": 1.0,
+        }
+        diff = diff_results(old, new, watermark=10)
+        assert [op for op, _ in diff.ops] == ["keep", "rescore", "add"]
+        assert diff.dropped == ((("c", "3"),),)
+        assert diff.envelope is None
+        assert canonical(apply_diff(diff, old)) == canonical(comparable_payload(new))
+
+    def test_keep_costs_only_the_key(self):
+        """A kept group's wire cost is its predicate key, not its
+        tuple list."""
+        old = {
+            "algorithm": "exact",
+            "groups": [{"predicates": [["a", "1"]], "tuple_indices": list(range(100))}],
+        }
+        diff = diff_results(old, old, watermark=2)
+        assert diff.to_dict()["ops"] == [["keep", [["a", "1"]]]]
+
+
+class TestDiffErrors:
+    def test_apply_rejects_keep_of_absent_group(self):
+        diff = ResultDiff(watermark=1, ops=((("keep"), (("a", "1"),)),), dropped=())
+        with pytest.raises(SpecValidationError):
+            apply_diff(diff, {"algorithm": "exact", "groups": []})
+
+    def test_apply_rejects_drop_of_absent_group(self):
+        diff = ResultDiff(
+            watermark=1, ops=(), dropped=(((("a", "1")),),), envelope={"algorithm": "x"}
+        )
+        with pytest.raises(SpecValidationError):
+            apply_diff(diff, {"algorithm": "exact", "groups": []})
+
+    def test_apply_from_none_requires_envelope(self):
+        diff = ResultDiff(watermark=1, ops=(), dropped=())
+        with pytest.raises(SpecValidationError):
+            apply_diff(diff, None)
+
+    def test_from_dict_rejects_unknown_op(self):
+        with pytest.raises(SpecValidationError):
+            ResultDiff.from_dict({"watermark": 1, "ops": [["mutate", {}]], "dropped": []})
+
+    def test_from_dict_rejects_malformed_payload(self):
+        with pytest.raises(SpecValidationError):
+            ResultDiff.from_dict({"ops": []})  # no watermark

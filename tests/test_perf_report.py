@@ -142,6 +142,21 @@ class TestPerfReportQuick:
         )
         assert htap["solve_p99_speedup"] > 0
 
+    def test_subscriptions_section(self, quick_report):
+        """The standing-query evaluator must deliver every watermark
+        exactly once, the composed diff chain must equal the cold
+        replay, and the warm re-solve must beat it even in smoke mode
+        (the cold side pays a full corpus prepare)."""
+        _perf_report, report = quick_report
+        subscriptions = report["subscriptions"]
+        assert subscriptions["parity"] is True
+        assert subscriptions["lost_diffs"] == 0
+        assert subscriptions["duplicated_diffs"] == 0
+        assert subscriptions["diffs_delivered"] >= 1
+        assert subscriptions["notify_p99_ms"] >= subscriptions["notify_p50_ms"] > 0
+        assert subscriptions["max_backlog"] >= 0
+        assert subscriptions["incremental_speedup"] > 1.0
+
 
 def _import_perf_report():
     sys.path.insert(0, str(BENCHMARKS))
@@ -282,3 +297,25 @@ def test_committed_pr7_bench_report_is_valid():
         htap["delta_main"]["solves_during_storm"]
         >= htap["baseline"]["solves_during_storm"]
     )
+
+
+def test_committed_pr10_bench_report_is_valid():
+    """The committed BENCH_PR10.json must back the standing-query
+    claims: the batched insert storm delivered every ledger seq exactly
+    once, the composed diff chain and the warm solve agree with a
+    from-scratch cold replay at the final watermark, and the warm
+    incremental re-solve is measurably faster than that replay (the
+    acceptance criterion -- standing queries earn their keep)."""
+    path = REPO_ROOT / "BENCH_PR10.json"
+    assert path.exists(), "BENCH_PR10.json missing; run benchmarks/perf_report.py"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    perf_report = _import_perf_report()
+    perf_report.validate_report(report)
+    assert report["mode"] == "full"
+    subscriptions = report["subscriptions"]
+    assert subscriptions["parity"] is True
+    assert subscriptions["lost_diffs"] == 0
+    assert subscriptions["duplicated_diffs"] == 0
+    assert subscriptions["diffs_delivered"] >= 1
+    assert subscriptions["inserts"] >= 100
+    assert subscriptions["incremental_speedup"] > 1.0

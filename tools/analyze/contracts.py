@@ -64,6 +64,8 @@ ERROR_TAXONOMY: Dict[str, Tuple[str, int, bool]] = {
     "UnknownRouteError": ("unknown-route", 404, True),
     "CapabilityMismatchError": ("capability-mismatch", 409, True),
     "ConnectionFailedError": ("connection-failed", 503, False),
+    "UnknownSubscriptionError": ("unknown-subscription", 404, True),
+    "SubscriptionExistsError": ("subscription-exists", 409, True),
     "OverloadedError": ("overloaded", 429, True),
     "WorkerUnavailableError": ("worker-unavailable", 503, True),
     "SolveTimeoutError": ("timeout", 504, True),
@@ -82,6 +84,9 @@ FAULT_POINTS: Tuple[str, ...] = (
     "http.post_write",
     "snapshot.write",
     "pool.pre_send",
+    "subs.pre_eval",
+    "subs.post_eval",
+    "subs.pre_notify",
 )
 
 #: Exactly the keys ``CorpusShard.stats()`` returns (and /healthz and
@@ -101,6 +106,12 @@ STATS_KEYS: Tuple[str, ...] = (
     "last_rotation_at",
     "start_mode",
     "replayed_actions",
+    "subs_active",
+    "subs_evaluations",
+    "subs_notifications",
+    "subs_suppressed",
+    "subs_backlog",
+    "subs_last_error",
     "inserts_served",
     "solves_served",
     "inflight_solves",
@@ -129,7 +140,7 @@ ALGORITHMS: Tuple[str, ...] = (
 #: point or lock (prose drift detector).
 _DOTTED_TOKEN = re.compile(
     r"^(shard|merge|insert|http|snapshot|pool|fleet|server|store|view"
-    r"|placement|router|client|breaker|budget|faultplan)\.\w+$"
+    r"|placement|router|client|breaker|budget|faultplan|subs)\.\w+$"
 )
 
 #: Dotted doc tokens that are legitimate but are neither fault points

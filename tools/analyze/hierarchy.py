@@ -41,6 +41,7 @@ LOCK_ORDER: Tuple[str, ...] = (
     "shard.maintenance",
     "shard.merge",
     "shard.stats",
+    "subs.state",
     "store.lock",
     "view.build",
     "placement.table",
@@ -111,6 +112,12 @@ LOCK_DECLS: Tuple[LockDecl, ...] = (
         "shard.stats", "src/repro/serving/shards.py", "CorpusShard",
         "_stats_lock", "lock", True,
         "serving counters, published view and epoch pins",
+    ),
+    LockDecl(
+        "subs.state", "src/repro/serving/subscriptions.py", "SubscriptionEvaluator",
+        "_lock", "lock", True,
+        "pending-view queue and delivery counters of the standing-query "
+        "evaluator; store writes and solves run outside it",
     ),
     LockDecl(
         "store.lock", "src/repro/dataset/sqlite_store.py", "SqliteTaggingStore",

@@ -69,6 +69,7 @@ OWNERSHIP_DECLS: Tuple[OwnershipDecl, ...] = (
             "name": "init-only",
             "session": "init-only",
             "rotator": "init-only",
+            "evaluator": "init-only",
             "admission": "init-only",
             "merge_policy": "init-only",
             "fault_plan": "init-only",
@@ -121,8 +122,37 @@ OWNERSHIP_DECLS: Tuple[OwnershipDecl, ...] = (
             "_registry_lock": "init-only",
             "_shards": "lock:server.registry",
             "_stores": "lock:server.registry",
+            "_evaluators": "lock:server.registry",
             "_closed": "lock:server.registry",
         },
+    ),
+    OwnershipDecl(
+        module="src/repro/serving/subscriptions.py",
+        cls="SubscriptionEvaluator",
+        attrs={
+            "corpus": "init-only",
+            "store": "init-only",
+            "fault_plan": "init-only",
+            "retry_interval": "init-only",
+            "_lock": "init-only",
+            "_stop": "init-only",
+            "_thread": "init-only",
+            # The wakeup event is set from anywhere (Events are
+            # thread-safe) but only the evaluator loop clears it.
+            "_wakeup": "confined:loop",
+            # Pending-view queue and delivery counters: every post-init
+            # touch holds the evaluator's state lock.
+            "_pending_view": "lock:subs.state",
+            "_evaluating": "lock:subs.state",
+            "_active": "lock:subs.state",
+            "_evaluations": "lock:subs.state",
+            "_notifications": "lock:subs.state",
+            "_suppressed": "lock:subs.state",
+            "_last_error": "lock:subs.state",
+            "_notified_watermark": "lock:subs.state",
+            "_completed_watermark": "lock:subs.state",
+        },
+        confined_writers={"loop": ("_loop",)},
     ),
     OwnershipDecl(
         module="src/repro/serving/router.py",
